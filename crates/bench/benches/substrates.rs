@@ -1,0 +1,94 @@
+//! Criterion benchmarks for the substrate crates: Darshan serialization,
+//! scheduler throughput, simulator generation, and the statistics kernels
+//! the litmus tests lean on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iotax_darshan::format::{parse_log, write_log};
+use iotax_darshan::record::{FileRecord, JobLog, ModuleData, ModuleId};
+use iotax_sched::{JobRequest, Scheduler, SchedulerConfig};
+use iotax_sim::{Platform, SimConfig};
+use iotax_stats::fit::fit_student_t;
+use iotax_stats::dist::{ContinuousDist, StudentT};
+use iotax_stats::rng_from_seed;
+use std::hint::black_box;
+
+fn make_log(n_records: usize) -> JobLog {
+    let mut log = JobLog::new(1, 1000, 512, 0, 3600, "bench_app");
+    for k in 0..n_records {
+        let mut rec = FileRecord::zeroed(ModuleId::Posix, k as u64, 512);
+        for (i, c) in rec.counters.iter_mut().enumerate() {
+            *c = (k * 31 + i) as f64 * 1.618;
+        }
+        log.posix.records.push(rec);
+    }
+    let mut m = ModuleData::new(ModuleId::Mpiio);
+    m.records.push(FileRecord::zeroed(ModuleId::Mpiio, 999, 512));
+    log.mpiio = Some(m);
+    log
+}
+
+fn bench_darshan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("darshan_format");
+    for n_records in [1usize, 8, 64] {
+        let log = make_log(n_records);
+        let bytes = write_log(&log);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("write", n_records), &log, |b, log| {
+            b.iter(|| write_log(black_box(log)))
+        });
+        group.bench_with_input(BenchmarkId::new("parse", n_records), &bytes, |b, bytes| {
+            b.iter(|| parse_log(black_box(bytes)).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    for n_jobs in [1_000usize, 10_000] {
+        let reqs: Vec<JobRequest> = (0..n_jobs)
+            .map(|i| JobRequest {
+                job_id: i as u64,
+                arrival_time: (i as i64 * 37) % 1_000_000,
+                nodes: (i % 64 + 1) as u32,
+                runtime: (i as i64 * 13) % 5_000 + 60,
+            })
+            .collect();
+        group.throughput(Throughput::Elements(n_jobs as u64));
+        group.bench_with_input(BenchmarkId::new("schedule", n_jobs), &reqs, |b, reqs| {
+            let s = Scheduler::new(SchedulerConfig::default());
+            b.iter(|| s.schedule(black_box(reqs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for n_jobs in [500usize, 2_000] {
+        group.throughput(Throughput::Elements(n_jobs as u64));
+        group.bench_with_input(BenchmarkId::new("generate_theta", n_jobs), &n_jobs, |b, &n| {
+            b.iter(|| {
+                Platform::new(SimConfig::theta().with_jobs(n).with_seed(1)).generate()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats");
+    let mut rng = rng_from_seed(9);
+    let sample = StudentT::new(5.0).sample_n(&mut rng, 5_000);
+    group.bench_function("fit_student_t_5k", |b| {
+        b.iter(|| fit_student_t(black_box(&sample)))
+    });
+    group.bench_function("quantile_5k", |b| {
+        b.iter(|| iotax_stats::quantile(black_box(&sample), 0.6827))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_darshan, bench_scheduler, bench_simulator, bench_stats);
+criterion_main!(benches);

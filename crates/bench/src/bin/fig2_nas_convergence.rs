@@ -1,0 +1,78 @@
+//! Figure 2: neural architecture search — generations of networks
+//! approach the duplicate-bound error limit.
+//!
+//! Paper result (Cori): 10 generations × 30 networks; the best network
+//! reaches 14.3 % against the litmus bound of 14.15 %; only ~6 networks
+//! strictly improve on the best-so-far, showing tuning is not the
+//! bottleneck.
+
+use iotax_bench::{cori_dataset, jobs_from_env, write_csv};
+use iotax_core::{app_modeling_bound, find_duplicate_sets};
+use iotax_ml::data::Dataset;
+use iotax_ml::metrics::log10_error_to_pct;
+use iotax_ml::nas::{best_record, evolve, NasConfig};
+use iotax_sim::FeatureSet;
+
+fn main() {
+    let sim = cori_dataset(8_000);
+    let m = sim.feature_matrix(FeatureSet::posix());
+    let data = Dataset::new(m.data, m.n_rows, m.n_cols, m.y, m.names);
+    let (train, val, _test) = data.split_random(0.70, 0.15, 0xF162);
+
+    let dup = find_duplicate_sets(&sim.jobs);
+    let y: Vec<f64> = sim.jobs.iter().map(|j| j.log10_throughput()).collect();
+    let bound = app_modeling_bound(&y, &dup);
+
+    // Scale the search with the dataset: the paper runs 10 × 30.
+    let (population, generations) = if jobs_from_env(8_000) >= 50_000 {
+        (30, 10)
+    } else {
+        (10, 5)
+    };
+    eprintln!("[fig2] evolving {population} networks x {generations} generations");
+    let history = evolve(
+        &train,
+        &val,
+        NasConfig { population, generations, tournament: 4, seed: 0x2A5, heteroscedastic: false },
+    );
+
+    println!("Figure 2: NAS validation errors per generation (bound = {:.2} %)", bound.median_abs_pct);
+    let mut rows = Vec::new();
+    let mut best_so_far = f64::INFINITY;
+    let mut improvements = 0;
+    for (i, r) in history.iter().enumerate() {
+        let pct = log10_error_to_pct(r.val_error);
+        if r.val_error < best_so_far {
+            best_so_far = r.val_error;
+            if i >= population {
+                improvements += 1;
+            }
+        }
+        rows.push(format!(
+            "{},{},{:.4},{:?}",
+            i,
+            r.generation,
+            pct,
+            r.genome.hidden
+        ));
+    }
+    for g in 0..generations {
+        let gen_best = history
+            .iter()
+            .filter(|r| r.generation == g)
+            .map(|r| r.val_error)
+            .fold(f64::INFINITY, f64::min);
+        println!("  generation {g}: best {:.2} %", log10_error_to_pct(gen_best));
+    }
+    let best = best_record(&history);
+    println!(
+        "\nbest network: {:?} -> {:.2} % vs bound {:.2} % (paper: 14.3 % vs 14.15 %)",
+        best.genome.hidden,
+        log10_error_to_pct(best.val_error),
+        bound.median_abs_pct
+    );
+    println!(
+        "strict improvements after generation 0: {improvements} (paper: ~6 — NAS helps little)"
+    );
+    write_csv("fig2_nas.csv", "eval_index,generation,val_error_pct,hidden", &rows);
+}

@@ -1,0 +1,77 @@
+//! Figure 5: the joint distribution of per-job aleatory and epistemic
+//! uncertainty from the deep ensemble, with the inverse cumulative error
+//! on each margin.
+//!
+//! Paper result (both systems): AU ≫ EU on the in-period test set; every
+//! job has AU above a floor (~0.05) revealing the inherent system noise;
+//! 50 % of error comes from jobs with EU < 0.04 while for AU the halfway
+//! point is ~0.25; the inverse-cumulative EU curve has a "shoulder" that
+//! makes the OoD threshold robust.
+
+use iotax_bench::{theta_dataset, write_csv};
+use iotax_core::ood::{ood_litmus, OodConfig};
+use iotax_ml::data::Dataset;
+use iotax_ml::metrics::abs_log10_errors;
+use iotax_sim::FeatureSet;
+
+fn main() {
+    let sim = theta_dataset(12_000);
+    let m = sim.feature_matrix(FeatureSet::posix());
+    let data = Dataset::new(m.data, m.n_rows, m.n_cols, m.y, m.names);
+    let (train, _val, test) = data.split_random(0.70, 0.15, 0xF165);
+
+    let mut cfg = OodConfig::quick(0x55);
+    cfg.ensemble_size = 6;
+    let result = ood_litmus(&train, &test, &cfg);
+    let means: Vec<f64> = result.predictions.iter().map(|p| p.mean).collect();
+    let errors = abs_log10_errors(&test.y, &means);
+
+    // Per-job scatter rows.
+    let mut rows = Vec::new();
+    for (p, e) in result.predictions.iter().zip(&errors) {
+        rows.push(format!("{:.5},{:.5},{:.5}", p.aleatory_std(), p.epistemic_std(), e));
+    }
+    write_csv("fig5_au_eu.csv", "aleatory_std,epistemic_std,abs_error", &rows);
+
+    // Marginals: what EU/AU value accounts for 50 % of cumulative error?
+    let half_point = |key: &dyn Fn(&iotax_uq::UqPrediction) -> f64| -> f64 {
+        let mut idx: Vec<usize> = (0..errors.len()).collect();
+        idx.sort_by(|&a, &b| {
+            key(&result.predictions[a])
+                .partial_cmp(&key(&result.predictions[b]))
+                .expect("finite")
+        });
+        let total: f64 = errors.iter().sum();
+        let mut cum = 0.0;
+        for &i in &idx {
+            cum += errors[i];
+            if cum >= total / 2.0 {
+                return key(&result.predictions[i]);
+            }
+        }
+        f64::NAN
+    };
+    let eu_half = half_point(&|p| p.epistemic_std());
+    let au_half = half_point(&|p| p.aleatory_std());
+    let au_floor = result
+        .predictions
+        .iter()
+        .map(|p| p.aleatory_std())
+        .fold(f64::INFINITY, f64::min);
+
+    println!("Figure 5: AU/EU decomposition over {} test jobs", errors.len());
+    println!("  median AU: {:.4}   median EU: {:.4}", result.median_aleatory_std, result.median_epistemic_std);
+    println!("  50 % of error below EU = {eu_half:.4}  (paper: ≈0.04)");
+    println!("  50 % of error below AU = {au_half:.4}  (paper: ≈0.25)");
+    println!("  AU floor: {au_floor:.4}  (paper: all jobs have AU ≳ 0.05 — inherent noise)");
+    println!(
+        "  shape checks: AU > EU at the median: {}; EU half-point ≪ AU half-point: {}",
+        result.median_aleatory_std > result.median_epistemic_std,
+        eu_half < au_half
+    );
+    println!(
+        "  OoD threshold from the shoulder: {:.4} flags {:.2} % of jobs",
+        result.eu_threshold,
+        result.ood_fraction * 100.0
+    );
+}

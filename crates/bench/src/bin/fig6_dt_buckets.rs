@@ -1,0 +1,78 @@
+//! Figure 6: duplicate-error distributions bucketed by the time between
+//! the two runs (decades from seconds to months), plus the §IX
+//! distributional analysis of the Δt = 0 strip.
+//!
+//! Paper result (Theta): the left-most (0–1 s) distribution is contained
+//! in every later one; long-Δt buckets grow asymmetric (weather drift);
+//! the Δt = 0 errors follow a Student-t rather than a normal because most
+//! simultaneous sets are tiny (70 % have two members, 96 % ≤ 6).
+
+use iotax_bench::{theta_dataset, write_csv};
+use iotax_core::litmus::{concurrent_noise_floor, dt_bucket_spreads};
+use iotax_core::find_duplicate_sets;
+
+fn main() {
+    let sim = theta_dataset(20_000);
+    let dup = find_duplicate_sets(&sim.jobs);
+    let y: Vec<f64> = sim.jobs.iter().map(|j| j.log10_throughput()).collect();
+    let t: Vec<i64> = sim.jobs.iter().map(|j| j.start_time).collect();
+
+    // Decade buckets: [0,1), [1,10), ... up to 10^7 seconds (~4 months).
+    let mut edges = vec![0.0, 1.0];
+    for k in 1..=7 {
+        edges.push(10f64.powi(k));
+    }
+    let buckets = dt_bucket_spreads(&y, &t, &dup, &edges, 60);
+
+    println!("Figure 6: duplicate-pair |Δ log10 φ| per Δt decade");
+    println!(
+        "{:>14} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "Δt range (s)", "pairs", "p25", "median", "p75", "p95"
+    );
+    let mut rows = Vec::new();
+    for b in &buckets {
+        if b.n_pairs == 0 {
+            continue;
+        }
+        println!(
+            "{:>14} {:>8} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
+            format!("{:.0}-{:.0}", b.dt_lo, b.dt_hi),
+            b.n_pairs,
+            b.spread.p25,
+            b.spread.median,
+            b.spread.p75,
+            b.spread.p95
+        );
+        rows.push(format!(
+            "{},{},{},{:.5},{:.5},{:.5},{:.5}",
+            b.dt_lo, b.dt_hi, b.n_pairs, b.spread.p25, b.spread.median, b.spread.p75, b.spread.p95
+        ));
+    }
+    write_csv("fig6_dt_buckets.csv", "dt_lo,dt_hi,pairs,p25,median,p75,p95", &rows);
+
+    // Shape checks.
+    let first = buckets.iter().find(|b| b.n_pairs > 10).expect("simultaneous bucket");
+    let last = buckets.iter().rev().find(|b| b.n_pairs > 10).expect("long bucket");
+    println!(
+        "\nshape check: Δt=0 median ({:.4}) ≤ longest-Δt median ({:.4}): {}",
+        first.spread.median,
+        last.spread.median,
+        first.spread.median <= last.spread.median
+    );
+
+    // §IX distributional analysis of the Δt = 0 strip.
+    let floor = concurrent_noise_floor(&y, &t, &dup, &[], 1, 30).expect("concurrent dups");
+    println!(
+        "\nΔt = 0 distribution: t(ν = {:.1}) preferred over normal: {} \
+         (normal KS p = {:.3}); {:.0} % of simultaneous sets have ≤ 6 members \
+         (paper: 96 %)",
+        floor.t_df,
+        floor.t_preferred,
+        floor.normal_ks_p,
+        floor.small_set_fraction * 100.0
+    );
+    println!(
+        "noise level: ±{:.2} % @68 %, ±{:.2} % @95 % (paper Theta: ±5.71 % / ±10.56 %)",
+        floor.pct_68, floor.pct_95
+    );
+}

@@ -1,0 +1,124 @@
+//! Table T1: the paper's in-text quantitative results, side by side with
+//! the reproduction's measurements.
+//!
+//! | quantity | paper (Theta) | paper (Cori) |
+//! |---|---|---|
+//! | duplicates | 19 010 (23.5 %) in 3 509 sets | 504 920 (54 %) in 77 390 sets |
+//! | duplicate bound | 10.01 % | 14.15 % |
+//! | start-time error drop | 30.8 % | 40 % (16.49 → 10.02 %) |
+//! | LMT-enriched error | — | 9.96 % |
+//! | OoD | 0.7 % of jobs = 2.4 % of error (3×) | 2.1 % of error |
+//! | noise @68/95 % | ±5.71 / ±10.56 % | ±7.21 / ±14.99 % |
+
+use iotax_bench::{cori_dataset, theta_dataset, write_csv};
+use iotax_core::Taxonomy;
+use iotax_sim::SimDataset;
+
+struct Row {
+    name: &'static str,
+    paper_theta: &'static str,
+    paper_cori: &'static str,
+    measured_theta: String,
+    measured_cori: String,
+}
+
+fn measure(sim: &SimDataset) -> Vec<String> {
+    let report = Taxonomy::full().run(sim);
+    let noise = report.noise.as_ref();
+    vec![
+        format!(
+            "{} ({:.1} %) in {} sets",
+            report.app_bound.n_duplicates,
+            report.app_bound.duplicate_fraction * 100.0,
+            report.app_bound.n_sets
+        ),
+        format!("{:.2} %", report.app_bound.median_abs_pct),
+        format!(
+            "{:.1} % ({:.2} → {:.2} %)",
+            report.system_litmus.golden_reduction_pct,
+            report.system_litmus.baseline.test_error_pct,
+            report.system_litmus.golden.test_error_pct
+        ),
+        report
+            .system_litmus
+            .lmt_enriched
+            .as_ref()
+            .map_or("—".to_owned(), |l| format!("{:.2} %", l.test_error_pct)),
+        format!(
+            "{:.1} % of jobs = {:.1} % of error ({:.1}x)",
+            report.ood.ood_fraction * 100.0,
+            report.ood.ood_error_share * 100.0,
+            report.ood.error_amplification
+        ),
+        noise.map_or("—".to_owned(), |n| format!("±{:.2} / ±{:.2} %", n.pct_68, n.pct_95)),
+    ]
+}
+
+fn main() {
+    println!("Table T1: in-text numbers, paper vs reproduction\n");
+    let theta = measure(&theta_dataset(12_000));
+    let cori = measure(&cori_dataset(12_000));
+    let rows = [
+        Row {
+            name: "duplicates",
+            paper_theta: "19010 (23.5 %) in 3509 sets",
+            paper_cori: "504920 (54 %) in 77390 sets",
+            measured_theta: theta[0].clone(),
+            measured_cori: cori[0].clone(),
+        },
+        Row {
+            name: "duplicate bound",
+            paper_theta: "10.01 %",
+            paper_cori: "14.15 %",
+            measured_theta: theta[1].clone(),
+            measured_cori: cori[1].clone(),
+        },
+        Row {
+            name: "start-time error drop",
+            paper_theta: "30.8 %",
+            paper_cori: "40 % (16.49 -> 10.02 %)",
+            measured_theta: theta[2].clone(),
+            measured_cori: cori[2].clone(),
+        },
+        Row {
+            name: "LMT-enriched error",
+            paper_theta: "-",
+            paper_cori: "9.96 %",
+            measured_theta: theta[3].clone(),
+            measured_cori: cori[3].clone(),
+        },
+        Row {
+            name: "OoD attribution",
+            paper_theta: "0.7 % of jobs = 2.4 % of error (3x)",
+            paper_cori: "2.1 % of error",
+            measured_theta: theta[4].clone(),
+            measured_cori: cori[4].clone(),
+        },
+        Row {
+            name: "noise @68/95 %",
+            paper_theta: "±5.71 / ±10.56 %",
+            paper_cori: "±7.21 / ±14.99 %",
+            measured_theta: theta[5].clone(),
+            measured_cori: cori[5].clone(),
+        },
+    ];
+    let mut csv = Vec::new();
+    for r in &rows {
+        println!("{}", r.name);
+        println!("  theta: paper {:<38} measured {}", r.paper_theta, r.measured_theta);
+        println!("  cori:  paper {:<38} measured {}", r.paper_cori, r.measured_cori);
+        csv.push(format!(
+            "{},{},{},{},{}",
+            r.name,
+            r.paper_theta.replace(',', ";"),
+            r.measured_theta.replace(',', ";"),
+            r.paper_cori.replace(',', ";"),
+            r.measured_cori.replace(',', ";")
+        ));
+    }
+    write_csv(
+        "t1_intext.csv",
+        "quantity,paper_theta,measured_theta,paper_cori,measured_cori",
+        &csv,
+    );
+}

@@ -1,0 +1,88 @@
+//! `iotax-gen` — generate a simulated HPC trace as an on-disk directory of
+//! binary Darshan logs plus a scheduler manifest.
+//!
+//! ```sh
+//! iotax-gen --system theta --jobs 5000 --seed 42 --out /tmp/theta-trace
+//! ```
+
+use iotax_cli::export_trace;
+use iotax_sim::{Platform, SimConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    system: String,
+    jobs: usize,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        system: "theta".to_owned(),
+        jobs: 5_000,
+        seed: 42,
+        out: PathBuf::from("iotax-trace"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--system" => args.system = value("--system")?,
+            "--jobs" => {
+                args.jobs = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--help" | "-h" => {
+                return Err("usage: iotax-gen [--system theta|cori] [--jobs N] \
+                            [--seed N] [--out DIR]"
+                    .to_owned())
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = match args.system.as_str() {
+        "theta" => SimConfig::theta(),
+        "cori" => SimConfig::cori(),
+        other => {
+            eprintln!("unknown system {other:?}; use theta or cori");
+            return ExitCode::FAILURE;
+        }
+    }
+    .with_jobs(args.jobs)
+    .with_seed(args.seed);
+    eprintln!(
+        "generating {} {} jobs over {:.0} days (seed {})...",
+        config.n_jobs,
+        args.system,
+        config.horizon_seconds as f64 / 86_400.0,
+        args.seed
+    );
+    let dataset = Platform::new(config).generate();
+    match export_trace(&dataset, &args.out) {
+        Ok(n) => {
+            eprintln!("wrote {n} jobs to {}", args.out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("export failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

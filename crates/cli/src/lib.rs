@@ -1,0 +1,325 @@
+//! # iotax-cli
+//!
+//! On-disk trace format and the two command-line tools built on it:
+//!
+//! * `iotax-gen` — generate a simulated trace and write it out as a
+//!   directory of **binary Darshan logs** (one `.drn` file per job, through
+//!   the real `iotax-darshan` encoder) plus a `manifest.csv` with the
+//!   scheduler-visible fields and the measured throughput.
+//! * `iotax-analyze` — read such a directory back (through the real
+//!   parser), detect duplicate jobs from the *parsed* features, and run the
+//!   application-bound and noise-floor litmus tests — the workflow a
+//!   site operator would run on their own logs.
+//!
+//! The directory layout:
+//!
+//! ```text
+//! <trace>/
+//!   manifest.csv      job_id,arrival,start,end,nodes,cores,nprocs,throughput
+//!   logs/<job_id>.drn binary Darshan log per job
+//! ```
+
+use iotax_darshan::format::{parse_log, write_log, ParseError};
+use iotax_darshan::record::{FileRecord, JobLog, ModuleData, ModuleId};
+use iotax_sim::{SimDataset, SimJob};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+/// One job as read back from a trace directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceJob {
+    /// Job id from the manifest.
+    pub job_id: u64,
+    /// Queue arrival time, seconds.
+    pub arrival_time: i64,
+    /// Start time, seconds.
+    pub start_time: i64,
+    /// End time, seconds.
+    pub end_time: i64,
+    /// Nodes allocated.
+    pub nodes: u32,
+    /// Cores allocated.
+    pub cores: u32,
+    /// Process count (also in the Darshan log; manifest copy for sanity).
+    pub nprocs: u32,
+    /// Measured I/O throughput, bytes/s.
+    pub throughput: f64,
+    /// The parsed Darshan log.
+    pub log: JobLog,
+}
+
+impl TraceJob {
+    /// log10 of the measured throughput.
+    pub fn log10_throughput(&self) -> f64 {
+        self.throughput.log10()
+    }
+
+    /// Observable-feature duplicate signature (same convention as
+    /// `iotax_core::job_signature`, computed from the parsed log).
+    pub fn signature(&self) -> u64 {
+        let posix = iotax_darshan::features::extract_posix_features(&self.log);
+        let mpiio = iotax_darshan::features::extract_mpiio_features(&self.log);
+        let mut hasher = DefaultHasher::new();
+        self.log.nprocs.hash(&mut hasher);
+        self.log.mpiio.is_some().hash(&mut hasher);
+        for v in posix.iter().chain(mpiio.iter()) {
+            v.to_bits().hash(&mut hasher);
+        }
+        hasher.finish()
+    }
+}
+
+/// Errors from reading a trace directory.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// Malformed manifest line.
+    BadManifest {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A per-job log failed to parse.
+    BadLog {
+        /// The offending job id.
+        job_id: u64,
+        /// Parser error.
+        source: ParseError,
+    },
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "io error: {e}"),
+            TraceError::BadManifest { line, reason } => {
+                write!(f, "manifest line {line}: {reason}")
+            }
+            TraceError::BadLog { job_id, source } => {
+                write!(f, "log for job {job_id}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Reconstruct a job-level Darshan log from a [`SimJob`]'s aggregate
+/// features: one record per module carrying the job-level counters.
+/// Feature extraction of the result reproduces the job's features exactly
+/// (aggregation of a single record is the identity for both sums and
+/// maxima), which the round-trip test asserts.
+pub fn job_to_log(job: &SimJob) -> JobLog {
+    let mut log = JobLog::new(
+        job.job_id,
+        1000,
+        job.nprocs,
+        job.start_time,
+        job.end_time,
+        &job.exe,
+    );
+    let mut rec = FileRecord::zeroed(ModuleId::Posix, job.job_id, job.nprocs);
+    rec.counters.copy_from_slice(&job.posix);
+    log.posix.records.push(rec);
+    if job.uses_mpiio {
+        let mut m = ModuleData::new(ModuleId::Mpiio);
+        let mut rec = FileRecord::zeroed(ModuleId::Mpiio, job.job_id, job.nprocs);
+        rec.counters.copy_from_slice(&job.mpiio);
+        m.records.push(rec);
+        log.mpiio = Some(m);
+    }
+    log
+}
+
+/// Write a dataset out as a trace directory. Returns the number of jobs
+/// written.
+pub fn export_trace(ds: &SimDataset, dir: &Path) -> Result<usize, TraceError> {
+    let logs_dir = dir.join("logs");
+    std::fs::create_dir_all(&logs_dir)?;
+    let mut manifest = std::io::BufWriter::new(std::fs::File::create(dir.join("manifest.csv"))?);
+    writeln!(
+        manifest,
+        "job_id,arrival,start,end,nodes,cores,nprocs,throughput"
+    )?;
+    for job in &ds.jobs {
+        writeln!(
+            manifest,
+            "{},{},{},{},{},{},{},{:.6e}",
+            job.job_id,
+            job.arrival_time,
+            job.start_time,
+            job.end_time,
+            job.nodes,
+            job.cores,
+            job.nprocs,
+            job.throughput
+        )?;
+        let log = job_to_log(job);
+        std::fs::write(logs_dir.join(format!("{}.drn", job.job_id)), write_log(&log))?;
+    }
+    manifest.flush()?;
+    Ok(ds.jobs.len())
+}
+
+/// Read a trace directory back, parsing every log.
+pub fn import_trace(dir: &Path) -> Result<Vec<TraceJob>, TraceError> {
+    let manifest = std::fs::File::open(dir.join("manifest.csv"))?;
+    let mut jobs = Vec::new();
+    for (line_no, line) in io::BufReader::new(manifest).lines().enumerate() {
+        let line = line?;
+        if line_no == 0 {
+            continue; // header
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 8 {
+            return Err(TraceError::BadManifest {
+                line: line_no + 1,
+                reason: format!("expected 8 fields, got {}", fields.len()),
+            });
+        }
+        let parse = |i: usize| -> Result<f64, TraceError> {
+            fields[i].parse().map_err(|e| TraceError::BadManifest {
+                line: line_no + 1,
+                reason: format!("field {i}: {e}"),
+            })
+        };
+        let job_id = parse(0)? as u64;
+        let bytes = std::fs::read(dir.join("logs").join(format!("{job_id}.drn")))?;
+        let log = parse_log(&bytes).map_err(|source| TraceError::BadLog { job_id, source })?;
+        jobs.push(TraceJob {
+            job_id,
+            arrival_time: parse(1)? as i64,
+            start_time: parse(2)? as i64,
+            end_time: parse(3)? as i64,
+            nodes: parse(4)? as u32,
+            cores: parse(5)? as u32,
+            nprocs: parse(6)? as u32,
+            throughput: parse(7)?,
+            log,
+        });
+    }
+    jobs.sort_by_key(|j| (j.start_time, j.job_id));
+    Ok(jobs)
+}
+
+/// Duplicate-set detection over trace jobs (the on-disk counterpart of
+/// `iotax_core::find_duplicate_sets`).
+pub fn trace_duplicate_sets(jobs: &[TraceJob]) -> iotax_core::DuplicateSets {
+    use std::collections::HashMap;
+    let mut groups: HashMap<u64, Vec<usize>> = HashMap::with_capacity(jobs.len());
+    for (i, job) in jobs.iter().enumerate() {
+        groups.entry(job.signature()).or_default().push(i);
+    }
+    let mut sets: Vec<Vec<usize>> = groups.into_values().filter(|g| g.len() >= 2).collect();
+    sets.sort_by_key(|s| s[0]);
+    let mut set_of = vec![None; jobs.len()];
+    for (si, set) in sets.iter().enumerate() {
+        for &j in set {
+            set_of[j] = Some(si);
+        }
+    }
+    iotax_core::DuplicateSets { sets, set_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotax_core::{app_modeling_bound, concurrent_noise_floor, find_duplicate_sets};
+    use iotax_sim::{Platform, SimConfig};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("iotax-cli-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let ds = Platform::new(SimConfig::theta().with_jobs(300).with_seed(81)).generate();
+        let dir = temp_dir("roundtrip");
+        let n = export_trace(&ds, &dir).expect("export");
+        assert_eq!(n, 300);
+        let jobs = import_trace(&dir).expect("import");
+        assert_eq!(jobs.len(), 300);
+        for (mem, disk) in ds.jobs.iter().zip(&jobs) {
+            assert_eq!(mem.job_id, disk.job_id);
+            assert_eq!(mem.start_time, disk.start_time);
+            assert!((mem.throughput - disk.throughput).abs() < 1e-3 * mem.throughput);
+            // Features survive the log round trip exactly.
+            let posix = iotax_darshan::features::extract_posix_features(&disk.log);
+            assert_eq!(posix.to_vec(), mem.posix);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn on_disk_litmus_matches_in_memory() {
+        let ds = Platform::new(SimConfig::theta().with_jobs(1_500).with_seed(82)).generate();
+        let dir = temp_dir("litmus");
+        export_trace(&ds, &dir).expect("export");
+        let jobs = import_trace(&dir).expect("import");
+
+        // In-memory path.
+        let dup_mem = find_duplicate_sets(&ds.jobs);
+        let y_mem: Vec<f64> = ds.jobs.iter().map(|j| j.log10_throughput()).collect();
+        let bound_mem = app_modeling_bound(&y_mem, &dup_mem);
+
+        // On-disk path.
+        let dup_disk = trace_duplicate_sets(&jobs);
+        let y_disk: Vec<f64> = jobs.iter().map(|j| j.log10_throughput()).collect();
+        let bound_disk = app_modeling_bound(&y_disk, &dup_disk);
+
+        assert_eq!(dup_mem.n_sets(), dup_disk.n_sets());
+        assert_eq!(dup_mem.n_duplicates(), dup_disk.n_duplicates());
+        // Throughput goes through a %.6e text round trip; tolerance ~1e-6.
+        assert!(
+            (bound_mem.median_abs_log10 - bound_disk.median_abs_log10).abs() < 1e-5,
+            "bound {} vs {}",
+            bound_mem.median_abs_log10,
+            bound_disk.median_abs_log10
+        );
+
+        // Noise floor agrees too.
+        let t_disk: Vec<i64> = jobs.iter().map(|j| j.start_time).collect();
+        let floor = concurrent_noise_floor(&y_disk, &t_disk, &dup_disk, &[], 1, 10);
+        assert!(floor.is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manifest_is_reported() {
+        let dir = temp_dir("missing");
+        assert!(matches!(import_trace(&dir), Err(TraceError::Io(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_log_is_reported_with_job_id() {
+        let ds = Platform::new(SimConfig::theta().with_jobs(50).with_seed(83)).generate();
+        let dir = temp_dir("corrupt");
+        export_trace(&ds, &dir).expect("export");
+        // Flip a byte in one log.
+        let victim = ds.jobs[10].job_id;
+        let path = dir.join("logs").join(format!("{victim}.drn"));
+        let mut bytes = std::fs::read(&path).expect("read log");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, bytes).expect("write log");
+        match import_trace(&dir) {
+            Err(TraceError::BadLog { job_id, .. }) => assert_eq!(job_id, victim),
+            other => panic!("expected BadLog, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,126 @@
+//! Observational duplicate-set detection.
+//!
+//! "Jobs are duplicates if they belong to the same application and all
+//! their *observable* application features are identical" (§VI.A). The
+//! detector hashes each job's observable application features — never its
+//! timing or placement — and groups equal signatures. It knows nothing
+//! about the simulator's hidden config ids; the integration tests verify
+//! that the recovered sets coincide with them.
+
+use iotax_sim::SimJob;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Duplicate-set structure over a job collection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateSets {
+    /// Each set: indices (into the analyzed job slice) of 2+ duplicates.
+    pub sets: Vec<Vec<usize>>,
+    /// For each job index: which set it belongs to, if any.
+    pub set_of: Vec<Option<usize>>,
+}
+
+impl DuplicateSets {
+    /// Number of duplicate jobs (members of any set).
+    pub fn n_duplicates(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Number of sets.
+    pub fn n_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Fraction of all analyzed jobs that are duplicates.
+    pub fn duplicate_fraction(&self) -> f64 {
+        self.n_duplicates() as f64 / self.set_of.len().max(1) as f64
+    }
+}
+
+/// Observable-feature signature of a job: the POSIX and MPI-IO counters
+/// plus the Darshan-visible process count. Timing, placement and ids are
+/// deliberately excluded — with them, no two jobs would ever be duplicates
+/// (§VI.C's warning about timing features).
+pub fn job_signature(job: &SimJob) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    job.nprocs.hash(&mut hasher);
+    job.uses_mpiio.hash(&mut hasher);
+    for v in &job.posix {
+        v.to_bits().hash(&mut hasher);
+    }
+    for v in &job.mpiio {
+        v.to_bits().hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+/// Group jobs into duplicate sets by observable signature.
+pub fn find_duplicate_sets(jobs: &[SimJob]) -> DuplicateSets {
+    let mut groups: HashMap<u64, Vec<usize>> = HashMap::with_capacity(jobs.len());
+    for (i, job) in jobs.iter().enumerate() {
+        groups.entry(job_signature(job)).or_default().push(i);
+    }
+    let mut sets: Vec<Vec<usize>> = groups.into_values().filter(|g| g.len() >= 2).collect();
+    // Deterministic order: by first member.
+    sets.sort_by_key(|s| s[0]);
+    let mut set_of = vec![None; jobs.len()];
+    for (si, set) in sets.iter().enumerate() {
+        for &j in set {
+            set_of[j] = Some(si);
+        }
+    }
+    DuplicateSets { sets, set_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotax_sim::{Platform, SimConfig};
+
+    #[test]
+    fn recovered_sets_match_hidden_config_ids() {
+        let ds = Platform::new(SimConfig::theta().with_jobs(2_000).with_seed(21)).generate();
+        let dup = find_duplicate_sets(&ds.jobs);
+        assert!(dup.n_sets() > 10, "too few sets: {}", dup.n_sets());
+        // Every detected set maps to exactly one hidden config id…
+        for set in &dup.sets {
+            let first = ds.jobs[set[0]].config_id;
+            assert!(set.iter().all(|&i| ds.jobs[i].config_id == first));
+        }
+        // …and every hidden duplicate group is detected as one set.
+        let mut by_config: HashMap<u64, usize> = HashMap::new();
+        for j in &ds.jobs {
+            *by_config.entry(j.config_id).or_default() += 1;
+        }
+        let hidden_dups: usize = by_config.values().filter(|&&c| c >= 2).sum();
+        assert_eq!(dup.n_duplicates(), hidden_dups);
+    }
+
+    #[test]
+    fn set_of_is_consistent() {
+        let ds = Platform::new(SimConfig::theta().with_jobs(1_000).with_seed(22)).generate();
+        let dup = find_duplicate_sets(&ds.jobs);
+        for (i, set_idx) in dup.set_of.iter().enumerate() {
+            if let Some(s) = set_idx {
+                assert!(dup.sets[*s].contains(&i));
+            }
+        }
+        let frac = dup.duplicate_fraction();
+        assert!(frac > 0.1 && frac < 0.5, "duplicate fraction {frac}");
+    }
+
+    #[test]
+    fn signature_ignores_timing() {
+        let ds = Platform::new(SimConfig::theta().with_jobs(500).with_seed(23)).generate();
+        let dup = find_duplicate_sets(&ds.jobs);
+        // Find a set whose members ran at different times (not a batch).
+        let set = dup
+            .sets
+            .iter()
+            .find(|s| ds.jobs[s[0]].start_time != ds.jobs[s[1]].start_time)
+            .expect("has spread-out duplicates");
+        let (a, b) = (&ds.jobs[set[0]], &ds.jobs[set[1]]);
+        assert_ne!(a.start_time, b.start_time, "distinct runs");
+        assert_eq!(job_signature(a), job_signature(b));
+    }
+}

@@ -1,0 +1,130 @@
+//! Prediction intervals from the noise floor — the taxonomy's practical
+//! payoff for system users (§IX, §XI).
+//!
+//! The paper's closing result is phrased for users, not modelers: "a job
+//! running on Theta can expect an I/O throughput within ±5.71 % of the
+//! predicted value 68 % of the time". This module turns any point
+//! predictor plus a measured [`NoiseFloor`] into calibrated multiplicative
+//! intervals, and provides the empirical-coverage check that validates
+//! them.
+
+use crate::litmus::NoiseFloor;
+use serde::Serialize;
+
+/// A multiplicative throughput interval around a point prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ThroughputInterval {
+    /// Point prediction, bytes/s.
+    pub predicted: f64,
+    /// Lower bound, bytes/s.
+    pub lo: f64,
+    /// Upper bound, bytes/s.
+    pub hi: f64,
+    /// Nominal coverage (0.68 or 0.95).
+    pub coverage: f64,
+}
+
+/// Wrap a log10-space point prediction in a noise-floor interval.
+///
+/// `level` must be 0.68 or 0.95 (the two bands the litmus measures).
+pub fn interval_from_floor(
+    log10_prediction: f64,
+    floor: &NoiseFloor,
+    level: f64,
+) -> ThroughputInterval {
+    let half_width_log10 = match level {
+        l if (l - 0.68).abs() < 1e-9 => floor.sigma_log10,
+        l if (l - 0.95).abs() < 1e-9 => (1.0 + floor.pct_95 / 100.0).log10(),
+        other => panic!("unsupported coverage level {other}; use 0.68 or 0.95"),
+    };
+    let predicted = 10f64.powf(log10_prediction);
+    ThroughputInterval {
+        predicted,
+        lo: 10f64.powf(log10_prediction - half_width_log10),
+        hi: 10f64.powf(log10_prediction + half_width_log10),
+        coverage: level,
+    }
+}
+
+/// Empirical coverage of intervals over observed values: the fraction of
+/// `(log10_prediction, log10_actual)` pairs whose actual lands inside the
+/// floor-derived band.
+pub fn empirical_coverage(
+    pairs: &[(f64, f64)],
+    floor: &NoiseFloor,
+    level: f64,
+) -> f64 {
+    if pairs.is_empty() {
+        return f64::NAN;
+    }
+    let inside = pairs
+        .iter()
+        .filter(|&&(pred, actual)| {
+            let iv = interval_from_floor(pred, floor, level);
+            let a = 10f64.powf(actual);
+            a >= iv.lo && a <= iv.hi
+        })
+        .count();
+    inside as f64 / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::duplicates::find_duplicate_sets;
+    use crate::litmus::concurrent_noise_floor;
+    use iotax_sim::{Platform, SimConfig};
+
+    fn floor_of(seed: u64) -> (iotax_sim::SimDataset, NoiseFloor) {
+        let ds = Platform::new(SimConfig::theta().with_jobs(6_000).with_seed(seed)).generate();
+        let dup = find_duplicate_sets(&ds.jobs);
+        let y: Vec<f64> = ds.jobs.iter().map(|j| j.log10_throughput()).collect();
+        let t: Vec<i64> = ds.jobs.iter().map(|j| j.start_time).collect();
+        let floor = concurrent_noise_floor(&y, &t, &dup, &[], 1, 30).expect("data");
+        (ds, floor)
+    }
+
+    #[test]
+    fn interval_brackets_the_prediction() {
+        let (_, floor) = floor_of(61);
+        let iv = interval_from_floor(9.0, &floor, 0.68);
+        assert!(iv.lo < iv.predicted && iv.predicted < iv.hi);
+        let wide = interval_from_floor(9.0, &floor, 0.95);
+        assert!(wide.lo < iv.lo && wide.hi > iv.hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported coverage")]
+    fn rejects_odd_levels() {
+        let (_, floor) = floor_of(62);
+        interval_from_floor(9.0, &floor, 0.5);
+    }
+
+    /// The headline calibration check: wrap the *noiseless* component of
+    /// each job (app × weather × contention — everything but ω) in the
+    /// floor interval; the measured throughput must land inside ≈ 68 % /
+    /// 95 % of the time. This validates the paper's "what users should
+    /// expect" claim end to end.
+    #[test]
+    fn coverage_is_calibrated_against_ground_truth() {
+        let (ds, floor) = floor_of(63);
+        let pairs: Vec<(f64, f64)> = ds
+            .jobs
+            .iter()
+            .map(|j| {
+                let noiseless = j.truth.log10_app
+                    + j.truth.log10_weather
+                    + j.truth.log10_contention;
+                (noiseless, j.log10_throughput())
+            })
+            .collect();
+        let c68 = empirical_coverage(&pairs, &floor, 0.68);
+        let c95 = empirical_coverage(&pairs, &floor, 0.95);
+        // The floor also absorbs contention spread, so coverage against
+        // noise-only deviations comes out at-or-above nominal; allow a
+        // generous band.
+        assert!(c68 > 0.55 && c68 < 0.95, "68 % band covered {c68}");
+        assert!(c95 > 0.87, "95 % band covered {c95}");
+        assert!(c95 > c68);
+    }
+}

@@ -1,0 +1,383 @@
+//! The pure-statistics litmus tests.
+//!
+//! * [`app_modeling_bound`] — §VI.A: the median absolute error of the best
+//!   possible model ("golden model") on duplicate jobs, which lower-bounds
+//!   any model's achievable error on the whole dataset.
+//! * [`concurrent_noise_floor`] — §IX.A: the same construction restricted
+//!   to duplicates that ran *at the same time*, isolating contention +
+//!   inherent noise; fits a Student-t (small sets bias the mean estimate)
+//!   and reports the Bessel-corrected noise level.
+//! * [`dt_bucket_spreads`] — Fig. 6: duplicate-pair error distributions
+//!   bucketed by the time between the runs.
+
+use crate::duplicates::DuplicateSets;
+use iotax_stats::describe::{mean, median, Summary};
+use iotax_stats::fit::{fit_normal, fit_student_t, StudentTFit};
+use iotax_stats::ks::ks_one_sample;
+use iotax_stats::dist::ContinuousDist;
+use serde::{Deserialize, Serialize};
+
+/// Result of the application-modeling litmus test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppBound {
+    /// Median absolute duplicate error, log10 space.
+    pub median_abs_log10: f64,
+    /// The same, as a percentage (the paper's 10.01 % / 14.15 %).
+    pub median_abs_pct: f64,
+    /// Number of duplicate jobs used.
+    pub n_duplicates: usize,
+    /// Number of duplicate sets.
+    pub n_sets: usize,
+    /// Duplicates as a fraction of all jobs.
+    pub duplicate_fraction: f64,
+}
+
+/// Per-duplicate errors: deviation of each duplicate's target from its
+/// set mean, scaled by Bessel's √(n/(n−1)) so the small-set bias of the
+/// estimated mean does not deflate the spread (§IX's correction).
+pub fn duplicate_errors(y: &[f64], sets: &[Vec<usize>]) -> Vec<f64> {
+    let mut errors = Vec::new();
+    for set in sets {
+        if set.len() < 2 {
+            continue;
+        }
+        let vals: Vec<f64> = set.iter().map(|&i| y[i]).collect();
+        let m = mean(&vals);
+        let bessel = (set.len() as f64 / (set.len() as f64 - 1.0)).sqrt();
+        errors.extend(vals.iter().map(|v| (v - m) * bessel));
+    }
+    errors
+}
+
+/// §VI.A litmus test: the lower bound on application-modeling error.
+///
+/// `y` is the per-job log10 throughput, `dup` the detected duplicate
+/// structure over the same jobs.
+pub fn app_modeling_bound(y: &[f64], dup: &DuplicateSets) -> AppBound {
+    let errors = duplicate_errors(y, &dup.sets);
+    let med = median(&errors.iter().map(|e| e.abs()).collect::<Vec<_>>());
+    AppBound {
+        median_abs_log10: med,
+        median_abs_pct: (10f64.powf(med) - 1.0) * 100.0,
+        n_duplicates: dup.n_duplicates(),
+        n_sets: dup.n_sets(),
+        duplicate_fraction: dup.duplicate_fraction(),
+    }
+}
+
+/// Result of the concurrent-duplicate noise litmus test (§IX).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct NoiseFloor {
+    /// Median absolute error across concurrent duplicates, log10.
+    pub median_abs_log10: f64,
+    /// The same as a percentage.
+    pub median_abs_pct: f64,
+    /// Robust noise scale: the 68.27th percentile of |error| — the
+    /// one-sigma-equivalent band. Quantile-based because the Δt = 0
+    /// distribution is t-shaped (heavy-tailed), exactly as §IX finds; a
+    /// raw standard deviation would be inflated by the contention tail.
+    pub sigma_log10: f64,
+    /// Raw (Bessel-corrected within sets) standard deviation, for
+    /// comparison against the robust scale.
+    pub std_log10: f64,
+    /// Expected one-sigma throughput band: ±x % 68 % of the time
+    /// (the paper's ±5.71 % / ±7.21 %).
+    pub pct_68: f64,
+    /// ±x % 95 % of the time (the paper's ±10.56 % / ±14.99 %).
+    pub pct_95: f64,
+    /// Student-t fit of the concurrent duplicate errors.
+    pub t_df: f64,
+    /// Whether the t fit beats the normal fit (the paper's finding: it
+    /// does, because small sets bias the mean).
+    pub t_preferred: bool,
+    /// KS p-value of the errors against the fitted normal.
+    pub normal_ks_p: f64,
+    /// Number of concurrent duplicates used.
+    pub n_concurrent: usize,
+    /// Number of concurrent sets.
+    pub n_sets: usize,
+    /// Fraction of concurrent sets with ≤ 6 members (the paper: 96 %).
+    pub small_set_fraction: f64,
+}
+
+/// §IX litmus test: contention + inherent noise floor from duplicates that
+/// started within `tolerance_seconds` of each other.
+///
+/// `y` — log10 throughput; `start_times` — per-job start seconds;
+/// `exclude` — jobs to drop first (the OoD jobs, per the protocol);
+/// `dup` — duplicate structure over the same jobs.
+///
+/// Returns `None` when fewer than `min_samples` concurrent duplicates
+/// exist.
+pub fn concurrent_noise_floor(
+    y: &[f64],
+    start_times: &[i64],
+    dup: &DuplicateSets,
+    exclude: &[bool],
+    tolerance_seconds: i64,
+    min_samples: usize,
+) -> Option<NoiseFloor> {
+    assert_eq!(y.len(), start_times.len());
+    assert!(exclude.is_empty() || exclude.len() == y.len());
+    // Build concurrent subsets: within each duplicate set, group members
+    // by start time (within tolerance of the group's first member).
+    let mut concurrent_sets: Vec<Vec<usize>> = Vec::new();
+    for set in &dup.sets {
+        let mut members: Vec<usize> = set
+            .iter()
+            .copied()
+            .filter(|&i| exclude.is_empty() || !exclude[i])
+            .collect();
+        members.sort_by_key(|&i| start_times[i]);
+        let mut group: Vec<usize> = Vec::new();
+        for &i in &members {
+            match group.first() {
+                Some(&g0) if start_times[i] - start_times[g0] <= tolerance_seconds => {
+                    group.push(i);
+                }
+                _ => {
+                    if group.len() >= 2 {
+                        concurrent_sets.push(std::mem::take(&mut group));
+                    }
+                    group = vec![i];
+                }
+            }
+        }
+        if group.len() >= 2 {
+            concurrent_sets.push(group);
+        }
+    }
+    let errors = duplicate_errors(y, &concurrent_sets);
+    // The t fit needs at least three points; below that no floor estimate
+    // is meaningful anyway.
+    if errors.len() < min_samples.max(3) {
+        return None;
+    }
+    let abs_errors: Vec<f64> = errors.iter().map(|e| e.abs()).collect();
+    let med = median(&abs_errors);
+    // Bessel's correction is already applied per set inside
+    // `duplicate_errors`. The reported scale is the empirical 68.27 %
+    // quantile of |error| — for a normal this equals sigma; under the
+    // heavy contention tail it stays a faithful "68 % of jobs land within
+    // ±x %" statement, which is how the paper phrases its result.
+    let sigma = iotax_stats::describe::quantile(&abs_errors, 0.6827);
+    let sigma_95 = iotax_stats::describe::quantile(&abs_errors, 0.9545);
+    let raw_std = iotax_stats::describe::variance_biased(&errors).sqrt();
+    let nf = fit_normal(&errors);
+    let tf: StudentTFit = fit_student_t(&errors);
+    let t_preferred = {
+        let aic_n = 4.0 - 2.0 * nf.log_likelihood;
+        let aic_t = 6.0 - 2.0 * tf.log_likelihood;
+        aic_t < aic_n
+    };
+    let ks = ks_one_sample(&errors, |x| {
+        iotax_stats::dist::Normal::new(nf.mean, nf.std.max(1e-12)).cdf(x)
+    });
+    let small_sets =
+        concurrent_sets.iter().filter(|s| s.len() <= 6).count() as f64;
+    Some(NoiseFloor {
+        median_abs_log10: med,
+        median_abs_pct: (10f64.powf(med) - 1.0) * 100.0,
+        sigma_log10: sigma,
+        std_log10: raw_std,
+        pct_68: (10f64.powf(sigma) - 1.0) * 100.0,
+        pct_95: (10f64.powf(sigma_95) - 1.0) * 100.0,
+        t_df: tf.dist.df,
+        t_preferred,
+        normal_ks_p: ks.p_value,
+        n_concurrent: concurrent_sets.iter().map(Vec::len).sum(),
+        n_sets: concurrent_sets.len(),
+        small_set_fraction: if concurrent_sets.is_empty() {
+            0.0
+        } else {
+            small_sets / concurrent_sets.len() as f64
+        },
+    })
+}
+
+/// One Δt bucket of duplicate-pair behaviour (Fig. 6).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DtBucket {
+    /// Bucket lower edge, seconds.
+    pub dt_lo: f64,
+    /// Bucket upper edge, seconds.
+    pub dt_hi: f64,
+    /// Summary of |Δ log10 throughput| over pairs in the bucket.
+    pub spread: Summary,
+    /// Number of pairs (after per-set weighting caps).
+    pub n_pairs: usize,
+}
+
+/// Fig. 6: duplicate-pair throughput differences bucketed by the time
+/// between the two runs. Pairs within each set are subsampled to at most
+/// `max_pairs_per_set` so huge sets do not dominate (the paper weights for
+/// the same reason).
+pub fn dt_bucket_spreads(
+    y: &[f64],
+    start_times: &[i64],
+    dup: &DuplicateSets,
+    edges_seconds: &[f64],
+    max_pairs_per_set: usize,
+) -> Vec<DtBucket> {
+    assert!(edges_seconds.len() >= 2);
+    let n_buckets = edges_seconds.len() - 1;
+    let mut per_bucket: Vec<Vec<f64>> = vec![Vec::new(); n_buckets];
+    for set in &dup.sets {
+        let mut pairs = 0usize;
+        'outer: for (a_pos, &a) in set.iter().enumerate() {
+            for &b in &set[a_pos + 1..] {
+                if pairs >= max_pairs_per_set {
+                    break 'outer;
+                }
+                pairs += 1;
+                let dt = (start_times[a] - start_times[b]).unsigned_abs() as f64;
+                let dphi = (y[a] - y[b]).abs();
+                let bucket = edges_seconds[..n_buckets]
+                    .iter()
+                    .zip(&edges_seconds[1..])
+                    .position(|(&lo, &hi)| dt >= lo && dt < hi);
+                if let Some(idx) = bucket {
+                    per_bucket[idx].push(dphi);
+                }
+            }
+        }
+    }
+    per_bucket
+        .into_iter()
+        .enumerate()
+        .map(|(i, vals)| DtBucket {
+            dt_lo: edges_seconds[i],
+            dt_hi: edges_seconds[i + 1],
+            n_pairs: vals.len(),
+            spread: if vals.is_empty() {
+                Summary::of(&[0.0])
+            } else {
+                Summary::of(&vals)
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::duplicates::DuplicateSets;
+
+    fn sets_of(groups: &[&[usize]], n: usize) -> DuplicateSets {
+        let sets: Vec<Vec<usize>> = groups.iter().map(|g| g.to_vec()).collect();
+        let mut set_of = vec![None; n];
+        for (si, s) in sets.iter().enumerate() {
+            for &j in s {
+                set_of[j] = Some(si);
+            }
+        }
+        DuplicateSets { sets, set_of }
+    }
+
+    #[test]
+    fn duplicate_errors_are_bessel_scaled() {
+        // One pair with values 0 and 2: deviations ±1, Bessel √2.
+        let y = [0.0, 2.0];
+        let dup = sets_of(&[&[0, 1]], 2);
+        let errs = duplicate_errors(&y, &dup.sets);
+        assert_eq!(errs.len(), 2);
+        assert!((errs[0].abs() - 2f64.sqrt()).abs() < 1e-12);
+        assert!((errs[1].abs() - 2f64.sqrt()).abs() < 1e-12);
+        assert!(errs[0] < 0.0 && errs[1] > 0.0);
+    }
+
+    #[test]
+    fn app_bound_on_known_spread() {
+        // Three sets with controlled deviations.
+        let y = [1.0, 1.2, 5.0, 5.0, 9.0, 9.4, 8.6];
+        let dup = sets_of(&[&[0, 1], &[2, 3], &[4, 5, 6]], 7);
+        let b = app_modeling_bound(&y, &dup);
+        assert_eq!(b.n_duplicates, 7);
+        assert_eq!(b.n_sets, 3);
+        assert!(b.median_abs_log10 > 0.0);
+        assert!(b.median_abs_pct > 0.0);
+    }
+
+    #[test]
+    fn zero_spread_sets_give_zero_bound() {
+        let y = [3.0, 3.0, 3.0, 7.0, 7.0];
+        let dup = sets_of(&[&[0, 1, 2], &[3, 4]], 5);
+        let b = app_modeling_bound(&y, &dup);
+        assert_eq!(b.median_abs_log10, 0.0);
+        assert_eq!(b.median_abs_pct, 0.0);
+    }
+
+    #[test]
+    fn concurrent_floor_selects_only_simultaneous() {
+        // Set of four: two at t=0, two at t=10_000. Concurrent groups are
+        // the two pairs; spread within pairs is 0.1 and 0.3.
+        let y = [1.0, 1.1, 2.0, 2.3];
+        let t = [0i64, 0, 10_000, 10_000];
+        let dup = sets_of(&[&[0, 1, 2, 3]], 4);
+        let nf = concurrent_noise_floor(&y, &t, &dup, &[], 1, 4).expect("enough samples");
+        assert_eq!(nf.n_sets, 2);
+        assert_eq!(nf.n_concurrent, 4);
+        // Median |error| = Bessel-scaled half-spreads: {0.0707, 0.212} each
+        // twice → median ≈ (0.0707+0.2121)/2 × √2 … just check positive
+        // and below the max.
+        assert!(nf.median_abs_log10 > 0.05 && nf.median_abs_log10 < 0.25);
+    }
+
+    #[test]
+    fn concurrent_floor_respects_exclusions() {
+        let y = [1.0, 1.1, 50.0, 2.0, 2.3];
+        let t = [0i64, 0, 0, 5, 5];
+        // Job 2 is a wild OoD outlier batched with the first pair.
+        let dup = sets_of(&[&[0, 1, 2], &[3, 4]], 5);
+        let with = concurrent_noise_floor(&y, &t, &dup, &[], 1, 2).expect("data");
+        let mut excl = vec![false; 5];
+        excl[2] = true;
+        let without = concurrent_noise_floor(&y, &t, &dup, &excl, 1, 2).expect("data");
+        assert!(without.sigma_log10 < with.sigma_log10);
+    }
+
+    #[test]
+    fn noise_floor_requires_min_samples() {
+        let y = [1.0, 1.1];
+        let t = [0i64, 0];
+        let dup = sets_of(&[&[0, 1]], 2);
+        assert!(concurrent_noise_floor(&y, &t, &dup, &[], 1, 10).is_none());
+    }
+
+    #[test]
+    fn pct_conversions_are_monotone() {
+        let y: Vec<f64> = (0..100).map(|i| (i % 7) as f64 * 0.01).collect();
+        let groups: Vec<Vec<usize>> = (0..20).map(|s| (s * 5..s * 5 + 5).collect()).collect();
+        let refs: Vec<&[usize]> = groups.iter().map(|g| g.as_slice()).collect();
+        let dup = sets_of(&refs, 100);
+        let t = vec![0i64; 100];
+        let nf = concurrent_noise_floor(&y, &t, &dup, &[], 1, 10).expect("data");
+        assert!(nf.pct_95 > nf.pct_68);
+        assert!(nf.pct_68 > 0.0);
+    }
+
+    #[test]
+    fn dt_buckets_route_pairs() {
+        let y = [0.0, 0.5, 0.9];
+        let t = [0i64, 5, 100_000];
+        let dup = sets_of(&[&[0, 1, 2]], 3);
+        let edges = [1.0, 10.0, 1e6];
+        let buckets = dt_bucket_spreads(&y, &t, &dup, &edges, 100);
+        assert_eq!(buckets.len(), 2);
+        // Pair (0,1): dt 5 → bucket 0. Pairs (0,2), (1,2): dt ~1e5 → bucket 1.
+        assert_eq!(buckets[0].n_pairs, 1);
+        assert_eq!(buckets[1].n_pairs, 2);
+        assert!((buckets[0].spread.median - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dt_buckets_cap_giant_sets() {
+        let n = 100;
+        let y: Vec<f64> = (0..n).map(|i| i as f64 * 0.001).collect();
+        let t: Vec<i64> = (0..n as i64).map(|i| i * 100).collect();
+        let set: Vec<usize> = (0..n).collect();
+        let dup = sets_of(&[&set], n);
+        let buckets = dt_bucket_spreads(&y, &t, &dup, &[1.0, 1e9], 50);
+        assert_eq!(buckets[0].n_pairs, 50);
+    }
+}

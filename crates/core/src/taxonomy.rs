@@ -1,0 +1,361 @@
+//! The end-to-end taxonomy pipeline (Fig. 7).
+//!
+//! Step 1 — train/evaluate a baseline model. Step 2 — duplicate litmus
+//! (application bound) and hyperparameter search. Step 3 — start-time
+//! golden model and system-log enrichment. Step 4 — ensemble UQ and OoD
+//! attribution. Step 5 — concurrent-duplicate noise floor. The result is
+//! an [`ErrorBreakdown`]: the pie chart of Fig. 7 as numbers.
+
+use crate::duplicates::find_duplicate_sets;
+use crate::golden::{system_litmus, Effort, SystemLitmus};
+use crate::litmus::{app_modeling_bound, concurrent_noise_floor, AppBound, NoiseFloor};
+use crate::ood::{ood_litmus, OodConfig, OodLitmus};
+use iotax_ml::data::Dataset;
+use iotax_ml::gbm::{Gbm, GbmParams};
+use iotax_ml::metrics::{median_abs_error, median_abs_error_pct};
+use iotax_ml::search::grid_search;
+use iotax_ml::Regressor;
+use iotax_sim::{FeatureSet, SimDataset, SystemKind};
+use iotax_uq::classify_ood;
+use serde::Serialize;
+
+/// Error attribution relative to the baseline model — Fig. 7's segments.
+///
+/// All `*_share` fields are fractions of the baseline median error;
+/// `unexplained_share` is what the litmus estimates fail to cover (the
+/// paper: 32.9 % on Theta, 13.5 % on Cori).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ErrorBreakdown {
+    /// Baseline median absolute error, percent.
+    pub baseline_pct: f64,
+    /// Estimated application modeling error share (inner blue):
+    /// `(baseline − duplicate bound) / baseline`.
+    pub app_share: f64,
+    /// Share actually removed by hyperparameter tuning (outer blue).
+    pub app_fixed_share: f64,
+    /// Estimated global-system share (inner green):
+    /// `(tuned − golden) / baseline`.
+    pub system_share: f64,
+    /// Share actually removed by adding system logs (outer green; LMT
+    /// systems only).
+    pub system_fixed_share: Option<f64>,
+    /// Share of error carried by OoD-classified jobs (red).
+    pub ood_share: f64,
+    /// Irreducible contention + noise share (yellow):
+    /// `noise floor / baseline`.
+    pub noise_share: f64,
+    /// Remainder: `1 − app − system − ood − noise`.
+    pub unexplained_share: f64,
+}
+
+/// Everything the pipeline measured.
+#[derive(Debug, Serialize)]
+pub struct TaxonomyReport {
+    /// Which system preset was analyzed.
+    pub system: SystemKind,
+    /// Jobs analyzed.
+    pub n_jobs: usize,
+    /// Baseline model median absolute test error, percent.
+    pub baseline_median_error_pct: f64,
+    /// Tuned model (after grid search) median absolute test error, percent.
+    pub tuned_median_error_pct: f64,
+    /// The winning grid-search parameters.
+    pub tuned_params: GbmParams,
+    /// §VI duplicate litmus.
+    pub app_bound: AppBound,
+    /// §VII golden-model litmus.
+    pub system_litmus: SystemLitmus,
+    /// §VIII OoD litmus (on the test split).
+    pub ood: OodSummary,
+    /// §IX concurrent-duplicate noise floor (None when too few
+    /// simultaneous duplicates exist).
+    pub noise: Option<NoiseFloor>,
+    /// The Fig. 7 attribution.
+    pub breakdown: ErrorBreakdown,
+}
+
+/// Serializable slice of the OoD litmus (the raw predictions stay out of
+/// reports).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct OodSummary {
+    /// EU-std threshold used.
+    pub eu_threshold: f64,
+    /// Fraction of test jobs flagged OoD.
+    pub ood_fraction: f64,
+    /// Fraction of test error carried by OoD jobs.
+    pub ood_error_share: f64,
+    /// Mean OoD error over mean ID error.
+    pub error_amplification: f64,
+    /// Median aleatory std on the test split.
+    pub median_aleatory_std: f64,
+    /// Median epistemic std on the test split.
+    pub median_epistemic_std: f64,
+}
+
+impl From<&OodLitmus> for OodSummary {
+    fn from(o: &OodLitmus) -> Self {
+        Self {
+            eu_threshold: o.eu_threshold,
+            ood_fraction: o.ood_fraction,
+            ood_error_share: o.ood_error_share,
+            error_amplification: o.error_amplification,
+            median_aleatory_std: o.median_aleatory_std,
+            median_epistemic_std: o.median_epistemic_std,
+        }
+    }
+}
+
+/// The configurable pipeline.
+#[derive(Debug, Clone)]
+pub struct Taxonomy {
+    /// Model sizes for the litmus fits.
+    pub effort: Effort,
+    /// OoD litmus configuration.
+    pub ood: OodConfig,
+    /// Grid-search axes (n_trees × depth; subsample/colsample fixed at the
+    /// winner of a coarse sweep to keep run time sane).
+    pub grid_trees: Vec<usize>,
+    /// Grid-search depth axis.
+    pub grid_depths: Vec<usize>,
+    /// Δt tolerance for "simultaneous" duplicates, seconds.
+    pub concurrency_tolerance: i64,
+    /// Minimum concurrent duplicates for the noise litmus.
+    pub min_noise_samples: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Taxonomy {
+    /// Small models, small grids: seconds-scale on a few thousand jobs.
+    pub fn quick() -> Self {
+        Self {
+            effort: Effort::Quick,
+            ood: OodConfig::quick(11),
+            grid_trees: vec![40, 120],
+            grid_depths: vec![3, 8],
+            concurrency_tolerance: 1,
+            min_noise_samples: 20,
+            seed: 11,
+        }
+    }
+
+    /// Production-shaped pipeline for the figure harness.
+    pub fn full() -> Self {
+        Self {
+            effort: Effort::Full,
+            ood: OodConfig::quick(13),
+            grid_trees: vec![32, 64, 128],
+            grid_depths: vec![3, 6, 9, 15],
+            concurrency_tolerance: 1,
+            min_noise_samples: 30,
+            seed: 13,
+        }
+    }
+
+    /// Run all five steps on a simulated trace.
+    pub fn run(&self, sim: &SimDataset) -> TaxonomyReport {
+        // Shared data: POSIX feature matrix, time-ordered split.
+        let m = sim.feature_matrix(FeatureSet::posix());
+        let data = Dataset::new(m.data, m.n_rows, m.n_cols, m.y, m.names);
+        // Random (seeded) split: litmus evaluations measure in-period
+        // modeling quality; deployment drift is a separate experiment
+        // (Fig. 1(d)) that uses the temporal split.
+        let (train, val, test) = data.split_random(0.70, 0.15, self.seed ^ 0xA11);
+
+        // Step 1: baseline model.
+        let baseline = Gbm::fit(&train, Some(&val), self.effort.baseline_params());
+        let baseline_log10 = median_abs_error(&test.y, &baseline.predict(&test));
+        let baseline_pct = median_abs_error_pct(&test.y, &baseline.predict(&test));
+
+        // Step 2.1: duplicate litmus (whole trace, like the paper).
+        let dup = find_duplicate_sets(&sim.jobs);
+        let y_all: Vec<f64> = sim.jobs.iter().map(|j| j.log10_throughput()).collect();
+        let app_bound = app_modeling_bound(&y_all, &dup);
+
+        // Step 2.2: hyperparameter search toward the bound.
+        let grid = grid_search(
+            &train,
+            &val,
+            &self.grid_trees,
+            &self.grid_depths,
+            &[1.0],
+            &[1.0],
+            GbmParams { seed: self.seed, ..Default::default() },
+        );
+        let best = grid.first().expect("non-empty grid").params;
+        let tuned = Gbm::fit(&train, Some(&val), best);
+        let tuned_log10 = median_abs_error(&test.y, &tuned.predict(&test));
+        let tuned_pct = median_abs_error_pct(&test.y, &tuned.predict(&test));
+
+        // Step 3: golden model and system-log enrichment.
+        let sys = system_litmus(sim, self.effort);
+
+        // Step 4: OoD litmus on the test split, plus whole-trace flags for
+        // the noise step's exclusion.
+        let ood = ood_litmus(&train, &test, &self.ood);
+        let all_preds = ood.ensemble.predict_uq_batch(&data);
+        let exclude = classify_ood(&all_preds, ood.eu_threshold);
+
+        // Step 5: concurrent-duplicate noise floor, OoD excluded.
+        let starts: Vec<i64> = sim.jobs.iter().map(|j| j.start_time).collect();
+        let noise = concurrent_noise_floor(
+            &y_all,
+            &starts,
+            &dup,
+            &exclude,
+            self.concurrency_tolerance,
+            self.min_noise_samples,
+        );
+
+        // Attribution.
+        let golden_log10 = sys.golden.test_error_log10;
+        let share = |x: f64| if baseline_log10 > 0.0 { x / baseline_log10 } else { 0.0 };
+        let app_share = share((baseline_log10 - app_bound.median_abs_log10).max(0.0));
+        let system_share = share((tuned_log10 - golden_log10).max(0.0));
+        let noise_share = noise.as_ref().map_or(0.0, |n| share(n.median_abs_log10));
+        let breakdown = ErrorBreakdown {
+            baseline_pct,
+            app_share,
+            app_fixed_share: share((baseline_log10 - tuned_log10).max(0.0)),
+            system_share,
+            system_fixed_share: sys
+                .lmt_enriched
+                .as_ref()
+                .map(|l| share((tuned_log10 - l.test_error_log10).max(0.0))),
+            ood_share: ood.ood_error_share,
+            noise_share,
+            unexplained_share: 1.0
+                - app_share
+                - system_share
+                - ood.ood_error_share
+                - noise_share,
+        };
+
+        TaxonomyReport {
+            system: sim.config.system,
+            n_jobs: sim.jobs.len(),
+            baseline_median_error_pct: baseline_pct,
+            tuned_median_error_pct: tuned_pct,
+            tuned_params: best,
+            app_bound,
+            system_litmus: sys,
+            ood: OodSummary::from(&ood),
+            noise,
+            breakdown,
+        }
+    }
+}
+
+impl TaxonomyReport {
+    /// Render a human-readable report (the textual Fig. 7).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "I/O error taxonomy — {:?}, {} jobs", self.system, self.n_jobs);
+        let _ = writeln!(s, "────────────────────────────────────────────────────");
+        let _ = writeln!(
+            s,
+            "step 1  baseline model error          {:>7.2} % (median |log10 ratio|)",
+            self.baseline_median_error_pct
+        );
+        let _ = writeln!(
+            s,
+            "step 2.1 application bound (dups)     {:>7.2} %  [{} dups / {} sets, {:.1} % of jobs]",
+            self.app_bound.median_abs_pct,
+            self.app_bound.n_duplicates,
+            self.app_bound.n_sets,
+            self.app_bound.duplicate_fraction * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "step 2.2 tuned model error            {:>7.2} %  [best: {} trees, depth {}]",
+            self.tuned_median_error_pct, self.tuned_params.n_trees, self.tuned_params.max_depth
+        );
+        let _ = writeln!(
+            s,
+            "step 3.1 golden (+start time) error   {:>7.2} %  [{:+.1} % vs baseline]",
+            self.system_litmus.golden.test_error_pct, -self.system_litmus.golden_reduction_pct
+        );
+        if let Some(lmt) = &self.system_litmus.lmt_enriched {
+            let _ = writeln!(
+                s,
+                "step 3.2 LMT-enriched error           {:>7.2} %",
+                lmt.test_error_pct
+            );
+        }
+        let _ = writeln!(
+            s,
+            "step 4  OoD: {:.2} % of jobs carry {:.2} % of error ({:.1}× amplification)",
+            self.ood.ood_fraction * 100.0,
+            self.ood.ood_error_share * 100.0,
+            self.ood.error_amplification
+        );
+        match &self.noise {
+            Some(n) => {
+                let _ = writeln!(
+                    s,
+                    "step 5  noise floor                   {:>7.2} %  [±{:.2} % @68 %, ±{:.2} % @95 %; t(ν={:.1}) preferred: {}]",
+                    n.median_abs_pct, n.pct_68, n.pct_95, n.t_df, n.t_preferred
+                );
+            }
+            None => {
+                let _ = writeln!(s, "step 5  noise floor: not enough concurrent duplicates");
+            }
+        }
+        let b = &self.breakdown;
+        let _ = writeln!(s, "── error attribution (fractions of baseline) ──────");
+        let _ = writeln!(
+            s,
+            "application {:>5.1} %   system {:>5.1} %   OoD {:>5.1} %   noise+contention {:>5.1} %   unexplained {:>5.1} %",
+            b.app_share * 100.0,
+            b.system_share * 100.0,
+            b.ood_share * 100.0,
+            b.noise_share * 100.0,
+            b.unexplained_share * 100.0
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotax_sim::{Platform, SimConfig};
+
+    #[test]
+    fn quick_pipeline_produces_consistent_report() {
+        let sim =
+            Platform::new(SimConfig::theta().with_jobs(3_000).with_seed(41)).generate();
+        let report = Taxonomy::quick().run(&sim);
+        assert_eq!(report.n_jobs, 3_000);
+        assert!(report.baseline_median_error_pct > 0.0);
+        // Tuning never loses to the baseline by much (same family, bigger grid).
+        assert!(
+            report.tuned_median_error_pct
+                <= report.baseline_median_error_pct * 1.25 + 1.0
+        );
+        // The duplicate bound lower-bounds the tuned model (within litmus
+        // tolerance — the paper finds the same ordering).
+        assert!(
+            report.app_bound.median_abs_pct
+                <= report.tuned_median_error_pct * 1.5 + 2.0
+        );
+        // Shares are sane.
+        let b = &report.breakdown;
+        for share in [b.app_share, b.system_share, b.ood_share, b.noise_share] {
+            assert!((0.0..=1.5).contains(&share), "share {share}");
+        }
+        let text = report.render_text();
+        assert!(text.contains("step 5"));
+        assert!(text.contains("error attribution"));
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let sim =
+            Platform::new(SimConfig::theta().with_jobs(1_500).with_seed(42)).generate();
+        let report = Taxonomy::quick().run(&sim);
+        let json = serde_json::to_string(&report).expect("serializable");
+        assert!(json.contains("baseline_median_error_pct"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the taxonomy's pure-statistics machinery.
+
+use iotax_core::duplicates::DuplicateSets;
+use iotax_core::litmus::{app_modeling_bound, concurrent_noise_floor, duplicate_errors};
+use proptest::prelude::*;
+
+/// Build a DuplicateSets from a partition description: `sizes[i]` jobs in
+/// set `i`, consecutive indices.
+fn sets_from_sizes(sizes: &[usize]) -> (DuplicateSets, usize) {
+    let mut sets = Vec::new();
+    let mut next = 0usize;
+    for &sz in sizes {
+        sets.push((next..next + sz).collect::<Vec<_>>());
+        next += sz;
+    }
+    let mut set_of = vec![None; next];
+    for (si, s) in sets.iter().enumerate() {
+        for &j in s {
+            set_of[j] = Some(si);
+        }
+    }
+    (DuplicateSets { sets, set_of }, next)
+}
+
+fn arb_partition() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(2usize..8, 1..20)
+}
+
+proptest! {
+    #[test]
+    fn duplicate_errors_sum_to_zero_per_set_before_bessel(
+        sizes in arb_partition(),
+        values in prop::collection::vec(-10f64..10.0, 200),
+    ) {
+        let (dup, n) = sets_from_sizes(&sizes);
+        prop_assume!(n <= values.len());
+        let y = &values[..n];
+        let errors = duplicate_errors(y, &dup.sets);
+        // Per set, the Bessel-scaled deviations still sum to ~zero.
+        let mut offset = 0;
+        for &sz in &sizes {
+            let sum: f64 = errors[offset..offset + sz].iter().sum();
+            prop_assert!(sum.abs() < 1e-9, "set sum {sum}");
+            offset += sz;
+        }
+    }
+
+    #[test]
+    fn bound_is_translation_invariant(
+        sizes in arb_partition(),
+        values in prop::collection::vec(-10f64..10.0, 200),
+        shift in -100f64..100.0,
+    ) {
+        let (dup, n) = sets_from_sizes(&sizes);
+        prop_assume!(n <= values.len());
+        let y: Vec<f64> = values[..n].to_vec();
+        let shifted: Vec<f64> = y.iter().map(|v| v + shift).collect();
+        let a = app_modeling_bound(&y, &dup);
+        let b = app_modeling_bound(&shifted, &dup);
+        prop_assert!((a.median_abs_log10 - b.median_abs_log10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_scales_linearly(
+        sizes in arb_partition(),
+        values in prop::collection::vec(-10f64..10.0, 200),
+        scale in 0.1f64..10.0,
+    ) {
+        let (dup, n) = sets_from_sizes(&sizes);
+        prop_assume!(n <= values.len());
+        let y: Vec<f64> = values[..n].to_vec();
+        let scaled: Vec<f64> = y.iter().map(|v| v * scale).collect();
+        let a = app_modeling_bound(&y, &dup);
+        let b = app_modeling_bound(&scaled, &dup);
+        prop_assert!((b.median_abs_log10 - a.median_abs_log10 * scale).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_spread_gives_zero_bound(sizes in arb_partition(), c in -5f64..5.0) {
+        let (dup, n) = sets_from_sizes(&sizes);
+        let y = vec![c; n];
+        let b = app_modeling_bound(&y, &dup);
+        // Up to float cancellation in the set-mean subtraction.
+        prop_assert!(b.median_abs_log10.abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_floor_never_uses_excluded_jobs(
+        sizes in arb_partition(),
+        values in prop::collection::vec(-10f64..10.0, 200),
+    ) {
+        let (dup, n) = sets_from_sizes(&sizes);
+        prop_assume!(n <= values.len());
+        let y: Vec<f64> = values[..n].to_vec();
+        let t = vec![0i64; n];
+        // Excluding everything leaves no samples.
+        let all = vec![true; n];
+        prop_assert!(concurrent_noise_floor(&y, &t, &dup, &all, 1, 1).is_none());
+    }
+
+    #[test]
+    fn concurrent_floor_counts_are_consistent(
+        sizes in arb_partition(),
+        values in prop::collection::vec(-10f64..10.0, 200),
+    ) {
+        let (dup, n) = sets_from_sizes(&sizes);
+        prop_assume!(n <= values.len());
+        let y: Vec<f64> = values[..n].to_vec();
+        let t = vec![0i64; n]; // everything simultaneous
+        if let Some(floor) = concurrent_noise_floor(&y, &t, &dup, &[], 1, 1) {
+            prop_assert_eq!(floor.n_concurrent, n);
+            prop_assert_eq!(floor.n_sets, sizes.len());
+            prop_assert!(floor.median_abs_log10 >= 0.0);
+            prop_assert!(floor.pct_95 >= floor.pct_68 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn spread_out_duplicates_never_count_as_concurrent(
+        sizes in arb_partition(),
+        values in prop::collection::vec(-10f64..10.0, 200),
+    ) {
+        let (dup, n) = sets_from_sizes(&sizes);
+        prop_assume!(n <= values.len());
+        let y: Vec<f64> = values[..n].to_vec();
+        // Distinct start times far apart: no concurrent groups at all.
+        let t: Vec<i64> = (0..n as i64).map(|i| i * 1_000_000).collect();
+        prop_assert!(concurrent_noise_floor(&y, &t, &dup, &[], 1, 1).is_none());
+    }
+}

@@ -1,0 +1,194 @@
+//! Job-level feature extraction.
+//!
+//! The paper's models consume fixed-width job-level aggregates: 48 POSIX and
+//! 48 MPI-IO features (§V). Darshan stores per-file records; extraction
+//! reduces them across files — summing count/byte/time counters and taking
+//! the maximum of extent counters — which mirrors how `darshan-parser
+//! --total` derives job totals.
+
+use crate::counters::{
+    MpiioCounter, PosixCounter, MPIIO_COUNTERS, MPIIO_COUNTER_COUNT, POSIX_COUNTERS,
+    POSIX_COUNTER_COUNT,
+};
+use crate::record::{JobLog, ModuleData};
+
+/// How a counter aggregates from per-file records to the job level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Agg {
+    Sum,
+    Max,
+}
+
+fn posix_agg(c: PosixCounter) -> Agg {
+    match c {
+        PosixCounter::PosixMaxByteRead | PosixCounter::PosixMaxByteWritten => Agg::Max,
+        _ => Agg::Sum,
+    }
+}
+
+fn mpiio_agg(c: MpiioCounter) -> Agg {
+    match c {
+        MpiioCounter::MpiioMaxReadTimeSize | MpiioCounter::MpiioMaxWriteTimeSize => Agg::Max,
+        _ => Agg::Sum,
+    }
+}
+
+fn aggregate(module: &ModuleData, agg_of: impl Fn(usize) -> Agg, width: usize) -> Vec<f64> {
+    let mut out = vec![0.0f64; width];
+    for rec in &module.records {
+        for (i, slot) in out.iter_mut().enumerate() {
+            match agg_of(i) {
+                Agg::Sum => *slot += rec.counters[i],
+                Agg::Max => *slot = slot.max(rec.counters[i]),
+            }
+        }
+    }
+    out
+}
+
+/// Names of the 48 POSIX job-level features, in feature order.
+pub static POSIX_FEATURE_NAMES: [&str; POSIX_COUNTER_COUNT] = {
+    let mut names = [""; POSIX_COUNTER_COUNT];
+    let mut i = 0;
+    while i < POSIX_COUNTER_COUNT {
+        names[i] = POSIX_COUNTERS[i].name();
+        i += 1;
+    }
+    names
+};
+
+/// Names of the 48 MPI-IO job-level features, in feature order.
+pub static MPIIO_FEATURE_NAMES: [&str; MPIIO_COUNTER_COUNT] = {
+    let mut names = [""; MPIIO_COUNTER_COUNT];
+    let mut i = 0;
+    while i < MPIIO_COUNTER_COUNT {
+        names[i] = MPIIO_COUNTERS[i].name();
+        i += 1;
+    }
+    names
+};
+
+/// A named job-level feature vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureVector {
+    /// Feature names, parallel to `values`.
+    pub names: Vec<&'static str>,
+    /// Feature values.
+    pub values: Vec<f64>,
+}
+
+impl FeatureVector {
+    /// Value of a feature by name, if present.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.names.iter().position(|&n| n == name).map(|i| self.values[i])
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the vector has no features.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Extract the 48 POSIX job-level features from a log.
+pub fn extract_posix_features(log: &JobLog) -> [f64; POSIX_COUNTER_COUNT] {
+    let v = aggregate(&log.posix, |i| posix_agg(POSIX_COUNTERS[i]), POSIX_COUNTER_COUNT);
+    v.try_into().expect("width matches")
+}
+
+/// Extract the 48 MPI-IO job-level features from a log; zeros when the job
+/// did not use MPI-IO (the paper's datasets do the same — MPI-IO columns are
+/// zero for POSIX-only jobs).
+pub fn extract_mpiio_features(log: &JobLog) -> [f64; MPIIO_COUNTER_COUNT] {
+    match &log.mpiio {
+        Some(m) => aggregate(m, |i| mpiio_agg(MPIIO_COUNTERS[i]), MPIIO_COUNTER_COUNT)
+            .try_into()
+            .expect("width matches"),
+        None => [0.0; MPIIO_COUNTER_COUNT],
+    }
+}
+
+/// Extract a named job-level feature vector.
+///
+/// With `include_mpiio`, the result is 96 features (POSIX then MPI-IO);
+/// otherwise 48 POSIX features. Extraction is deterministic: two logs with
+/// identical records produce identical vectors, which is what makes
+/// duplicate-job detection (§VI) possible.
+pub fn extract_job_features(log: &JobLog, include_mpiio: bool) -> FeatureVector {
+    let posix = extract_posix_features(log);
+    let mut names: Vec<&'static str> = POSIX_FEATURE_NAMES.to_vec();
+    let mut values: Vec<f64> = posix.to_vec();
+    if include_mpiio {
+        names.extend_from_slice(&MPIIO_FEATURE_NAMES);
+        values.extend_from_slice(&extract_mpiio_features(log));
+    }
+    FeatureVector { names, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{FileRecord, ModuleData, ModuleId};
+
+    fn log_with_two_files() -> JobLog {
+        let mut log = JobLog::new(7, 1, 32, 0, 100, "app");
+        let mut a = FileRecord::zeroed(ModuleId::Posix, 1, 32);
+        a.counters[PosixCounter::PosixBytesRead.index()] = 100.0;
+        a.counters[PosixCounter::PosixMaxByteRead.index()] = 4096.0;
+        let mut b = FileRecord::zeroed(ModuleId::Posix, 2, 1);
+        b.counters[PosixCounter::PosixBytesRead.index()] = 50.0;
+        b.counters[PosixCounter::PosixMaxByteRead.index()] = 9999.0;
+        log.posix.records.extend([a, b]);
+        log
+    }
+
+    #[test]
+    fn sums_and_maxes_aggregate_correctly() {
+        let f = extract_posix_features(&log_with_two_files());
+        assert_eq!(f[PosixCounter::PosixBytesRead.index()], 150.0);
+        assert_eq!(f[PosixCounter::PosixMaxByteRead.index()], 9999.0);
+    }
+
+    #[test]
+    fn missing_mpiio_yields_zeros() {
+        let f = extract_mpiio_features(&log_with_two_files());
+        assert!(f.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn feature_vector_widths() {
+        let log = log_with_two_files();
+        assert_eq!(extract_job_features(&log, false).len(), 48);
+        assert_eq!(extract_job_features(&log, true).len(), 96);
+    }
+
+    #[test]
+    fn names_align_with_values() {
+        let log = log_with_two_files();
+        let fv = extract_job_features(&log, false);
+        assert_eq!(fv.get("PosixBytesRead"), Some(150.0));
+        assert_eq!(fv.get("NoSuchFeature"), None);
+    }
+
+    #[test]
+    fn mpiio_features_extracted_when_present() {
+        let mut log = log_with_two_files();
+        let mut m = ModuleData::new(ModuleId::Mpiio);
+        let mut r = FileRecord::zeroed(ModuleId::Mpiio, 5, 32);
+        r.counters[MpiioCounter::MpiioBytesWritten.index()] = 777.0;
+        m.records.push(r);
+        log.mpiio = Some(m);
+        let fv = extract_job_features(&log, true);
+        assert_eq!(fv.get("MpiioBytesWritten"), Some(777.0));
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let log = log_with_two_files();
+        assert_eq!(extract_job_features(&log, true), extract_job_features(&log, true));
+    }
+}

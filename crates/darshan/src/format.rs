@@ -1,0 +1,498 @@
+//! Binary log format: writer and strict parser.
+//!
+//! Layout (all integers little-endian unless varint-coded):
+//!
+//! ```text
+//! magic        8 bytes   b"IOTAXDRN"
+//! version      u16       format version (currently 1)
+//! job_id       varint u64
+//! uid          varint u64
+//! nprocs       varint u64
+//! start_time   zigzag varint i64
+//! end_time     zigzag varint i64
+//! exe          varint len + utf8 bytes
+//! module_count varint u64
+//!   per module:
+//!     module_id    u8 (1 = POSIX, 2 = MPI-IO)
+//!     record_count varint u64
+//!       per record:
+//!         file_hash   u64 (fixed 8 bytes)
+//!         rank_count  varint u64
+//!         counters    counter_count(module) × f64 (raw LE bits)
+//! crc32        u32       CRC-32 (IEEE) of everything before it
+//! ```
+//!
+//! The parser validates the magic, version, module tags, counter widths,
+//! string UTF-8, and the trailing checksum, and rejects truncated input —
+//! the same failure modes `darshan-parser` guards against.
+
+use crate::record::{FileRecord, JobLog, ModuleData, ModuleId};
+
+/// Errors the parser can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Input shorter than a minimal valid log.
+    Truncated {
+        /// Byte offset at which more input was needed.
+        offset: usize,
+    },
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Unknown module tag byte.
+    BadModule(u8),
+    /// The same module appeared twice.
+    DuplicateModule(u8),
+    /// Executable name was not valid UTF-8.
+    BadString,
+    /// A varint ran past 10 bytes or past the end of input.
+    BadVarint {
+        /// Byte offset of the offending varint.
+        offset: usize,
+    },
+    /// CRC32 trailer mismatch.
+    BadChecksum {
+        /// Checksum stored in the log.
+        expected: u32,
+        /// Checksum computed over the payload.
+        actual: u32,
+    },
+    /// Trailing garbage after the checksum.
+    TrailingBytes {
+        /// Number of unexpected extra bytes.
+        extra: usize,
+    },
+    /// A counter value was not finite.
+    NonFiniteCounter,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Truncated { offset } => write!(f, "truncated log at byte {offset}"),
+            ParseError::BadMagic => write!(f, "bad magic bytes"),
+            ParseError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            ParseError::BadModule(b) => write!(f, "unknown module tag {b}"),
+            ParseError::DuplicateModule(b) => write!(f, "module tag {b} repeated"),
+            ParseError::BadString => write!(f, "executable name is not valid UTF-8"),
+            ParseError::BadVarint { offset } => write!(f, "malformed varint at byte {offset}"),
+            ParseError::BadChecksum { expected, actual } => {
+                write!(f, "checksum mismatch: stored {expected:#010x}, computed {actual:#010x}")
+            }
+            ParseError::TrailingBytes { extra } => write!(f, "{extra} trailing bytes after checksum"),
+            ParseError::NonFiniteCounter => write!(f, "non-finite counter value"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+const MAGIC: &[u8; 8] = b"IOTAXDRN";
+const VERSION: u16 = 1;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), table-driven, implemented from scratch.
+// ---------------------------------------------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE) of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Varint encoding (LEB128 for u64, zigzag for i64).
+// ---------------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_zigzag(out: &mut Vec<u8>, v: i64) {
+    put_varint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ParseError> {
+        if self.pos + n > self.data.len() {
+            return Err(ParseError::Truncated { offset: self.pos });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ParseError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16_le(&mut self) -> Result<u16, ParseError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32_le(&mut self) -> Result<u32, ParseError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64_le(&mut self) -> Result<u64, ParseError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f64_le(&mut self) -> Result<f64, ParseError> {
+        Ok(f64::from_bits(self.u64_le()?))
+    }
+
+    fn varint(&mut self) -> Result<u64, ParseError> {
+        let start = self.pos;
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            if shift >= 70 {
+                return Err(ParseError::BadVarint { offset: start });
+            }
+            let byte = self.u8().map_err(|_| ParseError::BadVarint { offset: start })?;
+            v |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn zigzag(&mut self) -> Result<i64, ParseError> {
+        let v = self.varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_module(out: &mut Vec<u8>, m: &ModuleData) {
+    out.push(m.module as u8);
+    put_varint(out, m.records.len() as u64);
+    for r in &m.records {
+        debug_assert_eq!(r.counters.len(), m.module.counter_count());
+        out.extend_from_slice(&r.file_hash.to_le_bytes());
+        put_varint(out, r.rank_count as u64);
+        for &c in &r.counters {
+            out.extend_from_slice(&c.to_bits().to_le_bytes());
+        }
+    }
+}
+
+/// Serialize a [`JobLog`] to the binary format.
+pub fn write_log(log: &JobLog) -> Vec<u8> {
+    // Rough pre-size: header + 8 bytes/counter.
+    let n_counters: usize = log.posix.records.len() * 48
+        + log.mpiio.as_ref().map_or(0, |m| m.records.len() * 48);
+    let mut out = Vec::with_capacity(64 + log.exe.len() + n_counters * 8 + 16);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    put_varint(&mut out, log.job_id);
+    put_varint(&mut out, log.uid as u64);
+    put_varint(&mut out, log.nprocs as u64);
+    put_zigzag(&mut out, log.start_time);
+    put_zigzag(&mut out, log.end_time);
+    put_varint(&mut out, log.exe.len() as u64);
+    out.extend_from_slice(log.exe.as_bytes());
+    let module_count = 1 + log.mpiio.is_some() as u64;
+    put_varint(&mut out, module_count);
+    write_module(&mut out, &log.posix);
+    if let Some(m) = &log.mpiio {
+        write_module(&mut out, m);
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+fn parse_module(r: &mut Reader<'_>) -> Result<ModuleData, ParseError> {
+    let tag = r.u8()?;
+    let module = ModuleId::from_u8(tag).ok_or(ParseError::BadModule(tag))?;
+    let record_count = r.varint()? as usize;
+    let mut records = Vec::with_capacity(record_count.min(1 << 20));
+    for _ in 0..record_count {
+        let file_hash = r.u64_le()?;
+        let rank_count = r.varint()? as u32;
+        let width = module.counter_count();
+        let mut counters = Vec::with_capacity(width);
+        for _ in 0..width {
+            let v = r.f64_le()?;
+            if !v.is_finite() {
+                return Err(ParseError::NonFiniteCounter);
+            }
+            counters.push(v);
+        }
+        records.push(FileRecord { file_hash, rank_count, counters });
+    }
+    Ok(ModuleData { module, records })
+}
+
+/// Parse a binary log produced by [`write_log`].
+///
+/// Strict: validates magic, version, module tags, UTF-8, CRC32, and rejects
+/// trailing bytes.
+pub fn parse_log(data: &[u8]) -> Result<JobLog, ParseError> {
+    let mut r = Reader::new(data);
+    if r.take(8).map_err(|_| ParseError::BadMagic)? != MAGIC {
+        return Err(ParseError::BadMagic);
+    }
+    let version = r.u16_le()?;
+    if version != VERSION {
+        return Err(ParseError::BadVersion(version));
+    }
+    let job_id = r.varint()?;
+    let uid = r.varint()? as u32;
+    let nprocs = r.varint()? as u32;
+    let start_time = r.zigzag()?;
+    let end_time = r.zigzag()?;
+    let exe_len = r.varint()? as usize;
+    let exe = std::str::from_utf8(r.take(exe_len)?)
+        .map_err(|_| ParseError::BadString)?
+        .to_owned();
+    let module_count = r.varint()?;
+    let mut posix: Option<ModuleData> = None;
+    let mut mpiio: Option<ModuleData> = None;
+    for _ in 0..module_count {
+        let m = parse_module(&mut r)?;
+        let slot = match m.module {
+            ModuleId::Posix => &mut posix,
+            ModuleId::Mpiio => &mut mpiio,
+        };
+        if slot.is_some() {
+            return Err(ParseError::DuplicateModule(m.module as u8));
+        }
+        *slot = Some(m);
+    }
+    let payload_end = r.pos;
+    let stored = r.u32_le()?;
+    let actual = crc32(&data[..payload_end]);
+    if stored != actual {
+        return Err(ParseError::BadChecksum { expected: stored, actual });
+    }
+    if r.pos != data.len() {
+        return Err(ParseError::TrailingBytes { extra: data.len() - r.pos });
+    }
+    Ok(JobLog {
+        job_id,
+        uid,
+        nprocs,
+        start_time,
+        end_time,
+        exe,
+        posix: posix.unwrap_or_else(|| ModuleData::new(ModuleId::Posix)),
+        mpiio,
+    })
+}
+
+/// Render a log in a `darshan-parser`-style human-readable dump: a header
+/// block and one `<counter> <value>` line per non-zero counter per record.
+pub fn dump_text(log: &JobLog) -> String {
+    use crate::counters::{MPIIO_COUNTERS, POSIX_COUNTERS};
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "# darshan log version: iotax-1");
+    let _ = writeln!(s, "# exe: {}", log.exe);
+    let _ = writeln!(s, "# uid: {}", log.uid);
+    let _ = writeln!(s, "# jobid: {}", log.job_id);
+    let _ = writeln!(s, "# nprocs: {}", log.nprocs);
+    let _ = writeln!(s, "# start_time: {}", log.start_time);
+    let _ = writeln!(s, "# end_time: {}", log.end_time);
+    let _ = writeln!(s, "# run time: {}", log.runtime_seconds());
+    let mut dump_module = |name: &str, m: &ModuleData, names: &[&str]| {
+        let _ = writeln!(s, "\n# {name} module: {} records", m.records.len());
+        for rec in &m.records {
+            for (i, &v) in rec.counters.iter().enumerate() {
+                if v != 0.0 {
+                    let _ = writeln!(
+                        s,
+                        "{name}\t{:#018x}\t{}\t{v}",
+                        rec.file_hash, names[i]
+                    );
+                }
+            }
+        }
+    };
+    let posix_names: Vec<&str> = POSIX_COUNTERS.iter().map(|c| c.name()).collect();
+    dump_module("POSIX", &log.posix, &posix_names);
+    if let Some(m) = &log.mpiio {
+        let mpiio_names: Vec<&str> = MPIIO_COUNTERS.iter().map(|c| c.name()).collect();
+        dump_module("MPI-IO", m, &mpiio_names);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::PosixCounter;
+
+    fn sample_log() -> JobLog {
+        let mut log = JobLog::new(42, 1001, 128, 86_400, 90_000, "hacc_io");
+        let mut rec = FileRecord::zeroed(ModuleId::Posix, 0xABCD_EF01_2345_6789, 128);
+        rec.counters[PosixCounter::PosixOpens.index()] = 128.0;
+        rec.counters[PosixCounter::PosixBytesWritten.index()] = 2.5e11;
+        log.posix.records.push(rec);
+        let mut m = ModuleData::new(ModuleId::Mpiio);
+        m.records.push(FileRecord::zeroed(ModuleId::Mpiio, 0x1111, 128));
+        log.mpiio = Some(m);
+        log
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let log = sample_log();
+        let bytes = write_log(&log);
+        let parsed = parse_log(&bytes).expect("round trip");
+        assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn round_trip_without_mpiio() {
+        let mut log = sample_log();
+        log.mpiio = None;
+        let parsed = parse_log(&write_log(&log)).expect("round trip");
+        assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn negative_timestamps_round_trip() {
+        let mut log = sample_log();
+        log.start_time = -12345;
+        log.end_time = -1;
+        let parsed = parse_log(&write_log(&log)).expect("round trip");
+        assert_eq!(parsed.start_time, -12345);
+        assert_eq!(parsed.end_time, -1);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = write_log(&sample_log());
+        bytes[0] ^= 0xFF;
+        assert_eq!(parse_log(&bytes), Err(ParseError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = write_log(&sample_log());
+        bytes[8] = 99;
+        assert_eq!(parse_log(&bytes), Err(ParseError::BadVersion(99)));
+    }
+
+    #[test]
+    fn rejects_flipped_payload_bit() {
+        let mut bytes = write_log(&sample_log());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        match parse_log(&bytes) {
+            // Most flips surface as a checksum failure; flips inside
+            // structural fields may fail structurally first. Both are
+            // acceptable rejections.
+            Err(_) => {}
+            Ok(parsed) => panic!("corrupted log parsed successfully: {parsed:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = write_log(&sample_log());
+        for cut in 0..bytes.len() {
+            assert!(
+                parse_log(&bytes[..cut]).is_err(),
+                "truncation at {cut} of {} accepted",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = write_log(&sample_log());
+        bytes.push(0);
+        assert_eq!(parse_log(&bytes), Err(ParseError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn rejects_nan_counter() {
+        let mut log = sample_log();
+        log.posix.records[0].counters[3] = f64::NAN;
+        let bytes = write_log(&log);
+        assert_eq!(parse_log(&bytes), Err(ParseError::NonFiniteCounter));
+    }
+
+    #[test]
+    fn dump_text_contains_nonzero_counters_only() {
+        let log = sample_log();
+        let text = dump_text(&log);
+        assert!(text.contains("# exe: hacc_io"));
+        assert!(text.contains("# nprocs: 128"));
+        assert!(text.contains("PosixOpens"));
+        assert!(text.contains("PosixBytesWritten"));
+        // Zero counters are omitted.
+        assert!(!text.contains("PosixMmaps"));
+        // MPI-IO section present (record exists, all zero counters → just
+        // the header line).
+        assert!(text.contains("MPI-IO module: 1 records"));
+    }
+
+    #[test]
+    fn crc32_known_value() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn empty_exe_and_zero_records_round_trip() {
+        let log = JobLog::new(0, 0, 1, 0, 1, "");
+        let parsed = parse_log(&write_log(&log)).expect("round trip");
+        assert_eq!(parsed, log);
+    }
+}

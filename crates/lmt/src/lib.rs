@@ -1,0 +1,23 @@
+//! # iotax-lmt
+//!
+//! A Lustre Monitoring Tools (LMT)-like I/O subsystem telemetry substrate.
+//!
+//! NERSC Cori collects LMT logs: the state of object storage servers (OSS)
+//! and targets (OST), and metadata servers (MDS) and targets (MDT) of the
+//! Lustre scratch filesystem, sampled every 5 seconds (§V). A job may be
+//! served by any number of I/O nodes, so only the minimum, maximum, mean and
+//! standard deviation of each metric over the job's window are exposed to
+//! the ML model — 37 LMT features in total.
+//!
+//! * [`metrics`] — the nine underlying server metrics (OSS CPU/memory, OST
+//!   read/write bytes, IOPS, fullness, MDS operation rate and CPU, MDT
+//!   operation rate).
+//! * [`recorder`] — a tick-based recorder that reduces per-server samples
+//!   into per-tick aggregates (bounded memory over multi-year horizons) and
+//!   answers per-job window queries with the 37-feature vector.
+
+pub mod metrics;
+pub mod recorder;
+
+pub use metrics::{LmtMetric, LMT_METRICS, N_METRICS};
+pub use recorder::{LmtRecorder, LMT_FEATURE_COUNT, LMT_FEATURE_NAMES};

@@ -1,0 +1,90 @@
+//! The nine underlying LMT server metrics.
+//!
+//! Real LMT samples dozens of per-server gauges; the paper's 37 model
+//! features are window statistics over them. We model nine representative
+//! series — enough to carry the global-weather and contention signals the
+//! taxonomy studies — and derive 37 features (9 metrics × 4 statistics + a
+//! fullness snapshot) in [`crate::recorder`].
+
+/// Number of underlying server metrics.
+pub const N_METRICS: usize = 9;
+
+/// One LMT server metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum LmtMetric {
+    /// Object storage server CPU utilization (0..1).
+    OssCpuLoad = 0,
+    /// Object storage server memory utilization (0..1).
+    OssMemLoad = 1,
+    /// Object storage target read rate (bytes/s).
+    OstReadBytes = 2,
+    /// Object storage target write rate (bytes/s).
+    OstWriteBytes = 3,
+    /// Object storage target operations per second.
+    OstIops = 4,
+    /// Object storage target fullness (0..1).
+    OstFullness = 5,
+    /// Metadata server operation rate (ops/s: open, close, mkdir, ...).
+    MdsOpsRate = 6,
+    /// Metadata server CPU utilization (0..1).
+    MdsCpuLoad = 7,
+    /// Metadata target operation rate (ops/s).
+    MdtOpsRate = 8,
+}
+
+/// All metrics, in storage order.
+pub const LMT_METRICS: [LmtMetric; N_METRICS] = [
+    LmtMetric::OssCpuLoad,
+    LmtMetric::OssMemLoad,
+    LmtMetric::OstReadBytes,
+    LmtMetric::OstWriteBytes,
+    LmtMetric::OstIops,
+    LmtMetric::OstFullness,
+    LmtMetric::MdsOpsRate,
+    LmtMetric::MdsCpuLoad,
+    LmtMetric::MdtOpsRate,
+];
+
+impl LmtMetric {
+    /// Storage index in per-tick arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short metric name used to build feature names.
+    pub const fn name(self) -> &'static str {
+        match self {
+            LmtMetric::OssCpuLoad => "OssCpuLoad",
+            LmtMetric::OssMemLoad => "OssMemLoad",
+            LmtMetric::OstReadBytes => "OstReadBytes",
+            LmtMetric::OstWriteBytes => "OstWriteBytes",
+            LmtMetric::OstIops => "OstIops",
+            LmtMetric::OstFullness => "OstFullness",
+            LmtMetric::MdsOpsRate => "MdsOpsRate",
+            LmtMetric::MdsCpuLoad => "MdsCpuLoad",
+            LmtMetric::MdtOpsRate => "MdtOpsRate",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, m) in LMT_METRICS.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = LMT_METRICS.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), N_METRICS);
+    }
+}

@@ -1,0 +1,405 @@
+//! Gradient-boosted trees — the XGBoost stand-in.
+//!
+//! Squared loss on log10 targets, shrinkage, λ-regularized leaves, and the
+//! paper's four tuned hyperparameters (§VI.B): number of trees, tree depth,
+//! column subsampling, and row subsampling. Supports validation-based early
+//! stopping, which the golden-model litmus tests use to avoid overfitting
+//! the timing feature.
+
+use crate::data::Dataset;
+use crate::tree::{BinnedDataset, RegressionTree, TreeParams, DEFAULT_MAX_BINS};
+use crate::Regressor;
+use iotax_stats::rng::substream;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Training loss for the GBM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Loss {
+    /// Squared error on the log10 target (XGBoost's `reg:squarederror`).
+    #[default]
+    SquaredError,
+    /// Absolute error on the log10 target — exactly the paper's Eq. 6
+    /// objective, `mean |log10(y/ŷ)|`. First-order only (h = 1), like
+    /// XGBoost's `reg:absoluteerror`.
+    AbsoluteError,
+}
+
+/// GBM hyperparameters. The four the paper sweeps are `n_trees`,
+/// `max_depth`, `colsample`, and `subsample`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbmParams {
+    /// Number of boosting rounds (XGBoost default: 100).
+    pub n_trees: usize,
+    /// Maximum tree depth (XGBoost default: 6).
+    pub max_depth: usize,
+    /// Learning rate / shrinkage.
+    pub learning_rate: f64,
+    /// L2 regularization on leaf values.
+    pub lambda: f64,
+    /// Fraction of rows seen by each tree.
+    pub subsample: f64,
+    /// Fraction of columns seen by each tree.
+    pub colsample: f64,
+    /// Minimum hessian weight per child.
+    pub min_child_weight: f64,
+    /// Histogram bins per feature.
+    pub max_bins: usize,
+    /// Seed for row/column subsampling.
+    pub seed: u64,
+    /// Stop after this many rounds without validation improvement.
+    pub early_stopping_rounds: Option<usize>,
+    /// Training loss.
+    pub loss: Loss,
+}
+
+impl Default for GbmParams {
+    fn default() -> Self {
+        Self {
+            n_trees: 100,
+            max_depth: 6,
+            learning_rate: 0.1,
+            lambda: 1.0,
+            subsample: 1.0,
+            colsample: 1.0,
+            min_child_weight: 1.0,
+            max_bins: DEFAULT_MAX_BINS,
+            seed: 0,
+            early_stopping_rounds: None,
+            loss: Loss::SquaredError,
+        }
+    }
+}
+
+/// A fitted gradient-boosted ensemble.
+#[derive(Debug, Clone)]
+pub struct Gbm {
+    params: GbmParams,
+    base: f64,
+    trees: Vec<RegressionTree>,
+    /// Validation mean-absolute-error trace per round (when a validation
+    /// set was supplied).
+    pub val_trace: Vec<f64>,
+}
+
+impl Gbm {
+    /// Fit on `train`; if `val` is given and early stopping is configured,
+    /// keep the prefix of trees minimizing validation MAE.
+    pub fn fit(train: &Dataset, val: Option<&Dataset>, params: GbmParams) -> Self {
+        assert!(train.n_rows > 0, "empty training set");
+        assert!(params.n_trees >= 1);
+        assert!((0.0..=1.0).contains(&params.subsample) && params.subsample > 0.0);
+        assert!((0.0..=1.0).contains(&params.colsample) && params.colsample > 0.0);
+        let binned = BinnedDataset::fit(train, params.max_bins);
+        let base = train.y.iter().sum::<f64>() / train.n_rows as f64;
+        let mut pred = vec![base; train.n_rows];
+        let mut val_pred: Vec<f64> = val.map(|v| vec![base; v.n_rows]).unwrap_or_default();
+        let mut val_trace = Vec::new();
+        let mut trees: Vec<RegressionTree> = Vec::with_capacity(params.n_trees);
+        let mut best_round = 0usize;
+        let mut best_val = f64::INFINITY;
+        let tree_params = TreeParams {
+            max_depth: params.max_depth,
+            min_child_weight: params.min_child_weight,
+            lambda: params.lambda,
+        };
+        let n_sub_rows = ((train.n_rows as f64) * params.subsample).round().max(1.0) as usize;
+        let n_sub_cols = ((train.n_cols as f64) * params.colsample).round().max(1.0) as usize;
+
+        for round in 0..params.n_trees {
+            let g: Vec<f64> = match params.loss {
+                // Squared loss: g = pred − y.
+                Loss::SquaredError => {
+                    pred.iter().zip(&train.y).map(|(p, y)| p - y).collect()
+                }
+                // Absolute loss: g = sign(pred − y).
+                Loss::AbsoluteError => pred
+                    .iter()
+                    .zip(&train.y)
+                    .map(|(p, y)| (p - y).signum())
+                    .collect(),
+            };
+            let h = vec![1.0f64; train.n_rows];
+            let mut rng = substream(params.seed, 500 + round as u64);
+            let mut rows: Vec<u32> = if n_sub_rows < train.n_rows {
+                // Sample without replacement via partial Fisher–Yates.
+                let mut idx: Vec<u32> = (0..train.n_rows as u32).collect();
+                for i in 0..n_sub_rows {
+                    let j = i + rng.random_range(0..idx.len() - i);
+                    idx.swap(i, j);
+                }
+                idx.truncate(n_sub_rows);
+                idx
+            } else {
+                (0..train.n_rows as u32).collect()
+            };
+            let features: Vec<usize> = if n_sub_cols < train.n_cols {
+                let mut idx: Vec<usize> = (0..train.n_cols).collect();
+                for i in 0..n_sub_cols {
+                    let j = i + rng.random_range(0..idx.len() - i);
+                    idx.swap(i, j);
+                }
+                idx.truncate(n_sub_cols);
+                idx
+            } else {
+                (0..train.n_cols).collect()
+            };
+            let mut tree =
+                RegressionTree::fit(&binned, &g, &h, &mut rows, &features, &tree_params);
+            if params.loss == Loss::AbsoluteError {
+                // Median leaf renewal: sign gradients find the structure,
+                // but the L1-optimal leaf value is the median residual of
+                // the rows that land in it (LightGBM's regression_l1 does
+                // the same).
+                let mut leaf_residuals: std::collections::HashMap<usize, Vec<f64>> =
+                    std::collections::HashMap::new();
+                for &r in rows.iter() {
+                    let r = r as usize;
+                    let leaf = tree.leaf_index(train.row(r));
+                    leaf_residuals.entry(leaf).or_default().push(train.y[r] - pred[r]);
+                }
+                for (leaf, residuals) in leaf_residuals {
+                    tree.set_leaf_value(leaf, iotax_stats::median(&residuals));
+                }
+            }
+            let tree = tree;
+            // Update train predictions.
+            for (i, p) in pred.iter_mut().enumerate() {
+                *p += params.learning_rate * tree.predict_row(train.row(i));
+            }
+            if let Some(v) = val {
+                for (i, p) in val_pred.iter_mut().enumerate() {
+                    *p += params.learning_rate * tree.predict_row(v.row(i));
+                }
+                let mae = val_pred
+                    .iter()
+                    .zip(&v.y)
+                    .map(|(p, y)| (p - y).abs())
+                    .sum::<f64>()
+                    / v.n_rows as f64;
+                val_trace.push(mae);
+                if mae < best_val - 1e-12 {
+                    best_val = mae;
+                    best_round = round;
+                }
+            }
+            trees.push(tree);
+            if let (Some(rounds), Some(_)) = (params.early_stopping_rounds, val) {
+                if round >= best_round + rounds {
+                    break;
+                }
+            }
+        }
+        if params.early_stopping_rounds.is_some() && val.is_some() {
+            trees.truncate(best_round + 1);
+        }
+        Self { params, base, trees, val_trace }
+    }
+
+    /// Number of trees kept after (possible) early stopping.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The parameters the model was fit with.
+    pub fn params(&self) -> &GbmParams {
+        &self.params
+    }
+
+    /// Gain-based feature importance, normalized to sum to 1 (zeros when
+    /// no split was ever made).
+    pub fn feature_importance(&self, n_cols: usize) -> Vec<f64> {
+        let mut imp = vec![0.0; n_cols];
+        for t in &self.trees {
+            t.accumulate_gains(&mut imp);
+        }
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in &mut imp {
+                *v /= total;
+            }
+        }
+        imp
+    }
+}
+
+impl Regressor for Gbm {
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        self.base
+            + self.params.learning_rate
+                * self.trees.iter().map(|t| t.predict_row(x)).sum::<f64>()
+    }
+
+    fn predict(&self, data: &Dataset) -> Vec<f64> {
+        use rayon::prelude::*;
+        (0..data.n_rows)
+            .into_par_iter()
+            .map(|i| self.predict_row(data.row(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::median_abs_error;
+    use iotax_stats::rng_from_seed;
+    use rand::RngExt;
+
+    /// A nonlinear synthetic task a linear model cannot fit.
+    fn friedman(n: usize, seed: u64, noise: f64) -> Dataset {
+        let mut rng = rng_from_seed(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let f: Vec<f64> = (0..5).map(|_| rng.random::<f64>()).collect();
+            let target = 10.0 * (std::f64::consts::PI * f[0] * f[1]).sin()
+                + 20.0 * (f[2] - 0.5).powi(2)
+                + 10.0 * f[3]
+                + 5.0 * f[4]
+                + noise * iotax_stats::dist::sample_std_normal(&mut rng);
+            x.extend_from_slice(&f);
+            y.push(target);
+        }
+        Dataset::new(
+            x,
+            n,
+            5,
+            y,
+            (0..5).map(|i| format!("f{i}")).collect(),
+        )
+    }
+
+    #[test]
+    fn fits_nonlinear_function() {
+        let train = friedman(2000, 1, 0.0);
+        let test = friedman(500, 2, 0.0);
+        let model = Gbm::fit(&train, None, GbmParams { n_trees: 150, ..Default::default() });
+        let err = median_abs_error(&test.y, &model.predict(&test));
+        // Target spans ~[0, 30]; median error under 0.8 shows real fit.
+        assert!(err < 0.8, "median abs error {err}");
+    }
+
+    #[test]
+    fn beats_the_mean_predictor_by_a_lot() {
+        let train = friedman(1000, 3, 0.0);
+        let test = friedman(300, 4, 0.0);
+        let model = Gbm::fit(&train, None, GbmParams::default());
+        let mean = train.y.iter().sum::<f64>() / train.y.len() as f64;
+        let mean_err = median_abs_error(&test.y, &vec![mean; test.n_rows]);
+        let gbm_err = median_abs_error(&test.y, &model.predict(&test));
+        assert!(gbm_err < mean_err / 3.0, "gbm {gbm_err} vs mean {mean_err}");
+    }
+
+    #[test]
+    fn more_trees_fit_better_on_train() {
+        let train = friedman(800, 5, 0.0);
+        let small = Gbm::fit(&train, None, GbmParams { n_trees: 5, ..Default::default() });
+        let large = Gbm::fit(&train, None, GbmParams { n_trees: 100, ..Default::default() });
+        let e_small = median_abs_error(&train.y, &small.predict(&train));
+        let e_large = median_abs_error(&train.y, &large.predict(&train));
+        assert!(e_large < e_small);
+    }
+
+    #[test]
+    fn early_stopping_truncates() {
+        let train = friedman(800, 6, 1.0);
+        let val = friedman(300, 7, 1.0);
+        let model = Gbm::fit(
+            &train,
+            Some(&val),
+            GbmParams {
+                n_trees: 400,
+                learning_rate: 0.3,
+                early_stopping_rounds: Some(10),
+                ..Default::default()
+            },
+        );
+        assert!(model.n_trees() < 400, "kept all {} trees", model.n_trees());
+        assert!(!model.val_trace.is_empty());
+    }
+
+    #[test]
+    fn subsampling_still_learns() {
+        let train = friedman(1500, 8, 0.0);
+        let test = friedman(300, 9, 0.0);
+        let model = Gbm::fit(
+            &train,
+            None,
+            GbmParams { subsample: 0.5, colsample: 0.6, n_trees: 150, ..Default::default() },
+        );
+        let err = median_abs_error(&test.y, &model.predict(&test));
+        assert!(err < 1.2, "median abs error {err}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let train = friedman(500, 10, 0.5);
+        let a = Gbm::fit(&train, None, GbmParams { subsample: 0.7, seed: 42, ..Default::default() });
+        let b = Gbm::fit(&train, None, GbmParams { subsample: 0.7, seed: 42, ..Default::default() });
+        assert_eq!(a.predict(&train), b.predict(&train));
+    }
+
+    #[test]
+    fn absolute_loss_is_robust_to_target_outliers() {
+        // Corrupt 5 % of training targets with huge outliers; L1 should
+        // degrade far less than L2 on clean test data.
+        let mut train = friedman(1500, 20, 0.0);
+        for i in (0..train.n_rows).step_by(20) {
+            train.y[i] += 500.0;
+        }
+        let test = friedman(400, 21, 0.0);
+        let l2 = Gbm::fit(&train, None, GbmParams { n_trees: 120, ..Default::default() });
+        let l1 = Gbm::fit(
+            &train,
+            None,
+            GbmParams { n_trees: 400, learning_rate: 0.3, loss: Loss::AbsoluteError, ..Default::default() },
+        );
+        let e2 = median_abs_error(&test.y, &l2.predict(&test));
+        let e1 = median_abs_error(&test.y, &l1.predict(&test));
+        assert!(e1 < e2, "L1 {e1} should beat L2 {e2} under outliers");
+    }
+
+    #[test]
+    fn absolute_loss_still_fits_clean_data() {
+        let train = friedman(1200, 22, 0.0);
+        let test = friedman(300, 23, 0.0);
+        let l1 = Gbm::fit(
+            &train,
+            None,
+            GbmParams { n_trees: 400, learning_rate: 0.3, loss: Loss::AbsoluteError, ..Default::default() },
+        );
+        let err = median_abs_error(&test.y, &l1.predict(&test));
+        assert!(err < 1.5, "L1 median abs error {err}");
+    }
+
+    #[test]
+    fn feature_importance_finds_the_signal() {
+        // y depends only on features 0..5; features 5..10 are noise.
+        let mut rng = rng_from_seed(30);
+        let n = 1500;
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let f: Vec<f64> = (0..10).map(|_| rng.random::<f64>()).collect();
+            y.push(10.0 * f[0] + 5.0 * f[1]);
+            x.extend(f);
+        }
+        let data = Dataset::new(x, n, 10, y, (0..10).map(|i| format!("f{i}")).collect());
+        let model = Gbm::fit(&data, None, GbmParams::default());
+        let imp = model.feature_importance(10);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > 0.5, "f0 importance {}", imp[0]);
+        assert!(imp[1] > 0.1, "f1 importance {}", imp[1]);
+        assert!(imp[2..].iter().all(|&v| v < 0.05), "noise features matter: {imp:?}");
+    }
+
+    #[test]
+    fn prediction_is_finite_everywhere() {
+        let train = friedman(300, 11, 0.0);
+        let model = Gbm::fit(&train, None, GbmParams::default());
+        for wild in [[0.0; 5], [1e9; 5], [-1e9; 5]] {
+            assert!(model.predict_row(&wild).is_finite());
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Ridge regression: the linear baseline.
+//!
+//! Solves `(XᵀX + λI) w = Xᵀy` with a from-scratch Cholesky factorization.
+//! Several earlier I/O modeling works used linear models \[2\]; the taxonomy
+//! uses ridge as the "inadequate architecture" example whose approximation
+//! error the §VI litmus test exposes.
+
+use crate::data::{Dataset, Preprocessor};
+use crate::Regressor;
+
+/// A fitted ridge regression model (with internal preprocessing and an
+/// intercept term).
+#[derive(Debug, Clone)]
+pub struct Ridge {
+    pre: Preprocessor,
+    /// Learned weights, one per column.
+    weights: Vec<f64>,
+    /// Intercept.
+    intercept: f64,
+    /// Regularization strength used at fit time.
+    pub lambda: f64,
+}
+
+/// Cholesky decomposition of a symmetric positive-definite matrix stored
+/// row-major; returns the lower factor L with `A = L Lᵀ`, or `None` if the
+/// matrix is not positive definite.
+fn cholesky(a: &[f64], n: usize) -> Option<Vec<f64>> {
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solve `L Lᵀ x = b` given the lower Cholesky factor.
+fn cholesky_solve(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    // Forward: L z = b.
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * z[k];
+        }
+        z[i] = sum / l[i * n + i];
+    }
+    // Backward: Lᵀ x = z.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = z[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    x
+}
+
+impl Ridge {
+    /// Fit with regularization `lambda` (> 0 keeps the system positive
+    /// definite even with collinear columns).
+    pub fn fit(train: &Dataset, lambda: f64) -> Self {
+        assert!(lambda >= 0.0);
+        assert!(train.n_rows > 0, "empty training set");
+        let pre = Preprocessor::fit(train);
+        let t = pre.transform(train);
+        let d = t.n_cols + 1; // + intercept column
+        // Normal equations on the augmented [1, x] design.
+        let mut xtx = vec![0.0; d * d];
+        let mut xty = vec![0.0; d];
+        let mut aug = vec![0.0; d];
+        for i in 0..t.n_rows {
+            aug[0] = 1.0;
+            aug[1..].copy_from_slice(t.row(i));
+            for r in 0..d {
+                xty[r] += aug[r] * t.y[i];
+                for c in 0..=r {
+                    xtx[r * d + c] += aug[r] * aug[c];
+                }
+            }
+        }
+        // Mirror the lower triangle and add the ridge (not on the intercept).
+        for r in 0..d {
+            for c in r + 1..d {
+                xtx[r * d + c] = xtx[c * d + r];
+            }
+        }
+        for r in 1..d {
+            xtx[r * d + r] += lambda.max(1e-10);
+        }
+        let l = cholesky(&xtx, d).expect("ridge-regularized system is positive definite");
+        let w = cholesky_solve(&l, d, &xty);
+        Self { pre, intercept: w[0], weights: w[1..].to_vec(), lambda }
+    }
+
+    /// The learned weights (in preprocessed space).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Regressor for Ridge {
+    fn predict_row(&self, x: &[f64]) -> f64 {
+        let mut z = vec![0.0; x.len()];
+        self.pre.transform_row(x, &mut z);
+        self.intercept + z.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::median_abs_error;
+
+    fn linear_dataset(n: usize) -> Dataset {
+        // y = 2·sl(x0) − 0.5·sl(x1) + 3 in preprocessed space is recovered
+        // exactly because the preprocessing is affine after signed-log.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = i as f64;
+            let b = (i * 7 % 13) as f64;
+            x.extend_from_slice(&[a, b]);
+            y.push(2.0 * crate::data::signed_log(a) - 0.5 * crate::data::signed_log(b) + 3.0);
+        }
+        Dataset::new(x, n, 2, y, vec!["a".into(), "b".into()])
+    }
+
+    #[test]
+    fn recovers_linear_relationship() {
+        let d = linear_dataset(200);
+        let m = Ridge::fit(&d, 1e-6);
+        let pred = m.predict(&d);
+        assert!(median_abs_error(&d.y, &pred) < 1e-6);
+    }
+
+    #[test]
+    fn handles_collinear_columns() {
+        // Duplicate column: without ridge the system is singular.
+        let n = 50;
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = i as f64;
+            x.extend_from_slice(&[a, a]);
+            y.push(a * 0.5);
+        }
+        let d = Dataset::new(x, n, 2, y, vec!["a".into(), "a2".into()]);
+        let m = Ridge::fit(&d, 1.0);
+        assert!(m.weights().iter().all(|w| w.is_finite()));
+        let pred = m.predict(&d);
+        assert!(pred.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn stronger_lambda_shrinks_weights() {
+        let d = linear_dataset(200);
+        let weak = Ridge::fit(&d, 1e-6);
+        let strong = Ridge::fit(&d, 1e4);
+        let norm = |w: &[f64]| w.iter().map(|v| v * v).sum::<f64>();
+        assert!(norm(strong.weights()) < norm(weak.weights()));
+    }
+
+    #[test]
+    fn cholesky_known_factorization() {
+        // A = [[4, 2], [2, 3]] → L = [[2, 0], [1, sqrt(2)]].
+        let l = cholesky(&[4.0, 2.0, 2.0, 3.0], 2).expect("pd");
+        assert!((l[0] - 2.0).abs() < 1e-12);
+        assert!((l[2] - 1.0).abs() < 1e-12);
+        assert!((l[3] - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        assert!(cholesky(&[1.0, 2.0, 2.0, 1.0], 2).is_none());
+    }
+
+    #[test]
+    fn solve_round_trips() {
+        let a = [4.0, 2.0, 2.0, 3.0];
+        let l = cholesky(&a, 2).expect("pd");
+        let x = cholesky_solve(&l, 2, &[10.0, 8.0]);
+        // Check A x = b.
+        assert!((4.0 * x[0] + 2.0 * x[1] - 10.0).abs() < 1e-10);
+        assert!((2.0 * x[0] + 3.0 * x[1] - 8.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,131 @@
+//! Exhaustive hyperparameter grid search for the GBM.
+//!
+//! §VI.B sweeps four XGBoost knobs — tree count, depth, row subsample and
+//! column subsample — over 8046 configurations. `grid_search` reproduces
+//! the sweep (grid points run rayon-parallel) and its output drives the
+//! Fig. 1(a) heatmap.
+
+use crate::data::Dataset;
+use crate::gbm::{Gbm, GbmParams};
+use crate::metrics::median_abs_error;
+use crate::Regressor;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One evaluated grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridPoint {
+    /// The parameters evaluated.
+    pub params: GbmParams,
+    /// Median absolute log10 error on the validation set.
+    pub val_error: f64,
+    /// Median absolute log10 error on the training set (memorization
+    /// indicator; see Fig. 3's Cobalt discussion).
+    pub train_error: f64,
+}
+
+/// Exhaustively evaluate the cross product of the four paper knobs.
+///
+/// Returns all points sorted by validation error (best first).
+pub fn grid_search(
+    train: &Dataset,
+    val: &Dataset,
+    n_trees: &[usize],
+    depths: &[usize],
+    subsamples: &[f64],
+    colsamples: &[f64],
+    base: GbmParams,
+) -> Vec<GridPoint> {
+    let mut combos = Vec::new();
+    for &t in n_trees {
+        for &d in depths {
+            for &s in subsamples {
+                for &c in colsamples {
+                    combos.push(GbmParams {
+                        n_trees: t,
+                        max_depth: d,
+                        subsample: s,
+                        colsample: c,
+                        ..base
+                    });
+                }
+            }
+        }
+    }
+    let mut points: Vec<GridPoint> = combos
+        .into_par_iter()
+        .map(|params| {
+            let model = Gbm::fit(train, None, params);
+            GridPoint {
+                params,
+                val_error: median_abs_error(&val.y, &model.predict(val)),
+                train_error: median_abs_error(&train.y, &model.predict(train)),
+            }
+        })
+        .collect();
+    points.sort_by(|a, b| a.val_error.partial_cmp(&b.val_error).expect("finite"));
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotax_stats::rng_from_seed;
+    use rand::RngExt;
+
+    fn quadratic(n: usize, seed: u64) -> Dataset {
+        let mut rng = rng_from_seed(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.random::<f64>() * 2.0 - 1.0;
+            x.push(a);
+            y.push(a * a);
+        }
+        Dataset::new(x, n, 1, y, vec!["a".into()])
+    }
+
+    #[test]
+    fn evaluates_full_cross_product_sorted() {
+        let train = quadratic(400, 1);
+        let val = quadratic(100, 2);
+        let points = grid_search(
+            &train,
+            &val,
+            &[5, 50],
+            &[1, 4],
+            &[1.0],
+            &[1.0],
+            GbmParams::default(),
+        );
+        assert_eq!(points.len(), 4);
+        assert!(points.windows(2).all(|w| w[0].val_error <= w[1].val_error));
+    }
+
+    #[test]
+    fn deeper_larger_models_win_on_curvy_data() {
+        let train = quadratic(800, 3);
+        let val = quadratic(200, 4);
+        let points = grid_search(
+            &train,
+            &val,
+            &[2, 100],
+            &[1, 5],
+            &[1.0],
+            &[1.0],
+            GbmParams::default(),
+        );
+        let best = &points[0].params;
+        assert!(best.n_trees == 100, "best kept {} trees", best.n_trees);
+    }
+
+    #[test]
+    fn deterministic_results() {
+        let train = quadratic(200, 5);
+        let val = quadratic(80, 6);
+        let run = || {
+            grid_search(&train, &val, &[10], &[2, 3], &[0.8], &[1.0], GbmParams::default())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the scheduler: no double allocation, causality,
+//! and conservation under arbitrary workloads.
+
+use iotax_sched::{JobRequest, Scheduler, SchedulerConfig};
+use proptest::prelude::*;
+
+fn arb_requests(max_nodes: u32) -> impl Strategy<Value = Vec<JobRequest>> {
+    prop::collection::vec(
+        (0i64..100_000, 1u32..=16, 1i64..5_000),
+        1..120,
+    )
+    .prop_map(move |specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (arrival, nodes, runtime))| JobRequest {
+                job_id: i as u64,
+                arrival_time: arrival,
+                nodes: nodes.min(max_nodes),
+                runtime,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_job_runs_exactly_once(reqs in arb_requests(16), backfill in any::<bool>()) {
+        let s = Scheduler::new(SchedulerConfig { total_nodes: 16, cores_per_node: 4, backfill });
+        let recs = s.schedule(&reqs);
+        prop_assert_eq!(recs.len(), reqs.len());
+        let mut ids: Vec<u64> = recs.iter().map(|r| r.job_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), reqs.len());
+    }
+
+    #[test]
+    fn causality_and_durations_hold(reqs in arb_requests(16), backfill in any::<bool>()) {
+        let s = Scheduler::new(SchedulerConfig { total_nodes: 16, cores_per_node: 4, backfill });
+        let recs = s.schedule(&reqs);
+        for r in &recs {
+            let req = reqs.iter().find(|q| q.job_id == r.job_id).unwrap();
+            prop_assert!(r.start_time >= req.arrival_time, "started before arrival");
+            prop_assert_eq!(r.end_time - r.start_time, req.runtime);
+            prop_assert_eq!(r.nodes, req.nodes);
+            prop_assert_eq!(r.cores, req.nodes * 4);
+        }
+    }
+
+    #[test]
+    fn concurrent_jobs_never_share_nodes(reqs in arb_requests(8), backfill in any::<bool>()) {
+        let s = Scheduler::new(SchedulerConfig { total_nodes: 8, cores_per_node: 1, backfill });
+        let recs = s.schedule(&reqs);
+        for (i, a) in recs.iter().enumerate() {
+            for b in &recs[i + 1..] {
+                if a.overlaps_in_time(b) {
+                    prop_assert!(
+                        !a.placement().overlaps(&b.placement()),
+                        "jobs {} and {} share nodes",
+                        a.job_id,
+                        b.job_id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn machine_capacity_never_exceeded(reqs in arb_requests(8), backfill in any::<bool>()) {
+        let s = Scheduler::new(SchedulerConfig { total_nodes: 8, cores_per_node: 1, backfill });
+        let recs = s.schedule(&reqs);
+        for probe in recs.iter().map(|r| r.start_time) {
+            let used: u32 = recs
+                .iter()
+                .filter(|r| r.start_time <= probe && probe < r.end_time)
+                .map(|r| r.nodes)
+                .sum();
+            prop_assert!(used <= 8, "{used} nodes at t={probe}");
+        }
+    }
+
+    #[test]
+    fn fcfs_without_backfill_orders_starts_by_arrival(reqs in arb_requests(8)) {
+        let s = Scheduler::new(SchedulerConfig { total_nodes: 8, cores_per_node: 1, backfill: false });
+        let mut recs = s.schedule(&reqs);
+        // Under strict FCFS, start order respects (arrival, id) order.
+        recs.sort_by_key(|r| (r.arrival_time, r.job_id));
+        for w in recs.windows(2) {
+            prop_assert!(w[0].start_time <= w[1].start_time,
+                "job {} started after later-arriving job {}", w[0].job_id, w[1].job_id);
+        }
+    }
+
+    #[test]
+    fn backfill_is_a_no_op_for_uniform_job_sizes(reqs in arb_requests(8), width in 1u32..=8) {
+        // With every job requesting the same node count, a blocked queue
+        // head implies nothing else fits either, so backfill cannot change
+        // the schedule. (Note: for mixed sizes, backfill without
+        // reservations can legitimately *worsen* makespan — a property
+        // test against "backfill never hurts" found a counterexample.)
+        let uniform: Vec<JobRequest> =
+            reqs.iter().map(|r| JobRequest { nodes: width, ..*r }).collect();
+        let fcfs = Scheduler::new(SchedulerConfig { total_nodes: 8, cores_per_node: 1, backfill: false });
+        let easy = Scheduler::new(SchedulerConfig { total_nodes: 8, cores_per_node: 1, backfill: true });
+        prop_assert_eq!(fcfs.schedule(&uniform), easy.schedule(&uniform));
+    }
+}

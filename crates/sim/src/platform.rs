@@ -1,0 +1,411 @@
+//! The platform orchestrator: wires workload → scheduler → weather →
+//! contention → noise → logs into a [`SimDataset`].
+//!
+//! Every job's throughput is assembled in log10 space exactly as the
+//! paper's Eq. 3 decomposes it, and the components are **retained** as
+//! [`GroundTruth`] so the litmus tests can be validated against what was
+//! actually injected.
+
+use crate::apps::{generate_population, generate_workload};
+use crate::archetype::{ideal_throughput, JobConfig};
+use crate::config::SimConfig;
+use crate::contention::{assign_stripe, contention_factor, LoadGrid};
+use crate::darshan_gen::generate_job_log;
+use crate::telemetry::build_telemetry;
+use crate::weather::Weather;
+use iotax_darshan::features::{extract_mpiio_features, extract_posix_features};
+use iotax_darshan::format::{parse_log, write_log};
+use iotax_lmt::recorder::LmtRecorder;
+use iotax_sched::{JobRequest, Scheduler, SchedulerConfig};
+use iotax_stats::dist::{ContinuousDist, Normal};
+use iotax_stats::rng::{splitmix64, substream};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The hidden log10-space components of one job's throughput — what the
+/// paper calls f_a, f_g, f_l, f_n — plus novelty flags.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// log10 of the ideal application throughput f_a(j).
+    pub log10_app: f64,
+    /// Mean log10 global weather factor over the job's window.
+    pub log10_weather: f64,
+    /// log10 of the contention factor (≤ 0).
+    pub log10_contention: f64,
+    /// The inherent-noise draw ω (log10 space).
+    pub log10_noise: f64,
+    /// Whether the job belongs to a novel-era app (§VIII drift).
+    pub is_novel_era: bool,
+    /// Whether the job belongs to a rare, widened app.
+    pub is_rare: bool,
+}
+
+/// One simulated job with observable logs and hidden truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimJob {
+    /// Job id (dense, stable across runs of the same config/seed).
+    pub job_id: u64,
+    /// Application id.
+    pub app_id: u32,
+    /// Duplicate-set key: jobs sharing it are observational duplicates.
+    pub config_id: u64,
+    /// Executable name, as Darshan records it (archetype prefix + app id).
+    pub exe: String,
+    /// Queue arrival time, seconds.
+    pub arrival_time: i64,
+    /// Start time, seconds.
+    pub start_time: i64,
+    /// End time, seconds.
+    pub end_time: i64,
+    /// Nodes allocated.
+    pub nodes: u32,
+    /// Cores allocated.
+    pub cores: u32,
+    /// First node of the placement.
+    pub placement_first: u32,
+    /// MPI process count.
+    pub nprocs: u32,
+    /// The 48 POSIX job-level features.
+    pub posix: Vec<f64>,
+    /// The 48 MPI-IO job-level features (zeros when unused).
+    pub mpiio: Vec<f64>,
+    /// Whether the job used MPI-IO.
+    pub uses_mpiio: bool,
+    /// The 37 LMT features, when the system collects LMT.
+    pub lmt: Option<Vec<f64>>,
+    /// Measured I/O throughput, bytes/s — the prediction target.
+    pub throughput: f64,
+    /// Hidden decomposition of the throughput.
+    pub truth: GroundTruth,
+}
+
+impl SimJob {
+    /// log10 of the throughput (the regression target used everywhere).
+    pub fn log10_throughput(&self) -> f64 {
+        self.throughput.log10()
+    }
+}
+
+/// A complete simulated trace.
+#[derive(Debug, Clone)]
+pub struct SimDataset {
+    /// The configuration that generated this dataset.
+    pub config: SimConfig,
+    /// All jobs, sorted by start time.
+    pub jobs: Vec<SimJob>,
+    /// The weather timeline (hidden from models; used for validation).
+    pub weather: Weather,
+    /// LMT telemetry, when collected.
+    pub lmt: Option<LmtRecorder>,
+}
+
+impl SimDataset {
+    /// Indices of jobs starting before the cut (fractional position in the
+    /// horizon), and at/after it — the deployment split of §VIII.
+    pub fn split_by_time(&self, fraction: f64) -> (Vec<usize>, Vec<usize>) {
+        assert!((0.0..=1.0).contains(&fraction));
+        let cut = (self.config.horizon_seconds as f64 * fraction) as i64;
+        let mut before = Vec::new();
+        let mut after = Vec::new();
+        for (i, j) in self.jobs.iter().enumerate() {
+            if j.start_time < cut {
+                before.push(i);
+            } else {
+                after.push(i);
+            }
+        }
+        (before, after)
+    }
+}
+
+/// The simulated HPC platform.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    config: SimConfig,
+}
+
+impl Platform {
+    /// Create a platform; panics on invalid configuration.
+    pub fn new(config: SimConfig) -> Self {
+        config.validate();
+        Self { config }
+    }
+
+    /// Run the full generation pipeline.
+    pub fn generate(&self) -> SimDataset {
+        let cfg = &self.config;
+        let seed = cfg.seed;
+
+        // 1. Population and workload.
+        let mut pop_rng = substream(seed, 1);
+        let population = generate_population(&mut pop_rng, cfg);
+        let mut wl_rng = substream(seed, 2);
+        let workload = generate_workload(&mut wl_rng, cfg, &population);
+
+        // 2. Scheduler: requests → placed records.
+        let requests: Vec<JobRequest> = workload
+            .submissions
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let jc = &workload.configs[s.config_id as usize];
+                JobRequest {
+                    job_id: i as u64,
+                    arrival_time: s.arrival,
+                    nodes: job_nodes(jc, cfg),
+                    runtime: job_runtime(jc, cfg),
+                }
+            })
+            .collect();
+        let scheduler = Scheduler::new(SchedulerConfig {
+            total_nodes: cfg.total_nodes,
+            cores_per_node: cfg.cores_per_node,
+            backfill: true,
+        });
+        let mut records = scheduler.schedule(&requests);
+        records.sort_by_key(|r| r.job_id);
+
+        // 3. Weather.
+        let mut weather_rng = substream(seed, 3);
+        let weather = Weather::generate(&mut weather_rng, cfg.horizon_seconds, cfg.incidents_per_year);
+
+        // 4. Contention: deposit every job, then read back external loads.
+        let mut grid = LoadGrid::new(
+            cfg.horizon_seconds + 40 * 86_400, // queue delays can spill past the horizon
+            cfg.bucket_seconds,
+            cfg.n_osts(),
+        );
+        let stripes: Vec<_> = records
+            .iter()
+            .map(|r| {
+                let s = &workload.submissions[r.job_id as usize];
+                let jc = &workload.configs[s.config_id as usize];
+                assign_stripe(splitmix64(seed ^ r.job_id), jc, cfg.n_osts())
+            })
+            .collect();
+        // Jobs run periodic I/O phases throughout their runtime; at bucket
+        // resolution that is a sustained offered rate of volume/runtime on
+        // the job's stripe. Burst-coincidence microphysics is folded into
+        // `contention_strength`/`contention_reference` (see DESIGN.md).
+        for (r, stripe) in records.iter().zip(&stripes) {
+            let s = &workload.submissions[r.job_id as usize];
+            let jc = &workload.configs[s.config_id as usize];
+            grid.deposit(stripe, jc, r.start_time, r.end_time);
+        }
+
+        // 5. Telemetry (before moving the grid into job assembly).
+        let lmt = cfg.collect_lmt.then(|| build_telemetry(&grid, &weather, cfg));
+
+        // 6. Per-job assembly: throughput composition + Darshan round trip.
+        let jobs: Vec<SimJob> = records
+            .par_iter()
+            .zip(stripes.par_iter())
+            .map(|(rec, stripe)| {
+                let sub = &workload.submissions[rec.job_id as usize];
+                let jc = &workload.configs[sub.config_id as usize];
+                let app = &population.apps[sub.app_idx];
+
+                // Eq. 3, log-additively.
+                let f_a = ideal_throughput(jc, cfg.peak_bandwidth);
+                let log10_app = f_a.log10();
+                let log10_weather = weather.mean_log10_factor(rec.start_time, rec.end_time);
+                let ext_ratio =
+                    grid.external_load(stripe, jc, rec.start_time, rec.end_time)
+                        / cfg.contention_reference;
+                let log10_contention = contention_factor(
+                    ext_ratio,
+                    jc.contention_sensitivity,
+                    cfg.contention_strength,
+                )
+                .log10();
+                let mut noise_rng = substream(seed, 10_000 + rec.job_id);
+                let log10_noise =
+                    Normal::new(0.0, cfg.noise_sigma_log10 * jc.noise_sensitivity)
+                        .sample(&mut noise_rng);
+                let log10_phi = log10_app + log10_weather + log10_contention + log10_noise;
+
+                // Darshan log: write and re-parse through the binary format.
+                let log = generate_job_log(
+                    rec.job_id,
+                    app.uid,
+                    &app.exe,
+                    rec.start_time,
+                    rec.end_time,
+                    jc,
+                    cfg.peak_bandwidth,
+                    sub.config_id,
+                );
+                let parsed = parse_log(&write_log(&log)).expect("format round trip");
+                let posix = extract_posix_features(&parsed).to_vec();
+                let mpiio = extract_mpiio_features(&parsed).to_vec();
+
+                let lmt_features = lmt
+                    .as_ref()
+                    .map(|r| r.window_features(rec.start_time, rec.end_time).to_vec());
+
+                SimJob {
+                    job_id: rec.job_id,
+                    app_id: app.app_id,
+                    config_id: sub.config_id,
+                    exe: app.exe.clone(),
+                    arrival_time: rec.arrival_time,
+                    start_time: rec.start_time,
+                    end_time: rec.end_time,
+                    nodes: rec.nodes,
+                    cores: rec.cores,
+                    placement_first: rec.placement_first,
+                    nprocs: jc.nprocs,
+                    posix,
+                    mpiio,
+                    uses_mpiio: jc.uses_mpiio,
+                    lmt: lmt_features,
+                    throughput: 10f64.powf(log10_phi),
+                    truth: GroundTruth {
+                        log10_app,
+                        log10_weather,
+                        log10_contention,
+                        log10_noise,
+                        is_novel_era: app.is_novel_era,
+                        is_rare: app.is_rare,
+                    },
+                }
+            })
+            .collect();
+
+        let mut jobs = jobs;
+        jobs.sort_by_key(|j| (j.start_time, j.job_id));
+        SimDataset { config: cfg.clone(), jobs, weather, lmt }
+    }
+}
+
+/// Nodes a config occupies on this machine.
+fn job_nodes(jc: &JobConfig, cfg: &SimConfig) -> u32 {
+    jc.nprocs.div_ceil(cfg.cores_per_node).clamp(1, cfg.total_nodes / 4)
+}
+
+/// Runtime: compute plus nominal I/O, clamped to scheduler limits.
+/// Deterministic per config, so duplicate jobs request identical walltimes.
+fn job_runtime(jc: &JobConfig, cfg: &SimConfig) -> i64 {
+    let io = jc.nominal_io_seconds(cfg.peak_bandwidth);
+    ((jc.compute_seconds + io) as i64).clamp(60, 86_400)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn small() -> SimDataset {
+        Platform::new(SimConfig::theta().with_jobs(2_000).with_seed(11)).generate()
+    }
+
+    #[test]
+    fn generates_requested_job_count() {
+        let ds = small();
+        assert_eq!(ds.jobs.len(), 2_000);
+        assert!(ds.jobs.windows(2).all(|w| w[0].start_time <= w[1].start_time));
+    }
+
+    #[test]
+    fn throughput_decomposition_is_consistent() {
+        let ds = small();
+        for j in &ds.jobs {
+            let t = &j.truth;
+            let recomposed =
+                t.log10_app + t.log10_weather + t.log10_contention + t.log10_noise;
+            assert!((j.log10_throughput() - recomposed).abs() < 1e-9);
+            assert!(t.log10_contention <= 1e-12);
+            assert!(j.throughput > 0.0);
+        }
+    }
+
+    #[test]
+    fn duplicates_share_observables_but_not_throughput() {
+        let ds = small();
+        let mut by_config: HashMap<u64, Vec<&SimJob>> = HashMap::new();
+        for j in &ds.jobs {
+            by_config.entry(j.config_id).or_default().push(j);
+        }
+        let mut checked = 0;
+        for group in by_config.values().filter(|g| g.len() >= 2) {
+            let first = group[0];
+            for j in &group[1..] {
+                assert_eq!(j.posix, first.posix, "duplicate posix features differ");
+                assert_eq!(j.mpiio, first.mpiio);
+                assert_eq!(j.nprocs, first.nprocs);
+                checked += 1;
+            }
+        }
+        assert!(checked > 50, "too few duplicates to be meaningful: {checked}");
+        // And at least some duplicates differ in throughput (noise).
+        let any_differ = by_config.values().filter(|g| g.len() >= 2).any(|g| {
+            (g[0].throughput - g[1].throughput).abs() > 1e-6 * g[0].throughput
+        });
+        assert!(any_differ);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.jobs, b.jobs);
+    }
+
+    #[test]
+    fn theta_has_no_lmt_cori_does() {
+        let theta = small();
+        assert!(theta.lmt.is_none());
+        assert!(theta.jobs.iter().all(|j| j.lmt.is_none()));
+        let cori =
+            Platform::new(SimConfig::cori().with_jobs(500).with_seed(1)).generate();
+        assert!(cori.lmt.is_some());
+        assert!(cori.jobs.iter().all(|j| j.lmt.is_some()));
+    }
+
+    #[test]
+    fn novel_jobs_cluster_late() {
+        let ds = Platform::new(SimConfig::theta().with_jobs(5_000).with_seed(5)).generate();
+        let novel_start = (ds.config.horizon_seconds as f64
+            * (1.0 - ds.config.novel_era_fraction)) as i64;
+        let novel: Vec<_> =
+            ds.jobs.iter().filter(|j| j.truth.is_novel_era).collect();
+        assert!(!novel.is_empty(), "no novel jobs generated");
+        for j in novel {
+            assert!(j.arrival_time >= novel_start);
+        }
+    }
+
+    #[test]
+    fn split_by_time_partitions() {
+        let ds = small();
+        let (before, after) = ds.split_by_time(0.8);
+        assert_eq!(before.len() + after.len(), ds.jobs.len());
+        assert!(!before.is_empty() && !after.is_empty());
+        let cut = (ds.config.horizon_seconds as f64 * 0.8) as i64;
+        assert!(before.iter().all(|&i| ds.jobs[i].start_time < cut));
+        assert!(after.iter().all(|&i| ds.jobs[i].start_time >= cut));
+    }
+
+    #[test]
+    fn noise_magnitude_matches_config() {
+        let ds = small();
+        let noises: Vec<f64> =
+            ds.jobs.iter().map(|j| j.truth.log10_noise).collect();
+        let std = iotax_stats::std_corrected(&noises);
+        // Mixture over noise sensitivities (0.8 .. 2.2, mean ~1.2): the
+        // pooled std should be near sigma × mean sensitivity.
+        assert!(std > ds.config.noise_sigma_log10 * 0.8);
+        assert!(std < ds.config.noise_sigma_log10 * 2.5, "std {std}");
+    }
+
+    #[test]
+    fn contention_is_nonzero_for_some_jobs() {
+        let ds = small();
+        let contended = ds
+            .jobs
+            .iter()
+            .filter(|j| j.truth.log10_contention < -0.001)
+            .count();
+        assert!(contended > 20, "only {contended} contended jobs");
+    }
+}

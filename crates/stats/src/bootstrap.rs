@@ -1,0 +1,103 @@
+//! Percentile bootstrap confidence intervals.
+//!
+//! Litmus-test outputs (median duplicate error, noise σ) are point estimates
+//! from finite samples; the harness reports bootstrap CIs alongside them so
+//! paper-vs-measured comparisons are honest about estimator uncertainty.
+
+use crate::describe::quantile_sorted;
+use rand::{Rng, RngExt};
+
+/// A bootstrap confidence interval for a statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower CI bound.
+    pub lo: f64,
+    /// Upper CI bound.
+    pub hi: f64,
+    /// Number of bootstrap replicates used.
+    pub replicates: usize,
+}
+
+/// Percentile bootstrap CI for an arbitrary statistic.
+///
+/// * `xs` — the sample (non-empty).
+/// * `stat` — the statistic, e.g. `median`.
+/// * `replicates` — number of resamples (≥ 100 recommended).
+/// * `confidence` — e.g. 0.95.
+pub fn bootstrap_ci<R, F>(
+    rng: &mut R,
+    xs: &[f64],
+    stat: F,
+    replicates: usize,
+    confidence: f64,
+) -> BootstrapCi
+where
+    R: Rng + ?Sized,
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!xs.is_empty(), "bootstrap requires data");
+    assert!(replicates >= 2, "need at least two replicates");
+    assert!(confidence > 0.0 && confidence < 1.0);
+    let estimate = stat(xs);
+    let mut stats = Vec::with_capacity(replicates);
+    let mut resample = vec![0.0; xs.len()];
+    for _ in 0..replicates {
+        for slot in resample.iter_mut() {
+            *slot = xs[rng.random_range(0..xs.len())];
+        }
+        stats.push(stat(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistic"));
+    let alpha = (1.0 - confidence) / 2.0;
+    BootstrapCi {
+        estimate,
+        lo: quantile_sorted(&stats, alpha),
+        hi: quantile_sorted(&stats, 1.0 - alpha),
+        replicates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::{mean, median};
+    use crate::dist::{ContinuousDist, Normal};
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn ci_brackets_true_mean() {
+        let mut rng = rng_from_seed(41);
+        let xs = Normal::new(10.0, 2.0).sample_n(&mut rng, 2000);
+        let ci = bootstrap_ci(&mut rng, &xs, mean, 500, 0.95);
+        assert!(ci.lo <= 10.0 + 0.2 && ci.hi >= 10.0 - 0.2, "{ci:?}");
+        assert!(ci.lo < ci.estimate && ci.estimate < ci.hi);
+    }
+
+    #[test]
+    fn ci_width_shrinks_with_sample_size() {
+        let mut rng = rng_from_seed(42);
+        let small = Normal::standard().sample_n(&mut rng, 100);
+        let large = Normal::standard().sample_n(&mut rng, 10_000);
+        let ci_s = bootstrap_ci(&mut rng, &small, median, 300, 0.95);
+        let ci_l = bootstrap_ci(&mut rng, &large, median, 300, 0.95);
+        assert!(ci_l.hi - ci_l.lo < ci_s.hi - ci_s.lo);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let a = bootstrap_ci(&mut rng_from_seed(7), &xs, median, 100, 0.9);
+        let b = bootstrap_ci(&mut rng_from_seed(7), &xs, median, 100, 0.9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_data_gives_degenerate_ci() {
+        let xs = vec![3.0; 40];
+        let ci = bootstrap_ci(&mut rng_from_seed(8), &xs, mean, 100, 0.95);
+        assert_eq!(ci.lo, 3.0);
+        assert_eq!(ci.hi, 3.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Linear- and log-spaced histograms.
+//!
+//! Figure 6 of the paper buckets duplicate pairs by decade of Δt; Darshan
+//! itself reports access-size histograms. Both uses share this type.
+
+use serde::{Deserialize, Serialize};
+
+/// A 1-D histogram with explicit bin edges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Bin edges, ascending, length `bins + 1`.
+    pub edges: Vec<f64>,
+    /// Counts per bin, length `bins`.
+    pub counts: Vec<u64>,
+    /// Observations below the first edge.
+    pub underflow: u64,
+    /// Observations at or above the last edge.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn linear(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "need hi > lo");
+        let w = (hi - lo) / bins as f64;
+        let edges = (0..=bins).map(|i| lo + w * i as f64).collect();
+        Self { edges, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Histogram with logarithmically spaced bins spanning `[lo, hi)`,
+    /// `lo > 0`. Used for Δt decade bucketing.
+    pub fn logarithmic(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+        let (l, h) = (lo.ln(), hi.ln());
+        let w = (h - l) / bins as f64;
+        let edges = (0..=bins).map(|i| (l + w * i as f64).exp()).collect();
+        Self { edges, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Histogram from explicit edges (ascending, at least two).
+    pub fn from_edges(edges: Vec<f64>) -> Self {
+        assert!(edges.len() >= 2, "need at least two edges");
+        assert!(
+            edges.windows(2).all(|w| w[1] > w[0]),
+            "edges must be strictly ascending"
+        );
+        let bins = edges.len() - 1;
+        Self { edges, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Index of the bin containing `x`, or `None` for under/overflow.
+    pub fn bin_index(&self, x: f64) -> Option<usize> {
+        if x < self.edges[0] || x >= *self.edges.last().expect(">= 2 edges") {
+            return None;
+        }
+        // Binary search for the rightmost edge <= x.
+        let i = match self
+            .edges
+            .binary_search_by(|e| e.partial_cmp(&x).expect("finite edges"))
+        {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        Some(i.min(self.bins() - 1))
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        match self.bin_index(x) {
+            Some(i) => self.counts[i] += 1,
+            None if x < self.edges[0] => self.underflow += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Record every element of a slice.
+    pub fn record_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Total count including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Normalized density per bin (integrates to the in-range fraction).
+    pub fn density(&self) -> Vec<f64> {
+        let total = self.total().max(1) as f64;
+        self.counts
+            .iter()
+            .zip(self.edges.windows(2))
+            .map(|(&c, e)| c as f64 / (total * (e[1] - e[0])))
+            .collect()
+    }
+
+    /// Midpoint of each bin (geometric mean for log-spaced histograms would
+    /// differ; this is the arithmetic midpoint).
+    pub fn centers(&self) -> Vec<f64> {
+        self.edges.windows(2).map(|e| 0.5 * (e[0] + e[1])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning() {
+        let mut h = Histogram::linear(0.0, 10.0, 10);
+        h.record_all(&[0.0, 0.5, 1.0, 9.99, 5.0]);
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[9], 1);
+        assert_eq!(h.counts[5], 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn overflow_and_underflow() {
+        let mut h = Histogram::linear(0.0, 1.0, 2);
+        h.record(-0.1);
+        h.record(1.0); // right edge is exclusive
+        h.record(5.0);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn log_bins_are_decades() {
+        let h = Histogram::logarithmic(1.0, 1e6, 6);
+        for (i, e) in h.edges.iter().enumerate() {
+            assert!((e / 10f64.powi(i as i32) - 1.0).abs() < 1e-9);
+        }
+        let mut h = h;
+        h.record(3.0); // decade [1, 10)
+        h.record(31_623.0); // decade [1e4, 1e5)
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[4], 1);
+    }
+
+    #[test]
+    fn density_integrates_to_one_without_overflow() {
+        let mut h = Histogram::linear(0.0, 1.0, 4);
+        h.record_all(&[0.1, 0.3, 0.6, 0.9]);
+        let area: f64 = h
+            .density()
+            .iter()
+            .zip(h.edges.windows(2))
+            .map(|(d, e)| d * (e[1] - e[0]))
+            .sum();
+        assert!((area - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_index_boundaries() {
+        let h = Histogram::from_edges(vec![0.0, 1.0, 2.0]);
+        assert_eq!(h.bin_index(0.0), Some(0));
+        assert_eq!(h.bin_index(1.0), Some(1));
+        assert_eq!(h.bin_index(2.0), None);
+        assert_eq!(h.bin_index(-0.001), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_descending_edges() {
+        Histogram::from_edges(vec![1.0, 0.5]);
+    }
+}

@@ -1,0 +1,47 @@
+//! # iotax-stats
+//!
+//! Statistics substrate for the `iotax` reproduction of *"A Taxonomy of Error
+//! Sources in HPC I/O Machine Learning Models"* (SC'22).
+//!
+//! The paper's litmus tests are statistical procedures: Bessel-corrected
+//! duplicate-set error estimates (§VI, §IX), Student-t fits to concurrent
+//! duplicate distributions (§IX), quantile summaries of heavy-tailed error
+//! distributions (§V), and distributional comparisons between feature sets
+//! (§VI-VII). This crate implements everything those tests need from scratch:
+//!
+//! * [`special`] — `erf`, `ln_gamma`, regularized incomplete beta/gamma,
+//!   the numerical bedrock for the distribution CDFs.
+//! * [`dist`] — Normal, LogNormal, Student-t, Uniform, Exponential, Gamma,
+//!   Pareto and categorical sampling with pdf/cdf/quantile where defined.
+//! * [`describe`] — descriptive statistics: mean, Bessel-corrected variance,
+//!   medians, arbitrary quantiles, MAD, skewness, kurtosis.
+//! * [`online`] — Welford online moments with parallel-friendly merge.
+//! * [`histogram`] — linear- and log-spaced histograms.
+//! * [`ks`] — one- and two-sample Kolmogorov–Smirnov tests.
+//! * [`fit`] — moment/MLE fitting for Normal and Student-t (EM with a
+//!   profiled degrees-of-freedom search).
+//! * [`bootstrap`] — percentile bootstrap confidence intervals.
+//! * [`rng`] — deterministic seed-derivation helpers so parallel simulation
+//!   streams stay reproducible.
+//!
+//! All sampling is generic over [`rand::Rng`] and deterministic for a given
+//! seed, which the experiment harness relies on for bit-for-bit reproduction.
+
+pub mod bootstrap;
+pub mod corr;
+pub mod describe;
+pub mod dist;
+pub mod fit;
+pub mod histogram;
+pub mod ks;
+pub mod online;
+pub mod rng;
+pub mod special;
+
+pub use corr::{pearson, spearman};
+pub use describe::{mean, median, quantile, std_corrected, variance_biased, variance_corrected};
+pub use dist::{Categorical, Exponential, Gamma, LogNormal, Normal, Pareto, StudentT, Uniform};
+pub use fit::{fit_normal, fit_student_t, NormalFit, StudentTFit};
+pub use histogram::Histogram;
+pub use online::Welford;
+pub use rng::{rng_from_seed, substream};

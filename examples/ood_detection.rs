@@ -1,0 +1,54 @@
+//! Out-of-distribution job detection with deep-ensemble uncertainty
+//! (§VIII): train an ensemble on the first part of the trace, decompose
+//! each later job's uncertainty into aleatory and epistemic parts, and
+//! flag the epistemic outliers — then check the flags against the
+//! simulator's hidden novel/rare markers.
+//!
+//! ```sh
+//! cargo run --release --example ood_detection
+//! ```
+
+use iotax::core::ood::{ood_litmus, OodConfig};
+use iotax::ml::data::Dataset;
+use iotax::sim::{FeatureSet, Platform, SimConfig};
+
+fn main() {
+    let sim = Platform::new(SimConfig::theta().with_jobs(8_000).with_seed(23)).generate();
+    let m = sim.feature_matrix(FeatureSet::posix());
+    let data = Dataset::new(m.data, m.n_rows, m.n_cols, m.y, m.names);
+    let (train, _val, test) = data.split_ordered(0.70, 0.15);
+
+    println!("training a 4-member heteroscedastic ensemble on {} jobs...", train.n_rows);
+    let result = ood_litmus(&train, &test, &OodConfig::quick(5));
+
+    println!("\nuncertainty decomposition over {} test jobs:", test.n_rows);
+    println!("  median aleatory std  (AU): {:.4}  ← irreducible noise", result.median_aleatory_std);
+    println!("  median epistemic std (EU): {:.4}  ← lack of similar training jobs", result.median_epistemic_std);
+    println!("  EU threshold (shoulder):   {:.4}", result.eu_threshold);
+    println!(
+        "  flagged OoD: {:.2} % of jobs carrying {:.2} % of total error ({:.1}x amplification)",
+        result.ood_fraction * 100.0,
+        result.ood_error_share * 100.0,
+        result.error_amplification
+    );
+
+    // Validate against the hidden ground truth: the test window is the
+    // last 15 % of the trace, where novel-era apps live.
+    let test_jobs = &m.job_index[m.n_rows - test.n_rows..];
+    let mut hits = 0usize;
+    let mut truly_novel = 0usize;
+    for (&job_idx, &flag) in test_jobs.iter().zip(&result.is_ood) {
+        let truth = &sim.jobs[job_idx].truth;
+        if truth.is_novel_era || truth.is_rare {
+            truly_novel += 1;
+            if flag {
+                hits += 1;
+            }
+        }
+    }
+    println!(
+        "\nground truth check: {truly_novel} genuinely novel/rare jobs in the test window; \
+         {hits} of them flagged by EU"
+    );
+    println!("paper reference: 0.7 % of Theta samples flagged, carrying 2.4 % of error (~3x).");
+}

@@ -1,0 +1,45 @@
+//! # iotax — a taxonomy of error sources in HPC I/O machine learning models
+//!
+//! Facade crate for the `iotax` workspace, a Rust reproduction of
+//! *"A Taxonomy of Error Sources in HPC I/O Machine Learning Models"*
+//! (Isakov et al., SC 2022).
+//!
+//! The paper decomposes the I/O-throughput prediction error of ML models
+//! into five classes — application modeling, global system modeling,
+//! generalization (out-of-distribution), contention, and inherent noise —
+//! and gives a *litmus test* for each. This workspace rebuilds the whole
+//! stack the paper depends on:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`stats`] | distributions, fitting, KS tests, descriptive statistics |
+//! | [`darshan`] | Darshan-like I/O characterization logs (binary format + parser) |
+//! | [`sched`] | Cobalt-like scheduler simulator and logs |
+//! | [`lmt`] | Lustre Monitoring Tools-like I/O subsystem telemetry |
+//! | [`sim`] | the data-generating process: workloads, weather, contention, noise |
+//! | [`ml`] | from-scratch gradient boosting, MLPs, grid search, evolutionary NAS |
+//! | [`uq`] | deep ensembles and aleatory/epistemic uncertainty decomposition |
+//! | [`core`] | the taxonomy itself: duplicate sets, litmus tests, error attribution |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use iotax::sim::{Platform, SimConfig};
+//! use iotax::core::Taxonomy;
+//!
+//! // Generate a small Theta-like dataset and run the full taxonomy.
+//! let config = SimConfig::theta().with_jobs(2_000).with_seed(7);
+//! let dataset = Platform::new(config).generate();
+//! let report = Taxonomy::quick().run(&dataset);
+//! println!("{}", report.render_text());
+//! assert!(report.baseline_median_error_pct > 0.0);
+//! ```
+
+pub use iotax_core as core;
+pub use iotax_darshan as darshan;
+pub use iotax_lmt as lmt;
+pub use iotax_ml as ml;
+pub use iotax_sched as sched;
+pub use iotax_sim as sim;
+pub use iotax_stats as stats;
+pub use iotax_uq as uq;

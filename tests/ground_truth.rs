@@ -1,0 +1,244 @@
+//! Ground-truth validation of the litmus tests.
+//!
+//! The simulator retains the hidden components of every job's throughput
+//! (f_a, ζ_g, ζ_l, ω — Eq. 3 of the paper). These tests check that each
+//! litmus test recovers the quantity it claims to estimate — a validation
+//! the paper could not run on production data, and the core scientific
+//! check of this reproduction.
+
+use iotax::core::{app_modeling_bound, concurrent_noise_floor, find_duplicate_sets};
+use iotax::sim::{Platform, SimConfig};
+use iotax::stats::describe::{median, std_corrected};
+
+fn theta(jobs: usize, seed: u64) -> iotax::sim::SimDataset {
+    Platform::new(SimConfig::theta().with_jobs(jobs).with_seed(seed)).generate()
+}
+
+/// Litmus 1 (application bound) measures exactly the non-application
+/// spread: for each duplicate set the target deviations equal the
+/// deviations of (weather + contention + noise), because f_a is identical
+/// within a set by construction.
+#[test]
+fn app_bound_equals_injected_non_application_spread() {
+    let ds = theta(6_000, 101);
+    let dup = find_duplicate_sets(&ds.jobs);
+    let y: Vec<f64> = ds.jobs.iter().map(|j| j.log10_throughput()).collect();
+    let bound = app_modeling_bound(&y, &dup);
+
+    // Recompute the same statistic from the hidden components.
+    let residual: Vec<f64> = ds
+        .jobs
+        .iter()
+        .map(|j| j.truth.log10_weather + j.truth.log10_contention + j.truth.log10_noise)
+        .collect();
+    let hidden_bound = app_modeling_bound(&residual, &dup);
+    assert!(
+        (bound.median_abs_log10 - hidden_bound.median_abs_log10).abs() < 1e-9,
+        "observable bound {} vs hidden bound {}",
+        bound.median_abs_log10,
+        hidden_bound.median_abs_log10
+    );
+    assert!(bound.median_abs_pct > 1.0, "bound {} % too small", bound.median_abs_pct);
+}
+
+/// Litmus 5 (noise floor): concurrent duplicates share f_a and (to bucket
+/// precision) ζ_g, so the measured sigma must match the injected
+/// contention + noise spread — and must sit near the configured noise
+/// sigma, since contention is the smaller term on Theta.
+#[test]
+fn noise_floor_recovers_injected_sigma() {
+    let ds = theta(8_000, 103);
+    let dup = find_duplicate_sets(&ds.jobs);
+    let y: Vec<f64> = ds.jobs.iter().map(|j| j.log10_throughput()).collect();
+    let starts: Vec<i64> = ds.jobs.iter().map(|j| j.start_time).collect();
+    let floor = concurrent_noise_floor(&y, &starts, &dup, &[], 1, 30)
+        .expect("enough concurrent duplicates");
+
+    let sigma_cfg = ds.config.noise_sigma_log10;
+    assert!(
+        floor.sigma_log10 > 0.7 * sigma_cfg && floor.sigma_log10 < 3.0 * sigma_cfg,
+        "measured sigma {} vs configured {}",
+        floor.sigma_log10,
+        sigma_cfg
+    );
+    // The ±68 % band should land in the single-digit-percent regime the
+    // paper reports for Theta (±5.71 %).
+    assert!(
+        floor.pct_68 > 3.0 && floor.pct_68 < 15.0,
+        "pct_68 {} out of the Theta regime",
+        floor.pct_68
+    );
+    assert!(floor.pct_95 > floor.pct_68);
+    // Small concurrent sets dominate, as on the real systems (96 % ≤ 6).
+    assert!(floor.small_set_fraction > 0.7, "{}", floor.small_set_fraction);
+}
+
+/// The noise floor must be *below* the all-duplicates application bound:
+/// spreading duplicates over time adds weather variance on top of
+/// contention + noise.
+#[test]
+fn concurrent_floor_is_below_full_duplicate_bound() {
+    let ds = theta(8_000, 105);
+    let dup = find_duplicate_sets(&ds.jobs);
+    let y: Vec<f64> = ds.jobs.iter().map(|j| j.log10_throughput()).collect();
+    let starts: Vec<i64> = ds.jobs.iter().map(|j| j.start_time).collect();
+    let bound = app_modeling_bound(&y, &dup);
+    let floor = concurrent_noise_floor(&y, &starts, &dup, &[], 1, 30).expect("data");
+    assert!(
+        floor.median_abs_log10 <= bound.median_abs_log10 * 1.1 + 1e-6,
+        "floor {} above bound {}",
+        floor.median_abs_log10,
+        bound.median_abs_log10
+    );
+}
+
+/// The measured concurrent spread tracks the injected (contention + noise)
+/// deviations directly.
+#[test]
+fn concurrent_spread_matches_injected_contention_plus_noise() {
+    let ds = theta(8_000, 107);
+    let dup = find_duplicate_sets(&ds.jobs);
+    let y: Vec<f64> = ds.jobs.iter().map(|j| j.log10_throughput()).collect();
+    let hidden: Vec<f64> = ds
+        .jobs
+        .iter()
+        .map(|j| j.truth.log10_contention + j.truth.log10_noise)
+        .collect();
+    let starts: Vec<i64> = ds.jobs.iter().map(|j| j.start_time).collect();
+    let observed = concurrent_noise_floor(&y, &starts, &dup, &[], 1, 30).expect("data");
+    let injected = concurrent_noise_floor(&hidden, &starts, &dup, &[], 1, 30).expect("data");
+    // Weather within a 1-second batch is essentially identical, so the two
+    // sigmas should agree within bucket-resolution slack.
+    assert!(
+        (observed.sigma_log10 - injected.sigma_log10).abs()
+            < 0.15 * injected.sigma_log10 + 1e-4,
+        "observed {} vs injected {}",
+        observed.sigma_log10,
+        injected.sigma_log10
+    );
+}
+
+/// Cori must measure as the noisier system, matching its configuration
+/// (paper: ±7.21 % vs ±5.71 %).
+#[test]
+fn cori_measures_noisier_than_theta() {
+    let theta_ds = theta(8_000, 109);
+    let cori_ds =
+        Platform::new(SimConfig::cori().with_jobs(8_000).with_seed(109)).generate();
+    let floor_of = |ds: &iotax::sim::SimDataset| {
+        let dup = find_duplicate_sets(&ds.jobs);
+        let y: Vec<f64> = ds.jobs.iter().map(|j| j.log10_throughput()).collect();
+        let starts: Vec<i64> = ds.jobs.iter().map(|j| j.start_time).collect();
+        concurrent_noise_floor(&y, &starts, &dup, &[], 1, 30).expect("data")
+    };
+    let t = floor_of(&theta_ds);
+    let c = floor_of(&cori_ds);
+    assert!(
+        c.pct_68 > t.pct_68,
+        "cori ±{:.2} % should exceed theta ±{:.2} %",
+        c.pct_68,
+        t.pct_68
+    );
+}
+
+/// Rare and novel-era jobs — the injected OoD population — must carry more
+/// model-facing irregularity: their configs come from widened parameter
+/// distributions, so their ideal throughputs sit farther from the
+/// archetype's center.
+#[test]
+fn novel_jobs_are_structurally_different() {
+    let ds = theta(10_000, 111);
+    let regular: Vec<f64> = ds
+        .jobs
+        .iter()
+        .filter(|j| !j.truth.is_rare && !j.truth.is_novel_era)
+        .map(|j| j.truth.log10_app)
+        .collect();
+    let rare: Vec<f64> = ds
+        .jobs
+        .iter()
+        .filter(|j| j.truth.is_rare || j.truth.is_novel_era)
+        .map(|j| j.truth.log10_app)
+        .collect();
+    assert!(rare.len() > 20, "too few OoD jobs: {}", rare.len());
+    // Widened draws spread wider than nominal ones.
+    assert!(
+        std_corrected(&rare) > std_corrected(&regular),
+        "rare spread {} vs regular {}",
+        std_corrected(&rare),
+        std_corrected(&regular)
+    );
+}
+
+/// Weather ground truth: jobs inside incident windows must be slower than
+/// identical-config jobs outside them.
+#[test]
+fn incidents_degrade_affected_jobs() {
+    let ds = theta(8_000, 113);
+    let degraded: Vec<f64> = ds
+        .jobs
+        .iter()
+        .filter(|j| j.truth.log10_weather < -0.05)
+        .map(|j| j.truth.log10_weather)
+        .collect();
+    assert!(
+        !degraded.is_empty(),
+        "no weather-degraded jobs in an {}-incident trace",
+        ds.weather.incidents().len()
+    );
+    assert!(median(&degraded) < -0.05);
+}
+
+/// LMT telemetry must genuinely encode the injected signals: the OSS CPU
+/// feature correlates with the weather factor, and OST byte rates with
+/// deposited load — otherwise Fig. 4's "LMT recovers system error" result
+/// would be circular.
+#[test]
+fn lmt_features_track_injected_weather() {
+    let ds = Platform::new(SimConfig::cori().with_jobs(4_000).with_seed(115)).generate();
+    let names = iotax::lmt::recorder::lmt_feature_names();
+    let cpu_idx = names.iter().position(|n| n == "LmtOssCpuLoadMean").expect("feature");
+    let mut cpu = Vec::new();
+    let mut weather = Vec::new();
+    for j in &ds.jobs {
+        cpu.push(j.lmt.as_ref().expect("cori has LMT")[cpu_idx]);
+        weather.push(j.truth.log10_weather);
+    }
+    // Degraded weather (more negative log factor) → higher OSS CPU stress.
+    let r = iotax::stats::pearson(&cpu, &weather);
+    assert!(r < -0.3, "OSS CPU vs weather correlation {r} too weak");
+}
+
+/// LMT sees the *global* system state but barely discriminates per-job
+/// contention — exactly the paper's §VII distinction: "local system
+/// impacts cannot be predicted or modeled without knowledge of all jobs
+/// running on the system", which is why Fig. 4's LMT enrichment recovers
+/// the system share and the contention share stays aleatory. The test
+/// asserts this contrast: server-mean load features separate the most-
+/// and least-contended deciles by well under 2x.
+#[test]
+fn lmt_load_features_track_contention() {
+    let ds = Platform::new(SimConfig::cori().with_jobs(6_000).with_seed(116)).generate();
+    let names = iotax::lmt::recorder::lmt_feature_names();
+    let wr_idx = names.iter().position(|n| n == "LmtOstWriteBytesMean").expect("feature");
+    let rd_idx = names.iter().position(|n| n == "LmtOstReadBytesMean").expect("feature");
+    let mut jobs: Vec<(f64, f64)> = ds
+        .jobs
+        .iter()
+        .map(|j| {
+            let lmt = j.lmt.as_ref().expect("cori has LMT");
+            (-j.truth.log10_contention, lmt[wr_idx] + lmt[rd_idx])
+        })
+        .collect();
+    jobs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    let decile = jobs.len() / 10;
+    let calm: Vec<f64> = jobs[..decile].iter().map(|p| p.1).collect();
+    let stormy: Vec<f64> = jobs[jobs.len() - decile..].iter().map(|p| p.1).collect();
+    let (m_calm, m_stormy) = (median(&calm), median(&stormy));
+    // Mildly informative (stormy ≥ calm), but far from separating — the
+    // contention signal lives at stripe granularity LMT cannot see.
+    assert!(
+        m_stormy > 0.8 * m_calm && m_stormy < 2.0 * m_calm,
+        "unexpected separation: stormy {m_stormy:.3e} vs calm {m_calm:.3e}"
+    );
+}
