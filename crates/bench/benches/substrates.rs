@@ -7,8 +7,8 @@ use iotax_darshan::format::{parse_log, write_log};
 use iotax_darshan::record::{FileRecord, JobLog, ModuleData, ModuleId};
 use iotax_sched::{JobRequest, Scheduler, SchedulerConfig};
 use iotax_sim::{Platform, SimConfig};
-use iotax_stats::fit::fit_student_t;
 use iotax_stats::dist::{ContinuousDist, StudentT};
+use iotax_stats::fit::fit_student_t;
 use iotax_stats::rng_from_seed;
 use std::hint::black_box;
 
@@ -69,9 +69,7 @@ fn bench_simulator(c: &mut Criterion) {
     for n_jobs in [500usize, 2_000] {
         group.throughput(Throughput::Elements(n_jobs as u64));
         group.bench_with_input(BenchmarkId::new("generate_theta", n_jobs), &n_jobs, |b, &n| {
-            b.iter(|| {
-                Platform::new(SimConfig::theta().with_jobs(n).with_seed(1)).generate()
-            })
+            b.iter(|| Platform::new(SimConfig::theta().with_jobs(n).with_seed(1)).generate())
         });
     }
     group.finish();
@@ -81,9 +79,7 @@ fn bench_stats(c: &mut Criterion) {
     let mut group = c.benchmark_group("stats");
     let mut rng = rng_from_seed(9);
     let sample = StudentT::new(5.0).sample_n(&mut rng, 5_000);
-    group.bench_function("fit_student_t_5k", |b| {
-        b.iter(|| fit_student_t(black_box(&sample)))
-    });
+    group.bench_function("fit_student_t_5k", |b| b.iter(|| fit_student_t(black_box(&sample))));
     group.bench_function("quantile_5k", |b| {
         b.iter(|| iotax_stats::quantile(black_box(&sample), 0.6827))
     });

@@ -9,8 +9,8 @@
 use iotax_bench::{theta_dataset, write_csv};
 use iotax_ml::data::Dataset;
 use iotax_ml::gbm::{Gbm, GbmParams};
-use iotax_ml::Regressor;
 use iotax_ml::metrics::median_abs_error_pct;
+use iotax_ml::Regressor;
 use iotax_sim::FeatureSet;
 
 fn main() {
@@ -23,7 +23,12 @@ fn main() {
     let model = Gbm::fit(
         &train,
         Some(&val),
-        GbmParams { n_trees: 150, max_depth: 8, early_stopping_rounds: Some(25), ..Default::default() },
+        GbmParams {
+            n_trees: 150,
+            max_depth: 8,
+            early_stopping_rounds: Some(25),
+            ..Default::default()
+        },
     );
     println!(
         "tuned model test error: {:.2} %\n",

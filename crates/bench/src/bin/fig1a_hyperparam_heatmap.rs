@@ -29,20 +29,10 @@ fn main() {
     let depths = [2, 4, 6, 9, 12, 15, 18, 21];
     // Coarse subsample sweep first (paper: the other two axes are fixed at
     // their best values).
-    let coarse = grid_search(
-        &train,
-        &val,
-        &[64],
-        &[6],
-        &[0.7, 1.0],
-        &[0.7, 1.0],
-        GbmParams::default(),
-    );
+    let coarse =
+        grid_search(&train, &val, &[64], &[6], &[0.7, 1.0], &[0.7, 1.0], GbmParams::default());
     let best_sub = coarse[0].params;
-    eprintln!(
-        "[fig1a] fixed subsample {} colsample {}",
-        best_sub.subsample, best_sub.colsample
-    );
+    eprintln!("[fig1a] fixed subsample {} colsample {}", best_sub.subsample, best_sub.colsample);
     let points = grid_search(
         &train,
         &val,

@@ -51,22 +51,20 @@ fn main() {
             "{:<18} {:>7} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>6.1}",
             class, s.n, s.p25, s.median, s.p75, s.p95, beta
         );
-        rows.push(format!("{class},{},{:.5},{:.5},{:.5},{:.5},{beta}", s.n, s.p25, s.median, s.p75, s.p95));
+        rows.push(format!(
+            "{class},{},{:.5},{:.5},{:.5},{:.5},{beta}",
+            s.n, s.p25, s.median, s.p75, s.p95
+        ));
         spread_by_beta.push((beta, s.p95));
     }
     // Shape check: spread correlates with contention sensitivity.
     spread_by_beta.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
     let low: f64 = spread_by_beta.iter().take(3).map(|x| x.1).sum::<f64>() / 3.0;
-    let high: f64 =
-        spread_by_beta.iter().rev().take(3).map(|x| x.1).sum::<f64>() / 3.0;
+    let high: f64 = spread_by_beta.iter().rev().take(3).map(|x| x.1).sum::<f64>() / 3.0;
     println!(
         "\nshape check: p95 spread of the 3 most-sensitive classes ({high:.4}) vs \
          3 least-sensitive ({low:.4}) — ratio {:.2} (paper: visibly wider)",
         high / low
     );
-    write_csv(
-        "fig1b_app_sensitivity.csv",
-        "class,n,p25,median,p75,p95,beta_l",
-        &rows,
-    );
+    write_csv("fig1b_app_sensitivity.csv", "class,n,p25,median,p75,p95,beta_l", &rows);
 }

@@ -34,7 +34,8 @@ fn main() {
     let heldout = data.subset(&heldout_rows);
     let post = data.subset(&post_rows);
 
-    let model = Gbm::fit(&train, None, GbmParams { n_trees: 150, max_depth: 8, ..Default::default() });
+    let model =
+        Gbm::fit(&train, None, GbmParams { n_trees: 150, max_depth: 8, ..Default::default() });
     let in_period = median_abs_error_pct(&heldout.y, &model.predict(&heldout));
     let deployed = median_abs_error_pct(&post.y, &model.predict(&post));
 
@@ -56,11 +57,7 @@ fn main() {
     for (k, &job) in post_rows.iter().enumerate() {
         let w = sim.jobs[job].start_time / week;
         if w != bucket_start && !bucket.is_empty() {
-            rows.push(format!(
-                "{},{:.5}",
-                bucket_start * 7,
-                iotax_stats::median(&bucket)
-            ));
+            rows.push(format!("{},{:.5}", bucket_start * 7, iotax_stats::median(&bucket)));
             bucket.clear();
             bucket_start = w;
         }

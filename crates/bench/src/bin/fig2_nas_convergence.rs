@@ -24,11 +24,7 @@ fn main() {
     let bound = app_modeling_bound(&y, &dup);
 
     // Scale the search with the dataset: the paper runs 10 × 30.
-    let (population, generations) = if jobs_from_env(8_000) >= 50_000 {
-        (30, 10)
-    } else {
-        (10, 5)
-    };
+    let (population, generations) = if jobs_from_env(8_000) >= 50_000 { (30, 10) } else { (10, 5) };
     eprintln!("[fig2] evolving {population} networks x {generations} generations");
     let history = evolve(
         &train,
@@ -36,7 +32,10 @@ fn main() {
         NasConfig { population, generations, tournament: 4, seed: 0x2A5, heteroscedastic: false },
     );
 
-    println!("Figure 2: NAS validation errors per generation (bound = {:.2} %)", bound.median_abs_pct);
+    println!(
+        "Figure 2: NAS validation errors per generation (bound = {:.2} %)",
+        bound.median_abs_pct
+    );
     let mut rows = Vec::new();
     let mut best_so_far = f64::INFINITY;
     let mut improvements = 0;
@@ -48,13 +47,7 @@ fn main() {
                 improvements += 1;
             }
         }
-        rows.push(format!(
-            "{},{},{:.4},{:?}",
-            i,
-            r.generation,
-            pct,
-            r.genome.hidden
-        ));
+        rows.push(format!("{},{},{:.4},{:?}", i, r.generation, pct, r.genome.hidden));
     }
     for g in 0..generations {
         let gen_best = history

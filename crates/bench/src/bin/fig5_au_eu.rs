@@ -37,9 +37,7 @@ fn main() {
     let half_point = |key: &dyn Fn(&iotax_uq::UqPrediction) -> f64| -> f64 {
         let mut idx: Vec<usize> = (0..errors.len()).collect();
         idx.sort_by(|&a, &b| {
-            key(&result.predictions[a])
-                .partial_cmp(&key(&result.predictions[b]))
-                .expect("finite")
+            key(&result.predictions[a]).partial_cmp(&key(&result.predictions[b])).expect("finite")
         });
         let total: f64 = errors.iter().sum();
         let mut cum = 0.0;
@@ -53,14 +51,14 @@ fn main() {
     };
     let eu_half = half_point(&|p| p.epistemic_std());
     let au_half = half_point(&|p| p.aleatory_std());
-    let au_floor = result
-        .predictions
-        .iter()
-        .map(|p| p.aleatory_std())
-        .fold(f64::INFINITY, f64::min);
+    let au_floor =
+        result.predictions.iter().map(|p| p.aleatory_std()).fold(f64::INFINITY, f64::min);
 
     println!("Figure 5: AU/EU decomposition over {} test jobs", errors.len());
-    println!("  median AU: {:.4}   median EU: {:.4}", result.median_aleatory_std, result.median_epistemic_std);
+    println!(
+        "  median AU: {:.4}   median EU: {:.4}",
+        result.median_aleatory_std, result.median_epistemic_std
+    );
     println!("  50 % of error below EU = {eu_half:.4}  (paper: ≈0.04)");
     println!("  50 % of error below AU = {au_half:.4}  (paper: ≈0.25)");
     println!("  AU floor: {au_floor:.4}  (paper: all jobs have AU ≳ 0.05 — inherent noise)");

@@ -8,8 +8,8 @@
 //! simultaneous sets are tiny (70 % have two members, 96 % ≤ 6).
 
 use iotax_bench::{theta_dataset, write_csv};
-use iotax_core::litmus::{concurrent_noise_floor, dt_bucket_spreads};
 use iotax_core::find_duplicate_sets;
+use iotax_core::litmus::{concurrent_noise_floor, dt_bucket_spreads};
 
 fn main() {
     let sim = theta_dataset(20_000);

@@ -16,25 +16,18 @@ use std::path::PathBuf;
 
 /// Read the job-count override from `IOTAX_JOBS`.
 pub fn jobs_from_env(default: usize) -> usize {
-    std::env::var("IOTAX_JOBS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    std::env::var("IOTAX_JOBS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Read the seed override from `IOTAX_SEED`.
 pub fn seed_from_env(default: u64) -> u64 {
-    std::env::var("IOTAX_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    std::env::var("IOTAX_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Generate a Theta-like dataset at harness scale.
 pub fn theta_dataset(default_jobs: usize) -> SimDataset {
-    let cfg = SimConfig::theta()
-        .with_jobs(jobs_from_env(default_jobs))
-        .with_seed(seed_from_env(0xA1CF));
+    let cfg =
+        SimConfig::theta().with_jobs(jobs_from_env(default_jobs)).with_seed(seed_from_env(0xA1CF));
     eprintln!(
         "[harness] theta: {} jobs over {:.0} days (seed {:#x})",
         cfg.n_jobs,
@@ -46,9 +39,8 @@ pub fn theta_dataset(default_jobs: usize) -> SimDataset {
 
 /// Generate a Cori-like dataset at harness scale.
 pub fn cori_dataset(default_jobs: usize) -> SimDataset {
-    let cfg = SimConfig::cori()
-        .with_jobs(jobs_from_env(default_jobs))
-        .with_seed(seed_from_env(0xC0B1));
+    let cfg =
+        SimConfig::cori().with_jobs(jobs_from_env(default_jobs)).with_seed(seed_from_env(0xC0B1));
     eprintln!(
         "[harness] cori: {} jobs over {:.0} days (seed {:#x})",
         cfg.n_jobs,

@@ -1,40 +1,79 @@
-//! `iotax-analyze` — run the statistics-only litmus tests on a trace
-//! directory produced by `iotax-gen` (or by anything that writes the same
-//! format from real logs).
+//! `iotax-analyze` — run the taxonomy litmus tests on a trace directory
+//! produced by `iotax-gen` (or by anything that writes the same format
+//! from real logs).
 //!
 //! ```sh
 //! iotax-analyze /tmp/theta-trace
+//! iotax-analyze /tmp/theta-trace --metrics-out metrics.jsonl
+//! iotax-analyze /tmp/theta-trace --stats-only
 //! ```
 //!
-//! Prints the duplicate census, the application-modeling bound (§VI), and
-//! the concurrent-duplicate noise floor (§IX) — the two litmus tests that
-//! need nothing but logs, and the ones a site operator can run on day one.
+//! First prints the duplicate census, the application-modeling bound (§VI),
+//! and the concurrent-duplicate noise floor (§IX) — the litmus tests that
+//! need nothing but logs. Then (unless `--stats-only`) reconstructs a
+//! dataset from the parsed logs and drives the full five-stage taxonomy
+//! through the staged `TaxonomyRun` API, printing the error-source report.
+//!
+//! With `--metrics-out PATH`, the run's timing spans, counters and
+//! histograms stream to `PATH` as JSON lines (see the `iotax-obs` crate);
+//! the five `core.*` stage spans appear there.
 
-use iotax_cli::{import_trace, trace_duplicate_sets};
-use iotax_core::{app_modeling_bound, concurrent_noise_floor};
+use iotax_cli::{import_trace, trace_duplicate_sets, trace_to_dataset};
+use iotax_core::{app_modeling_bound, concurrent_noise_floor, TaxonomyRun};
+use iotax_obs::{Error, JsonLinesSink};
 use std::path::PathBuf;
-use std::process::ExitCode;
+use std::sync::Arc;
 
-fn main() -> ExitCode {
-    let dir = match std::env::args().nth(1) {
-        Some(d) if d != "--help" && d != "-h" => PathBuf::from(d),
-        _ => {
-            eprintln!("usage: iotax-analyze TRACE_DIR");
-            return ExitCode::FAILURE;
-        }
-    };
-    let jobs = match import_trace(&dir) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("failed to read trace: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    println!("trace: {} jobs from {}", jobs.len(), dir.display());
+const USAGE: &str = "usage: iotax-analyze TRACE_DIR [--metrics-out PATH] [--stats-only]";
 
-    let dup = trace_duplicate_sets(&jobs);
+struct Args {
+    dir: PathBuf,
+    metrics_out: Option<PathBuf>,
+    stats_only: bool,
+}
+
+fn parse_args() -> Result<Args, Error> {
+    let mut dir = None;
+    let mut metrics_out = None;
+    let mut stats_only = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(Error::usage(USAGE)),
+            "--metrics-out" => {
+                let path = it.next().ok_or_else(|| Error::usage("--metrics-out needs a path"))?;
+                metrics_out = Some(PathBuf::from(path));
+            }
+            "--stats-only" => stats_only = true,
+            other if dir.is_none() => dir = Some(PathBuf::from(other)),
+            other => return Err(Error::usage(format!("unexpected argument {other} ({USAGE})"))),
+        }
+    }
+    let dir = dir.ok_or_else(|| Error::usage(USAGE))?;
+    Ok(Args { dir, metrics_out, stats_only })
+}
+
+fn run() -> Result<(), Error> {
+    let args = parse_args()?;
+    if let Some(path) = &args.metrics_out {
+        let sink = JsonLinesSink::create(path)
+            .map_err(|e| Error::io(format!("creating metrics file {}", path.display()), e))?;
+        iotax_obs::set_sink(Arc::new(sink));
+    }
+
+    let _span = iotax_obs::span!("analyze");
+    let jobs = import_trace(&args.dir)?;
+    println!("trace: {} jobs from {}", jobs.len(), args.dir.display());
+
+    let dup = {
+        let _span = iotax_obs::span!("analyze.duplicates");
+        trace_duplicate_sets(&jobs)
+    };
     let y: Vec<f64> = jobs.iter().map(|j| j.log10_throughput()).collect();
-    let bound = app_modeling_bound(&y, &dup);
+    let bound = {
+        let _span = iotax_obs::span!("analyze.app_bound");
+        app_modeling_bound(&y, &dup)
+    };
     println!(
         "\nduplicates: {} jobs ({:.1} % of trace) in {} sets",
         bound.n_duplicates,
@@ -47,7 +86,11 @@ fn main() -> ExitCode {
     );
 
     let starts: Vec<i64> = jobs.iter().map(|j| j.start_time).collect();
-    match concurrent_noise_floor(&y, &starts, &dup, &[], 1, 30) {
+    let floor = {
+        let _span = iotax_obs::span!("analyze.noise_floor");
+        concurrent_noise_floor(&y, &starts, &dup, &[], 1, 30)
+    };
+    match floor {
         Some(floor) => {
             println!(
                 "\nnoise floor (§IX): {} concurrent duplicates in {} sets",
@@ -68,5 +111,39 @@ fn main() -> ExitCode {
              benchmark runs to measure it"
         ),
     }
-    ExitCode::SUCCESS
+
+    if !args.stats_only {
+        eprintln!(
+            "\nrunning the five-stage taxonomy (baseline GBM, grid search, golden model, \
+                   ensemble UQ, noise floor)..."
+        );
+        let ds = trace_to_dataset(&jobs);
+        let report = TaxonomyRun::new(&ds)
+            .baseline()?
+            .app_litmus()?
+            .system_litmus()?
+            .ood()?
+            .noise_floor()?
+            .finish();
+        println!("\n{}", report.render_text());
+        if args.metrics_out.is_some() {
+            let stages: Vec<&str> = report.timings.iter().map(|t| t.name.as_str()).collect();
+            eprintln!("stage spans captured: {}", stages.join(", "));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Error> {
+    match run() {
+        Ok(()) => {
+            iotax_obs::flush_metrics();
+            Ok(())
+        }
+        Err(e) => {
+            iotax_obs::flush_metrics();
+            eprintln!("iotax-analyze: {e}");
+            std::process::exit(e.exit_code() as i32);
+        }
+    }
 }

@@ -3,67 +3,70 @@
 //!
 //! ```sh
 //! iotax-gen --system theta --jobs 5000 --seed 42 --out /tmp/theta-trace
+//! iotax-gen --jobs 2000 --metrics-out gen-metrics.jsonl
 //! ```
 
 use iotax_cli::export_trace;
+use iotax_obs::{Error, JsonLinesSink};
 use iotax_sim::{Platform, SimConfig};
 use std::path::PathBuf;
-use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     system: String,
     jobs: usize,
     seed: u64,
     out: PathBuf,
+    metrics_out: Option<PathBuf>,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Args, Error> {
     let mut args = Args {
         system: "theta".to_owned(),
         jobs: 5_000,
         seed: 42,
         out: PathBuf::from("iotax-trace"),
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value =
+            |name: &str| it.next().ok_or_else(|| Error::usage(format!("{name} needs a value")));
         match flag.as_str() {
             "--system" => args.system = value("--system")?,
             "--jobs" => {
-                args.jobs = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?
+                args.jobs =
+                    value("--jobs")?.parse().map_err(|e| Error::usage(format!("--jobs: {e}")))?
             }
             "--seed" => {
-                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                args.seed =
+                    value("--seed")?.parse().map_err(|e| Error::usage(format!("--seed: {e}")))?
             }
             "--out" => args.out = PathBuf::from(value("--out")?),
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--help" | "-h" => {
-                return Err("usage: iotax-gen [--system theta|cori] [--jobs N] \
-                            [--seed N] [--out DIR]"
-                    .to_owned())
+                return Err(Error::usage(
+                    "usage: iotax-gen [--system theta|cori] [--jobs N] \
+                     [--seed N] [--out DIR] [--metrics-out PATH]",
+                ))
             }
-            other => return Err(format!("unknown flag {other} (try --help)")),
+            other => return Err(Error::usage(format!("unknown flag {other} (try --help)"))),
         }
     }
     Ok(args)
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::FAILURE;
-        }
-    };
+fn run() -> Result<(), Error> {
+    let args = parse_args()?;
+    if let Some(path) = &args.metrics_out {
+        let sink = JsonLinesSink::create(path)
+            .map_err(|e| Error::io(format!("creating metrics file {}", path.display()), e))?;
+        iotax_obs::set_sink(Arc::new(sink));
+    }
     let config = match args.system.as_str() {
         "theta" => SimConfig::theta(),
         "cori" => SimConfig::cori(),
-        other => {
-            eprintln!("unknown system {other:?}; use theta or cori");
-            return ExitCode::FAILURE;
-        }
+        other => return Err(Error::usage(format!("unknown system {other:?}; use theta or cori"))),
     }
     .with_jobs(args.jobs)
     .with_seed(args.seed);
@@ -75,14 +78,21 @@ fn main() -> ExitCode {
         args.seed
     );
     let dataset = Platform::new(config).generate();
-    match export_trace(&dataset, &args.out) {
-        Ok(n) => {
-            eprintln!("wrote {n} jobs to {}", args.out.display());
-            ExitCode::SUCCESS
+    let n = export_trace(&dataset, &args.out)?;
+    eprintln!("wrote {n} jobs to {}", args.out.display());
+    Ok(())
+}
+
+fn main() -> Result<(), Error> {
+    match run() {
+        Ok(()) => {
+            iotax_obs::flush_metrics();
+            Ok(())
         }
         Err(e) => {
-            eprintln!("export failed: {e}");
-            ExitCode::FAILURE
+            iotax_obs::flush_metrics();
+            eprintln!("iotax-gen: {e}");
+            std::process::exit(e.exit_code() as i32);
         }
     }
 }

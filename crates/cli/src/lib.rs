@@ -19,10 +19,12 @@
 //!   logs/<job_id>.drn binary Darshan log per job
 //! ```
 
-use iotax_darshan::format::{parse_log, write_log, ParseError};
+use iotax_darshan::format::{parse_log, write_log};
 use iotax_darshan::record::{FileRecord, JobLog, ModuleData, ModuleId};
-use iotax_sim::{SimDataset, SimJob};
-use std::collections::hash_map::DefaultHasher;
+use iotax_obs::{Error, ErrorKind, Result};
+use iotax_sim::{GroundTruth, SimConfig, SimDataset, SimJob, Weather};
+use iotax_stats::Fnv1aHasher;
+use rand::{rngs::StdRng, SeedableRng};
 use std::hash::{Hash, Hasher};
 use std::io::{self, BufRead, Write};
 use std::path::Path;
@@ -56,12 +58,13 @@ impl TraceJob {
         self.throughput.log10()
     }
 
-    /// Observable-feature duplicate signature (same convention as
-    /// `iotax_core::job_signature`, computed from the parsed log).
+    /// Observable-feature duplicate signature (same convention — and the
+    /// same stable FNV-1a hash — as `iotax_core::job_signature`, computed
+    /// from the parsed log).
     pub fn signature(&self) -> u64 {
         let posix = iotax_darshan::features::extract_posix_features(&self.log);
         let mpiio = iotax_darshan::features::extract_mpiio_features(&self.log);
-        let mut hasher = DefaultHasher::new();
+        let mut hasher = Fnv1aHasher::new();
         self.log.nprocs.hash(&mut hasher);
         self.log.mpiio.is_some().hash(&mut hasher);
         for v in posix.iter().chain(mpiio.iter()) {
@@ -71,63 +74,13 @@ impl TraceJob {
     }
 }
 
-/// Errors from reading a trace directory.
-#[derive(Debug)]
-pub enum TraceError {
-    /// Filesystem error.
-    Io(io::Error),
-    /// Malformed manifest line.
-    BadManifest {
-        /// 1-based line number.
-        line: usize,
-        /// What went wrong.
-        reason: String,
-    },
-    /// A per-job log failed to parse.
-    BadLog {
-        /// The offending job id.
-        job_id: u64,
-        /// Parser error.
-        source: ParseError,
-    },
-}
-
-impl From<io::Error> for TraceError {
-    fn from(e: io::Error) -> Self {
-        TraceError::Io(e)
-    }
-}
-
-impl std::fmt::Display for TraceError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TraceError::Io(e) => write!(f, "io error: {e}"),
-            TraceError::BadManifest { line, reason } => {
-                write!(f, "manifest line {line}: {reason}")
-            }
-            TraceError::BadLog { job_id, source } => {
-                write!(f, "log for job {job_id}: {source}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for TraceError {}
-
 /// Reconstruct a job-level Darshan log from a [`SimJob`]'s aggregate
 /// features: one record per module carrying the job-level counters.
 /// Feature extraction of the result reproduces the job's features exactly
 /// (aggregation of a single record is the identity for both sums and
 /// maxima), which the round-trip test asserts.
 pub fn job_to_log(job: &SimJob) -> JobLog {
-    let mut log = JobLog::new(
-        job.job_id,
-        1000,
-        job.nprocs,
-        job.start_time,
-        job.end_time,
-        &job.exe,
-    );
+    let mut log = JobLog::new(job.job_id, 1000, job.nprocs, job.start_time, job.end_time, &job.exe);
     let mut rec = FileRecord::zeroed(ModuleId::Posix, job.job_id, job.nprocs);
     rec.counters.copy_from_slice(&job.posix);
     log.posix.records.push(rec);
@@ -143,14 +96,13 @@ pub fn job_to_log(job: &SimJob) -> JobLog {
 
 /// Write a dataset out as a trace directory. Returns the number of jobs
 /// written.
-pub fn export_trace(ds: &SimDataset, dir: &Path) -> Result<usize, TraceError> {
+pub fn export_trace(ds: &SimDataset, dir: &Path) -> Result<usize> {
+    let _span = iotax_obs::span!("cli.export_trace");
     let logs_dir = dir.join("logs");
-    std::fs::create_dir_all(&logs_dir)?;
+    std::fs::create_dir_all(&logs_dir)
+        .map_err(|e| Error::io(format!("creating {}", logs_dir.display()), e))?;
     let mut manifest = std::io::BufWriter::new(std::fs::File::create(dir.join("manifest.csv"))?);
-    writeln!(
-        manifest,
-        "job_id,arrival,start,end,nodes,cores,nprocs,throughput"
-    )?;
+    writeln!(manifest, "job_id,arrival,start,end,nodes,cores,nprocs,throughput")?;
     for job in &ds.jobs {
         writeln!(
             manifest,
@@ -172,8 +124,11 @@ pub fn export_trace(ds: &SimDataset, dir: &Path) -> Result<usize, TraceError> {
 }
 
 /// Read a trace directory back, parsing every log.
-pub fn import_trace(dir: &Path) -> Result<Vec<TraceJob>, TraceError> {
-    let manifest = std::fs::File::open(dir.join("manifest.csv"))?;
+pub fn import_trace(dir: &Path) -> Result<Vec<TraceJob>> {
+    let _span = iotax_obs::span!("cli.import_trace");
+    let manifest_path = dir.join("manifest.csv");
+    let manifest = std::fs::File::open(&manifest_path)
+        .map_err(|e| Error::io(format!("opening {}", manifest_path.display()), e))?;
     let mut jobs = Vec::new();
     for (line_no, line) in io::BufReader::new(manifest).lines().enumerate() {
         let line = line?;
@@ -182,20 +137,23 @@ pub fn import_trace(dir: &Path) -> Result<Vec<TraceJob>, TraceError> {
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 8 {
-            return Err(TraceError::BadManifest {
-                line: line_no + 1,
-                reason: format!("expected 8 fields, got {}", fields.len()),
-            });
+            return Err(Error::new(
+                ErrorKind::Parse,
+                format!("manifest line {}: expected 8 fields, got {}", line_no + 1, fields.len()),
+            ));
         }
-        let parse = |i: usize| -> Result<f64, TraceError> {
-            fields[i].parse().map_err(|e| TraceError::BadManifest {
-                line: line_no + 1,
-                reason: format!("field {i}: {e}"),
+        let parse = |i: usize| -> Result<f64> {
+            fields[i].parse().map_err(|e| {
+                Error::new(
+                    ErrorKind::Parse,
+                    format!("manifest line {}: field {i}: {e}", line_no + 1),
+                )
             })
         };
         let job_id = parse(0)? as u64;
         let bytes = std::fs::read(dir.join("logs").join(format!("{job_id}.drn")))?;
-        let log = parse_log(&bytes).map_err(|source| TraceError::BadLog { job_id, source })?;
+        let log = parse_log(&bytes)
+            .map_err(|source| Error::parse(format!("darshan log for job {job_id}"), source))?;
         jobs.push(TraceJob {
             job_id,
             arrival_time: parse(1)? as i64,
@@ -210,6 +168,62 @@ pub fn import_trace(dir: &Path) -> Result<Vec<TraceJob>, TraceError> {
     }
     jobs.sort_by_key(|j| (j.start_time, j.job_id));
     Ok(jobs)
+}
+
+/// Rebuild an in-memory [`SimDataset`] from an imported trace so the full
+/// five-stage taxonomy (`iotax_core::TaxonomyRun`) can run against on-disk
+/// logs.
+///
+/// A real trace carries no simulator-internal state, so the hidden fields
+/// get placeholders: ground-truth components are zeroed, the weather
+/// timeline is a seeded stand-in, and `config_id` is the observable
+/// duplicate signature. None of the five taxonomy stages reads any of
+/// those — they only matter to simulator-validation tests — so the report
+/// is exactly what the pipeline would produce on the observable features.
+pub fn trace_to_dataset(jobs: &[TraceJob]) -> SimDataset {
+    let horizon = jobs.iter().map(|j| j.end_time).max().unwrap_or(0) + 1;
+    let mut config = SimConfig::theta().with_jobs(jobs.len()).with_seed(42);
+    config.horizon_seconds = horizon;
+    let sim_jobs = jobs
+        .iter()
+        .map(|j| {
+            let posix = iotax_darshan::features::extract_posix_features(&j.log);
+            let mpiio = iotax_darshan::features::extract_mpiio_features(&j.log);
+            SimJob {
+                job_id: j.job_id,
+                // By construction exe is "<archetype>_<app id>".
+                app_id: j.log.exe.rsplit_once('_').and_then(|(_, id)| id.parse().ok()).unwrap_or(0),
+                config_id: j.signature(),
+                exe: j.log.exe.clone(),
+                arrival_time: j.arrival_time,
+                start_time: j.start_time,
+                end_time: j.end_time,
+                nodes: j.nodes,
+                cores: j.cores,
+                placement_first: 0,
+                nprocs: j.nprocs,
+                posix: posix.to_vec(),
+                mpiio: mpiio.to_vec(),
+                uses_mpiio: j.log.mpiio.is_some(),
+                lmt: None,
+                throughput: j.throughput,
+                truth: GroundTruth {
+                    log10_app: 0.0,
+                    log10_weather: 0.0,
+                    log10_contention: 0.0,
+                    log10_noise: 0.0,
+                    is_novel_era: false,
+                    is_rare: false,
+                },
+            }
+        })
+        .collect();
+    let weather = Weather::generate(
+        &mut StdRng::seed_from_u64(config.seed),
+        horizon,
+        config.incidents_per_year,
+    );
+    SimDataset { config, jobs: sim_jobs, weather, lmt: None }
 }
 
 /// Duplicate-set detection over trace jobs (the on-disk counterpart of
@@ -298,9 +312,33 @@ mod tests {
     }
 
     #[test]
+    fn full_taxonomy_runs_on_reconstructed_trace() {
+        let ds = Platform::new(SimConfig::theta().with_jobs(1_200).with_seed(84)).generate();
+        let dir = temp_dir("taxonomy");
+        export_trace(&ds, &dir).expect("export");
+        let jobs = import_trace(&dir).expect("import");
+        let rds = trace_to_dataset(&jobs);
+        // The observable duplicate structure survives reconstruction.
+        assert_eq!(find_duplicate_sets(&rds.jobs).n_sets(), find_duplicate_sets(&ds.jobs).n_sets());
+        let report = iotax_core::TaxonomyRun::new(&rds)
+            .baseline()
+            .and_then(iotax_core::BaselineStage::app_litmus)
+            .and_then(iotax_core::AppLitmusStage::system_litmus)
+            .and_then(iotax_core::SystemLitmusStage::ood)
+            .and_then(iotax_core::OodStage::noise_floor)
+            .map(iotax_core::NoiseFloorStage::finish)
+            .expect("taxonomy on reconstructed trace");
+        assert_eq!(report.timings.len(), 5, "one span tree per stage");
+        assert!(report.baseline_median_error_pct > 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn missing_manifest_is_reported() {
         let dir = temp_dir("missing");
-        assert!(matches!(import_trace(&dir), Err(TraceError::Io(_))));
+        let err = import_trace(&dir).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Io);
+        assert!(err.context().contains("manifest.csv"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -316,10 +354,12 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         std::fs::write(&path, bytes).expect("write log");
-        match import_trace(&dir) {
-            Err(TraceError::BadLog { job_id, .. }) => assert_eq!(job_id, victim),
-            other => panic!("expected BadLog, got {other:?}"),
-        }
+        let err = import_trace(&dir).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Parse);
+        assert!(err.context().contains(&victim.to_string()), "{err}");
+        // The typed parser error survives as the source of the chain.
+        let source = std::error::Error::source(&err).expect("cause preserved");
+        assert!(source.is::<iotax_darshan::format::ParseError>(), "{source}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -134,8 +134,7 @@ mod tests {
 
     #[test]
     fn recommendations_cover_all_classes_and_are_sorted() {
-        let sim =
-            Platform::new(SimConfig::theta().with_jobs(2_500).with_seed(71)).generate();
+        let sim = Platform::new(SimConfig::theta().with_jobs(2_500).with_seed(71)).generate();
         let report = Taxonomy::quick().run(&sim);
         let recs = recommend(&report);
         assert_eq!(recs.len(), 4);
@@ -150,8 +149,7 @@ mod tests {
 
     #[test]
     fn noise_dominated_system_says_stop() {
-        let sim =
-            Platform::new(SimConfig::theta().with_jobs(2_500).with_seed(72)).generate();
+        let sim = Platform::new(SimConfig::theta().with_jobs(2_500).with_seed(72)).generate();
         let report = Taxonomy::quick().run(&sim);
         let recs = recommend(&report);
         let noise = recs.iter().find(|r| r.class == "contention + inherent noise").expect("class");

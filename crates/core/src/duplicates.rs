@@ -7,7 +7,9 @@
 //! about the simulator's hidden config ids; the integration tests verify
 //! that the recovered sets coincide with them.
 
+use iotax_obs::counter;
 use iotax_sim::SimJob;
+use iotax_stats::Fnv1aHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
@@ -41,8 +43,12 @@ impl DuplicateSets {
 /// plus the Darshan-visible process count. Timing, placement and ids are
 /// deliberately excluded — with them, no two jobs would ever be duplicates
 /// (§VI.C's warning about timing features).
+///
+/// Hashed with FNV-1a rather than `DefaultHasher`: signatures are
+/// compared across processes (the on-disk trace tools recompute them),
+/// so the algorithm must not drift between Rust releases.
 pub fn job_signature(job: &SimJob) -> u64 {
-    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    let mut hasher = Fnv1aHasher::new();
     job.nprocs.hash(&mut hasher);
     job.uses_mpiio.hash(&mut hasher);
     for v in &job.posix {
@@ -69,6 +75,7 @@ pub fn find_duplicate_sets(jobs: &[SimJob]) -> DuplicateSets {
             set_of[j] = Some(si);
         }
     }
+    counter!("core.duplicate_sets_found").incr(sets.len() as u64);
     DuplicateSets { sets, set_of }
 }
 
@@ -107,6 +114,20 @@ mod tests {
         }
         let frac = dup.duplicate_fraction();
         assert!(frac > 0.1 && frac < 0.5, "duplicate fraction {frac}");
+    }
+
+    /// Golden values: the signature algorithm (field order + FNV-1a) is a
+    /// cross-process contract with the on-disk trace tools. These pins
+    /// catch any accidental change to either half.
+    #[test]
+    fn signature_values_are_pinned() {
+        let ds = Platform::new(SimConfig::theta().with_jobs(50).with_seed(24)).generate();
+        let sigs: Vec<u64> = ds.jobs.iter().take(3).map(job_signature).collect();
+        assert_eq!(
+            sigs,
+            [0x5cdf_1587_0d29_0afa, 0x6638_5b7e_e0e6_47ab, 0x3407_a754_bbf4_5ca9],
+            "pinned signatures changed: {sigs:#x?}"
+        );
     }
 
     #[test]

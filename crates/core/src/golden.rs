@@ -124,12 +124,8 @@ pub struct SystemLitmus {
 
 /// Run the system-modeling litmus test.
 pub fn system_litmus(sim: &SimDataset, effort: Effort) -> SystemLitmus {
-    let baseline = evaluate_feature_set(
-        sim,
-        FeatureSet::posix(),
-        "POSIX",
-        effort.baseline_params(),
-    );
+    let baseline =
+        evaluate_feature_set(sim, FeatureSet::posix(), "POSIX", effort.baseline_params());
     let golden = evaluate_feature_set(
         sim,
         FeatureSet::posix_start_time(),
@@ -137,12 +133,7 @@ pub fn system_litmus(sim: &SimDataset, effort: Effort) -> SystemLitmus {
         effort.golden_params(),
     );
     let lmt_enriched = sim.config.collect_lmt.then(|| {
-        evaluate_feature_set(
-            sim,
-            FeatureSet::posix_lmt(),
-            "POSIX+LMT",
-            effort.golden_params(),
-        )
+        evaluate_feature_set(sim, FeatureSet::posix_lmt(), "POSIX+LMT", effort.golden_params())
     });
     let golden_reduction_pct = if baseline.test_error_log10 > 0.0 {
         (1.0 - golden.test_error_log10 / baseline.test_error_log10) * 100.0
@@ -159,8 +150,7 @@ mod tests {
 
     #[test]
     fn golden_model_beats_baseline_on_weathered_data() {
-        let sim =
-            Platform::new(SimConfig::theta().with_jobs(4_000).with_seed(31)).generate();
+        let sim = Platform::new(SimConfig::theta().with_jobs(4_000).with_seed(31)).generate();
         let result = system_litmus(&sim, Effort::Quick);
         assert!(
             result.golden.test_error_log10 < result.baseline.test_error_log10,
@@ -173,8 +163,7 @@ mod tests {
 
     #[test]
     fn lmt_only_on_lmt_systems() {
-        let theta =
-            Platform::new(SimConfig::theta().with_jobs(1_500).with_seed(32)).generate();
+        let theta = Platform::new(SimConfig::theta().with_jobs(1_500).with_seed(32)).generate();
         assert!(system_litmus(&theta, Effort::Quick).lmt_enriched.is_none());
     }
 
@@ -182,16 +171,14 @@ mod tests {
     fn split_interleaves_time() {
         // Litmus splits must be random in time so the golden model's test
         // start times fall inside the trained weather timeline.
-        let sim =
-            Platform::new(SimConfig::theta().with_jobs(1_000).with_seed(33)).generate();
+        let sim = Platform::new(SimConfig::theta().with_jobs(1_000).with_seed(33)).generate();
         let data = split_features(&sim, FeatureSet::posix_start_time());
         let col = data.train.column("JobStartTime").expect("column");
         let max_train = (0..data.train.n_rows)
             .map(|i| data.train.row(i)[col])
             .fold(f64::NEG_INFINITY, f64::max);
-        let min_test = (0..data.test.n_rows)
-            .map(|i| data.test.row(i)[col])
-            .fold(f64::INFINITY, f64::min);
+        let min_test =
+            (0..data.test.n_rows).map(|i| data.test.row(i)[col]).fold(f64::INFINITY, f64::min);
         assert!(min_test < max_train, "splits do not interleave in time");
     }
 }

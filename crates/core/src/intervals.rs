@@ -49,11 +49,7 @@ pub fn interval_from_floor(
 /// Empirical coverage of intervals over observed values: the fraction of
 /// `(log10_prediction, log10_actual)` pairs whose actual lands inside the
 /// floor-derived band.
-pub fn empirical_coverage(
-    pairs: &[(f64, f64)],
-    floor: &NoiseFloor,
-    level: f64,
-) -> f64 {
+pub fn empirical_coverage(pairs: &[(f64, f64)], floor: &NoiseFloor, level: f64) -> f64 {
     if pairs.is_empty() {
         return f64::NAN;
     }
@@ -112,9 +108,8 @@ mod tests {
             .jobs
             .iter()
             .map(|j| {
-                let noiseless = j.truth.log10_app
-                    + j.truth.log10_weather
-                    + j.truth.log10_contention;
+                let noiseless =
+                    j.truth.log10_app + j.truth.log10_weather + j.truth.log10_contention;
                 (noiseless, j.log10_throughput())
             })
             .collect();

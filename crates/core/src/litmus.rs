@@ -12,9 +12,9 @@
 
 use crate::duplicates::DuplicateSets;
 use iotax_stats::describe::{mean, median, Summary};
+use iotax_stats::dist::ContinuousDist;
 use iotax_stats::fit::{fit_normal, fit_student_t, StudentTFit};
 use iotax_stats::ks::ks_one_sample;
-use iotax_stats::dist::ContinuousDist;
 use serde::{Deserialize, Serialize};
 
 /// Result of the application-modeling litmus test.
@@ -123,11 +123,8 @@ pub fn concurrent_noise_floor(
     // by start time (within tolerance of the group's first member).
     let mut concurrent_sets: Vec<Vec<usize>> = Vec::new();
     for set in &dup.sets {
-        let mut members: Vec<usize> = set
-            .iter()
-            .copied()
-            .filter(|&i| exclude.is_empty() || !exclude[i])
-            .collect();
+        let mut members: Vec<usize> =
+            set.iter().copied().filter(|&i| exclude.is_empty() || !exclude[i]).collect();
         members.sort_by_key(|&i| start_times[i]);
         let mut group: Vec<usize> = Vec::new();
         for &i in &members {
@@ -173,8 +170,7 @@ pub fn concurrent_noise_floor(
     let ks = ks_one_sample(&errors, |x| {
         iotax_stats::dist::Normal::new(nf.mean, nf.std.max(1e-12)).cdf(x)
     });
-    let small_sets =
-        concurrent_sets.iter().filter(|s| s.len() <= 6).count() as f64;
+    let small_sets = concurrent_sets.iter().filter(|s| s.len() <= 6).count() as f64;
     Some(NoiseFloor {
         median_abs_log10: med,
         median_abs_pct: (10f64.powf(med) - 1.0) * 100.0,
@@ -249,11 +245,7 @@ pub fn dt_bucket_spreads(
             dt_lo: edges_seconds[i],
             dt_hi: edges_seconds[i + 1],
             n_pairs: vals.len(),
-            spread: if vals.is_empty() {
-                Summary::of(&[0.0])
-            } else {
-                Summary::of(&vals)
-            },
+            spread: if vals.is_empty() { Summary::of(&[0.0]) } else { Summary::of(&vals) },
         })
         .collect()
 }

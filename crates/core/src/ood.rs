@@ -80,19 +80,13 @@ pub fn ood_litmus(train: &Dataset, test: &Dataset, cfg: &OodConfig) -> OodLitmus
     let errors = abs_log10_errors(&test.y, &means);
     let eu_stds: Vec<f64> = predictions.iter().map(|p| p.epistemic_std()).collect();
     let au_stds: Vec<f64> = predictions.iter().map(|p| p.aleatory_std()).collect();
-    let eu_threshold = cfg
-        .eu_threshold_override
-        .unwrap_or_else(|| eu_shoulder(&eu_stds, &errors));
+    let eu_threshold = cfg.eu_threshold_override.unwrap_or_else(|| eu_shoulder(&eu_stds, &errors));
     let is_ood = classify_ood(&predictions, eu_threshold);
     let n_ood = is_ood.iter().filter(|&&o| o).count();
     let share = ood_error_share(&errors, &is_ood);
     let mean_of = |flag: bool| -> f64 {
-        let vals: Vec<f64> = errors
-            .iter()
-            .zip(&is_ood)
-            .filter(|(_, &o)| o == flag)
-            .map(|(e, _)| *e)
-            .collect();
+        let vals: Vec<f64> =
+            errors.iter().zip(&is_ood).filter(|(_, &o)| o == flag).map(|(e, _)| *e).collect();
         if vals.is_empty() {
             0.0
         } else {
@@ -147,8 +141,7 @@ mod tests {
         let (train, test) = with_ood_tail(1);
         let result = ood_litmus(&train, &test, &OodConfig::quick(3));
         // The last 40 rows are the OoD cluster.
-        let flagged_ood: usize =
-            result.is_ood[460..].iter().filter(|&&o| o).count();
+        let flagged_ood: usize = result.is_ood[460..].iter().filter(|&&o| o).count();
         let flagged_id: usize = result.is_ood[..460].iter().filter(|&&o| o).count();
         assert!(flagged_ood >= 30, "only {flagged_ood}/40 OoD jobs flagged");
         assert!(flagged_id <= 46, "{flagged_id} in-distribution jobs flagged");

@@ -5,8 +5,22 @@
 //! golden model and system-log enrichment. Step 4 — ensemble UQ and OoD
 //! attribution. Step 5 — concurrent-duplicate noise floor. The result is
 //! an [`ErrorBreakdown`]: the pie chart of Fig. 7 as numbers.
+//!
+//! Two entry points drive the same code:
+//!
+//! * [`Taxonomy::run`] — one call, full report.
+//! * [`TaxonomyRun`] — the staged form: each litmus stage is a typed
+//!   state (`new → baseline → app_litmus → system_litmus → ood →
+//!   noise_floor → finish`) so callers can stop early, inspect
+//!   intermediate numbers, or interleave their own logic. The type system
+//!   enforces the stage order the attribution arithmetic assumes.
+//!
+//! Every stage runs under an `iotax-obs` span (`core.baseline`,
+//! `core.app_litmus`, `core.grid_search`, `core.system_litmus`,
+//! `core.ood`, `core.noise_floor`); the completed span trees are embedded
+//! in [`TaxonomyReport::timings`].
 
-use crate::duplicates::find_duplicate_sets;
+use crate::duplicates::{find_duplicate_sets, DuplicateSets};
 use crate::golden::{system_litmus, Effort, SystemLitmus};
 use crate::litmus::{app_modeling_bound, concurrent_noise_floor, AppBound, NoiseFloor};
 use crate::ood::{ood_litmus, OodConfig, OodLitmus};
@@ -15,6 +29,7 @@ use iotax_ml::gbm::{Gbm, GbmParams};
 use iotax_ml::metrics::{median_abs_error, median_abs_error_pct};
 use iotax_ml::search::grid_search;
 use iotax_ml::Regressor;
+use iotax_obs::{span, Error, ErrorKind, Result, SpanNode};
 use iotax_sim::{FeatureSet, SimDataset, SystemKind};
 use iotax_uq::classify_ood;
 use serde::Serialize;
@@ -72,6 +87,9 @@ pub struct TaxonomyReport {
     pub noise: Option<NoiseFloor>,
     /// The Fig. 7 attribution.
     pub breakdown: ErrorBreakdown,
+    /// Per-stage span trees captured while the pipeline ran (the
+    /// `core.*` stages, with any nested `ml.*`/`uq.*` spans inside).
+    pub timings: Vec<SpanNode>,
 }
 
 /// Serializable slice of the OoD litmus (the raw predictions stay out of
@@ -152,96 +170,268 @@ impl Taxonomy {
         }
     }
 
-    /// Run all five steps on a simulated trace.
+    /// Run all five steps on a simulated trace. Thin wrapper over the
+    /// staged [`TaxonomyRun`] API; numerically identical to driving the
+    /// stages by hand.
     pub fn run(&self, sim: &SimDataset) -> TaxonomyReport {
-        // Shared data: POSIX feature matrix, time-ordered split.
-        let m = sim.feature_matrix(FeatureSet::posix());
-        let data = Dataset::new(m.data, m.n_rows, m.n_cols, m.y, m.names);
-        // Random (seeded) split: litmus evaluations measure in-period
-        // modeling quality; deployment drift is a separate experiment
-        // (Fig. 1(d)) that uses the temporal split.
-        let (train, val, test) = data.split_random(0.70, 0.15, self.seed ^ 0xA11);
+        TaxonomyRun::with_config(sim, self.clone())
+            .baseline()
+            .and_then(BaselineStage::app_litmus)
+            .and_then(AppLitmusStage::system_litmus)
+            .and_then(SystemLitmusStage::ood)
+            .and_then(OodStage::noise_floor)
+            .map(NoiseFloorStage::finish)
+            .expect("taxonomy pipeline")
+    }
+}
 
-        // Step 1: baseline model.
-        let baseline = Gbm::fit(&train, Some(&val), self.effort.baseline_params());
-        let baseline_log10 = median_abs_error(&test.y, &baseline.predict(&test));
-        let baseline_pct = median_abs_error_pct(&test.y, &baseline.predict(&test));
+// ---------------------------------------------------------------------------
+// The staged pipeline.
+// ---------------------------------------------------------------------------
+
+/// Shared inputs threaded through every stage.
+struct StageCore<'a> {
+    cfg: Taxonomy,
+    sim: &'a SimDataset,
+    capture: iotax_obs::Capture,
+    data: Dataset,
+    train: Dataset,
+    val: Dataset,
+    test: Dataset,
+}
+
+/// Entry point of the staged pipeline: holds the dataset and config,
+/// ready to fit the baseline.
+///
+/// ```ignore
+/// let report = TaxonomyRun::new(&dataset)
+///     .baseline()?
+///     .app_litmus()?
+///     .system_litmus()?
+///     .ood()?
+///     .noise_floor()?
+///     .finish();
+/// ```
+pub struct TaxonomyRun<'a> {
+    cfg: Taxonomy,
+    sim: &'a SimDataset,
+}
+
+impl<'a> TaxonomyRun<'a> {
+    /// Stage a run with the [`Taxonomy::quick`] configuration.
+    pub fn new(sim: &'a SimDataset) -> Self {
+        Self::with_config(sim, Taxonomy::quick())
+    }
+
+    /// Stage a run with an explicit configuration.
+    pub fn with_config(sim: &'a SimDataset, cfg: Taxonomy) -> Self {
+        Self { cfg, sim }
+    }
+
+    /// Step 1: fit and evaluate the baseline model.
+    pub fn baseline(self) -> Result<BaselineStage<'a>> {
+        if self.sim.jobs.is_empty() {
+            return Err(Error::usage("taxonomy needs a non-empty trace"));
+        }
+        let capture = iotax_obs::capture();
+        let _span = span!("core.baseline");
+
+        // Shared data: POSIX feature matrix, seeded random split. Litmus
+        // evaluations measure in-period modeling quality; deployment
+        // drift is a separate experiment (Fig. 1(d)) that uses the
+        // temporal split.
+        let m = self.sim.feature_matrix(FeatureSet::posix());
+        let data = Dataset::new(m.data, m.n_rows, m.n_cols, m.y, m.names);
+        let (train, val, test) = data.split_random(0.70, 0.15, self.cfg.seed ^ 0xA11);
+
+        let baseline = Gbm::fit(&train, Some(&val), self.cfg.effort.baseline_params());
+        let baseline_error_log10 = median_abs_error(&test.y, &baseline.predict(&test));
+        let baseline_error_pct = median_abs_error_pct(&test.y, &baseline.predict(&test));
+
+        Ok(BaselineStage {
+            core: StageCore { cfg: self.cfg, sim: self.sim, capture, data, train, val, test },
+            baseline_error_log10,
+            baseline_error_pct,
+        })
+    }
+}
+
+/// After step 1: the baseline model is fit and scored.
+pub struct BaselineStage<'a> {
+    core: StageCore<'a>,
+    baseline_error_log10: f64,
+    /// Baseline median absolute test error, percent.
+    pub baseline_error_pct: f64,
+}
+
+impl<'a> BaselineStage<'a> {
+    /// Step 2: duplicate litmus (application bound) and hyperparameter
+    /// search toward it.
+    pub fn app_litmus(self) -> Result<AppLitmusStage<'a>> {
+        let _span = span!("core.app_litmus");
+        let core = self.core;
 
         // Step 2.1: duplicate litmus (whole trace, like the paper).
-        let dup = find_duplicate_sets(&sim.jobs);
-        let y_all: Vec<f64> = sim.jobs.iter().map(|j| j.log10_throughput()).collect();
+        let dup = find_duplicate_sets(&core.sim.jobs);
+        let y_all: Vec<f64> = core.sim.jobs.iter().map(|j| j.log10_throughput()).collect();
         let app_bound = app_modeling_bound(&y_all, &dup);
 
         // Step 2.2: hyperparameter search toward the bound.
-        let grid = grid_search(
-            &train,
-            &val,
-            &self.grid_trees,
-            &self.grid_depths,
-            &[1.0],
-            &[1.0],
-            GbmParams { seed: self.seed, ..Default::default() },
-        );
-        let best = grid.first().expect("non-empty grid").params;
-        let tuned = Gbm::fit(&train, Some(&val), best);
-        let tuned_log10 = median_abs_error(&test.y, &tuned.predict(&test));
-        let tuned_pct = median_abs_error_pct(&test.y, &tuned.predict(&test));
+        let grid = {
+            let _span = span!("core.grid_search");
+            grid_search(
+                &core.train,
+                &core.val,
+                &core.cfg.grid_trees,
+                &core.cfg.grid_depths,
+                &[1.0],
+                &[1.0],
+                GbmParams { seed: core.cfg.seed, ..Default::default() },
+            )
+        };
+        let best = grid
+            .first()
+            .ok_or_else(|| Error::new(ErrorKind::Usage, "grid search axes produced no candidates"))?
+            .params;
+        let tuned = Gbm::fit(&core.train, Some(&core.val), best);
+        let tuned_error_log10 = median_abs_error(&core.test.y, &tuned.predict(&core.test));
+        let tuned_error_pct = median_abs_error_pct(&core.test.y, &tuned.predict(&core.test));
 
-        // Step 3: golden model and system-log enrichment.
-        let sys = system_litmus(sim, self.effort);
+        Ok(AppLitmusStage {
+            core,
+            baseline_error_log10: self.baseline_error_log10,
+            baseline_error_pct: self.baseline_error_pct,
+            dup,
+            y_all,
+            app_bound,
+            tuned_params: best,
+            tuned_error_log10,
+            tuned_error_pct,
+        })
+    }
+}
 
-        // Step 4: OoD litmus on the test split, plus whole-trace flags for
-        // the noise step's exclusion.
-        let ood = ood_litmus(&train, &test, &self.ood);
-        let all_preds = ood.ensemble.predict_uq_batch(&data);
+/// After step 2: the application bound is measured and the model tuned.
+pub struct AppLitmusStage<'a> {
+    core: StageCore<'a>,
+    baseline_error_log10: f64,
+    /// Baseline median absolute test error, percent.
+    pub baseline_error_pct: f64,
+    dup: DuplicateSets,
+    y_all: Vec<f64>,
+    /// §VI duplicate litmus result.
+    pub app_bound: AppBound,
+    /// Winning grid-search parameters.
+    pub tuned_params: GbmParams,
+    tuned_error_log10: f64,
+    /// Tuned-model median absolute test error, percent.
+    pub tuned_error_pct: f64,
+}
+
+impl<'a> AppLitmusStage<'a> {
+    /// Step 3: start-time golden model and system-log enrichment.
+    pub fn system_litmus(self) -> Result<SystemLitmusStage<'a>> {
+        let _span = span!("core.system_litmus");
+        let sys = system_litmus(self.core.sim, self.core.cfg.effort);
+        Ok(SystemLitmusStage { prev: self, sys })
+    }
+}
+
+/// After step 3: the golden-model litmus has run.
+pub struct SystemLitmusStage<'a> {
+    prev: AppLitmusStage<'a>,
+    /// §VII golden-model litmus result.
+    pub sys: SystemLitmus,
+}
+
+impl<'a> SystemLitmusStage<'a> {
+    /// Step 4: ensemble UQ and OoD attribution on the test split, plus
+    /// whole-trace OoD flags for the noise stage's exclusion.
+    pub fn ood(self) -> Result<OodStage<'a>> {
+        let _span = span!("core.ood");
+        let core = &self.prev.core;
+        let ood = ood_litmus(&core.train, &core.test, &core.cfg.ood);
+        let all_preds = ood.ensemble.predict_uq_batch(&core.data);
         let exclude = classify_ood(&all_preds, ood.eu_threshold);
+        Ok(OodStage { prev: self, ood, exclude })
+    }
+}
 
-        // Step 5: concurrent-duplicate noise floor, OoD excluded.
-        let starts: Vec<i64> = sim.jobs.iter().map(|j| j.start_time).collect();
+/// After step 4: OoD jobs are identified.
+pub struct OodStage<'a> {
+    prev: SystemLitmusStage<'a>,
+    /// §VIII OoD litmus result (with the trained ensemble).
+    pub ood: OodLitmus,
+    exclude: Vec<bool>,
+}
+
+impl<'a> OodStage<'a> {
+    /// Step 5: concurrent-duplicate noise floor, OoD jobs excluded.
+    pub fn noise_floor(self) -> Result<NoiseFloorStage<'a>> {
+        let _span = span!("core.noise_floor");
+        let app = &self.prev.prev;
+        let core = &app.core;
+        let starts: Vec<i64> = core.sim.jobs.iter().map(|j| j.start_time).collect();
         let noise = concurrent_noise_floor(
-            &y_all,
+            &app.y_all,
             &starts,
-            &dup,
-            &exclude,
-            self.concurrency_tolerance,
-            self.min_noise_samples,
+            &app.dup,
+            &self.exclude,
+            core.cfg.concurrency_tolerance,
+            core.cfg.min_noise_samples,
         );
+        Ok(NoiseFloorStage { prev: self, noise })
+    }
+}
 
-        // Attribution.
+/// After step 5: everything is measured; only attribution remains.
+pub struct NoiseFloorStage<'a> {
+    prev: OodStage<'a>,
+    /// §IX noise floor (None when too few concurrent duplicates exist).
+    pub noise: Option<NoiseFloor>,
+}
+
+impl NoiseFloorStage<'_> {
+    /// Compute the Fig. 7 attribution and assemble the report.
+    pub fn finish(self) -> TaxonomyReport {
+        let ood_stage = self.prev;
+        let sys_stage = ood_stage.prev;
+        let app = sys_stage.prev;
+        let core = app.core;
+        let (sys, ood, noise) = (sys_stage.sys, ood_stage.ood, self.noise);
+
+        let baseline_log10 = app.baseline_error_log10;
         let golden_log10 = sys.golden.test_error_log10;
         let share = |x: f64| if baseline_log10 > 0.0 { x / baseline_log10 } else { 0.0 };
-        let app_share = share((baseline_log10 - app_bound.median_abs_log10).max(0.0));
-        let system_share = share((tuned_log10 - golden_log10).max(0.0));
+        let app_share = share((baseline_log10 - app.app_bound.median_abs_log10).max(0.0));
+        let system_share = share((app.tuned_error_log10 - golden_log10).max(0.0));
         let noise_share = noise.as_ref().map_or(0.0, |n| share(n.median_abs_log10));
         let breakdown = ErrorBreakdown {
-            baseline_pct,
+            baseline_pct: app.baseline_error_pct,
             app_share,
-            app_fixed_share: share((baseline_log10 - tuned_log10).max(0.0)),
+            app_fixed_share: share((baseline_log10 - app.tuned_error_log10).max(0.0)),
             system_share,
             system_fixed_share: sys
                 .lmt_enriched
                 .as_ref()
-                .map(|l| share((tuned_log10 - l.test_error_log10).max(0.0))),
+                .map(|l| share((app.tuned_error_log10 - l.test_error_log10).max(0.0))),
             ood_share: ood.ood_error_share,
             noise_share,
-            unexplained_share: 1.0
-                - app_share
-                - system_share
-                - ood.ood_error_share
-                - noise_share,
+            unexplained_share: 1.0 - app_share - system_share - ood.ood_error_share - noise_share,
         };
 
         TaxonomyReport {
-            system: sim.config.system,
-            n_jobs: sim.jobs.len(),
-            baseline_median_error_pct: baseline_pct,
-            tuned_median_error_pct: tuned_pct,
-            tuned_params: best,
-            app_bound,
+            system: core.sim.config.system,
+            n_jobs: core.sim.jobs.len(),
+            baseline_median_error_pct: app.baseline_error_pct,
+            tuned_median_error_pct: app.tuned_error_pct,
+            tuned_params: app.tuned_params,
+            app_bound: app.app_bound,
             system_litmus: sys,
             ood: OodSummary::from(&ood),
             noise,
             breakdown,
+            timings: core.capture.finish(),
         }
     }
 }
@@ -277,11 +467,8 @@ impl TaxonomyReport {
             self.system_litmus.golden.test_error_pct, -self.system_litmus.golden_reduction_pct
         );
         if let Some(lmt) = &self.system_litmus.lmt_enriched {
-            let _ = writeln!(
-                s,
-                "step 3.2 LMT-enriched error           {:>7.2} %",
-                lmt.test_error_pct
-            );
+            let _ =
+                writeln!(s, "step 3.2 LMT-enriched error           {:>7.2} %", lmt.test_error_pct);
         }
         let _ = writeln!(
             s,
@@ -324,22 +511,15 @@ mod tests {
 
     #[test]
     fn quick_pipeline_produces_consistent_report() {
-        let sim =
-            Platform::new(SimConfig::theta().with_jobs(3_000).with_seed(41)).generate();
+        let sim = Platform::new(SimConfig::theta().with_jobs(3_000).with_seed(41)).generate();
         let report = Taxonomy::quick().run(&sim);
         assert_eq!(report.n_jobs, 3_000);
         assert!(report.baseline_median_error_pct > 0.0);
         // Tuning never loses to the baseline by much (same family, bigger grid).
-        assert!(
-            report.tuned_median_error_pct
-                <= report.baseline_median_error_pct * 1.25 + 1.0
-        );
+        assert!(report.tuned_median_error_pct <= report.baseline_median_error_pct * 1.25 + 1.0);
         // The duplicate bound lower-bounds the tuned model (within litmus
         // tolerance — the paper finds the same ordering).
-        assert!(
-            report.app_bound.median_abs_pct
-                <= report.tuned_median_error_pct * 1.5 + 2.0
-        );
+        assert!(report.app_bound.median_abs_pct <= report.tuned_median_error_pct * 1.5 + 2.0);
         // Shares are sane.
         let b = &report.breakdown;
         for share in [b.app_share, b.system_share, b.ood_share, b.noise_share] {
@@ -352,10 +532,71 @@ mod tests {
 
     #[test]
     fn report_serializes_to_json() {
-        let sim =
-            Platform::new(SimConfig::theta().with_jobs(1_500).with_seed(42)).generate();
+        let sim = Platform::new(SimConfig::theta().with_jobs(1_500).with_seed(42)).generate();
         let report = Taxonomy::quick().run(&sim);
         let json = serde_json::to_string(&report).expect("serializable");
         assert!(json.contains("baseline_median_error_pct"));
+        assert!(json.contains("timings"));
+    }
+
+    #[test]
+    fn staged_api_matches_one_shot_run() {
+        let sim = Platform::new(SimConfig::theta().with_jobs(1_500).with_seed(43)).generate();
+        let one_shot = Taxonomy::quick().run(&sim);
+        let staged = TaxonomyRun::new(&sim)
+            .baseline()
+            .expect("baseline")
+            .app_litmus()
+            .expect("app litmus")
+            .system_litmus()
+            .expect("system litmus")
+            .ood()
+            .expect("ood")
+            .noise_floor()
+            .expect("noise floor")
+            .finish();
+        // Same code, same seeds — every number must agree exactly.
+        assert_eq!(one_shot.baseline_median_error_pct, staged.baseline_median_error_pct);
+        assert_eq!(one_shot.tuned_median_error_pct, staged.tuned_median_error_pct);
+        assert_eq!(one_shot.tuned_params, staged.tuned_params);
+        assert_eq!(one_shot.app_bound.median_abs_log10, staged.app_bound.median_abs_log10);
+        assert_eq!(one_shot.breakdown, staged.breakdown);
+        assert_eq!(one_shot.noise.map(|n| n.sigma_log10), staged.noise.map(|n| n.sigma_log10));
+    }
+
+    #[test]
+    fn run_captures_all_five_stage_spans() {
+        let sim = Platform::new(SimConfig::theta().with_jobs(1_200).with_seed(44)).generate();
+        let report = Taxonomy::quick().run(&sim);
+        let names: Vec<&str> = report.timings.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "core.baseline",
+                "core.app_litmus",
+                "core.system_litmus",
+                "core.ood",
+                "core.noise_floor"
+            ]
+        );
+        // The grid search nests inside step 2 and dominates its time.
+        let app = &report.timings[1];
+        assert!(app.children.iter().any(|c| c.name == "core.grid_search"));
+        assert!(app.total_us("core.grid_search") <= app.duration_us);
+        // Stages open in order: start times are monotone.
+        assert!(report.timings.windows(2).all(|w| w[0].start_us <= w[1].start_us));
+    }
+
+    #[test]
+    fn empty_trace_is_a_usage_error() {
+        let sim = Platform::new(SimConfig::theta().with_jobs(100).with_seed(45)).generate();
+        let empty = iotax_sim::SimDataset {
+            config: sim.config.clone(),
+            jobs: Vec::new(),
+            weather: sim.weather.clone(),
+            lmt: sim.lmt.clone(),
+        };
+        let err = TaxonomyRun::new(&empty).baseline().map(|_| ()).unwrap_err();
+        assert_eq!(err.kind(), iotax_obs::ErrorKind::Usage);
     }
 }

@@ -80,7 +80,9 @@ impl std::fmt::Display for ParseError {
             ParseError::BadChecksum { expected, actual } => {
                 write!(f, "checksum mismatch: stored {expected:#010x}, computed {actual:#010x}")
             }
-            ParseError::TrailingBytes { extra } => write!(f, "{extra} trailing bytes after checksum"),
+            ParseError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after checksum")
+            }
             ParseError::NonFiniteCounter => write!(f, "non-finite counter value"),
         }
     }
@@ -225,9 +227,10 @@ fn write_module(out: &mut Vec<u8>, m: &ModuleData) {
 
 /// Serialize a [`JobLog`] to the binary format.
 pub fn write_log(log: &JobLog) -> Vec<u8> {
+    iotax_obs::counter!("darshan.logs_encoded").incr(1);
     // Rough pre-size: header + 8 bytes/counter.
-    let n_counters: usize = log.posix.records.len() * 48
-        + log.mpiio.as_ref().map_or(0, |m| m.records.len() * 48);
+    let n_counters: usize =
+        log.posix.records.len() * 48 + log.mpiio.as_ref().map_or(0, |m| m.records.len() * 48);
     let mut out = Vec::with_capacity(64 + log.exe.len() + n_counters * 8 + 16);
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
@@ -246,6 +249,7 @@ pub fn write_log(log: &JobLog) -> Vec<u8> {
     }
     let crc = crc32(&out);
     out.extend_from_slice(&crc.to_le_bytes());
+    iotax_obs::histogram!("darshan.log_bytes").record(out.len() as u64);
     out
 }
 
@@ -280,6 +284,8 @@ fn parse_module(r: &mut Reader<'_>) -> Result<ModuleData, ParseError> {
 /// Strict: validates magic, version, module tags, UTF-8, CRC32, and rejects
 /// trailing bytes.
 pub fn parse_log(data: &[u8]) -> Result<JobLog, ParseError> {
+    iotax_obs::counter!("darshan.logs_parsed").incr(1);
+    iotax_obs::histogram!("darshan.log_bytes").record(data.len() as u64);
     let mut r = Reader::new(data);
     if r.take(8).map_err(|_| ParseError::BadMagic)? != MAGIC {
         return Err(ParseError::BadMagic);
@@ -294,9 +300,7 @@ pub fn parse_log(data: &[u8]) -> Result<JobLog, ParseError> {
     let start_time = r.zigzag()?;
     let end_time = r.zigzag()?;
     let exe_len = r.varint()? as usize;
-    let exe = std::str::from_utf8(r.take(exe_len)?)
-        .map_err(|_| ParseError::BadString)?
-        .to_owned();
+    let exe = std::str::from_utf8(r.take(exe_len)?).map_err(|_| ParseError::BadString)?.to_owned();
     let module_count = r.varint()?;
     let mut posix: Option<ModuleData> = None;
     let mut mpiio: Option<ModuleData> = None;
@@ -351,11 +355,7 @@ pub fn dump_text(log: &JobLog) -> String {
         for rec in &m.records {
             for (i, &v) in rec.counters.iter().enumerate() {
                 if v != 0.0 {
-                    let _ = writeln!(
-                        s,
-                        "{name}\t{:#018x}\t{}\t{v}",
-                        rec.file_hash, names[i]
-                    );
+                    let _ = writeln!(s, "{name}\t{:#018x}\t{}\t{v}", rec.file_hash, names[i]);
                 }
             }
         }

@@ -100,7 +100,14 @@ pub struct JobLog {
 
 impl JobLog {
     /// A log with an empty POSIX section and no MPI-IO section.
-    pub fn new(job_id: u64, uid: u32, nprocs: u32, start_time: i64, end_time: i64, exe: &str) -> Self {
+    pub fn new(
+        job_id: u64,
+        uid: u32,
+        nprocs: u32,
+        start_time: i64,
+        end_time: i64,
+        exe: &str,
+    ) -> Self {
         Self {
             job_id,
             uid,

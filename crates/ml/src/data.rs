@@ -140,9 +140,7 @@ impl Preprocessor {
 
     /// Transform one raw row into the model space.
     pub fn transform_row(&self, x: &[f64], out: &mut [f64]) {
-        for ((o, &v), (&m, &s)) in
-            out.iter_mut().zip(x).zip(self.means.iter().zip(&self.stds))
-        {
+        for ((o, &v), (&m, &s)) in out.iter_mut().zip(x).zip(self.means.iter().zip(&self.stds)) {
             *o = (signed_log(v) - m) / s;
         }
     }

@@ -109,15 +109,11 @@ impl Gbm {
         for round in 0..params.n_trees {
             let g: Vec<f64> = match params.loss {
                 // Squared loss: g = pred − y.
-                Loss::SquaredError => {
-                    pred.iter().zip(&train.y).map(|(p, y)| p - y).collect()
-                }
+                Loss::SquaredError => pred.iter().zip(&train.y).map(|(p, y)| p - y).collect(),
                 // Absolute loss: g = sign(pred − y).
-                Loss::AbsoluteError => pred
-                    .iter()
-                    .zip(&train.y)
-                    .map(|(p, y)| (p - y).signum())
-                    .collect(),
+                Loss::AbsoluteError => {
+                    pred.iter().zip(&train.y).map(|(p, y)| (p - y).signum()).collect()
+                }
             };
             let h = vec![1.0f64; train.n_rows];
             let mut rng = substream(params.seed, 500 + round as u64);
@@ -144,8 +140,7 @@ impl Gbm {
             } else {
                 (0..train.n_cols).collect()
             };
-            let mut tree =
-                RegressionTree::fit(&binned, &g, &h, &mut rows, &features, &tree_params);
+            let mut tree = RegressionTree::fit(&binned, &g, &h, &mut rows, &features, &tree_params);
             if params.loss == Loss::AbsoluteError {
                 // Median leaf renewal: sign gradients find the structure,
                 // but the L1-optimal leaf value is the median residual of
@@ -171,11 +166,7 @@ impl Gbm {
                 for (i, p) in val_pred.iter_mut().enumerate() {
                     *p += params.learning_rate * tree.predict_row(v.row(i));
                 }
-                let mae = val_pred
-                    .iter()
-                    .zip(&v.y)
-                    .map(|(p, y)| (p - y).abs())
-                    .sum::<f64>()
+                let mae = val_pred.iter().zip(&v.y).map(|(p, y)| (p - y).abs()).sum::<f64>()
                     / v.n_rows as f64;
                 val_trace.push(mae);
                 if mae < best_val - 1e-12 {
@@ -184,6 +175,7 @@ impl Gbm {
                 }
             }
             trees.push(tree);
+            iotax_obs::counter!("ml.gbm.trees_fit").incr(1);
             if let (Some(rounds), Some(_)) = (params.early_stopping_rounds, val) {
                 if round >= best_round + rounds {
                     break;
@@ -226,16 +218,12 @@ impl Gbm {
 impl Regressor for Gbm {
     fn predict_row(&self, x: &[f64]) -> f64 {
         self.base
-            + self.params.learning_rate
-                * self.trees.iter().map(|t| t.predict_row(x)).sum::<f64>()
+            + self.params.learning_rate * self.trees.iter().map(|t| t.predict_row(x)).sum::<f64>()
     }
 
     fn predict(&self, data: &Dataset) -> Vec<f64> {
         use rayon::prelude::*;
-        (0..data.n_rows)
-            .into_par_iter()
-            .map(|i| self.predict_row(data.row(i)))
-            .collect()
+        (0..data.n_rows).into_par_iter().map(|i| self.predict_row(data.row(i))).collect()
     }
 }
 
@@ -261,13 +249,7 @@ mod tests {
             x.extend_from_slice(&f);
             y.push(target);
         }
-        Dataset::new(
-            x,
-            n,
-            5,
-            y,
-            (0..5).map(|i| format!("f{i}")).collect(),
-        )
+        Dataset::new(x, n, 5, y, (0..5).map(|i| format!("f{i}")).collect())
     }
 
     #[test]
@@ -335,8 +317,10 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let train = friedman(500, 10, 0.5);
-        let a = Gbm::fit(&train, None, GbmParams { subsample: 0.7, seed: 42, ..Default::default() });
-        let b = Gbm::fit(&train, None, GbmParams { subsample: 0.7, seed: 42, ..Default::default() });
+        let a =
+            Gbm::fit(&train, None, GbmParams { subsample: 0.7, seed: 42, ..Default::default() });
+        let b =
+            Gbm::fit(&train, None, GbmParams { subsample: 0.7, seed: 42, ..Default::default() });
         assert_eq!(a.predict(&train), b.predict(&train));
     }
 
@@ -353,7 +337,12 @@ mod tests {
         let l1 = Gbm::fit(
             &train,
             None,
-            GbmParams { n_trees: 400, learning_rate: 0.3, loss: Loss::AbsoluteError, ..Default::default() },
+            GbmParams {
+                n_trees: 400,
+                learning_rate: 0.3,
+                loss: Loss::AbsoluteError,
+                ..Default::default()
+            },
         );
         let e2 = median_abs_error(&test.y, &l2.predict(&test));
         let e1 = median_abs_error(&test.y, &l1.predict(&test));
@@ -367,7 +356,12 @@ mod tests {
         let l1 = Gbm::fit(
             &train,
             None,
-            GbmParams { n_trees: 400, learning_rate: 0.3, loss: Loss::AbsoluteError, ..Default::default() },
+            GbmParams {
+                n_trees: 400,
+                learning_rate: 0.3,
+                loss: Loss::AbsoluteError,
+                ..Default::default()
+            },
         );
         let err = median_abs_error(&test.y, &l1.predict(&test));
         assert!(err < 1.5, "L1 median abs error {err}");

@@ -77,7 +77,7 @@ impl Ridge {
         let pre = Preprocessor::fit(train);
         let t = pre.transform(train);
         let d = t.n_cols + 1; // + intercept column
-        // Normal equations on the augmented [1, x] design.
+                              // Normal equations on the augmented [1, x] design.
         let mut xtx = vec![0.0; d * d];
         let mut xty = vec![0.0; d];
         let mut aug = vec![0.0; d];

@@ -129,7 +129,8 @@ pub fn evolve(train: &Dataset, val: &Dataset, cfg: NasConfig) -> Vec<NasRecord> 
     assert!(cfg.population >= 2 && cfg.tournament >= 1);
     let mut rng = substream(cfg.seed, 31);
     let eval = |genome: &Genome, idx: u64| -> f64 {
-        let model = Mlp::fit(train, genome.to_params(substream_seed(cfg.seed, idx), cfg.heteroscedastic));
+        let model =
+            Mlp::fit(train, genome.to_params(substream_seed(cfg.seed, idx), cfg.heteroscedastic));
         median_abs_error(&val.y, &model.predict(val))
     };
     // Generation 0: random population, trained in parallel.
@@ -137,17 +138,14 @@ pub fn evolve(train: &Dataset, val: &Dataset, cfg: NasConfig) -> Vec<NasRecord> 
     let mut history: Vec<NasRecord> = genomes
         .par_iter()
         .enumerate()
-        .map(|(i, g)| NasRecord {
-            generation: 0,
-            genome: g.clone(),
-            val_error: eval(g, i as u64),
-        })
+        .map(|(i, g)| NasRecord { generation: 0, genome: g.clone(), val_error: eval(g, i as u64) })
         .collect();
     let mut population: VecDeque<(Genome, f64)> =
         history.iter().map(|r| (r.genome.clone(), r.val_error)).collect();
 
     let mut eval_idx = cfg.population as u64;
     for generation in 1..cfg.generations {
+        iotax_obs::counter!("ml.nas.generations").incr(1);
         // Produce one generation of children (in parallel), then age the
         // population by the same count.
         let parents: Vec<Genome> = (0..cfg.population)
@@ -162,10 +160,7 @@ pub fn evolve(train: &Dataset, val: &Dataset, cfg: NasConfig) -> Vec<NasRecord> 
                 best.expect("non-empty population").0.clone()
             })
             .collect();
-        let children: Vec<Genome> = parents
-            .iter()
-            .map(|p| p.mutate(&mut rng))
-            .collect();
+        let children: Vec<Genome> = parents.iter().map(|p| p.mutate(&mut rng)).collect();
         let evaluated: Vec<NasRecord> = children
             .into_par_iter()
             .enumerate()

@@ -142,8 +142,7 @@ impl Mlp {
         let pre = Preprocessor::fit(train);
         let t = pre.transform(train);
         let y_mean = t.y.iter().sum::<f64>() / t.n_rows as f64;
-        let y_var =
-            t.y.iter().map(|y| (y - y_mean) * (y - y_mean)).sum::<f64>() / t.n_rows as f64;
+        let y_var = t.y.iter().map(|y| (y - y_mean) * (y - y_mean)).sum::<f64>() / t.n_rows as f64;
         let y_std = y_var.sqrt().max(1e-9);
 
         let out_dim = if params.heteroscedastic { 2 } else { 1 };
@@ -153,10 +152,8 @@ impl Mlp {
         let mut rng = substream(params.seed, 77);
         let mut layers: Vec<Layer> =
             dims.windows(2).map(|d| Layer::new(d[0], d[1], &mut rng)).collect();
-        let mut adams: Vec<(Adam, Adam)> = layers
-            .iter()
-            .map(|l| (Adam::sized(l.w.len()), Adam::sized(l.b.len())))
-            .collect();
+        let mut adams: Vec<(Adam, Adam)> =
+            layers.iter().map(|l| (Adam::sized(l.w.len()), Adam::sized(l.b.len()))).collect();
 
         let mut order: Vec<usize> = (0..t.n_rows).collect();
         let mut step = 0usize;
@@ -380,10 +377,8 @@ mod tests {
     fn learns_a_smooth_function() {
         let train = sine_dataset(2000, 1);
         let test = sine_dataset(400, 2);
-        let model = Mlp::fit(
-            &train,
-            MlpParams { epochs: 60, hidden: vec![32, 32], ..Default::default() },
-        );
+        let model =
+            Mlp::fit(&train, MlpParams { epochs: 60, hidden: vec![32, 32], ..Default::default() });
         let err = median_abs_error(&test.y, &model.predict(&test));
         assert!(err < 0.1, "median abs error {err}");
     }
@@ -432,10 +427,7 @@ mod tests {
         );
         let (_, var_quiet) = model.predict_mean_var(&[0.0]);
         let (_, var_loud) = model.predict_mean_var(&[1.8]);
-        assert!(
-            var_loud > 4.0 * var_quiet,
-            "quiet {var_quiet:.4} vs loud {var_loud:.4}"
-        );
+        assert!(var_loud > 4.0 * var_quiet, "quiet {var_quiet:.4} vs loud {var_loud:.4}");
     }
 
     #[test]
@@ -486,10 +478,7 @@ mod tests {
     #[test]
     fn dropout_trains_and_predicts_deterministically() {
         let train = sine_dataset(600, 7);
-        let model = Mlp::fit(
-            &train,
-            MlpParams { dropout: 0.3, epochs: 30, ..Default::default() },
-        );
+        let model = Mlp::fit(&train, MlpParams { dropout: 0.3, epochs: 30, ..Default::default() });
         // Prediction applies no dropout: repeated calls identical.
         let p1 = model.predict_row(train.row(0));
         let p2 = model.predict_row(train.row(0));

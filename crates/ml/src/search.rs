@@ -55,6 +55,7 @@ pub fn grid_search(
     let mut points: Vec<GridPoint> = combos
         .into_par_iter()
         .map(|params| {
+            iotax_obs::counter!("ml.grid_search.candidates").incr(1);
             let model = Gbm::fit(train, None, params);
             GridPoint {
                 params,
@@ -89,15 +90,8 @@ mod tests {
     fn evaluates_full_cross_product_sorted() {
         let train = quadratic(400, 1);
         let val = quadratic(100, 2);
-        let points = grid_search(
-            &train,
-            &val,
-            &[5, 50],
-            &[1, 4],
-            &[1.0],
-            &[1.0],
-            GbmParams::default(),
-        );
+        let points =
+            grid_search(&train, &val, &[5, 50], &[1, 4], &[1.0], &[1.0], GbmParams::default());
         assert_eq!(points.len(), 4);
         assert!(points.windows(2).all(|w| w[0].val_error <= w[1].val_error));
     }
@@ -106,15 +100,8 @@ mod tests {
     fn deeper_larger_models_win_on_curvy_data() {
         let train = quadratic(800, 3);
         let val = quadratic(200, 4);
-        let points = grid_search(
-            &train,
-            &val,
-            &[2, 100],
-            &[1, 5],
-            &[1.0],
-            &[1.0],
-            GbmParams::default(),
-        );
+        let points =
+            grid_search(&train, &val, &[2, 100], &[1, 5], &[1.0], &[1.0], GbmParams::default());
         let best = &points[0].params;
         assert!(best.n_trees == 100, "best kept {} trees", best.n_trees);
     }
@@ -123,9 +110,8 @@ mod tests {
     fn deterministic_results() {
         let train = quadratic(200, 5);
         let val = quadratic(80, 6);
-        let run = || {
-            grid_search(&train, &val, &[10], &[2, 3], &[0.8], &[1.0], GbmParams::default())
-        };
+        let run =
+            || grid_search(&train, &val, &[10], &[2, 3], &[0.8], &[1.0], GbmParams::default());
         assert_eq!(run(), run());
     }
 }

@@ -69,15 +69,12 @@ impl BinnedDataset {
             })
             .collect();
         let mut codes = vec![0u16; data.n_rows * data.n_cols];
-        codes
-            .par_chunks_mut(data.n_cols)
-            .enumerate()
-            .for_each(|(r, row)| {
-                for (c, code) in row.iter_mut().enumerate() {
-                    let x = data.x[r * data.n_cols + c];
-                    *code = cuts[c].partition_point(|&cut| cut < x) as u16;
-                }
-            });
+        codes.par_chunks_mut(data.n_cols).enumerate().for_each(|(r, row)| {
+            for (c, code) in row.iter_mut().enumerate() {
+                let x = data.x[r * data.n_cols + c];
+                *code = cuts[c].partition_point(|&cut| cut < x) as u16;
+            }
+        });
         Self { codes, n_rows: data.n_rows, n_cols: data.n_cols, cuts }
     }
 
@@ -146,16 +143,14 @@ impl RegressionTree {
         while let Some((lo, hi, depth, node_idx)) = stack.pop() {
             work.clear();
             work.extend_from_slice(&rows[lo..hi]);
-            let (sum_g, sum_h) = work
-                .iter()
-                .fold((0.0, 0.0), |(a, b), &r| (a + g[r as usize], b + h[r as usize]));
+            let (sum_g, sum_h) =
+                work.iter().fold((0.0, 0.0), |(a, b), &r| (a + g[r as usize], b + h[r as usize]));
             let value = leaf_value(sum_g, sum_h, params.lambda);
             nodes[node_idx] = Node { feature: 0, threshold: 0.0, left: 0, value, gain: 0.0 };
             if depth >= params.max_depth || work.len() < 2 {
                 continue;
             }
-            let Some(split) =
-                best_split(binned, g, h, &work, features, sum_g, sum_h, params)
+            let Some(split) = best_split(binned, g, h, &work, features, sum_g, sum_h, params)
             else {
                 continue;
             };
@@ -358,10 +353,8 @@ mod tests {
     #[test]
     fn depth_zero_is_a_single_leaf() {
         let data = step_dataset(100);
-        let tree = fit_once(
-            &data,
-            &TreeParams { max_depth: 0, lambda: 0.0, min_child_weight: 1.0 },
-        );
+        let tree =
+            fit_once(&data, &TreeParams { max_depth: 0, lambda: 0.0, min_child_weight: 1.0 });
         assert_eq!(tree.node_count(), 1);
         // Leaf = mean of y (λ = 0).
         assert!((tree.predict_row(&[0.3]) - 0.495).abs() < 0.02);
@@ -371,8 +364,7 @@ mod tests {
     fn respects_max_depth() {
         let data = step_dataset(512);
         for depth in [1, 2, 3, 5] {
-            let tree =
-                fit_once(&data, &TreeParams { max_depth: depth, ..Default::default() });
+            let tree = fit_once(&data, &TreeParams { max_depth: depth, ..Default::default() });
             assert!(tree.depth() <= depth, "depth {} > {}", tree.depth(), depth);
         }
     }
@@ -380,10 +372,8 @@ mod tests {
     #[test]
     fn min_child_weight_blocks_tiny_leaves() {
         let data = step_dataset(100);
-        let tree = fit_once(
-            &data,
-            &TreeParams { max_depth: 8, min_child_weight: 60.0, lambda: 1.0 },
-        );
+        let tree =
+            fit_once(&data, &TreeParams { max_depth: 8, min_child_weight: 60.0, lambda: 1.0 });
         // No child can have ≥ 60 samples on both sides more than once.
         assert!(tree.node_count() <= 3);
     }
@@ -400,7 +390,8 @@ mod tests {
     #[test]
     fn constant_feature_never_splits() {
         let n = 50;
-        let d = Dataset::new(vec![3.0; n], n, 1, (0..n).map(|i| i as f64).collect(), vec!["k".into()]);
+        let d =
+            Dataset::new(vec![3.0; n], n, 1, (0..n).map(|i| i as f64).collect(), vec!["k".into()]);
         let tree = fit_once(&d, &TreeParams::default());
         assert_eq!(tree.node_count(), 1);
     }

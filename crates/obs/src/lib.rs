@@ -1,0 +1,86 @@
+//! `iotax-obs` — observability for the taxonomy pipeline, plus the
+//! workspace-wide error type.
+//!
+//! The paper's pipeline (simulate → parse → fit → litmus-test) spends its
+//! time in a handful of hot loops; this crate makes that time and those
+//! loop counts visible without perturbing them:
+//!
+//! * **Spans** ([`span!`], [`SpanGuard`]) — RAII guards that time a region
+//!   and nest into a tree. Completed trees serialize through serde
+//!   ([`SpanNode`]) so reports can embed a `timings` section, and every
+//!   span close is streamed to the installed sink.
+//! * **Counters** ([`counter!`], [`Counter`]) — monotonic, lock-free
+//!   (`AtomicU64::fetch_add` on the fast path; a registry mutex is touched
+//!   only on each counter's *first* use).
+//! * **Histograms** ([`histogram!`], [`Histogram`]) — power-of-two
+//!   bucketed value distributions, same lock-free discipline.
+//! * **Sinks** ([`Sink`]) — pluggable backends: [`NoopSink`] (default;
+//!   near-zero overhead, benchmarked in `crates/bench`), [`MemorySink`]
+//!   (collects records for tests and embedding), [`JsonLinesSink`] (one
+//!   JSON object per line, the `--metrics-out` format).
+//!
+//! ```
+//! use iotax_obs::{counter, span, MemorySink};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(MemorySink::new());
+//! let previous = iotax_obs::set_sink(sink.clone());
+//! {
+//!     let _outer = span!("demo.outer");
+//!     let _inner = span!("demo.inner");
+//!     counter!("demo.events").incr(3);
+//! }
+//! iotax_obs::flush_metrics();
+//! assert_eq!(sink.span_records().len(), 2);
+//! iotax_obs::restore_sink(previous);
+//! ```
+//!
+//! The unified [`Error`] type lives here because `iotax-obs` sits below
+//! every other workspace crate, so both the CLI layer and the substrates
+//! can speak it without dependency cycles.
+
+mod error;
+mod metrics;
+mod sink;
+mod span;
+
+pub use error::{Error, ErrorKind, Result};
+pub use metrics::{
+    register_counter, register_histogram, snapshot_counters, snapshot_histograms, Counter,
+    CounterSnapshot, Histogram, HistogramSnapshot,
+};
+pub use sink::{flush_metrics, restore_sink, set_sink, JsonLinesSink, MemorySink, NoopSink, Sink};
+pub use span::{assemble_span_tree, capture, Capture, SpanGuard, SpanNode, SpanRecord};
+
+/// Opens a timing span; returns a [`SpanGuard`] that closes it on drop.
+///
+/// Bind the result (`let _span = span!("core.baseline");`) — an unbound
+/// statement would drop, and therefore close, the span immediately.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+}
+
+/// Returns a `&'static` [`Counter`] for the given name, registering it on
+/// first use. Increments are lock-free.
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {{
+        static __OBS_COUNTER: $crate::Counter = $crate::Counter::new($name);
+        $crate::register_counter(&__OBS_COUNTER);
+        &__OBS_COUNTER
+    }};
+}
+
+/// Returns a `&'static` [`Histogram`] for the given name, registering it
+/// on first use. Recording is lock-free.
+#[macro_export]
+macro_rules! histogram {
+    ($name:literal) => {{
+        static __OBS_HISTOGRAM: $crate::Histogram = $crate::Histogram::new($name);
+        $crate::register_histogram(&__OBS_HISTOGRAM);
+        &__OBS_HISTOGRAM
+    }};
+}

@@ -1,0 +1,253 @@
+//! Monotonic counters and power-of-two histograms.
+//!
+//! Both are designed to be left on in production paths: the fast path is
+//! a single relaxed `fetch_add` on a `&'static` atomic. The global
+//! registry mutex is taken only the first time each instrument is touched
+//! (guarded by a relaxed load), and by [`snapshot_counters`] /
+//! [`snapshot_histograms`] at flush time.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of histogram buckets: bucket `i` holds values whose bit length
+/// is `i`, i.e. `[2^(i-1), 2^i)`, with bucket 0 holding zero.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+static REGISTRY: Mutex<Registry> =
+    Mutex::new(Registry { counters: Vec::new(), histograms: Vec::new() });
+
+struct Registry {
+    counters: Vec<&'static Counter>,
+    histograms: Vec<&'static Histogram>,
+}
+
+/// A named monotonic counter. Construct through the [`counter!`] macro,
+/// which gives each call site a `&'static` instance.
+///
+/// [`counter!`]: crate::counter
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// Const-constructs an unregistered counter (used by `counter!`).
+    pub const fn new(name: &'static str) -> Self {
+        Self { name, value: AtomicU64::new(0), registered: AtomicBool::new(false) }
+    }
+
+    /// Adds `n`; lock-free.
+    pub fn incr(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Adds a counter to the global registry once; subsequent calls are a
+/// single relaxed load.
+pub fn register_counter(counter: &'static Counter) {
+    if !counter.registered.load(Ordering::Relaxed)
+        && !counter.registered.swap(true, Ordering::AcqRel)
+    {
+        REGISTRY.lock().expect("obs registry poisoned").counters.push(counter);
+    }
+}
+
+/// Point-in-time value of one counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Counter name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// Snapshots every registered counter, sorted by name.
+pub fn snapshot_counters() -> Vec<CounterSnapshot> {
+    let mut snaps: Vec<CounterSnapshot> = REGISTRY
+        .lock()
+        .expect("obs registry poisoned")
+        .counters
+        .iter()
+        .map(|c| CounterSnapshot { name: c.name.to_owned(), value: c.get() })
+        .collect();
+    snaps.sort_by(|a, b| a.name.cmp(&b.name));
+    snaps
+}
+
+/// A named histogram over `u64` values with power-of-two buckets.
+/// Construct through the [`histogram!`] macro.
+///
+/// [`histogram!`]: crate::histogram
+pub struct Histogram {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// Const-constructs an unregistered histogram (used by `histogram!`).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Records one value; lock-free.
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The histogram's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: self.name.to_owned(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((i as u32, n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Adds a histogram to the global registry once.
+pub fn register_histogram(histogram: &'static Histogram) {
+    if !histogram.registered.load(Ordering::Relaxed)
+        && !histogram.registered.swap(true, Ordering::AcqRel)
+    {
+        REGISTRY.lock().expect("obs registry poisoned").histograms.push(histogram);
+    }
+}
+
+/// Point-in-time state of one histogram. `buckets` holds
+/// `(bit_length, count)` pairs for non-empty buckets only.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wrapping).
+    pub sum: u64,
+    /// `(bit_length, count)` for each non-empty bucket, ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Upper-bound estimate of the `q`-quantile: the top edge of the
+    /// bucket containing that rank (exact to within a factor of two).
+    pub fn approx_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for &(bits, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return ((1u128 << bits) - 1) as u64;
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Snapshots every registered histogram, sorted by name.
+pub fn snapshot_histograms() -> Vec<HistogramSnapshot> {
+    let mut snaps: Vec<HistogramSnapshot> = REGISTRY
+        .lock()
+        .expect("obs registry poisoned")
+        .histograms
+        .iter()
+        .map(|h| h.snapshot())
+        .collect();
+    snaps.sort_by(|a, b| a.name.cmp(&b.name));
+    snaps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_macro_registers_once_and_counts() {
+        for _ in 0..3 {
+            crate::counter!("test.metrics.registers_once").incr(2);
+        }
+        let snaps = snapshot_counters();
+        let mine: Vec<_> =
+            snaps.iter().filter(|s| s.name == "test.metrics.registers_once").collect();
+        assert_eq!(mine.len(), 1);
+        assert_eq!(mine[0].value, 6);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..10_000 {
+                        crate::counter!("test.metrics.concurrent").incr(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("incrementer thread");
+        }
+        let snaps = snapshot_counters();
+        let mine = snaps.iter().find(|s| s.name == "test.metrics.concurrent").expect("registered");
+        assert_eq!(mine.value, 80_000);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let h = crate::histogram!("test.metrics.histogram");
+        for v in [0u64, 1, 2, 3, 4, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 7);
+        let by_bits: std::collections::HashMap<u32, u64> = snap.buckets.iter().copied().collect();
+        assert_eq!(by_bits[&0], 1); // 0
+        assert_eq!(by_bits[&1], 1); // 1
+        assert_eq!(by_bits[&2], 2); // 2, 3
+        assert_eq!(by_bits[&3], 1); // 4
+        assert_eq!(by_bits[&10], 1); // 1000
+        assert_eq!(by_bits[&64], 1); // u64::MAX
+        assert!(snap.approx_quantile(0.01) <= 1);
+        assert_eq!(snap.approx_quantile(1.0), u64::MAX);
+    }
+}

@@ -1,0 +1,236 @@
+//! Pluggable metric sinks and the process-global sink slot.
+//!
+//! Exactly one sink is installed at a time (default: [`NoopSink`]).
+//! Span closes stream to it as they happen; counters and histograms are
+//! pushed only by [`flush_metrics`], so the instrument fast paths never
+//! see the sink at all.
+
+use crate::metrics::{snapshot_counters, snapshot_histograms, CounterSnapshot, HistogramSnapshot};
+use crate::span::SpanRecord;
+use serde::Serialize;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// A metrics backend. All methods default to no-ops so sinks implement
+/// only what they care about. Implementations must be `Send + Sync`;
+/// span closes can arrive from any thread.
+pub trait Sink: Send + Sync {
+    /// A span finished (streamed in close order).
+    fn span_close(&self, _record: &SpanRecord) {}
+
+    /// A counter value at flush time.
+    fn counter_flush(&self, _snapshot: &CounterSnapshot) {}
+
+    /// A histogram state at flush time.
+    fn histogram_flush(&self, _snapshot: &HistogramSnapshot) {}
+
+    /// Flush buffered output (called at the end of [`flush_metrics`]).
+    fn flush(&self) {}
+}
+
+fn sink_slot() -> &'static RwLock<Arc<dyn Sink>> {
+    static SLOT: OnceLock<RwLock<Arc<dyn Sink>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(Arc::new(NoopSink)))
+}
+
+/// Installs `sink` globally, returning the previously installed sink
+/// (hand it back to [`restore_sink`] for scoped use).
+pub fn set_sink(sink: Arc<dyn Sink>) -> Arc<dyn Sink> {
+    std::mem::replace(&mut *sink_slot().write().expect("sink slot poisoned"), sink)
+}
+
+/// Reinstalls a sink previously returned by [`set_sink`].
+pub fn restore_sink(sink: Arc<dyn Sink>) {
+    let _ = set_sink(sink);
+}
+
+/// Runs `f` against the installed sink (brief read lock; the instrument
+/// fast paths never call this).
+pub(crate) fn with_sink(f: impl FnOnce(&dyn Sink)) {
+    let guard = sink_slot().read().expect("sink slot poisoned");
+    f(guard.as_ref());
+}
+
+/// Pushes a snapshot of every registered counter and histogram to the
+/// installed sink, then flushes it.
+pub fn flush_metrics() {
+    with_sink(|sink| {
+        for snap in snapshot_counters() {
+            sink.counter_flush(&snap);
+        }
+        for snap in snapshot_histograms() {
+            sink.histogram_flush(&snap);
+        }
+        sink.flush();
+    });
+}
+
+/// The default sink: discards everything.
+pub struct NoopSink;
+
+impl Sink for NoopSink {}
+
+/// Collects everything in memory; the test/embedding sink.
+#[derive(Default)]
+pub struct MemorySink {
+    spans: Mutex<Vec<SpanRecord>>,
+    counters: Mutex<Vec<CounterSnapshot>>,
+    histograms: Mutex<Vec<HistogramSnapshot>>,
+}
+
+impl MemorySink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All span records seen so far, in arrival order.
+    pub fn span_records(&self) -> Vec<SpanRecord> {
+        self.spans.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Counter snapshots from the most recent flush.
+    pub fn counter_snapshots(&self) -> Vec<CounterSnapshot> {
+        self.counters.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Histogram snapshots from the most recent flush.
+    pub fn histogram_snapshots(&self) -> Vec<HistogramSnapshot> {
+        self.histograms.lock().expect("memory sink poisoned").clone()
+    }
+}
+
+impl Sink for MemorySink {
+    fn span_close(&self, record: &SpanRecord) {
+        self.spans.lock().expect("memory sink poisoned").push(record.clone());
+    }
+
+    fn counter_flush(&self, snapshot: &CounterSnapshot) {
+        self.counters.lock().expect("memory sink poisoned").push(snapshot.clone());
+    }
+
+    fn histogram_flush(&self, snapshot: &HistogramSnapshot) {
+        self.histograms.lock().expect("memory sink poisoned").push(snapshot.clone());
+    }
+}
+
+/// Writes one JSON object per line: `{"type":"span"|"counter"|"histogram", …}`.
+/// This is the `--metrics-out` format.
+pub struct JsonLinesSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonLinesSink {
+    /// Creates (truncating) the output file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self { writer: Mutex::new(BufWriter::new(file)) })
+    }
+
+    fn write_tagged<T: Serialize>(&self, tag: &str, payload: &T) {
+        let mut value =
+            serde::Value::Object(vec![("type".to_owned(), serde::Value::Str(tag.to_owned()))]);
+        if let (serde::Value::Object(out), serde::Value::Object(fields)) =
+            (&mut value, payload.to_value())
+        {
+            out.extend(fields);
+        }
+        let mut writer = self.writer.lock().expect("jsonl sink poisoned");
+        // Metrics are best-effort: an unwritable line must not take down
+        // the pipeline it is observing.
+        let _ = serde_json::to_writer(&mut *writer, &value);
+        let _ = writer.write_all(b"\n");
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn span_close(&self, record: &SpanRecord) {
+        self.write_tagged("span", record);
+    }
+
+    fn counter_flush(&self, snapshot: &CounterSnapshot) {
+        self.write_tagged("counter", snapshot);
+    }
+
+    fn histogram_flush(&self, snapshot: &HistogramSnapshot) {
+        self.write_tagged("histogram", snapshot);
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+impl Drop for JsonLinesSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Serializes tests that install a global sink; exposed crate-wide so
+/// span tests and sink tests can't race each other's installations.
+#[cfg(test)]
+pub(crate) fn test_sink_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    match LOCK.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_sees_flushed_counters() {
+        let _guard = test_sink_lock();
+        let sink = Arc::new(MemorySink::new());
+        let previous = set_sink(sink.clone());
+        crate::counter!("test.sink.flushed").incr(5);
+        flush_metrics();
+        restore_sink(previous);
+        let counters = sink.counter_snapshots();
+        let mine = counters.iter().find(|c| c.name == "test.sink.flushed").expect("flushed");
+        assert!(mine.value >= 5);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let _guard = test_sink_lock();
+        let dir = std::env::temp_dir().join("iotax-obs-sink-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("metrics.jsonl");
+        let sink = Arc::new(JsonLinesSink::create(&path).expect("create jsonl"));
+        let previous = set_sink(sink);
+        {
+            let _span = crate::span!("jsonl.root");
+            crate::histogram!("test.sink.jsonl_bytes").record(4096);
+        }
+        flush_metrics();
+        restore_sink(previous);
+
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let mut saw_span = false;
+        let mut saw_histogram = false;
+        for line in text.lines() {
+            let value: serde::Value = serde_json::from_str(line).expect("parseable line");
+            match value.get("type").and_then(|t| t.as_str()) {
+                Some("span") => {
+                    let record: SpanRecord = serde_json::from_str(line).expect("span record");
+                    saw_span |= record.name == "jsonl.root";
+                }
+                Some("histogram") => {
+                    let snap: HistogramSnapshot =
+                        serde_json::from_str(line).expect("histogram record");
+                    saw_histogram |= snap.name == "test.sink.jsonl_bytes";
+                }
+                Some("counter") => {}
+                other => panic!("unexpected line type {other:?}"),
+            }
+        }
+        assert!(saw_span && saw_histogram);
+    }
+}

@@ -1,0 +1,351 @@
+//! Hierarchical timing spans.
+//!
+//! A [`SpanGuard`] times the region between its creation and drop. Guards
+//! nest through a thread-local stack, so well-scoped `let _span = span!(…)`
+//! bindings produce a tree per thread. Each close emits a flat
+//! [`SpanRecord`] to the installed sink (close order = post-order), and
+//! completed top-level spans accumulate locally so a [`Capture`] can
+//! collect them as a serializable [`SpanNode`] tree — this is how
+//! `TaxonomyReport` embeds its `timings` section.
+
+use crate::sink::with_sink;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Monotonic microseconds since the process first touched the obs layer.
+pub(crate) fn now_us() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// A completed span as streamed to sinks: flat, with enough structure
+/// (`depth`, emission order) to reassemble the tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Span name, e.g. `core.grid_search`.
+    pub name: String,
+    /// `/`-joined ancestor names ending in this span's own name.
+    pub path: String,
+    /// Nesting depth at open time (0 = top level).
+    pub depth: u32,
+    /// Open time, monotonic microseconds (see [`now_us`]).
+    pub start_us: u64,
+    /// Close minus open time, microseconds.
+    pub duration_us: u64,
+}
+
+/// A span tree node: the serde-round-trippable form embedded in reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: String,
+    /// Open time, monotonic microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub duration_us: u64,
+    /// Nested spans, in open order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Total duration of `name` across this subtree.
+    pub fn total_us(&self, name: &str) -> u64 {
+        let own = if self.name == name { self.duration_us } else { 0 };
+        own + self.children.iter().map(|c| c.total_us(name)).sum::<u64>()
+    }
+}
+
+struct Frame {
+    name: String,
+    start: Instant,
+    start_us: u64,
+    children: Vec<SpanNode>,
+}
+
+struct CaptureSlot {
+    id: u64,
+    /// Stack depth when the capture was opened; spans completing at this
+    /// depth are the capture's "top-level" spans.
+    base_depth: usize,
+    collected: Vec<SpanNode>,
+}
+
+#[derive(Default)]
+struct SpanStack {
+    frames: Vec<Frame>,
+    captures: Vec<CaptureSlot>,
+    next_capture_id: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<SpanStack> = RefCell::new(SpanStack::default());
+}
+
+/// RAII guard for one timing span; created by the [`span!`] macro.
+/// Not `Send`: a span must close on the thread that opened it.
+///
+/// [`span!`]: crate::span
+pub struct SpanGuard {
+    // !Send + !Sync: the guard is tied to the thread-local stack.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name`.
+    pub fn enter(name: impl Into<String>) -> Self {
+        let name = name.into();
+        let start_us = now_us();
+        STACK.with(|stack| {
+            stack.borrow_mut().frames.push(Frame {
+                name,
+                start: Instant::now(),
+                start_us,
+                children: Vec::new(),
+            });
+        });
+        Self { _not_send: std::marker::PhantomData }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let frame = stack.frames.pop().expect("span stack underflow");
+            let duration_us = frame.start.elapsed().as_micros() as u64;
+            let depth = stack.frames.len() as u32;
+            let node = SpanNode {
+                name: frame.name,
+                start_us: frame.start_us,
+                duration_us,
+                children: frame.children,
+            };
+            let path = stack
+                .frames
+                .iter()
+                .map(|f| f.name.as_str())
+                .chain(std::iter::once(node.name.as_str()))
+                .collect::<Vec<_>>()
+                .join("/");
+            with_sink(|sink| {
+                sink.span_close(&SpanRecord {
+                    name: node.name.clone(),
+                    path: path.clone(),
+                    depth,
+                    start_us: node.start_us,
+                    duration_us,
+                });
+            });
+            for slot in &mut stack.captures {
+                if slot.base_depth == depth as usize {
+                    slot.collected.push(node.clone());
+                }
+            }
+            if let Some(parent) = stack.frames.last_mut() {
+                parent.children.push(node);
+            }
+        });
+    }
+}
+
+/// Marks a point in this thread's span stream; `finish` collects the
+/// spans completed at the capture's own nesting depth since. See
+/// [`capture`].
+pub struct Capture {
+    id: u64,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Starts capturing spans on the current thread.
+///
+/// The capture is anchored at the stack depth where it was opened: every
+/// span tree that *completes at that depth* before [`Capture::finish`] is
+/// returned. Opened outside any span this means top-level spans; opened
+/// inside an enclosing span (the `iotax-analyze` case — the taxonomy runs
+/// under the binary's own root span) it means the enclosing span's direct
+/// children, so `TaxonomyReport.timings` is populated either way.
+pub fn capture() -> Capture {
+    STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let id = stack.next_capture_id;
+        stack.next_capture_id += 1;
+        let base_depth = stack.frames.len();
+        stack.captures.push(CaptureSlot { id, base_depth, collected: Vec::new() });
+        Capture { id, _not_send: std::marker::PhantomData }
+    })
+}
+
+impl Capture {
+    /// Returns the span trees completed since the capture started.
+    pub fn finish(self) -> Vec<SpanNode> {
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            match stack.captures.iter().position(|c| c.id == self.id) {
+                Some(pos) => stack.captures.remove(pos).collected,
+                None => Vec::new(),
+            }
+        })
+    }
+}
+
+impl Drop for Capture {
+    fn drop(&mut self) {
+        // `finish` removes the slot first; this only fires for abandoned
+        // captures, which must not keep collecting forever.
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.captures.iter().position(|c| c.id == self.id) {
+                stack.captures.remove(pos);
+            }
+        });
+    }
+}
+
+/// Rebuilds span trees from flat close-order records (e.g. parsed back
+/// from a JSONL metrics file). Records must come from one thread's
+/// well-nested stream, in emission order.
+pub fn assemble_span_tree(records: &[SpanRecord]) -> Vec<SpanNode> {
+    // Close order is post-order: when a span at depth `d` closes, every
+    // already-closed span still pending at depth > `d` is one of its
+    // descendants — the ones at `d + 1` are its direct children.
+    let mut pending: Vec<(u32, SpanNode)> = Vec::new();
+    for record in records {
+        let split = pending.iter().position(|(d, _)| *d > record.depth).unwrap_or(pending.len());
+        let descendants = pending.split_off(split);
+        let children = descendants
+            .into_iter()
+            .filter(|(d, _)| *d == record.depth + 1)
+            .map(|(_, n)| n)
+            .collect();
+        pending.push((
+            record.depth,
+            SpanNode {
+                name: record.name.clone(),
+                start_us: record.start_us,
+                duration_us: record.duration_us,
+                children,
+            },
+        ));
+    }
+    pending.into_iter().filter(|(d, _)| *d == 0).map(|(_, n)| n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_collects_nested_tree() {
+        let cap = capture();
+        {
+            let _outer = crate::span!("outer");
+            {
+                let _a = crate::span!("a");
+                let _deep = crate::span!("deep");
+            }
+            let _b = crate::span!("b");
+        }
+        let trees = cap.finish();
+        assert_eq!(trees.len(), 1);
+        let outer = &trees[0];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(
+            outer.children.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert_eq!(outer.children[0].children[0].name, "deep");
+        assert!(outer.duration_us >= outer.children.iter().map(|c| c.duration_us).sum::<u64>());
+    }
+
+    #[test]
+    fn capture_works_inside_enclosing_span() {
+        // The iotax-analyze shape: the pipeline (and its capture) runs
+        // under the binary's own root span.
+        let _outer = crate::span!("cap.outer");
+        let cap = capture();
+        {
+            let _stage1 = crate::span!("cap.stage1");
+            let _nested = crate::span!("cap.nested");
+        }
+        {
+            let _stage2 = crate::span!("cap.stage2");
+        }
+        let trees = cap.finish();
+        assert_eq!(
+            trees.iter().map(|t| t.name.as_str()).collect::<Vec<_>>(),
+            vec!["cap.stage1", "cap.stage2"]
+        );
+        assert_eq!(trees[0].children[0].name, "cap.nested");
+    }
+
+    #[test]
+    fn abandoned_capture_stops_collecting() {
+        {
+            let _cap = capture(); // dropped without finish
+        }
+        let cap = capture();
+        {
+            let _span = crate::span!("cap.after_abandon");
+        }
+        assert_eq!(cap.finish().len(), 1);
+    }
+
+    #[test]
+    fn assemble_matches_capture() {
+        use crate::MemorySink;
+        use std::sync::Arc;
+
+        let _guard = crate::sink::test_sink_lock();
+        let sink = Arc::new(MemorySink::new());
+        let previous = crate::set_sink(sink.clone());
+        let cap = capture();
+        {
+            let _outer = crate::span!("asm.outer");
+            let _inner = crate::span!("asm.inner");
+        }
+        {
+            let _second = crate::span!("asm.second");
+        }
+        let direct = cap.finish();
+        crate::restore_sink(previous);
+
+        // The sink is global: other tests on other threads may interleave
+        // records, so keep only this test's uniquely-named spans.
+        let records: Vec<_> =
+            sink.span_records().into_iter().filter(|r| r.name.starts_with("asm.")).collect();
+        assert_eq!(
+            records.iter().map(|r| r.path.as_str()).collect::<Vec<_>>(),
+            vec!["asm.outer/asm.inner", "asm.outer", "asm.second"]
+        );
+        let rebuilt = assemble_span_tree(&records);
+        assert_eq!(rebuilt, direct);
+    }
+
+    #[test]
+    fn total_us_sums_across_subtree() {
+        let tree = SpanNode {
+            name: "root".into(),
+            start_us: 0,
+            duration_us: 10,
+            children: vec![
+                SpanNode { name: "x".into(), start_us: 1, duration_us: 3, children: vec![] },
+                SpanNode {
+                    name: "y".into(),
+                    start_us: 5,
+                    duration_us: 4,
+                    children: vec![SpanNode {
+                        name: "x".into(),
+                        start_us: 6,
+                        duration_us: 2,
+                        children: vec![],
+                    }],
+                },
+            ],
+        };
+        assert_eq!(tree.total_us("x"), 5);
+        assert_eq!(tree.total_us("root"), 10);
+        assert_eq!(tree.total_us("missing"), 0);
+    }
+}

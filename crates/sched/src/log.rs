@@ -10,13 +10,8 @@ use crate::pool::NodeRange;
 use serde::{Deserialize, Serialize};
 
 /// Names of the five scheduler features, in feature order.
-pub static COBALT_FEATURE_NAMES: [&str; 5] = [
-    "CobaltNodes",
-    "CobaltCores",
-    "CobaltStartTime",
-    "CobaltEndTime",
-    "CobaltPlacementFirstNode",
-];
+pub static COBALT_FEATURE_NAMES: [&str; 5] =
+    ["CobaltNodes", "CobaltCores", "CobaltStartTime", "CobaltEndTime", "CobaltPlacementFirstNode"];
 
 /// One completed job as the scheduler saw it.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -56,10 +56,7 @@ struct Completion {
 // Min-heap by end time (BinaryHeap is a max-heap, so reverse).
 impl Ord for Completion {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other
-            .end_time
-            .cmp(&self.end_time)
-            .then_with(|| other.job_id.cmp(&self.job_id))
+        other.end_time.cmp(&self.end_time).then_with(|| other.job_id.cmp(&self.job_id))
     }
 }
 
@@ -215,8 +212,7 @@ mod tests {
         let s = small_sched(false);
         // Job 1 takes 8 nodes; job 2 wants 8 (blocked); job 3 wants 2 and
         // *could* fit, but FCFS makes it wait behind job 2.
-        let recs =
-            s.schedule(&[req(1, 0, 8, 100), req(2, 1, 8, 10), req(3, 2, 2, 10)]);
+        let recs = s.schedule(&[req(1, 0, 8, 100), req(2, 1, 8, 10), req(3, 2, 2, 10)]);
         let start = |id| recs.iter().find(|r| r.job_id == id).expect("rec").start_time;
         assert_eq!(start(1), 0);
         assert_eq!(start(2), 100);
@@ -226,8 +222,7 @@ mod tests {
     #[test]
     fn backfill_lets_small_jobs_jump() {
         let s = small_sched(true);
-        let recs =
-            s.schedule(&[req(1, 0, 8, 100), req(2, 1, 8, 10), req(3, 2, 2, 10)]);
+        let recs = s.schedule(&[req(1, 0, 8, 100), req(2, 1, 8, 10), req(3, 2, 2, 10)]);
         let start = |id| recs.iter().find(|r| r.job_id == id).expect("rec").start_time;
         assert_eq!(start(3), 2); // fits beside job 1 immediately
         assert_eq!(start(2), 100);
@@ -235,7 +230,8 @@ mod tests {
 
     #[test]
     fn no_two_concurrent_jobs_share_nodes() {
-        let s = Scheduler::new(SchedulerConfig { total_nodes: 32, cores_per_node: 4, backfill: true });
+        let s =
+            Scheduler::new(SchedulerConfig { total_nodes: 32, cores_per_node: 4, backfill: true });
         let mut reqs = Vec::new();
         let mut state = 99u64;
         let mut next = || {
@@ -243,7 +239,12 @@ mod tests {
             (state >> 33) as u32
         };
         for id in 0..500 {
-            reqs.push(req(id, (next() % 10_000) as i64, next() % 16 + 1, (next() % 500 + 1) as i64));
+            reqs.push(req(
+                id,
+                (next() % 10_000) as i64,
+                next() % 16 + 1,
+                (next() % 500 + 1) as i64,
+            ));
         }
         let recs = s.schedule(&reqs);
         assert_eq!(recs.len(), reqs.len());
@@ -263,7 +264,8 @@ mod tests {
 
     #[test]
     fn utilization_never_exceeds_machine() {
-        let s = Scheduler::new(SchedulerConfig { total_nodes: 16, cores_per_node: 1, backfill: true });
+        let s =
+            Scheduler::new(SchedulerConfig { total_nodes: 16, cores_per_node: 1, backfill: true });
         let reqs: Vec<JobRequest> =
             (0..100).map(|i| req(i, i as i64, (i % 7 + 1) as u32, 37)).collect();
         let recs = s.schedule(&reqs);

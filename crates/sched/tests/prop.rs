@@ -5,11 +5,7 @@ use iotax_sched::{JobRequest, Scheduler, SchedulerConfig};
 use proptest::prelude::*;
 
 fn arb_requests(max_nodes: u32) -> impl Strategy<Value = Vec<JobRequest>> {
-    prop::collection::vec(
-        (0i64..100_000, 1u32..=16, 1i64..5_000),
-        1..120,
-    )
-    .prop_map(move |specs| {
+    prop::collection::vec((0i64..100_000, 1u32..=16, 1i64..5_000), 1..120).prop_map(move |specs| {
         specs
             .into_iter()
             .enumerate()

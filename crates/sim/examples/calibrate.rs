@@ -15,7 +15,11 @@ fn stats(name: &str, xs: &[f64]) {
     let q = |p: f64| s[((s.len() - 1) as f64 * p) as usize];
     println!(
         "{name}: mean {:.4} p50 {:.4} p90 {:.4} p99 {:.4} max {:.4}",
-        xs.iter().sum::<f64>() / xs.len() as f64, q(0.5), q(0.9), q(0.99), q(1.0)
+        xs.iter().sum::<f64>() / xs.len() as f64,
+        q(0.5),
+        q(0.9),
+        q(0.99),
+        q(1.0)
     );
 }
 
@@ -23,10 +27,17 @@ fn probe(label: &str, cfg: SimConfig) {
     let ds = Platform::new(cfg).generate();
     let n = ds.jobs.len() as f64;
     let mut sets: HashMap<u64, usize> = HashMap::new();
-    for j in &ds.jobs { *sets.entry(j.config_id).or_default() += 1; }
+    for j in &ds.jobs {
+        *sets.entry(j.config_id).or_default() += 1;
+    }
     let dups: usize = sets.values().filter(|&&c| c >= 2).sum();
     let nsets = sets.values().filter(|&&c| c >= 2).count();
-    println!("== {label}: {} jobs, dup frac {:.3} over {} sets", ds.jobs.len(), dups as f64 / n, nsets);
+    println!(
+        "== {label}: {} jobs, dup frac {:.3} over {} sets",
+        ds.jobs.len(),
+        dups as f64 / n,
+        nsets
+    );
     let cont: Vec<f64> = ds.jobs.iter().map(|j| -j.truth.log10_contention).collect();
     let noise: Vec<f64> = ds.jobs.iter().map(|j| j.truth.log10_noise.abs()).collect();
     let weather: Vec<f64> = ds.jobs.iter().map(|j| -j.truth.log10_weather).collect();

@@ -79,8 +79,7 @@ pub struct Workload {
 pub fn generate_population<R: Rng + ?Sized>(rng: &mut R, cfg: &SimConfig) -> AppPopulation {
     let arch_weights: Vec<f64> = ARCHETYPES.iter().map(|a| a.weight).collect();
     let arch_dist = Categorical::new(&arch_weights);
-    let novel_start =
-        (cfg.horizon_seconds as f64 * (1.0 - cfg.novel_era_fraction)) as i64;
+    let novel_start = (cfg.horizon_seconds as f64 * (1.0 - cfg.novel_era_fraction)) as i64;
     let mut apps = Vec::with_capacity(cfg.n_apps);
     for app_id in 0..cfg.n_apps as u32 {
         let archetype = arch_dist.sample(rng);
@@ -132,8 +131,7 @@ pub fn generate_workload<R: Rng + ?Sized>(
     let all_weights: Vec<f64> = apps.iter().map(|a| a.popularity).collect();
     let base_dist = Categorical::new(&base_weights);
     let all_dist = Categorical::new(&all_weights);
-    let novel_start =
-        (cfg.horizon_seconds as f64 * (1.0 - cfg.novel_era_fraction)) as i64;
+    let novel_start = (cfg.horizon_seconds as f64 * (1.0 - cfg.novel_era_fraction)) as i64;
 
     // Uniform arrivals over the horizon (a Poisson process conditioned on
     // its count); sorted afterwards.
@@ -280,8 +278,7 @@ mod tests {
         let mut rng = rng_from_seed(5);
         let pop = generate_population(&mut rng, &cfg);
         let wl = generate_workload(&mut rng, &cfg, &pop);
-        let novel_start =
-            (cfg.horizon_seconds as f64 * (1.0 - cfg.novel_era_fraction)) as i64;
+        let novel_start = (cfg.horizon_seconds as f64 * (1.0 - cfg.novel_era_fraction)) as i64;
         for s in &wl.submissions {
             if pop.apps[s.app_idx].is_novel_era {
                 assert!(s.arrival >= novel_start, "novel app ran early at {}", s.arrival);

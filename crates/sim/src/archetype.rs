@@ -299,8 +299,7 @@ pub fn ideal_throughput(cfg: &JobConfig, peak_bandwidth: f64) -> f64 {
     // Random access pays seek-equivalent costs.
     let eff_pattern = 0.35 + 0.65 * cfg.seq_fraction;
     // N-1 shared files serialize on extent locks as ranks grow.
-    let eff_share =
-        if cfg.shared { 1.0 / (1.0 + 0.004 * cfg.nprocs as f64) } else { 1.0 };
+    let eff_share = if cfg.shared { 1.0 / (1.0 + 0.004 * cfg.nprocs as f64) } else { 1.0 };
     // More writers/readers saturate more of the machine's bandwidth.
     let saturation = 1.0 - (-(cfg.nprocs as f64) / 384.0).exp();
     // Metadata-bound jobs spend ops, not bytes.

@@ -145,8 +145,7 @@ impl SimConfig {
     /// workload *density* (jobs per unit time — what drives contention)
     /// stays at the preset's production level.
     pub fn with_jobs(mut self, n_jobs: usize) -> Self {
-        let scaled =
-            (self.horizon_seconds as f64 * n_jobs as f64 / self.n_jobs as f64) as i64;
+        let scaled = (self.horizon_seconds as f64 * n_jobs as f64 / self.n_jobs as f64) as i64;
         // Floor of 30 days: below that the minimum weather structure
         // (epochs, incidents) would dominate every litmus estimate.
         self.horizon_seconds = scaled.max(30 * 86_400);

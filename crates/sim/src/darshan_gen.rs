@@ -65,7 +65,8 @@ fn posix_module(cfg: &JobConfig, peak_bandwidth: f64, fingerprint: u64) -> Modul
         c[P::PosixFdsyncs.index()] = writes * 0.005;
         c[P::PosixBytesRead.index()] = bytes_read;
         c[P::PosixBytesWritten.index()] = bytes_written;
-        c[P::PosixMaxByteRead.index()] = if bytes_read > 0.0 { bytes_read / files_per_record } else { 0.0 };
+        c[P::PosixMaxByteRead.index()] =
+            if bytes_read > 0.0 { bytes_read / files_per_record } else { 0.0 };
         c[P::PosixMaxByteWritten.index()] =
             if bytes_written > 0.0 { bytes_written / files_per_record } else { 0.0 };
         c[P::PosixConsecReads.index()] = reads * cfg.seq_fraction * 0.7;
@@ -235,9 +236,7 @@ mod tests {
         let c = cfg(4);
         let log = generate_job_log(1, 10, "app", 0, 1, &c, 200e9, 4);
         let reads: f64 = log.posix.total(P::PosixReads.index());
-        let hist: f64 = (0..10)
-            .map(|b| log.posix.total(P::PosixSizeRead0_100.index() + b))
-            .sum();
+        let hist: f64 = (0..10).map(|b| log.posix.total(P::PosixSizeRead0_100.index() + b)).sum();
         assert!((reads - hist).abs() < 1e-6 * reads.max(1.0), "reads {reads} hist {hist}");
     }
 

@@ -133,16 +133,20 @@ impl Platform {
 
     /// Run the full generation pipeline.
     pub fn generate(&self) -> SimDataset {
+        let _span = iotax_obs::span!("sim.generate");
         let cfg = &self.config;
         let seed = cfg.seed;
 
         // 1. Population and workload.
+        let workload_span = iotax_obs::span!("sim.workload");
         let mut pop_rng = substream(seed, 1);
         let population = generate_population(&mut pop_rng, cfg);
         let mut wl_rng = substream(seed, 2);
         let workload = generate_workload(&mut wl_rng, cfg, &population);
+        drop(workload_span);
 
         // 2. Scheduler: requests → placed records.
+        let schedule_span = iotax_obs::span!("sim.schedule");
         let requests: Vec<JobRequest> = workload
             .submissions
             .iter()
@@ -164,12 +168,17 @@ impl Platform {
         });
         let mut records = scheduler.schedule(&requests);
         records.sort_by_key(|r| r.job_id);
+        drop(schedule_span);
 
         // 3. Weather.
+        let weather_span = iotax_obs::span!("sim.weather");
         let mut weather_rng = substream(seed, 3);
-        let weather = Weather::generate(&mut weather_rng, cfg.horizon_seconds, cfg.incidents_per_year);
+        let weather =
+            Weather::generate(&mut weather_rng, cfg.horizon_seconds, cfg.incidents_per_year);
+        drop(weather_span);
 
         // 4. Contention: deposit every job, then read back external loads.
+        let contention_span = iotax_obs::span!("sim.contention");
         let mut grid = LoadGrid::new(
             cfg.horizon_seconds + 40 * 86_400, // queue delays can spill past the horizon
             cfg.bucket_seconds,
@@ -192,11 +201,16 @@ impl Platform {
             let jc = &workload.configs[s.config_id as usize];
             grid.deposit(stripe, jc, r.start_time, r.end_time);
         }
+        drop(contention_span);
 
         // 5. Telemetry (before moving the grid into job assembly).
-        let lmt = cfg.collect_lmt.then(|| build_telemetry(&grid, &weather, cfg));
+        let lmt = cfg.collect_lmt.then(|| {
+            let _span = iotax_obs::span!("sim.telemetry");
+            build_telemetry(&grid, &weather, cfg)
+        });
 
         // 6. Per-job assembly: throughput composition + Darshan round trip.
+        let assemble_span = iotax_obs::span!("sim.assemble");
         let jobs: Vec<SimJob> = records
             .par_iter()
             .zip(stripes.par_iter())
@@ -209,9 +223,8 @@ impl Platform {
                 let f_a = ideal_throughput(jc, cfg.peak_bandwidth);
                 let log10_app = f_a.log10();
                 let log10_weather = weather.mean_log10_factor(rec.start_time, rec.end_time);
-                let ext_ratio =
-                    grid.external_load(stripe, jc, rec.start_time, rec.end_time)
-                        / cfg.contention_reference;
+                let ext_ratio = grid.external_load(stripe, jc, rec.start_time, rec.end_time)
+                    / cfg.contention_reference;
                 let log10_contention = contention_factor(
                     ext_ratio,
                     jc.contention_sensitivity,
@@ -219,9 +232,8 @@ impl Platform {
                 )
                 .log10();
                 let mut noise_rng = substream(seed, 10_000 + rec.job_id);
-                let log10_noise =
-                    Normal::new(0.0, cfg.noise_sigma_log10 * jc.noise_sensitivity)
-                        .sample(&mut noise_rng);
+                let log10_noise = Normal::new(0.0, cfg.noise_sigma_log10 * jc.noise_sensitivity)
+                    .sample(&mut noise_rng);
                 let log10_phi = log10_app + log10_weather + log10_contention + log10_noise;
 
                 // Darshan log: write and re-parse through the binary format.
@@ -239,9 +251,8 @@ impl Platform {
                 let posix = extract_posix_features(&parsed).to_vec();
                 let mpiio = extract_mpiio_features(&parsed).to_vec();
 
-                let lmt_features = lmt
-                    .as_ref()
-                    .map(|r| r.window_features(rec.start_time, rec.end_time).to_vec());
+                let lmt_features =
+                    lmt.as_ref().map(|r| r.window_features(rec.start_time, rec.end_time).to_vec());
 
                 SimJob {
                     job_id: rec.job_id,
@@ -272,8 +283,11 @@ impl Platform {
             })
             .collect();
 
+        drop(assemble_span);
+
         let mut jobs = jobs;
         jobs.sort_by_key(|j| (j.start_time, j.job_id));
+        iotax_obs::counter!("sim.jobs_generated").incr(jobs.len() as u64);
         SimDataset { config: cfg.clone(), jobs, weather, lmt }
     }
 }
@@ -311,8 +325,7 @@ mod tests {
         let ds = small();
         for j in &ds.jobs {
             let t = &j.truth;
-            let recomposed =
-                t.log10_app + t.log10_weather + t.log10_contention + t.log10_noise;
+            let recomposed = t.log10_app + t.log10_weather + t.log10_contention + t.log10_noise;
             assert!((j.log10_throughput() - recomposed).abs() < 1e-9);
             assert!(t.log10_contention <= 1e-12);
             assert!(j.throughput > 0.0);
@@ -338,9 +351,10 @@ mod tests {
         }
         assert!(checked > 50, "too few duplicates to be meaningful: {checked}");
         // And at least some duplicates differ in throughput (noise).
-        let any_differ = by_config.values().filter(|g| g.len() >= 2).any(|g| {
-            (g[0].throughput - g[1].throughput).abs() > 1e-6 * g[0].throughput
-        });
+        let any_differ = by_config
+            .values()
+            .filter(|g| g.len() >= 2)
+            .any(|g| (g[0].throughput - g[1].throughput).abs() > 1e-6 * g[0].throughput);
         assert!(any_differ);
     }
 
@@ -356,8 +370,7 @@ mod tests {
         let theta = small();
         assert!(theta.lmt.is_none());
         assert!(theta.jobs.iter().all(|j| j.lmt.is_none()));
-        let cori =
-            Platform::new(SimConfig::cori().with_jobs(500).with_seed(1)).generate();
+        let cori = Platform::new(SimConfig::cori().with_jobs(500).with_seed(1)).generate();
         assert!(cori.lmt.is_some());
         assert!(cori.jobs.iter().all(|j| j.lmt.is_some()));
     }
@@ -365,10 +378,9 @@ mod tests {
     #[test]
     fn novel_jobs_cluster_late() {
         let ds = Platform::new(SimConfig::theta().with_jobs(5_000).with_seed(5)).generate();
-        let novel_start = (ds.config.horizon_seconds as f64
-            * (1.0 - ds.config.novel_era_fraction)) as i64;
-        let novel: Vec<_> =
-            ds.jobs.iter().filter(|j| j.truth.is_novel_era).collect();
+        let novel_start =
+            (ds.config.horizon_seconds as f64 * (1.0 - ds.config.novel_era_fraction)) as i64;
+        let novel: Vec<_> = ds.jobs.iter().filter(|j| j.truth.is_novel_era).collect();
         assert!(!novel.is_empty(), "no novel jobs generated");
         for j in novel {
             assert!(j.arrival_time >= novel_start);
@@ -389,8 +401,7 @@ mod tests {
     #[test]
     fn noise_magnitude_matches_config() {
         let ds = small();
-        let noises: Vec<f64> =
-            ds.jobs.iter().map(|j| j.truth.log10_noise).collect();
+        let noises: Vec<f64> = ds.jobs.iter().map(|j| j.truth.log10_noise).collect();
         let std = iotax_stats::std_corrected(&noises);
         // Mixture over noise sensitivities (0.8 .. 2.2, mean ~1.2): the
         // pooled std should be near sigma × mean sensitivity.
@@ -401,11 +412,7 @@ mod tests {
     #[test]
     fn contention_is_nonzero_for_some_jobs() {
         let ds = small();
-        let contended = ds
-            .jobs
-            .iter()
-            .filter(|j| j.truth.log10_contention < -0.001)
-            .count();
+        let contended = ds.jobs.iter().filter(|j| j.truth.log10_contention < -0.001).count();
         assert!(contended > 20, "only {contended} contended jobs");
     }
 }

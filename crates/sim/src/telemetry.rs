@@ -17,9 +17,7 @@ use iotax_stats::rng::splitmix64;
 
 /// Deterministic small jitter in [-amp, amp] for (server, bucket, metric).
 fn jitter(server: usize, bucket: usize, metric: usize, amp: f64) -> f64 {
-    let h = splitmix64(
-        (server as u64) << 40 ^ (bucket as u64) << 8 ^ metric as u64 ^ 0x7E1E_0E70,
-    );
+    let h = splitmix64((server as u64) << 40 ^ (bucket as u64) << 8 ^ metric as u64 ^ 0x7E1E_0E70);
     amp * ((h as f64 / u64::MAX as f64) * 2.0 - 1.0)
 }
 
@@ -118,8 +116,7 @@ mod tests {
         let rec = build_telemetry(&grid, &weather, &cfg);
         let f = rec.window_features(0, 50 * cfg.bucket_seconds);
         let names = iotax_lmt::recorder::lmt_feature_names();
-        let max_write =
-            f[names.iter().position(|n| n == "LmtOstWriteBytesMax").expect("feature")];
+        let max_write = f[names.iter().position(|n| n == "LmtOstWriteBytesMax").expect("feature")];
         assert!(max_write > 1e5, "write bytes did not register: {max_write}");
     }
 
@@ -134,9 +131,7 @@ mod tests {
         let names = iotax_lmt::recorder::lmt_feature_names();
         let idx = names.iter().position(|n| n == "LmtOssCpuLoadMean").expect("feature");
         let end = cfg.horizon_seconds - 1;
-        assert!(
-            stormy.window_features(0, end)[idx] > calm.window_features(0, end)[idx] + 0.01
-        );
+        assert!(stormy.window_features(0, end)[idx] > calm.window_features(0, end)[idx] + 0.01);
     }
 
     #[test]

@@ -255,12 +255,8 @@ mod tests {
         let mut rng = rng_from_seed(14);
         let w = Weather::generate(&mut rng, YEAR, 5.0);
         let m = w.mean_log10_factor(1000, 1000 + 3600);
-        let lo = (0..16)
-            .map(|k| w.log10_factor(1000 + k * 225))
-            .fold(f64::INFINITY, f64::min);
-        let hi = (0..16)
-            .map(|k| w.log10_factor(1000 + k * 225))
-            .fold(f64::NEG_INFINITY, f64::max);
+        let lo = (0..16).map(|k| w.log10_factor(1000 + k * 225)).fold(f64::INFINITY, f64::min);
+        let hi = (0..16).map(|k| w.log10_factor(1000 + k * 225)).fold(f64::NEG_INFINITY, f64::max);
         assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
     }
 

@@ -102,8 +102,7 @@ pub fn kurtosis_excess(xs: &[f64]) -> f64 {
     let m = mean(xs);
     let s2 = variance_corrected(xs);
     let m4 = xs.iter().map(|x| (x - m).powi(4)).sum::<f64>() / n;
-    (n + 1.0) * n / ((n - 1.0) * (n - 2.0) * (n - 3.0))
-        * (n * m4 / (s2 * s2))
+    (n + 1.0) * n / ((n - 1.0) * (n - 2.0) * (n - 3.0)) * (n * m4 / (s2 * s2))
         - 3.0 * (n - 1.0) * (n - 1.0) / ((n - 2.0) * (n - 3.0))
 }
 

@@ -343,9 +343,7 @@ impl ContinuousDist for Gamma {
                 continue;
             }
             let u: f64 = rng.random();
-            if u < 1.0 - 0.0331 * x.powi(4)
-                || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
-            {
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
                 return d * v * self.scale * boost;
             }
         }
@@ -470,10 +468,7 @@ impl Categorical {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
         let u = rng.random::<f64>() * total;
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
-        {
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
             Ok(i) => (i + 1).min(self.cumulative.len() - 1),
             Err(i) => i.min(self.cumulative.len() - 1),
         }
@@ -575,10 +570,7 @@ mod tests {
             let xs = d.sample_n(&mut rng, 150_000);
             let (m, v) = moments(&xs);
             assert!((m - k * t).abs() < 0.05 * k * t + 0.02, "mean {m} for k={k}");
-            assert!(
-                (v - k * t * t).abs() < 0.1 * k * t * t + 0.05,
-                "var {v} for k={k}"
-            );
+            assert!((v - k * t * t).abs() < 0.1 * k * t * t + 0.05, "var {v} for k={k}");
         }
     }
 

@@ -44,10 +44,7 @@ impl Histogram {
     /// Histogram from explicit edges (ascending, at least two).
     pub fn from_edges(edges: Vec<f64>) -> Self {
         assert!(edges.len() >= 2, "need at least two edges");
-        assert!(
-            edges.windows(2).all(|w| w[1] > w[0]),
-            "edges must be strictly ascending"
-        );
+        assert!(edges.windows(2).all(|w| w[1] > w[0]), "edges must be strictly ascending");
         let bins = edges.len() - 1;
         Self { edges, counts: vec![0; bins], underflow: 0, overflow: 0 }
     }
@@ -63,10 +60,7 @@ impl Histogram {
             return None;
         }
         // Binary search for the rightmost edge <= x.
-        let i = match self
-            .edges
-            .binary_search_by(|e| e.partial_cmp(&x).expect("finite edges"))
-        {
+        let i = match self.edges.binary_search_by(|e| e.partial_cmp(&x).expect("finite edges")) {
             Ok(i) => i,
             Err(i) => i - 1,
         };
@@ -154,12 +148,8 @@ mod tests {
     fn density_integrates_to_one_without_overflow() {
         let mut h = Histogram::linear(0.0, 1.0, 4);
         h.record_all(&[0.1, 0.3, 0.6, 0.9]);
-        let area: f64 = h
-            .density()
-            .iter()
-            .zip(h.edges.windows(2))
-            .map(|(d, e)| d * (e[1] - e[0]))
-            .sum();
+        let area: f64 =
+            h.density().iter().zip(h.edges.windows(2)).map(|(d, e)| d * (e[1] - e[0])).sum();
         assert!((area - 1.0).abs() < 1e-12);
     }
 

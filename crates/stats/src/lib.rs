@@ -11,6 +11,8 @@
 //!
 //! * [`special`] — `erf`, `ln_gamma`, regularized incomplete beta/gamma,
 //!   the numerical bedrock for the distribution CDFs.
+//! * [`hashing`] — stable FNV-1a hashing for duplicate-set signatures
+//!   that must not drift across Rust releases.
 //! * [`dist`] — Normal, LogNormal, Student-t, Uniform, Exponential, Gamma,
 //!   Pareto and categorical sampling with pdf/cdf/quantile where defined.
 //! * [`describe`] — descriptive statistics: mean, Bessel-corrected variance,
@@ -32,6 +34,7 @@ pub mod corr;
 pub mod describe;
 pub mod dist;
 pub mod fit;
+pub mod hashing;
 pub mod histogram;
 pub mod ks;
 pub mod online;
@@ -42,6 +45,7 @@ pub use corr::{pearson, spearman};
 pub use describe::{mean, median, quantile, std_corrected, variance_biased, variance_corrected};
 pub use dist::{Categorical, Exponential, Gamma, LogNormal, Normal, Pareto, StudentT, Uniform};
 pub use fit::{fit_normal, fit_student_t, NormalFit, StudentTFit};
+pub use hashing::{fnv1a, Fnv1aHasher};
 pub use histogram::Histogram;
 pub use online::Welford;
 pub use rng::{rng_from_seed, substream};

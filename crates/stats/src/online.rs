@@ -57,16 +57,8 @@ impl Welford {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
-        Self {
-            n,
-            mean,
-            m2,
-            min: self.min.min(other.min),
-            max: self.max.max(other.max),
-        }
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        Self { n, mean, m2, min: self.min.min(other.min), max: self.max.max(other.max) }
     }
 
     /// Number of observations.

@@ -76,10 +76,7 @@ mod tests {
     fn substream_uniformity_smoke() {
         // Rough uniformity of the first double from many streams.
         let n = 10_000;
-        let mean: f64 = (0..n)
-            .map(|i| substream(99, i).random::<f64>())
-            .sum::<f64>()
-            / n as f64;
+        let mean: f64 = (0..n).map(|i| substream(99, i).random::<f64>()).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
     }
 }

@@ -72,7 +72,11 @@ impl DeepEnsemble {
         let members = genomes
             .par_iter()
             .enumerate()
-            .map(|(i, g)| Mlp::fit(train, g.to_params(splitmix64(seed ^ i as u64), true)))
+            .map(|(i, g)| {
+                let _span = iotax_obs::span!("uq.ensemble.member");
+                iotax_obs::counter!("uq.ensemble.members_fit").incr(1);
+                Mlp::fit(train, g.to_params(splitmix64(seed ^ i as u64), true))
+            })
             .collect();
         Self { members }
     }
@@ -84,6 +88,8 @@ impl DeepEnsemble {
         let members = (0..k)
             .into_par_iter()
             .map(|i| {
+                let _span = iotax_obs::span!("uq.ensemble.member");
+                iotax_obs::counter!("uq.ensemble.members_fit").incr(1);
                 let mut p = base.clone();
                 p.heteroscedastic = true;
                 p.seed = splitmix64(seed ^ (i as u64).rotate_left(13));
@@ -123,10 +129,7 @@ impl DeepEnsemble {
 
     /// Decomposed predictions for every row of a dataset (parallel).
     pub fn predict_uq_batch(&self, data: &Dataset) -> Vec<UqPrediction> {
-        (0..data.n_rows)
-            .into_par_iter()
-            .map(|i| self.predict_uq(data.row(i)))
-            .collect()
+        (0..data.n_rows).into_par_iter().map(|i| self.predict_uq(data.row(i))).collect()
     }
 }
 
@@ -162,8 +165,7 @@ pub fn eu_shoulder(eu_stds: &[f64], errors: &[f64]) -> f64 {
     // When the MAD rule would flag more than 10 % of samples (EU tail too
     // fat for a simple location/scale cut), tighten to the 98th
     // percentile.
-    let flagged = sorted.iter().filter(|&&e| e > robust).count() as f64
-        / sorted.len() as f64;
+    let flagged = sorted.iter().filter(|&&e| e > robust).count() as f64 / sorted.len() as f64;
     if flagged > 0.10 {
         iotax_stats::describe::quantile_sorted(&sorted, 0.98)
     } else {
@@ -179,13 +181,7 @@ pub fn ood_error_share(errors: &[f64], is_ood: &[bool]) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    errors
-        .iter()
-        .zip(is_ood)
-        .filter(|(_, &o)| o)
-        .map(|(e, _)| e)
-        .sum::<f64>()
-        / total
+    errors.iter().zip(is_ood).filter(|(_, &o)| o).map(|(e, _)| e).sum::<f64>() / total
 }
 
 #[cfg(test)]
@@ -230,14 +226,11 @@ mod tests {
     fn epistemic_rises_off_distribution() {
         let train = heteroscedastic_dataset(2000, 2);
         let ens = DeepEnsemble::fit_default(&train, 5, quick_params(), 9);
-        let id: f64 = (0..20)
-            .map(|i| ens.predict_uq(&[-0.9 + 0.09 * i as f64]).epistemic)
-            .sum::<f64>()
-            / 20.0;
-        let ood: f64 = (0..20)
-            .map(|i| ens.predict_uq(&[4.0 + 0.5 * i as f64]).epistemic)
-            .sum::<f64>()
-            / 20.0;
+        let id: f64 =
+            (0..20).map(|i| ens.predict_uq(&[-0.9 + 0.09 * i as f64]).epistemic).sum::<f64>()
+                / 20.0;
+        let ood: f64 =
+            (0..20).map(|i| ens.predict_uq(&[4.0 + 0.5 * i as f64]).epistemic).sum::<f64>() / 20.0;
         assert!(ood > 5.0 * id, "in-dist EU {id:.5} vs ood EU {ood:.5}");
     }
 

@@ -17,8 +17,7 @@ use iotax::stats::describe::Summary;
 use std::collections::BTreeMap;
 
 fn main() {
-    let dataset =
-        Platform::new(SimConfig::theta().with_jobs(12_000).with_seed(17)).generate();
+    let dataset = Platform::new(SimConfig::theta().with_jobs(12_000).with_seed(17)).generate();
     let dup = find_duplicate_sets(&dataset.jobs);
     let y: Vec<f64> = dataset.jobs.iter().map(|j| j.log10_throughput()).collect();
 
@@ -29,10 +28,7 @@ fn main() {
         let exe = &dataset.jobs[set[0]].exe;
         let class = exe.rsplit_once('_').map(|(p, _)| p).unwrap_or(exe);
         let errors = duplicate_errors(&y, std::slice::from_ref(set));
-        by_class
-            .entry(class.to_owned())
-            .or_default()
-            .extend(errors.iter().map(|e| e.abs()));
+        by_class.entry(class.to_owned()).or_default().extend(errors.iter().map(|e| e.abs()));
     }
 
     println!("duplicate-error spread per application class (Fig. 1(b) analysis)\n");

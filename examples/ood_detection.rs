@@ -23,7 +23,10 @@ fn main() {
 
     println!("\nuncertainty decomposition over {} test jobs:", test.n_rows);
     println!("  median aleatory std  (AU): {:.4}  ← irreducible noise", result.median_aleatory_std);
-    println!("  median epistemic std (EU): {:.4}  ← lack of similar training jobs", result.median_epistemic_std);
+    println!(
+        "  median epistemic std (EU): {:.4}  ← lack of similar training jobs",
+        result.median_epistemic_std
+    );
     println!("  EU threshold (shoulder):   {:.4}", result.eu_threshold);
     println!(
         "  flagged OoD: {:.2} % of jobs carrying {:.2} % of total error ({:.1}x amplification)",

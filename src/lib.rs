@@ -20,6 +20,7 @@
 //! | [`ml`] | from-scratch gradient boosting, MLPs, grid search, evolutionary NAS |
 //! | [`uq`] | deep ensembles and aleatory/epistemic uncertainty decomposition |
 //! | [`core`] | the taxonomy itself: duplicate sets, litmus tests, error attribution |
+//! | [`obs`] | timing spans, counters/histograms, metric sinks, the unified [`Error`] |
 //!
 //! ## Quickstart
 //!
@@ -34,12 +35,37 @@
 //! println!("{}", report.render_text());
 //! assert!(report.baseline_median_error_pct > 0.0);
 //! ```
+//!
+//! The same pipeline can be driven stage by stage — each step returns a
+//! typed intermediate, so the compiler enforces the order the error
+//! attribution assumes:
+//!
+//! ```
+//! use iotax::core::TaxonomyRun;
+//! use iotax::sim::{Platform, SimConfig};
+//!
+//! let config = SimConfig::theta().with_jobs(1_500).with_seed(7);
+//! let dataset = Platform::new(config).generate();
+//! let staged = TaxonomyRun::new(&dataset).baseline()?;
+//! println!("baseline error: {:.2} %", staged.baseline_error_pct);
+//! let report = staged
+//!     .app_litmus()?
+//!     .system_litmus()?
+//!     .ood()?
+//!     .noise_floor()?
+//!     .finish();
+//! assert_eq!(report.timings.len(), 5); // one span tree per stage
+//! # Ok::<(), iotax::Error>(())
+//! ```
 
 pub use iotax_core as core;
 pub use iotax_darshan as darshan;
 pub use iotax_lmt as lmt;
 pub use iotax_ml as ml;
+pub use iotax_obs as obs;
 pub use iotax_sched as sched;
 pub use iotax_sim as sim;
 pub use iotax_stats as stats;
 pub use iotax_uq as uq;
+
+pub use iotax_obs::{Error, ErrorKind, Result};

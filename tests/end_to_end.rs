@@ -55,10 +55,7 @@ fn taxonomy_is_deterministic() {
     assert_eq!(a.baseline_median_error_pct, b.baseline_median_error_pct);
     assert_eq!(a.tuned_median_error_pct, b.tuned_median_error_pct);
     assert_eq!(a.ood.ood_fraction, b.ood.ood_fraction);
-    assert_eq!(
-        a.noise.as_ref().map(|n| n.sigma_log10),
-        b.noise.as_ref().map(|n| n.sigma_log10)
-    );
+    assert_eq!(a.noise.as_ref().map(|n| n.sigma_log10), b.noise.as_ref().map(|n| n.sigma_log10));
 }
 
 #[test]
@@ -81,7 +78,14 @@ fn feature_sets_wire_through_the_whole_stack() {
 fn darshan_round_trip_at_trace_scale() {
     // Serialize and re-parse a batch of hand-built logs of every shape.
     for i in 0..200u64 {
-        let mut log = JobLog::new(i, 1000 + i as u32, 1 << (i % 12), i as i64 * 1000, i as i64 * 1000 + 500, "stress_app");
+        let mut log = JobLog::new(
+            i,
+            1000 + i as u32,
+            1 << (i % 12),
+            i as i64 * 1000,
+            i as i64 * 1000 + 500,
+            "stress_app",
+        );
         for f in 0..(i % 9) {
             let mut rec = FileRecord::zeroed(ModuleId::Posix, i * 31 + f, 4);
             rec.counters[f as usize % 48] = (i * f) as f64 * 1.5;

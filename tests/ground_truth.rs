@@ -8,7 +8,7 @@
 
 use iotax::core::{app_modeling_bound, concurrent_noise_floor, find_duplicate_sets};
 use iotax::sim::{Platform, SimConfig};
-use iotax::stats::describe::{median, std_corrected};
+use iotax::stats::describe::{median, quantile};
 
 fn theta(jobs: usize, seed: u64) -> iotax::sim::SimDataset {
     Platform::new(SimConfig::theta().with_jobs(jobs).with_seed(seed)).generate()
@@ -99,19 +99,15 @@ fn concurrent_spread_matches_injected_contention_plus_noise() {
     let ds = theta(8_000, 107);
     let dup = find_duplicate_sets(&ds.jobs);
     let y: Vec<f64> = ds.jobs.iter().map(|j| j.log10_throughput()).collect();
-    let hidden: Vec<f64> = ds
-        .jobs
-        .iter()
-        .map(|j| j.truth.log10_contention + j.truth.log10_noise)
-        .collect();
+    let hidden: Vec<f64> =
+        ds.jobs.iter().map(|j| j.truth.log10_contention + j.truth.log10_noise).collect();
     let starts: Vec<i64> = ds.jobs.iter().map(|j| j.start_time).collect();
     let observed = concurrent_noise_floor(&y, &starts, &dup, &[], 1, 30).expect("data");
     let injected = concurrent_noise_floor(&hidden, &starts, &dup, &[], 1, 30).expect("data");
     // Weather within a 1-second batch is essentially identical, so the two
     // sigmas should agree within bucket-resolution slack.
     assert!(
-        (observed.sigma_log10 - injected.sigma_log10).abs()
-            < 0.15 * injected.sigma_log10 + 1e-4,
+        (observed.sigma_log10 - injected.sigma_log10).abs() < 0.15 * injected.sigma_log10 + 1e-4,
         "observed {} vs injected {}",
         observed.sigma_log10,
         injected.sigma_log10
@@ -123,8 +119,7 @@ fn concurrent_spread_matches_injected_contention_plus_noise() {
 #[test]
 fn cori_measures_noisier_than_theta() {
     let theta_ds = theta(8_000, 109);
-    let cori_ds =
-        Platform::new(SimConfig::cori().with_jobs(8_000).with_seed(109)).generate();
+    let cori_ds = Platform::new(SimConfig::cori().with_jobs(8_000).with_seed(109)).generate();
     let floor_of = |ds: &iotax::sim::SimDataset| {
         let dup = find_duplicate_sets(&ds.jobs);
         let y: Vec<f64> = ds.jobs.iter().map(|j| j.log10_throughput()).collect();
@@ -133,41 +128,60 @@ fn cori_measures_noisier_than_theta() {
     };
     let t = floor_of(&theta_ds);
     let c = floor_of(&cori_ds);
-    assert!(
-        c.pct_68 > t.pct_68,
-        "cori ±{:.2} % should exceed theta ±{:.2} %",
-        c.pct_68,
-        t.pct_68
-    );
+    assert!(c.pct_68 > t.pct_68, "cori ±{:.2} % should exceed theta ±{:.2} %", c.pct_68, t.pct_68);
 }
 
 /// Rare and novel-era jobs — the injected OoD population — must carry more
 /// model-facing irregularity: their configs come from widened parameter
-/// distributions, so their ideal throughputs sit farther from the
-/// archetype's center.
+/// distributions, so their ideal throughputs sit farther from their *own
+/// archetype's* center than regular jobs do.
+///
+/// Two measurement choices keep the check statistically sound: deviations
+/// are taken against the per-archetype regular median (the raw spread of
+/// `log10_app` is dominated by the between-archetype variance, not by the
+/// widening), and three seeds are pooled (each rare app contributes one
+/// correlated config draw, so a single 10 K-job trace has only a few
+/// dozen independent rare draws).
 #[test]
 fn novel_jobs_are_structurally_different() {
-    let ds = theta(10_000, 111);
-    let regular: Vec<f64> = ds
-        .jobs
-        .iter()
-        .filter(|j| !j.truth.is_rare && !j.truth.is_novel_era)
-        .map(|j| j.truth.log10_app)
-        .collect();
-    let rare: Vec<f64> = ds
-        .jobs
-        .iter()
-        .filter(|j| j.truth.is_rare || j.truth.is_novel_era)
-        .map(|j| j.truth.log10_app)
-        .collect();
-    assert!(rare.len() > 20, "too few OoD jobs: {}", rare.len());
-    // Widened draws spread wider than nominal ones.
-    assert!(
-        std_corrected(&rare) > std_corrected(&regular),
-        "rare spread {} vs regular {}",
-        std_corrected(&rare),
-        std_corrected(&regular)
-    );
+    let mut dev_rare = Vec::new();
+    let mut dev_regular = Vec::new();
+    for seed in [111, 1111, 2111] {
+        let ds = theta(10_000, seed);
+        // Per-archetype center of the nominal (un-widened) population,
+        // keyed by the executable-name prefix the archetype stamps.
+        let arch_of =
+            |exe: &str| exe.rsplit_once('_').map(|(p, _)| p.to_owned()).unwrap_or_default();
+        let mut by_arch: std::collections::HashMap<String, Vec<f64>> =
+            std::collections::HashMap::new();
+        for j in &ds.jobs {
+            if !j.truth.is_rare && !j.truth.is_novel_era {
+                by_arch.entry(arch_of(&j.exe)).or_default().push(j.truth.log10_app);
+            }
+        }
+        let centers: std::collections::HashMap<String, f64> =
+            by_arch.iter().map(|(k, v)| (k.clone(), median(v))).collect();
+        for j in &ds.jobs {
+            let Some(&center) = centers.get(&arch_of(&j.exe)) else { continue };
+            let dev = (j.truth.log10_app - center).abs();
+            if j.truth.is_rare || j.truth.is_novel_era {
+                dev_rare.push(dev);
+            } else {
+                dev_regular.push(dev);
+            }
+        }
+    }
+    assert!(dev_rare.len() > 100, "too few OoD jobs: {}", dev_rare.len());
+    // Widened draws land farther from the archetype center, most visibly
+    // in the upper tail.
+    for q in [0.75, 0.9] {
+        assert!(
+            quantile(&dev_rare, q) > quantile(&dev_regular, q),
+            "q={q}: rare deviation {} vs regular {}",
+            quantile(&dev_rare, q),
+            quantile(&dev_regular, q)
+        );
+    }
 }
 
 /// Weather ground truth: jobs inside incident windows must be slower than

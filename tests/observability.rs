@@ -1,0 +1,83 @@
+//! End-to-end observability: a taxonomy run streamed through the
+//! JSON-lines sink must come back as a well-formed span tree — the same
+//! contract `iotax-analyze --metrics-out` exposes to operators.
+
+use iotax::obs::{assemble_span_tree, flush_metrics, JsonLinesSink, SpanRecord};
+use iotax::sim::{Platform, SimConfig};
+use std::sync::Arc;
+
+const STAGES: [&str; 5] =
+    ["core.baseline", "core.app_litmus", "core.system_litmus", "core.ood", "core.noise_floor"];
+
+/// One test drives the whole flow; the global sink is process-wide state,
+/// so this file deliberately holds a single #[test].
+#[test]
+fn taxonomy_span_tree_round_trips_through_jsonl() {
+    let dir = std::env::temp_dir().join(format!("iotax-obs-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("metrics.jsonl");
+
+    let sink = JsonLinesSink::create(&path).expect("create metrics file");
+    let previous = iotax::obs::set_sink(Arc::new(sink));
+    let dataset = Platform::new(SimConfig::theta().with_jobs(1_200).with_seed(90)).generate();
+    let report = iotax::core::Taxonomy::quick().run(&dataset);
+    flush_metrics();
+    iotax::obs::restore_sink(previous);
+
+    // Every line parses; spans, counters and histograms are all present.
+    let text = std::fs::read_to_string(&path).expect("read metrics back");
+    let mut spans: Vec<SpanRecord> = Vec::new();
+    let mut counter_names: Vec<String> = Vec::new();
+    for line in text.lines() {
+        let value: serde::Value = serde_json::from_str(line).expect("parseable JSONL line");
+        match value.get("type").and_then(|t| t.as_str()) {
+            Some("span") => spans.push(serde_json::from_str(line).expect("span record")),
+            Some("counter") => {
+                if let Some(name) = value.get("name").and_then(|n| n.as_str()) {
+                    counter_names.push(name.to_owned());
+                }
+            }
+            Some("histogram") => {}
+            other => panic!("unexpected line type {other:?}"),
+        }
+    }
+
+    // The generation phases and the instrumented hot loops all reported.
+    assert!(spans.iter().any(|s| s.name == "sim.generate"), "simulator span missing");
+    for counter in ["sim.jobs_generated", "core.duplicate_sets_found", "ml.gbm.trees_fit"] {
+        assert!(counter_names.iter().any(|n| n == counter), "{counter} missing");
+    }
+
+    // The reassembled forest contains all five taxonomy stages, in order.
+    let forest = assemble_span_tree(&spans);
+    let stage_roots: Vec<&iotax::obs::SpanNode> =
+        forest.iter().filter(|n| n.name.starts_with("core.")).collect();
+    let names: Vec<&str> = stage_roots.iter().map(|n| n.name.as_str()).collect();
+    assert_eq!(names, STAGES, "stage spans wrong or out of order");
+
+    // Nesting: the grid search ran inside the app litmus stage.
+    let app = stage_roots[1];
+    assert!(
+        app.children.iter().any(|c| c.name == "core.grid_search"),
+        "grid search not nested under app_litmus: {:?}",
+        app.children.iter().map(|c| &c.name).collect::<Vec<_>>()
+    );
+
+    // Timestamps are monotonic: stages open in sequence, children open
+    // after their parent and close within its window.
+    for pair in stage_roots.windows(2) {
+        assert!(pair[0].start_us + pair[0].duration_us <= pair[1].start_us + 1);
+    }
+    for root in &stage_roots {
+        for child in &root.children {
+            assert!(child.start_us >= root.start_us);
+            assert!(child.start_us + child.duration_us <= root.start_us + root.duration_us + 1);
+        }
+    }
+
+    // And the report's embedded timings agree with what the sink saw.
+    let embedded: Vec<&str> = report.timings.iter().map(|t| t.name.as_str()).collect();
+    assert_eq!(embedded, STAGES);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,252 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The registry is unreachable in this build environment, so the workspace
+//! vendors the criterion call surface its benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `criterion_group!`, `criterion_main!` — over a simple
+//! wall-clock harness: each benchmark is calibrated so one sample takes a
+//! few milliseconds, a handful of samples are timed, and the median
+//! ns/iteration (plus derived throughput) is printed. No statistical
+//! analysis, plots, or baseline comparisons; the numbers are indicative,
+//! which is what an offline container can honestly provide.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(5);
+const DEFAULT_SAMPLE_COUNT: usize = 20;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+            sample_count: DEFAULT_SAMPLE_COUNT,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation attached to subsequent benchmarks in a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just a parameter rendering.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// A named set of benchmarks sharing sample-count and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_count: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self.sample_count, |b| routine(b));
+        self.print(&id.into(), &report);
+        self
+    }
+
+    /// Run a benchmark parameterized by borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let report = run_bench(self.sample_count, |b| routine(b, input));
+        self.print(&id.into(), &report);
+        self
+    }
+
+    /// End the group (prints nothing further; exists for API parity).
+    pub fn finish(self) {}
+
+    fn print(&self, id: &BenchmarkId, report: &SampleReport) {
+        let per_iter = report.median_ns_per_iter;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!("  {:>10.1} MiB/s", n as f64 / (per_iter * 1e-9) / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  {:>10.1} elem/s", n as f64 / (per_iter * 1e-9))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "  {}/{:<40} {:>12} ns/iter ({} samples x {} iters){}",
+            self.name,
+            report_id(id),
+            format_ns(per_iter),
+            report.samples,
+            report.iters_per_sample,
+            rate
+        );
+    }
+}
+
+fn report_id(id: &BenchmarkId) -> &str {
+    &id.id
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}e9", ns / 1e9)
+    } else {
+        format!("{:.0}", ns)
+    }
+}
+
+struct SampleReport {
+    median_ns_per_iter: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Calibrates iterations-per-sample, then times `sample_count` samples.
+fn run_bench<F: FnMut(&mut Bencher)>(sample_count: usize, mut routine: F) -> SampleReport {
+    // Calibration: find how many iterations fill the target sample time.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        routine(&mut b);
+        if b.elapsed >= TARGET_SAMPLE_TIME || iters >= 1 << 20 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            16
+        } else {
+            (TARGET_SAMPLE_TIME.as_secs_f64() / b.elapsed.as_secs_f64()).ceil() as u64
+        };
+        iters = iters.saturating_mul(grow.clamp(2, 16)).min(1 << 20);
+    }
+    let mut per_iter_ns: Vec<f64> = (0..sample_count)
+        .map(|_| {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            routine(&mut b);
+            b.elapsed.as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    SampleReport {
+        median_ns_per_iter: per_iter_ns[per_iter_ns.len() / 2],
+        samples: sample_count,
+        iters_per_sample: iters,
+    }
+}
+
+/// Passed to benchmark routines; `iter` runs and times the workload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `self.iters` executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Collects benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let input = vec![1u64; 64];
+        group.bench_with_input(BenchmarkId::new("len", 64), &input, |b, v| b.iter(|| v.len()));
+        group.finish();
+    }
+}

@@ -1,0 +1,612 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The registry is unreachable in this build environment, so the workspace
+//! vendors the proptest API surface its tests use: the [`Strategy`] trait
+//! with `prop_map`/`prop_flat_map`, range and collection and option and
+//! tuple strategies, a small character-class regex strategy for strings,
+//! and the `proptest!`/`prop_compose!`/`prop_assert*!`/`prop_assume!`
+//! macros. Each test runs a fixed number of cases from a seed derived
+//! from the test name, so failures are reproducible run-to-run.
+//!
+//! Deliberately omitted relative to real proptest: shrinking (a failing
+//! case reports its values via the assertion message instead) and
+//! persistence (`.proptest-regressions` files are ignored).
+
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// RNG.
+// ---------------------------------------------------------------------------
+
+/// Deterministic test RNG (SplitMix64), seeded per test from its name.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name so every test gets a distinct, stable stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `lo..=hi` over the full i128 lattice.
+    pub fn int_in(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u128 + 1;
+        lo + ((self.next_u64() as u128) % span) as i128
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators.
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy built from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// A strategy defined by a sampling closure; the building block used by
+/// `prop_compose!`.
+pub struct StrategyFn<T, F: Fn(&mut TestRng) -> T> {
+    f: F,
+}
+
+impl<T, F: Fn(&mut TestRng) -> T> StrategyFn<T, F> {
+    /// Wrap a sampling function.
+    pub fn new(f: F) -> Self {
+        Self { f }
+    }
+}
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for StrategyFn<T, F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+// Ranges over integers and floats are strategies.
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.int_in(self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                rng.int_in(*self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+// Tuples of strategies are strategies.
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// A string literal is a strategy: a character-class regex of the form
+/// `[class]{m,n}` (or `[class]{n}`, or a bare `[class]` meaning one char).
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (chars, min_len, max_len) = parse_char_class_regex(self);
+        let len = rng.int_in(min_len as i128, max_len as i128) as usize;
+        (0..len).map(|_| chars[rng.int_in(0, chars.len() as i128 - 1) as usize]).collect()
+    }
+}
+
+/// Parses `[a-zA-Z0-9_./-]{0,64}`-style patterns: one character class and
+/// an optional repetition count. Anything fancier is unsupported.
+fn parse_char_class_regex(pattern: &str) -> (Vec<char>, usize, usize) {
+    let rest = pattern.strip_prefix('[').unwrap_or_else(|| {
+        panic!("unsupported regex strategy `{pattern}`: expected `[class]{{m,n}}`")
+    });
+    let close = rest
+        .find(']')
+        .unwrap_or_else(|| panic!("unsupported regex strategy `{pattern}`: unterminated class"));
+    let class: Vec<char> = rest[..close].chars().collect();
+    assert!(!class.is_empty() && class[0] != '^', "unsupported regex strategy `{pattern}`");
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            assert!(lo <= hi, "bad range in regex strategy `{pattern}`");
+            chars.extend((lo..=hi).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            // `-` in first or last position (or after a range) is literal.
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    let quant = &rest[close + 1..];
+    let (min_len, max_len) = if quant.is_empty() {
+        (1, 1)
+    } else {
+        let inner = quant
+            .strip_prefix('{')
+            .and_then(|q| q.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported regex quantifier in `{pattern}`"));
+        match inner.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim().parse().expect("regex quantifier min"),
+                hi.trim().parse().expect("regex quantifier max"),
+            ),
+            None => {
+                let n = inner.trim().parse().expect("regex quantifier count");
+                (n, n)
+            }
+        }
+    };
+    (chars, min_len, max_len)
+}
+
+/// Size argument accepted by [`collection::vec`].
+pub trait SizeBounds {
+    /// Inclusive (min, max) lengths.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeBounds for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeBounds for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty size range");
+        (*self.start(), *self.end())
+    }
+}
+
+impl SizeBounds for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{SizeBounds, Strategy, TestRng};
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    /// `Vec`s of `size` elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl SizeBounds) -> VecStrategy<S> {
+        let (min_len, max_len) = size.bounds();
+        VecStrategy { elem, min_len, max_len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.int_in(self.min_len as i128, self.max_len as i128) as usize;
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`prop::option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 3 == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait ArbitrarySample {
+    /// Draw one value over the type's whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitrarySample for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitrarySample for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitrarySample for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite full-range doubles; non-finite specials are not produced.
+        f64::from_bits(rng.next_u64() % (0x7FEF_FFFF_FFFF_FFFF + 1))
+            * if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 }
+    }
+}
+
+/// See [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The canonical whole-domain strategy for `T`.
+pub fn any<T: ArbitrarySample>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl<T: ArbitrarySample> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner plumbing used by the macros.
+// ---------------------------------------------------------------------------
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases sampled per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Override the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// How a single sampled case ended, when it didn't pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert*!` failed; the case is a genuine failure.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+}
+
+/// The traits, functions, and macros tests import with
+/// `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_compose, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Defines `#[test]` functions that run a body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case {case} of {total}: {msg}", total = config.cases);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Defines a function returning a composed strategy.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($arg:ident: $arg_ty:ty),* $(,)?)(
+            $($pat:pat_param in $strat:expr),* $(,)?
+        ) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $arg_ty),*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::StrategyFn::new(move |rng: &mut $crate::TestRng| -> $ret {
+                $(let $pat = $crate::Strategy::sample(&($strat), rng);)*
+                $body
+            })
+        }
+    };
+}
+
+/// Asserts within a proptest body; failure reports the sampled case
+/// instead of unwinding directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = crate::TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let x = (3usize..10).sample(&mut rng);
+            assert!((3..10).contains(&x));
+            let y = (1u8..=255).sample(&mut rng);
+            assert!(y >= 1);
+            let z = (-1e6f64..1e6).sample(&mut rng);
+            assert!((-1e6..1e6).contains(&z));
+        }
+    }
+
+    #[test]
+    fn regex_class_strategy_samples_members() {
+        let mut rng = crate::TestRng::for_test("regex");
+        for _ in 0..200 {
+            let s = "[a-zA-Z0-9_./-]{0,64}".sample(&mut rng);
+            assert!(s.len() <= 64);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || "_./-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn vec_and_option_and_tuples_compose() {
+        let mut rng = crate::TestRng::for_test("compose");
+        let strat = prop::collection::vec((0u32..5, any::<bool>()), 1..=4).prop_map(|v| v.len());
+        for _ in 0..100 {
+            let n = strat.sample(&mut rng);
+            assert!((1..=4).contains(&n));
+            let o = prop::option::of(0i64..3).sample(&mut rng);
+            assert!(o.is_none() || (0..3).contains(&o.unwrap()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_plumbing_works(xs in prop::collection::vec(-1.0f64..1.0, 1..20), k in any::<u32>()) {
+            prop_assume!(!xs.is_empty());
+            prop_assert!(xs.iter().all(|x| x.abs() <= 1.0));
+            prop_assert_eq!(xs.len(), xs.len());
+            let _ = k;
+        }
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in 0u32..10, b in 0u32..10) -> (u32, u32) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn composed_strategy_works(p in arb_pair()) {
+            prop_assert!(p.0 < 10 && p.1 < 10);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The registry is unreachable in this build environment, so the workspace
+//! vendors the rayon *entry points* it calls — `par_iter`,
+//! `into_par_iter`, `par_iter_mut`, `par_chunks_mut` — as thin wrappers
+//! that return the equivalent **sequential** standard-library iterators.
+//! Every adaptor the codebase chains on them (`map`, `zip`, `enumerate`,
+//! `filter_map`, `collect`, `sum`, `max_by`, …) is then just the ordinary
+//! `Iterator` machinery, so call sites compile and behave identically,
+//! minus the parallelism.
+//!
+//! Results are therefore bit-for-bit deterministic — which the simulator
+//! already guarantees independently of scheduling by seeding per-unit
+//! substreams — and swapping the real rayon back in is a one-line change
+//! in the workspace manifest.
+
+/// The traits call sites import via `use rayon::prelude::*`.
+pub mod prelude {
+    /// `into_par_iter()` — sequential stand-in: any `IntoIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Returns the ordinary sequential iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// `par_iter()` — sequential stand-in for by-reference iteration.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The sequential iterator type.
+        type Iter: Iterator;
+
+        /// Returns the ordinary sequential iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` — sequential stand-in for by-mutable-reference
+    /// iteration.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The sequential iterator type.
+        type Iter: Iterator;
+
+        /// Returns the ordinary sequential iterator.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_chunks_mut()` — sequential stand-in over slices.
+    pub trait ParallelSliceMut<T> {
+        /// Returns `chunks_mut` of the slice.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Reports a single "worker", matching the sequential execution model.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = v.clone().into_par_iter().sum();
+        assert_eq!(sum, 10);
+        let pairs: Vec<(usize, i32)> =
+            v.par_iter().copied().enumerate().map(|(i, x)| (i, x)).collect();
+        assert_eq!(pairs.len(), 4);
+    }
+
+    #[test]
+    fn ranges_and_zip_work() {
+        let v = vec![10, 20];
+        let zipped: Vec<(usize, i32)> =
+            (0..2usize).into_par_iter().zip(v.par_iter().copied()).collect();
+        assert_eq!(zipped, vec![(0, 10), (1, 20)]);
+    }
+
+    #[test]
+    fn chunks_mut_works() {
+        let mut v = [1, 2, 3, 4, 5];
+        v.par_chunks_mut(2).for_each(|c| c.iter_mut().for_each(|x| *x += 1));
+        assert_eq!(v, [2, 3, 4, 5, 6]);
+    }
+}

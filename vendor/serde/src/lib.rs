@@ -1,0 +1,388 @@
+//! Offline stand-in for `serde`.
+//!
+//! The registry is unreachable in this build environment, so the workspace
+//! vendors a compact serialization framework under the same crate name and
+//! derive spelling. Instead of serde's visitor-based zero-copy model, this
+//! stand-in round-trips every value through an explicit [`Value`] tree —
+//! entirely sufficient for the workspace's needs (reports, metrics files,
+//! golden tests), and two orders of magnitude less code.
+//!
+//! Supported surface:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on named-field structs and
+//!   unit-variant enums (via the vendored `serde_derive`).
+//! * `#[serde(skip)]` on struct fields (omitted on write; `Default` on
+//!   read when `Deserialize` is derived).
+//! * `serde_json`-compatible rendering/parsing through the sibling
+//!   vendored `serde_json` crate.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+
+/// A JSON-shaped value tree: the wire model every type serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction/exponent).
+    Int(i64),
+    /// Unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (linear; objects here are small).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64, coercing any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64 when integral and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            Value::UInt(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// The value as an i64 when integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) if u <= i64::MAX as u64 => Some(u as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] tree does not match the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Construct from any message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can serialize themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Build the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse the value tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Helper used by derived code: typed object-field extraction. A missing
+/// field is handed to the target type as [`Value::Null`] so `Option`
+/// fields default to `None`.
+pub fn __field<T: Deserialize>(value: &Value, name: &str) -> Result<T, DeError> {
+    match value.get(name) {
+        Some(v) => T::from_value(v).map_err(|e| DeError::new(format!("field `{name}`: {e}"))),
+        None => {
+            T::from_value(&Value::Null).map_err(|_| DeError::new(format!("missing field `{name}`")))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and containers.
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+    )*};
+}
+
+impl_ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 { Value::Int(v as i64) } else { Value::UInt(v) }
+            }
+        }
+    )*};
+}
+
+impl_ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.as_ref().to_owned(), v.to_value())).collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for primitives and containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = value
+                    .as_i64()
+                    .or_else(|| value.as_u64().and_then(|u| i64::try_from(u).ok()))
+                    .ok_or_else(|| DeError::new(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_de_int!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl Deserialize for u64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value.as_u64().ok_or_else(|| DeError::new("expected u64"))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(f64::NAN), // non-finite floats render as null
+            _ => value.as_f64().ok_or_else(|| DeError::new("expected number")),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::new("expected bool")),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value.as_str().map(str::to_owned).ok_or_else(|| DeError::new("expected string"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::new("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(value)?;
+        let got = items.len();
+        items.try_into().map_err(|_| DeError::new(format!("expected array of {N}, got {got}")))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value.as_array().ok_or_else(|| DeError::new("expected 2-tuple"))?;
+        if items.len() != 2 {
+            return Err(DeError::new("expected 2-tuple"));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(42u32.to_value(), Value::Int(42));
+        assert_eq!(u64::MAX.to_value(), Value::UInt(u64::MAX));
+        assert_eq!(u64::from_value(&Value::UInt(u64::MAX)), Ok(u64::MAX));
+        assert_eq!((-3i64).to_value(), Value::Int(-3));
+        assert_eq!(f64::from_value(&Value::Int(2)), Ok(2.0));
+        assert_eq!(String::from_value(&Value::Str("x".into())), Ok("x".into()));
+        assert_eq!(Option::<f64>::from_value(&Value::Null), Ok(None));
+        assert_eq!(
+            Vec::<u32>::from_value(&Value::Array(vec![Value::Int(1), Value::Int(2)])),
+            Ok(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn missing_fields_are_null_for_options() {
+        let obj = Value::Object(vec![("a".into(), Value::Int(1))]);
+        assert_eq!(__field::<i64>(&obj, "a"), Ok(1));
+        assert_eq!(__field::<Option<i64>>(&obj, "b"), Ok(None));
+        assert!(__field::<i64>(&obj, "b").is_err());
+    }
+}

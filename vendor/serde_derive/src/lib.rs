@@ -1,0 +1,255 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored value-tree `serde` crate, without `syn`/`quote` (also
+//! unavailable offline): the item is parsed directly from the
+//! `proc_macro::TokenStream` and the impl is emitted as source text.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]`: the field is
+//!   omitted on serialize and filled from `Default` on deserialize);
+//! * enums whose variants all carry no payload (serialized as the
+//!   variant-name string, matching real serde's unit-variant encoding);
+//!   explicit discriminants (`Variant = 3`) are accepted and ignored.
+//!
+//! Anything else (tuple structs, generics, payload variants, other
+//! `#[serde(...)]` options) produces a compile error naming the gap, so a
+//! future extension is a deliberate act rather than a silent misparse.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named struct field, as far as the derives care.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// The parsed derive input: a struct's fields or an enum's variant names.
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Does `#[serde(...)]` attribute content (the tokens inside the outer
+/// bracket group) request `skip`?
+fn serde_attr_has_skip(attr_tokens: &[TokenTree]) -> bool {
+    match attr_tokens {
+        [TokenTree::Ident(tag), TokenTree::Group(args)] if tag.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consumes a leading run of `#[...]` attributes starting at `pos`,
+/// returning the new position and whether any was `#[serde(skip)]`.
+fn skip_attrs(tokens: &[TokenTree], mut pos: usize) -> (usize, bool) {
+    let mut skip = false;
+    while pos + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        match &tokens[pos + 1] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                skip |= serde_attr_has_skip(&inner);
+                pos += 2;
+            }
+            _ => break,
+        }
+    }
+    (pos, skip)
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility at `pos`.
+fn skip_visibility(tokens: &[TokenTree], mut pos: usize) -> usize {
+    if matches!(&tokens.get(pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        pos += 1;
+        if matches!(&tokens.get(pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            pos += 1;
+        }
+    }
+    pos
+}
+
+/// Advances past tokens until a comma at angle-bracket depth zero
+/// (delimited groups are single tokens, so only `<`/`>` need counting).
+/// Returns the position of the comma or the end of input.
+fn skip_to_top_level_comma(tokens: &[TokenTree], mut pos: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while pos < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[pos] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return pos,
+                _ => {}
+            }
+        }
+        pos += 1;
+    }
+    pos
+}
+
+fn parse_fields(body: &proc_macro::Group, derive: &str) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (next, skip) = skip_attrs(&tokens, pos);
+        pos = skip_visibility(&tokens, next);
+        let name = match &tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("derive({derive}): expected field name, found {other:?}"),
+        };
+        pos += 1;
+        match &tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            _ => {
+                panic!("derive({derive}): only named-field structs are supported (field `{name}`)")
+            }
+        }
+        pos = skip_to_top_level_comma(&tokens, pos);
+        pos += 1; // past the comma (or end)
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_variants(body: &proc_macro::Group, derive: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (next, _) = skip_attrs(&tokens, pos);
+        pos = next;
+        let name = match &tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("derive({derive}): expected variant name, found {other:?}"),
+        };
+        pos += 1;
+        if matches!(&tokens.get(pos), Some(TokenTree::Group(_))) {
+            panic!(
+                "derive({derive}): variant `{name}` carries data; only unit variants are supported"
+            );
+        }
+        // Skip an optional `= <discriminant expr>` up to the next comma.
+        pos = skip_to_top_level_comma(&tokens, pos);
+        pos += 1;
+        variants.push(name);
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream, derive: &str) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut pos, _) = skip_attrs(&tokens, 0);
+    pos = skip_visibility(&tokens, pos);
+    let kind = match &tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("derive({derive}): expected `struct` or `enum`, found {other:?}"),
+    };
+    pos += 1;
+    let name = match &tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("derive({derive}): expected item name, found {other:?}"),
+    };
+    pos += 1;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive({derive}): generic items are not supported (item `{name}`)");
+    }
+    let body = match &tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        _ => panic!(
+            "derive({derive}): `{name}` has no brace body; tuple/unit items are not supported"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct { name, fields: parse_fields(body, derive) },
+        "enum" => Item::Enum { name, variants: parse_variants(body, derive) },
+        other => panic!("derive({derive}): unsupported item kind `{other}`"),
+    }
+}
+
+/// `#[derive(Serialize)]` — see the crate docs for supported shapes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_item(input, "Serialize") {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 \tfn to_value(&self) -> ::serde::Value {{\n\
+                 \t\tlet mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n"
+            ));
+            for f in fields.iter().filter(|f| !f.skip) {
+                let fname = &f.name;
+                out.push_str(&format!(
+                    "\t\tfields.push((::std::string::String::from(\"{fname}\"), ::serde::Serialize::to_value(&self.{fname})));\n"
+                ));
+            }
+            out.push_str("\t\t::serde::Value::Object(fields)\n\t}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 \tfn to_value(&self) -> ::serde::Value {{\n\
+                 \t\tmatch self {{\n"
+            ));
+            for v in &variants {
+                out.push_str(&format!(
+                    "\t\t\t{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n"
+                ));
+            }
+            out.push_str("\t\t}\n\t}\n}\n");
+        }
+    }
+    out.parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+/// `#[derive(Deserialize)]` — see the crate docs for supported shapes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_item(input, "Deserialize") {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 \tfn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 \t\t::std::result::Result::Ok({name} {{\n"
+            ));
+            for f in &fields {
+                let fname = &f.name;
+                if f.skip {
+                    out.push_str(&format!("\t\t\t{fname}: ::core::default::Default::default(),\n"));
+                } else {
+                    out.push_str(&format!(
+                        "\t\t\t{fname}: ::serde::__field(value, \"{fname}\")?,\n"
+                    ));
+                }
+            }
+            out.push_str("\t\t})\n\t}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 \tfn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 \t\tmatch value.as_str() {{\n"
+            ));
+            for v in &variants {
+                out.push_str(&format!(
+                    "\t\t\t::std::option::Option::Some(\"{v}\") => ::std::result::Result::Ok({name}::{v}),\n"
+                ));
+            }
+            out.push_str(&format!(
+                "\t\t\t_ => ::std::result::Result::Err(::serde::DeError::new(\"unknown {name} variant\")),\n\
+                 \t\t}}\n\t}}\n}}\n"
+            ));
+        }
+    }
+    out.parse().expect("serde_derive generated invalid Deserialize impl")
+}

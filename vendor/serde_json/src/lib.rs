@@ -1,0 +1,422 @@
+//! Offline stand-in for `serde_json`, paired with the vendored value-tree
+//! `serde`. Provides the workspace's call surface — `to_string`,
+//! `to_string_pretty`, `to_writer`, `to_writer_pretty`, `from_str` — plus
+//! a recursive-descent JSON parser. Output conventions follow real
+//! serde_json: two-space pretty indent, floats rendered via Rust's
+//! shortest round-trip formatting, non-finite floats as `null`.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Serialization or parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::new(format!("io: {e}"))
+    }
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize to a two-space-indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize compactly into a writer.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer.write_all(to_string(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Serialize pretty-printed into a writer.
+pub fn to_writer_pretty<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer.write_all(to_string_pretty(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Parse a JSON string into any `Deserialize` type.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let value = parse_value(input)?;
+    Ok(T::from_value(&value)?)
+}
+
+fn push_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e16 {
+        // Keep a fractional marker so the number reads as a float.
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        out.push_str(&format!("{f}"));
+    }
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+}
+
+fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => push_f64(*f, out),
+        Value::Str(s) => push_json_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                push_json_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(input: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected `{}` at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::new("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("bad \\u escape"))?;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error::new(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so this is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number text");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("bad number `{text}`")))
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_and_pretty() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Int(1)),
+            ("b".into(), Value::Array(vec![Value::Float(0.5), Value::Null])),
+            ("c".into(), Value::Str("x\"y".into())),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[0.5,null],"c":"x\"y"}"#);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": 1"));
+    }
+
+    #[test]
+    fn integral_floats_keep_a_fraction_marker() {
+        assert_eq!(to_string(&3.0f64).unwrap(), "3.0");
+        assert_eq!(to_string(&0.25f64).unwrap(), "0.25");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn parses_back_what_it_writes() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("line1\nline2\t\"q\"".into())),
+            ("big".into(), Value::UInt(u64::MAX)),
+            ("neg".into(), Value::Int(-42)),
+            ("pi".into(), Value::Float(3.25)),
+            ("flag".into(), Value::Bool(true)),
+            ("none".into(), Value::Null),
+            ("arr".into(), Value::Array(vec![Value::Int(1), Value::Int(2)])),
+        ]);
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back: Value = from_str(&text).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+        assert!(from_str::<Value>("\"open").is_err());
+    }
+
+    #[test]
+    fn typed_from_str() {
+        let xs: Vec<f64> = from_str("[1, 2.5, 3]").unwrap();
+        assert_eq!(xs, vec![1.0, 2.5, 3.0]);
+        let n: Option<u32> = from_str("null").unwrap();
+        assert_eq!(n, None);
+    }
+}
