@@ -17,40 +17,64 @@
 //! With `--metrics-out PATH`, the run's timing spans, counters and
 //! histograms stream to `PATH` as JSON lines (see the `iotax-obs` crate);
 //! the five `core.*` stage spans appear there.
+//!
+//! Ingestion is **lenient by default**: corrupt logs are salvaged (every
+//! intact record before the damage point is recovered), unsalvageable
+//! files are quarantined and the analysis continues, and transient read
+//! errors are retried with exponential backoff (`--retries N`, default 3).
+//! `--strict` restores the legacy fail-fast contract. `--quarantine DIR`
+//! moves unsalvageable files aside; `--ingest-report PATH` writes the
+//! per-file ingest accounting as JSON lines (the CI chaos job uploads it).
 
-use iotax_cli::{import_trace, trace_duplicate_sets, trace_to_dataset};
+use iotax_cli::{ingest_trace, trace_duplicate_sets, trace_to_dataset, IngestOptions};
 use iotax_core::{app_modeling_bound, concurrent_noise_floor, TaxonomyRun};
 use iotax_obs::{Error, JsonLinesSink};
 use std::path::PathBuf;
 use std::sync::Arc;
 
-const USAGE: &str = "usage: iotax-analyze TRACE_DIR [--metrics-out PATH] [--stats-only]";
+const USAGE: &str = "usage: iotax-analyze TRACE_DIR [--metrics-out PATH] [--stats-only] \
+                     [--strict] [--retries N] [--quarantine DIR] [--ingest-report PATH]";
 
 struct Args {
     dir: PathBuf,
     metrics_out: Option<PathBuf>,
     stats_only: bool,
+    strict: bool,
+    retries: u32,
+    quarantine: Option<PathBuf>,
+    ingest_report: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, Error> {
     let mut dir = None;
     let mut metrics_out = None;
     let mut stats_only = false;
+    let mut strict = false;
+    let mut retries = 3;
+    let mut quarantine = None;
+    let mut ingest_report = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().ok_or_else(|| Error::usage(format!("{name} needs a value")));
         match arg.as_str() {
             "--help" | "-h" => return Err(Error::usage(USAGE)),
-            "--metrics-out" => {
-                let path = it.next().ok_or_else(|| Error::usage("--metrics-out needs a path"))?;
-                metrics_out = Some(PathBuf::from(path));
-            }
+            "--metrics-out" => metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--stats-only" => stats_only = true,
+            "--strict" => strict = true,
+            "--retries" => {
+                retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| Error::usage(format!("--retries: {e}")))?
+            }
+            "--quarantine" => quarantine = Some(PathBuf::from(value("--quarantine")?)),
+            "--ingest-report" => ingest_report = Some(PathBuf::from(value("--ingest-report")?)),
             other if dir.is_none() => dir = Some(PathBuf::from(other)),
             other => return Err(Error::usage(format!("unexpected argument {other} ({USAGE})"))),
         }
     }
     let dir = dir.ok_or_else(|| Error::usage(USAGE))?;
-    Ok(Args { dir, metrics_out, stats_only })
+    Ok(Args { dir, metrics_out, stats_only, strict, retries, quarantine, ingest_report })
 }
 
 fn run() -> Result<(), Error> {
@@ -62,8 +86,31 @@ fn run() -> Result<(), Error> {
     }
 
     let _span = iotax_obs::span!("analyze");
-    let jobs = import_trace(&args.dir)?;
+    let opts = IngestOptions {
+        strict: args.strict,
+        max_retries: args.retries,
+        quarantine_dir: args.quarantine.clone(),
+        ..Default::default()
+    };
+    let (jobs, report) = ingest_trace(&args.dir, &opts)?;
     println!("trace: {} jobs from {}", jobs.len(), args.dir.display());
+    println!("ingest: {}", report.summary());
+    for q in &report.quarantined {
+        eprintln!("  quarantined job {}: {}", q.job_id, q.reason);
+    }
+    if let Some(path) = &args.ingest_report {
+        let mut file = std::fs::File::create(path)
+            .map_err(|e| Error::io(format!("creating ingest report {}", path.display()), e))?;
+        report.write_jsonl(&mut file)?;
+        eprintln!("ingest report written to {}", path.display());
+    }
+    if jobs.is_empty() {
+        return Err(Error::usage(format!(
+            "no usable jobs in {} ({} quarantined)",
+            args.dir.display(),
+            report.quarantined.len()
+        )));
+    }
 
     let dup = {
         let _span = iotax_obs::span!("analyze.duplicates");

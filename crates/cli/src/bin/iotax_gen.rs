@@ -4,11 +4,18 @@
 //! ```sh
 //! iotax-gen --system theta --jobs 5000 --seed 42 --out /tmp/theta-trace
 //! iotax-gen --jobs 2000 --metrics-out gen-metrics.jsonl
+//! iotax-gen --jobs 2000 --fault-rate 0.2 --fault-seed 7   # dirty trace
 //! ```
+//!
+//! With `--fault-rate`, a deterministic `FaultPlan` corrupts that fraction
+//! of the emitted logs post-serialization (truncation, bit flips, zeroed
+//! counters, dropped modules, trailing garbage, duplicated records,
+//! transient unreadability) and writes the ground-truth `faults.json`
+//! manifest so recovery can be scored by `iotax-analyze`.
 
-use iotax_cli::export_trace;
+use iotax_cli::{export_trace, inject_faults};
 use iotax_obs::{Error, JsonLinesSink};
-use iotax_sim::{Platform, SimConfig};
+use iotax_sim::{FaultPlan, Platform, SimConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -18,6 +25,8 @@ struct Args {
     seed: u64,
     out: PathBuf,
     metrics_out: Option<PathBuf>,
+    fault_rate: f64,
+    fault_seed: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, Error> {
@@ -27,6 +36,8 @@ fn parse_args() -> Result<Args, Error> {
         seed: 42,
         out: PathBuf::from("iotax-trace"),
         metrics_out: None,
+        fault_rate: 0.0,
+        fault_seed: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -44,10 +55,26 @@ fn parse_args() -> Result<Args, Error> {
             }
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
+            "--fault-rate" => {
+                args.fault_rate = value("--fault-rate")?
+                    .parse()
+                    .map_err(|e| Error::usage(format!("--fault-rate: {e}")))?;
+                if !(0.0..=1.0).contains(&args.fault_rate) {
+                    return Err(Error::usage("--fault-rate must be in [0, 1]"));
+                }
+            }
+            "--fault-seed" => {
+                args.fault_seed = Some(
+                    value("--fault-seed")?
+                        .parse()
+                        .map_err(|e| Error::usage(format!("--fault-seed: {e}")))?,
+                )
+            }
             "--help" | "-h" => {
                 return Err(Error::usage(
                     "usage: iotax-gen [--system theta|cori] [--jobs N] \
-                     [--seed N] [--out DIR] [--metrics-out PATH]",
+                     [--seed N] [--out DIR] [--metrics-out PATH] \
+                     [--fault-rate F] [--fault-seed N]",
                 ))
             }
             other => return Err(Error::usage(format!("unknown flag {other} (try --help)"))),
@@ -80,6 +107,18 @@ fn run() -> Result<(), Error> {
     let dataset = Platform::new(config).generate();
     let n = export_trace(&dataset, &args.out)?;
     eprintln!("wrote {n} jobs to {}", args.out.display());
+    if args.fault_rate > 0.0 {
+        let plan = FaultPlan::new(args.fault_seed.unwrap_or(args.seed), args.fault_rate);
+        let manifest = inject_faults(&args.out, &plan)?;
+        eprintln!(
+            "injected {} faults across {} logs (rate {:.0} %, seed {}); \
+             ground truth in faults.json",
+            manifest.faults.len(),
+            manifest.jobs_seen,
+            plan.rate * 100.0,
+            plan.seed
+        );
+    }
     Ok(())
 }
 

@@ -1,0 +1,627 @@
+//! Resilient trace ingestion: retry, salvage, quarantine, report.
+//!
+//! `import_trace` used to abort a whole directory on the first bad file —
+//! one flipped bit killed a 100K-job analysis, and every previously parsed
+//! job was discarded. This module replaces that with the behavior a
+//! production ingest pipeline needs:
+//!
+//! * **Retry with exponential backoff** for transient read errors
+//!   (interrupted/timed-out reads from flaky network filesystems).
+//! * **Salvage** for corrupt logs: the strict parser runs first; on
+//!   failure the lenient parser ([`iotax_darshan::salvage`]) recovers
+//!   every intact record before the damage point.
+//! * **Quarantine-and-continue** for unsalvageable files: the file is
+//!   recorded (and optionally moved aside), the rest of the trace still
+//!   loads.
+//! * An [`IngestReport`] accounting for every file — parsed clean,
+//!   salvaged, quarantined, retried — threaded through `iotax-obs`
+//!   counters and exportable as JSON lines for CI artifacts.
+//!
+//! Strict mode ([`IngestOptions::strict`]) restores the old fail-fast
+//! contract exactly: first unreadable or unparseable file aborts with the
+//! same typed error the legacy path produced.
+
+use crate::TraceJob;
+use iotax_darshan::format::parse_log;
+use iotax_darshan::salvage::parse_log_lenient;
+use iotax_obs::{Error, ErrorKind, Result};
+use iotax_sim::{FaultManifest, FaultPlan};
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead};
+use std::path::{Path, PathBuf};
+
+/// Knobs for [`ingest_trace`].
+#[derive(Debug, Clone)]
+pub struct IngestOptions {
+    /// Fail fast on the first bad file (legacy behavior) instead of
+    /// salvaging and quarantining.
+    pub strict: bool,
+    /// Read attempts per file beyond the first (transient errors only).
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `backoff_base_ms << n` milliseconds.
+    pub backoff_base_ms: u64,
+    /// When set, unsalvageable files are *moved* here instead of merely
+    /// recorded, so a re-run skips them and an operator can inspect them.
+    pub quarantine_dir: Option<PathBuf>,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        Self { strict: false, max_retries: 3, backoff_base_ms: 10, quarantine_dir: None }
+    }
+}
+
+impl IngestOptions {
+    /// Legacy fail-fast contract: abort on the first bad file.
+    pub fn strict() -> Self {
+        Self { strict: true, ..Self::default() }
+    }
+}
+
+/// One file the pipeline gave up on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantinedFile {
+    /// Job id from the manifest.
+    pub job_id: u64,
+    /// Path of the offending file (original location).
+    pub path: String,
+    /// Why it was unsalvageable.
+    pub reason: String,
+}
+
+/// One file that parsed only leniently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SalvageNote {
+    /// Job id from the manifest.
+    pub job_id: u64,
+    /// Records recovered from the damaged log.
+    pub records_recovered: u64,
+    /// Whether the log's structure was complete (damage was value-level
+    /// only) or records were physically lost.
+    pub complete: bool,
+    /// Human-readable anomaly classifications, one per defect.
+    pub anomalies: Vec<String>,
+}
+
+/// Full accounting for one ingestion pass.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct IngestReport {
+    /// Log files the manifest referenced.
+    pub total_files: u64,
+    /// Files the strict parser accepted unchanged.
+    pub parsed_clean: u64,
+    /// Files recovered by the lenient parser.
+    pub salvaged: u64,
+    /// Records recovered across all salvaged files.
+    pub records_salvaged: u64,
+    /// Manifest lines skipped as unparseable (lenient mode only).
+    pub manifest_rejects: u64,
+    /// Total retry attempts across all files.
+    pub retries: u64,
+    /// Files that needed at least one retry but were eventually read.
+    pub transient_recovered: u64,
+    /// Files given up on.
+    pub quarantined: Vec<QuarantinedFile>,
+    /// Per-file salvage details.
+    pub salvage_notes: Vec<SalvageNote>,
+}
+
+impl IngestReport {
+    /// One-line operator summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} files: {} clean, {} salvaged ({} records), {} quarantined, \
+             {} retries ({} files recovered after transient errors)",
+            self.total_files,
+            self.parsed_clean,
+            self.salvaged,
+            self.records_salvaged,
+            self.quarantined.len(),
+            self.retries,
+            self.transient_recovered
+        )
+    }
+
+    /// Write the report as JSON lines: a `summary` record, then one
+    /// `salvaged` record per lenient parse and one `quarantined` record
+    /// per abandoned file. The flat-line format is what CI uploads.
+    pub fn write_jsonl<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        writeln!(w, "{}", tagged("summary", self))?;
+        for note in &self.salvage_notes {
+            writeln!(w, "{}", tagged("salvaged", note))?;
+        }
+        for q in &self.quarantined {
+            writeln!(w, "{}", tagged("quarantined", q))?;
+        }
+        Ok(())
+    }
+}
+
+/// Render `value` as a single JSON object line with a `"record": tag`
+/// discriminator field prepended.
+fn tagged<T: Serialize>(tag: &str, value: &T) -> String {
+    let mut fields = vec![("record".to_owned(), serde::Value::Str(tag.to_owned()))];
+    if let serde::Value::Object(rest) = value.to_value() {
+        // The summary line should not carry the (possibly long) per-file
+        // vectors — they get their own lines.
+        fields.extend(rest.into_iter().filter(|(k, _)| k != "quarantined" && k != "salvage_notes"));
+    }
+    serde_json::to_string(&serde::Value::Object(fields)).expect("object serializes")
+}
+
+/// A pluggable file reader: `(path, attempt)` → bytes. The attempt number
+/// (0-based) lets tests simulate transient failures deterministically.
+pub type ReadAttemptFn<'a> = dyn Fn(&Path, u32) -> io::Result<Vec<u8>> + 'a;
+
+/// Is this I/O error worth retrying?
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Read with retry/backoff. Returns the bytes plus the number of failed
+/// attempts that preceded success.
+fn read_with_retry(
+    reader: &ReadAttemptFn<'_>,
+    path: &Path,
+    opts: &IngestOptions,
+) -> (io::Result<Vec<u8>>, u64) {
+    let mut failures = 0u64;
+    for attempt in 0..=opts.max_retries {
+        match reader(path, attempt) {
+            Ok(bytes) => return (Ok(bytes), failures),
+            Err(e) if is_transient(&e) && attempt < opts.max_retries => {
+                failures += 1;
+                iotax_obs::counter!("cli.ingest.retries").incr(1);
+                if opts.backoff_base_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        opts.backoff_base_ms << attempt,
+                    ));
+                }
+            }
+            Err(e) => return (Err(e), failures),
+        }
+    }
+    unreachable!("loop returns on the final attempt");
+}
+
+/// Parsed manifest row (scheduler-visible fields).
+struct ManifestRow {
+    job_id: u64,
+    arrival_time: i64,
+    start_time: i64,
+    end_time: i64,
+    nodes: u32,
+    cores: u32,
+    nprocs: u32,
+    throughput: f64,
+}
+
+fn parse_manifest_row(line: &str, line_no: usize) -> Result<ManifestRow> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 8 {
+        return Err(Error::new(
+            ErrorKind::Parse,
+            format!("manifest line {}: expected 8 fields, got {}", line_no + 1, fields.len()),
+        ));
+    }
+    let parse = |i: usize| -> Result<f64> {
+        fields[i].parse().map_err(|e| {
+            Error::new(ErrorKind::Parse, format!("manifest line {}: field {i}: {e}", line_no + 1))
+        })
+    };
+    Ok(ManifestRow {
+        job_id: parse(0)? as u64,
+        arrival_time: parse(1)? as i64,
+        start_time: parse(2)? as i64,
+        end_time: parse(3)? as i64,
+        nodes: parse(4)? as u32,
+        cores: parse(5)? as u32,
+        nprocs: parse(6)? as u32,
+        throughput: parse(7)?,
+    })
+}
+
+/// Ingest a trace directory with the default filesystem reader.
+pub fn ingest_trace(dir: &Path, opts: &IngestOptions) -> Result<(Vec<TraceJob>, IngestReport)> {
+    ingest_trace_with_reader(dir, opts, &|path, _attempt| std::fs::read(path))
+}
+
+/// Ingest a trace directory through a custom reader (tests inject
+/// transient failures here; production uses [`ingest_trace`]).
+pub fn ingest_trace_with_reader(
+    dir: &Path,
+    opts: &IngestOptions,
+    reader: &ReadAttemptFn<'_>,
+) -> Result<(Vec<TraceJob>, IngestReport)> {
+    let _span = iotax_obs::span!("cli.ingest");
+    let manifest_path = dir.join("manifest.csv");
+    let manifest = std::fs::File::open(&manifest_path)
+        .map_err(|e| Error::io(format!("opening {}", manifest_path.display()), e))?;
+    if let Some(qdir) = &opts.quarantine_dir {
+        std::fs::create_dir_all(qdir)
+            .map_err(|e| Error::io(format!("creating {}", qdir.display()), e))?;
+    }
+
+    let mut jobs = Vec::new();
+    let mut report = IngestReport::default();
+    for (line_no, line) in io::BufReader::new(manifest).lines().enumerate() {
+        let line = line?;
+        if line_no == 0 {
+            continue; // header
+        }
+        let row = match parse_manifest_row(&line, line_no) {
+            Ok(row) => row,
+            Err(e) if opts.strict => return Err(e),
+            Err(_) => {
+                report.manifest_rejects += 1;
+                continue;
+            }
+        };
+        report.total_files += 1;
+        iotax_obs::counter!("cli.ingest.files").incr(1);
+        let log_path = dir.join("logs").join(format!("{}.drn", row.job_id));
+
+        let (read, failures) = read_with_retry(reader, &log_path, opts);
+        report.retries += failures;
+        let bytes = match read {
+            Ok(bytes) => {
+                if failures > 0 {
+                    report.transient_recovered += 1;
+                    iotax_obs::counter!("cli.ingest.transient_recovered").incr(1);
+                }
+                bytes
+            }
+            Err(e) if opts.strict => return Err(Error::from(e)),
+            Err(e) => {
+                quarantine(&mut report, opts, &log_path, row.job_id, &format!("read failed: {e}"));
+                continue;
+            }
+        };
+
+        let log = match parse_log(&bytes) {
+            Ok(log) => {
+                report.parsed_clean += 1;
+                iotax_obs::counter!("cli.ingest.parsed_clean").incr(1);
+                log
+            }
+            Err(source) if opts.strict => {
+                return Err(Error::parse(format!("darshan log for job {}", row.job_id), source));
+            }
+            Err(_) => match parse_log_lenient(&bytes) {
+                Ok((salvaged, anomalies)) => {
+                    report.salvaged += 1;
+                    report.records_salvaged += salvaged.records_recovered as u64;
+                    iotax_obs::counter!("cli.ingest.salvaged").incr(1);
+                    report.salvage_notes.push(SalvageNote {
+                        job_id: row.job_id,
+                        records_recovered: salvaged.records_recovered as u64,
+                        complete: salvaged.complete,
+                        anomalies: anomalies.iter().map(|a| a.to_string()).collect(),
+                    });
+                    salvaged.log
+                }
+                Err(e) => {
+                    quarantine(&mut report, opts, &log_path, row.job_id, &e.to_string());
+                    continue;
+                }
+            },
+        };
+
+        jobs.push(TraceJob {
+            job_id: row.job_id,
+            arrival_time: row.arrival_time,
+            start_time: row.start_time,
+            end_time: row.end_time,
+            nodes: row.nodes,
+            cores: row.cores,
+            nprocs: row.nprocs,
+            throughput: row.throughput,
+            log,
+        });
+    }
+    jobs.sort_by_key(|j| (j.start_time, j.job_id));
+    Ok((jobs, report))
+}
+
+/// Record (and optionally move) an unsalvageable file.
+fn quarantine(
+    report: &mut IngestReport,
+    opts: &IngestOptions,
+    path: &Path,
+    job_id: u64,
+    reason: &str,
+) {
+    iotax_obs::counter!("cli.ingest.quarantined").incr(1);
+    if let Some(qdir) = &opts.quarantine_dir {
+        if let Some(name) = path.file_name() {
+            // Best effort: the file may be unreadable or already gone.
+            let _ = std::fs::rename(path, qdir.join(name));
+        }
+    }
+    report.quarantined.push(QuarantinedFile {
+        job_id,
+        path: path.display().to_string(),
+        reason: reason.to_owned(),
+    });
+}
+
+/// Apply a [`FaultPlan`] to every log in an exported trace directory,
+/// rewriting damaged files in place and writing the ground-truth
+/// `faults.json` manifest next to `manifest.csv`. Returns the manifest.
+pub fn inject_faults(dir: &Path, plan: &FaultPlan) -> Result<FaultManifest> {
+    let _span = iotax_obs::span!("cli.inject_faults");
+    let logs_dir = dir.join("logs");
+    let mut manifest =
+        FaultManifest { seed: plan.seed, rate: plan.rate, jobs_seen: 0, faults: Vec::new() };
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&logs_dir)
+        .map_err(|e| Error::io(format!("reading {}", logs_dir.display()), e))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "drn"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(job_id) =
+            path.file_stem().and_then(|s| s.to_str()).and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        manifest.jobs_seen += 1;
+        let bytes = std::fs::read(&path)?;
+        if let Some((dirty, rec)) = plan.corrupt(job_id, &bytes) {
+            std::fs::write(&path, dirty)?;
+            iotax_obs::counter!("sim.faults_injected").incr(1);
+            manifest.faults.push(rec);
+        }
+    }
+    let out = dir.join("faults.json");
+    let file = std::fs::File::create(&out)
+        .map_err(|e| Error::io(format!("creating {}", out.display()), e))?;
+    let mut w = io::BufWriter::new(file);
+    serde_json::to_writer_pretty(&mut w, &manifest)
+        .map_err(|e| Error::new(ErrorKind::Internal, format!("encoding faults.json: {e}")))?;
+    Ok(manifest)
+}
+
+/// Load the ground-truth fault manifest written by [`inject_faults`].
+pub fn load_fault_manifest(dir: &Path) -> Result<FaultManifest> {
+    let path = dir.join("faults.json");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| Error::io(format!("reading {}", path.display()), e))?;
+    serde_json::from_str(&text)
+        .map_err(|e| Error::new(ErrorKind::Parse, format!("decoding {}: {e}", path.display())))
+}
+
+/// A reader that consults a fault manifest to simulate transiently
+/// unreadable files: for a job marked `TransientUnreadable` with
+/// `retry_failures = n`, the first `n` attempts fail with
+/// [`io::ErrorKind::Interrupted`], then reads succeed. All other files
+/// read normally.
+pub fn simulated_transient_reader(
+    manifest: FaultManifest,
+) -> impl Fn(&Path, u32) -> io::Result<Vec<u8>> {
+    move |path: &Path, attempt: u32| {
+        let job_id = path.file_stem().and_then(|s| s.to_str()).and_then(|s| s.parse::<u64>().ok());
+        if let Some(rec) = job_id.and_then(|id| manifest.fault_for(id)) {
+            if let Some(failures) = rec.retry_failures {
+                if attempt < failures {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        "simulated transient read failure",
+                    ));
+                }
+            }
+        }
+        std::fs::read(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export_trace;
+    use iotax_sim::{FaultKind, Platform, SimConfig};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("iotax-ingest-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn exported_trace(tag: &str, n: usize, seed: u64) -> PathBuf {
+        let ds = Platform::new(SimConfig::theta().with_jobs(n).with_seed(seed)).generate();
+        let dir = temp_dir(tag);
+        export_trace(&ds, &dir).expect("export");
+        dir
+    }
+
+    #[test]
+    fn clean_trace_ingests_with_empty_report() {
+        let dir = exported_trace("clean", 120, 91);
+        let (jobs, report) = ingest_trace(&dir, &IngestOptions::default()).expect("ingest");
+        assert_eq!(jobs.len(), 120);
+        assert_eq!(report.parsed_clean, 120);
+        assert_eq!(report.salvaged, 0);
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.retries, 0);
+        // Lenient ingest of a clean trace equals the strict import.
+        let strict = crate::import_trace(&dir).expect("strict import");
+        assert_eq!(jobs, strict);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_file_is_salvaged_not_fatal() {
+        let dir = exported_trace("salvage", 80, 92);
+        let (clean_jobs, _) = ingest_trace(&dir, &IngestOptions::default()).expect("ingest");
+        let victim = clean_jobs[40].job_id;
+        let path = dir.join("logs").join(format!("{victim}.drn"));
+        let bytes = std::fs::read(&path).expect("read");
+        // Chop the CRC trailer off: strict fails, salvage keeps all records.
+        std::fs::write(&path, &bytes[..bytes.len() - 2]).expect("write");
+
+        let (jobs, report) = ingest_trace(&dir, &IngestOptions::default()).expect("ingest");
+        assert_eq!(jobs.len(), 80, "no job lost");
+        assert_eq!(report.salvaged, 1);
+        assert_eq!(report.salvage_notes[0].job_id, victim);
+        assert!(report.salvage_notes[0].records_recovered > 0);
+        assert!(report.quarantined.is_empty());
+
+        // Strict mode still fails fast on the same trace.
+        let err = ingest_trace(&dir, &IngestOptions::strict()).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Parse);
+        assert!(err.context().contains(&victim.to_string()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn destroyed_header_is_quarantined_and_moved() {
+        let dir = exported_trace("quarantine", 60, 93);
+        let (clean_jobs, _) = ingest_trace(&dir, &IngestOptions::default()).expect("ingest");
+        let victim = clean_jobs[10].job_id;
+        let path = dir.join("logs").join(format!("{victim}.drn"));
+        std::fs::write(&path, b"not a darshan log at all").expect("write");
+
+        let qdir = dir.join("quarantine");
+        let opts = IngestOptions { quarantine_dir: Some(qdir.clone()), ..Default::default() };
+        let (jobs, report) = ingest_trace(&dir, &opts).expect("ingest");
+        assert_eq!(jobs.len(), 59, "only the destroyed file is missing");
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].job_id, victim);
+        assert!(qdir.join(format!("{victim}.drn")).exists(), "file moved aside");
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_read_errors_are_retried() {
+        let dir = exported_trace("transient", 40, 94);
+        let (clean_jobs, _) = ingest_trace(&dir, &IngestOptions::default()).expect("ingest");
+        let flaky = clean_jobs[5].job_id;
+        let opts = IngestOptions { backoff_base_ms: 0, ..Default::default() };
+        let reader = move |path: &Path, attempt: u32| -> io::Result<Vec<u8>> {
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+            if stem == flaky.to_string() && attempt < 2 {
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "flaky"));
+            }
+            std::fs::read(path)
+        };
+        let (jobs, report) = ingest_trace_with_reader(&dir, &opts, &reader).expect("ingest");
+        assert_eq!(jobs.len(), 40, "flaky file recovered");
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.transient_recovered, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_transient_errors_exhaust_retries_into_quarantine() {
+        let dir = exported_trace("exhaust", 30, 95);
+        let (clean_jobs, _) = ingest_trace(&dir, &IngestOptions::default()).expect("ingest");
+        let dead = clean_jobs[0].job_id;
+        let opts = IngestOptions { backoff_base_ms: 0, max_retries: 2, ..Default::default() };
+        let reader = move |path: &Path, _attempt: u32| -> io::Result<Vec<u8>> {
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+            if stem == dead.to_string() {
+                return Err(io::Error::new(io::ErrorKind::TimedOut, "always down"));
+            }
+            std::fs::read(path)
+        };
+        let (jobs, report) = ingest_trace_with_reader(&dir, &opts, &reader).expect("ingest");
+        assert_eq!(jobs.len(), 29);
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].job_id, dead);
+        assert!(report.quarantined[0].reason.contains("read failed"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inject_faults_writes_ground_truth_manifest() {
+        let dir = exported_trace("inject", 150, 96);
+        let plan = FaultPlan::new(1234, 0.25);
+        let manifest = inject_faults(&dir, &plan).expect("inject");
+        assert_eq!(manifest.jobs_seen, 150);
+        assert!(!manifest.faults.is_empty(), "25% of 150 jobs should hit");
+        // The manifest on disk round-trips.
+        let loaded = load_fault_manifest(&dir).expect("load");
+        assert_eq!(loaded, manifest);
+        // Injection is idempotent in *selection*: same plan, same job set.
+        for f in &manifest.faults {
+            assert_eq!(plan.fault_for(f.job_id), Some(f.kind), "manifest matches plan");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulted_trace_ingests_leniently_and_scores_against_manifest() {
+        let dir = exported_trace("score", 200, 97);
+        let plan = FaultPlan::new(777, 0.3);
+        let manifest = inject_faults(&dir, &plan).expect("inject");
+        let reader = simulated_transient_reader(manifest.clone());
+        let opts = IngestOptions { backoff_base_ms: 0, ..Default::default() };
+        let (jobs, report) = ingest_trace_with_reader(&dir, &opts, &reader).expect("ingest");
+        assert_eq!(report.total_files, 200);
+        // Every header-destroyed file is quarantined; nothing else is.
+        let destroyed: Vec<u64> =
+            manifest.faults.iter().filter(|f| f.header_destroyed).map(|f| f.job_id).collect();
+        let quarantined: Vec<u64> = report.quarantined.iter().map(|q| q.job_id).collect();
+        for id in &destroyed {
+            assert!(quarantined.contains(id), "job {id} header destroyed but not quarantined");
+        }
+        assert_eq!(jobs.len() + quarantined.len(), 200);
+        // Transient files were retried, not quarantined.
+        let transient: Vec<u64> = manifest
+            .faults
+            .iter()
+            .filter(|f| f.kind == FaultKind::TransientUnreadable)
+            .map(|f| f.job_id)
+            .collect();
+        if !transient.is_empty() {
+            assert!(report.transient_recovered as usize >= transient.len());
+            for id in &transient {
+                assert!(!quarantined.contains(id), "transient job {id} wrongly quarantined");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_renders_as_json_lines() {
+        let report = IngestReport {
+            total_files: 3,
+            parsed_clean: 1,
+            salvaged: 1,
+            records_salvaged: 4,
+            manifest_rejects: 0,
+            retries: 2,
+            transient_recovered: 1,
+            quarantined: vec![QuarantinedFile {
+                job_id: 9,
+                path: "logs/9.drn".into(),
+                reason: "bad magic".into(),
+            }],
+            salvage_notes: vec![SalvageNote {
+                job_id: 5,
+                records_recovered: 4,
+                complete: false,
+                anomalies: vec!["record 4 of Posix truncated at byte 900".into()],
+            }],
+        };
+        let mut buf = Vec::new();
+        report.write_jsonl(&mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(
+            lines[0].contains("\"record\": \"summary\"")
+                || lines[0].contains("\"record\":\"summary\"")
+        );
+        assert!(lines[1].contains("\"job_id\""));
+        assert!(lines[2].contains("bad magic"));
+        assert!(report.summary().contains("3 files"));
+    }
+}

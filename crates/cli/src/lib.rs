@@ -19,14 +19,21 @@
 //!   logs/<job_id>.drn binary Darshan log per job
 //! ```
 
-use iotax_darshan::format::{parse_log, write_log};
+pub mod ingest;
+
+pub use ingest::{
+    ingest_trace, ingest_trace_with_reader, inject_faults, load_fault_manifest,
+    simulated_transient_reader, IngestOptions, IngestReport, QuarantinedFile, SalvageNote,
+};
+
+use iotax_darshan::format::write_log;
 use iotax_darshan::record::{FileRecord, JobLog, ModuleData, ModuleId};
-use iotax_obs::{Error, ErrorKind, Result};
+use iotax_obs::{Error, Result};
 use iotax_sim::{GroundTruth, SimConfig, SimDataset, SimJob, Weather};
 use iotax_stats::Fnv1aHasher;
 use rand::{rngs::StdRng, SeedableRng};
 use std::hash::{Hash, Hasher};
-use std::io::{self, BufRead, Write};
+use std::io::Write;
 use std::path::Path;
 
 /// One job as read back from a trace directory.
@@ -123,51 +130,14 @@ pub fn export_trace(ds: &SimDataset, dir: &Path) -> Result<usize> {
     Ok(ds.jobs.len())
 }
 
-/// Read a trace directory back, parsing every log.
+/// Read a trace directory back, parsing every log **strictly**: the first
+/// unreadable or unparseable file aborts the import. This is the legacy
+/// fail-fast contract; [`ingest_trace`] is the resilient path (salvage,
+/// retry, quarantine) and [`IngestOptions::strict`] reproduces this
+/// behavior with a report attached.
 pub fn import_trace(dir: &Path) -> Result<Vec<TraceJob>> {
     let _span = iotax_obs::span!("cli.import_trace");
-    let manifest_path = dir.join("manifest.csv");
-    let manifest = std::fs::File::open(&manifest_path)
-        .map_err(|e| Error::io(format!("opening {}", manifest_path.display()), e))?;
-    let mut jobs = Vec::new();
-    for (line_no, line) in io::BufReader::new(manifest).lines().enumerate() {
-        let line = line?;
-        if line_no == 0 {
-            continue; // header
-        }
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 8 {
-            return Err(Error::new(
-                ErrorKind::Parse,
-                format!("manifest line {}: expected 8 fields, got {}", line_no + 1, fields.len()),
-            ));
-        }
-        let parse = |i: usize| -> Result<f64> {
-            fields[i].parse().map_err(|e| {
-                Error::new(
-                    ErrorKind::Parse,
-                    format!("manifest line {}: field {i}: {e}", line_no + 1),
-                )
-            })
-        };
-        let job_id = parse(0)? as u64;
-        let bytes = std::fs::read(dir.join("logs").join(format!("{job_id}.drn")))?;
-        let log = parse_log(&bytes)
-            .map_err(|source| Error::parse(format!("darshan log for job {job_id}"), source))?;
-        jobs.push(TraceJob {
-            job_id,
-            arrival_time: parse(1)? as i64,
-            start_time: parse(2)? as i64,
-            end_time: parse(3)? as i64,
-            nodes: parse(4)? as u32,
-            cores: parse(5)? as u32,
-            nprocs: parse(6)? as u32,
-            throughput: parse(7)?,
-            log,
-        });
-    }
-    jobs.sort_by_key(|j| (j.start_time, j.job_id));
-    Ok(jobs)
+    ingest_trace(dir, &IngestOptions::strict()).map(|(jobs, _report)| jobs)
 }
 
 /// Rebuild an in-memory [`SimDataset`] from an imported trace so the full
@@ -249,6 +219,7 @@ pub fn trace_duplicate_sets(jobs: &[TraceJob]) -> iotax_core::DuplicateSets {
 mod tests {
     use super::*;
     use iotax_core::{app_modeling_bound, concurrent_noise_floor, find_duplicate_sets};
+    use iotax_obs::ErrorKind;
     use iotax_sim::{Platform, SimConfig};
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {

@@ -41,6 +41,6 @@ pub use duplicates::{find_duplicate_sets, job_signature, DuplicateSets};
 pub use intervals::{empirical_coverage, interval_from_floor, ThroughputInterval};
 pub use litmus::{app_modeling_bound, concurrent_noise_floor, dt_bucket_spreads, NoiseFloor};
 pub use taxonomy::{
-    AppLitmusStage, BaselineStage, ErrorBreakdown, NoiseFloorStage, OodStage, SystemLitmusStage,
-    Taxonomy, TaxonomyReport, TaxonomyRun,
+    AppLitmusStage, BaselineStage, ErrorBreakdown, NoiseFloorStage, OodStage, StageHealth,
+    SystemLitmusStage, Taxonomy, TaxonomyReport, TaxonomyRun,
 };

@@ -63,6 +63,34 @@ pub struct ErrorBreakdown {
     pub unexplained_share: f64,
 }
 
+/// Health of one pipeline stage: did it run on full-quality inputs, or
+/// did it detect missing/damaged telemetry and continue on what was there?
+///
+/// Degraded is *not* an error: the stage still produced numbers, but the
+/// report flags that their reliability is reduced and why — the pipeline
+/// analog of the salvage parser's anomaly list. (A flat struct rather than
+/// a payload enum so it serializes through the vendored serde derive.)
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StageHealth {
+    /// Stage span name (`core.baseline`, `core.app_litmus`, ...).
+    pub stage: String,
+    /// Whether the stage ran on degraded inputs.
+    pub degraded: bool,
+    /// Why, when degraded.
+    pub reason: Option<String>,
+}
+
+impl StageHealth {
+    fn from_reasons(stage: &str, reasons: Vec<String>) -> Self {
+        if reasons.is_empty() {
+            Self { stage: stage.to_owned(), degraded: false, reason: None }
+        } else {
+            iotax_obs::counter!("core.stages_degraded").incr(1);
+            Self { stage: stage.to_owned(), degraded: true, reason: Some(reasons.join("; ")) }
+        }
+    }
+}
+
 /// Everything the pipeline measured.
 #[derive(Debug, Serialize)]
 pub struct TaxonomyReport {
@@ -87,9 +115,20 @@ pub struct TaxonomyReport {
     pub noise: Option<NoiseFloor>,
     /// The Fig. 7 attribution.
     pub breakdown: ErrorBreakdown,
+    /// Per-stage health: which stages ran on degraded inputs and why
+    /// (missing MPI-IO telemetry, too few duplicate clusters, ...). One
+    /// entry per stage, in pipeline order.
+    pub stages: Vec<StageHealth>,
     /// Per-stage span trees captured while the pipeline ran (the
     /// `core.*` stages, with any nested `ml.*`/`uq.*` spans inside).
     pub timings: Vec<SpanNode>,
+}
+
+impl TaxonomyReport {
+    /// The stages that ran degraded (empty on a healthy run).
+    pub fn degraded_stages(&self) -> Vec<&StageHealth> {
+        self.stages.iter().filter(|s| s.degraded).collect()
+    }
 }
 
 /// Serializable slice of the OoD litmus (the raw predictions stay out of
@@ -139,6 +178,12 @@ pub struct Taxonomy {
     pub concurrency_tolerance: i64,
     /// Minimum concurrent duplicates for the noise litmus.
     pub min_noise_samples: usize,
+    /// Minimum duplicate clusters before the application bound is
+    /// considered trustworthy; fewer marks the stage degraded.
+    pub min_duplicate_sets: usize,
+    /// Minimum test-split rows before OoD attribution is considered
+    /// trustworthy; fewer marks the stage degraded.
+    pub min_test_rows: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -153,6 +198,8 @@ impl Taxonomy {
             grid_depths: vec![3, 8],
             concurrency_tolerance: 1,
             min_noise_samples: 20,
+            min_duplicate_sets: 3,
+            min_test_rows: 30,
             seed: 11,
         }
     }
@@ -166,6 +213,8 @@ impl Taxonomy {
             grid_depths: vec![3, 6, 9, 15],
             concurrency_tolerance: 1,
             min_noise_samples: 30,
+            min_duplicate_sets: 3,
+            min_test_rows: 30,
             seed: 13,
         }
     }
@@ -198,6 +247,8 @@ struct StageCore<'a> {
     train: Dataset,
     val: Dataset,
     test: Dataset,
+    /// Per-stage health, accumulated as stages run.
+    health: Vec<StageHealth>,
 }
 
 /// Entry point of the staged pipeline: holds the dataset and config,
@@ -239,9 +290,25 @@ impl<'a> TaxonomyRun<'a> {
         // Shared data: POSIX feature matrix, seeded random split. Litmus
         // evaluations measure in-period modeling quality; deployment
         // drift is a separate experiment (Fig. 1(d)) that uses the
-        // temporal split.
+        // temporal split. Salvaged traces can carry non-finite values
+        // (imputed-to-zero counters still combine into NaN-producing
+        // ratios), so the dataset is built through the sanitizing path.
         let m = self.sim.feature_matrix(FeatureSet::posix());
-        let data = Dataset::new(m.data, m.n_rows, m.n_cols, m.y, m.names);
+        let (data, sanitize) = Dataset::sanitized(m.data, m.n_rows, m.n_cols, m.y, m.names);
+        if data.n_rows == 0 {
+            return Err(Error::usage("no job in the trace has a finite throughput target"));
+        }
+        let mut reasons = Vec::new();
+        if !sanitize.is_clean() {
+            reasons.push(format!(
+                "imputed {} non-finite feature values, dropped {} jobs with non-finite targets",
+                sanitize.imputed_features, sanitize.dropped_rows
+            ));
+        }
+        if !self.sim.jobs.iter().any(|j| j.uses_mpiio) {
+            reasons.push("no MPI-IO telemetry in trace; POSIX counters only".to_owned());
+        }
+        let health = vec![StageHealth::from_reasons("core.baseline", reasons)];
         let (train, val, test) = data.split_random(0.70, 0.15, self.cfg.seed ^ 0xA11);
 
         let baseline = Gbm::fit(&train, Some(&val), self.cfg.effort.baseline_params());
@@ -249,7 +316,16 @@ impl<'a> TaxonomyRun<'a> {
         let baseline_error_pct = median_abs_error_pct(&test.y, &baseline.predict(&test));
 
         Ok(BaselineStage {
-            core: StageCore { cfg: self.cfg, sim: self.sim, capture, data, train, val, test },
+            core: StageCore {
+                cfg: self.cfg,
+                sim: self.sim,
+                capture,
+                data,
+                train,
+                val,
+                test,
+                health,
+            },
             baseline_error_log10,
             baseline_error_pct,
         })
@@ -269,12 +345,21 @@ impl<'a> BaselineStage<'a> {
     /// search toward it.
     pub fn app_litmus(self) -> Result<AppLitmusStage<'a>> {
         let _span = span!("core.app_litmus");
-        let core = self.core;
+        let mut core = self.core;
 
         // Step 2.1: duplicate litmus (whole trace, like the paper).
         let dup = find_duplicate_sets(&core.sim.jobs);
         let y_all: Vec<f64> = core.sim.jobs.iter().map(|j| j.log10_throughput()).collect();
         let app_bound = app_modeling_bound(&y_all, &dup);
+        let mut reasons = Vec::new();
+        if dup.n_sets() < core.cfg.min_duplicate_sets {
+            reasons.push(format!(
+                "only {} duplicate clusters (need {}); application bound unreliable",
+                dup.n_sets(),
+                core.cfg.min_duplicate_sets
+            ));
+        }
+        core.health.push(StageHealth::from_reasons("core.app_litmus", reasons));
 
         // Step 2.2: hyperparameter search toward the bound.
         let grid = {
@@ -330,9 +415,17 @@ pub struct AppLitmusStage<'a> {
 
 impl<'a> AppLitmusStage<'a> {
     /// Step 3: start-time golden model and system-log enrichment.
-    pub fn system_litmus(self) -> Result<SystemLitmusStage<'a>> {
+    pub fn system_litmus(mut self) -> Result<SystemLitmusStage<'a>> {
         let _span = span!("core.system_litmus");
         let sys = system_litmus(self.core.sim, self.core.cfg.effort);
+        let mut reasons = Vec::new();
+        if self.core.sim.config.collect_lmt && self.core.sim.lmt.is_none() {
+            reasons.push(
+                "LMT collection enabled but no LMT telemetry present; enrichment skipped"
+                    .to_owned(),
+            );
+        }
+        self.core.health.push(StageHealth::from_reasons("core.system_litmus", reasons));
         Ok(SystemLitmusStage { prev: self, sys })
     }
 }
@@ -347,12 +440,20 @@ pub struct SystemLitmusStage<'a> {
 impl<'a> SystemLitmusStage<'a> {
     /// Step 4: ensemble UQ and OoD attribution on the test split, plus
     /// whole-trace OoD flags for the noise stage's exclusion.
-    pub fn ood(self) -> Result<OodStage<'a>> {
+    pub fn ood(mut self) -> Result<OodStage<'a>> {
         let _span = span!("core.ood");
         let core = &self.prev.core;
         let ood = ood_litmus(&core.train, &core.test, &core.cfg.ood);
         let all_preds = ood.ensemble.predict_uq_batch(&core.data);
         let exclude = classify_ood(&all_preds, ood.eu_threshold);
+        let mut reasons = Vec::new();
+        if core.test.n_rows < core.cfg.min_test_rows {
+            reasons.push(format!(
+                "test split has only {} jobs (need {}); OoD attribution noisy",
+                core.test.n_rows, core.cfg.min_test_rows
+            ));
+        }
+        self.prev.core.health.push(StageHealth::from_reasons("core.ood", reasons));
         Ok(OodStage { prev: self, ood, exclude })
     }
 }
@@ -367,7 +468,7 @@ pub struct OodStage<'a> {
 
 impl<'a> OodStage<'a> {
     /// Step 5: concurrent-duplicate noise floor, OoD jobs excluded.
-    pub fn noise_floor(self) -> Result<NoiseFloorStage<'a>> {
+    pub fn noise_floor(mut self) -> Result<NoiseFloorStage<'a>> {
         let _span = span!("core.noise_floor");
         let app = &self.prev.prev;
         let core = &app.core;
@@ -380,6 +481,14 @@ impl<'a> OodStage<'a> {
             core.cfg.concurrency_tolerance,
             core.cfg.min_noise_samples,
         );
+        let mut reasons = Vec::new();
+        if noise.is_none() {
+            reasons.push(format!(
+                "fewer than {} concurrent duplicates; noise floor unmeasured",
+                core.cfg.min_noise_samples
+            ));
+        }
+        self.prev.prev.core.health.push(StageHealth::from_reasons("core.noise_floor", reasons));
         Ok(NoiseFloorStage { prev: self, noise })
     }
 }
@@ -431,6 +540,7 @@ impl NoiseFloorStage<'_> {
             ood: OodSummary::from(&ood),
             noise,
             breakdown,
+            stages: core.health,
             timings: core.capture.finish(),
         }
     }
@@ -500,6 +610,14 @@ impl TaxonomyReport {
             b.noise_share * 100.0,
             b.unexplained_share * 100.0
         );
+        let degraded = self.degraded_stages();
+        if !degraded.is_empty() {
+            let _ = writeln!(s, "── degraded stages ────────────────────────────────");
+            for st in degraded {
+                let _ =
+                    writeln!(s, "{}: {}", st.stage, st.reason.as_deref().unwrap_or("(no reason)"));
+            }
+        }
         s
     }
 }
@@ -585,6 +703,73 @@ mod tests {
         assert!(app.total_us("core.grid_search") <= app.duration_us);
         // Stages open in order: start times are monotone.
         assert!(report.timings.windows(2).all(|w| w[0].start_us <= w[1].start_us));
+    }
+
+    #[test]
+    fn every_stage_reports_health_in_order() {
+        let sim = Platform::new(SimConfig::theta().with_jobs(1_500).with_seed(46)).generate();
+        let report = Taxonomy::quick().run(&sim);
+        let names: Vec<&str> = report.stages.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "core.baseline",
+                "core.app_litmus",
+                "core.system_litmus",
+                "core.ood",
+                "core.noise_floor"
+            ]
+        );
+        // A clean simulated trace degrades nothing structural: features
+        // are finite, MPI-IO exists, duplicates abound.
+        for st in &report.stages[..3] {
+            assert!(!st.degraded, "{}: {:?}", st.stage, st.reason);
+            assert!(st.reason.is_none());
+        }
+    }
+
+    #[test]
+    fn posix_only_trace_degrades_baseline_instead_of_erroring() {
+        let mut sim = Platform::new(SimConfig::theta().with_jobs(1_200).with_seed(47)).generate();
+        for job in &mut sim.jobs {
+            job.uses_mpiio = false;
+            job.mpiio.iter_mut().for_each(|v| *v = 0.0);
+        }
+        let report = Taxonomy::quick().run(&sim);
+        let baseline = &report.stages[0];
+        assert!(baseline.degraded, "POSIX-only trace must degrade the baseline stage");
+        assert!(baseline.reason.as_ref().unwrap().contains("MPI-IO"), "{:?}", baseline.reason);
+        assert!(report.baseline_median_error_pct > 0.0, "numbers still produced");
+        assert!(report.render_text().contains("degraded stages"));
+    }
+
+    #[test]
+    fn duplicate_free_trace_degrades_app_litmus() {
+        let mut sim = Platform::new(SimConfig::theta().with_jobs(800).with_seed(48)).generate();
+        // Perturb one counter per job so every observable signature is
+        // unique: the duplicate litmus has nothing to work with.
+        for (i, job) in sim.jobs.iter_mut().enumerate() {
+            job.posix[0] += 1.0 + i as f64;
+            job.config_id = i as u64;
+        }
+        let report = Taxonomy::quick().run(&sim);
+        let app = &report.stages[1];
+        assert!(app.degraded, "no duplicates must degrade the app litmus");
+        assert!(app.reason.as_ref().unwrap().contains("duplicate clusters"), "{:?}", app.reason);
+        // And with no duplicate sets the noise floor cannot exist either.
+        let noise = &report.stages[4];
+        assert!(noise.degraded);
+        assert!(report.noise.is_none());
+    }
+
+    #[test]
+    fn stage_health_serializes_into_report_json() {
+        let sim = Platform::new(SimConfig::theta().with_jobs(1_000).with_seed(49)).generate();
+        let report = Taxonomy::quick().run(&sim);
+        let json = serde_json::to_string(&report).expect("serializable");
+        assert!(json.contains("\"stages\""));
+        assert!(json.contains("core.noise_floor"));
+        assert!(json.contains("\"degraded\""));
     }
 
     #[test]

@@ -90,8 +90,8 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-const MAGIC: &[u8; 8] = b"IOTAXDRN";
-const VERSION: u16 = 1;
+pub(crate) const MAGIC: &[u8; 8] = b"IOTAXDRN";
+pub(crate) const VERSION: u16 = 1;
 
 // ---------------------------------------------------------------------------
 // CRC-32 (IEEE 802.3), table-driven, implemented from scratch.
@@ -143,17 +143,26 @@ fn put_zigzag(out: &mut Vec<u8>, v: i64) {
     put_varint(out, ((v << 1) ^ (v >> 63)) as u64);
 }
 
-struct Reader<'a> {
-    data: &'a [u8],
-    pos: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) data: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(data: &'a [u8]) -> Self {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
         Self { data, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], ParseError> {
+    /// A reader positioned at `pos` (used by the salvage resync scan).
+    pub(crate) fn at(data: &'a [u8], pos: usize) -> Self {
+        Self { data, pos }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.data.len().saturating_sub(self.pos)
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], ParseError> {
         if self.pos + n > self.data.len() {
             return Err(ParseError::Truncated { offset: self.pos });
         }
@@ -162,30 +171,30 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, ParseError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, ParseError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16_le(&mut self) -> Result<u16, ParseError> {
+    pub(crate) fn u16_le(&mut self) -> Result<u16, ParseError> {
         let b = self.take(2)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
-    fn u32_le(&mut self) -> Result<u32, ParseError> {
+    pub(crate) fn u32_le(&mut self) -> Result<u32, ParseError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64_le(&mut self) -> Result<u64, ParseError> {
+    pub(crate) fn u64_le(&mut self) -> Result<u64, ParseError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
     }
 
-    fn f64_le(&mut self) -> Result<f64, ParseError> {
+    pub(crate) fn f64_le(&mut self) -> Result<f64, ParseError> {
         Ok(f64::from_bits(self.u64_le()?))
     }
 
-    fn varint(&mut self) -> Result<u64, ParseError> {
+    pub(crate) fn varint(&mut self) -> Result<u64, ParseError> {
         let start = self.pos;
         let mut v: u64 = 0;
         let mut shift = 0u32;
@@ -202,9 +211,19 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn zigzag(&mut self) -> Result<i64, ParseError> {
+    pub(crate) fn zigzag(&mut self) -> Result<i64, ParseError> {
         let v = self.varint()?;
         Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+}
+
+/// Conversion into the unified workspace error: a malformed log is a data
+/// error ([`iotax_obs::ErrorKind::Parse`], process exit code 65 =
+/// `EX_DATAERR`), with the typed [`ParseError`] preserved as the source so
+/// callers can still downcast and match on the exact failure.
+impl From<ParseError> for iotax_obs::Error {
+    fn from(e: ParseError) -> Self {
+        iotax_obs::Error::parse("malformed darshan log", e)
     }
 }
 
@@ -334,6 +353,90 @@ pub fn parse_log(data: &[u8]) -> Result<JobLog, ParseError> {
         posix: posix.unwrap_or_else(|| ModuleData::new(ModuleId::Posix)),
         mpiio,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Layout
+// ---------------------------------------------------------------------------
+
+/// Byte span of one record inside a serialized log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordSpan {
+    /// Module the record belongs to.
+    pub module: ModuleId,
+    /// Record index within its module section.
+    pub index: usize,
+    /// First byte of the record (the file-hash field).
+    pub start: usize,
+    /// One past the last byte of the record.
+    pub end: usize,
+}
+
+/// Byte-offset map of a serialized log: where the header ends, where each
+/// record begins and ends, and where the CRC trailer starts.
+///
+/// Used by the fault injector to compute ground truth (how many whole
+/// records precede a truncation point) and by tests asserting that
+/// [`ParseError::Truncated`] offsets are byte-accurate at every boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogLayout {
+    /// End of the fixed+varint job header (one past the module-count
+    /// varint; the first module tag byte sits here).
+    pub header_end: usize,
+    /// `(module, tag_offset, first_record_offset)` per module section.
+    pub modules: Vec<(ModuleId, usize, usize)>,
+    /// Every record's byte span, in on-disk order.
+    pub records: Vec<RecordSpan>,
+    /// First byte of the CRC-32 trailer.
+    pub crc_start: usize,
+}
+
+impl LogLayout {
+    /// Number of records that lie entirely before byte offset `cut` —
+    /// the most any salvage pass can recover from a truncation at `cut`.
+    pub fn records_before(&self, cut: usize) -> usize {
+        self.records.iter().filter(|r| r.end <= cut).count()
+    }
+}
+
+/// Map the byte layout of a serialized log without materializing records.
+/// Fails with the same [`ParseError`]s as [`parse_log`] on structurally
+/// invalid input (the CRC is *not* checked — layout is structure only).
+pub fn layout(data: &[u8]) -> Result<LogLayout, ParseError> {
+    let mut r = Reader::new(data);
+    if r.take(8).map_err(|_| ParseError::BadMagic)? != MAGIC {
+        return Err(ParseError::BadMagic);
+    }
+    let version = r.u16_le()?;
+    if version != VERSION {
+        return Err(ParseError::BadVersion(version));
+    }
+    r.varint()?; // job_id
+    r.varint()?; // uid
+    r.varint()?; // nprocs
+    r.zigzag()?; // start_time
+    r.zigzag()?; // end_time
+    let exe_len = r.varint()? as usize;
+    r.take(exe_len)?;
+    let module_count = r.varint()?;
+    let header_end = r.pos;
+    let mut modules = Vec::new();
+    let mut records = Vec::new();
+    for _ in 0..module_count {
+        let tag_offset = r.pos;
+        let tag = r.u8()?;
+        let module = ModuleId::from_u8(tag).ok_or(ParseError::BadModule(tag))?;
+        let record_count = r.varint()? as usize;
+        modules.push((module, tag_offset, r.pos));
+        for index in 0..record_count {
+            let start = r.pos;
+            r.take(8)?; // file_hash
+            r.varint()?; // rank_count
+            r.take(8 * module.counter_count())?;
+            records.push(RecordSpan { module, index, start, end: r.pos });
+        }
+    }
+    Ok(LogLayout { header_end, modules, records, crc_start: r.pos })
 }
 
 /// Render a log in a `darshan-parser`-style human-readable dump: a header
@@ -487,6 +590,110 @@ mod tests {
         // The canonical CRC-32 check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_published_ieee_vectors() {
+        // Published CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF)
+        // check vectors beyond the canonical one.
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"abc"), 0x3524_41C2);
+        assert_eq!(crc32(b"message digest"), 0x2015_9D7F);
+        assert_eq!(crc32(b"abcdefghijklmnopqrstuvwxyz"), 0x4C27_50BD);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        // A CRC of a message followed by its little-endian CRC is the
+        // fixed "residue" value — the property the trailer check relies on.
+        let mut buf = b"123456789".to_vec();
+        let c = crc32(&buf);
+        buf.extend_from_slice(&c.to_le_bytes());
+        assert_eq!(crc32(&buf) ^ 0xFFFF_FFFF, 0xDEBB_20E3);
+    }
+
+    #[test]
+    fn parse_error_converts_to_unified_error_with_dataerr_exit() {
+        let err: iotax_obs::Error = ParseError::BadMagic.into();
+        assert_eq!(err.kind(), iotax_obs::ErrorKind::Parse);
+        assert_eq!(err.exit_code(), 65, "Parse must map to EX_DATAERR");
+        let source = std::error::Error::source(&err).expect("typed source kept");
+        assert_eq!(source.downcast_ref::<ParseError>(), Some(&ParseError::BadMagic));
+    }
+
+    #[test]
+    fn layout_matches_parse() {
+        let log = sample_log();
+        let bytes = write_log(&log);
+        let lay = layout(&bytes).expect("layout");
+        // One POSIX + one MPI-IO record, spans ordered and within bounds.
+        assert_eq!(lay.records.len(), 2);
+        assert_eq!(lay.modules.len(), 2);
+        assert!(lay.header_end < lay.records[0].start);
+        assert!(lay.records.windows(2).all(|w| w[0].end <= w[1].start));
+        assert_eq!(lay.crc_start, bytes.len() - 4);
+        assert_eq!(lay.records_before(bytes.len()), 2);
+        assert_eq!(lay.records_before(lay.records[0].end), 1);
+        assert_eq!(lay.records_before(lay.records[0].end - 1), 0);
+    }
+
+    #[test]
+    fn truncation_offsets_are_byte_accurate_at_boundaries() {
+        // Build a log with several records so there are many boundaries.
+        let mut log = sample_log();
+        for f in 0..4u64 {
+            log.posix.records.push(FileRecord::zeroed(ModuleId::Posix, 0x1000 + f, 4));
+        }
+        let bytes = write_log(&log);
+        let lay = layout(&bytes).expect("layout");
+
+        // Cut exactly at a record start: the next read is the 8-byte file
+        // hash, so the parser must report `Truncated` at exactly the cut.
+        for span in &lay.records {
+            assert_eq!(
+                parse_log(&bytes[..span.start]),
+                Err(ParseError::Truncated { offset: span.start }),
+                "cut at record start {}",
+                span.start
+            );
+            // Cut mid-hash: same offset (the read that needed more bytes
+            // started at the record boundary).
+            assert_eq!(
+                parse_log(&bytes[..span.start + 4]),
+                Err(ParseError::Truncated { offset: span.start }),
+                "cut inside hash of record at {}",
+                span.start
+            );
+            // Cut right after the hash: the rank-count varint fails at the
+            // byte where it starts.
+            assert_eq!(
+                parse_log(&bytes[..span.start + 8]),
+                Err(ParseError::BadVarint { offset: span.start + 8 }),
+                "cut after hash of record at {}",
+                span.start
+            );
+        }
+        // Cut at the CRC trailer: truncated exactly at crc_start.
+        assert_eq!(
+            parse_log(&bytes[..lay.crc_start]),
+            Err(ParseError::Truncated { offset: lay.crc_start }),
+        );
+        assert_eq!(
+            parse_log(&bytes[..lay.crc_start + 2]),
+            Err(ParseError::Truncated { offset: lay.crc_start }),
+        );
+        // Cut inside the magic: reported as BadMagic, and at the version
+        // field as Truncated at the version offset (byte 8).
+        assert_eq!(parse_log(&bytes[..5]), Err(ParseError::BadMagic));
+        assert_eq!(parse_log(&bytes[..9]), Err(ParseError::Truncated { offset: 8 }));
+        // Every other cut still fails with an offset no further than the
+        // cut itself (the parser never claims to need bytes it already had).
+        for cut in 0..bytes.len() {
+            match parse_log(&bytes[..cut]) {
+                Err(ParseError::Truncated { offset }) | Err(ParseError::BadVarint { offset }) => {
+                    assert!(offset <= cut, "cut {cut}: reported offset {offset} past the cut")
+                }
+                Err(_) => {}
+                Ok(_) => panic!("truncation at {cut} accepted"),
+            }
+        }
     }
 
     #[test]

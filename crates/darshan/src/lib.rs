@@ -20,6 +20,9 @@
 //!   the "Darshan parsing from scratch" path is genuinely exercised.
 //! * [`features`] — job-level feature extraction: aggregation of per-file
 //!   records into the fixed-width feature vectors the ML models consume.
+//! * [`salvage`] — a lenient parser for damaged logs: recovers every intact
+//!   record before the damage point and classifies what was lost, the way a
+//!   production ingest pipeline has to treat real Darshan corpora.
 //!
 //! Nothing in this crate knows about the simulator or the models; it is a
 //! standalone log library a downstream tool could reuse.
@@ -28,8 +31,10 @@ pub mod counters;
 pub mod features;
 pub mod format;
 pub mod record;
+pub mod salvage;
 
 pub use counters::{MpiioCounter, PosixCounter, MPIIO_COUNTERS, POSIX_COUNTERS};
 pub use features::{extract_job_features, FeatureVector, MPIIO_FEATURE_NAMES, POSIX_FEATURE_NAMES};
-pub use format::{parse_log, write_log, ParseError};
+pub use format::{layout, parse_log, write_log, LogLayout, ParseError, RecordSpan};
 pub use record::{FileRecord, JobLog, ModuleData};
+pub use salvage::{parse_log_lenient, Anomaly, SalvagedLog};

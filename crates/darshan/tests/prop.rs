@@ -1,8 +1,11 @@
 //! Property-based tests for the Darshan log format: arbitrary logs must
 //! round-trip bit-exactly, and any single-byte corruption must be rejected.
+//! The salvage parser adds its own guarantees: neither parser ever panics
+//! on arbitrary bytes, and on clean logs lenient == strict exactly.
 
-use iotax_darshan::format::{parse_log, write_log, ParseError};
+use iotax_darshan::format::{layout, parse_log, write_log, ParseError};
 use iotax_darshan::record::{FileRecord, JobLog, ModuleData, ModuleId};
+use iotax_darshan::salvage::parse_log_lenient;
 use proptest::prelude::*;
 
 fn arb_counters(module: ModuleId) -> impl Strategy<Value = Vec<f64>> {
@@ -82,6 +85,70 @@ proptest! {
         let mut bytes = write_log(&log);
         bytes.extend(std::iter::repeat_n(0xAB, extra));
         prop_assert_eq!(parse_log(&bytes), Err(ParseError::TrailingBytes { extra }));
+    }
+
+    #[test]
+    fn parsers_never_panic_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        // Neither parser may panic, loop, or over-allocate on garbage.
+        let _ = parse_log(&bytes);
+        let _ = parse_log_lenient(&bytes);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_magic_prefixed_garbage(tail in prop::collection::vec(any::<u8>(), 0..1024)) {
+        // Adversarial case: a valid magic + version so the parsers commit
+        // to reading deep into attacker-controlled bytes.
+        let mut bytes = b"IOTAXDRN".to_vec();
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&tail);
+        let _ = parse_log(&bytes);
+        if let Ok((salvaged, _)) = parse_log_lenient(&bytes) {
+            prop_assert!(salvaged.records_recovered < 1 << 20);
+        }
+    }
+
+    #[test]
+    fn lenient_equals_strict_on_clean_logs(log in arb_log()) {
+        let bytes = write_log(&log);
+        let strict = parse_log(&bytes).expect("strict parse");
+        let (salvaged, anomalies) = parse_log_lenient(&bytes).expect("lenient parse");
+        prop_assert!(anomalies.is_empty(), "clean log produced {anomalies:?}");
+        prop_assert!(salvaged.complete);
+        prop_assert_eq!(salvaged.log, strict);
+    }
+
+    #[test]
+    fn lenient_recovers_every_record_before_a_cut(log in arb_log(), frac in 0.0f64..1.0) {
+        let bytes = write_log(&log);
+        let lay = layout(&bytes).expect("layout");
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let expect = lay.records_before(cut) as usize;
+        match parse_log_lenient(&bytes[..cut]) {
+            Ok((salvaged, _)) => prop_assert!(
+                salvaged.records_recovered >= expect,
+                "cut {cut}: recovered {} < {expect}", salvaged.records_recovered
+            ),
+            // Unsalvageable is only legal while the cut is inside the header.
+            Err(_) => prop_assert!(cut < lay.header_end, "cut {cut} past header unsalvageable"),
+        }
+    }
+
+    #[test]
+    fn lenient_survives_single_byte_corruption(log in arb_log(), pos_frac in 0.0f64..1.0, flip in 1u8..=255) {
+        let bytes = write_log(&log);
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        let mut corrupted = bytes.clone();
+        corrupted[pos] ^= flip;
+        // Must not panic; when it salvages, the anomaly list explains any
+        // structural loss.
+        if let Ok((salvaged, anomalies)) = parse_log_lenient(&corrupted) {
+            if corrupted != bytes && salvaged.complete {
+                prop_assert!(
+                    !anomalies.is_empty(),
+                    "undetected corruption at {pos}: {salvaged:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -7,6 +7,22 @@
 
 use serde::{Deserialize, Serialize};
 
+/// What [`Dataset::sanitized`] had to do to make its input usable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SanitizeReport {
+    /// Non-finite feature values replaced by their column median.
+    pub imputed_features: usize,
+    /// Rows dropped because the target was non-finite.
+    pub dropped_rows: usize,
+}
+
+impl SanitizeReport {
+    /// Whether anything had to be repaired.
+    pub fn is_clean(&self) -> bool {
+        self.imputed_features == 0 && self.dropped_rows == 0
+    }
+}
+
 /// A dense row-major dataset with a scalar target per row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
@@ -31,6 +47,63 @@ impl Dataset {
         assert!(x.iter().all(|v| v.is_finite()), "non-finite feature value");
         assert!(y.iter().all(|v| v.is_finite()), "non-finite target value");
         Self { x, n_rows, n_cols, y, names }
+    }
+
+    /// Build a dataset from possibly-dirty values: non-finite features are
+    /// imputed to their column's median over finite values (0.0 when a
+    /// column has none), and rows with a non-finite *target* are dropped —
+    /// a target cannot be imputed without biasing the fit. Dimension
+    /// mismatches still panic; they are caller bugs, not dirty data.
+    ///
+    /// Returns the dataset plus the accounting a caller needs to report
+    /// degraded-input conditions upstream.
+    pub fn sanitized(
+        x: Vec<f64>,
+        n_rows: usize,
+        n_cols: usize,
+        y: Vec<f64>,
+        names: Vec<String>,
+    ) -> (Self, SanitizeReport) {
+        assert_eq!(x.len(), n_rows * n_cols, "x has wrong length");
+        assert_eq!(y.len(), n_rows, "y has wrong length");
+        assert_eq!(names.len(), n_cols, "names have wrong length");
+        let mut report = SanitizeReport { imputed_features: 0, dropped_rows: 0 };
+
+        // Per-column medians over finite values only.
+        let mut medians = vec![0.0; n_cols];
+        let mut col: Vec<f64> = Vec::with_capacity(n_rows);
+        for (c, med) in medians.iter_mut().enumerate() {
+            col.clear();
+            col.extend((0..n_rows).map(|r| x[r * n_cols + c]).filter(|v| v.is_finite()));
+            if !col.is_empty() {
+                col.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+                *med = if col.len() % 2 == 1 {
+                    col[col.len() / 2]
+                } else {
+                    (col[col.len() / 2 - 1] + col[col.len() / 2]) / 2.0
+                };
+            }
+        }
+
+        let mut cx = Vec::with_capacity(x.len());
+        let mut cy = Vec::with_capacity(n_rows);
+        for r in 0..n_rows {
+            if !y[r].is_finite() {
+                report.dropped_rows += 1;
+                continue;
+            }
+            for (c, &v) in x[r * n_cols..(r + 1) * n_cols].iter().enumerate() {
+                if v.is_finite() {
+                    cx.push(v);
+                } else {
+                    report.imputed_features += 1;
+                    cx.push(medians[c]);
+                }
+            }
+            cy.push(y[r]);
+        }
+        let kept = cy.len();
+        (Self::new(cx, kept, n_cols, cy, names), report)
     }
 
     /// One feature row.
@@ -238,5 +311,46 @@ mod tests {
     #[should_panic(expected = "non-finite")]
     fn rejects_nan_features() {
         Dataset::new(vec![f64::NAN], 1, 1, vec![0.0], vec!["a".into()]);
+    }
+
+    #[test]
+    fn sanitized_is_identity_on_clean_input() {
+        let d = toy();
+        let (s, report) =
+            Dataset::sanitized(d.x.clone(), d.n_rows, d.n_cols, d.y.clone(), d.names.clone());
+        assert!(report.is_clean());
+        assert_eq!(s, d);
+    }
+
+    #[test]
+    fn sanitized_imputes_features_to_column_median() {
+        // Column values 0, 1, 2, NaN, 4 → finite median of {0,1,2,4} = 1.5.
+        let x = vec![0.0, 1.0, 2.0, f64::NAN, 4.0];
+        let y = vec![0.0; 5];
+        let (s, report) = Dataset::sanitized(x, 5, 1, y, vec!["a".into()]);
+        assert_eq!(report.imputed_features, 1);
+        assert_eq!(report.dropped_rows, 0);
+        assert_eq!(s.row(3), &[1.5]);
+        assert!(s.x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sanitized_drops_rows_with_bad_targets() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = vec![0.1, f64::NEG_INFINITY, 0.3, f64::NAN];
+        let (s, report) = Dataset::sanitized(x, 4, 1, y, vec!["a".into()]);
+        assert_eq!(report.dropped_rows, 2);
+        assert_eq!(s.n_rows, 2);
+        assert_eq!(s.y, vec![0.1, 0.3]);
+        assert_eq!(s.x, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn sanitized_handles_all_nan_column() {
+        let x = vec![f64::NAN, f64::INFINITY];
+        let y = vec![0.0, 1.0];
+        let (s, report) = Dataset::sanitized(x, 2, 1, y, vec!["a".into()]);
+        assert_eq!(report.imputed_features, 2);
+        assert_eq!(s.x, vec![0.0, 0.0], "no finite values → impute 0");
     }
 }

@@ -36,7 +36,7 @@ pub mod nn;
 pub mod search;
 pub mod tree;
 
-pub use data::{Dataset, Preprocessor};
+pub use data::{Dataset, Preprocessor, SanitizeReport};
 pub use gbm::{Gbm, GbmParams};
 pub use linreg::Ridge;
 pub use metrics::{abs_log10_errors, median_abs_error, median_abs_error_pct};

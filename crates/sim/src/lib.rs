@@ -41,12 +41,14 @@ pub mod archetype;
 pub mod config;
 pub mod contention;
 pub mod darshan_gen;
+pub mod fault;
 pub mod features;
 pub mod platform;
 pub mod telemetry;
 pub mod weather;
 
 pub use config::{SimConfig, SystemKind};
+pub use fault::{FaultKind, FaultManifest, FaultPlan, FaultRecord};
 pub use features::{FeatureMatrix, FeatureSet};
 pub use platform::{GroundTruth, Platform, SimDataset, SimJob};
 pub use weather::Weather;
