@@ -38,7 +38,9 @@ pub struct IngestOptions {
     pub strict: bool,
     /// Read attempts per file beyond the first (transient errors only).
     pub max_retries: u32,
-    /// Backoff before retry `n` is `backoff_base_ms << n` milliseconds.
+    /// Backoff before retry `n` is `backoff_base_ms << min(n, 10)`
+    /// milliseconds (the exponent is capped so large retry counts cannot
+    /// overflow or stall for days).
     pub backoff_base_ms: u64,
     /// When set, unsalvageable files are *moved* here instead of merely
     /// recorded, so a re-run skips them and an operator can inspect them.
@@ -94,7 +96,8 @@ pub struct IngestReport {
     pub salvaged: u64,
     /// Records recovered across all salvaged files.
     pub records_salvaged: u64,
-    /// Manifest lines skipped as unparseable (lenient mode only).
+    /// Manifest lines skipped as unparseable or unreadable (lenient mode
+    /// only).
     pub manifest_rejects: u64,
     /// Total retry attempts across all files.
     pub retries: u64,
@@ -176,9 +179,10 @@ fn read_with_retry(
                 failures += 1;
                 iotax_obs::counter!("cli.ingest.retries").incr(1);
                 if opts.backoff_base_ms > 0 {
-                    std::thread::sleep(std::time::Duration::from_millis(
-                        opts.backoff_base_ms << attempt,
-                    ));
+                    // Cap the exponent so a large --retries cannot overflow
+                    // the shift (UB at attempt >= 64) or sleep for days.
+                    let delay = opts.backoff_base_ms.saturating_mul(1u64 << attempt.min(10));
+                    std::thread::sleep(std::time::Duration::from_millis(delay));
                 }
             }
             Err(e) => return (Err(e), failures),
@@ -248,7 +252,18 @@ pub fn ingest_trace_with_reader(
     let mut jobs = Vec::new();
     let mut report = IngestReport::default();
     for (line_no, line) in io::BufReader::new(manifest).lines().enumerate() {
-        let line = line?;
+        let line = match line {
+            Ok(line) => line,
+            Err(e) if opts.strict => return Err(Error::from(e)),
+            Err(_) => {
+                // The manifest reader itself failed mid-stream; further
+                // reads would likely fail too, so stop here and report a
+                // partial ingest instead of aborting the whole pass.
+                report.manifest_rejects += 1;
+                iotax_obs::counter!("cli.ingest.manifest_rejects").incr(1);
+                break;
+            }
+        };
         if line_no == 0 {
             continue; // header
         }

@@ -163,7 +163,10 @@ impl<'a> Reader<'a> {
     }
 
     pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], ParseError> {
-        if self.pos + n > self.data.len() {
+        // `n` can be attacker-controlled (e.g. a length varint up to
+        // u64::MAX), so `self.pos + n` may overflow; compare against the
+        // remaining byte count instead.
+        if n > self.remaining() {
             return Err(ParseError::Truncated { offset: self.pos });
         }
         let s = &self.data[self.pos..self.pos + n];
@@ -513,6 +516,21 @@ mod tests {
         let parsed = parse_log(&write_log(&log)).expect("round trip");
         assert_eq!(parsed.start_time, -12345);
         assert_eq!(parsed.end_time, -1);
+    }
+
+    #[test]
+    fn huge_length_varint_is_truncation_not_overflow() {
+        // A crafted header whose exe-length varint decodes to u64::MAX used
+        // to overflow the bounds check in Reader::take (panic in debug,
+        // inverted slice range in release). It must be a clean error.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&[1, 2, 3, 4, 5]); // five 1-byte header varints
+        bytes.extend_from_slice(&[0xFF; 9]); // exe_len varint = u64::MAX...
+        bytes.push(0x01); // ...terminated
+        assert!(matches!(parse_log(&bytes), Err(ParseError::Truncated { .. })));
+        assert!(crate::salvage::parse_log_lenient(&bytes).is_err());
     }
 
     #[test]

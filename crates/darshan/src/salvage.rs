@@ -31,6 +31,13 @@ use std::collections::HashSet;
 /// next parseable module section.
 const RESYNC_WINDOW: usize = 64 * 1024;
 
+/// Size of the CRC-32 trailer at the end of a log.
+const CRC_LEN: usize = 4;
+
+/// How many bytes past the trailer a resynced parse may land and still be
+/// considered plausible (tolerated trailing garbage).
+const TRAILER_SLACK: usize = 64;
+
 /// One classified defect found while salvaging a log.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Anomaly {
@@ -281,9 +288,14 @@ fn resync_scan(data: &[u8], from: usize) -> Option<usize> {
         let mut scratch = Vec::new();
         if let Some(ModuleEnd::Complete(m)) = parse_module_lenient(&mut probe, &mut scratch) {
             // Require the module to carry data and to land the reader at a
-            // believable position (at most the trailer plus slack) so a
-            // stray 0x01 byte in counter noise does not fake a section.
-            if !m.records.is_empty() && probe.pos <= data.len() {
+            // believable position — either at (or near, allowing for a lost
+            // trailer / modest trailing garbage) the CRC trailer, or at the
+            // tag byte of another module section — so a stray 0x01 byte in
+            // counter noise does not fake a section.
+            let rest = data.len() - probe.pos;
+            let at_trailer = rest <= CRC_LEN + TRAILER_SLACK;
+            let at_next_module = rest > 0 && matches!(data[probe.pos], 1 | 2);
+            if !m.records.is_empty() && (at_trailer || at_next_module) {
                 return Some(candidate);
             }
         }
