@@ -1,0 +1,111 @@
+//! Baselines: a committed set of accepted finding fingerprints so CI
+//! fails only on *new* findings. The workspace policy is an **empty**
+//! baseline — the file exists so the mechanism is exercised and so a
+//! future emergency has an escape hatch that is visible in review.
+
+use crate::diag::Finding;
+use iotax_obs::{Error, ErrorKind, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// The on-disk baseline format (`audit-baseline.json`).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Format version, for forward compatibility.
+    pub version: u64,
+    /// Accepted finding fingerprints (see [`crate::diag::fingerprint`]).
+    pub fingerprints: Vec<String>,
+}
+
+impl Baseline {
+    /// Current format version.
+    pub const VERSION: u64 = 1;
+
+    /// Load from a JSON file. A missing file is a hard error — pass no
+    /// `--baseline` flag instead to run without one.
+    pub fn load(path: &Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            Error::new(ErrorKind::Io, format!("reading baseline {}: {e}", path.display()))
+        })?;
+        let me: Self = serde_json::from_str(&text).map_err(|e| {
+            Error::new(ErrorKind::Parse, format!("baseline {}: {e}", path.display()))
+        })?;
+        if me.version != Self::VERSION {
+            return Err(Error::new(
+                ErrorKind::Parse,
+                format!(
+                    "baseline {}: unsupported version {} (expected {})",
+                    path.display(),
+                    me.version,
+                    Self::VERSION
+                ),
+            ));
+        }
+        Ok(me)
+    }
+
+    /// Build a baseline accepting exactly `findings`.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut fingerprints: Vec<String> =
+            findings.iter().map(|f| f.fingerprint.clone()).collect();
+        fingerprints.sort();
+        fingerprints.dedup();
+        Self { version: Self::VERSION, fingerprints }
+    }
+
+    /// Write as pretty JSON.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let text = serde_json::to_string_pretty(self)
+            .map_err(|e| Error::new(ErrorKind::Internal, format!("serializing baseline: {e}")))?;
+        std::fs::write(path, text + "\n").map_err(|e| {
+            Error::new(ErrorKind::Io, format!("writing baseline {}: {e}", path.display()))
+        })
+    }
+
+    /// Split `findings` into (new, baselined-count).
+    pub fn partition(&self, findings: Vec<Finding>) -> (Vec<Finding>, usize) {
+        let accepted: BTreeSet<&str> = self.fingerprints.iter().map(String::as_str).collect();
+        let total = findings.len();
+        let fresh: Vec<Finding> =
+            findings.into_iter().filter(|f| !accepted.contains(f.fingerprint.as_str())).collect();
+        let baselined = total - fresh.len();
+        (fresh, baselined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(fp: &str) -> Finding {
+        Finding {
+            lint: "l".into(),
+            krate: "c".into(),
+            file: "f".into(),
+            line: 1,
+            col: 1,
+            item: String::new(),
+            message: "m".into(),
+            fingerprint: fp.into(),
+        }
+    }
+
+    #[test]
+    fn partition_filters_accepted_fingerprints() {
+        let base = Baseline::from_findings(&[finding("aa"), finding("bb")]);
+        let (fresh, baselined) = base.partition(vec![finding("aa"), finding("cc"), finding("bb")]);
+        assert_eq!(baselined, 2);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].fingerprint, "cc");
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let base = Baseline::from_findings(&[finding("zz"), finding("aa"), finding("aa")]);
+        let text = serde_json::to_string(&base).unwrap();
+        let back: Baseline = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.fingerprints, vec!["aa", "zz"]);
+        assert_eq!(back.version, Baseline::VERSION);
+    }
+}

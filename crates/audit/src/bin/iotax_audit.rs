@@ -1,0 +1,195 @@
+//! `iotax-audit` — run the workspace lints.
+//!
+//! ```sh
+//! iotax-audit --workspace                          # audit crates/*
+//! iotax-audit --workspace --baseline audit-baseline.json
+//! iotax-audit --crate crates/darshan --format jsonl
+//! iotax-audit --workspace --write-baseline audit-baseline.json
+//! iotax-audit --list-lints
+//! ```
+//!
+//! Exit codes: 0 clean, 1 new findings, 64 usage, 65 config parse,
+//! 74 I/O.
+
+use iotax_audit::{
+    audit_crate, audit_workspace, driver, render_text, write_jsonl, AuditConfig, AuditReport,
+    Baseline, LINTS,
+};
+use iotax_obs::{Error, ErrorKind};
+use std::path::PathBuf;
+
+struct Args {
+    workspace: bool,
+    crate_dir: Option<PathBuf>,
+    root: PathBuf,
+    config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    format: Format,
+    jsonl_out: Option<PathBuf>,
+    include_tests: bool,
+    list_lints: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Jsonl,
+}
+
+const USAGE: &str = "usage: iotax-audit (--workspace | --crate DIR | --list-lints) \
+     [--root DIR] [--config PATH] [--baseline PATH] [--write-baseline PATH] \
+     [--format text|jsonl] [--jsonl-out PATH] [--include-tests]";
+
+fn parse_args() -> Result<Args, Error> {
+    let mut args = Args {
+        workspace: false,
+        crate_dir: None,
+        root: PathBuf::from("."),
+        config: None,
+        baseline: None,
+        write_baseline: None,
+        format: Format::Text,
+        jsonl_out: None,
+        include_tests: false,
+        list_lints: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().ok_or_else(|| Error::usage(format!("{name} needs a value")));
+        match flag.as_str() {
+            "--workspace" => args.workspace = true,
+            "--crate" => args.crate_dir = Some(PathBuf::from(value("--crate")?)),
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--config" => args.config = Some(PathBuf::from(value("--config")?)),
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--write-baseline" => {
+                args.write_baseline = Some(PathBuf::from(value("--write-baseline")?))
+            }
+            "--format" => {
+                args.format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "jsonl" => Format::Jsonl,
+                    other => {
+                        return Err(Error::usage(format!(
+                            "--format {other:?} (expected text or jsonl)"
+                        )))
+                    }
+                }
+            }
+            "--jsonl-out" => args.jsonl_out = Some(PathBuf::from(value("--jsonl-out")?)),
+            "--include-tests" => args.include_tests = true,
+            "--list-lints" => args.list_lints = true,
+            "--help" | "-h" => return Err(Error::usage(USAGE)),
+            other => return Err(Error::usage(format!("unknown flag {other} (try --help)"))),
+        }
+    }
+    if !args.list_lints && args.workspace == args.crate_dir.is_some() {
+        return Err(Error::usage(format!("pick exactly one target\n{USAGE}")));
+    }
+    Ok(args)
+}
+
+fn load_config(args: &Args) -> Result<AuditConfig, Error> {
+    let known = iotax_audit::known_lint_names();
+    let path = match &args.config {
+        Some(p) => p.clone(),
+        None => {
+            let default = args.root.join("audit.toml");
+            if !default.is_file() {
+                let mut cfg = AuditConfig::default();
+                cfg.include_tests |= args.include_tests;
+                return Ok(cfg);
+            }
+            default
+        }
+    };
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| Error::new(ErrorKind::Io, format!("reading {}: {e}", path.display())))?;
+    let mut cfg = AuditConfig::from_toml(&text, &path.display().to_string(), &known)?;
+    cfg.include_tests |= args.include_tests;
+    Ok(cfg)
+}
+
+fn run() -> Result<i32, Error> {
+    let args = parse_args()?;
+
+    if args.list_lints {
+        for l in LINTS {
+            println!("{:<22} {}", l.name, l.summary);
+        }
+        println!(
+            "{:<22} {}",
+            "bad-suppression", "suppression without reason or naming an unknown lint (always on)"
+        );
+        println!(
+            "{:<22} {}",
+            "unused-suppression", "suppression that matched no finding (always on)"
+        );
+        return Ok(0);
+    }
+
+    let cfg = load_config(&args)?;
+    let report: AuditReport = if args.workspace {
+        audit_workspace(&args.root, &cfg)?
+    } else {
+        // parse_args guarantees crate_dir is set on this branch.
+        let dir = args.crate_dir.clone().ok_or_else(|| Error::usage(USAGE))?;
+        let name = driver::crate_name(&dir)?;
+        audit_crate(&args.root, &dir, &name, &cfg.for_crate(&name), &cfg)?
+    };
+
+    if let Some(path) = &args.write_baseline {
+        Baseline::from_findings(&report.findings).save(path)?;
+        eprintln!(
+            "iotax-audit: wrote baseline with {} fingerprint(s) to {}",
+            report.findings.len(),
+            path.display()
+        );
+        return Ok(0);
+    }
+
+    let (fresh, baselined) = match &args.baseline {
+        Some(path) => Baseline::load(path)?.partition(report.findings),
+        None => (report.findings, 0),
+    };
+
+    if let Some(path) = &args.jsonl_out {
+        let mut f = std::fs::File::create(path)
+            .map_err(|e| Error::new(ErrorKind::Io, format!("creating {}: {e}", path.display())))?;
+        write_jsonl(&mut f, &fresh, baselined, report.suppressed)
+            .map_err(|e| Error::new(ErrorKind::Io, format!("writing {}: {e}", path.display())))?;
+    }
+
+    match args.format {
+        Format::Text => {
+            for f in &fresh {
+                println!("{}\n", render_text(f));
+            }
+            eprintln!(
+                "iotax-audit: {} new finding(s), {} baselined, {} suppressed",
+                fresh.len(),
+                baselined,
+                report.suppressed
+            );
+        }
+        Format::Jsonl => {
+            let mut out = std::io::stdout();
+            write_jsonl(&mut out, &fresh, baselined, report.suppressed)
+                .map_err(|e| Error::new(ErrorKind::Io, format!("writing stdout: {e}")))?;
+        }
+    }
+
+    Ok(if fresh.is_empty() { 0 } else { 1 })
+}
+
+fn main() {
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("iotax-audit: {e}");
+            std::process::exit(i32::from(e.exit_code()));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Findings: the diagnostic record every lint produces, its stable
+//! fingerprint, and the text / JSON-lines renderers.
+
+use serde::{Deserialize, Serialize};
+use std::hash::{Hash, Hasher};
+use std::io;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Lint name (`panic-in-parser`, …).
+    pub lint: String,
+    /// Crate the file belongs to (`iotax-darshan`).
+    pub krate: String,
+    /// Path relative to the workspace root, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Innermost item path (`salvage::parse_log_lenient`), possibly empty.
+    pub item: String,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// Stable identity for baselines: independent of line numbers, so a
+    /// finding keeps its fingerprint when unrelated edits move it.
+    pub fingerprint: String,
+}
+
+/// Compute the stable fingerprint for a finding-in-the-making.
+///
+/// Identity is `(crate, file, lint, item, message, k)` where `k`
+/// disambiguates repeated identical findings in the same item; line and
+/// column are deliberately excluded so baselines survive reformatting.
+pub fn fingerprint(
+    krate: &str,
+    file: &str,
+    lint: &str,
+    item: &str,
+    message: &str,
+    occurrence: usize,
+) -> String {
+    let mut h = iotax_stats::Fnv1aHasher::new();
+    for part in [krate, file, lint, item, message] {
+        part.hash(&mut h);
+    }
+    occurrence.hash(&mut h);
+    format!("{:016x}", h.finish())
+}
+
+/// Render one finding in the compiler-style text format.
+pub fn render_text(f: &Finding) -> String {
+    let item = if f.item.is_empty() { String::new() } else { format!(" in `{}`", f.item) };
+    format!("warning[{}]: {}\n  --> {}:{}:{}{}", f.lint, f.message, f.file, f.line, f.col, item)
+}
+
+/// Write findings plus a trailing summary as JSON lines (the CI artifact
+/// format; same `"record"` discriminator convention as the ingest report).
+pub fn write_jsonl<W: io::Write>(
+    w: &mut W,
+    findings: &[Finding],
+    baselined: usize,
+    suppressed: usize,
+) -> io::Result<()> {
+    for f in findings {
+        let line = tagged("finding", f).map_err(io::Error::other)?;
+        writeln!(w, "{line}")?;
+    }
+    let summary = serde::Value::Object(vec![
+        ("record".to_owned(), serde::Value::Str("summary".to_owned())),
+        ("new_findings".to_owned(), serde::Value::UInt(findings.len() as u64)),
+        ("baselined".to_owned(), serde::Value::UInt(baselined as u64)),
+        ("suppressed".to_owned(), serde::Value::UInt(suppressed as u64)),
+    ]);
+    let line = serde_json::to_string(&summary).map_err(io::Error::other)?;
+    writeln!(w, "{line}")?;
+    Ok(())
+}
+
+/// Render `value` as one JSON object line with a `"record": tag` field
+/// prepended.
+fn tagged<T: Serialize>(tag: &str, value: &T) -> Result<String, serde_json::Error> {
+    let mut fields = vec![("record".to_owned(), serde::Value::Str(tag.to_owned()))];
+    if let serde::Value::Object(rest) = value.to_value() {
+        fields.extend(rest);
+    }
+    serde_json::to_string(&serde::Value::Object(fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_ignores_lines_but_not_occurrence() {
+        let a = fingerprint("c", "f.rs", "l", "m::f", "msg", 0);
+        let b = fingerprint("c", "f.rs", "l", "m::f", "msg", 1);
+        assert_ne!(a, b);
+        assert_eq!(a, fingerprint("c", "f.rs", "l", "m::f", "msg", 0));
+    }
+
+    #[test]
+    fn jsonl_has_discriminators_and_summary() {
+        let f = Finding {
+            lint: "panic-in-parser".into(),
+            krate: "iotax-darshan".into(),
+            file: "crates/darshan/src/format.rs".into(),
+            line: 10,
+            col: 5,
+            item: "parse_log".into(),
+            message: "`.unwrap()` can panic".into(),
+            fingerprint: "abc".into(),
+        };
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &[f], 2, 3).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].contains("\"record\":\"finding\"")
+                || lines[0].contains("\"record\": \"finding\"")
+        );
+        assert!(lines[1].contains("summary"));
+        assert!(lines[1].contains("\"baselined\""));
+    }
+}

@@ -1,0 +1,387 @@
+//! The lint driver: walks workspace crates, runs the configured lints on
+//! every source file, applies suppressions, and emits [`Finding`]s with
+//! stable fingerprints.
+//!
+//! Two meta-lints are always on and cannot be disabled:
+//!
+//! * `bad-suppression` — an `audit:allow` comment with no `-- reason`, or
+//!   naming a lint that does not exist. Unreviewable waivers are findings.
+//! * `unused-suppression` — an `audit:allow` that suppressed nothing.
+//!   Stale waivers rot into false documentation, so they must be removed.
+
+use crate::config::{AuditConfig, CrateConfig};
+use crate::context::FileCx;
+use crate::diag::{fingerprint, Finding};
+use crate::lints::{self, LintOptions, RawFinding, LINTS};
+use iotax_obs::{Error, ErrorKind, Result};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Result of auditing one file.
+pub struct FileReport {
+    /// Findings that survived suppression, in source order.
+    pub findings: Vec<Finding>,
+    /// Count of findings removed by (reasoned or not) suppressions.
+    pub suppressed: usize,
+    /// Names from `stage-functions` that are *defined* in this file.
+    pub stage_fns_defined: Vec<String>,
+}
+
+/// Result of auditing a crate or the whole workspace.
+#[derive(Default)]
+pub struct AuditReport {
+    /// All surviving findings, ordered by (file, line, col).
+    pub findings: Vec<Finding>,
+    /// Total suppressed-finding count.
+    pub suppressed: usize,
+}
+
+/// Audit one in-memory source file. This is the seam the fixture tests
+/// drive: no filesystem involved.
+pub fn audit_source(
+    krate: &str,
+    file: &str,
+    src: &str,
+    cfg: &CrateConfig,
+    include_tests: bool,
+) -> FileReport {
+    let cx = FileCx::new(src);
+    let opts = LintOptions {
+        include_tests,
+        check_indexing: cfg.check_indexing,
+        stage_functions: cfg.stage_functions.clone(),
+    };
+
+    let mut raw: Vec<RawFinding> = Vec::new();
+    for spec in LINTS {
+        if cfg.enabled(spec.name) {
+            raw.extend(lints::run_lint(spec.name, &cx, &opts));
+        }
+    }
+    raw.sort_by_key(|f| (f.line, f.col));
+
+    // Apply suppressions. Index i tracks how many findings each used.
+    let known: Vec<&str> = lints::known_lint_names();
+    let mut used = vec![0usize; cx.suppressions.len()];
+    let mut survivors: Vec<&RawFinding> = Vec::new();
+    let mut suppressed = 0usize;
+    for f in &raw {
+        let mut hit = false;
+        for (si, s) in cx.suppressions.iter().enumerate() {
+            let line_match = match s.target_line {
+                None => true, // file-level
+                Some(line) => line == f.line,
+            };
+            if line_match && s.lints.iter().any(|l| l == f.lint) {
+                used[si] += 1;
+                hit = true;
+            }
+        }
+        if hit {
+            suppressed += 1;
+        } else {
+            survivors.push(f);
+        }
+    }
+
+    // Meta-lints over the suppressions themselves.
+    let mut meta: Vec<RawFinding> = Vec::new();
+    for (si, s) in cx.suppressions.iter().enumerate() {
+        for l in &s.lints {
+            if !known.contains(&l.as_str()) {
+                meta.push(RawFinding {
+                    lint: "bad-suppression",
+                    line: s.comment_line,
+                    col: 1,
+                    tok: usize::MAX,
+                    message: format!("suppression names unknown lint `{l}`"),
+                });
+            }
+        }
+        if s.reason.is_none() {
+            meta.push(RawFinding {
+                lint: "bad-suppression",
+                line: s.comment_line,
+                col: 1,
+                tok: usize::MAX,
+                message: format!(
+                    "suppression of `{}` has no `-- reason`; every waiver must say why",
+                    s.lints.join(", ")
+                ),
+            });
+        }
+        if used[si] == 0 && s.lints.iter().all(|l| known.contains(&l.as_str())) {
+            meta.push(RawFinding {
+                lint: "unused-suppression",
+                line: s.comment_line,
+                col: 1,
+                tok: usize::MAX,
+                message: format!(
+                    "suppression of `{}` matched no finding; remove it",
+                    s.lints.join(", ")
+                ),
+            });
+        }
+    }
+
+    // Assemble findings with occurrence-indexed fingerprints. Occurrence
+    // counters are keyed on the fingerprint identity so identical findings
+    // in one item stay distinct and stable.
+    let mut occurrence: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in survivors.iter().copied().chain(meta.iter()) {
+        let item = if f.tok == usize::MAX { String::new() } else { cx.item(f.tok).to_owned() };
+        let key = (f.lint.to_owned(), item.clone(), f.message.clone());
+        let k = occurrence.entry(key).or_insert(0);
+        let fp = fingerprint(krate, file, f.lint, &item, &f.message, *k);
+        *k += 1;
+        findings.push(Finding {
+            lint: f.lint.to_owned(),
+            krate: krate.to_owned(),
+            file: file.to_owned(),
+            line: f.line,
+            col: f.col,
+            item,
+            message: f.message.clone(),
+            fingerprint: fp,
+        });
+    }
+    findings.sort_by_key(|f| (f.line, f.col, f.lint.clone()));
+
+    let stage_fns_defined = lints::stage_functions_defined(&cx, &opts);
+    FileReport { findings, suppressed, stage_fns_defined }
+}
+
+/// Audit every `.rs` file of one crate rooted at `dir`.
+pub fn audit_crate(
+    root: &Path,
+    dir: &Path,
+    krate: &str,
+    cfg: &CrateConfig,
+    workspace: &AuditConfig,
+) -> Result<AuditReport> {
+    let mut report = AuditReport::default();
+    let mut stage_fns_seen: Vec<String> = Vec::new();
+
+    let mut subdirs = vec!["src", "benches", "examples"];
+    if workspace.include_tests {
+        subdirs.push("tests");
+    }
+    for sub in subdirs {
+        let base = dir.join(sub);
+        if !base.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&base, &workspace.exclude_dirs, &mut files)?;
+        files.sort();
+        for path in files {
+            let src = std::fs::read_to_string(&path).map_err(|e| {
+                Error::new(ErrorKind::Io, format!("reading {}: {e}", path.display()))
+            })?;
+            let rel = rel_display(root, &path);
+            let fr = audit_source(krate, &rel, &src, cfg, workspace.include_tests);
+            report.findings.extend(fr.findings);
+            report.suppressed += fr.suppressed;
+            stage_fns_seen.extend(fr.stage_fns_defined);
+        }
+    }
+
+    // Crate-level check: a configured stage function that exists in no
+    // file is a config bug — report it rather than silently passing.
+    if cfg.enabled("unspanned-stage") {
+        for wanted in &cfg.stage_functions {
+            if !stage_fns_seen.iter().any(|s| s == wanted) {
+                let file = rel_display(root, &dir.join("Cargo.toml"));
+                let message = format!(
+                    "configured stage function `{wanted}` is not defined anywhere in \
+                     crate `{krate}`; fix audit.toml or restore the function"
+                );
+                let fp = fingerprint(krate, &file, "unspanned-stage", "", &message, 0);
+                report.findings.push(Finding {
+                    lint: "unspanned-stage".to_owned(),
+                    krate: krate.to_owned(),
+                    file,
+                    line: 1,
+                    col: 1,
+                    item: String::new(),
+                    message,
+                    fingerprint: fp,
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Audit every crate under `<root>/crates/`. Vendored crates are outside
+/// the audit's jurisdiction by construction.
+pub fn audit_workspace(root: &Path, cfg: &AuditConfig) -> Result<AuditReport> {
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| Error::new(ErrorKind::Io, format!("reading {}: {e}", crates_dir.display())))?;
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| Error::new(ErrorKind::Io, format!("walking crates/: {e}")))?;
+        let path = entry.path();
+        if path.is_dir() && path.join("Cargo.toml").is_file() {
+            dirs.push(path);
+        }
+    }
+    dirs.sort();
+
+    let mut report = AuditReport::default();
+    for dir in dirs {
+        let name = crate_name(&dir)?;
+        let crate_cfg = cfg.for_crate(&name);
+        let cr = audit_crate(root, &dir, &name, &crate_cfg, cfg)?;
+        report.findings.extend(cr.findings);
+        report.suppressed += cr.suppressed;
+    }
+    report.findings.sort_by_key(|f| (f.file.clone(), f.line, f.col, f.lint.clone()));
+    Ok(report)
+}
+
+/// Read the `name = "…"` from a crate's `[package]` section. Full TOML is
+/// out of scope; Cargo.toml package names in this workspace are plain
+/// one-line strings.
+pub fn crate_name(dir: &Path) -> Result<String> {
+    let manifest = dir.join("Cargo.toml");
+    let text = std::fs::read_to_string(&manifest)
+        .map_err(|e| Error::new(ErrorKind::Io, format!("reading {}: {e}", manifest.display())))?;
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(section) = line.strip_prefix('[') {
+            in_package = section.trim_end_matches(']').trim() == "package";
+            continue;
+        }
+        if in_package {
+            if let Some(value) = line.strip_prefix("name") {
+                let value = value.trim_start().strip_prefix('=').unwrap_or("").trim();
+                if let Some(name) = value.strip_prefix('"').and_then(|v| v.split('"').next()) {
+                    return Ok(name.to_owned());
+                }
+            }
+        }
+    }
+    Err(Error::new(ErrorKind::Parse, format!("{}: no [package] name found", manifest.display())))
+}
+
+/// Recursively collect `.rs` files, skipping excluded directory names.
+fn collect_rs_files(dir: &Path, exclude: &[String], out: &mut Vec<PathBuf>) -> Result<()> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| Error::new(ErrorKind::Io, format!("reading {}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry
+            .map_err(|e| Error::new(ErrorKind::Io, format!("walking {}: {e}", dir.display())))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if exclude.iter().any(|d| d == name.as_ref()) {
+                continue;
+            }
+            collect_rs_files(&path, exclude, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes (stable across hosts, so
+/// fingerprints match between CI and laptops).
+fn rel_display(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(lints: &[&str]) -> CrateConfig {
+        let mut c = CrateConfig { check_indexing: true, ..CrateConfig::default() };
+        for l in lints {
+            c.lints.insert((*l).to_owned(), true);
+        }
+        c
+    }
+
+    #[test]
+    fn trailing_suppression_with_reason_is_clean() {
+        let src = "fn f() { x.unwrap(); } // audit:allow(panic-in-parser) -- test seam\n";
+        let r = audit_source("c", "f.rs", src, &cfg(&["panic-in-parser"]), false);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn suppression_without_reason_is_flagged() {
+        let src = "fn f() { x.unwrap(); } // audit:allow(panic-in-parser)\n";
+        let r = audit_source("c", "f.rs", src, &cfg(&["panic-in-parser"]), false);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].lint, "bad-suppression");
+        assert_eq!(r.suppressed, 1, "still suppresses, but loudly");
+    }
+
+    #[test]
+    fn standalone_suppression_covers_next_line() {
+        let src = "fn f() {\n    // audit:allow(panic-in-parser) -- caller checked bounds\n    x.unwrap();\n}\n";
+        let r = audit_source("c", "f.rs", src, &cfg(&["panic-in-parser"]), false);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn unused_suppression_is_flagged() {
+        let src = "// audit:allow(panic-in-parser) -- stale\nfn f() { g(); }\n";
+        let r = audit_source("c", "f.rs", src, &cfg(&["panic-in-parser"]), false);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].lint, "unused-suppression");
+    }
+
+    #[test]
+    fn unknown_lint_in_suppression_is_flagged() {
+        let src = "fn f() { g(); } // audit:allow(no-such-lint) -- why\n";
+        let r = audit_source("c", "f.rs", src, &cfg(&[]), false);
+        assert!(r.findings.iter().any(|f| f.lint == "bad-suppression"));
+    }
+
+    #[test]
+    fn file_level_suppression_covers_everything() {
+        let src = "// audit:allow-file(panic-in-parser) -- generated parser tables\nfn f() { a.unwrap(); }\nfn g() { b.unwrap(); }\n";
+        let r = audit_source("c", "f.rs", src, &cfg(&["panic-in-parser"]), false);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.suppressed, 2);
+    }
+
+    #[test]
+    fn identical_findings_get_distinct_fingerprints() {
+        let src = "fn f() { a.unwrap(); a.unwrap(); }\n";
+        let r = audit_source("c", "f.rs", src, &cfg(&["panic-in-parser"]), false);
+        assert_eq!(r.findings.len(), 2);
+        assert_ne!(r.findings[0].fingerprint, r.findings[1].fingerprint);
+    }
+
+    #[test]
+    fn fingerprints_survive_line_shifts() {
+        let a = audit_source(
+            "c",
+            "f.rs",
+            "fn f() { x.unwrap(); }\n",
+            &cfg(&["panic-in-parser"]),
+            false,
+        );
+        let b = audit_source(
+            "c",
+            "f.rs",
+            "\n\n\nfn f() { x.unwrap(); }\n",
+            &cfg(&["panic-in-parser"]),
+            false,
+        );
+        assert_eq!(a.findings[0].fingerprint, b.findings[0].fingerprint);
+        assert_ne!(a.findings[0].line, b.findings[0].line);
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: randomness flows in through the API.
+use rand::Rng;
+
+pub fn roll<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+    rng.random()
+}

@@ -1,0 +1,7 @@
+//! Fixture: the one sanctioned seed site, with a written reason.
+use rand::{rngs::StdRng, SeedableRng};
+
+pub fn rng_for(seed: u64) -> StdRng {
+    // audit:allow(ambient-randomness) -- fixture: this is the sanctioned constructor
+    StdRng::seed_from_u64(seed)
+}

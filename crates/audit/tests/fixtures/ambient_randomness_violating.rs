@@ -1,0 +1,7 @@
+//! Fixture: seeds entropy from the environment.
+use rand::Rng;
+
+pub fn roll() -> u64 {
+    let mut rng = rand::rng();
+    rng.random()
+}

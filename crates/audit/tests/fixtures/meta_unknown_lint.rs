@@ -1,0 +1,5 @@
+//! Fixture: a suppression naming an unknown lint is itself a finding.
+pub fn add(a: u64, b: u64) -> u64 {
+    // audit:allow(no-such-lint) -- fixture: typo in the lint name
+    a.saturating_add(b)
+}

@@ -1,0 +1,5 @@
+//! Fixture: a suppression that matches nothing is itself a finding.
+pub fn add(a: u64, b: u64) -> u64 {
+    // audit:allow(panic-in-parser) -- fixture: nothing here can panic
+    a.saturating_add(b)
+}

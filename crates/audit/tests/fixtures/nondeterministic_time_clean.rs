@@ -1,0 +1,4 @@
+//! Fixture: time flows in through the API instead of the ambient clock.
+pub fn stamp_ms(now_ms: u128, started_ms: u128) -> u128 {
+    now_ms.saturating_sub(started_ms)
+}

@@ -1,0 +1,8 @@
+//! Fixture: clock read waived with a reason.
+use std::time::Instant;
+
+pub fn stamp_ms() -> u128 {
+    // audit:allow(nondeterministic-time) -- fixture: this file is the sanctioned clock reader
+    let t0 = Instant::now();
+    t0.elapsed().as_millis()
+}

@@ -1,0 +1,7 @@
+//! Fixture: reads the ambient clock.
+use std::time::Instant;
+
+pub fn stamp_ms() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_millis()
+}

@@ -1,0 +1,7 @@
+//! Fixture: a total parser — every failure is a typed error.
+pub fn parse_pair(s: &str) -> Result<(u32, u32), String> {
+    let mut it = s.split(',');
+    let a = it.next().ok_or("missing first field")?.parse().map_err(|_| "bad first field")?;
+    let b = it.next().ok_or("missing second field")?.parse().map_err(|_| "bad second field")?;
+    Ok((a, b))
+}

@@ -1,0 +1,6 @@
+//! Fixture: a bounded panic, waived with a reason.
+pub fn table_lookup(i: u8) -> u32 {
+    static TABLE: [u32; 256] = [0; 256];
+    // audit:allow(panic-in-parser) -- fixture: index masked to 0xFF; the table has 256 entries
+    TABLE[usize::from(i)]
+}

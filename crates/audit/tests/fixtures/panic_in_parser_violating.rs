@@ -1,0 +1,10 @@
+//! Fixture: a parser that panics on malformed input.
+pub fn parse_pair(s: &str) -> (u32, u32) {
+    let mut it = s.split(',');
+    let a = it.next().unwrap().parse().expect("first field");
+    let b = it.next().unwrap().parse().unwrap();
+    if s.is_empty() {
+        panic!("empty input");
+    }
+    (a, b)
+}

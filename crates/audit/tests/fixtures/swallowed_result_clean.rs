@@ -1,0 +1,7 @@
+//! Fixture: errors propagate.
+use std::io::Write;
+
+pub fn emit(w: &mut dyn Write, line: &str) -> std::io::Result<()> {
+    writeln!(w, "{line}")?;
+    w.flush()
+}

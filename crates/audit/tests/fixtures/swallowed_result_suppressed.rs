@@ -1,0 +1,7 @@
+//! Fixture: best-effort writes, waived with the reason.
+use std::io::Write;
+
+pub fn emit(w: &mut dyn Write, line: &str) {
+    // audit:allow(swallowed-result) -- fixture: best-effort telemetry must not fail the caller
+    let _ = writeln!(w, "{line}");
+}

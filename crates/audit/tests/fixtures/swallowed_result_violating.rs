@@ -1,0 +1,7 @@
+//! Fixture: Results dropped on the floor.
+use std::io::Write;
+
+pub fn emit(w: &mut dyn Write, line: &str) {
+    let _ = writeln!(w, "{line}");
+    w.flush().ok();
+}

@@ -1,0 +1,8 @@
+//! Fixture: narrowing handled explicitly; masked casts are exempt.
+pub fn low_half(x: u64) -> u32 {
+    u32::try_from(x & 0xFFFF_FFFF).unwrap_or(u32::MAX)
+}
+
+pub fn low_byte(x: u64) -> u8 {
+    (x & 0xFF) as u8
+}

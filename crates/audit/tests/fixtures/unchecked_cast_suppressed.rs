@@ -1,0 +1,5 @@
+//! Fixture: a narrowing cast proven lossless, waived with the proof.
+pub fn discriminant(x: u64) -> u32 {
+    // audit:allow(unchecked-cast) -- fixture: caller guarantees x < 4
+    x as u32
+}

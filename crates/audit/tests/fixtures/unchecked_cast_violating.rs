@@ -1,0 +1,4 @@
+//! Fixture: a narrowing cast that silently truncates.
+pub fn low_half(x: u64) -> u32 {
+    x as u32
+}

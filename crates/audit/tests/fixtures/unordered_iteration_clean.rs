@@ -1,0 +1,6 @@
+//! Fixture: ordered container, deterministic iteration.
+use std::collections::BTreeMap;
+
+pub fn keys_of(m: &BTreeMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}

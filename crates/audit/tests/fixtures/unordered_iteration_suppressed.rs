@@ -1,0 +1,7 @@
+//! Fixture: hash iteration waived because the order is erased.
+use std::collections::HashMap;
+
+pub fn total(m: &HashMap<u32, u32>) -> u64 {
+    // audit:allow(unordered-iteration) -- fixture: summation is order-independent
+    m.values().map(|&v| u64::from(v)).sum()
+}

@@ -1,0 +1,10 @@
+//! Fixture: iterates a hash container where order matters.
+use std::collections::HashMap;
+
+pub fn keys_of(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for k in m.keys() {
+        out.push(*k);
+    }
+    out
+}

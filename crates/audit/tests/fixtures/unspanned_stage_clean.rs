@@ -1,0 +1,5 @@
+//! Fixture: the stage opens its span first thing.
+pub fn baseline(xs: &[f64]) -> f64 {
+    let _span = iotax_obs::span!("fixture.baseline");
+    xs.iter().sum::<f64>() / xs.len().max(1) as f64
+}

@@ -1,0 +1,4 @@
+//! Fixture: a declared pipeline stage with no tracing span.
+pub fn baseline(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len().max(1) as f64
+}

@@ -13,7 +13,7 @@ use iotax_ml::metrics::median_abs_error_pct;
 use iotax_ml::Regressor;
 use iotax_sim::FeatureSet;
 
-fn main() {
+fn main() -> iotax_obs::Result<()> {
     let sim = theta_dataset(12_000);
     let m = sim.feature_matrix(FeatureSet::posix());
     let names = m.names.clone();
@@ -38,7 +38,7 @@ fn main() {
     let imp = model.feature_importance(data.n_cols);
     let mut ranked: Vec<(usize, f64)> =
         imp.iter().copied().enumerate().filter(|&(_, v)| v > 0.0).collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     println!("Extension: gain-based feature importance (top 15 POSIX counters)");
     let mut rows = Vec::new();
@@ -53,5 +53,6 @@ fn main() {
          features explain most model behaviour.",
         top10_share * 100.0
     );
-    write_csv("ext_feature_importance.csv", "rank,feature,gain_share", &rows);
+    write_csv("ext_feature_importance.csv", "rank,feature,gain_share", &rows)?;
+    Ok(())
 }

@@ -13,7 +13,7 @@ use iotax_ml::metrics::{error_quantile_pct, median_abs_error_pct};
 use iotax_ml::Regressor;
 use iotax_sim::FeatureSet;
 
-fn main() {
+fn main() -> iotax_obs::Result<()> {
     let sim = theta_dataset(12_000);
     let m = sim.feature_matrix(FeatureSet::posix());
     let data = Dataset::new(m.data, m.n_rows, m.n_cols, m.y, m.names);
@@ -49,5 +49,6 @@ fn main() {
         "\ninterpretation: Eq. 6's L1 objective targets the median directly; whether \
          it wins depends on how heavy the contention tail is — compare the p95 column."
     );
-    write_csv("ext_l1_objective.csv", "objective,median_pct,p75_pct,p95_pct", &rows);
+    write_csv("ext_l1_objective.csv", "objective,median_pct,p75_pct,p95_pct", &rows)?;
+    Ok(())
 }

@@ -13,9 +13,10 @@ use iotax_ml::data::Dataset;
 use iotax_ml::gbm::GbmParams;
 use iotax_ml::metrics::log10_error_to_pct;
 use iotax_ml::search::grid_search;
+use iotax_obs::{Error, ErrorKind};
 use iotax_sim::FeatureSet;
 
-fn main() {
+fn main() -> iotax_obs::Result<()> {
     let sim = theta_dataset(20_000);
     let m = sim.feature_matrix(FeatureSet::posix());
     let data = Dataset::new(m.data, m.n_rows, m.n_cols, m.y, m.names);
@@ -57,7 +58,9 @@ fn main() {
             let p = points
                 .iter()
                 .find(|p| p.params.n_trees == t && p.params.max_depth == d)
-                .expect("grid point");
+                .ok_or_else(|| {
+                    Error::new(ErrorKind::Internal, format!("grid point {t}x{d} missing"))
+                })?;
             let pct = log10_error_to_pct(p.val_error);
             print!("{pct:>8.2}");
             rows.push(format!("{t},{d},{pct:.4}"));
@@ -68,7 +71,7 @@ fn main() {
     let default = points
         .iter()
         .find(|p| p.params.n_trees == 100 && p.params.max_depth == 6)
-        .expect("default cell");
+        .ok_or_else(|| Error::new(ErrorKind::Internal, "default cell 100x6 missing"))?;
     println!(
         "\nbest: {} trees x depth {} = {:.2} %   (XGBoost default 100x6 = {:.2} %)",
         best.params.n_trees,
@@ -83,5 +86,6 @@ fn main() {
         bound.median_abs_pct,
         log10_error_to_pct(best.val_error) < bound.median_abs_pct + 5.0
     );
-    write_csv("fig1a_heatmap.csv", "n_trees,depth,val_error_pct", &rows);
+    write_csv("fig1a_heatmap.csv", "n_trees,depth,val_error_pct", &rows)?;
+    Ok(())
 }

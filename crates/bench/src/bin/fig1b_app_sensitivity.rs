@@ -12,7 +12,7 @@ use iotax_sim::archetype::ARCHETYPES;
 use iotax_stats::describe::Summary;
 use std::collections::BTreeMap;
 
-fn main() {
+fn main() -> iotax_obs::Result<()> {
     let sim = theta_dataset(20_000);
     let dup = find_duplicate_sets(&sim.jobs);
     let y: Vec<f64> = sim.jobs.iter().map(|j| j.log10_throughput()).collect();
@@ -58,7 +58,7 @@ fn main() {
         spread_by_beta.push((beta, s.p95));
     }
     // Shape check: spread correlates with contention sensitivity.
-    spread_by_beta.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    spread_by_beta.sort_by(|a, b| a.0.total_cmp(&b.0));
     let low: f64 = spread_by_beta.iter().take(3).map(|x| x.1).sum::<f64>() / 3.0;
     let high: f64 = spread_by_beta.iter().rev().take(3).map(|x| x.1).sum::<f64>() / 3.0;
     println!(
@@ -66,5 +66,6 @@ fn main() {
          3 least-sensitive ({low:.4}) — ratio {:.2} (paper: visibly wider)",
         high / low
     );
-    write_csv("fig1b_app_sensitivity.csv", "class,n,p25,median,p75,p95,beta_l", &rows);
+    write_csv("fig1b_app_sensitivity.csv", "class,n,p25,median,p75,p95,beta_l", &rows)?;
+    Ok(())
 }

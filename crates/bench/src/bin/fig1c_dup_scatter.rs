@@ -10,7 +10,7 @@ use iotax_bench::{cori_dataset, write_csv};
 use iotax_core::find_duplicate_sets;
 use iotax_stats::describe::Summary;
 
-fn main() {
+fn main() -> iotax_obs::Result<()> {
     let sim = cori_dataset(20_000);
     let dup = find_duplicate_sets(&sim.jobs);
     let y: Vec<f64> = sim.jobs.iter().map(|j| j.log10_throughput()).collect();
@@ -55,5 +55,6 @@ fn main() {
         Summary::of(&nonzeros).median,
         (10f64.powf(z.median) - 1.0) * 100.0
     );
-    write_csv("fig1c_pairs.csv", "dt_seconds,abs_dlog10", &rows);
+    write_csv("fig1c_pairs.csv", "dt_seconds,abs_dlog10", &rows)?;
+    Ok(())
 }

@@ -12,7 +12,7 @@ use iotax_ml::metrics::{abs_log10_errors, median_abs_error_pct};
 use iotax_ml::Regressor;
 use iotax_sim::FeatureSet;
 
-fn main() {
+fn main() -> iotax_obs::Result<()> {
     let sim = theta_dataset(20_000);
     let m = sim.feature_matrix(FeatureSet::posix());
     let data = Dataset::new(m.data, m.n_rows, m.n_cols, m.y, m.names);
@@ -67,5 +67,6 @@ fn main() {
         rows.push(format!("{},{:.5}", bucket_start * 7, iotax_stats::median(&bucket)));
     }
     println!("  ({} weekly post-deployment error points written)", rows.len());
-    write_csv("fig1d_weekly_error.csv", "day,median_abs_log10", &rows);
+    write_csv("fig1d_weekly_error.csv", "day,median_abs_log10", &rows)?;
+    Ok(())
 }

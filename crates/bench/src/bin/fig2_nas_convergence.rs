@@ -13,7 +13,7 @@ use iotax_ml::metrics::log10_error_to_pct;
 use iotax_ml::nas::{best_record, evolve, NasConfig};
 use iotax_sim::FeatureSet;
 
-fn main() {
+fn main() -> iotax_obs::Result<()> {
     let sim = cori_dataset(8_000);
     let m = sim.feature_matrix(FeatureSet::posix());
     let data = Dataset::new(m.data, m.n_rows, m.n_cols, m.y, m.names);
@@ -67,5 +67,6 @@ fn main() {
     println!(
         "strict improvements after generation 0: {improvements} (paper: ~6 — NAS helps little)"
     );
-    write_csv("fig2_nas.csv", "eval_index,generation,val_error_pct,hidden", &rows);
+    write_csv("fig2_nas.csv", "eval_index,generation,val_error_pct,hidden", &rows)?;
+    Ok(())
 }

@@ -10,7 +10,7 @@ use iotax_bench::{theta_dataset, write_csv};
 use iotax_core::golden::{evaluate_feature_set, Effort};
 use iotax_sim::FeatureSet;
 
-fn main() {
+fn main() -> iotax_obs::Result<()> {
     let sim = theta_dataset(20_000);
     let params = Effort::Full.baseline_params();
     let sets = [
@@ -51,5 +51,6 @@ fn main() {
         cobalt.train_error_pct,
         cobalt.train_error_pct < posix.train_error_pct,
     );
-    write_csv("fig3_enrichment.csv", "features,test_error_pct,train_error_pct", &rows);
+    write_csv("fig3_enrichment.csv", "features,test_error_pct,train_error_pct", &rows)?;
+    Ok(())
 }

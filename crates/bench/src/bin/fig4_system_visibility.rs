@@ -36,12 +36,13 @@ fn run(label: &str, sim: &SimDataset, rows: &mut Vec<String>) {
     println!();
 }
 
-fn main() {
+fn main() -> iotax_obs::Result<()> {
     println!("Figure 4: system-visibility feature sets\n");
     let mut rows = Vec::new();
     let theta = theta_dataset(20_000);
     run("theta", &theta, &mut rows);
     let cori = cori_dataset(20_000);
     run("cori", &cori, &mut rows);
-    write_csv("fig4_visibility.csv", "system,features,test_error_pct", &rows);
+    write_csv("fig4_visibility.csv", "system,features,test_error_pct", &rows)?;
+    Ok(())
 }

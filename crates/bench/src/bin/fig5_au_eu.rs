@@ -14,7 +14,7 @@ use iotax_ml::data::Dataset;
 use iotax_ml::metrics::abs_log10_errors;
 use iotax_sim::FeatureSet;
 
-fn main() {
+fn main() -> iotax_obs::Result<()> {
     let sim = theta_dataset(12_000);
     let m = sim.feature_matrix(FeatureSet::posix());
     let data = Dataset::new(m.data, m.n_rows, m.n_cols, m.y, m.names);
@@ -31,14 +31,12 @@ fn main() {
     for (p, e) in result.predictions.iter().zip(&errors) {
         rows.push(format!("{:.5},{:.5},{:.5}", p.aleatory_std(), p.epistemic_std(), e));
     }
-    write_csv("fig5_au_eu.csv", "aleatory_std,epistemic_std,abs_error", &rows);
+    write_csv("fig5_au_eu.csv", "aleatory_std,epistemic_std,abs_error", &rows)?;
 
     // Marginals: what EU/AU value accounts for 50 % of cumulative error?
     let half_point = |key: &dyn Fn(&iotax_uq::UqPrediction) -> f64| -> f64 {
         let mut idx: Vec<usize> = (0..errors.len()).collect();
-        idx.sort_by(|&a, &b| {
-            key(&result.predictions[a]).partial_cmp(&key(&result.predictions[b])).expect("finite")
-        });
+        idx.sort_by(|&a, &b| key(&result.predictions[a]).total_cmp(&key(&result.predictions[b])));
         let total: f64 = errors.iter().sum();
         let mut cum = 0.0;
         for &i in &idx {
@@ -72,4 +70,5 @@ fn main() {
         result.eu_threshold,
         result.ood_fraction * 100.0
     );
+    Ok(())
 }

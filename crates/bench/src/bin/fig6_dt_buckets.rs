@@ -9,9 +9,10 @@
 
 use iotax_bench::{theta_dataset, write_csv};
 use iotax_core::find_duplicate_sets;
-use iotax_core::litmus::{concurrent_noise_floor, dt_bucket_spreads};
+use iotax_core::litmus::{concurrent_noise_floor, dt_bucket_spreads, DtBucket};
+use iotax_obs::{Error, ErrorKind};
 
-fn main() {
+fn main() -> iotax_obs::Result<()> {
     let sim = theta_dataset(20_000);
     let dup = find_duplicate_sets(&sim.jobs);
     let y: Vec<f64> = sim.jobs.iter().map(|j| j.log10_throughput()).collect();
@@ -48,11 +49,15 @@ fn main() {
             b.dt_lo, b.dt_hi, b.n_pairs, b.spread.p25, b.spread.median, b.spread.p75, b.spread.p95
         ));
     }
-    write_csv("fig6_dt_buckets.csv", "dt_lo,dt_hi,pairs,p25,median,p75,p95", &rows);
+    write_csv("fig6_dt_buckets.csv", "dt_lo,dt_hi,pairs,p25,median,p75,p95", &rows)?;
 
     // Shape checks.
-    let first = buckets.iter().find(|b| b.n_pairs > 10).expect("simultaneous bucket");
-    let last = buckets.iter().rev().find(|b| b.n_pairs > 10).expect("long bucket");
+    let populated = |b: &&DtBucket| b.n_pairs > 10;
+    let (first, last) = match (buckets.iter().find(populated), buckets.iter().rev().find(populated))
+    {
+        (Some(f), Some(l)) => (f, l),
+        _ => return Err(Error::new(ErrorKind::Internal, "no populated Δt bucket at this scale")),
+    };
     println!(
         "\nshape check: Δt=0 median ({:.4}) ≤ longest-Δt median ({:.4}): {}",
         first.spread.median,
@@ -61,7 +66,8 @@ fn main() {
     );
 
     // §IX distributional analysis of the Δt = 0 strip.
-    let floor = concurrent_noise_floor(&y, &t, &dup, &[], 1, 30).expect("concurrent dups");
+    let floor = concurrent_noise_floor(&y, &t, &dup, &[], 1, 30)
+        .ok_or_else(|| Error::new(ErrorKind::Internal, "no concurrent duplicates at this scale"))?;
     println!(
         "\nΔt = 0 distribution: t(ν = {:.1}) preferred over normal: {} \
          (normal KS p = {:.3}); {:.0} % of simultaneous sets have ≤ 6 members \
@@ -75,4 +81,5 @@ fn main() {
         "noise level: ±{:.2} % @68 %, ±{:.2} % @95 % (paper Theta: ±5.71 % / ±10.56 %)",
         floor.pct_68, floor.pct_95
     );
+    Ok(())
 }

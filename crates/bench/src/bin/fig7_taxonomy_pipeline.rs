@@ -10,17 +10,17 @@
 use iotax_bench::{cori_dataset, theta_dataset, write_json};
 use iotax_core::Taxonomy;
 
-fn main() {
+fn main() -> iotax_obs::Result<()> {
     println!("Figure 7: taxonomy pipeline on both systems\n");
     let theta = theta_dataset(12_000);
     let report_t = Taxonomy::full().run(&theta);
     println!("{}", report_t.render_text());
-    write_json("fig7_theta.json", &report_t);
+    write_json("fig7_theta.json", &report_t)?;
 
     let cori = cori_dataset(12_000);
     let report_c = Taxonomy::full().run(&cori);
     println!("{}", report_c.render_text());
-    write_json("fig7_cori.json", &report_c);
+    write_json("fig7_cori.json", &report_c)?;
 
     let bt = &report_t.breakdown;
     let bc = &report_c.breakdown;
@@ -50,4 +50,5 @@ fn main() {
         report_c.noise.as_ref().map_or(f64::NAN, |n| n.pct_68),
         report_t.noise.as_ref().map_or(f64::NAN, |n| n.pct_68)
     );
+    Ok(())
 }

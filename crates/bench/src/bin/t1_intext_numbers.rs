@@ -54,7 +54,7 @@ fn measure(sim: &SimDataset) -> Vec<String> {
     ]
 }
 
-fn main() {
+fn main() -> iotax_obs::Result<()> {
     println!("Table T1: in-text numbers, paper vs reproduction\n");
     let theta = measure(&theta_dataset(12_000));
     let cori = measure(&cori_dataset(12_000));
@@ -120,5 +120,6 @@ fn main() {
         "t1_intext.csv",
         "quantity,paper_theta,measured_theta,paper_cori,measured_cori",
         &csv,
-    );
+    )?;
+    Ok(())
 }

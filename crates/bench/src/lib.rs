@@ -10,6 +10,7 @@
 //! quote paper-vs-measured numbers. Scale is controlled by `IOTAX_JOBS`
 //! (default per binary) and `IOTAX_SEED` environment variables.
 
+use iotax_obs::{Error, Result};
 use iotax_sim::{Platform, SimConfig, SimDataset};
 use std::io::Write;
 use std::path::PathBuf;
@@ -51,29 +52,34 @@ pub fn cori_dataset(default_jobs: usize) -> SimDataset {
 }
 
 /// Directory where harness outputs land (`target/repro/`).
-pub fn repro_dir() -> PathBuf {
+pub fn repro_dir() -> Result<PathBuf> {
     let dir = PathBuf::from("target/repro");
-    std::fs::create_dir_all(&dir).expect("create target/repro");
-    dir
+    std::fs::create_dir_all(&dir).map_err(|e| Error::io("create target/repro", e))?;
+    Ok(dir)
 }
 
 /// Write a CSV file into the repro directory and announce it.
-pub fn write_csv(name: &str, header: &str, rows: &[String]) {
-    let path = repro_dir().join(name);
-    let mut f = std::fs::File::create(&path).expect("create csv");
-    writeln!(f, "{header}").expect("write header");
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> Result<()> {
+    let path = repro_dir()?.join(name);
+    let mut f = std::fs::File::create(&path)
+        .map_err(|e| Error::io(format!("create {}", path.display()), e))?;
+    writeln!(f, "{header}").map_err(|e| Error::io(format!("write {}", path.display()), e))?;
     for row in rows {
-        writeln!(f, "{row}").expect("write row");
+        writeln!(f, "{row}").map_err(|e| Error::io(format!("write {}", path.display()), e))?;
     }
     eprintln!("[harness] wrote {} ({} rows)", path.display(), rows.len());
+    Ok(())
 }
 
 /// Write a JSON value into the repro directory.
-pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
-    let path = repro_dir().join(name);
-    let f = std::fs::File::create(&path).expect("create json");
-    serde_json::to_writer_pretty(f, value).expect("serialize");
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> Result<()> {
+    let path = repro_dir()?.join(name);
+    let f = std::fs::File::create(&path)
+        .map_err(|e| Error::io(format!("create {}", path.display()), e))?;
+    serde_json::to_writer_pretty(f, value)
+        .map_err(|e| Error::parse(format!("serialize {}", path.display()), e))?;
     eprintln!("[harness] wrote {}", path.display());
+    Ok(())
 }
 
 #[cfg(test)]
@@ -89,7 +95,7 @@ mod tests {
 
     #[test]
     fn repro_dir_is_creatable() {
-        let d = repro_dir();
+        let d = repro_dir().expect("target/repro must be creatable");
         assert!(d.exists());
     }
 }

@@ -131,7 +131,7 @@ fn main() -> Result<(), Error> {
         Err(e) => {
             iotax_obs::flush_metrics();
             eprintln!("iotax-gen: {e}");
-            std::process::exit(e.exit_code() as i32);
+            std::process::exit(i32::from(e.exit_code()));
         }
     }
 }

@@ -129,12 +129,12 @@ impl IngestReport {
     /// `salvaged` record per lenient parse and one `quarantined` record
     /// per abandoned file. The flat-line format is what CI uploads.
     pub fn write_jsonl<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
-        writeln!(w, "{}", tagged("summary", self))?;
+        writeln!(w, "{}", tagged("summary", self)?)?;
         for note in &self.salvage_notes {
-            writeln!(w, "{}", tagged("salvaged", note))?;
+            writeln!(w, "{}", tagged("salvaged", note)?)?;
         }
         for q in &self.quarantined {
-            writeln!(w, "{}", tagged("quarantined", q))?;
+            writeln!(w, "{}", tagged("quarantined", q)?)?;
         }
         Ok(())
     }
@@ -142,14 +142,15 @@ impl IngestReport {
 
 /// Render `value` as a single JSON object line with a `"record": tag`
 /// discriminator field prepended.
-fn tagged<T: Serialize>(tag: &str, value: &T) -> String {
+fn tagged<T: Serialize>(tag: &str, value: &T) -> io::Result<String> {
     let mut fields = vec![("record".to_owned(), serde::Value::Str(tag.to_owned()))];
     if let serde::Value::Object(rest) = value.to_value() {
         // The summary line should not carry the (possibly long) per-file
         // vectors — they get their own lines.
         fields.extend(rest.into_iter().filter(|(k, _)| k != "quarantined" && k != "salvage_notes"));
     }
-    serde_json::to_string(&serde::Value::Object(fields)).expect("object serializes")
+    serde_json::to_string(&serde::Value::Object(fields))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }
 
 /// A pluggable file reader: `(path, attempt)` → bytes. The attempt number
@@ -172,7 +173,8 @@ fn read_with_retry(
     opts: &IngestOptions,
 ) -> (io::Result<Vec<u8>>, u64) {
     let mut failures = 0u64;
-    for attempt in 0..=opts.max_retries {
+    let mut attempt = 0;
+    loop {
         match reader(path, attempt) {
             Ok(bytes) => return (Ok(bytes), failures),
             Err(e) if is_transient(&e) && attempt < opts.max_retries => {
@@ -184,11 +186,11 @@ fn read_with_retry(
                     let delay = opts.backoff_base_ms.saturating_mul(1u64 << attempt.min(10));
                     std::thread::sleep(std::time::Duration::from_millis(delay));
                 }
+                attempt += 1;
             }
             Err(e) => return (Err(e), failures),
         }
     }
-    unreachable!("loop returns on the final attempt");
 }
 
 /// Parsed manifest row (scheduler-visible fields).
@@ -212,18 +214,19 @@ fn parse_manifest_row(line: &str, line_no: usize) -> Result<ManifestRow> {
         ));
     }
     let parse = |i: usize| -> Result<f64> {
-        fields[i].parse().map_err(|e| {
+        fields.get(i).copied().unwrap_or("").parse().map_err(|e| {
             Error::new(ErrorKind::Parse, format!("manifest line {}: field {i}: {e}", line_no + 1))
         })
     };
+    use iotax_stats::cast::{f64_to_i64, f64_to_u32, f64_to_u64};
     Ok(ManifestRow {
-        job_id: parse(0)? as u64,
-        arrival_time: parse(1)? as i64,
-        start_time: parse(2)? as i64,
-        end_time: parse(3)? as i64,
-        nodes: parse(4)? as u32,
-        cores: parse(5)? as u32,
-        nprocs: parse(6)? as u32,
+        job_id: f64_to_u64(parse(0)?),
+        arrival_time: f64_to_i64(parse(1)?),
+        start_time: f64_to_i64(parse(2)?),
+        end_time: f64_to_i64(parse(3)?),
+        nodes: f64_to_u32(parse(4)?),
+        cores: f64_to_u32(parse(5)?),
+        nprocs: f64_to_u32(parse(6)?),
         throughput: parse(7)?,
     })
 }
@@ -352,7 +355,7 @@ fn quarantine(
     iotax_obs::counter!("cli.ingest.quarantined").incr(1);
     if let Some(qdir) = &opts.quarantine_dir {
         if let Some(name) = path.file_name() {
-            // Best effort: the file may be unreadable or already gone.
+            // audit:allow(swallowed-result) -- best effort: the file may be unreadable or already gone
             let _ = std::fs::rename(path, qdir.join(name));
         }
     }

@@ -31,7 +31,6 @@ use iotax_darshan::record::{FileRecord, JobLog, ModuleData, ModuleId};
 use iotax_obs::{Error, Result};
 use iotax_sim::{GroundTruth, SimConfig, SimDataset, SimJob, Weather};
 use iotax_stats::Fnv1aHasher;
-use rand::{rngs::StdRng, SeedableRng};
 use std::hash::{Hash, Hasher};
 use std::io::Write;
 use std::path::Path;
@@ -189,7 +188,7 @@ pub fn trace_to_dataset(jobs: &[TraceJob]) -> SimDataset {
         })
         .collect();
     let weather = Weather::generate(
-        &mut StdRng::seed_from_u64(config.seed),
+        &mut iotax_stats::rng::rng_from_seed(config.seed),
         horizon,
         config.incidents_per_year,
     );
@@ -205,11 +204,13 @@ pub fn trace_duplicate_sets(jobs: &[TraceJob]) -> iotax_core::DuplicateSets {
         groups.entry(job.signature()).or_default().push(i);
     }
     let mut sets: Vec<Vec<usize>> = groups.into_values().filter(|g| g.len() >= 2).collect();
-    sets.sort_by_key(|s| s[0]);
+    sets.sort_by_key(|s| s.first().copied().unwrap_or(usize::MAX));
     let mut set_of = vec![None; jobs.len()];
     for (si, set) in sets.iter().enumerate() {
         for &j in set {
-            set_of[j] = Some(si);
+            if let Some(slot) = set_of.get_mut(j) {
+                *slot = Some(si);
+            }
         }
     }
     iotax_core::DuplicateSets { sets, set_of }

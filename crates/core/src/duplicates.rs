@@ -66,6 +66,7 @@ pub fn find_duplicate_sets(jobs: &[SimJob]) -> DuplicateSets {
     for (i, job) in jobs.iter().enumerate() {
         groups.entry(job_signature(job)).or_default().push(i);
     }
+    // audit:allow(unordered-iteration) -- iteration order is erased by the sort_by_key below
     let mut sets: Vec<Vec<usize>> = groups.into_values().filter(|g| g.len() >= 2).collect();
     // Deterministic order: by first member.
     sets.sort_by_key(|s| s[0]);

@@ -124,6 +124,7 @@ pub struct SystemLitmus {
 
 /// Run the system-modeling litmus test.
 pub fn system_litmus(sim: &SimDataset, effort: Effort) -> SystemLitmus {
+    let _span = iotax_obs::span!("core.golden.system_litmus");
     let baseline =
         evaluate_feature_set(sim, FeatureSet::posix(), "POSIX", effort.baseline_params());
     let golden = evaluate_feature_set(

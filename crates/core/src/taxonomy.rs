@@ -549,59 +549,64 @@ impl NoiseFloorStage<'_> {
 impl TaxonomyReport {
     /// Render a human-readable report (the textual Fig. 7).
     pub fn render_text(&self) -> String {
-        use std::fmt::Write;
         let mut s = String::new();
-        let _ = writeln!(s, "I/O error taxonomy — {:?}, {} jobs", self.system, self.n_jobs);
-        let _ = writeln!(s, "────────────────────────────────────────────────────");
-        let _ = writeln!(
+        // audit:allow(swallowed-result) -- fmt::Write into a String is infallible
+        let _ = self.render_text_into(&mut s);
+        s
+    }
+
+    fn render_text_into(&self, s: &mut String) -> std::fmt::Result {
+        use std::fmt::Write;
+        writeln!(s, "I/O error taxonomy — {:?}, {} jobs", self.system, self.n_jobs)?;
+        writeln!(s, "────────────────────────────────────────────────────")?;
+        writeln!(
             s,
             "step 1  baseline model error          {:>7.2} % (median |log10 ratio|)",
             self.baseline_median_error_pct
-        );
-        let _ = writeln!(
+        )?;
+        writeln!(
             s,
             "step 2.1 application bound (dups)     {:>7.2} %  [{} dups / {} sets, {:.1} % of jobs]",
             self.app_bound.median_abs_pct,
             self.app_bound.n_duplicates,
             self.app_bound.n_sets,
             self.app_bound.duplicate_fraction * 100.0
-        );
-        let _ = writeln!(
+        )?;
+        writeln!(
             s,
             "step 2.2 tuned model error            {:>7.2} %  [best: {} trees, depth {}]",
             self.tuned_median_error_pct, self.tuned_params.n_trees, self.tuned_params.max_depth
-        );
-        let _ = writeln!(
+        )?;
+        writeln!(
             s,
             "step 3.1 golden (+start time) error   {:>7.2} %  [{:+.1} % vs baseline]",
             self.system_litmus.golden.test_error_pct, -self.system_litmus.golden_reduction_pct
-        );
+        )?;
         if let Some(lmt) = &self.system_litmus.lmt_enriched {
-            let _ =
-                writeln!(s, "step 3.2 LMT-enriched error           {:>7.2} %", lmt.test_error_pct);
+            writeln!(s, "step 3.2 LMT-enriched error           {:>7.2} %", lmt.test_error_pct)?;
         }
-        let _ = writeln!(
+        writeln!(
             s,
             "step 4  OoD: {:.2} % of jobs carry {:.2} % of error ({:.1}× amplification)",
             self.ood.ood_fraction * 100.0,
             self.ood.ood_error_share * 100.0,
             self.ood.error_amplification
-        );
+        )?;
         match &self.noise {
             Some(n) => {
-                let _ = writeln!(
+                writeln!(
                     s,
                     "step 5  noise floor                   {:>7.2} %  [±{:.2} % @68 %, ±{:.2} % @95 %; t(ν={:.1}) preferred: {}]",
                     n.median_abs_pct, n.pct_68, n.pct_95, n.t_df, n.t_preferred
-                );
+                )?;
             }
             None => {
-                let _ = writeln!(s, "step 5  noise floor: not enough concurrent duplicates");
+                writeln!(s, "step 5  noise floor: not enough concurrent duplicates")?;
             }
         }
         let b = &self.breakdown;
-        let _ = writeln!(s, "── error attribution (fractions of baseline) ──────");
-        let _ = writeln!(
+        writeln!(s, "── error attribution (fractions of baseline) ──────")?;
+        writeln!(
             s,
             "application {:>5.1} %   system {:>5.1} %   OoD {:>5.1} %   noise+contention {:>5.1} %   unexplained {:>5.1} %",
             b.app_share * 100.0,
@@ -609,16 +614,15 @@ impl TaxonomyReport {
             b.ood_share * 100.0,
             b.noise_share * 100.0,
             b.unexplained_share * 100.0
-        );
+        )?;
         let degraded = self.degraded_stages();
         if !degraded.is_empty() {
-            let _ = writeln!(s, "── degraded stages ────────────────────────────────");
+            writeln!(s, "── degraded stages ────────────────────────────────")?;
             for st in degraded {
-                let _ =
-                    writeln!(s, "{}: {}", st.stage, st.reason.as_deref().unwrap_or("(no reason)"));
+                writeln!(s, "{}: {}", st.stage, st.reason.as_deref().unwrap_or("(no reason)"))?;
             }
         }
-        s
+        Ok(())
     }
 }
 

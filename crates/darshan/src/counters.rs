@@ -31,6 +31,7 @@ macro_rules! counters {
             /// Storage index of this counter in a record's counter array.
             #[inline]
             pub const fn index(self) -> usize {
+                // audit:allow(unchecked-cast) -- unit-enum discriminant, 0..counter_count
                 self as usize
             }
 

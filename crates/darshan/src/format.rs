@@ -102,8 +102,8 @@ fn crc32_table() -> &'static [u32; 256] {
     static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
     TABLE.get_or_init(|| {
         let mut table = [0u32; 256];
-        for (i, slot) in table.iter_mut().enumerate() {
-            let mut c = i as u32;
+        for (i, slot) in (0u32..).zip(table.iter_mut()) {
+            let mut c = i;
             for _ in 0..8 {
                 c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
             }
@@ -118,7 +118,8 @@ pub fn crc32(data: &[u8]) -> u32 {
     let table = crc32_table();
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
-        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        // audit:allow(panic-in-parser) -- index masked to 0xFF; the table has 256 entries
+        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
 }
@@ -169,28 +170,35 @@ impl<'a> Reader<'a> {
         if n > self.remaining() {
             return Err(ParseError::Truncated { offset: self.pos });
         }
-        let s = &self.data[self.pos..self.pos + n];
+        let s = self
+            .data
+            .get(self.pos..self.pos + n)
+            .ok_or(ParseError::Truncated { offset: self.pos })?;
         self.pos += n;
         Ok(s)
     }
 
+    /// Bytes consumed so far (the CRC payload). The fallback to the full
+    /// slice is unreachable — `pos <= data.len()` is a `take` invariant —
+    /// and harmless if ever hit (it can only make the CRC check fail).
+    pub(crate) fn consumed(&self) -> &'a [u8] {
+        self.data.get(..self.pos).unwrap_or(self.data)
+    }
+
     pub(crate) fn u8(&mut self) -> Result<u8, ParseError> {
-        Ok(self.take(1)?[0])
+        Ok(u8::from_le_bytes(arr(self.take(1)?)))
     }
 
     pub(crate) fn u16_le(&mut self) -> Result<u16, ParseError> {
-        let b = self.take(2)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
+        Ok(u16::from_le_bytes(arr(self.take(2)?)))
     }
 
     pub(crate) fn u32_le(&mut self) -> Result<u32, ParseError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        Ok(u32::from_le_bytes(arr(self.take(4)?)))
     }
 
     pub(crate) fn u64_le(&mut self) -> Result<u64, ParseError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(arr(self.take(8)?)))
     }
 
     pub(crate) fn f64_le(&mut self) -> Result<f64, ParseError> {
@@ -214,10 +222,38 @@ impl<'a> Reader<'a> {
         }
     }
 
+    /// A varint used as an in-memory length or element count. A value
+    /// that cannot fit in `usize` can never be satisfied by the input,
+    /// so it reports as truncation at the varint's offset.
+    pub(crate) fn varint_len(&mut self) -> Result<usize, ParseError> {
+        let start = self.pos;
+        let v = self.varint()?;
+        usize::try_from(v).map_err(|_| ParseError::Truncated { offset: start })
+    }
+
+    /// A varint for a field stored as `u32` (uid, nprocs, rank counts).
+    /// Out-of-range values are malformed input, not silent truncation.
+    pub(crate) fn varint_u32(&mut self) -> Result<u32, ParseError> {
+        let start = self.pos;
+        let v = self.varint()?;
+        u32::try_from(v).map_err(|_| ParseError::BadVarint { offset: start })
+    }
+
     pub(crate) fn zigzag(&mut self) -> Result<i64, ParseError> {
         let v = self.varint()?;
         Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
     }
+}
+
+/// Copy the head of `b` into a fixed array, zero-padding any shortfall.
+/// Callers pass `take(N)?` output, so the lengths always match; the
+/// zero-pad keeps the helper total without a panic path.
+fn arr<const N: usize>(b: &[u8]) -> [u8; N] {
+    let mut a = [0u8; N];
+    for (dst, src) in a.iter_mut().zip(b) {
+        *dst = *src;
+    }
+    a
 }
 
 /// Conversion into the unified workspace error: a malformed log is a data
@@ -235,7 +271,7 @@ impl From<ParseError> for iotax_obs::Error {
 // ---------------------------------------------------------------------------
 
 fn write_module(out: &mut Vec<u8>, m: &ModuleData) {
-    out.push(m.module as u8);
+    out.push(m.module.tag());
     put_varint(out, m.records.len() as u64);
     for r in &m.records {
         debug_assert_eq!(r.counters.len(), m.module.counter_count());
@@ -282,11 +318,11 @@ pub fn write_log(log: &JobLog) -> Vec<u8> {
 fn parse_module(r: &mut Reader<'_>) -> Result<ModuleData, ParseError> {
     let tag = r.u8()?;
     let module = ModuleId::from_u8(tag).ok_or(ParseError::BadModule(tag))?;
-    let record_count = r.varint()? as usize;
+    let record_count = r.varint_len()?;
     let mut records = Vec::with_capacity(record_count.min(1 << 20));
     for _ in 0..record_count {
         let file_hash = r.u64_le()?;
-        let rank_count = r.varint()? as u32;
+        let rank_count = r.varint_u32()?;
         let width = module.counter_count();
         let mut counters = Vec::with_capacity(width);
         for _ in 0..width {
@@ -317,11 +353,11 @@ pub fn parse_log(data: &[u8]) -> Result<JobLog, ParseError> {
         return Err(ParseError::BadVersion(version));
     }
     let job_id = r.varint()?;
-    let uid = r.varint()? as u32;
-    let nprocs = r.varint()? as u32;
+    let uid = r.varint_u32()?;
+    let nprocs = r.varint_u32()?;
     let start_time = r.zigzag()?;
     let end_time = r.zigzag()?;
-    let exe_len = r.varint()? as usize;
+    let exe_len = r.varint_len()?;
     let exe = std::str::from_utf8(r.take(exe_len)?).map_err(|_| ParseError::BadString)?.to_owned();
     let module_count = r.varint()?;
     let mut posix: Option<ModuleData> = None;
@@ -333,13 +369,13 @@ pub fn parse_log(data: &[u8]) -> Result<JobLog, ParseError> {
             ModuleId::Mpiio => &mut mpiio,
         };
         if slot.is_some() {
-            return Err(ParseError::DuplicateModule(m.module as u8));
+            return Err(ParseError::DuplicateModule(m.module.tag()));
         }
         *slot = Some(m);
     }
-    let payload_end = r.pos;
+    let payload = r.consumed();
     let stored = r.u32_le()?;
-    let actual = crc32(&data[..payload_end]);
+    let actual = crc32(payload);
     if stored != actual {
         return Err(ParseError::BadChecksum { expected: stored, actual });
     }
@@ -419,7 +455,7 @@ pub fn layout(data: &[u8]) -> Result<LogLayout, ParseError> {
     r.varint()?; // nprocs
     r.zigzag()?; // start_time
     r.zigzag()?; // end_time
-    let exe_len = r.varint()? as usize;
+    let exe_len = r.varint_len()?;
     r.take(exe_len)?;
     let module_count = r.varint()?;
     let header_end = r.pos;
@@ -429,7 +465,7 @@ pub fn layout(data: &[u8]) -> Result<LogLayout, ParseError> {
         let tag_offset = r.pos;
         let tag = r.u8()?;
         let module = ModuleId::from_u8(tag).ok_or(ParseError::BadModule(tag))?;
-        let record_count = r.varint()? as usize;
+        let record_count = r.varint_len()?;
         modules.push((module, tag_offset, r.pos));
         for index in 0..record_count {
             let start = r.pos;
@@ -445,34 +481,42 @@ pub fn layout(data: &[u8]) -> Result<LogLayout, ParseError> {
 /// Render a log in a `darshan-parser`-style human-readable dump: a header
 /// block and one `<counter> <value>` line per non-zero counter per record.
 pub fn dump_text(log: &JobLog) -> String {
+    let mut s = String::new();
+    // audit:allow(swallowed-result) -- fmt::Write into a String is infallible
+    let _ = render_text_into(&mut s, log);
+    s
+}
+
+/// The fallible body of [`dump_text`]: all writes propagate with `?`.
+fn render_text_into(s: &mut String, log: &JobLog) -> std::fmt::Result {
     use crate::counters::{MPIIO_COUNTERS, POSIX_COUNTERS};
     use std::fmt::Write;
-    let mut s = String::new();
-    let _ = writeln!(s, "# darshan log version: iotax-1");
-    let _ = writeln!(s, "# exe: {}", log.exe);
-    let _ = writeln!(s, "# uid: {}", log.uid);
-    let _ = writeln!(s, "# jobid: {}", log.job_id);
-    let _ = writeln!(s, "# nprocs: {}", log.nprocs);
-    let _ = writeln!(s, "# start_time: {}", log.start_time);
-    let _ = writeln!(s, "# end_time: {}", log.end_time);
-    let _ = writeln!(s, "# run time: {}", log.runtime_seconds());
-    let mut dump_module = |name: &str, m: &ModuleData, names: &[&str]| {
-        let _ = writeln!(s, "\n# {name} module: {} records", m.records.len());
+    writeln!(s, "# darshan log version: iotax-1")?;
+    writeln!(s, "# exe: {}", log.exe)?;
+    writeln!(s, "# uid: {}", log.uid)?;
+    writeln!(s, "# jobid: {}", log.job_id)?;
+    writeln!(s, "# nprocs: {}", log.nprocs)?;
+    writeln!(s, "# start_time: {}", log.start_time)?;
+    writeln!(s, "# end_time: {}", log.end_time)?;
+    writeln!(s, "# run time: {}", log.runtime_seconds())?;
+    fn dump_module(s: &mut String, name: &str, m: &ModuleData, names: &[&str]) -> std::fmt::Result {
+        writeln!(s, "\n# {name} module: {} records", m.records.len())?;
         for rec in &m.records {
-            for (i, &v) in rec.counters.iter().enumerate() {
+            for (&v, counter) in rec.counters.iter().zip(names) {
                 if v != 0.0 {
-                    let _ = writeln!(s, "{name}\t{:#018x}\t{}\t{v}", rec.file_hash, names[i]);
+                    writeln!(s, "{name}\t{:#018x}\t{counter}\t{v}", rec.file_hash)?;
                 }
             }
         }
-    };
+        Ok(())
+    }
     let posix_names: Vec<&str> = POSIX_COUNTERS.iter().map(|c| c.name()).collect();
-    dump_module("POSIX", &log.posix, &posix_names);
+    dump_module(s, "POSIX", &log.posix, &posix_names)?;
     if let Some(m) = &log.mpiio {
         let mpiio_names: Vec<&str> = MPIIO_COUNTERS.iter().map(|c| c.name()).collect();
-        dump_module("MPI-IO", m, &mpiio_names);
+        dump_module(s, "MPI-IO", m, &mpiio_names)?;
     }
-    s
+    Ok(())
 }
 
 #[cfg(test)]

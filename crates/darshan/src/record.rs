@@ -35,6 +35,12 @@ impl ModuleId {
             ModuleId::Mpiio => MPIIO_COUNTER_COUNT,
         }
     }
+
+    /// The on-disk module tag byte (inverse of [`ModuleId::from_u8`]).
+    pub fn tag(self) -> u8 {
+        // audit:allow(unchecked-cast) -- unit-enum discriminants are 1 and 2 by declaration
+        self as u8
+    }
 }
 
 /// One instrumented file's counters within a module.
@@ -70,9 +76,10 @@ impl ModuleData {
         Self { module, records: Vec::new() }
     }
 
-    /// Sum of one counter across all file records.
+    /// Sum of one counter across all file records. Indices come from the
+    /// typed counter enums; an out-of-width index contributes nothing.
     pub fn total(&self, counter_index: usize) -> f64 {
-        self.records.iter().map(|r| r.counters[counter_index]).sum()
+        self.records.iter().filter_map(|r| r.counters.get(counter_index)).sum()
     }
 }
 

@@ -228,7 +228,9 @@ fn parse_module_lenient(r: &mut Reader<'_>, anomalies: &mut Vec<Anomaly>) -> Opt
         }
     };
     let record_count = match r.varint() {
-        Ok(n) => n as usize,
+        // Saturate an impossible claimed count; the plausibility cap
+        // below bounds what actually gets parsed.
+        Ok(n) => usize::try_from(n).unwrap_or(usize::MAX),
         Err(_) => {
             anomalies.push(Anomaly::TruncatedModule { offset: r.pos });
             return Some(ModuleEnd::Damaged(ModuleData::new(module)));
@@ -247,7 +249,9 @@ fn parse_module_lenient(r: &mut Reader<'_>, anomalies: &mut Vec<Anomaly>) -> Opt
         let record_start = r.pos;
         let parsed: Result<FileRecord, ParseError> = (|| {
             let file_hash = r.u64_le()?;
-            let rank_count = r.varint()? as u32;
+            // Lenient path: an impossible rank count saturates rather
+            // than discarding an otherwise readable record.
+            let rank_count = u32::try_from(r.varint()?).unwrap_or(u32::MAX);
             let mut counters = Vec::with_capacity(width);
             for _ in 0..width {
                 counters.push(r.f64_le()?);
@@ -280,8 +284,8 @@ fn parse_module_lenient(r: &mut Reader<'_>, anomalies: &mut Vec<Anomaly>) -> Opt
 /// parses structurally to completion; returns the offset if found.
 fn resync_scan(data: &[u8], from: usize) -> Option<usize> {
     let limit = data.len().min(from.saturating_add(RESYNC_WINDOW));
-    for candidate in from..limit {
-        if !matches!(data[candidate], 1 | 2) {
+    for (candidate, &byte) in data.iter().enumerate().take(limit).skip(from) {
+        if !matches!(byte, 1 | 2) {
             continue;
         }
         let mut probe = Reader::at(data, candidate);
@@ -294,7 +298,7 @@ fn resync_scan(data: &[u8], from: usize) -> Option<usize> {
             // counter noise does not fake a section.
             let rest = data.len() - probe.pos;
             let at_trailer = rest <= CRC_LEN + TRAILER_SLACK;
-            let at_next_module = rest > 0 && matches!(data[probe.pos], 1 | 2);
+            let at_next_module = data.get(probe.pos).is_some_and(|&b| matches!(b, 1 | 2));
             if !m.records.is_empty() && (at_trailer || at_next_module) {
                 return Some(candidate);
             }
@@ -323,11 +327,13 @@ pub fn parse_log_lenient(data: &[u8]) -> Result<(SalvagedLog, Vec<Anomaly>), Par
     // The header fields are load-bearing: without them the records cannot
     // be attributed to a job, so header damage is unsalvageable.
     let job_id = r.varint()?;
-    let uid = r.varint()? as u32;
-    let nprocs = r.varint()? as u32;
+    // Lenient path: impossible uid/nprocs values saturate instead of
+    // killing an otherwise attributable log.
+    let uid = u32::try_from(r.varint()?).unwrap_or(u32::MAX);
+    let nprocs = u32::try_from(r.varint()?).unwrap_or(u32::MAX);
     let start_time = r.zigzag()?;
     let end_time = r.zigzag()?;
-    let exe_len = r.varint()? as usize;
+    let exe_len = usize::try_from(r.varint()?).unwrap_or(usize::MAX);
     let exe_offset = r.pos;
     let exe_bytes = r.take(exe_len)?;
     let exe = match std::str::from_utf8(exe_bytes) {
@@ -412,10 +418,11 @@ pub fn parse_log_lenient(data: &[u8]) -> Result<(SalvagedLog, Vec<Anomaly>), Par
     }
 
     if complete {
+        let payload = r.consumed();
         let payload_end = r.pos;
         match r.u32_le() {
             Ok(stored) => {
-                let actual = crc32(&data[..payload_end]);
+                let actual = crc32(payload);
                 if stored != actual {
                     anomalies.push(Anomaly::ChecksumMismatch { expected: stored, actual });
                 }

@@ -43,6 +43,7 @@ pub fn set_sink(sink: Arc<dyn Sink>) -> Arc<dyn Sink> {
 
 /// Reinstalls a sink previously returned by [`set_sink`].
 pub fn restore_sink(sink: Arc<dyn Sink>) {
+    // audit:allow(swallowed-result) -- the displaced sink is dropped by design
     let _ = set_sink(sink);
 }
 
@@ -140,7 +141,9 @@ impl JsonLinesSink {
         let mut writer = self.writer.lock().expect("jsonl sink poisoned");
         // Metrics are best-effort: an unwritable line must not take down
         // the pipeline it is observing.
+        // audit:allow(swallowed-result) -- best-effort emission must not take down the observed pipeline
         let _ = serde_json::to_writer(&mut *writer, &value);
+        // audit:allow(swallowed-result) -- best-effort emission must not take down the observed pipeline
         let _ = writer.write_all(b"\n");
     }
 }
@@ -159,6 +162,7 @@ impl Sink for JsonLinesSink {
     }
 
     fn flush(&self) {
+        // audit:allow(swallowed-result) -- flush on a best-effort sink; errors surface on the next write
         let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
     }
 }

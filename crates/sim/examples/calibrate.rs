@@ -12,7 +12,7 @@ use std::collections::HashMap;
 fn stats(name: &str, xs: &[f64]) {
     let mut s = xs.to_vec();
     s.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let q = |p: f64| s[((s.len() - 1) as f64 * p) as usize];
+    let q = |p: f64| s[iotax_stats::cast::f64_to_usize((s.len() - 1) as f64 * p)];
     println!(
         "{name}: mean {:.4} p50 {:.4} p90 {:.4} p99 {:.4} max {:.4}",
         xs.iter().sum::<f64>() / xs.len() as f64,
@@ -30,7 +30,9 @@ fn probe(label: &str, cfg: SimConfig) {
     for j in &ds.jobs {
         *sets.entry(j.config_id).or_default() += 1;
     }
+    // audit:allow(unordered-iteration) -- sum over values is order-independent
     let dups: usize = sets.values().filter(|&&c| c >= 2).sum();
+    // audit:allow(unordered-iteration) -- count over values is order-independent
     let nsets = sets.values().filter(|&&c| c >= 2).count();
     println!(
         "== {label}: {} jobs, dup frac {:.3} over {} sets",

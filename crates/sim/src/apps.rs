@@ -81,7 +81,7 @@ pub fn generate_population<R: Rng + ?Sized>(rng: &mut R, cfg: &SimConfig) -> App
     let arch_dist = Categorical::new(&arch_weights);
     let novel_start = (cfg.horizon_seconds as f64 * (1.0 - cfg.novel_era_fraction)) as i64;
     let mut apps = Vec::with_capacity(cfg.n_apps);
-    for app_id in 0..cfg.n_apps as u32 {
+    for app_id in 0..u32::try_from(cfg.n_apps).unwrap_or(u32::MAX) {
         let archetype = arch_dist.sample(rng);
         let u: f64 = rng.random();
         let is_novel_era = u < cfg.novel_app_fraction;
@@ -183,7 +183,7 @@ fn sample_geometric<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
     }
     let p = 1.0 / (1.0 + mean);
     let u: f64 = rng.random::<f64>().max(1e-300);
-    (u.ln() / (1.0 - p).ln()).floor() as usize
+    iotax_stats::cast::f64_to_usize((u.ln() / (1.0 - p).ln()).floor())
 }
 
 #[cfg(test)]

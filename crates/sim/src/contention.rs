@@ -43,14 +43,15 @@ pub struct Stripe {
 /// concurrent duplicates land on different OSTs and genuinely contend —
 /// the ζ_l difference §IX relies on.
 pub fn assign_stripe(job_seed: u64, cfg: &JobConfig, n_osts: usize) -> Stripe {
-    let width = ((cfg.volume_bytes / 68.7e9).ceil() as usize).clamp(1, n_osts);
+    let width =
+        iotax_stats::cast::f64_to_usize((cfg.volume_bytes / 68.7e9).ceil()).clamp(1, n_osts);
     let mut osts = Vec::with_capacity(width);
     let mut state = splitmix64(job_seed ^ 0x0575);
     // Sample without replacement via partial Fisher–Yates over a small
     // index window; for width << n_osts rejection is fine.
     while osts.len() < width {
         state = splitmix64(state);
-        let candidate = (state % n_osts as u64) as u16;
+        let candidate = u16::try_from(state % n_osts as u64).unwrap_or(u16::MAX);
         if !osts.contains(&candidate) {
             osts.push(candidate);
         }
@@ -63,7 +64,7 @@ impl LoadGrid {
     /// Grid over `[0, horizon)` with the given bucket length.
     pub fn new(horizon: i64, bucket_seconds: i64, n_osts: usize) -> Self {
         assert!(horizon > 0 && bucket_seconds > 0 && n_osts > 0);
-        let n_buckets = (horizon.div_euclid(bucket_seconds) + 1) as usize;
+        let n_buckets = iotax_stats::cast::i64_to_usize(horizon.div_euclid(bucket_seconds) + 1);
         Self {
             bucket_seconds,
             n_buckets,
@@ -93,7 +94,7 @@ impl LoadGrid {
         let a = (start.div_euclid(self.bucket_seconds)).clamp(0, self.n_buckets as i64 - 1);
         let b = ((end - 1).max(start).div_euclid(self.bucket_seconds))
             .clamp(a, self.n_buckets as i64 - 1);
-        (a as usize, b as usize)
+        (iotax_stats::cast::i64_to_usize(a), iotax_stats::cast::i64_to_usize(b))
     }
 
     /// Fraction of bucket `bucket` covered by `[start, end)`.
@@ -118,7 +119,7 @@ impl LoadGrid {
         for bucket in a..=b {
             let frac = self.overlap_frac(bucket, start, end.max(start + 1));
             for &ost in &stripe.osts {
-                let idx = bucket * self.n_osts + ost as usize;
+                let idx = bucket * self.n_osts + usize::from(ost);
                 self.read[idx] += (per_ost_read * frac) as f32;
                 self.write[idx] += (per_ost_write * frac) as f32;
             }
@@ -140,7 +141,7 @@ impl LoadGrid {
                 continue;
             }
             for &ost in &stripe.osts {
-                let idx = bucket * self.n_osts + ost as usize;
+                let idx = bucket * self.n_osts + usize::from(ost);
                 let total = self.read[idx] as f64 + self.write[idx] as f64;
                 acc += (total - own_rate * frac).max(0.0) * frac;
                 weight += frac;

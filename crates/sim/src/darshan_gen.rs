@@ -32,6 +32,7 @@ fn file_hash(config_fingerprint: u64, file_index: u64) -> u64 {
 /// Generate the POSIX module records for a config.
 fn posix_module(cfg: &JobConfig, peak_bandwidth: f64, fingerprint: u64) -> ModuleData {
     let mut module = ModuleData::new(ModuleId::Posix);
+    // audit:allow(unchecked-cast) -- u32 to usize is lossless on every supported target
     let n_records = (cfg.n_files as usize).clamp(1, MAX_FILE_RECORDS);
     let files_per_record = cfg.n_files as f64 / n_records as f64;
 
@@ -46,7 +47,11 @@ fn posix_module(cfg: &JobConfig, peak_bandwidth: f64, fingerprint: u64) -> Modul
         let mut rec = FileRecord::zeroed(
             ModuleId::Posix,
             file_hash(fingerprint, k as u64),
-            if cfg.shared { cfg.nprocs } else { files_per_record.ceil() as u32 },
+            if cfg.shared {
+                cfg.nprocs
+            } else {
+                iotax_stats::cast::f64_to_u32(files_per_record.ceil())
+            },
         );
         let share = 1.0 / n_records as f64;
         let c = &mut rec.counters;
@@ -110,6 +115,7 @@ fn posix_module(cfg: &JobConfig, peak_bandwidth: f64, fingerprint: u64) -> Modul
 /// higher level (all MPI-IO requests are also visible at POSIX level, §V).
 fn mpiio_module(cfg: &JobConfig, peak_bandwidth: f64, fingerprint: u64) -> ModuleData {
     let mut module = ModuleData::new(ModuleId::Mpiio);
+    // audit:allow(unchecked-cast) -- u32 to usize is lossless on every supported target
     let n_records = (cfg.n_files as usize).clamp(1, MAX_FILE_RECORDS);
     let collective = cfg.shared; // N-1 apps use collective I/O
     let bytes_read_total = cfg.volume_bytes * cfg.read_fraction;

@@ -195,7 +195,7 @@ impl FaultPlan {
                 rec.len = Some(extra as u64);
                 let mut out = bytes.to_vec();
                 for _ in 0..extra {
-                    out.push(rng.random::<u64>() as u8);
+                    out.push(rng.random::<u8>());
                 }
                 out
             }

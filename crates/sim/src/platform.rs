@@ -152,7 +152,7 @@ impl Platform {
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                let jc = &workload.configs[s.config_id as usize];
+                let jc = &workload.configs[dense_idx(s.config_id)];
                 JobRequest {
                     job_id: i as u64,
                     arrival_time: s.arrival,
@@ -187,8 +187,8 @@ impl Platform {
         let stripes: Vec<_> = records
             .iter()
             .map(|r| {
-                let s = &workload.submissions[r.job_id as usize];
-                let jc = &workload.configs[s.config_id as usize];
+                let s = &workload.submissions[dense_idx(r.job_id)];
+                let jc = &workload.configs[dense_idx(s.config_id)];
                 assign_stripe(splitmix64(seed ^ r.job_id), jc, cfg.n_osts())
             })
             .collect();
@@ -197,8 +197,8 @@ impl Platform {
         // the job's stripe. Burst-coincidence microphysics is folded into
         // `contention_strength`/`contention_reference` (see DESIGN.md).
         for (r, stripe) in records.iter().zip(&stripes) {
-            let s = &workload.submissions[r.job_id as usize];
-            let jc = &workload.configs[s.config_id as usize];
+            let s = &workload.submissions[dense_idx(r.job_id)];
+            let jc = &workload.configs[dense_idx(s.config_id)];
             grid.deposit(stripe, jc, r.start_time, r.end_time);
         }
         drop(contention_span);
@@ -215,8 +215,8 @@ impl Platform {
             .par_iter()
             .zip(stripes.par_iter())
             .map(|(rec, stripe)| {
-                let sub = &workload.submissions[rec.job_id as usize];
-                let jc = &workload.configs[sub.config_id as usize];
+                let sub = &workload.submissions[dense_idx(rec.job_id)];
+                let jc = &workload.configs[dense_idx(sub.config_id)];
                 let app = &population.apps[sub.app_idx];
 
                 // Eq. 3, log-additively.
@@ -293,6 +293,14 @@ impl Platform {
 }
 
 /// Nodes a config occupies on this machine.
+/// Look up a dense id (`job_id`, `config_id`) as a vector index.
+/// These ids are `enumerate()` positions round-tripped through `u64`,
+/// so the cast back to `usize` cannot lose bits.
+fn dense_idx(id: u64) -> usize {
+    // audit:allow(unchecked-cast) -- ids are enumerate() indices round-tripped through u64
+    id as usize
+}
+
 fn job_nodes(jc: &JobConfig, cfg: &SimConfig) -> u32 {
     jc.nprocs.div_ceil(cfg.cores_per_node).clamp(1, cfg.total_nodes / 4)
 }

@@ -67,7 +67,8 @@ impl Weather {
         // Provisioning epochs: one per ~9 months, but at least four per
         // trace so scaled-down horizons keep the global-weather structure
         // the §VII litmus test measures.
-        let n_epochs = ((horizon as f64 / (0.75 * YEAR_SECONDS)).ceil() as usize).max(4);
+        let n_epochs =
+            iotax_stats::cast::f64_to_usize((horizon as f64 / (0.75 * YEAR_SECONDS)).ceil()).max(4);
         let level_dist = Uniform::new(0.85, 1.10);
         let mut epochs = Vec::with_capacity(n_epochs);
         for i in 0..n_epochs {
@@ -169,7 +170,7 @@ impl Weather {
     /// what a job that runs through part of an incident actually feels.
     pub fn mean_log10_factor(&self, start: i64, end: i64) -> f64 {
         let end = end.max(start + 1);
-        let n = (((end - start) / 600).clamp(1, 16)) as usize;
+        let n = iotax_stats::cast::i64_to_usize(((end - start) / 600).clamp(1, 16));
         let mut acc = 0.0;
         for k in 0..n {
             let t = start + (end - start) * (2 * k as i64 + 1) / (2 * n as i64);
@@ -198,7 +199,7 @@ fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> usize {
         }
     } else {
         let z = iotax_stats::dist::sample_std_normal(rng);
-        (lambda + lambda.sqrt() * z).round().max(0.0) as usize
+        iotax_stats::cast::f64_to_usize((lambda + lambda.sqrt() * z).round().max(0.0))
     }
 }
 

@@ -60,8 +60,8 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
         return f64::NAN;
     }
     let h = q * (sorted.len() - 1) as f64;
-    let lo = h.floor() as usize;
-    let hi = h.ceil() as usize;
+    let lo = crate::cast::f64_to_usize(h.floor());
+    let hi = crate::cast::f64_to_usize(h.ceil());
     if lo == hi {
         sorted[lo]
     } else {

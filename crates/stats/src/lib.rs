@@ -30,6 +30,7 @@
 //! seed, which the experiment harness relies on for bit-for-bit reproduction.
 
 pub mod bootstrap;
+pub mod cast;
 pub mod corr;
 pub mod describe;
 pub mod dist;

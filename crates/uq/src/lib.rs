@@ -154,6 +154,7 @@ pub fn eu_shoulder(eu_stds: &[f64], errors: &[f64]) -> f64 {
     // (the paper's shoulder flags well under 1 %). `errors` documents the
     // curve being thresholded and keeps the signature open for
     // error-weighted refinements.
+    // audit:allow(swallowed-result) -- signature placeholder; see the contract note above
     let _ = errors;
     let mut sorted: Vec<f64> = eu_stds.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
