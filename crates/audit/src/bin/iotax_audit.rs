@@ -11,12 +11,14 @@
 //! Exit codes: 0 clean, 1 new findings, 64 usage, 65 config parse,
 //! 74 I/O.
 
+use iotax_audit::flow::FLOW_LINTS;
 use iotax_audit::{
     audit_crate, audit_workspace, driver, render_text, write_jsonl, AuditConfig, AuditReport,
     Baseline, LINTS,
 };
-use iotax_obs::{Error, ErrorKind};
+use iotax_obs::{Error, ErrorKind, JsonLinesSink};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 struct Args {
     workspace: bool,
@@ -27,6 +29,7 @@ struct Args {
     write_baseline: Option<PathBuf>,
     format: Format,
     jsonl_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
     include_tests: bool,
     list_lints: bool,
 }
@@ -35,11 +38,14 @@ struct Args {
 enum Format {
     Text,
     Jsonl,
+    /// GitHub Actions workflow commands: one `::warning` line per finding,
+    /// which the runner turns into inline PR annotations.
+    Github,
 }
 
 const USAGE: &str = "usage: iotax-audit (--workspace | --crate DIR | --list-lints) \
      [--root DIR] [--config PATH] [--baseline PATH] [--write-baseline PATH] \
-     [--format text|jsonl] [--jsonl-out PATH] [--include-tests]";
+     [--format text|jsonl|github] [--jsonl-out PATH] [--metrics-out PATH] [--include-tests]";
 
 fn parse_args() -> Result<Args, Error> {
     let mut args = Args {
@@ -51,6 +57,7 @@ fn parse_args() -> Result<Args, Error> {
         write_baseline: None,
         format: Format::Text,
         jsonl_out: None,
+        metrics_out: None,
         include_tests: false,
         list_lints: false,
     };
@@ -71,14 +78,16 @@ fn parse_args() -> Result<Args, Error> {
                 args.format = match value("--format")?.as_str() {
                     "text" => Format::Text,
                     "jsonl" => Format::Jsonl,
+                    "github" => Format::Github,
                     other => {
                         return Err(Error::usage(format!(
-                            "--format {other:?} (expected text or jsonl)"
+                            "--format {other:?} (expected text, jsonl, or github)"
                         )))
                     }
                 }
             }
             "--jsonl-out" => args.jsonl_out = Some(PathBuf::from(value("--jsonl-out")?)),
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--include-tests" => args.include_tests = true,
             "--list-lints" => args.list_lints = true,
             "--help" | "-h" => return Err(Error::usage(USAGE)),
@@ -116,7 +125,7 @@ fn run() -> Result<i32, Error> {
     let args = parse_args()?;
 
     if args.list_lints {
-        for l in LINTS {
+        for l in LINTS.iter().chain(FLOW_LINTS) {
             println!("{:<22} {}", l.name, l.summary);
         }
         println!(
@@ -131,14 +140,27 @@ fn run() -> Result<i32, Error> {
     }
 
     let cfg = load_config(&args)?;
-    let report: AuditReport = if args.workspace {
-        audit_workspace(&args.root, &cfg)?
-    } else {
-        // parse_args guarantees crate_dir is set on this branch.
-        let dir = args.crate_dir.clone().ok_or_else(|| Error::usage(USAGE))?;
-        let name = driver::crate_name(&dir)?;
-        audit_crate(&args.root, &dir, &name, &cfg.for_crate(&name), &cfg)?
+    if let Some(path) = &args.metrics_out {
+        let sink = JsonLinesSink::create(path)
+            .map_err(|e| Error::new(ErrorKind::Io, format!("creating {}: {e}", path.display())))?;
+        iotax_obs::set_sink(Arc::new(sink));
+    }
+    let report: AuditReport = {
+        let _span = iotax_obs::span!("audit");
+        if args.workspace {
+            audit_workspace(&args.root, &cfg)?
+        } else {
+            // parse_args guarantees crate_dir is set on this branch.
+            let dir = args.crate_dir.clone().ok_or_else(|| Error::usage(USAGE))?;
+            let name = driver::crate_name(&dir)?;
+            audit_crate(&args.root, &dir, &name, &cfg.for_crate(&name), &cfg)?
+        }
     };
+    // Wall time and per-phase spans reach the JSONL sink only on an
+    // explicit flush; `process::exit` in main skips Drop.
+    if args.metrics_out.is_some() {
+        iotax_obs::flush_metrics();
+    }
 
     if let Some(path) = &args.write_baseline {
         Baseline::from_findings(&report.findings).save(path)?;
@@ -179,9 +201,38 @@ fn run() -> Result<i32, Error> {
             write_jsonl(&mut out, &fresh, baselined, report.suppressed)
                 .map_err(|e| Error::new(ErrorKind::Io, format!("writing stdout: {e}")))?;
         }
+        Format::Github => {
+            for f in &fresh {
+                println!(
+                    "::warning file={},line={},col={},title={}::{}",
+                    gh_property(&f.file),
+                    f.line,
+                    f.col,
+                    gh_property(&f.lint),
+                    gh_message(&format!("{} (in `{}`)", f.message, f.item)),
+                );
+            }
+            eprintln!(
+                "iotax-audit: {} new finding(s), {} baselined, {} suppressed",
+                fresh.len(),
+                baselined,
+                report.suppressed
+            );
+        }
     }
 
     Ok(if fresh.is_empty() { 0 } else { 1 })
+}
+
+/// Escape a GitHub workflow-command *message* (the part after `::`).
+fn gh_message(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
+/// Escape a GitHub workflow-command *property* (file=, title=), which
+/// additionally reserves `:` and `,`.
+fn gh_property(s: &str) -> String {
+    gh_message(s).replace(':', "%3A").replace(',', "%2C")
 }
 
 fn main() {

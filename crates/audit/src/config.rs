@@ -27,7 +27,7 @@ use std::collections::BTreeMap;
 
 /// One parsed value.
 #[derive(Debug, Clone, PartialEq)]
-pub enum TomlValue {
+pub(crate) enum TomlValue {
     /// `true` / `false`.
     Bool(bool),
     /// Integer.
@@ -40,10 +40,10 @@ pub enum TomlValue {
 
 /// Parsed config file: section name → key → value. Section names keep
 /// their dotted form (`crate.iotax-darshan`) verbatim.
-pub type Sections = BTreeMap<String, BTreeMap<String, TomlValue>>;
+pub(crate) type Sections = BTreeMap<String, BTreeMap<String, TomlValue>>;
 
 /// Parse the TOML subset. `origin` names the file in error messages.
-pub fn parse_toml_subset(text: &str, origin: &str) -> Result<Sections> {
+pub(crate) fn parse_toml_subset(text: &str, origin: &str) -> Result<Sections> {
     let mut sections: Sections = BTreeMap::new();
     let mut current = String::from("");
     sections.entry(current.clone()).or_default();
@@ -114,6 +114,7 @@ fn parse_value(v: &str) -> Option<TomlValue> {
 
 /// Effective lint settings for one crate.
 #[derive(Debug, Clone, Default)]
+// audit:allow(dead-public-api) -- return type of AuditConfig::for_crate
 pub struct CrateConfig {
     /// lint name → enabled.
     pub lints: BTreeMap<String, bool>,
@@ -125,9 +126,40 @@ pub struct CrateConfig {
 
 impl CrateConfig {
     /// Is `lint` enabled for this crate?
-    pub fn enabled(&self, lint: &str) -> bool {
+    pub(crate) fn enabled(&self, lint: &str) -> bool {
         self.lints.get(lint).copied().unwrap_or(false)
     }
+}
+
+/// One writer/reader schema pair for the `schema-drift` analysis: a
+/// serialized struct, an optional hand-rolled writer function whose body
+/// is mined for added/filtered keys, and the reader files whose field
+/// probes must match what the writer emits.
+///
+/// ```toml
+/// [schema.ingest-report]
+/// struct = "IngestReport"
+/// writer-fn = "tagged"
+/// writer-file = "crates/cli/src/ingest.rs"
+/// readers = ["tests/chaos.rs"]
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+// audit:allow(dead-public-api) -- element type of AuditConfig's public `schemas` field
+pub struct SchemaPair {
+    /// Pair name (the `NAME` in `[schema.NAME]`), used in messages.
+    pub name: String,
+    /// The `#[derive(Serialize)]` struct whose fields go on the wire.
+    pub strukt: String,
+    /// Hand-rolled writer function to mine for `("key".to_owned(), …)`
+    /// additions and `!= "key"` filters. `None` means the struct
+    /// serializes as-is.
+    pub writer_fn: Option<String>,
+    /// Path substring locating the writer function's file. Defaults to
+    /// the file defining the struct.
+    pub writer_file: Option<String>,
+    /// Path substrings of reader files whose `get("…")` calls and
+    /// JSON-key string probes are checked against the writer's fields.
+    pub readers: Vec<String>,
 }
 
 /// The whole audit configuration.
@@ -137,6 +169,8 @@ pub struct AuditConfig {
     pub include_tests: bool,
     /// Directory names skipped anywhere in the tree (e.g. lint fixtures).
     pub exclude_dirs: Vec<String>,
+    /// `[schema.NAME]` writer/reader pairs for `schema-drift`.
+    pub schemas: Vec<SchemaPair>,
     /// `[default]` settings.
     default: CrateConfig,
     /// `[crate.NAME]` overrides.
@@ -148,6 +182,7 @@ impl Default for AuditConfig {
         Self {
             include_tests: false,
             exclude_dirs: vec!["fixtures".to_owned()],
+            schemas: Vec::new(),
             default: CrateConfig::default(),
             per_crate: BTreeMap::new(),
         }
@@ -183,6 +218,10 @@ impl AuditConfig {
                 }
                 "default" => apply_crate_keys(&mut cfg.default, keys, origin, known_lints)?,
                 other => {
+                    if let Some(name) = other.strip_prefix("schema.") {
+                        cfg.schemas.push(parse_schema_pair(name, keys, origin)?);
+                        continue;
+                    }
                     let Some(name) = other.strip_prefix("crate.") else {
                         return Err(Error::new(
                             ErrorKind::Parse,
@@ -213,6 +252,38 @@ impl AuditConfig {
         }
         eff
     }
+}
+
+fn parse_schema_pair(
+    name: &str,
+    keys: &BTreeMap<String, TomlValue>,
+    origin: &str,
+) -> Result<SchemaPair> {
+    let mut pair = SchemaPair { name: name.to_owned(), ..SchemaPair::default() };
+    for (k, v) in keys {
+        match (k.as_str(), v) {
+            ("struct", TomlValue::Str(s)) => pair.strukt = s.clone(),
+            ("writer-fn", TomlValue::Str(s)) => pair.writer_fn = Some(s.clone()),
+            ("writer-file", TomlValue::Str(s)) => pair.writer_file = Some(s.clone()),
+            ("readers", TomlValue::StrArray(a)) => pair.readers = a.clone(),
+            _ => {
+                return Err(Error::new(
+                    ErrorKind::Parse,
+                    format!(
+                        "{origin}: unknown [schema.{name}] key `{k}` \
+                         (known: struct, writer-fn, writer-file, readers)"
+                    ),
+                ))
+            }
+        }
+    }
+    if pair.strukt.is_empty() {
+        return Err(Error::new(
+            ErrorKind::Parse,
+            format!("{origin}: [schema.{name}] needs a `struct = \"…\"` key"),
+        ));
+    }
+    Ok(pair)
 }
 
 fn apply_crate_keys(
@@ -290,6 +361,30 @@ mod tests {
             let err = parse_toml_subset(bad, "a.toml").unwrap_err();
             assert_eq!(err.kind(), iotax_obs::ErrorKind::Parse, "{bad}");
         }
+    }
+
+    #[test]
+    fn schema_sections_parse_and_validate() {
+        let text = r#"
+            [schema.ingest-report]
+            struct = "IngestReport"
+            writer-fn = "tagged"
+            writer-file = "crates/cli/src/ingest.rs"
+            readers = ["tests/chaos.rs"]
+        "#;
+        let cfg = AuditConfig::from_toml(text, "a.toml", LINTS).unwrap();
+        assert_eq!(cfg.schemas.len(), 1);
+        let p = &cfg.schemas[0];
+        assert_eq!(p.name, "ingest-report");
+        assert_eq!(p.strukt, "IngestReport");
+        assert_eq!(p.writer_fn.as_deref(), Some("tagged"));
+        assert_eq!(p.readers, vec!["tests/chaos.rs"]);
+
+        let missing = AuditConfig::from_toml("[schema.x]\nreaders = []", "a.toml", LINTS);
+        assert!(missing.is_err(), "schema without struct must fail");
+        let unknown =
+            AuditConfig::from_toml("[schema.x]\nstruct = \"S\"\nfrobs = true", "a.toml", LINTS);
+        assert!(unknown.is_err(), "unknown schema key must fail");
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::lexer::{lex, Tok, TokKind};
 
 /// A parsed `// audit:allow(lint, …) -- reason` comment.
 #[derive(Debug, Clone)]
+// audit:allow(dead-public-api) -- element type of FileCx's public suppression list
 pub struct Suppression {
     /// Lint names listed in the comment.
     pub lints: Vec<String>,
@@ -22,6 +23,7 @@ pub struct Suppression {
 }
 
 /// Analysis context for one source file.
+// audit:allow(dead-public-api) -- the per-file analysis seam the fixture tests drive (test refs are excluded by policy)
 pub struct FileCx<'a> {
     /// The raw source.
     pub src: &'a str,
@@ -54,7 +56,7 @@ impl<'a> FileCx<'a> {
     }
 
     /// Is code token `i` inside a `#[cfg(test)]` item?
-    pub fn is_test(&self, i: usize) -> bool {
+    pub(crate) fn is_test(&self, i: usize) -> bool {
         self.in_test.get(i).copied().unwrap_or(false)
     }
 
@@ -75,18 +77,18 @@ impl<'a> FileCx<'a> {
     }
 
     /// Does the code token at `i` equal `text` (and is an identifier)?
-    pub fn ident_at(&self, i: usize, text: &str) -> bool {
+    pub(crate) fn ident_at(&self, i: usize, text: &str) -> bool {
         self.kind(i) == TokKind::Ident && self.text(i) == text
     }
 
     /// Does the code token at `i` equal the punctuation `ch`?
-    pub fn punct_at(&self, i: usize, ch: &str) -> bool {
+    pub(crate) fn punct_at(&self, i: usize, ch: &str) -> bool {
         self.kind(i) == TokKind::Punct && self.text(i) == ch
     }
 
     /// Match a sequence of token texts starting at `i` (idents and puncts
     /// both compared by text).
-    pub fn seq_at(&self, i: usize, texts: &[&str]) -> bool {
+    pub(crate) fn seq_at(&self, i: usize, texts: &[&str]) -> bool {
         texts.iter().enumerate().all(|(k, t)| self.text(i + k) == *t)
     }
 }

@@ -12,12 +12,16 @@
 use crate::config::{AuditConfig, CrateConfig};
 use crate::context::FileCx;
 use crate::diag::{fingerprint, Finding};
+use crate::flow;
 use crate::lints::{self, LintOptions, RawFinding, LINTS};
+use crate::symbols::{analyze_file, FileRole, SourceSpec, Workspace};
 use iotax_obs::{Error, ErrorKind, Result};
-use std::collections::BTreeMap;
+use rayon::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 /// Result of auditing one file.
+// audit:allow(dead-public-api) -- element type of AuditReport's public `files` field
 pub struct FileReport {
     /// Findings that survived suppression, in source order.
     pub findings: Vec<Finding>,
@@ -38,6 +42,7 @@ pub struct AuditReport {
 
 /// Audit one in-memory source file. This is the seam the fixture tests
 /// drive: no filesystem involved.
+// audit:allow(dead-public-api) -- single-file entry point the lint fixture tests drive (test refs are excluded by policy)
 pub fn audit_source(
     krate: &str,
     file: &str,
@@ -46,26 +51,49 @@ pub fn audit_source(
     include_tests: bool,
 ) -> FileReport {
     let cx = FileCx::new(src);
-    let opts = LintOptions {
+    let opts = lint_options(cfg, include_tests);
+    let mut raw = token_lints(&cx, cfg, &opts);
+    raw.sort_by_key(|f| (f.line, f.col));
+    let (findings, suppressed) = finalize_file(krate, file, &cx, &raw);
+    let stage_fns_defined = lints::stage_functions_defined(&cx, &opts);
+    FileReport { findings, suppressed, stage_fns_defined }
+}
+
+fn lint_options(cfg: &CrateConfig, include_tests: bool) -> LintOptions {
+    LintOptions {
         include_tests,
         check_indexing: cfg.check_indexing,
         stage_functions: cfg.stage_functions.clone(),
-    };
+    }
+}
 
+/// Run every enabled token lint on one file.
+fn token_lints(cx: &FileCx<'_>, cfg: &CrateConfig, opts: &LintOptions) -> Vec<RawFinding> {
     let mut raw: Vec<RawFinding> = Vec::new();
     for spec in LINTS {
         if cfg.enabled(spec.name) {
-            raw.extend(lints::run_lint(spec.name, &cx, &opts));
+            raw.extend(lints::run_lint(spec.name, cx, opts));
         }
     }
-    raw.sort_by_key(|f| (f.line, f.col));
+    raw
+}
 
+/// Apply suppressions and meta-lints to a file's raw findings, then
+/// assemble [`Finding`]s with occurrence-indexed fingerprints. Shared by
+/// the per-file seam ([`audit_source`]) and the workspace corpus pipeline
+/// ([`audit_sources`]).
+fn finalize_file(
+    krate: &str,
+    file: &str,
+    cx: &FileCx<'_>,
+    raw: &[RawFinding],
+) -> (Vec<Finding>, usize) {
     // Apply suppressions. Index i tracks how many findings each used.
     let known: Vec<&str> = lints::known_lint_names();
     let mut used = vec![0usize; cx.suppressions.len()];
     let mut survivors: Vec<&RawFinding> = Vec::new();
     let mut suppressed = 0usize;
-    for f in &raw {
+    for f in raw {
         let mut hit = false;
         for (si, s) in cx.suppressions.iter().enumerate() {
             let line_match = match s.target_line {
@@ -147,9 +175,141 @@ pub fn audit_source(
         });
     }
     findings.sort_by_key(|f| (f.line, f.col, f.lint.clone()));
+    (findings, suppressed)
+}
 
-    let stage_fns_defined = lints::stage_functions_defined(&cx, &opts);
-    FileReport { findings, suppressed, stage_fns_defined }
+/// Audit an in-memory corpus: token lints per file plus the cross-file
+/// flow analyses over the whole [`Workspace`]. This is the engine behind
+/// [`audit_workspace`] and the seam the flow fixture tests drive.
+///
+/// Test-target files (`tests/…`) always join the corpus — schema-drift
+/// reader probes live there — but token lints skip them unless
+/// `cfg.include_tests` is set, matching the old walk's semantics.
+// audit:allow(dead-public-api) -- corpus entry point the flow fixture tests drive (test refs are excluded by policy)
+pub fn audit_sources(specs: &[SourceSpec], cfg: &AuditConfig) -> AuditReport {
+    // Per-file lex + item parse fan out over the corpus; everything after
+    // this point consumes the analyses read-only, and the final sort makes
+    // output independent of completion order.
+    let files = {
+        let _span = iotax_obs::span!("audit.parse");
+        iotax_obs::counter!("audit.files").incr(specs.len() as u64);
+        let files: Vec<_> = specs.par_iter().map(analyze_file).collect();
+        files
+    };
+    let ws = Workspace::new(files);
+
+    let flow_found = {
+        let _span = iotax_obs::span!("audit.flow");
+        flow::run_flow(&ws, cfg)
+    };
+    let mut flow_by_file: Vec<Vec<RawFinding>> = ws.files.iter().map(|_| Vec::new()).collect();
+    let mut config_raw: Vec<RawFinding> = Vec::new();
+    for ff in flow_found {
+        match ff.file {
+            Some(fi) => flow_by_file[fi].push(ff.raw),
+            None => config_raw.push(ff.raw),
+        }
+    }
+
+    let _span = iotax_obs::span!("audit.lint");
+    let mut report = AuditReport::default();
+    let mut stage_fns_seen: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        let cc = cfg.for_crate(&f.spec.krate);
+        let opts = lint_options(&cc, cfg.include_tests);
+        let mut raw = if f.spec.role == FileRole::Test && !cfg.include_tests {
+            Vec::new()
+        } else {
+            token_lints(&f.cx, &cc, &opts)
+        };
+        raw.append(&mut flow_by_file[fi]);
+        raw.sort_by_key(|r| (r.line, r.col));
+        let (findings, suppressed) = finalize_file(&f.spec.krate, &f.spec.file, &f.cx, &raw);
+        report.findings.extend(findings);
+        report.suppressed += suppressed;
+        stage_fns_seen
+            .entry(f.spec.krate.clone())
+            .or_default()
+            .extend(lints::stage_functions_defined(&f.cx, &opts));
+    }
+
+    // Crate-level check: a configured stage function defined in no file of
+    // its crate is a config bug. Attributed to the crate manifest.
+    let crates: BTreeSet<&str> = ws.files.iter().map(|f| f.spec.krate.as_str()).collect();
+    for krate in crates {
+        let cc = cfg.for_crate(krate);
+        if !cc.enabled("unspanned-stage") {
+            continue;
+        }
+        let seen = stage_fns_seen.get(krate).map_or(&[][..], |v| v.as_slice());
+        for wanted in &cc.stage_functions {
+            if !seen.iter().any(|s| s == wanted) {
+                let file = manifest_path(&ws, krate);
+                let message = format!(
+                    "configured stage function `{wanted}` is not defined anywhere in \
+                     crate `{krate}`; fix audit.toml or restore the function"
+                );
+                let fp = fingerprint(krate, &file, "unspanned-stage", "", &message, 0);
+                report.findings.push(Finding {
+                    lint: "unspanned-stage".to_owned(),
+                    krate: krate.to_owned(),
+                    file,
+                    line: 1,
+                    col: 1,
+                    item: String::new(),
+                    message,
+                    fingerprint: fp,
+                });
+            }
+        }
+    }
+
+    // Config-level flow findings (e.g. a [schema.*] section naming a
+    // struct that no longer exists) have no source file to suppress in;
+    // they are attributed to audit.toml and always surface.
+    for r in config_raw {
+        let fp = fingerprint("workspace", "audit.toml", r.lint, "", &r.message, 0);
+        report.findings.push(Finding {
+            lint: r.lint.to_owned(),
+            krate: "workspace".to_owned(),
+            file: "audit.toml".to_owned(),
+            line: 1,
+            col: 1,
+            item: String::new(),
+            message: r.message,
+            fingerprint: fp,
+        });
+    }
+
+    sort_report(&mut report.findings);
+    report
+}
+
+/// The manifest path a crate-level finding attaches to, derived from the
+/// crate's file paths (`crates/sim/src/…` → `crates/sim/Cargo.toml`; the
+/// root package's `src/…` → `Cargo.toml`).
+fn manifest_path(ws: &Workspace<'_>, krate: &str) -> String {
+    for f in &ws.files {
+        if f.spec.krate != krate {
+            continue;
+        }
+        for marker in ["src/", "tests/", "benches/", "examples/"] {
+            if let Some(pos) = f.spec.file.find(marker) {
+                return format!("{}Cargo.toml", &f.spec.file[..pos]);
+            }
+        }
+    }
+    "Cargo.toml".to_owned()
+}
+
+/// The one canonical diagnostic order: path, then position, then lint,
+/// then message. Every entry point sorts with this before returning, so
+/// output never depends on directory-walk or scheduling order.
+fn sort_report(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, &a.lint, &a.message)
+            .cmp(&(&b.file, b.line, b.col, &b.lint, &b.message))
+    });
 }
 
 /// Audit every `.rs` file of one crate rooted at `dir`.
@@ -211,11 +371,43 @@ pub fn audit_crate(
             }
         }
     }
+    sort_report(&mut report.findings);
     Ok(report)
 }
 
-/// Audit every crate under `<root>/crates/`. Vendored crates are outside
-/// the audit's jurisdiction by construction.
+/// Load every source file of the package rooted at `dir` into `specs`.
+/// Test targets always load (schema-drift readers live there); the token
+/// lints decide per-file whether to skip them.
+fn collect_package_specs(
+    root: &Path,
+    dir: &Path,
+    krate: &str,
+    cfg: &AuditConfig,
+    specs: &mut Vec<SourceSpec>,
+) -> Result<()> {
+    for sub in ["src", "benches", "examples", "tests"] {
+        let base = dir.join(sub);
+        if !base.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&base, &cfg.exclude_dirs, &mut files)?;
+        files.sort();
+        for path in files {
+            let src = std::fs::read_to_string(&path).map_err(|e| {
+                Error::new(ErrorKind::Io, format!("reading {}: {e}", path.display()))
+            })?;
+            let rel = rel_display(root, &path);
+            let role = FileRole::from_rel(&rel);
+            specs.push(SourceSpec { krate: krate.to_owned(), file: rel, role, src });
+        }
+    }
+    Ok(())
+}
+
+/// Audit the whole workspace: every crate under `<root>/crates/` plus the
+/// root facade package. Vendored crates are outside the audit's
+/// jurisdiction by construction.
 pub fn audit_workspace(root: &Path, cfg: &AuditConfig) -> Result<AuditReport> {
     let crates_dir = root.join("crates");
     let entries = std::fs::read_dir(&crates_dir)
@@ -231,16 +423,19 @@ pub fn audit_workspace(root: &Path, cfg: &AuditConfig) -> Result<AuditReport> {
     }
     dirs.sort();
 
-    let mut report = AuditReport::default();
+    let mut specs: Vec<SourceSpec> = Vec::new();
     for dir in dirs {
         let name = crate_name(&dir)?;
-        let crate_cfg = cfg.for_crate(&name);
-        let cr = audit_crate(root, &dir, &name, &crate_cfg, cfg)?;
-        report.findings.extend(cr.findings);
-        report.suppressed += cr.suppressed;
+        collect_package_specs(root, &dir, &name, cfg, &mut specs)?;
     }
-    report.findings.sort_by_key(|f| (f.file.clone(), f.line, f.col, f.lint.clone()));
-    Ok(report)
+    // The root facade package (examples, quickstart docs, integration
+    // tests) is part of the workspace surface too.
+    if root.join("Cargo.toml").is_file() && root.join("src").is_dir() {
+        let name = crate_name(root)?;
+        collect_package_specs(root, root, &name, cfg, &mut specs)?;
+    }
+    specs.sort_by(|a, b| a.file.cmp(&b.file));
+    Ok(audit_sources(&specs, cfg))
 }
 
 /// Read the `name = "…"` from a crate's `[package]` section. Full TOML is

@@ -17,6 +17,7 @@
 
 /// What a token is, at the granularity the lints need.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// audit:allow(dead-public-api) -- returned by FileCx::kind, part of the lexer's public seam
 pub enum TokKind {
     /// Identifier or keyword (`unwrap`, `as`, `fn`, `HashMap`).
     Ident,
@@ -40,6 +41,7 @@ pub enum TokKind {
 
 /// One token with its source span.
 #[derive(Debug, Clone, Copy)]
+// audit:allow(dead-public-api) -- element type of FileCx's public token list
 pub struct Tok {
     /// Token class.
     pub kind: TokKind,
@@ -61,7 +63,7 @@ impl Tok {
 
     /// For [`TokKind::Int`]: the literal's numeric value, if it fits u128.
     /// Handles `0x`/`0o`/`0b` prefixes, `_` separators, and type suffixes.
-    pub fn int_value(&self, src: &str) -> Option<u128> {
+    pub(crate) fn int_value(&self, src: &str) -> Option<u128> {
         if self.kind != TokKind::Int {
             return None;
         }
@@ -133,7 +135,7 @@ fn is_ident_continue(c: char) -> bool {
 
 /// Tokenize Rust source. Total: never fails, never panics; malformed
 /// input degrades to `Punct` tokens or literals running to end of input.
-pub fn lex(src: &str) -> Vec<Tok> {
+pub(crate) fn lex(src: &str) -> Vec<Tok> {
     let mut cur = Cursor::new(src);
     let mut toks = Vec::new();
     while let Some(c) = cur.peek(0) {

@@ -6,7 +6,11 @@
 //! were only enforced by *tests*, which sample a handful of seeds and
 //! inputs. This crate closes that gap: a small, dependency-free Rust
 //! lexer plus seven token-level lints that check the properties on every
-//! line of every crate, on every commit.
+//! line of every crate, on every commit — and, on top of the lexer, an
+//! item parser, a workspace symbol table, and four cross-file flow
+//! analyses ([`flow`]) that check the properties that live at crate
+//! seams: seed provenance, writer/reader schema agreement, dead public
+//! API, and error-context loss across crate boundaries.
 //!
 //! Design constraints, in order:
 //!
@@ -39,8 +43,11 @@ pub mod config;
 pub mod context;
 pub mod diag;
 pub mod driver;
+pub mod flow;
+pub mod items;
 pub mod lexer;
 pub mod lints;
+pub mod symbols;
 
 pub use baseline::Baseline;
 pub use config::{AuditConfig, CrateConfig};

@@ -24,7 +24,7 @@ use crate::lexer::TokKind;
 
 /// A raw finding before crate/file attribution.
 #[derive(Debug, Clone)]
-pub struct RawFinding {
+pub(crate) struct RawFinding {
     /// Lint that fired.
     pub lint: &'static str,
     /// 1-based line.
@@ -38,6 +38,7 @@ pub struct RawFinding {
 }
 
 /// Static description of one lint.
+// audit:allow(dead-public-api) -- element type of the public LINTS / FLOW_LINTS tables
 pub struct LintSpec {
     /// Lint name as written in config and suppressions.
     pub name: &'static str,
@@ -82,11 +83,16 @@ pub const LINTS: &[LintSpec] = &[
 /// Names of all lints, for config validation (includes the meta-lints so
 /// they can be listed in suppressions without tripping validation).
 pub fn known_lint_names() -> Vec<&'static str> {
-    LINTS.iter().map(|l| l.name).chain(["bad-suppression", "unused-suppression"]).collect()
+    LINTS
+        .iter()
+        .chain(crate::flow::FLOW_LINTS)
+        .map(|l| l.name)
+        .chain(["bad-suppression", "unused-suppression"])
+        .collect()
 }
 
 /// Options threaded from [`crate::config::CrateConfig`] into the lints.
-pub struct LintOptions {
+pub(crate) struct LintOptions {
     /// Lint `#[cfg(test)]` regions too.
     pub include_tests: bool,
     /// `panic-in-parser` also flags direct indexing.
@@ -97,7 +103,7 @@ pub struct LintOptions {
 
 /// Run one lint over a file. Returns raw findings; the driver applies
 /// test-region filtering via `opts.include_tests` is already honored here.
-pub fn run_lint(name: &str, cx: &FileCx<'_>, opts: &LintOptions) -> Vec<RawFinding> {
+pub(crate) fn run_lint(name: &str, cx: &FileCx<'_>, opts: &LintOptions) -> Vec<RawFinding> {
     match name {
         "nondeterministic-time" => nondeterministic_time(cx, opts),
         "ambient-randomness" => ambient_randomness(cx, opts),
@@ -112,7 +118,7 @@ pub fn run_lint(name: &str, cx: &FileCx<'_>, opts: &LintOptions) -> Vec<RawFindi
 
 /// Functions named in `stage_functions` that are *defined* in this file
 /// (used by the driver to flag configured-but-missing stages).
-pub fn stage_functions_defined(cx: &FileCx<'_>, opts: &LintOptions) -> Vec<String> {
+pub(crate) fn stage_functions_defined(cx: &FileCx<'_>, opts: &LintOptions) -> Vec<String> {
     let mut out = Vec::new();
     for i in 0..cx.code.len() {
         if cx.ident_at(i, "fn") && !skip(cx, i, opts) {

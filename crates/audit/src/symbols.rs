@@ -1,0 +1,282 @@
+//! The workspace symbol layer: per-file analyses bundled with enough
+//! cross-file structure (definitions, imports, identifier usage) for the
+//! flow analyses in [`crate::flow`] to reason across crate boundaries.
+//!
+//! The model is deliberately name-based. A real resolver needs type
+//! inference; this workspace needs something weaker but trustworthy:
+//! "is this public item's name mentioned by any other crate?" and "does
+//! this local name come from a `use iotax_x::…` import?". Name collisions
+//! make the answers conservative (an item shadowed by an unrelated
+//! same-name mention counts as referenced), which is the correct failure
+//! direction for a linter — missed findings, never false alarms.
+
+use crate::context::FileCx;
+use crate::items::{parse_items, FileItems};
+use crate::lexer::{lex, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What kind of target a source file belongs to. Determines whether its
+/// identifier mentions keep a public API alive and whether per-site
+/// analyses run on it at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// audit:allow(dead-public-api) -- part of SourceSpec, the corpus seam fixture tests drive (test refs are excluded by policy)
+pub enum FileRole {
+    /// Library code under `src/` — the definitions being audited.
+    Lib,
+    /// A binary target (`src/bin/…`, `src/main.rs`).
+    Bin,
+    /// An example (`examples/…`).
+    Example,
+    /// A benchmark (`benches/…`).
+    Bench,
+    /// An integration test (`tests/…`). Mentions here do not keep a
+    /// public API alive, and per-site analyses skip these files.
+    Test,
+}
+
+impl FileRole {
+    /// Classify a workspace-relative path (forward slashes).
+    pub(crate) fn from_rel(rel: &str) -> Self {
+        let has = |seg: &str| {
+            rel.split('/').any(|c| c == seg)
+                // The segment must be a directory, not the file itself.
+                && !rel.ends_with(&format!("{seg}.rs"))
+        };
+        if has("tests") {
+            FileRole::Test
+        } else if has("benches") {
+            FileRole::Bench
+        } else if has("examples") {
+            FileRole::Example
+        } else if has("bin") || rel.ends_with("src/main.rs") || rel == "main.rs" {
+            FileRole::Bin
+        } else {
+            FileRole::Lib
+        }
+    }
+
+    /// Does a mention in a file of this role keep a public API alive?
+    /// Tests do not — a pub item referenced only by tests is still dead
+    /// API by this audit's definition.
+    pub(crate) fn counts_as_consumer(self) -> bool {
+        !matches!(self, FileRole::Test)
+    }
+}
+
+/// One source file fed to the corpus: identity plus content. This is the
+/// seam fixture tests drive — no filesystem involved.
+#[derive(Debug, Clone)]
+// audit:allow(dead-public-api) -- the corpus input seam fixture tests drive (test refs are excluded by policy)
+pub struct SourceSpec {
+    /// Package name (`iotax-sim`).
+    pub krate: String,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// Target classification.
+    pub role: FileRole,
+    /// File content.
+    pub src: String,
+}
+
+/// Per-file analysis: token context, item tree, and the identifier sets
+/// the cross-file passes consume.
+// audit:allow(dead-public-api) -- element type of Workspace's public `files` field
+pub struct FileAnalysis<'a> {
+    /// The file's identity and source.
+    pub spec: &'a SourceSpec,
+    /// Token-level context (code tokens, test regions, suppressions).
+    pub cx: FileCx<'a>,
+    /// Item tree and use edges.
+    pub items: FileItems,
+    /// Identifiers mentioned in non-test code plus words in doc comments.
+    /// This is the reference set for dead-API detection: doc examples are
+    /// real consumers, `#[cfg(test)]` regions are not.
+    pub mentions: BTreeSet<String>,
+    /// Identifiers mentioned inside `macro_rules!` bodies. An exported
+    /// macro's body expands at *external* call sites, so `$crate::foo`
+    /// inside one keeps `foo` alive even with zero direct references.
+    pub macro_mentions: BTreeSet<String>,
+    /// The crate's identifier form (`iotax_sim` for `iotax-sim`).
+    pub krate_ident: String,
+}
+
+/// Analyze one file. Pure; safe to fan out over files in parallel.
+// audit:allow(dead-public-api) -- per-file analysis entry the fixture tests drive (test refs are excluded by policy)
+pub fn analyze_file(spec: &SourceSpec) -> FileAnalysis<'_> {
+    let cx = FileCx::new(&spec.src);
+    let items = parse_items(&cx);
+    let mut mentions = BTreeSet::new();
+    for i in 0..cx.code.len() {
+        if cx.kind(i) == TokKind::Ident && !cx.is_test(i) {
+            mentions.insert(cx.text(i).to_owned());
+        }
+    }
+    let mut macro_mentions = BTreeSet::new();
+    for item in &items.items {
+        if item.kind != crate::items::ItemKind::Macro {
+            continue;
+        }
+        if let Some((lo, hi)) = item.body {
+            for i in lo..hi.min(cx.code.len()) {
+                if cx.kind(i) == TokKind::Ident {
+                    macro_mentions.insert(cx.text(i).to_owned());
+                }
+            }
+        }
+    }
+    // Doc comments keep an API alive: the facade quickstart and module
+    // examples are real consumers. Plain comments are not.
+    for t in lex(&spec.src) {
+        if !matches!(
+            t.kind,
+            crate::lexer::TokKind::LineComment | crate::lexer::TokKind::BlockComment
+        ) {
+            continue;
+        }
+        let body = t.text(&spec.src);
+        if !["///", "//!", "/**", "/*!"].iter().any(|p| body.starts_with(p)) {
+            continue;
+        }
+        for word in body.split(|c: char| !c.is_alphanumeric() && c != '_') {
+            if !word.is_empty() && !word.starts_with(|c: char| c.is_ascii_digit()) {
+                mentions.insert(word.to_owned());
+            }
+        }
+    }
+    FileAnalysis {
+        cx,
+        items,
+        mentions,
+        macro_mentions,
+        krate_ident: crate_ident(&spec.krate),
+        spec,
+    }
+}
+
+/// `iotax-sim` → `iotax_sim`: the form a crate name takes in paths.
+pub(crate) fn crate_ident(krate: &str) -> String {
+    krate.replace('-', "_")
+}
+
+/// The analyzed workspace: every file plus cross-file indexes.
+pub struct Workspace<'a> {
+    /// All analyzed files, in input order.
+    pub files: Vec<FileAnalysis<'a>>,
+}
+
+impl<'a> Workspace<'a> {
+    /// Build the workspace from per-file analyses.
+    pub fn new(files: Vec<FileAnalysis<'a>>) -> Self {
+        Self { files }
+    }
+
+    /// The local import map for file `fi`: local name → source crate
+    /// identifier, for names imported from workspace (`iotax_*`) crates.
+    /// `use iotax_sim::fault::FaultPlan` maps `FaultPlan` → `iotax_sim`;
+    /// `use iotax_darshan::parse_log as pl` maps `pl` → `iotax_darshan`.
+    pub(crate) fn import_map(&self, fi: usize) -> BTreeMap<String, String> {
+        let mut map = BTreeMap::new();
+        let Some(f) = self.files.get(fi) else { return map };
+        for edge in &f.items.uses {
+            if edge.root.starts_with("iotax_") && edge.leaf != "*" {
+                map.insert(edge.local_name().to_owned(), edge.root.clone());
+            }
+        }
+        map
+    }
+
+    /// Is `name` mentioned by any file that keeps crate `krate`'s public
+    /// API alive — another crate, or this crate's own bin/example/bench
+    /// targets? Test files never count.
+    pub(crate) fn referenced_outside(&self, krate: &str, name: &str) -> bool {
+        self.files.iter().any(|f| {
+            let external = f.spec.role.counts_as_consumer()
+                && (f.spec.krate != krate || f.spec.role != FileRole::Lib)
+                && f.mentions.contains(name);
+            // A macro body expands wherever the macro is invoked, so a
+            // `$crate::name` reference inside one is an external use of
+            // `name` even when the macro is defined in `name`'s own crate.
+            let via_macro = f.spec.role.counts_as_consumer() && f.macro_mentions.contains(name);
+            external || via_macro
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(krate: &str, file: &str, src: &str) -> SourceSpec {
+        SourceSpec {
+            krate: krate.to_owned(),
+            file: file.to_owned(),
+            role: FileRole::from_rel(file),
+            src: src.to_owned(),
+        }
+    }
+
+    #[test]
+    fn roles_from_paths() {
+        assert_eq!(FileRole::from_rel("crates/sim/src/fault.rs"), FileRole::Lib);
+        assert_eq!(FileRole::from_rel("crates/cli/src/bin/iotax_analyze.rs"), FileRole::Bin);
+        assert_eq!(FileRole::from_rel("crates/sim/tests/chaos.rs"), FileRole::Test);
+        assert_eq!(FileRole::from_rel("tests/chaos.rs"), FileRole::Test);
+        assert_eq!(FileRole::from_rel("examples/quickstart.rs"), FileRole::Example);
+        assert_eq!(FileRole::from_rel("crates/bench/benches/obs.rs"), FileRole::Bench);
+        // Files merely *named* like the directory markers stay Lib.
+        assert_eq!(FileRole::from_rel("crates/sim/src/tests.rs"), FileRole::Lib);
+    }
+
+    #[test]
+    fn mentions_include_code_and_doc_comments_not_tests() {
+        let s = spec(
+            "iotax-x",
+            "crates/x/src/lib.rs",
+            r#"
+                //! Call [`frobnicate`] to begin.
+                fn body() { helper(); }
+                #[cfg(test)]
+                mod tests {
+                    fn t() { test_only(); }
+                }
+            "#,
+        );
+        let f = analyze_file(&s);
+        assert!(f.mentions.contains("frobnicate"), "doc-comment word");
+        assert!(f.mentions.contains("helper"), "code ident");
+        assert!(!f.mentions.contains("test_only"), "test region excluded");
+    }
+
+    #[test]
+    fn import_map_covers_workspace_roots_only() {
+        let s = spec(
+            "iotax-cli",
+            "crates/cli/src/lib.rs",
+            "use iotax_sim::fault::FaultPlan;\nuse iotax_darshan::parse_log as pl;\nuse std::io;\n",
+        );
+        let specs = vec![s];
+        let ws = Workspace::new(specs.iter().map(analyze_file).collect());
+        let map = ws.import_map(0);
+        assert_eq!(map.get("FaultPlan").map(String::as_str), Some("iotax_sim"));
+        assert_eq!(map.get("pl").map(String::as_str), Some("iotax_darshan"));
+        assert!(!map.contains_key("io"), "std imports are not workspace edges");
+    }
+
+    #[test]
+    fn reference_scope_excludes_own_lib_and_tests() {
+        let lib = spec(
+            "iotax-x",
+            "crates/x/src/lib.rs",
+            "pub fn used_by_bin() {}\nfn own() { used_by_bin(); }",
+        );
+        let bin = spec("iotax-x", "crates/x/src/bin/tool.rs", "fn main() { used_by_bin(); }");
+        let test = spec("iotax-x", "crates/x/tests/t.rs", "fn t() { test_user(); }");
+        let other = spec("iotax-y", "crates/y/src/lib.rs", "fn f() { cross_user(); }");
+        let specs = vec![lib, bin, test, other];
+        let ws = Workspace::new(specs.iter().map(analyze_file).collect());
+        assert!(ws.referenced_outside("iotax-x", "used_by_bin"), "own bin counts");
+        assert!(!ws.referenced_outside("iotax-x", "test_user"), "tests never count");
+        assert!(ws.referenced_outside("iotax-x", "cross_user"), "other crate counts");
+        assert!(!ws.referenced_outside("iotax-x", "own"), "own lib does not count");
+    }
+}

@@ -1,0 +1,5 @@
+//! Flow fixture: a consumer crate that never touches the orphan.
+
+fn main() {
+    println!("nothing to see here");
+}

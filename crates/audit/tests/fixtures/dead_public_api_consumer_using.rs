@@ -1,0 +1,6 @@
+//! Flow fixture: a consumer crate that keeps the pub item alive.
+
+fn main() {
+    let v = fixture_a::orphan_transform(3);
+    println!("{v}");
+}

@@ -1,0 +1,7 @@
+//! Flow fixture: the same orphan, waived as deliberate API surface.
+
+/// A helper exported with the best of intentions.
+// audit:allow(dead-public-api) -- fixture: staged API for the next milestone's consumer
+pub fn orphan_transform(x: u64) -> u64 {
+    x.rotate_left(1)
+}

@@ -1,0 +1,6 @@
+//! Flow fixture: a pub item no other crate mentions.
+
+/// A helper exported with the best of intentions.
+pub fn orphan_transform(x: u64) -> u64 {
+    x.rotate_left(1)
+}

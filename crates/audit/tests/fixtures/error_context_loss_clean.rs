@@ -1,0 +1,15 @@
+//! Flow fixture: context attached before the boundary, and a local call
+//! that never crosses one.
+
+use iotax_sim::load_trace;
+
+fn local_step(path: &str) -> Result<(), Error> {
+    let _ = path;
+    Ok(())
+}
+
+fn ingest(path: &str) -> Result<(), Error> {
+    let _trace = load_trace(path).map_err(|e| e.wrap("while loading the trace"))?;
+    local_step(path)?;
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Flow fixture: the bare cross-crate `?`s, each waived with a reason.
+
+use iotax_sim::load_trace;
+
+fn ingest(path: &str) -> Result<(), Error> {
+    // audit:allow(error-context-loss) -- fixture: the sim error already names the file
+    let _trace = load_trace(path)?;
+    // audit:allow(error-context-loss) -- fixture: fit errors carry the model id themselves
+    let _model = iotax_ml::fit_model(path)?;
+    Ok(())
+}

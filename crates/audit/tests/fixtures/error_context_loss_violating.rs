@@ -1,0 +1,9 @@
+//! Flow fixture: `?` forwarding a foreign crate's error with no context.
+
+use iotax_sim::load_trace;
+
+fn ingest(path: &str) -> Result<(), Error> {
+    let _trace = load_trace(path)?;
+    let _model = iotax_ml::fit_model(path)?;
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Flow fixture: a reader probing exactly what the writer serializes.
+
+fn parse_line(v: &Value) -> Option<(String, u64)> {
+    let label = v.get("label")?;
+    let start = v.get("t_start_us")?;
+    let _elapsed = v.get("elapsed_us")?;
+    Some((label, start))
+}

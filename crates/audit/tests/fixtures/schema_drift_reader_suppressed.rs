@@ -1,0 +1,8 @@
+//! Flow fixture: the drifted probe, waived with a reason.
+
+fn parse_line(v: &Value) -> Option<(String, u64)> {
+    let label = v.get("label")?;
+    // audit:allow(schema-drift) -- fixture: reader keeps the v1 name until the archived traces are re-exported
+    let start = v.get("start_us")?;
+    Some((label, start))
+}

@@ -1,0 +1,7 @@
+//! Flow fixture: a reader still probing the field the writer renamed.
+
+fn parse_line(v: &Value) -> Option<(String, u64)> {
+    let label = v.get("label")?;
+    let start = v.get("start_us")?;
+    Some((label, start))
+}

@@ -1,0 +1,9 @@
+//! Flow fixture: the writer side of a JSONL schema. The `start_us` field
+//! was renamed to `t_start_us`; readers that still probe the old name
+//! have drifted.
+
+pub struct SpanRec {
+    pub label: String,
+    pub t_start_us: u64,
+    pub elapsed_us: u64,
+}

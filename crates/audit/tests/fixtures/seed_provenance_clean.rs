@@ -1,0 +1,11 @@
+//! Flow fixture: every seed threads from a parameter or derives from one.
+
+fn threaded(seed: u64) -> u64 {
+    let rng = rng_from_seed(seed);
+    rng
+}
+
+fn derived(run_seed: u64) {
+    let child = run_seed ^ 0x9e37;
+    let _rng = substream(child, 3);
+}

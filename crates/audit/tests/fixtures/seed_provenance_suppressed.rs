@@ -1,0 +1,13 @@
+//! Flow fixture: the same two bad seeds, each waived with a reason.
+
+fn literal_seed() -> u64 {
+    // audit:allow(seed-provenance) -- fixture: corpus seed pinned until the generator migration lands
+    let rng = rng_from_seed(42);
+    rng
+}
+
+fn ambient_seed() {
+    let stamp = SystemTime::now();
+    // audit:allow(seed-provenance) -- fixture: smoke entry point, reproducibility not required
+    let _rng = rng_from_seed(stamp);
+}

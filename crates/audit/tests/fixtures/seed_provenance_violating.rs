@@ -1,0 +1,13 @@
+//! Flow fixture: RNG seeds that do not trace back to a parameter.
+//! The literal seed is buried in the function; the ambient seed changes
+//! on every run. Both break bit-for-bit replay.
+
+fn literal_seed() -> u64 {
+    let rng = rng_from_seed(42);
+    rng
+}
+
+fn ambient_seed() {
+    let stamp = SystemTime::now();
+    let _rng = rng_from_seed(stamp);
+}

@@ -3,9 +3,25 @@
 //! produce an out-of-bounds or empty span, and always terminate — on any
 //! byte soup, not just valid Rust.
 
+use iotax_audit::items::{parse_items, MAX_DEPTH};
+use iotax_audit::symbols::{analyze_file, FileRole, SourceSpec};
 use iotax_audit::FileCx;
 use iotax_audit::{audit_source, CrateConfig};
 use proptest::prelude::*;
+
+/// Item-declaration openers prepended to byte soup: the parser enters its
+/// per-kind states (fn signatures, struct fields, use trees, macro
+/// bodies) and then meets garbage where it expects structure.
+const MAGIC_PREFIXES: &[&str] = &[
+    "pub fn f(",
+    "pub struct S {",
+    "pub enum E {",
+    "#[derive(Serialize)]\npub struct T {",
+    "impl A for B {",
+    "use iotax_sim::{a, b",
+    "macro_rules! m { (",
+    "pub mod inner { pub trait Q {",
+];
 
 fn full_config() -> CrateConfig {
     let mut cfg = CrateConfig::default();
@@ -67,5 +83,61 @@ proptest! {
         for (x, y) in a.code.iter().zip(&b.code) {
             prop_assert_eq!((x.kind, x.lo, x.hi, x.line, x.col), (y.kind, y.lo, y.hi, y.line, y.col));
         }
+    }
+
+    /// The item parser is total on arbitrary bytes: no panic, every item
+    /// anchored to a real token, and the recorded brace depth bounded.
+    #[test]
+    fn item_parser_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let cx = FileCx::new(&src);
+        let items = parse_items(&cx);
+        prop_assert!(items.max_depth <= MAX_DEPTH, "depth {} over bound", items.max_depth);
+        for it in &items.items {
+            prop_assert!(it.tok < cx.code.len(), "item anchored past EOF");
+            if let Some(p) = it.parent {
+                prop_assert!(p < items.items.len(), "dangling parent index");
+            }
+            if let Some((lo, hi)) = it.body {
+                prop_assert!(lo <= hi && hi <= cx.code.len(), "body span out of bounds");
+            }
+        }
+    }
+
+    /// Byte soup behind a declaration opener forces the parser's per-kind
+    /// states to recover from truncated or mangled structure.
+    #[test]
+    fn item_parser_is_total_on_magic_prefixed_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        for prefix in MAGIC_PREFIXES {
+            let mut src = (*prefix).to_owned();
+            src.push_str(&String::from_utf8_lossy(&bytes));
+            let cx = FileCx::new(&src);
+            let items = parse_items(&cx);
+            prop_assert!(items.max_depth <= MAX_DEPTH);
+        }
+    }
+
+    /// Pathological nesting: the parser must clamp at MAX_DEPTH instead of
+    /// recursing without bound or panicking.
+    #[test]
+    fn item_parser_bounds_brace_depth(n in 0usize..600) {
+        let src = format!("fn f() {}{}", "{".repeat(n), "}".repeat(n));
+        let cx = FileCx::new(&src);
+        let items = parse_items(&cx);
+        prop_assert!(items.max_depth <= MAX_DEPTH, "depth {} over bound", items.max_depth);
+    }
+
+    /// The whole per-file analysis (items + mention sets) is total too —
+    /// this is what the workspace walk fans out over files.
+    #[test]
+    fn file_analysis_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let spec = SourceSpec {
+            krate: "fuzz".to_owned(),
+            file: "crates/fuzz/src/lib.rs".to_owned(),
+            role: FileRole::Lib,
+            src: String::from_utf8_lossy(&bytes).into_owned(),
+        };
+        let f = analyze_file(&spec);
+        prop_assert!(f.items.max_depth <= MAX_DEPTH);
     }
 }

@@ -76,9 +76,15 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
+/// One knob reseeds every randomised benchmark input: set `IOTAX_BENCH_SEED`
+/// to rerun the suite on a different corpus, default 9.
+fn run_seed() -> u64 {
+    std::env::var("IOTAX_BENCH_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(9)
+}
+
 fn bench_stats(c: &mut Criterion) {
     let mut group = c.benchmark_group("stats");
-    let mut rng = rng_from_seed(9);
+    let mut rng = rng_from_seed(run_seed());
     let sample = StudentT::new(5.0).sample_n(&mut rng, 5_000);
     group.bench_function("fit_student_t_5k", |b| b.iter(|| fit_student_t(black_box(&sample))));
     group.bench_function("quantile_5k", |b| {

@@ -21,7 +21,7 @@ pub fn jobs_from_env(default: usize) -> usize {
 }
 
 /// Read the seed override from `IOTAX_SEED`.
-pub fn seed_from_env(default: u64) -> u64 {
+pub(crate) fn seed_from_env(default: u64) -> u64 {
     std::env::var("IOTAX_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
@@ -52,7 +52,7 @@ pub fn cori_dataset(default_jobs: usize) -> SimDataset {
 }
 
 /// Directory where harness outputs land (`target/repro/`).
-pub fn repro_dir() -> Result<PathBuf> {
+pub(crate) fn repro_dir() -> Result<PathBuf> {
     let dir = PathBuf::from("target/repro");
     std::fs::create_dir_all(&dir).map_err(|e| Error::io("create target/repro", e))?;
     Ok(dir)

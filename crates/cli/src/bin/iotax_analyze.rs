@@ -27,7 +27,10 @@
 //! per-file ingest accounting as JSON lines (the CI chaos job uploads it).
 
 use iotax_cli::{ingest_trace, trace_duplicate_sets, trace_to_dataset, IngestOptions};
-use iotax_core::{app_modeling_bound, concurrent_noise_floor, TaxonomyRun};
+use iotax_core::{
+    app_modeling_bound, concurrent_noise_floor, empirical_coverage, interval_from_floor,
+    TaxonomyRun, ThroughputInterval,
+};
 use iotax_obs::{Error, JsonLinesSink};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -152,6 +155,37 @@ fn run() -> Result<(), Error> {
                 "  distribution: Student-t (ν = {:.1}) preferred over normal: {}",
                 floor.t_df, floor.t_preferred
             );
+            // The paper's closing, user-facing number (§XI): wrap the trace's
+            // median throughput in the floor-derived band, and validate the
+            // band's nominal coverage against the duplicate sets themselves
+            // (each set's mean stands in for a point prediction).
+            let mut sorted = y.clone();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            let median = sorted.get(sorted.len() / 2).copied().unwrap_or(f64::NAN);
+            let iv: ThroughputInterval = interval_from_floor(median, &floor, 0.68);
+            println!(
+                "  a job predicted at {:.2e} B/s lands in [{:.2e}, {:.2e}] B/s 68 % of the time",
+                iv.predicted, iv.lo, iv.hi
+            );
+            let pairs: Vec<(f64, f64)> = dup
+                .sets
+                .iter()
+                .filter(|set| set.len() >= 2)
+                .flat_map(|set| {
+                    let vals: Vec<f64> = set.iter().filter_map(|&j| y.get(j).copied()).collect();
+                    let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
+                    vals.into_iter().map(|v| (mean, v)).collect::<Vec<_>>()
+                })
+                .collect();
+            if !pairs.is_empty() {
+                println!(
+                    "  empirical coverage over {} duplicate pairs: {:.0} % at nominal 68 %, \
+                     {:.0} % at nominal 95 %",
+                    pairs.len(),
+                    empirical_coverage(&pairs, &floor, 0.68) * 100.0,
+                    empirical_coverage(&pairs, &floor, 0.95) * 100.0,
+                );
+            }
         }
         None => println!(
             "\nnoise floor: fewer than 30 simultaneous duplicates — schedule batched \

@@ -62,6 +62,7 @@ impl IngestOptions {
 
 /// One file the pipeline gave up on.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// audit:allow(dead-public-api) -- type of IngestReport's public `quarantined` field
 pub struct QuarantinedFile {
     /// Job id from the manifest.
     pub job_id: u64,
@@ -73,6 +74,7 @@ pub struct QuarantinedFile {
 
 /// One file that parsed only leniently.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// audit:allow(dead-public-api) -- type of IngestReport's public `salvage_notes` field
 pub struct SalvageNote {
     /// Job id from the manifest.
     pub job_id: u64,
@@ -155,7 +157,7 @@ fn tagged<T: Serialize>(tag: &str, value: &T) -> io::Result<String> {
 
 /// A pluggable file reader: `(path, attempt)` → bytes. The attempt number
 /// (0-based) lets tests simulate transient failures deterministically.
-pub type ReadAttemptFn<'a> = dyn Fn(&Path, u32) -> io::Result<Vec<u8>> + 'a;
+pub(crate) type ReadAttemptFn<'a> = dyn Fn(&Path, u32) -> io::Result<Vec<u8>> + 'a;
 
 /// Is this I/O error worth retrying?
 fn is_transient(e: &io::Error) -> bool {
@@ -238,6 +240,7 @@ pub fn ingest_trace(dir: &Path, opts: &IngestOptions) -> Result<(Vec<TraceJob>, 
 
 /// Ingest a trace directory through a custom reader (tests inject
 /// transient failures here; production uses [`ingest_trace`]).
+// audit:allow(dead-public-api) -- injection seam driven by the chaos integration test (test refs are excluded by policy)
 pub fn ingest_trace_with_reader(
     dir: &Path,
     opts: &IngestOptions,
@@ -404,6 +407,7 @@ pub fn inject_faults(dir: &Path, plan: &FaultPlan) -> Result<FaultManifest> {
 }
 
 /// Load the ground-truth fault manifest written by [`inject_faults`].
+// audit:allow(dead-public-api) -- read side of the fault-manifest round trip, asserted by unit tests (test refs are excluded by policy)
 pub fn load_fault_manifest(dir: &Path) -> Result<FaultManifest> {
     let path = dir.join("faults.json");
     let text = std::fs::read_to_string(&path)
@@ -417,6 +421,7 @@ pub fn load_fault_manifest(dir: &Path) -> Result<FaultManifest> {
 /// `retry_failures = n`, the first `n` attempts fail with
 /// [`io::ErrorKind::Interrupted`], then reads succeed. All other files
 /// read normally.
+// audit:allow(dead-public-api) -- fault-simulating reader used by the chaos integration test (test refs are excluded by policy)
 pub fn simulated_transient_reader(
     manifest: FaultManifest,
 ) -> impl Fn(&Path, u32) -> io::Result<Vec<u8>> {

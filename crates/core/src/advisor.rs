@@ -14,6 +14,7 @@ use serde::Serialize;
 
 /// One prioritized recommendation.
 #[derive(Debug, Clone, PartialEq, Serialize)]
+// audit:allow(dead-public-api) -- appears in recommend's public return type
 pub struct Recommendation {
     /// Which taxonomy class this addresses.
     pub class: &'static str,

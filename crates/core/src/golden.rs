@@ -35,7 +35,7 @@ impl Effort {
     /// Golden-model parameters: deeper and larger, because memorizing the
     /// weather timeline takes capacity (§VII: "a much larger model is
     /// needed").
-    pub fn golden_params(self) -> GbmParams {
+    pub(crate) fn golden_params(self) -> GbmParams {
         match self {
             Effort::Quick => GbmParams {
                 n_trees: 200,
@@ -56,7 +56,7 @@ impl Effort {
 }
 
 /// Train/val/test views of one feature set, split time-ordered.
-pub struct SplitData {
+pub(crate) struct SplitData {
     /// Training split.
     pub train: Dataset,
     /// Validation split.
@@ -68,7 +68,7 @@ pub struct SplitData {
 /// Materialize a feature set and split it 70/15/15 with a seeded random
 /// permutation (see [`Dataset::split_random`] for why litmus evaluations
 /// must not split temporally).
-pub fn split_features(sim: &SimDataset, set: FeatureSet) -> SplitData {
+pub(crate) fn split_features(sim: &SimDataset, set: FeatureSet) -> SplitData {
     let m = sim.feature_matrix(set);
     let data = Dataset::new(m.data, m.n_rows, m.n_cols, m.y, m.names);
     let (train, val, test) = data.split_random(0.70, 0.15, sim.config.seed ^ 0x5EED);
@@ -77,6 +77,7 @@ pub fn split_features(sim: &SimDataset, set: FeatureSet) -> SplitData {
 
 /// Result of fitting one feature set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// audit:allow(dead-public-api) -- return type of evaluate_feature_set, consumed by the fig3 bench
 pub struct FeatureSetResult {
     /// Human-readable feature-set label.
     pub label: String,
@@ -110,6 +111,7 @@ pub fn evaluate_feature_set(
 
 /// The §VII golden-model litmus result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// audit:allow(dead-public-api) -- type of TaxonomyReport's public `system_litmus` field
 pub struct SystemLitmus {
     /// Application-only baseline (POSIX features).
     pub baseline: FeatureSetResult,

@@ -15,6 +15,7 @@ use serde::Serialize;
 
 /// Result of the OoD litmus test.
 #[derive(Debug, Serialize)]
+// audit:allow(dead-public-api) -- return type of ood_litmus, consumed by the fig5 bench
 pub struct OodLitmus {
     /// Per-test-job uncertainty decomposition.
     #[serde(skip)]

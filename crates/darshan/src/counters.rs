@@ -8,9 +8,9 @@
 //! time accumulators.
 
 /// Number of counters in the POSIX module.
-pub const POSIX_COUNTER_COUNT: usize = 48;
+pub(crate) const POSIX_COUNTER_COUNT: usize = 48;
 /// Number of counters in the MPI-IO module.
-pub const MPIIO_COUNTER_COUNT: usize = 48;
+pub(crate) const MPIIO_COUNTER_COUNT: usize = 48;
 
 macro_rules! counters {
     ($(#[$meta:meta])* $enum_name:ident, $const_name:ident, $count:expr, [ $($variant:ident),+ $(,)? ]) => {
@@ -179,7 +179,7 @@ counters!(
 
 /// Upper edges (bytes) of the ten Darshan access-size histogram bins; the
 /// last bin is open-ended.
-pub const SIZE_BIN_EDGES: [u64; 9] =
+pub(crate) const SIZE_BIN_EDGES: [u64; 9] =
     [100, 1_000, 10_000, 100_000, 1_000_000, 4_000_000, 10_000_000, 100_000_000, 1_000_000_000];
 
 /// Index (0..10) of the access-size histogram bin containing `size` bytes.

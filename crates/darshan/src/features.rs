@@ -73,6 +73,7 @@ pub static MPIIO_FEATURE_NAMES: [&str; MPIIO_COUNTER_COUNT] = {
 
 /// A named job-level feature vector.
 #[derive(Debug, Clone, PartialEq)]
+// audit:allow(dead-public-api) -- return type of extract_job_features
 pub struct FeatureVector {
     /// Feature names, parallel to `values`.
     pub names: Vec<&'static str>,
@@ -123,6 +124,7 @@ pub fn extract_mpiio_features(log: &JobLog) -> [f64; MPIIO_COUNTER_COUNT] {
 /// otherwise 48 POSIX features. Extraction is deterministic: two logs with
 /// identical records produce identical vectors, which is what makes
 /// duplicate-job detection (§VI) possible.
+// audit:allow(dead-public-api) -- consumed by iotax-sim's darshan_gen round-trip tests (test refs are excluded by policy)
 pub fn extract_job_features(log: &JobLog, include_mpiio: bool) -> FeatureVector {
     let posix = extract_posix_features(log);
     let mut names: Vec<&'static str> = POSIX_FEATURE_NAMES.to_vec();

@@ -34,7 +34,7 @@ pub mod record;
 pub mod salvage;
 
 pub use counters::{MpiioCounter, PosixCounter, MPIIO_COUNTERS, POSIX_COUNTERS};
-pub use features::{extract_job_features, FeatureVector, MPIIO_FEATURE_NAMES, POSIX_FEATURE_NAMES};
-pub use format::{layout, parse_log, write_log, LogLayout, ParseError, RecordSpan};
+pub use features::{MPIIO_FEATURE_NAMES, POSIX_FEATURE_NAMES};
+pub use format::{layout, parse_log, write_log, ParseError};
 pub use record::{FileRecord, JobLog, ModuleData};
-pub use salvage::{parse_log_lenient, Anomaly, SalvagedLog};
+pub use salvage::{parse_log_lenient, SalvagedLog};

@@ -19,5 +19,5 @@
 pub mod metrics;
 pub mod recorder;
 
-pub use metrics::{LmtMetric, LMT_METRICS, N_METRICS};
-pub use recorder::{LmtRecorder, LMT_FEATURE_COUNT, LMT_FEATURE_NAMES};
+pub use metrics::{LmtMetric, N_METRICS};
+pub use recorder::LmtRecorder;

@@ -34,7 +34,7 @@ pub enum LmtMetric {
 }
 
 /// All metrics, in storage order.
-pub const LMT_METRICS: [LmtMetric; N_METRICS] = [
+pub(crate) const LMT_METRICS: [LmtMetric; N_METRICS] = [
     LmtMetric::OssCpuLoad,
     LmtMetric::OssMemLoad,
     LmtMetric::OstReadBytes,

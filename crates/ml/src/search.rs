@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 /// One evaluated grid point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// audit:allow(dead-public-api) -- return type of grid_search, consumed by iotax-core's taxonomy stages
 pub struct GridPoint {
     /// The parameters evaluated.
     pub params: GbmParams,

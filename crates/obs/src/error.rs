@@ -49,7 +49,10 @@ impl Error {
     }
 
     /// Attach an underlying cause.
-    pub fn with_source(mut self, source: impl std::error::Error + Send + Sync + 'static) -> Self {
+    pub(crate) fn with_source(
+        mut self,
+        source: impl std::error::Error + Send + Sync + 'static,
+    ) -> Self {
         self.source = Some(Box::new(source));
         self
     }
@@ -93,7 +96,7 @@ impl Error {
     }
 
     /// The full `context: cause: cause` chain as one line.
-    pub fn render_chain(&self) -> String {
+    pub(crate) fn render_chain(&self) -> String {
         let mut out = self.context.clone();
         let mut cause: Option<&(dyn std::error::Error + 'static)> =
             self.source.as_deref().map(|s| s as _);

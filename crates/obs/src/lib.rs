@@ -45,10 +45,7 @@ mod sink;
 mod span;
 
 pub use error::{Error, ErrorKind, Result};
-pub use metrics::{
-    register_counter, register_histogram, snapshot_counters, snapshot_histograms, Counter,
-    CounterSnapshot, Histogram, HistogramSnapshot,
-};
+pub use metrics::{register_counter, register_histogram, Counter, Histogram};
 pub use sink::{flush_metrics, restore_sink, set_sink, JsonLinesSink, MemorySink, NoopSink, Sink};
 pub use span::{assemble_span_tree, capture, Capture, SpanGuard, SpanNode, SpanRecord};
 

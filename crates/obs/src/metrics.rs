@@ -12,7 +12,7 @@ use std::sync::Mutex;
 
 /// Number of histogram buckets: bucket `i` holds values whose bit length
 /// is `i`, i.e. `[2^(i-1), 2^i)`, with bucket 0 holding zero.
-pub const HISTOGRAM_BUCKETS: usize = 65;
+pub(crate) const HISTOGRAM_BUCKETS: usize = 65;
 
 static REGISTRY: Mutex<Registry> =
     Mutex::new(Registry { counters: Vec::new(), histograms: Vec::new() });
@@ -56,6 +56,7 @@ impl Counter {
 
 /// Adds a counter to the global registry once; subsequent calls are a
 /// single relaxed load.
+// audit:allow(dead-public-api) -- expanded from the counter! macro in downstream crates; must stay pub for the $crate:: path to resolve
 pub fn register_counter(counter: &'static Counter) {
     if !counter.registered.load(Ordering::Relaxed)
         && !counter.registered.swap(true, Ordering::AcqRel)
@@ -66,6 +67,7 @@ pub fn register_counter(counter: &'static Counter) {
 
 /// Point-in-time value of one counter.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// audit:allow(dead-public-api) -- appears in Sink::counter_flush's public signature
 pub struct CounterSnapshot {
     /// Counter name.
     pub name: String,
@@ -74,7 +76,7 @@ pub struct CounterSnapshot {
 }
 
 /// Snapshots every registered counter, sorted by name.
-pub fn snapshot_counters() -> Vec<CounterSnapshot> {
+pub(crate) fn snapshot_counters() -> Vec<CounterSnapshot> {
     let mut snaps: Vec<CounterSnapshot> = REGISTRY
         .lock()
         .expect("obs registry poisoned")
@@ -143,6 +145,7 @@ impl Histogram {
 }
 
 /// Adds a histogram to the global registry once.
+// audit:allow(dead-public-api) -- expanded from the histogram! macro in downstream crates; must stay pub for the $crate:: path to resolve
 pub fn register_histogram(histogram: &'static Histogram) {
     if !histogram.registered.load(Ordering::Relaxed)
         && !histogram.registered.swap(true, Ordering::AcqRel)
@@ -154,6 +157,7 @@ pub fn register_histogram(histogram: &'static Histogram) {
 /// Point-in-time state of one histogram. `buckets` holds
 /// `(bit_length, count)` pairs for non-empty buckets only.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// audit:allow(dead-public-api) -- appears in Sink::histogram_flush's public signature
 pub struct HistogramSnapshot {
     /// Histogram name.
     pub name: String,
@@ -168,6 +172,7 @@ pub struct HistogramSnapshot {
 impl HistogramSnapshot {
     /// Upper-bound estimate of the `q`-quantile: the top edge of the
     /// bucket containing that rank (exact to within a factor of two).
+    // audit:allow(dead-public-api) -- quantile reader of the public HistogramSnapshot
     pub fn approx_quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -185,7 +190,7 @@ impl HistogramSnapshot {
 }
 
 /// Snapshots every registered histogram, sorted by name.
-pub fn snapshot_histograms() -> Vec<HistogramSnapshot> {
+pub(crate) fn snapshot_histograms() -> Vec<HistogramSnapshot> {
     let mut snaps: Vec<HistogramSnapshot> = REGISTRY
         .lock()
         .expect("obs registry poisoned")

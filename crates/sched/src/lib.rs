@@ -21,6 +21,5 @@ pub mod log;
 pub mod pool;
 pub mod scheduler;
 
-pub use log::{SchedRecord, COBALT_FEATURE_NAMES};
-pub use pool::NodePool;
+pub use log::COBALT_FEATURE_NAMES;
 pub use scheduler::{JobRequest, Scheduler, SchedulerConfig};

@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 
 /// One application in the population.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct App {
+pub(crate) struct App {
     /// Dense application id.
     pub app_id: u32,
     /// Executable name (archetype prefix + id).
@@ -48,14 +48,14 @@ pub struct App {
 
 /// The generated population.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct AppPopulation {
+pub(crate) struct AppPopulation {
     /// All applications.
     pub apps: Vec<App>,
 }
 
 /// One job submission: which app/config, and when it arrives.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Submission {
+pub(crate) struct Submission {
     /// Index into [`AppPopulation::apps`].
     pub app_idx: usize,
     /// Global config id (duplicate-set key).
@@ -66,7 +66,7 @@ pub struct Submission {
 
 /// The workload: submissions plus the config table they reference.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Workload {
+pub(crate) struct Workload {
     /// All submissions, sorted by arrival time.
     pub submissions: Vec<Submission>,
     /// Config table: `configs[config_id]`.
@@ -76,7 +76,7 @@ pub struct Workload {
 }
 
 /// Generate the application population.
-pub fn generate_population<R: Rng + ?Sized>(rng: &mut R, cfg: &SimConfig) -> AppPopulation {
+pub(crate) fn generate_population<R: Rng + ?Sized>(rng: &mut R, cfg: &SimConfig) -> AppPopulation {
     let arch_weights: Vec<f64> = ARCHETYPES.iter().map(|a| a.weight).collect();
     let arch_dist = Categorical::new(&arch_weights);
     let novel_start = (cfg.horizon_seconds as f64 * (1.0 - cfg.novel_era_fraction)) as i64;
@@ -111,7 +111,7 @@ pub fn generate_population<R: Rng + ?Sized>(rng: &mut R, cfg: &SimConfig) -> App
 }
 
 /// Generate the workload: `cfg.n_jobs` submissions over the horizon.
-pub fn generate_workload<R: Rng + ?Sized>(
+pub(crate) fn generate_workload<R: Rng + ?Sized>(
     rng: &mut R,
     cfg: &SimConfig,
     population: &AppPopulation,

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 
 /// How a job lays its data across files.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+// audit:allow(dead-public-api) -- type of Archetype's public `layout` field
 pub enum AccessLayout {
     /// All ranks write one shared file (N-1).
     SharedFile,
@@ -27,6 +28,7 @@ pub enum AccessLayout {
 
 /// A behavioural class of applications.
 #[derive(Debug, Clone, Copy, PartialEq)]
+// audit:allow(dead-public-api) -- element type of the public ARCHETYPES table
 pub struct Archetype {
     /// Human-readable name (becomes the executable-name prefix).
     pub name: &'static str,
@@ -195,7 +197,7 @@ pub const ARCHETYPES: [Archetype; 8] = [
 /// a duplicate set. Two jobs with equal `JobConfig` are observational
 /// duplicates: their Darshan features are identical by construction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct JobConfig {
+pub(crate) struct JobConfig {
     /// Index into [`ARCHETYPES`].
     pub archetype: usize,
     /// Total I/O volume in bytes (≥ 1 GiB: the paper filters smaller jobs).
@@ -269,14 +271,14 @@ impl JobConfig {
     }
 
     /// Total metadata operations the job issues.
-    pub fn total_meta_ops(&self) -> f64 {
+    pub(crate) fn total_meta_ops(&self) -> f64 {
         self.meta_ops_per_file * self.n_files as f64
     }
 
     /// Nominal I/O time (seconds) at the archetype's ideal throughput on a
     /// machine with the given peak bandwidth. Used for runtimes and for the
     /// *nominal* Darshan time counters (see `darshan_gen`).
-    pub fn nominal_io_seconds(&self, peak_bandwidth: f64) -> f64 {
+    pub(crate) fn nominal_io_seconds(&self, peak_bandwidth: f64) -> f64 {
         self.volume_bytes / ideal_throughput(self, peak_bandwidth)
     }
 }
@@ -292,7 +294,7 @@ impl JobConfig {
 /// * parallel saturation (nprocs),
 /// * metadata penalty (opens/stats vs volume),
 /// * a read/write asymmetry (bytes read vs written).
-pub fn ideal_throughput(cfg: &JobConfig, peak_bandwidth: f64) -> f64 {
+pub(crate) fn ideal_throughput(cfg: &JobConfig, peak_bandwidth: f64) -> f64 {
     let a = &ARCHETYPES[cfg.archetype];
     // Small transfers cannot amortize per-op latency.
     let eff_size = cfg.transfer_size / (cfg.transfer_size + 262_144.0);
@@ -320,7 +322,7 @@ pub fn ideal_throughput(cfg: &JobConfig, peak_bandwidth: f64) -> f64 {
 
 /// Deterministic log-normal sample used for app popularity, exposed for the
 /// population generator.
-pub fn popularity_weight<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+pub(crate) fn popularity_weight<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     LogNormal::new(0.0, 1.4).sample(rng)
 }
 

@@ -160,23 +160,24 @@ impl SimConfig {
     }
 
     /// Override the horizon.
+    // audit:allow(dead-public-api) -- asserted by unit tests (test refs are excluded by policy)
     pub fn with_horizon_seconds(mut self, horizon: i64) -> Self {
         self.horizon_seconds = horizon;
         self
     }
 
     /// Total number of OSTs.
-    pub fn n_osts(&self) -> usize {
+    pub(crate) fn n_osts(&self) -> usize {
         self.n_oss * self.osts_per_oss
     }
 
     /// Per-OST share of peak bandwidth, bytes/s.
-    pub fn ost_capacity(&self) -> f64 {
+    pub(crate) fn ost_capacity(&self) -> f64 {
         self.peak_bandwidth / self.n_osts() as f64
     }
 
     /// Validate invariants; panics with a message on misconfiguration.
-    pub fn validate(&self) {
+    pub(crate) fn validate(&self) {
         assert!(self.n_jobs > 0, "n_jobs must be positive");
         assert!(self.horizon_seconds > 3600, "horizon too short");
         assert!(self.n_apps > 0, "need at least one app");

@@ -17,7 +17,7 @@ use iotax_stats::rng::splitmix64;
 
 /// The per-OST offered-load grid.
 #[derive(Debug, Clone)]
-pub struct LoadGrid {
+pub(crate) struct LoadGrid {
     bucket_seconds: i64,
     n_buckets: usize,
     n_osts: usize,
@@ -31,7 +31,7 @@ pub struct LoadGrid {
 
 /// A job's stripe assignment.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Stripe {
+pub(crate) struct Stripe {
     /// OST indices this job stripes across.
     pub osts: Vec<u16>,
 }
@@ -42,7 +42,7 @@ pub struct Stripe {
 /// choice is a deterministic function of the *job* (not the config), so
 /// concurrent duplicates land on different OSTs and genuinely contend —
 /// the ζ_l difference §IX relies on.
-pub fn assign_stripe(job_seed: u64, cfg: &JobConfig, n_osts: usize) -> Stripe {
+pub(crate) fn assign_stripe(job_seed: u64, cfg: &JobConfig, n_osts: usize) -> Stripe {
     let width =
         iotax_stats::cast::f64_to_usize((cfg.volume_bytes / 68.7e9).ceil()).clamp(1, n_osts);
     let mut osts = Vec::with_capacity(width);
@@ -80,13 +80,8 @@ impl LoadGrid {
         self.n_buckets
     }
 
-    /// Number of OSTs.
-    pub fn n_osts(&self) -> usize {
-        self.n_osts
-    }
-
     /// Bucket length in seconds.
-    pub fn bucket_seconds(&self) -> i64 {
+    pub(crate) fn bucket_seconds(&self) -> i64 {
         self.bucket_seconds
     }
 
@@ -109,7 +104,7 @@ impl LoadGrid {
     /// Deposit a job's offered I/O onto its stripe for `[start, end)`,
     /// weighted by each bucket's covered fraction so short bursts do not
     /// smear across whole buckets.
-    pub fn deposit(&mut self, stripe: &Stripe, cfg: &JobConfig, start: i64, end: i64) {
+    pub(crate) fn deposit(&mut self, stripe: &Stripe, cfg: &JobConfig, start: i64, end: i64) {
         let duration = (end - start).max(1) as f64;
         let rate = cfg.volume_bytes / duration;
         let per_ost_read = rate * cfg.read_fraction / stripe.osts.len() as f64;
@@ -129,7 +124,13 @@ impl LoadGrid {
 
     /// Mean external (other-job) load in bytes/s per OST that a job sees on
     /// its stripe over its window — its own deposit subtracted back out.
-    pub fn external_load(&self, stripe: &Stripe, cfg: &JobConfig, start: i64, end: i64) -> f64 {
+    pub(crate) fn external_load(
+        &self,
+        stripe: &Stripe,
+        cfg: &JobConfig,
+        start: i64,
+        end: i64,
+    ) -> f64 {
         let duration = (end - start).max(1) as f64;
         let own_rate = cfg.volume_bytes / duration / stripe.osts.len() as f64;
         let (a, b) = self.bucket_range(start, end);
@@ -155,13 +156,13 @@ impl LoadGrid {
     }
 
     /// Total (read + write) load on one OST in one bucket, bytes/s.
-    pub fn ost_load(&self, bucket: usize, ost: usize) -> (f64, f64) {
+    pub(crate) fn ost_load(&self, bucket: usize, ost: usize) -> (f64, f64) {
         let idx = bucket * self.n_osts + ost;
         (self.read[idx] as f64, self.write[idx] as f64)
     }
 
     /// Metadata op rate in one bucket, ops/s.
-    pub fn meta_load(&self, bucket: usize) -> f64 {
+    pub(crate) fn meta_load(&self, bucket: usize) -> f64 {
         self.meta[bucket] as f64
     }
 }
@@ -173,7 +174,7 @@ impl LoadGrid {
 /// knob. The response is concave (`ratio^0.6`) because interference from a
 /// saturating neighbour is sub-linear in its offered rate — queues serve
 /// interleaved requests, they do not starve a job outright.
-pub fn contention_factor(external_ratio: f64, sensitivity: f64, strength: f64) -> f64 {
+pub(crate) fn contention_factor(external_ratio: f64, sensitivity: f64, strength: f64) -> f64 {
     1.0 / (1.0 + strength * sensitivity * external_ratio.max(0.0).powf(0.6))
 }
 

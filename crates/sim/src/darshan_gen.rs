@@ -178,7 +178,7 @@ fn mpiio_module(cfg: &JobConfig, peak_bandwidth: f64, fingerprint: u64) -> Modul
 /// get identical record ids and counters; start/end/job-id are the only
 /// per-instance fields.
 #[allow(clippy::too_many_arguments)] // mirrors the log header fields
-pub fn generate_job_log(
+pub(crate) fn generate_job_log(
     job_id: u64,
     uid: u32,
     exe: &str,

@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 
 /// The kinds of damage the injector can apply to one log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+// audit:allow(dead-public-api) -- matched on by the chaos gate and cli ingest tests (test refs are excluded by policy)
 pub enum FaultKind {
     /// Cut the file at a random offset (torn write / killed transfer).
     Truncate,
@@ -44,7 +45,7 @@ pub enum FaultKind {
 
 impl FaultKind {
     /// All kinds, in the order the plan samples them.
-    pub const ALL: [FaultKind; 7] = [
+    pub(crate) const ALL: [FaultKind; 7] = [
         FaultKind::Truncate,
         FaultKind::BitFlip,
         FaultKind::ZeroBlock,
@@ -57,6 +58,7 @@ impl FaultKind {
 
 /// Ground truth for one injected fault.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// audit:allow(dead-public-api) -- type of FaultManifest's public `faults` field and FaultPlan::corrupt's return
 pub struct FaultRecord {
     /// The job whose log was damaged.
     pub job_id: u64,

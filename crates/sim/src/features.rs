@@ -130,6 +130,7 @@ impl FeatureSet {
 
 /// A dense row-major design matrix with log10-throughput targets.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// audit:allow(dead-public-api) -- return type of Platform::feature_matrix, consumed by iotax-core's golden model
 pub struct FeatureMatrix {
     /// Column names.
     pub names: Vec<String>,
@@ -160,7 +161,7 @@ impl SimDataset {
     }
 
     /// Materialize the design matrix for a subset of job indices.
-    pub fn feature_matrix_for(&self, set: FeatureSet, indices: &[usize]) -> FeatureMatrix {
+    pub(crate) fn feature_matrix_for(&self, set: FeatureSet, indices: &[usize]) -> FeatureMatrix {
         let n_cols = set.width();
         assert!(n_cols > 0, "empty feature set");
         let mut data = Vec::with_capacity(indices.len() * n_cols);

@@ -48,7 +48,7 @@ pub mod telemetry;
 pub mod weather;
 
 pub use config::{SimConfig, SystemKind};
-pub use fault::{FaultKind, FaultManifest, FaultPlan, FaultRecord};
-pub use features::{FeatureMatrix, FeatureSet};
+pub use fault::{FaultKind, FaultManifest, FaultPlan};
+pub use features::FeatureSet;
 pub use platform::{GroundTruth, Platform, SimDataset, SimJob};
 pub use weather::Weather;

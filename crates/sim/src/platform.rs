@@ -102,6 +102,7 @@ pub struct SimDataset {
 impl SimDataset {
     /// Indices of jobs starting before the cut (fractional position in the
     /// horizon), and at/after it — the deployment split of §VIII.
+    // audit:allow(dead-public-api) -- asserted by unit tests (test refs are excluded by policy)
     pub fn split_by_time(&self, fraction: f64) -> (Vec<usize>, Vec<usize>) {
         assert!((0.0..=1.0).contains(&fraction));
         let cut = (self.config.horizon_seconds as f64 * fraction) as i64;

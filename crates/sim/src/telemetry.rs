@@ -22,7 +22,7 @@ fn jitter(server: usize, bucket: usize, metric: usize, amp: f64) -> f64 {
 }
 
 /// Build the LMT recorder for a simulated trace.
-pub fn build_telemetry(grid: &LoadGrid, weather: &Weather, cfg: &SimConfig) -> LmtRecorder {
+pub(crate) fn build_telemetry(grid: &LoadGrid, weather: &Weather, cfg: &SimConfig) -> LmtRecorder {
     let mut recorder = LmtRecorder::new(0, grid.bucket_seconds());
     let ost_capacity = cfg.ost_capacity();
     let horizon = weather.horizon() as f64;

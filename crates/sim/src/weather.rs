@@ -20,6 +20,7 @@ const YEAR_SECONDS: f64 = 365.0 * 24.0 * 3600.0;
 
 /// A service degradation interval with multiplicative severity < 1.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// audit:allow(dead-public-api) -- element type of Weather::incidents' public return
 pub struct Incident {
     /// Start time, seconds.
     pub start: i64,
@@ -36,13 +37,14 @@ impl Incident {
     }
 
     /// Whether the incident covers time `t`.
-    pub fn covers(&self, t: i64) -> bool {
+    pub(crate) fn covers(&self, t: i64) -> bool {
         self.start <= t && t < self.end()
     }
 }
 
 /// A provisioning epoch starting at `start` with capacity `level`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// audit:allow(dead-public-api) -- element type of Weather::epochs' public return
 pub struct Epoch {
     /// Epoch start, seconds.
     pub start: i64,
@@ -114,6 +116,7 @@ impl Weather {
     }
 
     /// The degradation incidents (for validation and plotting).
+    // audit:allow(dead-public-api) -- validation accessor asserted by weather unit tests (test refs are excluded by policy)
     pub fn incidents(&self) -> &[Incident] {
         &self.incidents
     }
@@ -162,13 +165,13 @@ impl Weather {
     }
 
     /// `log10` of [`Weather::factor`].
-    pub fn log10_factor(&self, t: i64) -> f64 {
+    pub(crate) fn log10_factor(&self, t: i64) -> f64 {
         self.factor(t).log10()
     }
 
     /// Mean log-factor over a window, sampled at up to 16 interior points —
     /// what a job that runs through part of an incident actually feels.
-    pub fn mean_log10_factor(&self, start: i64, end: i64) -> f64 {
+    pub(crate) fn mean_log10_factor(&self, start: i64, end: i64) -> f64 {
         let end = end.max(start + 1);
         let n = iotax_stats::cast::i64_to_usize(((end - start) / 600).clamp(1, 16));
         let mut acc = 0.0;

@@ -1,14 +1,13 @@
 //! Correlation measures.
 //!
-//! Used by the analysis side: Fig. 1(b)'s claim is a *rank* relationship
-//! between archetype contention sensitivity and duplicate spread, and the
-//! LMT validation checks that telemetry features track the injected
-//! weather. Spearman handles the monotone-but-nonlinear cases.
+//! Used by the analysis side: the LMT validation checks that telemetry
+//! features track the injected weather.
 
 use crate::describe::mean;
 
 /// Pearson linear correlation coefficient. `NaN` when either input is
 /// constant or lengths differ/are < 2.
+// audit:allow(dead-public-api) -- called by the ground-truth integration test via the facade (test refs are excluded by policy)
 pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
     if x.len() != y.len() || x.len() < 2 {
         return f64::NAN;
@@ -29,34 +28,6 @@ pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
     sxy / (sxx * syy).sqrt()
 }
 
-/// Midrank assignment (average ranks for ties).
-fn ranks(x: &[f64]) -> Vec<f64> {
-    let mut idx: Vec<usize> = (0..x.len()).collect();
-    idx.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("no NaN in rank input"));
-    let mut out = vec![0.0; x.len()];
-    let mut i = 0;
-    while i < idx.len() {
-        let mut j = i;
-        while j + 1 < idx.len() && x[idx[j + 1]] == x[idx[i]] {
-            j += 1;
-        }
-        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
-        for &k in &idx[i..=j] {
-            out[k] = avg_rank;
-        }
-        i = j + 1;
-    }
-    out
-}
-
-/// Spearman rank correlation (Pearson over midranks).
-pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
-    if x.len() != y.len() || x.len() < 2 {
-        return f64::NAN;
-    }
-    pearson(&ranks(x), &ranks(y))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,17 +37,8 @@ mod tests {
         let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
         let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 7.0).collect();
         assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
-        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
         let neg: Vec<f64> = x.iter().map(|v| -v).collect();
         assert!((pearson(&x, &neg) + 1.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn spearman_sees_monotone_nonlinear() {
-        let x: Vec<f64> = (1..60).map(|i| i as f64).collect();
-        let y: Vec<f64> = x.iter().map(|v| v.powi(3)).collect();
-        assert!(pearson(&x, &y) < 0.95); // cubed data is not linear
-        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -85,13 +47,6 @@ mod tests {
         let x: Vec<f64> = (0..2000).map(|i| ((i * 2654435761u64 as usize) % 1000) as f64).collect();
         let y: Vec<f64> = (0..2000).map(|i| ((i * 40503 + 17) % 997) as f64).collect();
         assert!(pearson(&x, &y).abs() < 0.1);
-        assert!(spearman(&x, &y).abs() < 0.1);
-    }
-
-    #[test]
-    fn ties_get_midranks() {
-        let r = ranks(&[1.0, 2.0, 2.0, 3.0]);
-        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
     }
 
     #[test]

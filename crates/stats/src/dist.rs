@@ -99,13 +99,6 @@ impl LogNormal {
         assert!(sigma > 0.0 && sigma.is_finite(), "LogNormal sigma must be > 0");
         Self { mu, sigma }
     }
-
-    /// Log-normal whose *median* is `median` and whose multiplicative
-    /// one-sigma spread is `factor` (e.g. 1.05 for ±5 %).
-    pub fn from_median_factor(median: f64, factor: f64) -> Self {
-        assert!(median > 0.0 && factor > 1.0);
-        Self { mu: median.ln(), sigma: factor.ln() }
-    }
 }
 
 impl ContinuousDist for LogNormal {
@@ -154,7 +147,7 @@ impl StudentT {
     }
 
     /// Location-scale t. Panics on invalid parameters.
-    pub fn with_loc_scale(df: f64, loc: f64, scale: f64) -> Self {
+    pub(crate) fn with_loc_scale(df: f64, loc: f64, scale: f64) -> Self {
         assert!(df > 0.0 && df.is_finite(), "StudentT df must be > 0");
         assert!(scale > 0.0 && scale.is_finite(), "StudentT scale must be > 0");
         Self { df, loc, scale }
@@ -261,6 +254,7 @@ impl ContinuousDist for Uniform {
 ///
 /// Used for job inter-arrival times in the workload generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
+// audit:allow(dead-public-api) -- exercised by the stats property-test suite (test refs are excluded by policy)
 pub struct Exponential {
     /// Rate parameter λ > 0.
     pub rate: f64,
@@ -271,11 +265,6 @@ impl Exponential {
     pub fn new(rate: f64) -> Self {
         assert!(rate > 0.0 && rate.is_finite(), "Exponential rate must be > 0");
         Self { rate }
-    }
-
-    /// Construct from the mean (1/λ).
-    pub fn from_mean(mean: f64) -> Self {
-        Self::new(1.0 / mean)
     }
 }
 
@@ -309,7 +298,7 @@ impl ContinuousDist for Exponential {
 
 /// Gamma distribution with shape `k` and scale `theta`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Gamma {
+pub(crate) struct Gamma {
     /// Shape parameter k > 0.
     pub shape: f64,
     /// Scale parameter θ > 0.
@@ -473,13 +462,6 @@ impl Categorical {
             Err(i) => i.min(self.cumulative.len() - 1),
         }
     }
-
-    /// Probability of category `i`.
-    pub fn prob(&self, i: usize) -> f64 {
-        let total = *self.cumulative.last().expect("non-empty");
-        let lo = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
-        (self.cumulative[i] - lo) / total
-    }
 }
 
 #[cfg(test)]
@@ -511,15 +493,6 @@ mod tests {
             let x = d.quantile(p);
             assert!((d.cdf(x) - p).abs() < 1e-9);
         }
-    }
-
-    #[test]
-    fn lognormal_median_and_factor() {
-        let d = LogNormal::from_median_factor(100.0, 1.05);
-        assert!((d.quantile(0.5) - 100.0).abs() < 1e-6);
-        // One-sigma point is the median times the factor.
-        let one_sigma = d.quantile(0.8413447460685429);
-        assert!((one_sigma / 100.0 - 1.05).abs() < 1e-6);
     }
 
     #[test]
@@ -555,7 +528,7 @@ mod tests {
     #[test]
     fn exponential_mean_and_cdf() {
         let mut rng = rng_from_seed(3);
-        let d = Exponential::from_mean(4.0);
+        let d = Exponential::new(0.25);
         let xs = d.sample_n(&mut rng, 100_000);
         let (m, _) = moments(&xs);
         assert!((m - 4.0).abs() < 0.1, "mean {m}");
@@ -605,7 +578,6 @@ mod tests {
         assert!((counts[0] as f64 / 1e5 - 0.1).abs() < 0.01);
         assert!((counts[1] as f64 / 1e5 - 0.3).abs() < 0.01);
         assert!((counts[2] as f64 / 1e5 - 0.6).abs() < 0.01);
-        assert!((c.prob(1) - 0.3).abs() < 1e-12);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::special::ln_gamma;
 /// Maximum-likelihood Normal fit (which is just the sample moments, with
 /// Bessel's correction applied to the variance).
 #[derive(Debug, Clone, Copy, PartialEq)]
+// audit:allow(dead-public-api) -- return type of fit_normal, consumed by iotax-core's litmus tests
 pub struct NormalFit {
     /// Fitted mean.
     pub mean: f64,
@@ -109,7 +110,7 @@ pub fn fit_student_t(xs: &[f64]) -> StudentTFit {
 }
 
 /// [`fit_student_t`] with explicit degrees-of-freedom search bounds.
-pub fn fit_student_t_bounded(xs: &[f64], df_min: f64, df_max: f64) -> StudentTFit {
+pub(crate) fn fit_student_t_bounded(xs: &[f64], df_min: f64, df_max: f64) -> StudentTFit {
     assert!(xs.len() >= 3, "fit_student_t requires at least three samples");
     assert!(df_min > 0.0 && df_max > df_min);
     let obj = |ldf: f64| -> (f64, f64, f64, usize) {
@@ -151,23 +152,21 @@ pub fn fit_student_t_bounded(xs: &[f64], df_min: f64, df_max: f64) -> StudentTFi
     }
 }
 
-/// Compare a Normal and a Student-t fit on the same data; returns
-/// `(normal, t, t_preferred)` where `t_preferred` uses AIC (the t spends one
-/// extra parameter).
-pub fn normal_vs_t(xs: &[f64]) -> (NormalFit, StudentTFit, bool) {
-    let n = fit_normal(xs);
-    let t = fit_student_t(xs);
-    // AIC = 2k - 2 ln L; lower is better. Normal k = 2, t k = 3.
-    let aic_n = 2.0 * 2.0 - 2.0 * n.log_likelihood;
-    let aic_t = 2.0 * 3.0 - 2.0 * t.log_likelihood;
-    (n, t, aic_t < aic_n)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dist::{ContinuousDist, Normal};
     use crate::rng::rng_from_seed;
+
+    /// AIC comparison of the two fits: `(normal, t, t_preferred)`.
+    fn normal_vs_t(xs: &[f64]) -> (NormalFit, StudentTFit, bool) {
+        let n = fit_normal(xs);
+        let t = fit_student_t(xs);
+        // AIC = 2k - 2 ln L; lower is better. Normal k = 2, t k = 3.
+        let aic_n = 2.0 * 2.0 - 2.0 * n.log_likelihood;
+        let aic_t = 2.0 * 3.0 - 2.0 * t.log_likelihood;
+        (n, t, aic_t < aic_n)
+    }
 
     #[test]
     fn fit_normal_recovers_parameters() {

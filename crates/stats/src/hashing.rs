@@ -9,20 +9,10 @@
 //! on the short, structured keys the workspace feeds it.
 
 /// FNV-1a 64-bit offset basis.
-pub const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// FNV-1a 64-bit prime.
-pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// One-shot FNV-1a over a byte slice.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET_BASIS;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// Incremental FNV-1a implementing [`std::hash::Hasher`], so existing
 /// `value.hash(&mut hasher)` call sites keep working with a stable
@@ -62,6 +52,16 @@ impl std::hash::Hasher for Fnv1aHasher {
 mod tests {
     use super::*;
     use std::hash::{Hash, Hasher};
+
+    /// One-shot FNV-1a, the published reference form.
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = FNV_OFFSET_BASIS;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
 
     /// Reference vectors from the FNV specification (Noll's test suite).
     #[test]

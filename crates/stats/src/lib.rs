@@ -13,8 +13,8 @@
 //!   the numerical bedrock for the distribution CDFs.
 //! * [`hashing`] — stable FNV-1a hashing for duplicate-set signatures
 //!   that must not drift across Rust releases.
-//! * [`dist`] — Normal, LogNormal, Student-t, Uniform, Exponential, Gamma,
-//!   Pareto and categorical sampling with pdf/cdf/quantile where defined.
+//! * [`dist`] — Normal, LogNormal, Student-t, Uniform, Gamma, Pareto and
+//!   categorical sampling with pdf/cdf/quantile where defined.
 //! * [`describe`] — descriptive statistics: mean, Bessel-corrected variance,
 //!   medians, arbitrary quantiles, MAD, skewness, kurtosis.
 //! * [`online`] — Welford online moments with parallel-friendly merge.
@@ -22,14 +22,12 @@
 //! * [`ks`] — one- and two-sample Kolmogorov–Smirnov tests.
 //! * [`fit`] — moment/MLE fitting for Normal and Student-t (EM with a
 //!   profiled degrees-of-freedom search).
-//! * [`bootstrap`] — percentile bootstrap confidence intervals.
 //! * [`rng`] — deterministic seed-derivation helpers so parallel simulation
 //!   streams stay reproducible.
 //!
 //! All sampling is generic over [`rand::Rng`] and deterministic for a given
 //! seed, which the experiment harness relies on for bit-for-bit reproduction.
 
-pub mod bootstrap;
 pub mod cast;
 pub mod corr;
 pub mod describe;
@@ -42,11 +40,11 @@ pub mod online;
 pub mod rng;
 pub mod special;
 
-pub use corr::{pearson, spearman};
-pub use describe::{mean, median, quantile, std_corrected, variance_biased, variance_corrected};
-pub use dist::{Categorical, Exponential, Gamma, LogNormal, Normal, Pareto, StudentT, Uniform};
-pub use fit::{fit_normal, fit_student_t, NormalFit, StudentTFit};
-pub use hashing::{fnv1a, Fnv1aHasher};
+pub use corr::pearson;
+pub use describe::{mean, median, quantile, std_corrected, variance_biased};
+pub use dist::{Categorical, LogNormal, Normal, Pareto, StudentT, Uniform};
+pub use fit::{fit_normal, fit_student_t, StudentTFit};
+pub use hashing::Fnv1aHasher;
 pub use histogram::Histogram;
 pub use online::Welford;
 pub use rng::{rng_from_seed, substream};

@@ -13,6 +13,7 @@
 ///
 /// Uses the Lanczos approximation with g = 7 and 9 coefficients, which is
 /// accurate to roughly 1e-13 over the positive reals.
+// audit:allow(dead-public-api) -- exercised by the stats property-test suite (test refs are excluded by policy)
 pub fn ln_gamma(x: f64) -> f64 {
     // Lanczos coefficients for g = 7, n = 9.
     const G: f64 = 7.0;
@@ -46,6 +47,7 @@ pub fn ln_gamma(x: f64) -> f64 {
 ///
 /// Uses the Abramowitz & Stegun 7.1.26-style rational approximation refined
 /// to double precision via the complementary error function for large |x|.
+// audit:allow(dead-public-api) -- exercised by the stats property-test suite (test refs are excluded by policy)
 pub fn erf(x: f64) -> f64 {
     1.0 - erfc(x)
 }
@@ -55,7 +57,7 @@ pub fn erf(x: f64) -> f64 {
 /// Rational Chebyshev approximation (Numerical Recipes `erfcc` refined with
 /// one extra term); relative error below 1.2e-7 everywhere, and we improve it
 /// with a single Newton step against the exact derivative, giving ~1e-12.
-pub fn erfc(x: f64) -> f64 {
+pub(crate) fn erfc(x: f64) -> f64 {
     let z = x.abs();
     let t = 2.0 / (2.0 + z);
     let ty = 4.0 * t - 2.0;
@@ -108,6 +110,7 @@ pub fn erfc(x: f64) -> f64 {
 /// Regularized lower incomplete gamma function `P(a, x) = γ(a, x) / Γ(a)`.
 ///
 /// Series expansion for `x < a + 1`, continued fraction otherwise.
+// audit:allow(dead-public-api) -- exercised by the stats property-test suite (test refs are excluded by policy)
 pub fn gamma_p(a: f64, x: f64) -> f64 {
     debug_assert!(a > 0.0 && x >= 0.0);
     if x == 0.0 {
@@ -118,11 +121,6 @@ pub fn gamma_p(a: f64, x: f64) -> f64 {
     } else {
         1.0 - gamma_q_cf(a, x)
     }
-}
-
-/// Regularized upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
-pub fn gamma_q(a: f64, x: f64) -> f64 {
-    1.0 - gamma_p(a, x)
 }
 
 fn gamma_p_series(a: f64, x: f64) -> f64 {
@@ -172,6 +170,7 @@ fn gamma_q_cf(a: f64, x: f64) -> f64 {
 ///
 /// Continued-fraction evaluation (modified Lentz) with the symmetry
 /// transformation for numerical stability, per Numerical Recipes `betai`.
+// audit:allow(dead-public-api) -- exercised by the stats property-test suite (test refs are excluded by policy)
 pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
     debug_assert!(a > 0.0 && b > 0.0, "beta_inc requires a,b > 0");
     debug_assert!((0.0..=1.0).contains(&x), "beta_inc requires 0 <= x <= 1");
@@ -241,6 +240,7 @@ fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
 ///
 /// Acklam's rational approximation followed by one Halley refinement step,
 /// giving ~1e-15 relative accuracy over `p ∈ (0, 1)`.
+// audit:allow(dead-public-api) -- exercised by the stats property-test suite (test refs are excluded by policy)
 pub fn inv_norm_cdf(p: f64) -> f64 {
     assert!(p > 0.0 && p < 1.0, "inv_norm_cdf requires p in (0,1), got {p}");
     const A: [f64; 6] = [
@@ -332,13 +332,6 @@ mod tests {
     fn erf_is_odd() {
         for &x in &[0.1, 0.5, 1.5, 2.5] {
             close(erf(-x), -erf(x), 1e-12);
-        }
-    }
-
-    #[test]
-    fn gamma_p_q_sum_to_one() {
-        for &(a, x) in &[(0.5, 0.3), (2.0, 1.0), (5.0, 8.0), (10.0, 3.0)] {
-            close(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12);
         }
     }
 

@@ -19,7 +19,6 @@
 //! locates automatically.
 
 use iotax_ml::data::Dataset;
-use iotax_ml::nas::Genome;
 use iotax_ml::nn::{Mlp, MlpParams};
 use iotax_stats::rng::splitmix64;
 use rayon::prelude::*;
@@ -52,6 +51,7 @@ impl UqPrediction {
     }
 
     /// Total predictive variance (law of total variance).
+    // audit:allow(dead-public-api) -- asserted by unit tests (test refs are excluded by policy)
     pub fn total_variance(&self) -> f64 {
         self.aleatory + self.epistemic
     }
@@ -64,23 +64,6 @@ pub struct DeepEnsemble {
 }
 
 impl DeepEnsemble {
-    /// Train an ensemble from NAS-surviving genomes (AutoDEUQ composes its
-    /// ensemble from the architecture search's best models). Members train
-    /// rayon-parallel; each gets an independent seed.
-    pub fn fit_from_genomes(train: &Dataset, genomes: &[Genome], seed: u64) -> Self {
-        assert!(genomes.len() >= 2, "an ensemble needs at least two members");
-        let members = genomes
-            .par_iter()
-            .enumerate()
-            .map(|(i, g)| {
-                let _span = iotax_obs::span!("uq.ensemble.member");
-                iotax_obs::counter!("uq.ensemble.members_fit").incr(1);
-                Mlp::fit(train, g.to_params(splitmix64(seed ^ i as u64), true))
-            })
-            .collect();
-        Self { members }
-    }
-
     /// Train `k` members with a shared architecture but independent
     /// initialization/shuffling — the classic deep-ensemble baseline.
     pub fn fit_default(train: &Dataset, k: usize, base: MlpParams, seed: u64) -> Self {
@@ -110,7 +93,7 @@ impl DeepEnsemble {
     }
 
     /// Decomposed prediction for one raw feature row.
-    pub fn predict_uq(&self, x: &[f64]) -> UqPrediction {
+    pub(crate) fn predict_uq(&self, x: &[f64]) -> UqPrediction {
         let k = self.members.len() as f64;
         let mut mean = 0.0;
         let mut au = 0.0;

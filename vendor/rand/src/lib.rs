@@ -304,7 +304,7 @@ mod tests {
 
     #[test]
     fn works_through_unsized_references() {
-        fn take(rng: &mut (dyn super::Rng)) -> u64 {
+        fn take(rng: &mut dyn super::Rng) -> u64 {
             use super::RngExt;
             rng.random()
         }
