@@ -5,20 +5,28 @@
 //! iotax-audit --workspace --baseline audit-baseline.json
 //! iotax-audit --crate crates/darshan --format jsonl
 //! iotax-audit --workspace --write-baseline audit-baseline.json
+//! iotax-audit --workspace --ledger runs/audit-1    # write a run ledger
 //! iotax-audit --list-lints
 //! ```
 //!
 //! Exit codes: 0 clean, 1 new findings, 64 usage, 65 config parse,
 //! 74 I/O.
+//!
+//! The observability flags (`--metrics-out`, `--ledger`) are shared with
+//! the other workspace bins; see `iotax_cli::obsargs`. A ledger run
+//! records the effective `audit.toml` digest and a `"audit"` section
+//! with the finding counts, so `iotax-report diff` can show lint drift
+//! between two audits.
 
 use iotax_audit::flow::FLOW_LINTS;
 use iotax_audit::{
     audit_crate, audit_workspace, driver, render_text, write_jsonl, AuditConfig, AuditReport,
     Baseline, LINTS,
 };
-use iotax_obs::{Error, ErrorKind, JsonLinesSink};
+use iotax_cli::{ObsArgs, ObsSession};
+use iotax_obs::{digest_bytes, Error, ErrorKind};
+use serde::Serialize;
 use std::path::PathBuf;
-use std::sync::Arc;
 
 struct Args {
     workspace: bool,
@@ -29,7 +37,7 @@ struct Args {
     write_baseline: Option<PathBuf>,
     format: Format,
     jsonl_out: Option<PathBuf>,
-    metrics_out: Option<PathBuf>,
+    obs: ObsArgs,
     include_tests: bool,
     list_lints: bool,
 }
@@ -43,9 +51,18 @@ enum Format {
     Github,
 }
 
+/// The `"audit"` ledger section: finding counts for cross-run diffing.
+#[derive(Serialize)]
+struct AuditSection {
+    fresh: u64,
+    baselined: u64,
+    suppressed: u64,
+}
+
 const USAGE: &str = "usage: iotax-audit (--workspace | --crate DIR | --list-lints) \
      [--root DIR] [--config PATH] [--baseline PATH] [--write-baseline PATH] \
-     [--format text|jsonl|github] [--jsonl-out PATH] [--metrics-out PATH] [--include-tests]";
+     [--format text|jsonl|github] [--jsonl-out PATH] [--metrics-out PATH] [--ledger DIR] \
+     [--include-tests]";
 
 fn parse_args() -> Result<Args, Error> {
     let mut args = Args {
@@ -57,7 +74,7 @@ fn parse_args() -> Result<Args, Error> {
         write_baseline: None,
         format: Format::Text,
         jsonl_out: None,
-        metrics_out: None,
+        obs: ObsArgs::default(),
         include_tests: false,
         list_lints: false,
     };
@@ -87,11 +104,14 @@ fn parse_args() -> Result<Args, Error> {
                 }
             }
             "--jsonl-out" => args.jsonl_out = Some(PathBuf::from(value("--jsonl-out")?)),
-            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--include-tests" => args.include_tests = true,
             "--list-lints" => args.list_lints = true,
             "--help" | "-h" => return Err(Error::usage(USAGE)),
-            other => return Err(Error::usage(format!("unknown flag {other} (try --help)"))),
+            other => {
+                if !args.obs.accept(other, &mut value)? {
+                    return Err(Error::usage(format!("unknown flag {other} (try --help)")));
+                }
+            }
         }
     }
     if !args.list_lints && args.workspace == args.crate_dir.is_some() {
@@ -100,7 +120,7 @@ fn parse_args() -> Result<Args, Error> {
     Ok(args)
 }
 
-fn load_config(args: &Args) -> Result<AuditConfig, Error> {
+fn load_config(args: &Args) -> Result<(AuditConfig, Option<PathBuf>), Error> {
     let known = iotax_audit::known_lint_names();
     let path = match &args.config {
         Some(p) => p.clone(),
@@ -109,7 +129,7 @@ fn load_config(args: &Args) -> Result<AuditConfig, Error> {
             if !default.is_file() {
                 let mut cfg = AuditConfig::default();
                 cfg.include_tests |= args.include_tests;
-                return Ok(cfg);
+                return Ok((cfg, None));
             }
             default
         }
@@ -118,12 +138,10 @@ fn load_config(args: &Args) -> Result<AuditConfig, Error> {
         .map_err(|e| Error::new(ErrorKind::Io, format!("reading {}: {e}", path.display())))?;
     let mut cfg = AuditConfig::from_toml(&text, &path.display().to_string(), &known)?;
     cfg.include_tests |= args.include_tests;
-    Ok(cfg)
+    Ok((cfg, Some(path)))
 }
 
-fn run() -> Result<i32, Error> {
-    let args = parse_args()?;
-
+fn run(args: &Args, session: &mut ObsSession) -> Result<i32, Error> {
     if args.list_lints {
         for l in LINTS.iter().chain(FLOW_LINTS) {
             println!("{:<22} {}", l.name, l.summary);
@@ -139,11 +157,12 @@ fn run() -> Result<i32, Error> {
         return Ok(0);
     }
 
-    let cfg = load_config(&args)?;
-    if let Some(path) = &args.metrics_out {
-        let sink = JsonLinesSink::create(path)
-            .map_err(|e| Error::new(ErrorKind::Io, format!("creating {}: {e}", path.display())))?;
-        iotax_obs::set_sink(Arc::new(sink));
+    let (cfg, cfg_path) = load_config(args)?;
+    if let Some(ledger) = session.ledger_mut() {
+        match &cfg_path {
+            Some(path) => ledger.add_input(path),
+            None => ledger.set_config_digest(digest_bytes(b"default")),
+        }
     }
     let report: AuditReport = {
         let _span = iotax_obs::span!("audit");
@@ -156,11 +175,6 @@ fn run() -> Result<i32, Error> {
             audit_crate(&args.root, &dir, &name, &cfg.for_crate(&name), &cfg)?
         }
     };
-    // Wall time and per-phase spans reach the JSONL sink only on an
-    // explicit flush; `process::exit` in main skips Drop.
-    if args.metrics_out.is_some() {
-        iotax_obs::flush_metrics();
-    }
 
     if let Some(path) = &args.write_baseline {
         Baseline::from_findings(&report.findings).save(path)?;
@@ -176,6 +190,16 @@ fn run() -> Result<i32, Error> {
         Some(path) => Baseline::load(path)?.partition(report.findings),
         None => (report.findings, 0),
     };
+    if let Some(ledger) = session.ledger_mut() {
+        ledger.add_section(
+            "audit",
+            &AuditSection {
+                fresh: fresh.len() as u64,
+                baselined: baselined as u64,
+                suppressed: report.suppressed as u64,
+            },
+        );
+    }
 
     if let Some(path) = &args.jsonl_out {
         let mut f = std::fs::File::create(path)
@@ -236,11 +260,32 @@ fn gh_property(s: &str) -> String {
 }
 
 fn main() {
-    match run() {
-        Ok(code) => std::process::exit(code),
+    let args = match parse_args() {
+        Ok(args) => args,
         Err(e) => {
             eprintln!("iotax-audit: {e}");
             std::process::exit(i32::from(e.exit_code()));
+        }
+    };
+    let mut session = match args.obs.install("iotax-audit") {
+        Ok(session) => session,
+        Err(e) => {
+            eprintln!("iotax-audit: {e}");
+            std::process::exit(i32::from(e.exit_code()));
+        }
+    };
+    // Wall time and per-phase spans reach the sinks only on the explicit
+    // flush inside `finish`; `process::exit` skips Drop.
+    match run(&args, &mut session) {
+        Ok(code) => {
+            session.finish(code);
+            std::process::exit(code);
+        }
+        Err(e) => {
+            eprintln!("iotax-audit: {e}");
+            let code = i32::from(e.exit_code());
+            session.finish(code);
+            std::process::exit(code);
         }
     }
 }

@@ -83,7 +83,6 @@ pub struct Field {
 
 /// One parsed item.
 #[derive(Debug, Clone)]
-// audit:allow(dead-public-api) -- element type of FileItems' public `items` list
 pub struct Item {
     /// Kind of item.
     pub kind: ItemKind,
@@ -447,9 +446,12 @@ impl<'a, 'b> Parser<'a, 'b> {
                 while *i < end && !self.is_punct(*i, "{") && !self.is_punct(*i, ";") {
                     *i += 1;
                 }
+                let mut body = None;
                 if self.is_punct(*i, "{") {
                     *i += 1;
+                    let body_lo = *i;
                     self.skip_balanced(i, end);
+                    body = Some((body_lo, i.saturating_sub(1)));
                 }
                 self.push(Item {
                     kind: ItemKind::Macro,
@@ -459,7 +461,7 @@ impl<'a, 'b> Parser<'a, 'b> {
                     line,
                     col,
                     tok,
-                    body: None,
+                    body,
                     derives: attrs.derives,
                     fields: Vec::new(),
                     params: Vec::new(),
@@ -1184,6 +1186,21 @@ mod tests {
         assert!(kinds.contains(&(ItemKind::TypeAlias, "Result")));
         assert!(kinds.contains(&(ItemKind::Macro, "span")));
         assert!(kinds.contains(&(ItemKind::Fn, "after")), "parser recovers after macro body");
+    }
+
+    #[test]
+    fn macro_bodies_are_recorded() {
+        // The body range feeds `macro_mentions`: identifiers a macro
+        // expands at its call sites must count as references.
+        let src = r#"
+            macro_rules! open {
+                ($n:expr) => { $crate::Guard::enter_under($n, None) };
+            }
+        "#;
+        let fi = parse(src);
+        let m = fi.items.iter().find(|x| x.kind == ItemKind::Macro).expect("macro parsed");
+        let (lo, hi) = m.body.expect("macro body range recorded");
+        assert!(lo < hi);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The seven domain lints.
+//! The eight domain lints.
 //!
 //! Each lint turns one of the taxonomy pipeline's *dynamic* guarantees
 //! (proptests, the pinned-seed chaos gate) into a *static* check that
@@ -13,6 +13,7 @@
 //! | `unchecked-cast`         | counter/offset integrity: no silent truncation |
 //! | `swallowed-result`       | no silent data loss: every `Result` is handled or loudly waived |
 //! | `unspanned-stage`        | observability: taxonomy stages are traceable |
+//! | `unbound-span`           | observability: span guards live for the region they time |
 //!
 //! Lints are token-sequence matchers over [`FileCx`] — deliberately
 //! simple and predictable. Where a pattern is provably safe (a masked
@@ -78,6 +79,10 @@ pub const LINTS: &[LintSpec] = &[
         name: "unspanned-stage",
         summary: "configured stage entry points must open an iotax-obs span",
     },
+    LintSpec {
+        name: "unbound-span",
+        summary: "`span!` statement drops its guard immediately, timing nothing",
+    },
 ];
 
 /// Names of all lints, for config validation (includes the meta-lints so
@@ -112,6 +117,7 @@ pub(crate) fn run_lint(name: &str, cx: &FileCx<'_>, opts: &LintOptions) -> Vec<R
         "unchecked-cast" => unchecked_cast(cx, opts),
         "swallowed-result" => swallowed_result(cx, opts),
         "unspanned-stage" => unspanned_stage(cx, opts),
+        "unbound-span" => unbound_span(cx, opts),
         _ => Vec::new(),
     }
 }
@@ -576,6 +582,66 @@ fn unspanned_stage(cx: &FileCx<'_>, opts: &LintOptions) -> Vec<RawFinding> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// unbound-span
+// ---------------------------------------------------------------------------
+
+fn unbound_span(cx: &FileCx<'_>, opts: &LintOptions) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for i in 0..cx.code.len() {
+        if skip(cx, i, opts)
+            || !cx.ident_at(i, "span")
+            || !cx.punct_at(i + 1, "!")
+            || !cx.punct_at(i + 2, "(")
+        {
+            continue;
+        }
+        // Find the macro's closing paren.
+        let mut j = i + 2;
+        let mut depth = 0i32;
+        while j < cx.code.len() {
+            if cx.punct_at(j, "(") {
+                depth += 1;
+            } else if cx.punct_at(j, ")") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        // Only a whole statement drops the guard on the spot; a bound or
+        // nested use (`let _s = span!(…)`, `f(span!(…))`, tail position)
+        // hands it to someone.
+        if !cx.punct_at(j + 1, ";") {
+            continue;
+        }
+        // Strip an optional path prefix (`iotax_obs::`, `crate::`, …).
+        let mut k = i;
+        while k >= 2 && cx.punct_at(k - 1, "::") && cx.kind(k - 2) == TokKind::Ident {
+            k -= 2;
+        }
+        let statement_head = k == 0 || matches!(cx.text(k - 1), ";" | "{" | "}");
+        // `let _ = span!(…);` discards the guard just as immediately.
+        let wildcard_bound = k >= 3
+            && cx.punct_at(k - 1, "=")
+            && cx.ident_at(k - 2, "_")
+            && cx.ident_at(k - 3, "let");
+        if statement_head || wildcard_bound {
+            out.push(finding(
+                cx,
+                "unbound-span",
+                i,
+                "this `span!` guard is dropped immediately, so the span closes before \
+                 the work it should time; bind it (`let _span = span!(…);`) for the \
+                 lifetime of the region"
+                    .to_owned(),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -662,6 +728,17 @@ mod tests {
         assert_eq!(run("unspanned-stage", without).len(), 1);
         let other = "fn unrelated() { }";
         assert!(run("unspanned-stage", other).is_empty());
+    }
+
+    #[test]
+    fn unbound_span_flags_only_immediately_dropped_guards() {
+        assert_eq!(run("unbound-span", "fn f() { span!(\"s\"); work(); }").len(), 1);
+        assert_eq!(run("unbound-span", "fn f() { iotax_obs::span!(\"s\"); work(); }").len(), 1);
+        assert_eq!(run("unbound-span", "fn f() { let _ = span!(\"s\"); work(); }").len(), 1);
+        assert!(run("unbound-span", "fn f() { let _span = span!(\"s\"); work(); }").is_empty());
+        assert!(run("unbound-span", "fn f() { let _s = crate::span!(\"s\"); work(); }").is_empty());
+        assert!(run("unbound-span", "fn f() -> G { span!(\"s\") }").is_empty());
+        assert!(run("unbound-span", "fn f() { g(span!(\"s\")); }").is_empty());
     }
 
     #[test]

@@ -279,4 +279,20 @@ mod tests {
         assert!(ws.referenced_outside("iotax-x", "cross_user"), "other crate counts");
         assert!(!ws.referenced_outside("iotax-x", "own"), "own lib does not count");
     }
+
+    #[test]
+    fn macro_bodies_count_as_external_references() {
+        // `span!` expands `$crate::Guard::enter_under` at downstream call
+        // sites, so the macro body keeps `enter_under` alive even though
+        // no other file spells the name out.
+        let lib = spec(
+            "iotax-x",
+            "crates/x/src/lib.rs",
+            "pub struct Guard;\nimpl Guard { pub fn enter_under() -> Guard { Guard } }\n\
+             #[macro_export]\nmacro_rules! open {\n    () => { $crate::Guard::enter_under() };\n}",
+        );
+        let specs = vec![lib];
+        let ws = Workspace::new(specs.iter().map(analyze_file).collect());
+        assert!(ws.referenced_outside("iotax-x", "enter_under"), "macro body counts");
+    }
 }

@@ -1,0 +1,12 @@
+//! Fixture: guards bound for the region they time.
+
+pub fn ingest(files: &[&str]) {
+    let _span = iotax_obs::span!("ingest");
+    for f in files {
+        parse(f);
+    }
+}
+
+pub fn fit() -> iotax_obs::SpanGuard {
+    iotax_obs::span!("fit")
+}

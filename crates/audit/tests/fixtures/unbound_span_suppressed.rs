@@ -1,0 +1,9 @@
+//! Fixture: an instantaneous marker span, waived with the reason.
+
+pub fn ingest(files: &[&str]) {
+    // audit:allow(unbound-span) -- fixture: zero-duration marker event, closing immediately is the point
+    iotax_obs::span!("ingest.start");
+    for f in files {
+        parse(f);
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: span guards dropped before the work they should time.
+
+pub fn ingest(files: &[&str]) {
+    iotax_obs::span!("ingest");
+    for f in files {
+        parse(f);
+    }
+}
+
+pub fn fit() {
+    let _ = iotax_obs::span!("fit");
+    train();
+}

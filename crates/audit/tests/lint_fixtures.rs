@@ -64,6 +64,12 @@ const CASES: &[(&str, &str, &str, &str)] = &[
         include_str!("fixtures/unspanned_stage_suppressed.rs"),
         include_str!("fixtures/unspanned_stage_clean.rs"),
     ),
+    (
+        "unbound-span",
+        include_str!("fixtures/unbound_span_violating.rs"),
+        include_str!("fixtures/unbound_span_suppressed.rs"),
+        include_str!("fixtures/unbound_span_clean.rs"),
+    ),
 ];
 
 #[test]

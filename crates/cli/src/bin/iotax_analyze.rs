@@ -5,6 +5,7 @@
 //! ```sh
 //! iotax-analyze /tmp/theta-trace
 //! iotax-analyze /tmp/theta-trace --metrics-out metrics.jsonl
+//! iotax-analyze /tmp/theta-trace --ledger runs/analyze-1
 //! iotax-analyze /tmp/theta-trace --stats-only
 //! ```
 //!
@@ -16,7 +17,10 @@
 //!
 //! With `--metrics-out PATH`, the run's timing spans, counters and
 //! histograms stream to `PATH` as JSON lines (see the `iotax-obs` crate);
-//! the five `core.*` stage spans appear there.
+//! the five `core.*` stage spans appear there. With `--ledger DIR`, a
+//! self-contained run directory is written (manifest, span tree, metric
+//! summaries, stage health and per-stage metrics) for `iotax-report` to
+//! show, diff, export, or gate against.
 //!
 //! Ingestion is **lenient by default**: corrupt logs are salvaged (every
 //! intact record before the damage point is recovered), unsalvageable
@@ -26,21 +30,23 @@
 //! moves unsalvageable files aside; `--ingest-report PATH` writes the
 //! per-file ingest accounting as JSON lines (the CI chaos job uploads it).
 
-use iotax_cli::{ingest_trace, trace_duplicate_sets, trace_to_dataset, IngestOptions};
+use iotax_cli::{
+    ingest_trace, trace_duplicate_sets, trace_to_dataset, IngestOptions, ObsArgs, ObsSession,
+};
 use iotax_core::{
     app_modeling_bound, concurrent_noise_floor, empirical_coverage, interval_from_floor,
     TaxonomyRun, ThroughputInterval,
 };
-use iotax_obs::{Error, JsonLinesSink};
+use iotax_obs::{digest_bytes, Error};
 use std::path::PathBuf;
-use std::sync::Arc;
 
-const USAGE: &str = "usage: iotax-analyze TRACE_DIR [--metrics-out PATH] [--stats-only] \
-                     [--strict] [--retries N] [--quarantine DIR] [--ingest-report PATH]";
+const USAGE: &str = "usage: iotax-analyze TRACE_DIR [--metrics-out PATH] [--ledger DIR] \
+                     [--stats-only] [--strict] [--retries N] [--quarantine DIR] \
+                     [--ingest-report PATH]";
 
 struct Args {
     dir: PathBuf,
-    metrics_out: Option<PathBuf>,
+    obs: ObsArgs,
     stats_only: bool,
     strict: bool,
     retries: u32,
@@ -50,7 +56,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, Error> {
     let mut dir = None;
-    let mut metrics_out = None;
+    let mut obs = ObsArgs::default();
     let mut stats_only = false;
     let mut strict = false;
     let mut retries = 3;
@@ -62,7 +68,6 @@ fn parse_args() -> Result<Args, Error> {
             |name: &str| it.next().ok_or_else(|| Error::usage(format!("{name} needs a value")));
         match arg.as_str() {
             "--help" | "-h" => return Err(Error::usage(USAGE)),
-            "--metrics-out" => metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--stats-only" => stats_only = true,
             "--strict" => strict = true,
             "--retries" => {
@@ -72,23 +77,32 @@ fn parse_args() -> Result<Args, Error> {
             }
             "--quarantine" => quarantine = Some(PathBuf::from(value("--quarantine")?)),
             "--ingest-report" => ingest_report = Some(PathBuf::from(value("--ingest-report")?)),
-            other if dir.is_none() => dir = Some(PathBuf::from(other)),
-            other => return Err(Error::usage(format!("unexpected argument {other} ({USAGE})"))),
+            other => {
+                if obs.accept(other, &mut value)? {
+                } else if dir.is_none() && !other.starts_with('-') {
+                    dir = Some(PathBuf::from(other));
+                } else {
+                    return Err(Error::usage(format!("unexpected argument {other} ({USAGE})")));
+                }
+            }
         }
     }
     let dir = dir.ok_or_else(|| Error::usage(USAGE))?;
-    Ok(Args { dir, metrics_out, stats_only, strict, retries, quarantine, ingest_report })
+    Ok(Args { dir, obs, stats_only, strict, retries, quarantine, ingest_report })
 }
 
-fn run() -> Result<(), Error> {
-    let args = parse_args()?;
-    if let Some(path) = &args.metrics_out {
-        let sink = JsonLinesSink::create(path)
-            .map_err(|e| Error::io(format!("creating metrics file {}", path.display()), e))?;
-        iotax_obs::set_sink(Arc::new(sink));
-    }
-
+fn run(args: &Args, session: &mut ObsSession) -> Result<(), Error> {
     let _span = iotax_obs::span!("analyze");
+    if let Some(ledger) = session.ledger_mut() {
+        ledger.set_config_digest(digest_bytes(
+            format!(
+                "stats_only={} strict={} retries={}",
+                args.stats_only, args.strict, args.retries
+            )
+            .as_bytes(),
+        ));
+        ledger.add_input(args.dir.join("manifest.csv"));
+    }
     let opts = IngestOptions {
         strict: args.strict,
         max_retries: args.retries,
@@ -199,32 +213,55 @@ fn run() -> Result<(), Error> {
                    ensemble UQ, noise floor)..."
         );
         let ds = trace_to_dataset(&jobs);
-        let report = TaxonomyRun::new(&ds)
+        let mut report = TaxonomyRun::new(&ds)
             .baseline()?
             .app_litmus()?
             .system_litmus()?
             .ood()?
             .noise_floor()?
             .finish();
+        if let Some(id) = session.run_id() {
+            report = report.with_run_id(id);
+        }
         println!("\n{}", report.render_text());
-        if args.metrics_out.is_some() {
+        if args.obs.metrics_out.is_some() {
             let stages: Vec<&str> = report.timings.iter().map(|t| t.name.as_str()).collect();
             eprintln!("stage spans captured: {}", stages.join(", "));
+        }
+        if let Some(ledger) = session.ledger_mut() {
+            // The taxonomy payload rides in named ledger sections so
+            // iotax-report can read it without a dependency on iotax-core.
+            ledger.add_section("stages", &report.stages);
+            ledger.add_section("stage_metrics", &report.stage_metrics);
         }
     }
     Ok(())
 }
 
-fn main() -> Result<(), Error> {
-    match run() {
-        Ok(()) => {
-            iotax_obs::flush_metrics();
-            Ok(())
-        }
+fn main() {
+    // Returning `Err` from `main` would exit 1; the sysexits contract
+    // (64 usage, 65 parse, 74 I/O) needs the explicit code.
+    let args = match parse_args() {
+        Ok(args) => args,
         Err(e) => {
-            iotax_obs::flush_metrics();
             eprintln!("iotax-analyze: {e}");
             std::process::exit(i32::from(e.exit_code()));
+        }
+    };
+    let mut session = match args.obs.install("iotax-analyze") {
+        Ok(session) => session,
+        Err(e) => {
+            eprintln!("iotax-analyze: {e}");
+            std::process::exit(i32::from(e.exit_code()));
+        }
+    };
+    match run(&args, &mut session) {
+        Ok(()) => session.finish(0),
+        Err(e) => {
+            eprintln!("iotax-analyze: {e}");
+            let code = i32::from(e.exit_code());
+            session.finish(code);
+            std::process::exit(code);
         }
     }
 }

@@ -4,6 +4,7 @@
 //! ```sh
 //! iotax-gen --system theta --jobs 5000 --seed 42 --out /tmp/theta-trace
 //! iotax-gen --jobs 2000 --metrics-out gen-metrics.jsonl
+//! iotax-gen --jobs 2000 --ledger runs/gen-1     # write a run ledger
 //! iotax-gen --jobs 2000 --fault-rate 0.2 --fault-seed 7   # dirty trace
 //! ```
 //!
@@ -12,19 +13,21 @@
 //! counters, dropped modules, trailing garbage, duplicated records,
 //! transient unreadability) and writes the ground-truth `faults.json`
 //! manifest so recovery can be scored by `iotax-analyze`.
+//!
+//! The observability flags (`--metrics-out`, `--ledger`) are shared with
+//! `iotax-analyze` and `iotax-audit`; see `iotax_cli::obsargs`.
 
-use iotax_cli::{export_trace, inject_faults};
-use iotax_obs::{Error, JsonLinesSink};
+use iotax_cli::{export_trace, inject_faults, ObsArgs, ObsSession, OBS_USAGE};
+use iotax_obs::{digest_bytes, Error};
 use iotax_sim::{FaultPlan, Platform, SimConfig};
 use std::path::PathBuf;
-use std::sync::Arc;
 
 struct Args {
     system: String,
     jobs: usize,
     seed: u64,
     out: PathBuf,
-    metrics_out: Option<PathBuf>,
+    obs: ObsArgs,
     fault_rate: f64,
     fault_seed: Option<u64>,
 }
@@ -35,7 +38,7 @@ fn parse_args() -> Result<Args, Error> {
         jobs: 5_000,
         seed: 42,
         out: PathBuf::from("iotax-trace"),
-        metrics_out: None,
+        obs: ObsArgs::default(),
         fault_rate: 0.0,
         fault_seed: None,
     };
@@ -54,7 +57,6 @@ fn parse_args() -> Result<Args, Error> {
                     value("--seed")?.parse().map_err(|e| Error::usage(format!("--seed: {e}")))?
             }
             "--out" => args.out = PathBuf::from(value("--out")?),
-            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--fault-rate" => {
                 args.fault_rate = value("--fault-rate")?
                     .parse()
@@ -71,25 +73,24 @@ fn parse_args() -> Result<Args, Error> {
                 )
             }
             "--help" | "-h" => {
-                return Err(Error::usage(
+                return Err(Error::usage(format!(
                     "usage: iotax-gen [--system theta|cori] [--jobs N] \
-                     [--seed N] [--out DIR] [--metrics-out PATH] \
-                     [--fault-rate F] [--fault-seed N]",
-                ))
+                     [--seed N] [--out DIR] {OBS_USAGE} \
+                     [--fault-rate F] [--fault-seed N]"
+                )))
             }
-            other => return Err(Error::usage(format!("unknown flag {other} (try --help)"))),
+            other => {
+                if !args.obs.accept(other, &mut value)? {
+                    return Err(Error::usage(format!("unknown flag {other} (try --help)")));
+                }
+            }
         }
     }
     Ok(args)
 }
 
-fn run() -> Result<(), Error> {
-    let args = parse_args()?;
-    if let Some(path) = &args.metrics_out {
-        let sink = JsonLinesSink::create(path)
-            .map_err(|e| Error::io(format!("creating metrics file {}", path.display()), e))?;
-        iotax_obs::set_sink(Arc::new(sink));
-    }
+fn run(args: &Args, session: &mut ObsSession) -> Result<(), Error> {
+    let _span = iotax_obs::span!("gen");
     let config = match args.system.as_str() {
         "theta" => SimConfig::theta(),
         "cori" => SimConfig::cori(),
@@ -97,6 +98,16 @@ fn run() -> Result<(), Error> {
     }
     .with_jobs(args.jobs)
     .with_seed(args.seed);
+    if let Some(ledger) = session.ledger_mut() {
+        ledger.set_config_digest(digest_bytes(
+            format!("system={} jobs={} fault_rate={}", args.system, args.jobs, args.fault_rate)
+                .as_bytes(),
+        ));
+        ledger.add_seed("seed", args.seed);
+        if let Some(fs) = args.fault_seed {
+            ledger.add_seed("fault_seed", fs);
+        }
+    }
     eprintln!(
         "generating {} {} jobs over {:.0} days (seed {})...",
         config.n_jobs,
@@ -119,19 +130,38 @@ fn run() -> Result<(), Error> {
             plan.seed
         );
     }
+    if let Some(ledger) = session.ledger_mut() {
+        // Digest the written manifest so two gen runs can be compared for
+        // output byte-determinism straight from their ledgers.
+        ledger.add_input(args.out.join("manifest.csv"));
+    }
     Ok(())
 }
 
-fn main() -> Result<(), Error> {
-    match run() {
-        Ok(()) => {
-            iotax_obs::flush_metrics();
-            Ok(())
-        }
+fn main() {
+    // Returning `Err` from `main` would exit 1; the sysexits contract
+    // (64 usage, 65 parse, 74 I/O) needs the explicit code.
+    let args = match parse_args() {
+        Ok(args) => args,
         Err(e) => {
-            iotax_obs::flush_metrics();
             eprintln!("iotax-gen: {e}");
             std::process::exit(i32::from(e.exit_code()));
+        }
+    };
+    let mut session = match args.obs.install("iotax-gen") {
+        Ok(session) => session,
+        Err(e) => {
+            eprintln!("iotax-gen: {e}");
+            std::process::exit(i32::from(e.exit_code()));
+        }
+    };
+    match run(&args, &mut session) {
+        Ok(()) => session.finish(0),
+        Err(e) => {
+            eprintln!("iotax-gen: {e}");
+            let code = i32::from(e.exit_code());
+            session.finish(code);
+            std::process::exit(code);
         }
     }
 }

@@ -1,0 +1,158 @@
+//! The shared observability flags: one parser for all workspace bins.
+//!
+//! `iotax-gen`, `iotax-analyze`, and `iotax-audit` all accept
+//! `--metrics-out PATH` (stream spans/counters/histograms as JSON lines)
+//! and `--ledger DIR` (write a self-contained run directory, see
+//! [`iotax_obs::Ledger`]). Each binary folds [`ObsArgs::accept`] into its
+//! flag loop instead of keeping its own copy of the parsing, then
+//! [`ObsArgs::install`]s the sinks once and [`ObsSession::finish`]es on
+//! every exit path so `run.json` carries the real exit status.
+
+use iotax_obs::{Error, JsonLinesSink, Ledger, LedgerSink, Result, Sink, TeeSink};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Usage-string fragment for the shared flags.
+pub const OBS_USAGE: &str = "[--metrics-out PATH] [--ledger DIR]";
+
+/// The iotax workspace crates linked into every binary; recorded in run
+/// manifests. All workspace crates share one version.
+const WORKSPACE_CRATES: &[&str] = &[
+    "iotax-obs",
+    "iotax-stats",
+    "iotax-darshan",
+    "iotax-sched",
+    "iotax-lmt",
+    "iotax-sim",
+    "iotax-ml",
+    "iotax-uq",
+    "iotax-core",
+    "iotax-cli",
+];
+
+/// Parsed values of the shared observability flags.
+#[derive(Debug, Default)]
+pub struct ObsArgs {
+    /// `--metrics-out PATH`: JSONL span/metric stream.
+    pub metrics_out: Option<PathBuf>,
+    /// `--ledger DIR`: run-ledger directory.
+    pub ledger: Option<PathBuf>,
+}
+
+impl ObsArgs {
+    /// Tries to consume `flag`; `value` pulls the flag's argument from
+    /// the iterator the caller is already walking. Returns whether the
+    /// flag was one of the shared observability flags.
+    pub fn accept(
+        &mut self,
+        flag: &str,
+        value: &mut dyn FnMut(&str) -> Result<String>,
+    ) -> Result<bool> {
+        match flag {
+            "--metrics-out" => {
+                self.metrics_out = Some(PathBuf::from(value("--metrics-out")?));
+                Ok(true)
+            }
+            "--ledger" => {
+                self.ledger = Some(PathBuf::from(value("--ledger")?));
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Installs the requested sinks globally (a [`TeeSink`] when both
+    /// flags are present) and opens the run ledger if one was requested.
+    pub fn install(&self, tool: &str) -> Result<ObsSession> {
+        let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
+        if let Some(path) = &self.metrics_out {
+            let sink = JsonLinesSink::create(path)
+                .map_err(|e| Error::io(format!("creating metrics file {}", path.display()), e))?;
+            sinks.push(Arc::new(sink));
+        }
+        let ledger = match &self.ledger {
+            Some(dir) => {
+                let args: Vec<String> = std::env::args().skip(1).collect();
+                let mut ledger = Ledger::create(dir, tool, env!("CARGO_PKG_VERSION"), args)?;
+                for name in WORKSPACE_CRATES {
+                    ledger.add_crate_version(name, env!("CARGO_PKG_VERSION"));
+                }
+                let sink: Arc<LedgerSink> = ledger.sink();
+                sinks.push(sink);
+                Some(ledger)
+            }
+            None => None,
+        };
+        match sinks.len() {
+            0 => {}
+            1 => {
+                // audit:allow(swallowed-result) -- the displaced default NoopSink is dropped by design
+                let _ = iotax_obs::set_sink(sinks.remove(0));
+            }
+            _ => {
+                // audit:allow(swallowed-result) -- the displaced default NoopSink is dropped by design
+                let _ = iotax_obs::set_sink(Arc::new(TeeSink::new(sinks)));
+            }
+        }
+        Ok(ObsSession { ledger })
+    }
+}
+
+/// The installed observability state of one invocation. Obtain with
+/// [`ObsArgs::install`]; call [`finish`](ObsSession::finish) on every
+/// exit path.
+pub struct ObsSession {
+    ledger: Option<Ledger>,
+}
+
+impl ObsSession {
+    /// The run id, when a ledger is being written.
+    pub fn run_id(&self) -> Option<String> {
+        self.ledger.as_ref().map(|l| l.run_id().to_owned())
+    }
+
+    /// The in-progress ledger, for recording seeds, inputs, config
+    /// digests, and tool-specific sections.
+    pub fn ledger_mut(&mut self) -> Option<&mut Ledger> {
+        self.ledger.as_mut()
+    }
+
+    /// Flushes metrics to the installed sink and, when a ledger is
+    /// active, stamps `exit_status` and writes `run.json`. Ledger write
+    /// failures are reported to stderr, not propagated: the run itself
+    /// already succeeded or failed on its own terms.
+    pub fn finish(self, exit_status: i32) {
+        iotax_obs::flush_metrics();
+        if let Some(ledger) = self.ledger {
+            match ledger.finish(exit_status) {
+                Ok(path) => eprintln!("run ledger written to {}", path.display()),
+                Err(e) => eprintln!("run ledger write failed: {e}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_consumes_only_shared_flags() {
+        let mut obs = ObsArgs::default();
+        let mut pulls = vec!["metrics.jsonl".to_owned(), "ledger-dir".to_owned()];
+        let mut value = move |_name: &str| Ok(pulls.remove(0));
+        assert!(obs.accept("--metrics-out", &mut value).expect("metrics-out"));
+        assert!(obs.accept("--ledger", &mut value).expect("ledger"));
+        assert!(!obs.accept("--jobs", &mut value).expect("other flag untouched"));
+        assert_eq!(obs.metrics_out.as_deref(), Some(std::path::Path::new("metrics.jsonl")));
+        assert_eq!(obs.ledger.as_deref(), Some(std::path::Path::new("ledger-dir")));
+    }
+
+    #[test]
+    fn accept_requires_a_value() {
+        let mut obs = ObsArgs::default();
+        let mut value =
+            |name: &str| Err(Error::usage(format!("{name} needs a value"))) as Result<String>;
+        assert!(obs.accept("--ledger", &mut value).is_err());
+    }
+}

@@ -42,5 +42,5 @@ pub use intervals::{empirical_coverage, interval_from_floor, ThroughputInterval}
 pub use litmus::{app_modeling_bound, concurrent_noise_floor, dt_bucket_spreads, NoiseFloor};
 pub use taxonomy::{
     AppLitmusStage, BaselineStage, ErrorBreakdown, NoiseFloorStage, OodStage, StageHealth,
-    SystemLitmusStage, Taxonomy, TaxonomyReport, TaxonomyRun,
+    StageMetric, SystemLitmusStage, Taxonomy, TaxonomyReport, TaxonomyRun,
 };

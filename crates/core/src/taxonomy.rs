@@ -72,7 +72,6 @@ pub struct ErrorBreakdown {
 /// analog of the salvage parser's anomaly list. (A flat struct rather than
 /// a payload enum so it serializes through the vendored serde derive.)
 #[derive(Debug, Clone, PartialEq, Serialize)]
-// audit:allow(dead-public-api) -- type of TaxonomyReport's public `stages` field
 pub struct StageHealth {
     /// Stage span name (`core.baseline`, `core.app_litmus`, ...).
     pub stage: String,
@@ -93,9 +92,24 @@ impl StageHealth {
     }
 }
 
+/// One scalar a pipeline stage measured, keyed by stage span name — the
+/// flat form persisted into run ledgers and compared by `iotax-report`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StageMetric {
+    /// Stage span name (`core.baseline`, …) or `attribution` for the
+    /// final Fig. 7 shares.
+    pub stage: String,
+    /// Metric name within the stage.
+    pub metric: String,
+    /// Measured value.
+    pub value: f64,
+}
+
 /// Everything the pipeline measured.
 #[derive(Debug, Serialize)]
 pub struct TaxonomyReport {
+    /// Run-ledger id when the invocation wrote one (`--ledger`), else None.
+    pub run_id: Option<String>,
     /// Which system preset was analyzed.
     pub system: SystemKind,
     /// Jobs analyzed.
@@ -121,6 +135,9 @@ pub struct TaxonomyReport {
     /// (missing MPI-IO telemetry, too few duplicate clusters, ...). One
     /// entry per stage, in pipeline order.
     pub stages: Vec<StageHealth>,
+    /// Flat per-stage scalar snapshot, in pipeline order — the numbers
+    /// `iotax-report diff`/`gate` compare across runs.
+    pub stage_metrics: Vec<StageMetric>,
     /// Per-stage span trees captured while the pipeline ran (the
     /// `core.*` stages, with any nested `ml.*`/`uq.*` spans inside).
     pub timings: Vec<SpanNode>,
@@ -130,6 +147,12 @@ impl TaxonomyReport {
     /// The stages that ran degraded (empty on a healthy run).
     pub(crate) fn degraded_stages(&self) -> Vec<&StageHealth> {
         self.stages.iter().filter(|s| s.degraded).collect()
+    }
+
+    /// Stamps the run-ledger id onto the report.
+    pub fn with_run_id(mut self, run_id: impl Into<String>) -> Self {
+        self.run_id = Some(run_id.into());
+        self
     }
 }
 
@@ -537,7 +560,36 @@ impl NoiseFloorStage<'_> {
             unexplained_share: 1.0 - app_share - system_share - ood.ood_error_share - noise_share,
         };
 
+        let mut stage_metrics = vec![
+            metric("core.baseline", "baseline_median_error_pct", app.baseline_error_pct),
+            metric("core.app_litmus", "app_bound_median_abs_pct", app.app_bound.median_abs_pct),
+            metric("core.app_litmus", "tuned_median_error_pct", app.tuned_error_pct),
+            metric("core.system_litmus", "golden_test_error_pct", sys.golden.test_error_pct),
+        ];
+        if let Some(lmt) = &sys.lmt_enriched {
+            stage_metrics.push(metric(
+                "core.system_litmus",
+                "lmt_test_error_pct",
+                lmt.test_error_pct,
+            ));
+        }
+        stage_metrics.push(metric("core.ood", "ood_fraction", ood.ood_fraction));
+        stage_metrics.push(metric("core.ood", "ood_error_share", ood.ood_error_share));
+        if let Some(n) = &noise {
+            stage_metrics.push(metric("core.noise_floor", "median_abs_pct", n.median_abs_pct));
+        }
+        for (name, value) in [
+            ("app_share", breakdown.app_share),
+            ("system_share", breakdown.system_share),
+            ("ood_share", breakdown.ood_share),
+            ("noise_share", breakdown.noise_share),
+            ("unexplained_share", breakdown.unexplained_share),
+        ] {
+            stage_metrics.push(metric("attribution", name, value));
+        }
+
         TaxonomyReport {
+            run_id: None,
             system: core.sim.config.system,
             n_jobs: core.sim.jobs.len(),
             baseline_median_error_pct: app.baseline_error_pct,
@@ -549,9 +601,15 @@ impl NoiseFloorStage<'_> {
             noise,
             breakdown,
             stages: core.health,
+            stage_metrics,
             timings: core.capture.finish(),
         }
     }
+}
+
+/// Shorthand for one [`StageMetric`].
+fn metric(stage: &str, name: &str, value: f64) -> StageMetric {
+    StageMetric { stage: stage.to_owned(), metric: name.to_owned(), value }
 }
 
 impl TaxonomyReport {
@@ -658,6 +716,26 @@ mod tests {
         let text = report.render_text();
         assert!(text.contains("step 5"));
         assert!(text.contains("error attribution"));
+        // The flat metric snapshot covers the headline numbers and the
+        // attribution shares, and matches the structured fields exactly.
+        assert!(report.run_id.is_none(), "run id only set by --ledger invocations");
+        let find = |stage: &str, metric: &str| {
+            report
+                .stage_metrics
+                .iter()
+                .find(|m| m.stage == stage && m.metric == metric)
+                .unwrap_or_else(|| panic!("missing stage metric {stage}/{metric}"))
+                .value
+        };
+        assert_eq!(
+            find("core.baseline", "baseline_median_error_pct"),
+            report.baseline_median_error_pct
+        );
+        assert_eq!(
+            find("core.app_litmus", "tuned_median_error_pct"),
+            report.tuned_median_error_pct
+        );
+        assert_eq!(find("attribution", "unexplained_share"), b.unexplained_share);
     }
 
     #[test]

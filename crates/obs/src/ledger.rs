@@ -1,0 +1,319 @@
+//! The run ledger: a self-contained, comparable record of one tool
+//! invocation.
+//!
+//! Every `iotax-gen` / `iotax-analyze` / `iotax-audit` run started with
+//! `--ledger <dir>` writes `<dir>/run.json`: a [`RunManifest`] (tool,
+//! args, config digest, seeds, input digests, crate versions, wall time,
+//! exit status), the full flat span stream (reassemble with
+//! [`assemble_span_tree`]), final counter values, and p50/p95/p99
+//! histogram digests. Tool-specific payloads (taxonomy stage health,
+//! audit finding counts, …) ride along as named [`RunFile::sections`]
+//! without this crate depending on the crates that produce them.
+//!
+//! `iotax-report` consumes these directories: `show` one run, `diff`
+//! two, `export` a chrome-trace / flamegraph view, or `gate` a run
+//! against a committed baseline in CI.
+//!
+//! [`assemble_span_tree`]: crate::assemble_span_tree
+
+use crate::metrics::{snapshot_counters, snapshot_histograms, CounterSnapshot, HistogramSummary};
+use crate::sink::Sink;
+use crate::span::SpanRecord;
+use crate::{Error, Result};
+use serde::{Deserialize, Serialize, Value};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// 64-bit FNV-1a over a byte slice; the workspace's dependency-free
+/// content digest (collision resistance is not a goal — drift detection
+/// between two runs of the same pipeline is).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Digests arbitrary bytes into the ledger's `fnv1a:…` notation.
+pub fn digest_bytes(bytes: &[u8]) -> String {
+    format!("fnv1a:{:016x}", fnv1a(bytes))
+}
+
+/// Size and content digest of one input file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputDigest {
+    /// Path as passed on the command line.
+    pub path: String,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Content digest (see [`digest_bytes`]).
+    pub digest: String,
+}
+
+/// Reads and digests one input file.
+pub(crate) fn digest_file(path: impl AsRef<Path>) -> Result<InputDigest> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)
+        .map_err(|e| Error::io(format!("digesting input {}", path.display()), e))?;
+    Ok(InputDigest {
+        path: path.display().to_string(),
+        bytes: bytes.len() as u64,
+        digest: digest_bytes(&bytes),
+    })
+}
+
+/// The who/what/when of one run: everything needed to decide whether two
+/// run directories are comparable before diffing them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Process-unique run id, e.g. `iotax-analyze-3f9c…`.
+    pub run_id: String,
+    /// Tool name (`iotax-gen`, `iotax-analyze`, `iotax-audit`).
+    pub tool: String,
+    /// The tool crate's version at build time.
+    pub tool_version: String,
+    /// Command-line arguments after the binary name.
+    pub args: Vec<String>,
+    /// Wall-clock start, milliseconds since the Unix epoch.
+    pub started_unix_ms: u64,
+    /// Total wall time of the run, microseconds.
+    pub wall_us: u64,
+    /// Process exit status the run finished with.
+    pub exit_status: i64,
+    /// Digest of the effective configuration (tool-defined).
+    pub config_digest: String,
+    /// Named RNG seeds that influenced the run.
+    pub seeds: Vec<(String, u64)>,
+    /// Digests of the input files the run consumed.
+    pub inputs: Vec<InputDigest>,
+    /// `(crate, version)` pairs for the workspace crates in the binary.
+    pub crate_versions: Vec<(String, String)>,
+}
+
+/// The complete persisted state of one run: `run.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunFile {
+    /// Run identity and provenance.
+    pub manifest: RunManifest,
+    /// Flat span stream in close order (all threads interleaved).
+    pub spans: Vec<SpanRecord>,
+    /// Final counter values, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Final histogram digests, sorted by name.
+    pub histograms: Vec<HistogramSummary>,
+    /// Tool-specific payloads, e.g. `("stages", …)` from iotax-analyze.
+    pub sections: Vec<(String, Value)>,
+}
+
+impl RunFile {
+    /// Decodes the named section, if present and well-formed.
+    pub fn section<T: Deserialize>(&self, name: &str) -> Option<T> {
+        self.sections.iter().find(|(n, _)| n == name).and_then(|(_, v)| T::from_value(v).ok())
+    }
+}
+
+/// Reads a run directory (or a direct path to a `run.json`) back into a
+/// [`RunFile`].
+pub fn load_run(path: impl AsRef<Path>) -> Result<RunFile> {
+    let path = path.as_ref();
+    let file = if path.is_dir() { path.join("run.json") } else { path.to_path_buf() };
+    let text = std::fs::read_to_string(&file)
+        .map_err(|e| Error::io(format!("reading run ledger {}", file.display()), e))?;
+    serde_json::from_str(&text)
+        .map_err(|e| Error::parse(format!("decoding run ledger {}", file.display()), e))
+}
+
+/// The sink side of a ledger: buffers the span stream in memory until
+/// [`Ledger::finish`] persists it. Counters and histograms are *not*
+/// collected here — `finish` snapshots the live registry directly, so
+/// the ledger always holds final values regardless of flush ordering.
+#[derive(Default)]
+pub struct LedgerSink {
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl LedgerSink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn span_records(&self) -> Vec<SpanRecord> {
+        self.spans.lock().expect("ledger sink poisoned").clone()
+    }
+}
+
+impl Sink for LedgerSink {
+    fn span_close(&self, record: &SpanRecord) {
+        self.spans.lock().expect("ledger sink poisoned").push(record.clone());
+    }
+}
+
+/// An in-progress run ledger. Create one at process start, install its
+/// [`sink`](Ledger::sink) (possibly behind a [`TeeSink`]), describe the
+/// run through the builder methods, and [`finish`](Ledger::finish) on
+/// every exit path.
+///
+/// [`TeeSink`]: crate::TeeSink
+pub struct Ledger {
+    dir: PathBuf,
+    sink: Arc<LedgerSink>,
+    start: Instant,
+    manifest: RunManifest,
+    sections: Vec<(String, Value)>,
+}
+
+impl Ledger {
+    /// Creates the run directory (and parents) and an empty ledger for
+    /// `tool`. `args` should be the command line after the binary name.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        tool: &str,
+        tool_version: &str,
+        args: Vec<String>,
+    ) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| Error::io(format!("creating ledger dir {}", dir.display()), e))?;
+        let started_unix_ms =
+            SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_millis() as u64);
+        let mut seed = format!("{tool}\u{1f}{started_unix_ms}\u{1f}{}", std::process::id());
+        for a in &args {
+            seed.push('\u{1f}');
+            seed.push_str(a);
+        }
+        let run_id = format!("{tool}-{:016x}", fnv1a(seed.as_bytes()));
+        Ok(Self {
+            dir,
+            sink: Arc::new(LedgerSink::new()),
+            start: Instant::now(),
+            manifest: RunManifest {
+                run_id,
+                tool: tool.to_owned(),
+                tool_version: tool_version.to_owned(),
+                args,
+                started_unix_ms,
+                wall_us: 0,
+                exit_status: 0,
+                config_digest: String::new(),
+                seeds: Vec::new(),
+                inputs: Vec::new(),
+                crate_versions: Vec::new(),
+            },
+            sections: Vec::new(),
+        })
+    }
+
+    /// The span-collecting sink to install for this run.
+    pub fn sink(&self) -> Arc<LedgerSink> {
+        self.sink.clone()
+    }
+
+    /// The generated run id.
+    pub fn run_id(&self) -> &str {
+        &self.manifest.run_id
+    }
+
+    /// Records the digest of the effective configuration.
+    pub fn set_config_digest(&mut self, digest: impl Into<String>) {
+        self.manifest.config_digest = digest.into();
+    }
+
+    /// Records one named RNG seed.
+    pub fn add_seed(&mut self, name: &str, value: u64) {
+        self.manifest.seeds.push((name.to_owned(), value));
+    }
+
+    /// Digests and records one input file. Missing inputs are recorded
+    /// with a `missing:` digest rather than failing the run.
+    pub fn add_input(&mut self, path: impl AsRef<Path>) {
+        let path = path.as_ref();
+        let entry = digest_file(path).unwrap_or_else(|_| InputDigest {
+            path: path.display().to_string(),
+            bytes: 0,
+            digest: "missing:unreadable".to_owned(),
+        });
+        self.manifest.inputs.push(entry);
+    }
+
+    /// Records one workspace crate version baked into the binary.
+    pub fn add_crate_version(&mut self, name: &str, version: &str) {
+        self.manifest.crate_versions.push((name.to_owned(), version.to_owned()));
+    }
+
+    /// Attaches a tool-specific payload under `name`.
+    pub fn add_section<T: Serialize>(&mut self, name: &str, payload: &T) {
+        self.sections.push((name.to_owned(), payload.to_value()));
+    }
+
+    /// Stamps wall time and exit status, snapshots the metric registry,
+    /// and writes `run.json`. Returns the written path.
+    pub fn finish(mut self, exit_status: i32) -> Result<PathBuf> {
+        self.manifest.wall_us = self.start.elapsed().as_micros() as u64;
+        self.manifest.exit_status = i64::from(exit_status);
+        let run = RunFile {
+            manifest: self.manifest,
+            spans: self.sink.span_records(),
+            counters: snapshot_counters(),
+            histograms: snapshot_histograms().iter().map(|s| s.summary()).collect(),
+            sections: self.sections,
+        };
+        let path = self.dir.join("run.json");
+        let mut text = serde_json::to_string_pretty(&run)
+            .map_err(|e| Error::parse("encoding run ledger", e))?;
+        text.push('\n');
+        std::fs::write(&path, text)
+            .map_err(|e| Error::io(format!("writing run ledger {}", path.display()), e))?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        assert_eq!(digest_bytes(b"abc"), digest_bytes(b"abc"));
+        assert_ne!(digest_bytes(b"abc"), digest_bytes(b"abd"));
+        assert_eq!(digest_bytes(b""), "fnv1a:cbf29ce484222325");
+    }
+
+    #[test]
+    fn ledger_round_trips_through_run_json() {
+        let _guard = crate::sink::test_sink_lock();
+        let dir = std::env::temp_dir().join(format!("iotax-ledger-test-{}", std::process::id()));
+        let mut ledger =
+            Ledger::create(&dir, "iotax-test", "0.0.0", vec!["--flag".to_owned()]).expect("create");
+        ledger.set_config_digest(digest_bytes(b"cfg"));
+        ledger.add_seed("seed", 42);
+        ledger.add_crate_version("iotax-obs", "0.1.0");
+        ledger.add_section("notes", &vec![("k".to_owned(), 1.5f64)]);
+        let previous = crate::set_sink(ledger.sink());
+        {
+            let _root = crate::span!("ledger.root");
+            let _inner = crate::span!("ledger.inner");
+        }
+        crate::restore_sink(previous);
+        let path = ledger.finish(0).expect("finish");
+
+        let run = load_run(&dir).expect("load");
+        assert_eq!(run.manifest.tool, "iotax-test");
+        assert_eq!(run.manifest.seeds, vec![("seed".to_owned(), 42)]);
+        assert_eq!(run.manifest.exit_status, 0);
+        assert!(run.manifest.run_id.starts_with("iotax-test-"));
+        let names: Vec<_> = run.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["ledger.inner", "ledger.root"]);
+        let forest = crate::assemble_span_tree(&run.spans);
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest[0].children[0].name, "ledger.inner");
+        let notes: Vec<(String, f64)> = run.section("notes").expect("section decodes");
+        assert_eq!(notes, vec![("k".to_owned(), 1.5)]);
+        assert!(run.section::<Vec<(String, f64)>>("absent").is_none());
+        std::fs::remove_file(path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+}

@@ -40,23 +40,39 @@
 //! can speak it without dependency cycles.
 
 mod error;
+mod ledger;
 mod metrics;
 mod sink;
 mod span;
 
 pub use error::{Error, ErrorKind, Result};
-pub use metrics::{register_counter, register_histogram, Counter, Histogram};
-pub use sink::{flush_metrics, restore_sink, set_sink, JsonLinesSink, MemorySink, NoopSink, Sink};
-pub use span::{assemble_span_tree, capture, Capture, SpanGuard, SpanNode, SpanRecord};
+pub use ledger::{digest_bytes, load_run, InputDigest, Ledger, LedgerSink, RunFile, RunManifest};
+pub use metrics::{
+    register_counter, register_histogram, Counter, CounterSnapshot, Histogram, HistogramSnapshot,
+    HistogramSummary,
+};
+pub use sink::{
+    flush_metrics, restore_sink, set_sink, JsonLinesSink, MemorySink, NoopSink, Sink, TeeSink,
+};
+pub use span::{
+    assemble_span_tree, capture, current_span, Capture, SpanGuard, SpanHandle, SpanNode, SpanRecord,
+};
 
 /// Opens a timing span; returns a [`SpanGuard`] that closes it on drop.
 ///
 /// Bind the result (`let _span = span!("core.baseline");`) — an unbound
 /// statement would drop, and therefore close, the span immediately.
+///
+/// The two-argument form `span!("name", parent = handle)` attaches the
+/// span to an explicit parent captured with [`current_span`] — the
+/// spawn-point idiom for work fanned out to other threads.
 #[macro_export]
 macro_rules! span {
     ($name:expr) => {
         $crate::SpanGuard::enter($name)
+    };
+    ($name:expr, parent = $parent:expr) => {
+        $crate::SpanGuard::enter_under($name, $parent)
     };
 }
 

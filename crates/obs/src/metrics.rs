@@ -56,7 +56,6 @@ impl Counter {
 
 /// Adds a counter to the global registry once; subsequent calls are a
 /// single relaxed load.
-// audit:allow(dead-public-api) -- expanded from the counter! macro in downstream crates; must stay pub for the $crate:: path to resolve
 pub fn register_counter(counter: &'static Counter) {
     if !counter.registered.load(Ordering::Relaxed)
         && !counter.registered.swap(true, Ordering::AcqRel)
@@ -145,7 +144,6 @@ impl Histogram {
 }
 
 /// Adds a histogram to the global registry once.
-// audit:allow(dead-public-api) -- expanded from the histogram! macro in downstream crates; must stay pub for the $crate:: path to resolve
 pub fn register_histogram(histogram: &'static Histogram) {
     if !histogram.registered.load(Ordering::Relaxed)
         && !histogram.registered.swap(true, Ordering::AcqRel)
@@ -186,6 +184,42 @@ impl HistogramSnapshot {
             }
         }
         u64::MAX
+    }
+}
+
+/// Fixed-quantile digest of one histogram, as persisted in run ledgers.
+/// Quantiles are upper-edge estimates from [`HistogramSnapshot::approx_quantile`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Histogram name.
+    pub name: String,
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wrapping).
+    pub sum: u64,
+    /// `sum / count`, 0.0 when empty.
+    pub mean: f64,
+    /// Upper-edge estimate of the median.
+    pub p50: u64,
+    /// Upper-edge estimate of the 95th percentile.
+    pub p95: u64,
+    /// Upper-edge estimate of the 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Digests the snapshot into the fixed p50/p95/p99 summary used by
+    /// run ledgers and `iotax-report`.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            name: self.name.clone(),
+            count: self.count,
+            sum: self.sum,
+            mean: if self.count == 0 { 0.0 } else { self.sum as f64 / self.count as f64 },
+            p50: self.approx_quantile(0.50),
+            p95: self.approx_quantile(0.95),
+            p99: self.approx_quantile(0.99),
+        }
     }
 }
 
@@ -254,5 +288,67 @@ mod tests {
         assert_eq!(by_bits[&64], 1); // u64::MAX
         assert!(snap.approx_quantile(0.01) <= 1);
         assert_eq!(snap.approx_quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_all_zero() {
+        let h = Histogram::new("test.metrics.empty");
+        let s = h.snapshot().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!((s.p50, s.p95, s.p99), (0, 0, 0));
+    }
+
+    #[test]
+    fn single_bucket_summary_quantiles_collapse() {
+        // Every value is 7 = 2^3 - 1, the exact upper edge of bucket 3:
+        // all quantiles are exact.
+        let h = Histogram::new("test.metrics.single_bucket");
+        for _ in 0..100 {
+            h.record(7);
+        }
+        let s = h.snapshot().summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 700);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!((s.p50, s.p95, s.p99), (7, 7, 7));
+    }
+
+    #[test]
+    fn quantiles_on_known_uniform_distribution() {
+        // 1..=1000, one each. Rank-500 lands in bucket 9 (256..=511,
+        // cumulative 511), rank-950 and rank-990 in bucket 10
+        // (512..=1000, cumulative 1000). The estimator returns bucket
+        // upper edges: 511, 1023, 1023.
+        let h = Histogram::new("test.metrics.uniform");
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot().summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert_eq!(s.mean, 500.5);
+        assert_eq!(s.p50, 511);
+        assert_eq!(s.p95, 1023);
+        assert_eq!(s.p99, 1023);
+    }
+
+    #[test]
+    fn quantiles_exact_at_bucket_edges() {
+        // 98 values of 15 and three of 255 (count 101): p50 rank 51 and
+        // p95 rank 96 stay inside the bucket whose upper edge is exactly
+        // 15; p99 rank 100 crosses into the 255 bucket.
+        let h = Histogram::new("test.metrics.edges");
+        for _ in 0..98 {
+            h.record(15);
+        }
+        for _ in 0..3 {
+            h.record(255);
+        }
+        let s = h.snapshot().summary();
+        assert_eq!(s.p50, 15);
+        assert_eq!(s.p95, 15);
+        assert_eq!(s.p99, 255);
     }
 }

@@ -16,7 +16,6 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 /// A metrics backend. All methods default to no-ops so sinks implement
 /// only what they care about. Implementations must be `Send + Sync`;
 /// span closes can arrive from any thread.
-// audit:allow(dead-public-api) -- named in set_sink's public signature; external sinks implement it
 pub trait Sink: Send + Sync {
     /// A span finished (streamed in close order).
     fn span_close(&self, _record: &SpanRecord) {}
@@ -177,6 +176,45 @@ impl Drop for JsonLinesSink {
     }
 }
 
+/// Fans every event out to several sinks, in order. Lets `--metrics-out`
+/// (JSONL stream) and `--ledger` (run directory) coexist in one process.
+pub struct TeeSink {
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl TeeSink {
+    /// A tee over `sinks`; events are delivered in the given order.
+    pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl Sink for TeeSink {
+    fn span_close(&self, record: &SpanRecord) {
+        for sink in &self.sinks {
+            sink.span_close(record);
+        }
+    }
+
+    fn counter_flush(&self, snapshot: &CounterSnapshot) {
+        for sink in &self.sinks {
+            sink.counter_flush(snapshot);
+        }
+    }
+
+    fn histogram_flush(&self, snapshot: &HistogramSnapshot) {
+        for sink in &self.sinks {
+            sink.histogram_flush(snapshot);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
 /// Serializes tests that install a global sink; exposed crate-wide so
 /// span tests and sink tests can't race each other's installations.
 #[cfg(test)]
@@ -203,6 +241,24 @@ mod tests {
         let counters = sink.counter_snapshots();
         let mine = counters.iter().find(|c| c.name == "test.sink.flushed").expect("flushed");
         assert!(mine.value >= 5);
+    }
+
+    #[test]
+    fn tee_sink_fans_out_to_all_children() {
+        let _guard = test_sink_lock();
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let previous = set_sink(Arc::new(TeeSink::new(vec![
+            a.clone() as Arc<dyn Sink>,
+            b.clone() as Arc<dyn Sink>,
+        ])));
+        {
+            let _span = crate::span!("tee.root");
+        }
+        restore_sink(previous);
+        for sink in [&a, &b] {
+            assert!(sink.span_records().iter().any(|r| r.name == "tee.root"));
+        }
     }
 
     #[test]

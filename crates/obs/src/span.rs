@@ -11,6 +11,7 @@
 use crate::sink::with_sink;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -20,21 +21,59 @@ pub(crate) fn now_us() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
 }
 
+/// Process-unique span ids, allocated at open time. 0 is reserved for
+/// "no parent", so the counter starts at 1.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Small dense per-thread ordinals (main thread observes spans first in
+/// every binary here, so it is ordinal 1). Stable for the lifetime of
+/// the thread; never reused within a process.
+fn thread_ordinal() -> u64 {
+    static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ORDINAL: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    }
+    ORDINAL.with(|o| *o)
+}
+
 /// A completed span as streamed to sinks: flat, with enough structure
-/// (`depth`, emission order) to reassemble the tree.
+/// (`id`/`parent`/`thread`, plus `depth` and emission order) to
+/// reassemble the tree even when parts of it ran on worker threads.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-// audit:allow(dead-public-api) -- deserialized by the observability integration test (tests/ refs are excluded by policy)
 pub struct SpanRecord {
     /// Span name, e.g. `core.grid_search`.
     pub name: String,
-    /// `/`-joined ancestor names ending in this span's own name.
+    /// `/`-joined ancestor names (same thread only) ending in this span's
+    /// own name; cross-thread ancestry is recovered via `parent`.
     pub path: String,
-    /// Nesting depth at open time (0 = top level).
+    /// Nesting depth at open time (0 = top level), within this thread.
     pub depth: u32,
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Id of the parent span: the enclosing span on this thread if any,
+    /// else the explicit parent passed at open time, else 0 (root).
+    pub parent: u64,
+    /// Dense ordinal of the thread that ran the span (main thread = 1).
+    pub thread: u64,
     /// Open time, monotonic microseconds (see [`now_us`]).
     pub start_us: u64,
     /// Close minus open time, microseconds.
     pub duration_us: u64,
+}
+
+/// A lightweight cross-thread reference to an *open* span, for handing
+/// to worker closures at spawn points so their spans attach to the
+/// spawning span instead of floating as per-thread roots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanHandle {
+    id: u64,
+}
+
+/// Returns a handle to the innermost open span on this thread, if any.
+/// Capture it *before* fanning work out (e.g. before `par_iter`) and
+/// open worker spans with [`SpanGuard::enter_under`].
+pub fn current_span() -> Option<SpanHandle> {
+    STACK.with(|stack| stack.borrow().frames.last().map(|f| SpanHandle { id: f.id }))
 }
 
 /// A span tree node: the serde-round-trippable form embedded in reports.
@@ -63,6 +102,10 @@ struct Frame {
     name: String,
     start: Instant,
     start_us: u64,
+    id: u64,
+    /// Parent id passed via [`SpanGuard::enter_under`]; used only when
+    /// this frame has no enclosing frame on its own thread.
+    explicit_parent: u64,
     children: Vec<SpanNode>,
 }
 
@@ -89,7 +132,6 @@ thread_local! {
 /// Not `Send`: a span must close on the thread that opened it.
 ///
 /// [`span!`]: crate::span
-// audit:allow(dead-public-api) -- expanded from the span! macro in downstream crates; must stay pub for the $crate:: path to resolve
 pub struct SpanGuard {
     // !Send + !Sync: the guard is tied to the thread-local stack.
     _not_send: std::marker::PhantomData<*const ()>,
@@ -98,13 +140,26 @@ pub struct SpanGuard {
 impl SpanGuard {
     /// Opens a span named `name`.
     pub fn enter(name: impl Into<String>) -> Self {
+        Self::enter_under(name, None)
+    }
+
+    /// Opens a span named `name`, attached to `parent` when this thread
+    /// has no enclosing span of its own. This is the spawn-point API: a
+    /// worker closure opened with the spawner's [`current_span`] handle
+    /// assembles under the spawning span instead of floating as a root.
+    /// With an enclosing span present (the sequential fallback), natural
+    /// nesting wins and the handle is ignored.
+    pub fn enter_under(name: impl Into<String>, parent: Option<SpanHandle>) -> Self {
         let name = name.into();
         let start_us = now_us();
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
         STACK.with(|stack| {
             stack.borrow_mut().frames.push(Frame {
                 name,
                 start: Instant::now(),
                 start_us,
+                id,
+                explicit_parent: parent.map_or(0, |h| h.id),
                 children: Vec::new(),
             });
         });
@@ -119,6 +174,7 @@ impl Drop for SpanGuard {
             let frame = stack.frames.pop().expect("span stack underflow");
             let duration_us = frame.start.elapsed().as_micros() as u64;
             let depth = stack.frames.len() as u32;
+            let parent = stack.frames.last().map_or(frame.explicit_parent, |f| f.id);
             let node = SpanNode {
                 name: frame.name,
                 start_us: frame.start_us,
@@ -137,6 +193,9 @@ impl Drop for SpanGuard {
                     name: node.name.clone(),
                     path: path.clone(),
                     depth,
+                    id: frame.id,
+                    parent,
+                    thread: thread_ordinal(),
                     start_us: node.start_us,
                     duration_us,
                 });
@@ -207,33 +266,57 @@ impl Drop for Capture {
 }
 
 /// Rebuilds span trees from flat close-order records (e.g. parsed back
-/// from a JSONL metrics file). Records must come from one thread's
-/// well-nested stream, in emission order.
-// audit:allow(dead-public-api) -- consumed by the observability integration test (tests/ refs are excluded by policy)
+/// from a JSONL metrics file or a run ledger).
+///
+/// Within one thread, close order is post-order, so sibling order is
+/// open order and is preserved. Spans opened on *other* threads attach
+/// to the parent named by their `parent` id; because their arrival
+/// order depends on the thread schedule, such adopted children are
+/// ordered after the parent's own-thread children, sorted by
+/// `(name, start_us, id)` so the assembled shape is deterministic
+/// across schedules.
 pub fn assemble_span_tree(records: &[SpanRecord]) -> Vec<SpanNode> {
-    // Close order is post-order: when a span at depth `d` closes, every
-    // already-closed span still pending at depth > `d` is one of its
-    // descendants — the ones at `d + 1` are its direct children.
-    let mut pending: Vec<(u32, SpanNode)> = Vec::new();
-    for record in records {
-        let split = pending.iter().position(|(d, _)| *d > record.depth).unwrap_or(pending.len());
-        let descendants = pending.split_off(split);
-        let children = descendants
-            .into_iter()
-            .filter(|(d, _)| *d == record.depth + 1)
-            .map(|(_, n)| n)
-            .collect();
-        pending.push((
-            record.depth,
-            SpanNode {
-                name: record.name.clone(),
-                start_us: record.start_us,
-                duration_us: record.duration_us,
-                children,
-            },
-        ));
+    use std::collections::BTreeMap;
+
+    let mut by_id: BTreeMap<u64, usize> = BTreeMap::new();
+    for (i, r) in records.iter().enumerate() {
+        by_id.insert(r.id, i);
     }
-    pending.into_iter().filter(|(d, _)| *d == 0).map(|(_, n)| n).collect()
+    // parent id -> child record indices, in arrival (close) order.
+    let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, r) in records.iter().enumerate() {
+        if r.parent != 0 && by_id.contains_key(&r.parent) {
+            children.entry(r.parent).or_default().push(i);
+        } else {
+            roots.push(i);
+        }
+    }
+
+    fn build(records: &[SpanRecord], children: &BTreeMap<u64, Vec<usize>>, i: usize) -> SpanNode {
+        let r = &records[i];
+        let mut idx: Vec<usize> = children.get(&r.id).cloned().unwrap_or_default();
+        idx.sort_by(|&a, &b| {
+            let (ra, rb) = (&records[a], &records[b]);
+            let key = |rec: &SpanRecord, arrival: usize| {
+                if rec.thread == r.thread {
+                    // Same-thread siblings: arrival order == open order.
+                    (false, String::new(), 0, 0, arrival)
+                } else {
+                    (true, rec.name.clone(), rec.start_us, rec.id, arrival)
+                }
+            };
+            key(ra, a).cmp(&key(rb, b))
+        });
+        SpanNode {
+            name: r.name.clone(),
+            start_us: r.start_us,
+            duration_us: r.duration_us,
+            children: idx.iter().map(|&c| build(records, children, c)).collect(),
+        }
+    }
+
+    roots.into_iter().map(|i| build(records, &children, i)).collect()
 }
 
 #[cfg(test)]
@@ -325,6 +408,114 @@ mod tests {
         );
         let rebuilt = assemble_span_tree(&records);
         assert_eq!(rebuilt, direct);
+    }
+
+    #[test]
+    fn explicit_parent_grafts_worker_spans() {
+        use crate::MemorySink;
+        use std::sync::Arc;
+
+        let _guard = crate::sink::test_sink_lock();
+        let sink = Arc::new(MemorySink::new());
+        let previous = crate::set_sink(sink.clone());
+        {
+            let _root = crate::span!("graft.root");
+            let parent = current_span();
+            assert!(parent.is_some());
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    std::thread::spawn(move || {
+                        let _w = SpanGuard::enter_under(format!("graft.worker{i}"), parent);
+                        let _inner = crate::span!("graft.inner");
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+        crate::restore_sink(previous);
+
+        let records: Vec<_> =
+            sink.span_records().into_iter().filter(|r| r.name.starts_with("graft.")).collect();
+        let forest = assemble_span_tree(&records);
+        assert_eq!(forest.len(), 1, "workers must graft under the spawning span");
+        let root = &forest[0];
+        assert_eq!(root.name, "graft.root");
+        assert_eq!(
+            root.children.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            vec!["graft.worker0", "graft.worker1", "graft.worker2", "graft.worker3"],
+            "adopted children are name-sorted, independent of close order"
+        );
+        for w in &root.children {
+            assert_eq!(w.children.len(), 1);
+            assert_eq!(w.children[0].name, "graft.inner");
+        }
+    }
+
+    #[test]
+    fn assembled_tree_deterministic_across_schedules() {
+        use crate::MemorySink;
+        use std::sync::Arc;
+
+        fn shape(nodes: &[SpanNode]) -> String {
+            nodes
+                .iter()
+                .map(|n| format!("{}({})", n.name, shape(&n.children)))
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+
+        let _guard = crate::sink::test_sink_lock();
+        let mut shapes: Vec<String> = Vec::new();
+        for _round in 0..8 {
+            let sink = Arc::new(MemorySink::new());
+            let previous = crate::set_sink(sink.clone());
+            {
+                let _root = crate::span!("sched.root");
+                let parent = current_span();
+                let handles: Vec<_> = (0..6)
+                    .map(|i| {
+                        std::thread::spawn(move || {
+                            let _w = SpanGuard::enter_under(format!("sched.w{i}"), parent);
+                            let _inner = crate::span!("sched.inner");
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            }
+            crate::restore_sink(previous);
+            let records: Vec<_> =
+                sink.span_records().into_iter().filter(|r| r.name.starts_with("sched.")).collect();
+            shapes.push(shape(&assemble_span_tree(&records)));
+        }
+        assert!(
+            shapes.windows(2).all(|w| w[0] == w[1]),
+            "assembled shape must not depend on the thread schedule: {shapes:?}"
+        );
+    }
+
+    #[test]
+    fn enter_under_prefers_natural_nesting() {
+        let cap = capture();
+        {
+            let outer = crate::span!("under.outer");
+            let handle = current_span();
+            {
+                let _mid = crate::span!("under.mid");
+                // `handle` points at under.outer, but under.mid encloses on
+                // this thread — natural nesting must win.
+                let _leaf = SpanGuard::enter_under("under.leaf", handle);
+            }
+            drop(outer);
+        }
+        let trees = cap.finish();
+        let outer = trees.iter().find(|t| t.name == "under.outer").expect("outer captured");
+        assert_eq!(outer.children.len(), 1);
+        assert_eq!(outer.children[0].name, "under.mid");
+        assert_eq!(outer.children[0].children[0].name, "under.leaf");
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! `iotax-report` — inspect, compare, export, and gate run ledgers.
+//!
+//! ```sh
+//! iotax-report show runs/analyze-1
+//! iotax-report diff runs/analyze-1 runs/analyze-2
+//! iotax-report export runs/analyze-1 --format chrome-trace --out trace.json
+//! iotax-report export runs/analyze-1 --format folded
+//! iotax-report gate runs/analyze-2 --baseline ci/perf-baseline --max-regress 300
+//! ```
+//!
+//! A RUN argument is a directory written by `--ledger` (or a direct
+//! path to its `run.json`). Like `diff(1)`, `diff` exits 1 when the
+//! runs' deterministic metrics differ (timing-only movement is not a
+//! difference); `gate` exits 1 when the run drifts or regresses past
+//! its budget; everything else exits 0 on success. Chrome traces open
+//! in `chrome://tracing` or <https://ui.perfetto.dev>; folded output
+//! feeds `flamegraph.pl` / inferno.
+
+use iotax_obs::{load_run, Error, RunFile};
+use iotax_report::{
+    diff_runs, evaluate_gate, render_diff, render_gate, render_show, to_chrome_trace, to_folded,
+    GateOutcome, RunDiff,
+};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: iotax-report <command>
+  show RUN
+  diff RUN_A RUN_B
+  export RUN --format chrome-trace|folded [--out PATH]
+  gate RUN --baseline RUN [--max-regress PCT]";
+
+/// Pulls the next positional argument or fails with usage context.
+fn positional(it: &mut impl Iterator<Item = String>, what: &str) -> Result<String, Error> {
+    match it.next() {
+        Some(arg) if !arg.starts_with('-') => Ok(arg),
+        _ => Err(Error::usage(format!("expected {what}\n{USAGE}"))),
+    }
+}
+
+/// Loads a run directory, prefixing errors with which side failed.
+fn load(path: &str) -> Result<RunFile, Error> {
+    load_run(PathBuf::from(path))
+}
+
+fn run() -> Result<i32, Error> {
+    let mut it = std::env::args().skip(1);
+    let command = it.next().ok_or_else(|| Error::usage(USAGE))?;
+    match command.as_str() {
+        "show" => {
+            let run = load(&positional(&mut it, "a RUN directory")?)?;
+            print!("{}", render_show(&run));
+            Ok(0)
+        }
+        "diff" => {
+            let a = load(&positional(&mut it, "RUN_A")?)?;
+            let b = load(&positional(&mut it, "RUN_B")?)?;
+            let d: RunDiff = diff_runs(&a, &b);
+            print!("{}", render_diff(&d));
+            Ok(i32::from(!d.metrics_identical()))
+        }
+        "export" => {
+            let run_path = positional(&mut it, "a RUN directory")?;
+            let mut format = None;
+            let mut out_path = None;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next().ok_or_else(|| Error::usage(format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--format" => format = Some(value("--format")?),
+                    "--out" => out_path = Some(PathBuf::from(value("--out")?)),
+                    other => return Err(Error::usage(format!("unknown flag {other}\n{USAGE}"))),
+                }
+            }
+            let run = load(&run_path)?;
+            let rendered = match format.as_deref() {
+                Some("chrome-trace") => to_chrome_trace(&run),
+                Some("folded") => to_folded(&run),
+                Some(other) => {
+                    return Err(Error::usage(format!(
+                        "--format {other:?} (expected chrome-trace or folded)"
+                    )))
+                }
+                None => return Err(Error::usage(format!("--format is required\n{USAGE}"))),
+            };
+            match out_path {
+                Some(path) => {
+                    std::fs::write(&path, rendered)
+                        .map_err(|e| Error::io(format!("writing {}", path.display()), e))?;
+                    eprintln!("exported to {}", path.display());
+                }
+                None => print!("{rendered}"),
+            }
+            Ok(0)
+        }
+        "gate" => {
+            let run_path = positional(&mut it, "a RUN directory")?;
+            let mut baseline = None;
+            let mut max_regress = 100.0;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next().ok_or_else(|| Error::usage(format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--baseline" => baseline = Some(value("--baseline")?),
+                    "--max-regress" => {
+                        max_regress = value("--max-regress")?
+                            .parse()
+                            .map_err(|e| Error::usage(format!("--max-regress: {e}")))?
+                    }
+                    other => return Err(Error::usage(format!("unknown flag {other}\n{USAGE}"))),
+                }
+            }
+            let baseline =
+                baseline.ok_or_else(|| Error::usage(format!("--baseline is required\n{USAGE}")))?;
+            let run = load(&run_path)?;
+            let base = load(&baseline)?;
+            let outcome: GateOutcome = evaluate_gate(&run, &base, max_regress);
+            print!("{}", render_gate(&outcome));
+            Ok(if outcome.passed() { 0 } else { 1 })
+        }
+        "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(0)
+        }
+        other => Err(Error::usage(format!("unknown command {other}\n{USAGE}"))),
+    }
+}
+
+fn main() {
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("iotax-report: {e}");
+            std::process::exit(i32::from(e.exit_code()));
+        }
+    }
+}

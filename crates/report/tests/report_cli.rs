@@ -1,0 +1,167 @@
+//! End-to-end tests of the `iotax-report` binary against synthetic run
+//! ledgers written to disk, exactly as `--ledger` would leave them.
+
+use iotax_obs::{CounterSnapshot, RunFile, RunManifest, SpanRecord};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// A run whose every duration is `scale_us`-proportional, so a "slow"
+/// run is just a bigger scale.
+fn synthetic_run(scale_us: u64, jobs: u64) -> RunFile {
+    let span = |name: &str, path: &str, depth, id, parent, start, dur| SpanRecord {
+        name: name.to_owned(),
+        path: path.to_owned(),
+        depth,
+        id,
+        parent,
+        thread: 1,
+        start_us: start,
+        duration_us: dur,
+    };
+    RunFile {
+        manifest: RunManifest {
+            run_id: "iotax-analyze-feedfacefeedface".to_owned(),
+            tool: "iotax-analyze".to_owned(),
+            tool_version: "0.1.0".to_owned(),
+            args: vec!["trace".to_owned()],
+            started_unix_ms: 1_700_000_000_000,
+            wall_us: 12 * scale_us,
+            exit_status: 0,
+            config_digest: "fnv1a:00000000000000aa".to_owned(),
+            seeds: vec![("seed".to_owned(), 301)],
+            inputs: Vec::new(),
+            crate_versions: Vec::new(),
+        },
+        spans: vec![
+            span("ingest", "analyze/ingest", 1, 2, 1, 0, 3 * scale_us),
+            span("fit", "analyze/fit", 1, 3, 1, 3 * scale_us, 8 * scale_us),
+            span("analyze", "analyze", 0, 1, 0, 0, 12 * scale_us),
+        ],
+        counters: vec![CounterSnapshot { name: "cli.ingest.files".to_owned(), value: jobs }],
+        histograms: Vec::new(),
+        sections: Vec::new(),
+    }
+}
+
+/// Writes `run` into `dir/run.json` and returns the directory.
+fn write_run(dir: &Path, run: &RunFile) -> PathBuf {
+    std::fs::create_dir_all(dir).expect("mkdir");
+    let text = serde_json::to_string_pretty(run).expect("encode");
+    std::fs::write(dir.join("run.json"), text).expect("write");
+    dir.to_path_buf()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("iotax-report-test-{}-{name}", std::process::id()))
+}
+
+fn report(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_iotax-report"))
+        .args(args)
+        .output()
+        .expect("spawn iotax-report")
+}
+
+#[test]
+fn gate_exits_nonzero_on_a_slowed_run() {
+    let base = write_run(&tmp("gate-base"), &synthetic_run(10_000, 500));
+    let slow = write_run(&tmp("gate-slow"), &synthetic_run(40_000, 500));
+    let out = report(&[
+        "gate",
+        slow.to_str().unwrap(),
+        "--baseline",
+        base.to_str().unwrap(),
+        "--max-regress",
+        "100",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("gate: FAIL"), "{stdout}");
+    assert!(stdout.contains("FAIL  wall time"), "{stdout}");
+
+    // The same pair passes once the budget absorbs the slowdown.
+    let out = report(&[
+        "gate",
+        slow.to_str().unwrap(),
+        "--baseline",
+        base.to_str().unwrap(),
+        "--max-regress",
+        "1000",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn gate_exits_nonzero_on_counter_drift_even_with_infinite_budget() {
+    let base = write_run(&tmp("drift-base"), &synthetic_run(10_000, 500));
+    let drifted = write_run(&tmp("drift-run"), &synthetic_run(10_000, 499));
+    let out = report(&[
+        "gate",
+        drifted.to_str().unwrap(),
+        "--baseline",
+        base.to_str().unwrap(),
+        "--max-regress",
+        "1000000",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("FAIL  counter cli.ingest.files"), "{stdout}");
+}
+
+#[test]
+fn diff_of_identical_runs_reports_zero_metric_deltas() {
+    let a = write_run(&tmp("diff-a"), &synthetic_run(10_000, 500));
+    let b = write_run(&tmp("diff-b"), &synthetic_run(20_000, 500));
+    let out = report(&["diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("0 metric deltas"), "{stdout}");
+}
+
+#[test]
+fn chrome_trace_export_round_trips_through_a_schema_check() {
+    use serde::Value;
+    let dir = write_run(&tmp("export"), &synthetic_run(5_000, 42));
+    let out_file = tmp("export-trace.json");
+    let out = report(&[
+        "export",
+        dir.to_str().unwrap(),
+        "--format",
+        "chrome-trace",
+        "--out",
+        out_file.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&out_file).expect("read export");
+    let doc: Value = serde_json::from_str(&text).expect("export is valid JSON");
+    let Value::Object(fields) = doc else { panic!("trace is not a JSON object") };
+    let events =
+        fields.iter().find(|(k, _)| k == "traceEvents").map(|(_, v)| v).expect("has traceEvents");
+    let Value::Array(events) = events else { panic!("traceEvents is not an array") };
+    assert_eq!(events.len(), 3);
+    for event in events {
+        let Value::Object(e) = event else { panic!("event is not an object") };
+        for key in ["name", "cat", "ph", "ts", "dur", "pid", "tid"] {
+            assert!(e.iter().any(|(k, _)| k == key), "event missing {key}");
+        }
+    }
+}
+
+#[test]
+fn show_renders_manifest_and_critical_path() {
+    let dir = write_run(&tmp("show"), &synthetic_run(5_000, 42));
+    let out = report(&["show", dir.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("iotax-analyze-feedfacefeedface"), "{stdout}");
+    assert!(stdout.contains("seed     seed = 301"), "{stdout}");
+    assert!(stdout.contains("critical path: analyze → fit"), "{stdout}");
+}
+
+#[test]
+fn usage_errors_exit_with_ex_usage() {
+    let out = report(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(64));
+    let out = report(&["gate", "/nonexistent"]);
+    assert_eq!(out.status.code(), Some(64)); // missing --baseline
+}

@@ -68,10 +68,14 @@ impl DeepEnsemble {
     /// initialization/shuffling — the classic deep-ensemble baseline.
     pub fn fit_default(train: &Dataset, k: usize, base: MlpParams, seed: u64) -> Self {
         assert!(k >= 2, "an ensemble needs at least two members");
+        // Spawn point: member fits may run on worker threads, where this
+        // thread's span stack is invisible — pass the parent explicitly so
+        // the members assemble under the caller's span.
+        let parent: Option<iotax_obs::SpanHandle> = iotax_obs::current_span();
         let members = (0..k)
             .into_par_iter()
             .map(|i| {
-                let _span = iotax_obs::span!("uq.ensemble.member");
+                let _span = iotax_obs::span!("uq.ensemble.member", parent = parent);
                 iotax_obs::counter!("uq.ensemble.members_fit").incr(1);
                 let mut p = base.clone();
                 p.heteroscedastic = true;
