@@ -10,8 +10,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use iotax_core::find_duplicate_sets;
 use iotax_ml::data::Dataset;
-use iotax_ml::gbm::{Gbm, GbmParams};
+use iotax_ml::gbm::{GbmParams, Trainer};
 use iotax_ml::nn::MlpParams;
+use iotax_ml::prepared::PreparedDataset;
 use iotax_sim::{Platform, SimConfig};
 use iotax_stats::rng_from_seed;
 use iotax_uq::DeepEnsemble;
@@ -36,12 +37,15 @@ fn ablation_hist_bins(c: &mut Criterion) {
     let data = synthetic(6_000, 48, 1);
     for bins in [16usize, 64, 256] {
         group.bench_with_input(BenchmarkId::from_parameter(bins), &data, |b, data| {
+            // Prepare inside the loop: this ablation prices the whole
+            // bin-then-train pipeline per granularity.
             b.iter(|| {
-                Gbm::fit(
-                    black_box(data),
-                    None,
-                    GbmParams { n_trees: 20, max_bins: bins, ..Default::default() },
-                )
+                let prepared = PreparedDataset::fit(black_box(data), bins);
+                Trainer::new(&prepared).fit(GbmParams {
+                    n_trees: 20,
+                    max_bins: bins,
+                    ..Default::default()
+                })
             })
         });
     }

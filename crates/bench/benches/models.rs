@@ -3,8 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use iotax_ml::data::Dataset;
-use iotax_ml::gbm::{Gbm, GbmParams};
+use iotax_ml::gbm::{GbmParams, Trainer};
 use iotax_ml::nn::{Mlp, MlpParams};
+use iotax_ml::prepared::PreparedDataset;
 use iotax_ml::Regressor;
 use iotax_stats::rng_from_seed;
 use rand::RngExt;
@@ -22,21 +23,36 @@ fn synthetic(n_rows: usize, n_cols: usize, seed: u64) -> Dataset {
     Dataset::new(x, n_rows, n_cols, y, (0..n_cols).map(|i| format!("f{i}")).collect())
 }
 
+fn bench_gbm_prepare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gbm_prepare");
+    group.sample_size(10);
+    let data = synthetic(4_000, 48, 1);
+    group.throughput(Throughput::Elements(data.n_rows as u64));
+    group.bench_function("bin_4k_rows", |b| {
+        b.iter(|| PreparedDataset::fit(black_box(&data), GbmParams::default().max_bins))
+    });
+    group.finish();
+}
+
 fn bench_gbm_train(c: &mut Criterion) {
     let mut group = c.benchmark_group("gbm_train");
     group.sample_size(10);
     let data = synthetic(4_000, 48, 1);
+    // Bin once outside the timing loop: the benchmark measures the boosted
+    // training itself, the shape the prepared-context API makes hot.
+    let prepared = PreparedDataset::fit(&data, GbmParams::default().max_bins);
+    let trainer = Trainer::new(&prepared);
     for (trees, depth) in [(32usize, 6usize), (100, 6), (32, 12)] {
         group.bench_with_input(
             BenchmarkId::new("trees_depth", format!("{trees}x{depth}")),
-            &data,
-            |b, data| {
+            &trainer,
+            |b, trainer| {
                 b.iter(|| {
-                    Gbm::fit(
-                        black_box(data),
-                        None,
-                        GbmParams { n_trees: trees, max_depth: depth, ..Default::default() },
-                    )
+                    trainer.fit(GbmParams {
+                        n_trees: trees,
+                        max_depth: depth,
+                        ..Default::default()
+                    })
                 })
             },
         );
@@ -47,9 +63,13 @@ fn bench_gbm_train(c: &mut Criterion) {
 fn bench_gbm_predict(c: &mut Criterion) {
     let mut group = c.benchmark_group("gbm_predict");
     let data = synthetic(4_000, 48, 2);
-    let model = Gbm::fit(&data, None, GbmParams::default());
+    let prepared = PreparedDataset::fit(&data, GbmParams::default().max_bins);
+    let model = Trainer::new(&prepared).fit(GbmParams::default());
     group.throughput(Throughput::Elements(data.n_rows as u64));
     group.bench_function("batch_4k_rows", |b| b.iter(|| model.predict(black_box(&data))));
+    group.bench_function("batch_4k_rows_prepared", |b| {
+        b.iter(|| model.predict_prepared(black_box(&prepared)))
+    });
     group.finish();
 }
 
@@ -74,5 +94,5 @@ fn bench_mlp(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gbm_train, bench_gbm_predict, bench_mlp);
+criterion_group!(benches, bench_gbm_prepare, bench_gbm_train, bench_gbm_predict, bench_mlp);
 criterion_main!(benches);

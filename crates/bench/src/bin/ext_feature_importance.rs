@@ -8,8 +8,9 @@
 
 use iotax_bench::{theta_dataset, write_csv};
 use iotax_ml::data::Dataset;
-use iotax_ml::gbm::{Gbm, GbmParams};
+use iotax_ml::gbm::{GbmParams, Trainer};
 use iotax_ml::metrics::median_abs_error_pct;
+use iotax_ml::prepared::PreparedDataset;
 use iotax_ml::Regressor;
 use iotax_sim::FeatureSet;
 
@@ -20,16 +21,15 @@ fn main() -> iotax_obs::Result<()> {
     let data = Dataset::new(m.data, m.n_rows, m.n_cols, m.y, m.names);
     let (train, val, test) = data.split_random(0.70, 0.15, 0xE72);
 
-    let model = Gbm::fit(
-        &train,
-        Some(&val),
-        GbmParams {
-            n_trees: 150,
-            max_depth: 8,
-            early_stopping_rounds: Some(25),
-            ..Default::default()
-        },
-    );
+    let params = GbmParams {
+        n_trees: 150,
+        max_depth: 8,
+        early_stopping_rounds: Some(25),
+        ..Default::default()
+    };
+    let model = Trainer::new(&PreparedDataset::fit(&train, params.max_bins))
+        .with_validation(&val)
+        .fit(params);
     println!(
         "tuned model test error: {:.2} %\n",
         median_abs_error_pct(&test.y, &model.predict(&test))

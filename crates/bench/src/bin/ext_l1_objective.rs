@@ -8,8 +8,9 @@
 
 use iotax_bench::{theta_dataset, write_csv};
 use iotax_ml::data::Dataset;
-use iotax_ml::gbm::{Gbm, GbmParams, Loss};
+use iotax_ml::gbm::{GbmParams, Loss, Trainer};
 use iotax_ml::metrics::{error_quantile_pct, median_abs_error_pct};
+use iotax_ml::prepared::PreparedDataset;
 use iotax_ml::Regressor;
 use iotax_sim::FeatureSet;
 
@@ -20,24 +21,23 @@ fn main() -> iotax_obs::Result<()> {
     let (train, val, test) = data.split_random(0.70, 0.15, 0xE71);
 
     let mut rows = Vec::new();
+    // Both objectives train on the same bins: prepare once, fit twice.
+    let prepared = PreparedDataset::fit(&train, GbmParams::default().max_bins);
+    let trainer = Trainer::new(&prepared).with_validation(&val);
     println!("Extension: L2 vs L1 (Eq. 6) training objective\n");
     println!("{:<22} {:>10} {:>10} {:>10}", "objective", "median %", "p75 %", "p95 %");
     for (loss, label, trees, lr) in [
         (Loss::SquaredError, "L2 squared error", 150usize, 0.1),
         (Loss::AbsoluteError, "L1 |log10 ratio|", 500, 0.25),
     ] {
-        let model = Gbm::fit(
-            &train,
-            Some(&val),
-            GbmParams {
-                n_trees: trees,
-                learning_rate: lr,
-                max_depth: 8,
-                early_stopping_rounds: Some(30),
-                loss,
-                ..Default::default()
-            },
-        );
+        let model = trainer.fit(GbmParams {
+            n_trees: trees,
+            learning_rate: lr,
+            max_depth: 8,
+            early_stopping_rounds: Some(30),
+            loss,
+            ..Default::default()
+        });
         let pred = model.predict(&test);
         let med = median_abs_error_pct(&test.y, &pred);
         let p75 = error_quantile_pct(&test.y, &pred, 0.75);

@@ -12,6 +12,7 @@ use iotax_core::{app_modeling_bound, find_duplicate_sets};
 use iotax_ml::data::Dataset;
 use iotax_ml::gbm::GbmParams;
 use iotax_ml::metrics::log10_error_to_pct;
+use iotax_ml::prepared::PreparedDataset;
 use iotax_ml::search::grid_search;
 use iotax_obs::{Error, ErrorKind};
 use iotax_sim::FeatureSet;
@@ -28,21 +29,25 @@ fn main() -> iotax_obs::Result<()> {
 
     let trees = [8, 16, 32, 64, 100, 128, 256];
     let depths = [2, 4, 6, 9, 12, 15, 18, 21];
+    // One binned context feeds both the coarse sweep and the full heatmap.
+    let prepared = PreparedDataset::fit(&train, GbmParams::default().max_bins);
     // Coarse subsample sweep first (paper: the other two axes are fixed at
     // their best values).
     let coarse =
-        grid_search(&train, &val, &[64], &[6], &[0.7, 1.0], &[0.7, 1.0], GbmParams::default());
+        grid_search(&prepared, &val, &[64], &[6], &[0.7, 1.0], &[0.7, 1.0], GbmParams::default())
+            .map_err(|e| e.wrap("while sweeping fig1a subsample axes"))?;
     let best_sub = coarse[0].params;
     eprintln!("[fig1a] fixed subsample {} colsample {}", best_sub.subsample, best_sub.colsample);
     let points = grid_search(
-        &train,
+        &prepared,
         &val,
         &trees,
         &depths,
         &[best_sub.subsample],
         &[best_sub.colsample],
         GbmParams::default(),
-    );
+    )
+    .map_err(|e| e.wrap("while filling the fig1a trees x depth heatmap"))?;
 
     println!("Figure 1(a): validation median error (%) over n_trees x depth");
     println!("duplicate bound: {:.2} %", bound.median_abs_pct);

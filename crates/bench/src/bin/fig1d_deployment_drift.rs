@@ -7,8 +7,9 @@
 
 use iotax_bench::{theta_dataset, write_csv};
 use iotax_ml::data::Dataset;
-use iotax_ml::gbm::{Gbm, GbmParams};
+use iotax_ml::gbm::{GbmParams, Trainer};
 use iotax_ml::metrics::{abs_log10_errors, median_abs_error_pct};
+use iotax_ml::prepared::PreparedDataset;
 use iotax_ml::Regressor;
 use iotax_sim::FeatureSet;
 
@@ -34,8 +35,8 @@ fn main() -> iotax_obs::Result<()> {
     let heldout = data.subset(&heldout_rows);
     let post = data.subset(&post_rows);
 
-    let model =
-        Gbm::fit(&train, None, GbmParams { n_trees: 150, max_depth: 8, ..Default::default() });
+    let params = GbmParams { n_trees: 150, max_depth: 8, ..Default::default() };
+    let model = Trainer::new(&PreparedDataset::fit(&train, params.max_bins)).fit(params);
     let in_period = median_abs_error_pct(&heldout.y, &model.predict(&heldout));
     let deployed = median_abs_error_pct(&post.y, &model.predict(&post));
 

@@ -8,8 +8,9 @@
 //! application-only baseline and the LMT-enriched model reproduces Fig. 4.
 
 use iotax_ml::data::Dataset;
-use iotax_ml::gbm::{Gbm, GbmParams};
+use iotax_ml::gbm::{GbmParams, Trainer};
 use iotax_ml::metrics::{median_abs_error, median_abs_error_pct};
+use iotax_ml::prepared::PreparedDataset;
 use iotax_ml::Regressor;
 use iotax_sim::{FeatureSet, SimDataset};
 use serde::{Deserialize, Serialize};
@@ -98,9 +99,13 @@ pub fn evaluate_feature_set(
     params: GbmParams,
 ) -> FeatureSetResult {
     let data = split_features(sim, set);
-    let model = Gbm::fit(&data.train, Some(&data.val), params);
+    // Bin the training fold once and train through the shared context;
+    // training-error scoring rides the same bin codes, while test rows
+    // (unseen during binning) go through the raw-threshold path.
+    let prepared = PreparedDataset::fit(&data.train, params.max_bins);
+    let model = Trainer::new(&prepared).with_validation(&data.val).fit(params);
     let test_pred = model.predict(&data.test);
-    let train_pred = model.predict(&data.train);
+    let train_pred = model.predict_prepared(&prepared);
     FeatureSetResult {
         label: label.to_owned(),
         test_error_log10: median_abs_error(&data.test.y, &test_pred),
@@ -129,6 +134,22 @@ pub fn system_litmus(sim: &SimDataset, effort: Effort) -> SystemLitmus {
     let _span = iotax_obs::span!("core.golden.system_litmus");
     let baseline =
         evaluate_feature_set(sim, FeatureSet::posix(), "POSIX", effort.baseline_params());
+    system_litmus_with_baseline(sim, effort, baseline)
+}
+
+/// Run the litmus against an already-measured POSIX baseline instead of
+/// refitting it — the cache hook for callers that have just scored that
+/// exact model. Only sound when the baseline came from the same trace,
+/// the litmus split seed (`sim.config.seed ^ 0x5EED`), and the same
+/// effort level; any other combination silently skews the reduction
+/// percentages (DESIGN.md, "cache invalidation"). [`system_litmus`]
+/// stays the refit-always safe default.
+// audit:allow(dead-public-api) -- deliberate API surface: the baseline-reuse cache hook for callers that already scored the POSIX model; pinned bit-identical to the refit path by core tests
+pub fn system_litmus_with_baseline(
+    sim: &SimDataset,
+    effort: Effort,
+    baseline: FeatureSetResult,
+) -> SystemLitmus {
     let golden = evaluate_feature_set(
         sim,
         FeatureSet::posix_start_time(),
@@ -162,6 +183,16 @@ mod tests {
             result.baseline.test_error_pct
         );
         assert!(result.golden_reduction_pct > 0.0);
+    }
+
+    #[test]
+    fn reused_baseline_matches_refit_litmus() {
+        // The cache hook with a freshly measured baseline is bit-identical
+        // to the refit-always entry point.
+        let sim = Platform::new(SimConfig::theta().with_jobs(1_200).with_seed(34)).generate();
+        let full = system_litmus(&sim, Effort::Quick);
+        let reused = system_litmus_with_baseline(&sim, Effort::Quick, full.baseline.clone());
+        assert_eq!(full, reused);
     }
 
     #[test]

@@ -25,8 +25,9 @@ use crate::golden::{system_litmus, Effort, SystemLitmus};
 use crate::litmus::{app_modeling_bound, concurrent_noise_floor, AppBound, NoiseFloor};
 use crate::ood::{ood_litmus, OodConfig, OodLitmus};
 use iotax_ml::data::Dataset;
-use iotax_ml::gbm::{Gbm, GbmParams};
+use iotax_ml::gbm::{GbmParams, Trainer};
 use iotax_ml::metrics::{median_abs_error, median_abs_error_pct};
+use iotax_ml::prepared::PreparedDataset;
 use iotax_ml::search::grid_search;
 use iotax_ml::Regressor;
 use iotax_obs::{span, Error, ErrorKind, Result, SpanNode};
@@ -273,6 +274,10 @@ struct StageCore<'a> {
     train: Dataset,
     val: Dataset,
     test: Dataset,
+    /// The training fold binned once at baseline time; the baseline fit,
+    /// every grid-search candidate, and the tuned refit all train against
+    /// this shared context instead of re-quantizing the raw floats.
+    prepared: PreparedDataset,
     /// Per-stage health, accumulated as stages run.
     health: Vec<StageHealth>,
 }
@@ -337,9 +342,15 @@ impl<'a> TaxonomyRun<'a> {
         let health = vec![StageHealth::from_reasons("core.baseline", reasons)];
         let (train, val, test) = data.split_random(0.70, 0.15, self.cfg.seed ^ 0xA11);
 
-        let baseline = Gbm::fit(&train, Some(&val), self.cfg.effort.baseline_params());
-        let baseline_error_log10 = median_abs_error(&test.y, &baseline.predict(&test));
-        let baseline_error_pct = median_abs_error_pct(&test.y, &baseline.predict(&test));
+        // Bin the training fold once. Both the baseline parameters and the
+        // grid-search candidates use the default bin budget, so one
+        // context serves every GBM the pipeline trains.
+        let params = self.cfg.effort.baseline_params();
+        let prepared = PreparedDataset::fit(&train, params.max_bins);
+        let baseline = Trainer::new(&prepared).with_validation(&val).fit(params);
+        let test_pred = baseline.predict(&test);
+        let baseline_error_log10 = median_abs_error(&test.y, &test_pred);
+        let baseline_error_pct = median_abs_error_pct(&test.y, &test_pred);
 
         Ok(BaselineStage {
             core: StageCore {
@@ -350,6 +361,7 @@ impl<'a> TaxonomyRun<'a> {
                 train,
                 val,
                 test,
+                prepared,
                 health,
             },
             baseline_error_log10,
@@ -392,7 +404,7 @@ impl<'a> BaselineStage<'a> {
         let grid = {
             let _span = span!("core.grid_search");
             grid_search(
-                &core.train,
+                &core.prepared,
                 &core.val,
                 &core.cfg.grid_trees,
                 &core.cfg.grid_depths,
@@ -400,14 +412,16 @@ impl<'a> BaselineStage<'a> {
                 &[1.0],
                 GbmParams { seed: core.cfg.seed, ..Default::default() },
             )
+            .map_err(|e| e.wrap("while tuning the app-litmus grid"))?
         };
         let best = grid
             .first()
             .ok_or_else(|| Error::new(ErrorKind::Usage, "grid search axes produced no candidates"))?
             .params;
-        let tuned = Gbm::fit(&core.train, Some(&core.val), best);
-        let tuned_error_log10 = median_abs_error(&core.test.y, &tuned.predict(&core.test));
-        let tuned_error_pct = median_abs_error_pct(&core.test.y, &tuned.predict(&core.test));
+        let tuned = Trainer::new(&core.prepared).with_validation(&core.val).fit(best);
+        let test_pred = tuned.predict(&core.test);
+        let tuned_error_log10 = median_abs_error(&core.test.y, &test_pred);
+        let tuned_error_pct = median_abs_error_pct(&core.test.y, &test_pred);
 
         Ok(AppLitmusStage {
             core,

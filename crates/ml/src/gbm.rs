@@ -5,12 +5,20 @@
 //! column subsampling, and row subsampling. Supports validation-based early
 //! stopping, which the golden-model litmus tests use to avoid overfitting
 //! the timing feature.
+//!
+//! Training goes through a [`Trainer`] bound to a [`PreparedDataset`]: the
+//! quantile binning is paid once per fold split, then any number of models
+//! (grid-search candidates, litmus refits) train on the shared `u16` codes.
+//! The legacy one-shot [`Gbm::fit`] survives as a deprecated shim that
+//! prepares-then-trains, so a model fit either way is bit-for-bit the same.
 
 use crate::data::Dataset;
-use crate::tree::{BinnedDataset, RegressionTree, TreeParams, DEFAULT_MAX_BINS};
+use crate::prepared::{BoundDataset, PreparedDataset};
+use crate::tree::{RegressionTree, TreeParams, DEFAULT_MAX_BINS};
 use crate::Regressor;
 use iotax_stats::rng::substream;
 use rand::RngExt;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Training loss for the GBM.
@@ -71,8 +79,140 @@ impl Default for GbmParams {
     }
 }
 
+impl GbmParams {
+    /// Validated builder, starting from the defaults.
+    pub fn builder() -> GbmParamsBuilder {
+        GbmParamsBuilder { p: Self::default() }
+    }
+}
+
+/// Builder for [`GbmParams`] that rejects out-of-range values with a usage
+/// error (sysexits 64) instead of silently clamping them at fit time:
+/// `max_bins` outside `[2, u16::MAX]`, `subsample`/`colsample` outside
+/// (0, 1], zero trees or depth.
+#[derive(Debug, Clone)]
+// audit:allow(dead-public-api) -- constructed via GbmParams::builder(); exercised by examples and the validation test suite (test refs are excluded by policy)
+pub struct GbmParamsBuilder {
+    p: GbmParams,
+}
+
+impl GbmParamsBuilder {
+    /// Start from an existing parameter set instead of the defaults.
+    pub fn base(mut self, base: GbmParams) -> Self {
+        self.p = base;
+        self
+    }
+
+    /// Number of boosting rounds (must be at least 1).
+    pub fn n_trees(mut self, v: usize) -> Self {
+        self.p.n_trees = v;
+        self
+    }
+
+    /// Maximum tree depth (must be at least 1).
+    pub fn max_depth(mut self, v: usize) -> Self {
+        self.p.max_depth = v;
+        self
+    }
+
+    /// Learning rate / shrinkage (must be finite and positive).
+    pub fn learning_rate(mut self, v: f64) -> Self {
+        self.p.learning_rate = v;
+        self
+    }
+
+    /// L2 regularization on leaf values.
+    pub fn lambda(mut self, v: f64) -> Self {
+        self.p.lambda = v;
+        self
+    }
+
+    /// Fraction of rows seen by each tree, in (0, 1].
+    pub fn subsample(mut self, v: f64) -> Self {
+        self.p.subsample = v;
+        self
+    }
+
+    /// Fraction of columns seen by each tree, in (0, 1].
+    pub fn colsample(mut self, v: f64) -> Self {
+        self.p.colsample = v;
+        self
+    }
+
+    /// Minimum hessian weight per child.
+    pub fn min_child_weight(mut self, v: f64) -> Self {
+        self.p.min_child_weight = v;
+        self
+    }
+
+    /// Histogram bins per feature, in `[2, u16::MAX]`.
+    pub fn max_bins(mut self, v: usize) -> Self {
+        self.p.max_bins = v;
+        self
+    }
+
+    /// Seed for row/column subsampling.
+    pub fn seed(mut self, v: u64) -> Self {
+        self.p.seed = v;
+        self
+    }
+
+    /// Stop after this many rounds without validation improvement.
+    pub fn early_stopping_rounds(mut self, v: Option<usize>) -> Self {
+        self.p.early_stopping_rounds = v;
+        self
+    }
+
+    /// Training loss.
+    pub fn loss(mut self, v: Loss) -> Self {
+        self.p.loss = v;
+        self
+    }
+
+    /// Validate and produce the parameters.
+    pub fn build(self) -> iotax_obs::Result<GbmParams> {
+        let p = self.p;
+        if p.n_trees == 0 {
+            return Err(iotax_obs::Error::usage("n_trees must be at least 1 (got 0)"));
+        }
+        if !(p.subsample > 0.0 && p.subsample <= 1.0) {
+            return Err(iotax_obs::Error::usage(format!(
+                "subsample must be in (0, 1] (got {})",
+                p.subsample
+            )));
+        }
+        if !(p.colsample > 0.0 && p.colsample <= 1.0) {
+            return Err(iotax_obs::Error::usage(format!(
+                "colsample must be in (0, 1] (got {})",
+                p.colsample
+            )));
+        }
+        if p.max_bins < 2 || p.max_bins > u16::MAX as usize {
+            return Err(iotax_obs::Error::usage(format!(
+                "max_bins must be in [2, {}] (got {})",
+                u16::MAX,
+                p.max_bins
+            )));
+        }
+        if !(p.learning_rate.is_finite() && p.learning_rate > 0.0) {
+            return Err(iotax_obs::Error::usage(format!(
+                "learning_rate must be finite and positive (got {})",
+                p.learning_rate
+            )));
+        }
+        // Tree-level knobs share the TreeParams validation.
+        TreeParams::builder()
+            .max_depth(p.max_depth)
+            .min_child_weight(p.min_child_weight)
+            .lambda(p.lambda)
+            .build()?;
+        Ok(p)
+    }
+}
+
 /// A fitted gradient-boosted ensemble.
 #[derive(Debug, Clone)]
+// audit:allow(dead-public-api) -- return type of Trainer::fit; downstream crates hold models through type inference rather than naming the struct
 pub struct Gbm {
     params: GbmParams,
     base: f64,
@@ -82,18 +222,48 @@ pub struct Gbm {
     pub val_trace: Vec<f64>,
 }
 
-impl Gbm {
-    /// Fit on `train`; if `val` is given and early stopping is configured,
-    /// keep the prefix of trees minimizing validation MAE.
-    pub fn fit(train: &Dataset, val: Option<&Dataset>, params: GbmParams) -> Self {
-        assert!(train.n_rows > 0, "empty training set");
+/// Trains [`Gbm`] models against a shared [`PreparedDataset`] — bin once,
+/// fit many. Optionally carries a validation fold bound under the training
+/// cuts, enabling early stopping without re-binning per fit.
+#[derive(Debug)]
+pub struct Trainer<'a> {
+    train: &'a PreparedDataset,
+    val: Option<BoundDataset>,
+}
+
+impl<'a> Trainer<'a> {
+    /// A trainer over a prepared training fold, with no validation set.
+    pub fn new(train: &'a PreparedDataset) -> Self {
+        Self { train, val: None }
+    }
+
+    /// Attach a validation fold (binned here, once, under the training
+    /// cuts) for early stopping and per-round MAE traces.
+    pub fn with_validation(mut self, val: &Dataset) -> Self {
+        self.val = Some(self.train.bind(val));
+        self
+    }
+
+    /// Fit one model. With a validation fold attached and early stopping
+    /// configured, keeps the prefix of trees minimizing validation MAE.
+    pub fn fit(&self, params: GbmParams) -> Gbm {
+        let train = self.train;
+        let n_rows = train.n_rows();
+        let n_cols = train.n_cols();
+        assert!(n_rows > 0, "empty training set");
         assert!(params.n_trees >= 1);
         assert!((0.0..=1.0).contains(&params.subsample) && params.subsample > 0.0);
         assert!((0.0..=1.0).contains(&params.colsample) && params.colsample > 0.0);
-        let binned = BinnedDataset::fit(train, params.max_bins);
-        let base = train.y.iter().sum::<f64>() / train.n_rows as f64;
-        let mut pred = vec![base; train.n_rows];
-        let mut val_pred: Vec<f64> = val.map(|v| vec![base; v.n_rows]).unwrap_or_default();
+        assert_eq!(
+            params.max_bins,
+            train.max_bins(),
+            "params.max_bins must match the prepared dataset's bin budget"
+        );
+        let y = train.targets();
+        let base = y.iter().sum::<f64>() / n_rows as f64;
+        let mut pred = vec![base; n_rows];
+        let mut val_pred: Vec<f64> =
+            self.val.as_ref().map(|v| vec![base; v.n_rows]).unwrap_or_default();
         let mut val_trace = Vec::new();
         let mut trees: Vec<RegressionTree> = Vec::with_capacity(params.n_trees);
         let mut best_round = 0usize;
@@ -103,44 +273,44 @@ impl Gbm {
             min_child_weight: params.min_child_weight,
             lambda: params.lambda,
         };
-        let n_sub_rows = ((train.n_rows as f64) * params.subsample).round().max(1.0) as usize;
-        let n_sub_cols = ((train.n_cols as f64) * params.colsample).round().max(1.0) as usize;
+        let n_sub_rows = ((n_rows as f64) * params.subsample).round().max(1.0) as usize;
+        let n_sub_cols = ((n_cols as f64) * params.colsample).round().max(1.0) as usize;
 
+        // Round-reused buffers; their contents are rebuilt from scratch
+        // each iteration.
+        let mut g: Vec<f64> = Vec::with_capacity(n_rows);
+        let h = vec![1.0f64; n_rows];
+        let mut rows: Vec<u32> = Vec::with_capacity(n_rows);
+        let mut features: Vec<usize> = Vec::with_capacity(n_cols);
         for round in 0..params.n_trees {
-            let g: Vec<f64> = match params.loss {
+            g.clear();
+            match params.loss {
                 // Squared loss: g = pred − y.
-                Loss::SquaredError => pred.iter().zip(&train.y).map(|(p, y)| p - y).collect(),
+                Loss::SquaredError => g.extend(pred.iter().zip(y).map(|(p, y)| p - y)),
                 // Absolute loss: g = sign(pred − y).
-                Loss::AbsoluteError => {
-                    pred.iter().zip(&train.y).map(|(p, y)| (p - y).signum()).collect()
-                }
-            };
-            let h = vec![1.0f64; train.n_rows];
+                Loss::AbsoluteError => g.extend(pred.iter().zip(y).map(|(p, y)| (p - y).signum())),
+            }
             let mut rng = substream(params.seed, 500 + round as u64);
-            let mut rows: Vec<u32> = if n_sub_rows < train.n_rows {
+            rows.clear();
+            rows.extend(0..n_rows as u32);
+            if n_sub_rows < n_rows {
                 // Sample without replacement via partial Fisher–Yates.
-                let mut idx: Vec<u32> = (0..train.n_rows as u32).collect();
                 for i in 0..n_sub_rows {
-                    let j = i + rng.random_range(0..idx.len() - i);
-                    idx.swap(i, j);
+                    let j = i + rng.random_range(0..rows.len() - i);
+                    rows.swap(i, j);
                 }
-                idx.truncate(n_sub_rows);
-                idx
-            } else {
-                (0..train.n_rows as u32).collect()
-            };
-            let features: Vec<usize> = if n_sub_cols < train.n_cols {
-                let mut idx: Vec<usize> = (0..train.n_cols).collect();
+                rows.truncate(n_sub_rows);
+            }
+            features.clear();
+            features.extend(0..n_cols);
+            if n_sub_cols < n_cols {
                 for i in 0..n_sub_cols {
-                    let j = i + rng.random_range(0..idx.len() - i);
-                    idx.swap(i, j);
+                    let j = i + rng.random_range(0..features.len() - i);
+                    features.swap(i, j);
                 }
-                idx.truncate(n_sub_cols);
-                idx
-            } else {
-                (0..train.n_cols).collect()
-            };
-            let mut tree = RegressionTree::fit(&binned, &g, &h, &mut rows, &features, &tree_params);
+                features.truncate(n_sub_cols);
+            }
+            let mut tree = RegressionTree::fit(train, &g, &h, &mut rows, &features, &tree_params);
             if params.loss == Loss::AbsoluteError {
                 // Median leaf renewal: sign gradients find the structure,
                 // but the L1-optimal leaf value is the median residual of
@@ -150,21 +320,22 @@ impl Gbm {
                     std::collections::HashMap::new();
                 for &r in rows.iter() {
                     let r = r as usize;
-                    let leaf = tree.leaf_index(train.row(r));
-                    leaf_residuals.entry(leaf).or_default().push(train.y[r] - pred[r]);
+                    let leaf = tree.leaf_index_coded(&train.codes, n_rows, r);
+                    leaf_residuals.entry(leaf).or_default().push(y[r] - pred[r]);
                 }
                 for (leaf, residuals) in leaf_residuals {
                     tree.set_leaf_value(leaf, iotax_stats::median(&residuals));
                 }
             }
             let tree = tree;
-            // Update train predictions.
+            // Update train predictions by bin code — same branch at every
+            // node as the raw-threshold walk.
             for (i, p) in pred.iter_mut().enumerate() {
-                *p += params.learning_rate * tree.predict_row(train.row(i));
+                *p += params.learning_rate * tree.predict_coded(&train.codes, n_rows, i);
             }
-            if let Some(v) = val {
+            if let Some(v) = &self.val {
                 for (i, p) in val_pred.iter_mut().enumerate() {
-                    *p += params.learning_rate * tree.predict_row(v.row(i));
+                    *p += params.learning_rate * tree.predict_coded(&v.codes, v.n_rows, i);
                 }
                 let mae = val_pred.iter().zip(&v.y).map(|(p, y)| (p - y).abs()).sum::<f64>()
                     / v.n_rows as f64;
@@ -176,16 +347,37 @@ impl Gbm {
             }
             trees.push(tree);
             iotax_obs::counter!("ml.gbm.trees_fit").incr(1);
-            if let (Some(rounds), Some(_)) = (params.early_stopping_rounds, val) {
+            if let (Some(rounds), Some(_)) = (params.early_stopping_rounds, &self.val) {
                 if round >= best_round + rounds {
                     break;
                 }
             }
         }
-        if params.early_stopping_rounds.is_some() && val.is_some() {
+        if params.early_stopping_rounds.is_some() && self.val.is_some() {
             trees.truncate(best_round + 1);
         }
-        Self { params, base, trees, val_trace }
+        Gbm { params, base, trees, val_trace }
+    }
+}
+
+impl Gbm {
+    /// Fit on `train`; if `val` is given and early stopping is configured,
+    /// keep the prefix of trees minimizing validation MAE.
+    ///
+    /// This re-bins `train` from raw floats on every call. Callers fitting
+    /// more than once per dataset should bin once with
+    /// [`PreparedDataset::fit`] and train through a [`Trainer`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "bin once with PreparedDataset::fit and train through Trainer"
+    )]
+    pub fn fit(train: &Dataset, val: Option<&Dataset>, params: GbmParams) -> Self {
+        let prepared = PreparedDataset::fit(train, params.max_bins);
+        let trainer = Trainer::new(&prepared);
+        match val {
+            Some(v) => trainer.with_validation(v).fit(params),
+            None => trainer.fit(params),
+        }
     }
 
     /// Number of trees kept after (possible) early stopping.
@@ -196,6 +388,24 @@ impl Gbm {
     /// The parameters the model was fit with.
     pub fn params(&self) -> &GbmParams {
         &self.params
+    }
+
+    /// Predict every row of a prepared dataset via its bin codes —
+    /// bit-identical to [`Regressor::predict`] on the raw matrix the
+    /// context was prepared from.
+    pub fn predict_prepared(&self, data: &PreparedDataset) -> Vec<f64> {
+        (0..data.n_rows())
+            .into_par_iter()
+            .map(|i| {
+                self.base
+                    + self.params.learning_rate
+                        * self
+                            .trees
+                            .iter()
+                            .map(|t| t.predict_coded(&data.codes, data.n_rows, i))
+                            .sum::<f64>()
+            })
+            .collect()
     }
 
     /// Gain-based feature importance, normalized to sum to 1 (zeros when
@@ -222,7 +432,6 @@ impl Regressor for Gbm {
     }
 
     fn predict(&self, data: &Dataset) -> Vec<f64> {
-        use rayon::prelude::*;
         (0..data.n_rows).into_par_iter().map(|i| self.predict_row(data.row(i))).collect()
     }
 }
@@ -252,11 +461,15 @@ mod tests {
         Dataset::new(x, n, 5, y, (0..5).map(|i| format!("f{i}")).collect())
     }
 
+    fn fit(train: &Dataset, params: GbmParams) -> Gbm {
+        Trainer::new(&PreparedDataset::fit(train, params.max_bins)).fit(params)
+    }
+
     #[test]
     fn fits_nonlinear_function() {
         let train = friedman(2000, 1, 0.0);
         let test = friedman(500, 2, 0.0);
-        let model = Gbm::fit(&train, None, GbmParams { n_trees: 150, ..Default::default() });
+        let model = fit(&train, GbmParams { n_trees: 150, ..Default::default() });
         let err = median_abs_error(&test.y, &model.predict(&test));
         // Target spans ~[0, 30]; median error under 0.8 shows real fit.
         assert!(err < 0.8, "median abs error {err}");
@@ -266,7 +479,7 @@ mod tests {
     fn beats_the_mean_predictor_by_a_lot() {
         let train = friedman(1000, 3, 0.0);
         let test = friedman(300, 4, 0.0);
-        let model = Gbm::fit(&train, None, GbmParams::default());
+        let model = fit(&train, GbmParams::default());
         let mean = train.y.iter().sum::<f64>() / train.y.len() as f64;
         let mean_err = median_abs_error(&test.y, &vec![mean; test.n_rows]);
         let gbm_err = median_abs_error(&test.y, &model.predict(&test));
@@ -276,8 +489,10 @@ mod tests {
     #[test]
     fn more_trees_fit_better_on_train() {
         let train = friedman(800, 5, 0.0);
-        let small = Gbm::fit(&train, None, GbmParams { n_trees: 5, ..Default::default() });
-        let large = Gbm::fit(&train, None, GbmParams { n_trees: 100, ..Default::default() });
+        let prepared = PreparedDataset::fit(&train, DEFAULT_MAX_BINS);
+        let trainer = Trainer::new(&prepared);
+        let small = trainer.fit(GbmParams { n_trees: 5, ..Default::default() });
+        let large = trainer.fit(GbmParams { n_trees: 100, ..Default::default() });
         let e_small = median_abs_error(&train.y, &small.predict(&train));
         let e_large = median_abs_error(&train.y, &large.predict(&train));
         assert!(e_large < e_small);
@@ -287,16 +502,13 @@ mod tests {
     fn early_stopping_truncates() {
         let train = friedman(800, 6, 1.0);
         let val = friedman(300, 7, 1.0);
-        let model = Gbm::fit(
-            &train,
-            Some(&val),
-            GbmParams {
-                n_trees: 400,
-                learning_rate: 0.3,
-                early_stopping_rounds: Some(10),
-                ..Default::default()
-            },
-        );
+        let prepared = PreparedDataset::fit(&train, DEFAULT_MAX_BINS);
+        let model = Trainer::new(&prepared).with_validation(&val).fit(GbmParams {
+            n_trees: 400,
+            learning_rate: 0.3,
+            early_stopping_rounds: Some(10),
+            ..Default::default()
+        });
         assert!(model.n_trees() < 400, "kept all {} trees", model.n_trees());
         assert!(!model.val_trace.is_empty());
     }
@@ -305,9 +517,8 @@ mod tests {
     fn subsampling_still_learns() {
         let train = friedman(1500, 8, 0.0);
         let test = friedman(300, 9, 0.0);
-        let model = Gbm::fit(
+        let model = fit(
             &train,
-            None,
             GbmParams { subsample: 0.5, colsample: 0.6, n_trees: 150, ..Default::default() },
         );
         let err = median_abs_error(&test.y, &model.predict(&test));
@@ -317,11 +528,74 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let train = friedman(500, 10, 0.5);
-        let a =
-            Gbm::fit(&train, None, GbmParams { subsample: 0.7, seed: 42, ..Default::default() });
-        let b =
-            Gbm::fit(&train, None, GbmParams { subsample: 0.7, seed: 42, ..Default::default() });
+        let a = fit(&train, GbmParams { subsample: 0.7, seed: 42, ..Default::default() });
+        let b = fit(&train, GbmParams { subsample: 0.7, seed: 42, ..Default::default() });
         assert_eq!(a.predict(&train), b.predict(&train));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_one_shot_fit_matches_the_trainer_bit_for_bit() {
+        let train = friedman(600, 12, 0.3);
+        let val = friedman(200, 13, 0.3);
+        let params = GbmParams {
+            n_trees: 40,
+            subsample: 0.8,
+            early_stopping_rounds: Some(5),
+            ..Default::default()
+        };
+        let shim = Gbm::fit(&train, Some(&val), params);
+        let prepared = PreparedDataset::fit(&train, params.max_bins);
+        let staged = Trainer::new(&prepared).with_validation(&val).fit(params);
+        assert_eq!(shim.n_trees(), staged.n_trees());
+        assert_eq!(shim.val_trace, staged.val_trace);
+        let a = shim.predict(&train);
+        let b = staged.predict(&train);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        // The coded predict path agrees with the raw path bit for bit.
+        let coded = staged.predict_prepared(&prepared);
+        assert!(b.iter().zip(&coded).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn builder_validates_the_paper_knobs() {
+        assert!(GbmParams::builder().n_trees(0).build().is_err());
+        assert!(GbmParams::builder().max_depth(0).build().is_err());
+        assert!(GbmParams::builder().subsample(0.0).build().is_err());
+        assert!(GbmParams::builder().subsample(1.5).build().is_err());
+        assert!(GbmParams::builder().subsample(f64::NAN).build().is_err());
+        assert!(GbmParams::builder().colsample(-0.2).build().is_err());
+        assert!(GbmParams::builder().max_bins(1).build().is_err());
+        assert!(GbmParams::builder().max_bins(u16::MAX as usize + 1).build().is_err());
+        assert!(GbmParams::builder().learning_rate(0.0).build().is_err());
+        let err = GbmParams::builder().max_bins(1 << 20).build().expect_err("too many bins");
+        assert_eq!(err.exit_code(), 64, "usage errors exit with sysexits EX_USAGE");
+        let p = GbmParams::builder()
+            .base(GbmParams::default())
+            .n_trees(40)
+            .max_depth(3)
+            .learning_rate(0.2)
+            .lambda(0.5)
+            .subsample(0.9)
+            .colsample(0.8)
+            .min_child_weight(2.0)
+            .max_bins(128)
+            .seed(7)
+            .early_stopping_rounds(Some(5))
+            .loss(Loss::AbsoluteError)
+            .build()
+            .expect("valid params");
+        assert_eq!(p.n_trees, 40);
+        assert_eq!(p.max_bins, 128);
+        assert_eq!(p.loss, Loss::AbsoluteError);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin budget")]
+    fn trainer_rejects_mismatched_bin_budgets() {
+        let train = friedman(100, 14, 0.0);
+        let prepared = PreparedDataset::fit(&train, 64);
+        Trainer::new(&prepared).fit(GbmParams { max_bins: 128, ..Default::default() });
     }
 
     #[test]
@@ -333,17 +607,15 @@ mod tests {
             train.y[i] += 500.0;
         }
         let test = friedman(400, 21, 0.0);
-        let l2 = Gbm::fit(&train, None, GbmParams { n_trees: 120, ..Default::default() });
-        let l1 = Gbm::fit(
-            &train,
-            None,
-            GbmParams {
-                n_trees: 400,
-                learning_rate: 0.3,
-                loss: Loss::AbsoluteError,
-                ..Default::default()
-            },
-        );
+        let prepared = PreparedDataset::fit(&train, DEFAULT_MAX_BINS);
+        let trainer = Trainer::new(&prepared);
+        let l2 = trainer.fit(GbmParams { n_trees: 120, ..Default::default() });
+        let l1 = trainer.fit(GbmParams {
+            n_trees: 400,
+            learning_rate: 0.3,
+            loss: Loss::AbsoluteError,
+            ..Default::default()
+        });
         let e2 = median_abs_error(&test.y, &l2.predict(&test));
         let e1 = median_abs_error(&test.y, &l1.predict(&test));
         assert!(e1 < e2, "L1 {e1} should beat L2 {e2} under outliers");
@@ -353,9 +625,8 @@ mod tests {
     fn absolute_loss_still_fits_clean_data() {
         let train = friedman(1200, 22, 0.0);
         let test = friedman(300, 23, 0.0);
-        let l1 = Gbm::fit(
+        let l1 = fit(
             &train,
-            None,
             GbmParams {
                 n_trees: 400,
                 learning_rate: 0.3,
@@ -380,7 +651,7 @@ mod tests {
             x.extend(f);
         }
         let data = Dataset::new(x, n, 10, y, (0..10).map(|i| format!("f{i}")).collect());
-        let model = Gbm::fit(&data, None, GbmParams::default());
+        let model = fit(&data, GbmParams::default());
         let imp = model.feature_importance(10);
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(imp[0] > 0.5, "f0 importance {}", imp[0]);
@@ -391,7 +662,7 @@ mod tests {
     #[test]
     fn prediction_is_finite_everywhere() {
         let train = friedman(300, 11, 0.0);
-        let model = Gbm::fit(&train, None, GbmParams::default());
+        let model = fit(&train, GbmParams::default());
         for wild in [[0.0; 5], [1e9; 5], [-1e9; 5]] {
             assert!(model.predict_row(&wild).is_finite());
         }

@@ -21,6 +21,9 @@
 //!   variance) for uncertainty quantification.
 //! * [`search`] — exhaustive grid search (Fig. 1(a)'s heatmap).
 //! * [`nas`] — aging-evolution architecture search (Fig. 2's generations).
+//! * [`prepared`] — the shared binned training context: quantile-bin a
+//!   fold split once ([`PreparedDataset`]), then train any number of GBMs
+//!   through [`Trainer`] without touching the raw floats again.
 //!
 //! Everything is deterministic under a seed and parallelized with rayon
 //! where it pays (histogram builds, grid points, NAS populations).
@@ -30,14 +33,16 @@ pub mod gbm;
 pub mod metrics;
 pub mod nas;
 pub mod nn;
+pub mod prepared;
 pub mod search;
 pub mod tree;
 
 pub use data::Dataset;
-pub use gbm::{Gbm, GbmParams};
+pub use gbm::{Gbm, GbmParams, Trainer};
 pub use metrics::{abs_log10_errors, median_abs_error, median_abs_error_pct};
 pub use nas::{evolve, Genome, NasConfig};
 pub use nn::{Mlp, MlpParams};
+pub use prepared::{BoundDataset, PreparedDataset};
 pub use search::grid_search;
 
 /// A fitted regression model mapping a raw feature row to a log10

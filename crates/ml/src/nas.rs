@@ -9,7 +9,7 @@
 
 use crate::data::Dataset;
 use crate::metrics::median_abs_error;
-use crate::nn::{Mlp, MlpParams};
+use crate::nn::{Mlp, MlpContext, MlpParams};
 use crate::Regressor;
 use iotax_stats::rng::substream;
 use rand::rngs::StdRng;
@@ -130,9 +130,14 @@ pub struct NasRecord {
 pub fn evolve(train: &Dataset, val: &Dataset, cfg: NasConfig) -> Vec<NasRecord> {
     assert!(cfg.population >= 2 && cfg.tournament >= 1);
     let mut rng = substream(cfg.seed, 31);
+    // Preprocess the training fold once; every evaluated network trains
+    // against the shared context.
+    let ctx = MlpContext::prepare(train);
     let eval = |genome: &Genome, idx: u64| -> f64 {
-        let model =
-            Mlp::fit(train, genome.to_params(substream_seed(cfg.seed, idx), cfg.heteroscedastic));
+        let model = Mlp::fit_prepared(
+            &ctx,
+            genome.to_params(substream_seed(cfg.seed, idx), cfg.heteroscedastic),
+        );
         median_abs_error(&val.y, &model.predict(val))
     };
     // Generation 0: random population, trained in parallel.

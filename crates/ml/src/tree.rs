@@ -1,14 +1,19 @@
 //! Histogram-binned regression trees with second-order split gains.
 //!
 //! The design follows XGBoost's histogram algorithm: features are
-//! quantile-binned once per training set (`BinnedDataset`), and each node
-//! finds its best split by accumulating gradient/hessian histograms — O(rows
-//! × features) per level instead of O(rows log rows) per feature. Histogram
-//! building is rayon-parallel across features (the ablation bench
-//! `ablation_parallel_hist` measures exactly this choice).
+//! quantile-binned once per training set ([`PreparedDataset`]), and each
+//! node finds its best split by accumulating gradient/hessian histograms —
+//! O(rows × features) per level instead of O(rows log rows) per feature.
+//! Histogram building is rayon-parallel across features (the ablation
+//! bench `ablation_parallel_hist` measures exactly this choice), walks the
+//! prepared context's contiguous feature-major `u16` codes, and reuses a
+//! thread-local histogram scratch instead of allocating per node — the
+//! former per-node `vec![0.0; n_bins]` pair was the dominant tree cost.
 
-use crate::data::Dataset;
+use crate::prepared::PreparedDataset;
+use iotax_obs::{Error, Result};
 use rayon::prelude::*;
+use std::cell::RefCell;
 
 /// Maximum number of histogram bins per feature.
 pub(crate) const DEFAULT_MAX_BINS: usize = 256;
@@ -31,58 +36,59 @@ impl Default for TreeParams {
     }
 }
 
-/// Quantile-binned view of a dataset, shared by every tree in an ensemble.
-#[derive(Debug, Clone)]
-// audit:allow(dead-public-api) -- parameter type of RegressionTree::fit's public signature
-pub struct BinnedDataset {
-    /// Row-major bin codes, `n_rows × n_cols`.
-    pub codes: Vec<u16>,
-    /// Number of rows.
-    pub n_rows: usize,
-    /// Number of columns.
-    pub n_cols: usize,
-    /// Per feature: ascending cut points; bin `b` holds values in
-    /// `(cuts[b-1], cuts[b]]`, bin `cuts.len()` holds the overflow.
-    pub cuts: Vec<Vec<f64>>,
+impl TreeParams {
+    /// Validated builder, starting from the defaults.
+    pub fn builder() -> TreeParamsBuilder {
+        TreeParamsBuilder { p: Self::default() }
+    }
 }
 
-impl BinnedDataset {
-    /// Quantile-bin a dataset with at most `max_bins` bins per feature.
-    pub fn fit(data: &Dataset, max_bins: usize) -> Self {
-        assert!(max_bins >= 2 && max_bins <= u16::MAX as usize);
-        let cuts: Vec<Vec<f64>> = (0..data.n_cols)
-            .into_par_iter()
-            .map(|c| {
-                let mut vals: Vec<f64> =
-                    (0..data.n_rows).map(|r| data.x[r * data.n_cols + c]).collect();
-                vals.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
-                vals.dedup();
-                if vals.len() <= 1 {
-                    return Vec::new();
-                }
-                let want = (max_bins - 1).min(vals.len() - 1);
-                let mut cuts = Vec::with_capacity(want);
-                for k in 1..=want {
-                    let idx = k * (vals.len() - 1) / want;
-                    cuts.push(vals[idx.min(vals.len() - 2)]);
-                }
-                cuts.dedup();
-                cuts
-            })
-            .collect();
-        let mut codes = vec![0u16; data.n_rows * data.n_cols];
-        codes.par_chunks_mut(data.n_cols).enumerate().for_each(|(r, row)| {
-            for (c, code) in row.iter_mut().enumerate() {
-                let x = data.x[r * data.n_cols + c];
-                *code = cuts[c].partition_point(|&cut| cut < x) as u16;
-            }
-        });
-        Self { codes, n_rows: data.n_rows, n_cols: data.n_cols, cuts }
+/// Builder for [`TreeParams`] that rejects degenerate values with a usage
+/// error (sysexits 64) instead of silently clamping them at fit time.
+#[derive(Debug, Clone)]
+// audit:allow(dead-public-api) -- constructed via TreeParams::builder(); exercised by the validation test suite (test refs are excluded by policy)
+pub struct TreeParamsBuilder {
+    p: TreeParams,
+}
+
+impl TreeParamsBuilder {
+    /// Maximum depth (must be at least 1; a depth-0 stump is a constant).
+    pub fn max_depth(mut self, v: usize) -> Self {
+        self.p.max_depth = v;
+        self
     }
 
-    /// Number of bins for feature `c` (cut count + overflow bin).
-    pub(crate) fn n_bins(&self, c: usize) -> usize {
-        self.cuts[c].len() + 1
+    /// Minimum hessian weight per child.
+    pub fn min_child_weight(mut self, v: f64) -> Self {
+        self.p.min_child_weight = v;
+        self
+    }
+
+    /// L2 regularization λ on leaf values.
+    pub fn lambda(mut self, v: f64) -> Self {
+        self.p.lambda = v;
+        self
+    }
+
+    /// Validate and produce the parameters.
+    pub fn build(self) -> Result<TreeParams> {
+        let p = self.p;
+        if p.max_depth == 0 {
+            return Err(Error::usage("max_depth must be at least 1 (got 0)"));
+        }
+        if !(p.min_child_weight.is_finite() && p.min_child_weight >= 0.0) {
+            return Err(Error::usage(format!(
+                "min_child_weight must be finite and non-negative (got {})",
+                p.min_child_weight
+            )));
+        }
+        if !(p.lambda.is_finite() && p.lambda >= 0.0) {
+            return Err(Error::usage(format!(
+                "lambda must be finite and non-negative (got {})",
+                p.lambda
+            )));
+        }
+        Ok(p)
     }
 }
 
@@ -90,15 +96,20 @@ impl BinnedDataset {
 struct Node {
     /// Split feature (meaningless for leaves).
     feature: u32,
-    /// Raw-value threshold: go left when `x[feature] <= threshold`.
-    threshold: f64,
     /// Index of the left child; right child is `left + 1`. 0 marks a leaf.
     left: u32,
+    /// Split bin: go left when `code[feature] <= bin`. Equivalent to the
+    /// raw-value test below because cuts are strictly increasing.
+    bin: u16,
+    /// Raw-value threshold: go left when `x[feature] <= threshold`.
+    threshold: f64,
     /// Leaf value (weight × shrinkage applied by the caller).
     value: f64,
     /// Split gain (0 for leaves); feeds gain-based feature importance.
     gain: f64,
 }
+
+const LEAF: Node = Node { feature: 0, left: 0, bin: 0, threshold: 0.0, value: 0.0, gain: 0.0 };
 
 /// One fitted regression tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,12 +135,36 @@ fn gain_term(g: f64, h: f64, lambda: f64) -> f64 {
     g * g / (h + lambda)
 }
 
+/// Reusable histogram buffers, one set per worker thread. Invariant: every
+/// buffer is all-zero between `best_split` calls (each call clears exactly
+/// the bins it touched before returning).
+struct SplitScratch {
+    hist_g: Vec<f64>,
+    hist_h: Vec<f64>,
+    hist_n: Vec<u32>,
+    /// Occupancy bitmask over bins (one bit per bin). The gain scan walks
+    /// set bits instead of every bin, so a deep node holding a dozen rows
+    /// against a 256-bin budget does a dozen gain evaluations, not 256.
+    occ: Vec<u64>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<SplitScratch> = const {
+        RefCell::new(SplitScratch {
+            hist_g: Vec::new(),
+            hist_h: Vec::new(),
+            hist_n: Vec::new(),
+            occ: Vec::new(),
+        })
+    };
+}
+
 impl RegressionTree {
     /// Fit a tree to gradients `g` and hessians `h` over the row subset
     /// `rows`, considering only `features`. `rows` is reordered in place
     /// (callers pass a scratch buffer).
     pub fn fit(
-        binned: &BinnedDataset,
+        binned: &PreparedDataset,
         g: &[f64],
         h: &[f64],
         rows: &mut [u32],
@@ -138,47 +173,83 @@ impl RegressionTree {
     ) -> Self {
         assert_eq!(g.len(), binned.n_rows);
         assert_eq!(h.len(), binned.n_rows);
+        // Every loss this crate trains has unit hessians; detecting that
+        // once lets `best_split` count rows in a u32 histogram instead of
+        // summing 1.0s — exact-integer float sums, so bit-identical.
+        let unit_h = h.iter().all(|&v| v == 1.0);
         let mut nodes = Vec::new();
-        // Stack entries: (row range, depth, node index to fill).
-        nodes.push(Node { feature: 0, threshold: 0.0, left: 0, value: 0.0, gain: 0.0 });
-        let mut stack: Vec<(usize, usize, usize, usize)> = vec![(0, rows.len(), 0, 0)];
+        // Stack entries: (row range, depth, node index to fill, live
+        // features). A feature whose rows all share one bin cannot split
+        // the node (the empty right child is rejected by the guards), and
+        // a child's rows are a subset of its parent's — so once a feature
+        // goes single-bin it is dead for the entire subtree and the
+        // children skip its histogram. Duplicate-heavy HPC traces shed
+        // most features within a few levels this way.
+        nodes.push(LEAF);
+        let mut stack: Vec<(usize, usize, usize, usize, Vec<usize>)> =
+            vec![(0, rows.len(), 0, 0, features.to_vec())];
         let mut work = Vec::new(); // defer to keep borrow simple
-        while let Some((lo, hi, depth, node_idx)) = stack.pop() {
+        let mut work_g = Vec::new(); // gradients gathered per node, in row order
+        let mut work_h = Vec::new();
+        while let Some((lo, hi, depth, node_idx, live)) = stack.pop() {
             work.clear();
             work.extend_from_slice(&rows[lo..hi]);
-            let (sum_g, sum_h) =
-                work.iter().fold((0.0, 0.0), |(a, b), &r| (a + g[r as usize], b + h[r as usize]));
+            work_g.clear();
+            work_g.extend(work.iter().map(|&r| g[r as usize]));
+            let sum_g = work_g.iter().fold(0.0, |a, &v| a + v);
+            let sum_h = if unit_h {
+                work.len() as f64
+            } else {
+                work_h.clear();
+                work_h.extend(work.iter().map(|&r| h[r as usize]));
+                work_h.iter().fold(0.0, |a, &v| a + v)
+            };
             let value = leaf_value(sum_g, sum_h, params.lambda);
-            nodes[node_idx] = Node { feature: 0, threshold: 0.0, left: 0, value, gain: 0.0 };
+            nodes[node_idx] = Node { value, ..LEAF };
             if depth >= params.max_depth || work.len() < 2 {
                 continue;
             }
-            let Some(split) = best_split(binned, g, h, &work, features, sum_g, sum_h, params)
-            else {
+            let (split, dead) = best_split(
+                binned,
+                &work,
+                &work_g,
+                if unit_h { None } else { Some(&work_h) },
+                &live,
+                sum_g,
+                sum_h,
+                params,
+            );
+            let Some(split) = split else {
                 continue;
             };
             // Partition rows: left = code <= split.bin.
+            let codes = binned.feature_codes(split.feature);
             let mut left_count = 0usize;
             for i in lo..hi {
-                let r = rows[i] as usize;
-                if binned.codes[r * binned.n_cols + split.feature] as usize <= split.bin {
+                if codes[rows[i] as usize] as usize <= split.bin {
                     rows.swap(lo + left_count, i);
                     left_count += 1;
                 }
             }
             debug_assert!(left_count > 0 && left_count < hi - lo);
             let left_idx = nodes.len();
-            nodes.push(Node { feature: 0, threshold: 0.0, left: 0, value: 0.0, gain: 0.0 });
-            nodes.push(Node { feature: 0, threshold: 0.0, left: 0, value: 0.0, gain: 0.0 });
+            nodes.push(LEAF);
+            nodes.push(LEAF);
             nodes[node_idx] = Node {
                 feature: split.feature as u32,
-                threshold: binned.cuts[split.feature][split.bin],
                 left: left_idx as u32,
+                bin: split.bin as u16,
+                threshold: binned.cuts[split.feature][split.bin],
                 value,
                 gain: split.gain,
             };
-            stack.push((lo, lo + left_count, depth + 1, left_idx));
-            stack.push((lo + left_count, hi, depth + 1, left_idx + 1));
+            let child_live: Vec<usize> = if dead.is_empty() {
+                live
+            } else {
+                live.into_iter().filter(|f| !dead.contains(f)).collect()
+            };
+            stack.push((lo, lo + left_count, depth + 1, left_idx, child_live.clone()));
+            stack.push((lo + left_count, hi, depth + 1, left_idx + 1, child_live));
         }
         Self { nodes }
     }
@@ -199,21 +270,30 @@ impl RegressionTree {
         }
     }
 
+    /// Predict row `row` of a feature-major code matrix (`n_cols × n_rows`).
+    /// Takes the same branch as [`predict_row`](Self::predict_row) on the
+    /// raw values the codes were binned from.
+    pub(crate) fn predict_coded(&self, codes: &[u16], n_rows: usize, row: usize) -> f64 {
+        let n = &self.nodes[self.leaf_index_coded(codes, n_rows, row)];
+        n.value
+    }
+
     /// Number of nodes (internal + leaves).
     // audit:allow(dead-public-api) -- structural accessor asserted by tree-growth unit tests (test refs are excluded by policy)
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
 
-    /// Index of the leaf node that `x` falls into.
-    pub(crate) fn leaf_index(&self, x: &[f64]) -> usize {
+    /// Index of the leaf that row `row` of a feature-major code matrix
+    /// falls into.
+    pub(crate) fn leaf_index_coded(&self, codes: &[u16], n_rows: usize, row: usize) -> usize {
         let mut idx = 0usize;
         loop {
             let n = &self.nodes[idx];
             if n.left == 0 {
                 return idx;
             }
-            idx = if x[n.feature as usize] <= n.threshold {
+            idx = if codes[n.feature as usize * n_rows + row] <= n.bin {
                 n.left as usize
             } else {
                 n.left as usize + 1
@@ -252,71 +332,203 @@ impl RegressionTree {
     }
 }
 
-/// Best split across the candidate features for one node.
+/// Best split across the candidate features for one node, plus the
+/// features found *dead* here — single-bin over the node's rows, which can
+/// never split this node or any descendant (see [`RegressionTree::fit`]).
+/// `work_g` (and `work_h` when hessians are not all 1.0) are the node's
+/// gradients gathered in `rows` order, so the per-feature pass reads them
+/// sequentially.
 #[allow(clippy::too_many_arguments)]
 fn best_split(
-    binned: &BinnedDataset,
-    g: &[f64],
-    h: &[f64],
+    binned: &PreparedDataset,
     rows: &[u32],
+    work_g: &[f64],
+    work_h: Option<&[f64]>,
     features: &[usize],
     sum_g: f64,
     sum_h: f64,
     params: &TreeParams,
-) -> Option<Split> {
+) -> (Option<Split>, Vec<usize>) {
     let parent_term = gain_term(sum_g, sum_h, params.lambda);
-    let candidate = |&f: &usize| -> Option<Split> {
+    // Per feature: (best split, dead-for-subtree flag). Takes the scratch
+    // explicitly so the serial path below can borrow it once per node
+    // instead of once per feature.
+    let candidate = |scratch: &mut SplitScratch, f: usize| -> (Option<Split>, bool) {
         let n_bins = binned.n_bins(f);
         if n_bins < 2 {
-            return None;
+            return (None, true);
         }
-        let mut hist_g = vec![0.0f64; n_bins];
-        let mut hist_h = vec![0.0f64; n_bins];
-        for &r in rows {
-            let r = r as usize;
-            let b = binned.codes[r * binned.n_cols + f] as usize;
-            hist_g[b] += g[r];
-            hist_h[b] += h[r];
-        }
-        let mut best: Option<Split> = None;
-        let mut acc_g = 0.0;
-        let mut acc_h = 0.0;
-        for b in 0..n_bins - 1 {
-            acc_g += hist_g[b];
-            acc_h += hist_h[b];
-            let right_h = sum_h - acc_h;
-            if acc_h < params.min_child_weight || right_h < params.min_child_weight {
-                continue;
+        let codes = binned.feature_codes(f);
+        {
+            let SplitScratch { hist_g, hist_h, hist_n, occ } = scratch;
+            if hist_g.len() < n_bins {
+                hist_g.resize(n_bins, 0.0);
+                hist_h.resize(n_bins, 0.0);
+                hist_n.resize(n_bins, 0);
+                occ.resize(n_bins.div_ceil(64), 0);
             }
-            let gain = gain_term(acc_g, acc_h, params.lambda)
-                + gain_term(sum_g - acc_g, right_h, params.lambda)
-                - parent_term;
-            if gain > best.map_or(1e-12, |s| s.gain) {
-                best = Some(Split { feature: f, bin: b, gain, left_g: acc_g, left_h: acc_h });
+            let mut best: Option<Split> = None;
+            let mut dead = false;
+            match work_h {
+                // Unit hessians: count rows per bin; the counts are exact
+                // integers, so `as f64` matches the float sums bit for bit.
+                // The scan walks only occupied bins (in ascending order, via
+                // the occupancy bitmask): an empty bin adds +0.0 to every
+                // accumulator and scores exactly the previous bin's gain,
+                // which the strict `>` below never selects — so the skip is
+                // bit-identical to the full scan. Deep nodes hold a handful
+                // of rows against a 256-bin budget, so this reduces the scan
+                // from O(max_bins) to O(occupied).
+                None => {
+                    for (i, &r) in rows.iter().enumerate() {
+                        let b = codes[r as usize] as usize;
+                        hist_g[b] += work_g[i];
+                        hist_n[b] += 1;
+                        occ[b >> 6] |= 1u64 << (b & 63);
+                    }
+                    let n_words = n_bins.div_ceil(64);
+                    dead = occ[..n_words].iter().map(|w| w.count_ones()).sum::<u32>() < 2;
+                    let mut acc_g = 0.0;
+                    let mut acc_n = 0u32;
+                    // The scan visits every occupied bin exactly once (the
+                    // early exit below only fires at the highest one), so it
+                    // doubles as the zero-restore pass: each bin is cleared
+                    // right after it is read, and the separate restore walk
+                    // disappears.
+                    #[allow(clippy::needless_range_loop)] // occ[w] is written back, not just read
+                    'scan: for w in 0..n_words {
+                        let mut bits = occ[w];
+                        occ[w] = 0;
+                        while bits != 0 {
+                            let b = (w << 6) + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            acc_g += hist_g[b];
+                            acc_n += hist_n[b];
+                            hist_g[b] = 0.0;
+                            hist_n[b] = 0;
+                            if b + 1 >= n_bins {
+                                // Last bin: nothing to its right to split off.
+                                break 'scan;
+                            }
+                            let acc_h = acc_n as f64;
+                            let right_h = sum_h - acc_h;
+                            if acc_h < params.min_child_weight || right_h < params.min_child_weight
+                            {
+                                continue;
+                            }
+                            let gain = gain_term(acc_g, acc_h, params.lambda)
+                                + gain_term(sum_g - acc_g, right_h, params.lambda)
+                                - parent_term;
+                            if gain > best.map_or(1e-12, |s| s.gain) {
+                                best = Some(Split {
+                                    feature: f,
+                                    bin: b,
+                                    gain,
+                                    left_g: acc_g,
+                                    left_h: acc_h,
+                                });
+                            }
+                        }
+                    }
+                }
+                // Weighted hessians (only reached by explicitly weighted
+                // callers): the original dense scan.
+                Some(wh) => {
+                    for (i, &r) in rows.iter().enumerate() {
+                        let b = codes[r as usize] as usize;
+                        hist_g[b] += work_g[i];
+                        hist_h[b] += wh[i];
+                    }
+                    let mut acc_g = 0.0;
+                    let mut acc_h = 0.0;
+                    for b in 0..n_bins - 1 {
+                        acc_g += hist_g[b];
+                        acc_h += hist_h[b];
+                        let right_h = sum_h - acc_h;
+                        if acc_h < params.min_child_weight || right_h < params.min_child_weight {
+                            continue;
+                        }
+                        let gain = gain_term(acc_g, acc_h, params.lambda)
+                            + gain_term(sum_g - acc_g, right_h, params.lambda)
+                            - parent_term;
+                        if gain > best.map_or(1e-12, |s| s.gain) {
+                            best = Some(Split {
+                                feature: f,
+                                bin: b,
+                                gain,
+                                left_g: acc_g,
+                                left_h: acc_h,
+                            });
+                        }
+                    }
+                    // Restore the all-zero invariant, touching only what
+                    // this call dirtied.
+                    if 2 * rows.len() < n_bins {
+                        for &r in rows {
+                            let b = codes[r as usize] as usize;
+                            hist_g[b] = 0.0;
+                            hist_h[b] = 0.0;
+                        }
+                    } else {
+                        hist_g[..n_bins].fill(0.0);
+                        hist_h[..n_bins].fill(0.0);
+                    }
+                }
             }
+            (best, dead)
         }
-        best
     };
     // Parallelize the histogram builds across features when the node is
-    // large enough to amortize the fork.
-    let best = if rows.len() * features.len() > 16_384 {
-        features
-            .par_iter()
-            .filter_map(candidate)
-            .max_by(|a, b| a.gain.partial_cmp(&b.gain).expect("finite gains"))
-    } else {
-        features
-            .iter()
-            .filter_map(candidate)
-            .max_by(|a, b| a.gain.partial_cmp(&b.gain).expect("finite gains"))
+    // large enough to amortize the fork; small (deep) nodes take the
+    // serial path, which borrows the thread-local scratch once for the
+    // whole node. Both paths keep the last-maximal-gain tie-break in
+    // feature order, so the chosen split is deterministic and identical.
+    let mut best: Option<Split> = None;
+    let mut dead: Vec<usize> = Vec::new();
+    let keep_later = |new: &Split, cur: &Option<Split>| {
+        cur.as_ref().is_none_or(|c| {
+            new.gain.partial_cmp(&c.gain).expect("finite gains") != std::cmp::Ordering::Less
+        })
     };
+    if rows.len() * features.len() > 16_384 {
+        let evals: Vec<(Option<Split>, bool)> = features
+            .par_iter()
+            .map(|&f| SCRATCH.with(|s| candidate(&mut s.borrow_mut(), f)))
+            .collect();
+        for (&f, (s, d)) in features.iter().zip(&evals) {
+            if *d {
+                dead.push(f);
+            }
+            if let Some(s) = s {
+                if keep_later(s, &best) {
+                    best = Some(*s);
+                }
+            }
+        }
+    } else {
+        SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            for &f in features {
+                let (s, d) = candidate(scratch, f);
+                if d {
+                    dead.push(f);
+                }
+                if let Some(s) = s {
+                    if keep_later(&s, &best) {
+                        best = Some(s);
+                    }
+                }
+            }
+        });
+    }
     // Guard against degenerate partitions (all rows one side).
-    best.filter(|s| s.left_h > 0.0 && sum_h - s.left_h > 0.0 && s.left_g.is_finite())
+    (best.filter(|s| s.left_h > 0.0 && sum_h - s.left_h > 0.0 && s.left_g.is_finite()), dead)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::data::Dataset;
 
     fn step_dataset(n: usize) -> Dataset {
         // y = 1 if x0 > 0.5 else 0 — one split suffices.
@@ -338,7 +550,7 @@ mod tests {
     }
 
     fn fit_once(data: &Dataset, params: &TreeParams) -> RegressionTree {
-        let binned = BinnedDataset::fit(data, 64);
+        let binned = PreparedDataset::fit(data, 64);
         let (g, h) = grads(data, &vec![0.0; data.n_rows]);
         let mut rows: Vec<u32> = (0..data.n_rows as u32).collect();
         let features: Vec<usize> = (0..data.n_cols).collect();
@@ -383,21 +595,32 @@ mod tests {
     }
 
     #[test]
-    fn binning_is_monotone() {
-        let data = step_dataset(100);
-        let binned = BinnedDataset::fit(&data, 16);
-        let codes: Vec<u16> = (0..100).map(|r| binned.codes[r]).collect();
-        assert!(codes.windows(2).all(|w| w[0] <= w[1]));
-        assert!(binned.n_bins(0) <= 16);
-    }
-
-    #[test]
     fn constant_feature_never_splits() {
         let n = 50;
         let d =
             Dataset::new(vec![3.0; n], n, 1, (0..n).map(|i| i as f64).collect(), vec!["k".into()]);
         let tree = fit_once(&d, &TreeParams::default());
         assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn nonuniform_hessians_take_the_weighted_path() {
+        // Same structure as the step set, but down-weight half the rows;
+        // the weighted-histogram branch must still find the step split.
+        let data = step_dataset(200);
+        let binned = PreparedDataset::fit(&data, 64);
+        let g: Vec<f64> = data.y.iter().map(|y| -y).collect();
+        let h: Vec<f64> = (0..data.n_rows).map(|i| if i % 2 == 0 { 1.0 } else { 0.5 }).collect();
+        let mut rows: Vec<u32> = (0..data.n_rows as u32).collect();
+        let tree = RegressionTree::fit(
+            &binned,
+            &g,
+            &h,
+            &mut rows,
+            &[0],
+            &TreeParams { max_depth: 2, ..Default::default() },
+        );
+        assert!(tree.predict_row(&[0.9]) > tree.predict_row(&[0.2]));
     }
 
     #[test]
@@ -422,13 +645,24 @@ mod tests {
     }
 
     #[test]
-    fn prediction_matches_bin_boundaries() {
-        // A value exactly at a cut goes left, both binned and raw.
-        let data = step_dataset(10);
-        let binned = BinnedDataset::fit(&data, 4);
-        for (c, cut) in binned.cuts[0].iter().enumerate() {
-            let code = binned.cuts[0].partition_point(|&x| x < *cut);
-            assert_eq!(code, c, "cut {cut} maps to its own bin");
+    fn coded_prediction_matches_raw_prediction() {
+        let data = step_dataset(100);
+        // Codes must come from the same cuts the tree was trained under.
+        let binned = PreparedDataset::fit(&data, 64);
+        let tree = fit_once(&data, &TreeParams { max_depth: 3, ..Default::default() });
+        for r in 0..data.n_rows {
+            let raw = tree.predict_row(data.row(r));
+            let coded = tree.predict_coded(&binned.codes, binned.n_rows, r);
+            assert_eq!(raw.to_bits(), coded.to_bits(), "row {r}");
         }
+    }
+
+    #[test]
+    fn builder_rejects_zero_depth() {
+        let err = TreeParams::builder().max_depth(0).build().expect_err("zero depth");
+        assert_eq!(err.exit_code(), 64);
+        assert!(TreeParams::builder().max_depth(4).lambda(0.5).build().is_ok());
+        assert!(TreeParams::builder().min_child_weight(f64::NAN).build().is_err());
+        assert!(TreeParams::builder().lambda(-1.0).build().is_err());
     }
 }

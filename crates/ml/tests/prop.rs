@@ -1,13 +1,19 @@
 //! Property-based tests for the ML substrate.
 
 use iotax_ml::data::{signed_log, Dataset, Preprocessor};
-use iotax_ml::gbm::{Gbm, GbmParams};
+use iotax_ml::gbm::{GbmParams, Trainer};
 use iotax_ml::metrics::{
     abs_log10_errors, log10_error_to_pct, median_abs_error, pct_to_log10_error,
 };
-use iotax_ml::tree::BinnedDataset;
+use iotax_ml::prepared::PreparedDataset;
 use iotax_ml::Regressor;
 use proptest::prelude::*;
+
+/// Bin-then-train through the prepared-context API, the shape every
+/// production call site uses.
+fn fit(data: &Dataset, params: GbmParams) -> iotax_ml::gbm::Gbm {
+    Trainer::new(&PreparedDataset::fit(data, params.max_bins)).fit(params)
+}
 
 fn arb_dataset(max_rows: usize) -> impl Strategy<Value = Dataset> {
     (2usize..5, 4usize..max_rows).prop_flat_map(|(n_cols, n_rows)| {
@@ -69,15 +75,13 @@ proptest! {
 
     #[test]
     fn binning_respects_order(data in arb_dataset(64)) {
-        let binned = BinnedDataset::fit(&data, 16);
+        let binned = PreparedDataset::fit(&data, 16);
         for c in 0..data.n_cols {
+            let codes = binned.feature_codes(c);
             for i in 0..data.n_rows {
                 for j in 0..data.n_rows {
                     let (xi, xj) = (data.row(i)[c], data.row(j)[c]);
-                    let (bi, bj) = (
-                        binned.codes[i * data.n_cols + c],
-                        binned.codes[j * data.n_cols + c],
-                    );
+                    let (bi, bj) = (codes[i], codes[j]);
                     if xi < xj {
                         prop_assert!(bi <= bj, "order violated: {xi} -> bin {bi}, {xj} -> bin {bj}");
                     }
@@ -87,8 +91,50 @@ proptest! {
     }
 
     #[test]
+    fn bin_edges_round_trip_through_their_codes(data in arb_dataset(64)) {
+        // The cut vector is the contract of the prepared context: edges are
+        // strictly increasing, every cut value encodes to its own bin, and
+        // no code escapes the per-feature bin count.
+        let binned = PreparedDataset::fit(&data, 16);
+        let bound = binned.bind(&data);
+        prop_assert_eq!(bound.n_rows(), data.n_rows);
+        for c in 0..data.n_cols {
+            let cuts = binned.cuts(c);
+            prop_assert!(cuts.windows(2).all(|w| w[0] < w[1]), "cuts not strictly increasing");
+            // Every cut value round-trips to its own bin index, so a tree
+            // split "code <= b" means exactly "x <= cuts[b]".
+            for (b, &edge) in cuts.iter().enumerate() {
+                let code = cuts.partition_point(|&v| v < edge);
+                prop_assert!(code == b, "edge {edge} mapped to bin {code}, expected {b}");
+            }
+            // The stored codes are the reference encoding of the raw
+            // column, and never escape the cut range.
+            let codes = binned.feature_codes(c);
+            for r in 0..data.n_rows {
+                let x = data.row(r)[c];
+                let expect = cuts.partition_point(|&v| v < x) as u16;
+                prop_assert!(codes[r] == expect, "row {r}: code {} vs {expect}", codes[r]);
+                prop_assert!((codes[r] as usize) <= cuts.len());
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_training_matches_the_one_shot_shim(data in arb_dataset(40)) {
+        let params = GbmParams { n_trees: 6, max_depth: 3, ..Default::default() };
+        let modern = fit(&data, params);
+        #[allow(deprecated)]
+        let shim = iotax_ml::gbm::Gbm::fit(&data, None, params);
+        for i in 0..data.n_rows {
+            let a = modern.predict_row(data.row(i));
+            let b = shim.predict_row(data.row(i));
+            prop_assert!(a.to_bits() == b.to_bits(), "row {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
     fn gbm_predictions_are_finite_and_bounded_by_target_range(data in arb_dataset(48)) {
-        let model = Gbm::fit(&data, None, GbmParams { n_trees: 10, max_depth: 3, ..Default::default() });
+        let model = fit(&data, GbmParams { n_trees: 10, max_depth: 3, ..Default::default() });
         let preds = model.predict(&data);
         let lo = data.y.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = data.y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -105,7 +151,7 @@ proptest! {
         // Trees split on order statistics: replacing x with sign(x)·ln(1+|x|)
         // must leave every prediction unchanged (same bins, same splits).
         let params = GbmParams { n_trees: 8, max_depth: 3, max_bins: 64, ..Default::default() };
-        let model_raw = Gbm::fit(&data, None, params);
+        let model_raw = fit(&data, params);
         let transformed = Dataset::new(
             data.x.iter().map(|&v| signed_log(v)).collect(),
             data.n_rows,
@@ -113,7 +159,7 @@ proptest! {
             data.y.clone(),
             data.names.clone(),
         );
-        let model_tr = Gbm::fit(&transformed, None, params);
+        let model_tr = fit(&transformed, params);
         for i in 0..data.n_rows {
             let a = model_raw.predict_row(data.row(i));
             let b = model_tr.predict_row(transformed.row(i));

@@ -85,6 +85,15 @@ impl Error {
         &self.context
     }
 
+    /// Prefix the context with what the caller was doing when the error
+    /// surfaced, keeping the kind and the cause chain. The idiom for
+    /// propagating another crate's error across a boundary:
+    /// `.map_err(|e| e.wrap("while tuning the grid"))?`.
+    pub fn wrap(mut self, outer: impl Into<String>) -> Self {
+        self.context = format!("{}: {}", outer.into(), self.context);
+        self
+    }
+
     /// The process exit code this failure maps to (sysexits-inspired).
     pub fn exit_code(&self) -> u8 {
         match self.kind {

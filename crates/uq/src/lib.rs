@@ -19,7 +19,7 @@
 //! locates automatically.
 
 use iotax_ml::data::Dataset;
-use iotax_ml::nn::{Mlp, MlpParams};
+use iotax_ml::nn::{Mlp, MlpContext, MlpParams};
 use iotax_stats::rng::splitmix64;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -68,6 +68,9 @@ impl DeepEnsemble {
     /// initialization/shuffling — the classic deep-ensemble baseline.
     pub fn fit_default(train: &Dataset, k: usize, base: MlpParams, seed: u64) -> Self {
         assert!(k >= 2, "an ensemble needs at least two members");
+        // Preprocess the shared training fold once; members differ only in
+        // initialization and shuffling, never in preprocessing.
+        let ctx = MlpContext::prepare(train);
         // Spawn point: member fits may run on worker threads, where this
         // thread's span stack is invisible — pass the parent explicitly so
         // the members assemble under the caller's span.
@@ -80,7 +83,7 @@ impl DeepEnsemble {
                 let mut p = base.clone();
                 p.heteroscedastic = true;
                 p.seed = splitmix64(seed ^ (i as u64).rotate_left(13));
-                Mlp::fit(train, p)
+                Mlp::fit_prepared(&ctx, p)
             })
             .collect();
         Self { members }

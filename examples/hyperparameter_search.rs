@@ -10,10 +10,11 @@ use iotax::core::{app_modeling_bound, find_duplicate_sets};
 use iotax::ml::data::Dataset;
 use iotax::ml::gbm::GbmParams;
 use iotax::ml::metrics::log10_error_to_pct;
+use iotax::ml::prepared::PreparedDataset;
 use iotax::ml::search::grid_search;
 use iotax::sim::{FeatureSet, Platform, SimConfig};
 
-fn main() {
+fn main() -> iotax::Result<()> {
     let sim = Platform::new(SimConfig::theta().with_jobs(6_000).with_seed(3)).generate();
     let m = sim.feature_matrix(FeatureSet::posix());
     let data = Dataset::new(m.data, m.n_rows, m.n_cols, m.y, m.names);
@@ -31,7 +32,20 @@ fn main() {
     let trees = [8, 16, 32, 64, 128];
     let depths = [2, 4, 6, 9, 12];
     println!("validation median error (%) over n_trees × depth:");
-    let points = grid_search(&train, &val, &trees, &depths, &[1.0], &[1.0], GbmParams::default());
+    // Bin the training fold once; all 25 grid candidates train against the
+    // shared context. The validated builder rejects out-of-range knobs up
+    // front instead of silently clamping them mid-sweep.
+    let base = GbmParams::builder()
+        .learning_rate(0.1)
+        .lambda(1.0)
+        .min_child_weight(1.0)
+        .max_bins(256)
+        .seed(0)
+        .early_stopping_rounds(None)
+        .loss(iotax::ml::gbm::Loss::SquaredError)
+        .build()?;
+    let prepared = PreparedDataset::fit(&train, base.max_bins);
+    let points = grid_search(&prepared, &val, &trees, &depths, &[1.0], &[1.0], base)?;
 
     // Render the heatmap.
     print!("{:>8}", "");
@@ -63,4 +77,5 @@ fn main() {
          and the rest of the error lives elsewhere in the taxonomy.",
         log10_error_to_pct(best.val_error) - bound.median_abs_pct
     );
+    Ok(())
 }
