@@ -62,7 +62,7 @@ struct AuditSection {
 const USAGE: &str = "usage: iotax-audit (--workspace | --crate DIR | --list-lints) \
      [--root DIR] [--config PATH] [--baseline PATH] [--write-baseline PATH] \
      [--format text|jsonl|github] [--jsonl-out PATH] [--metrics-out PATH] [--ledger DIR] \
-     [--include-tests]";
+     [--store DIR] [--include-tests]";
 
 fn parse_args() -> Result<Args, Error> {
     let mut args = Args {

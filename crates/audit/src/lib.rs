@@ -5,7 +5,7 @@
 //! the Darshan parsers — are properties of *code*, but until now they
 //! were only enforced by *tests*, which sample a handful of seeds and
 //! inputs. This crate closes that gap: a small, dependency-free Rust
-//! lexer plus eight token-level lints that check the properties on every
+//! lexer plus nine token-level lints that check the properties on every
 //! line of every crate, on every commit — and, on top of the lexer, an
 //! item parser, a workspace symbol table, and four cross-file flow
 //! analyses ([`flow`]) that check the properties that live at crate

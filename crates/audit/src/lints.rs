@@ -1,4 +1,4 @@
-//! The eight domain lints.
+//! The nine domain lints.
 //!
 //! Each lint turns one of the taxonomy pipeline's *dynamic* guarantees
 //! (proptests, the pinned-seed chaos gate) into a *static* check that
@@ -14,6 +14,7 @@
 //! | `swallowed-result`       | no silent data loss: every `Result` is handled or loudly waived |
 //! | `unspanned-stage`        | observability: taxonomy stages are traceable |
 //! | `unbound-span`           | observability: span guards live for the region they time |
+//! | `unsynced-durable-write` | crash durability: written bytes are fsynced before the publishing rename |
 //!
 //! Lints are token-sequence matchers over [`FileCx`] — deliberately
 //! simple and predictable. Where a pattern is provably safe (a masked
@@ -83,6 +84,10 @@ pub const LINTS: &[LintSpec] = &[
         name: "unbound-span",
         summary: "`span!` statement drops its guard immediately, timing nothing",
     },
+    LintSpec {
+        name: "unsynced-durable-write",
+        summary: "file written then renamed into place with no fsync between; a crash can publish a torn file",
+    },
 ];
 
 /// Names of all lints, for config validation (includes the meta-lints so
@@ -118,6 +123,7 @@ pub(crate) fn run_lint(name: &str, cx: &FileCx<'_>, opts: &LintOptions) -> Vec<R
         "swallowed-result" => swallowed_result(cx, opts),
         "unspanned-stage" => unspanned_stage(cx, opts),
         "unbound-span" => unbound_span(cx, opts),
+        "unsynced-durable-write" => unsynced_durable_write(cx, opts),
         _ => Vec::new(),
     }
 }
@@ -642,6 +648,75 @@ fn unbound_span(cx: &FileCx<'_>, opts: &LintOptions) -> Vec<RawFinding> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// unsynced-durable-write
+// ---------------------------------------------------------------------------
+
+/// Calls that put bytes into a file the function later publishes.
+const DURABLE_WRITES: &[&str] = &["create", "create_new", "write", "write_all"];
+
+/// Calls that make those bytes durable before the publish.
+const SYNC_CALLS: &[&str] = &["sync_all", "sync_data", "fsync", "fsync_dir"];
+
+/// The durable-publish protocol the store and ledger rely on is
+/// write → fsync → rename: a rename is atomic, but it atomically
+/// publishes whatever the page cache holds, so renaming an unsynced file
+/// can install an empty or torn file after a crash. Within one function,
+/// flag any `rename(…)` that follows a file create/write with no
+/// `sync_all`/`sync_data` in between. Functions that only move files
+/// (no write) are fine, as is syncing and then renaming.
+fn unsynced_durable_write(cx: &FileCx<'_>, opts: &LintOptions) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for i in 0..cx.code.len() {
+        if !cx.ident_at(i, "fn") || skip(cx, i, opts) {
+            continue;
+        }
+        // Find the body `{ … }`; a `;` first means a bodyless trait fn.
+        let mut j = i + 2;
+        while j < cx.code.len() && !cx.punct_at(j, "{") {
+            if cx.punct_at(j, ";") {
+                break;
+            }
+            j += 1;
+        }
+        if !cx.punct_at(j, "{") {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut wrote = false; // an unsynced durable write happened earlier
+        while j < cx.code.len() {
+            if cx.punct_at(j, "{") {
+                depth += 1;
+            } else if cx.punct_at(j, "}") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if cx.kind(j) == TokKind::Ident && cx.punct_at(j + 1, "(") {
+                let name = cx.text(j);
+                if DURABLE_WRITES.contains(&name) {
+                    wrote = true;
+                } else if SYNC_CALLS.contains(&name) {
+                    wrote = false;
+                } else if name == "rename" && wrote {
+                    out.push(finding(
+                        cx,
+                        "unsynced-durable-write",
+                        j,
+                        "this rename publishes bytes that were never fsynced; a crash can \
+                         install an empty or torn file — call `sync_all()`/`sync_data()` on \
+                         the written file (and fsync the parent directory after the rename) \
+                         before publishing"
+                            .to_owned(),
+                    ));
+                }
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -739,6 +814,30 @@ mod tests {
         assert!(run("unbound-span", "fn f() { let _s = crate::span!(\"s\"); work(); }").is_empty());
         assert!(run("unbound-span", "fn f() -> G { span!(\"s\") }").is_empty());
         assert!(run("unbound-span", "fn f() { g(span!(\"s\")); }").is_empty());
+    }
+
+    #[test]
+    fn unsynced_durable_write_needs_fsync_between_write_and_rename() {
+        let torn = "fn publish(d: &Path) -> io::Result<()> {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            fs::rename(&tmp, d)
+        }";
+        assert_eq!(run("unsynced-durable-write", torn).len(), 1);
+        let synced = "fn publish(d: &Path) -> io::Result<()> {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+            fs::rename(&tmp, d)
+        }";
+        assert!(run("unsynced-durable-write", synced).is_empty());
+        // A sync AFTER the rename is too late.
+        let late = "fn publish(d: &Path) { fs::write(&tmp, b).unwrap();
+            fs::rename(&tmp, d).unwrap(); f.sync_all().unwrap(); }";
+        assert_eq!(run("unsynced-durable-write", late).len(), 1);
+        // Pure moves (no write in the function) are not publishes.
+        let mv = "fn quarantine(a: &Path, b: &Path) { let _r = fs::rename(a, b); }";
+        assert!(run("unsynced-durable-write", mv).is_empty());
     }
 
     #[test]

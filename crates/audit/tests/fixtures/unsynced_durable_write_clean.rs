@@ -1,0 +1,18 @@
+//! Fixture: the full durable-publish protocol — write, fsync the file,
+//! rename, fsync the parent directory. A quarantine move that writes
+//! nothing is also fine.
+
+pub fn publish(dir: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = dir.join(".run.json.tmp");
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    fs::rename(&tmp, dir.join("run.json"))?;
+    fsync_dir(dir)
+}
+
+pub fn quarantine(path: &Path, qdir: &Path) {
+    if let Some(name) = path.file_name() {
+        let _r = fs::rename(path, qdir.join(name));
+    }
+}

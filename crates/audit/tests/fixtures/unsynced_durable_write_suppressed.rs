@@ -1,0 +1,10 @@
+//! Fixture: a scratch-cache publish that tolerates loss, waived with the
+//! reason.
+
+pub fn publish_scratch(dir: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = dir.join(".cache.tmp");
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes)?;
+    // audit:allow(unsynced-durable-write) -- fixture: rebuildable cache entry, a torn file is re-derived on next read
+    fs::rename(&tmp, dir.join("cache.bin"))
+}

@@ -1,0 +1,9 @@
+//! Fixture: a ledger file renamed into place without an fsync, so a
+//! crash right after the rename can publish an empty or torn file.
+
+pub fn publish(dir: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = dir.join(".run.json.tmp");
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes)?;
+    fs::rename(&tmp, dir.join("run.json"))
+}

@@ -70,6 +70,12 @@ const CASES: &[(&str, &str, &str, &str)] = &[
         include_str!("fixtures/unbound_span_suppressed.rs"),
         include_str!("fixtures/unbound_span_clean.rs"),
     ),
+    (
+        "unsynced-durable-write",
+        include_str!("fixtures/unsynced_durable_write_violating.rs"),
+        include_str!("fixtures/unsynced_durable_write_suppressed.rs"),
+        include_str!("fixtures/unsynced_durable_write_clean.rs"),
+    ),
 ];
 
 #[test]

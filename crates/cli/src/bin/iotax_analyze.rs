@@ -41,8 +41,8 @@ use iotax_obs::{digest_bytes, Error};
 use std::path::PathBuf;
 
 const USAGE: &str = "usage: iotax-analyze TRACE_DIR [--metrics-out PATH] [--ledger DIR] \
-                     [--stats-only] [--strict] [--retries N] [--quarantine DIR] \
-                     [--ingest-report PATH]";
+                     [--store DIR] [--stats-only] [--strict] [--retries N] \
+                     [--quarantine DIR] [--ingest-report PATH]";
 
 struct Args {
     dir: PathBuf,

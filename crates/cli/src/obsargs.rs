@@ -1,19 +1,21 @@
 //! The shared observability flags: one parser for all workspace bins.
 //!
 //! `iotax-gen`, `iotax-analyze`, and `iotax-audit` all accept
-//! `--metrics-out PATH` (stream spans/counters/histograms as JSON lines)
-//! and `--ledger DIR` (write a self-contained run directory, see
-//! [`iotax_obs::Ledger`]). Each binary folds [`ObsArgs::accept`] into its
-//! flag loop instead of keeping its own copy of the parsing, then
-//! [`ObsArgs::install`]s the sinks once and [`ObsSession::finish`]es on
-//! every exit path so `run.json` carries the real exit status.
+//! `--metrics-out PATH` (stream spans/counters/histograms as JSON lines),
+//! `--ledger DIR` (write a self-contained run directory, see
+//! [`iotax_obs::Ledger`]), and `--store DIR` (append the finished run to
+//! the durable CRC-checked segment-log store, see [`iotax_obs::store`]).
+//! Each binary folds [`ObsArgs::accept`] into its flag loop instead of
+//! keeping its own copy of the parsing, then [`ObsArgs::install`]s the
+//! sinks once and [`ObsSession::finish`]es on every exit path so
+//! `run.json` carries the real exit status.
 
 use iotax_obs::{Error, JsonLinesSink, Ledger, LedgerSink, Result, Sink, TeeSink};
 use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Usage-string fragment for the shared flags.
-pub const OBS_USAGE: &str = "[--metrics-out PATH] [--ledger DIR]";
+pub const OBS_USAGE: &str = "[--metrics-out PATH] [--ledger DIR] [--store DIR]";
 
 /// The iotax workspace crates linked into every binary; recorded in run
 /// manifests. All workspace crates share one version.
@@ -37,6 +39,8 @@ pub struct ObsArgs {
     pub metrics_out: Option<PathBuf>,
     /// `--ledger DIR`: run-ledger directory.
     pub ledger: Option<PathBuf>,
+    /// `--store DIR`: durable segment-log store to append the run to.
+    pub store: Option<PathBuf>,
 }
 
 impl ObsArgs {
@@ -57,6 +61,10 @@ impl ObsArgs {
                 self.ledger = Some(PathBuf::from(value("--ledger")?));
                 Ok(true)
             }
+            "--store" => {
+                self.store = Some(PathBuf::from(value("--store")?));
+                Ok(true)
+            }
             _ => Ok(false),
         }
     }
@@ -70,18 +78,23 @@ impl ObsArgs {
                 .map_err(|e| Error::io(format!("creating metrics file {}", path.display()), e))?;
             sinks.push(Arc::new(sink));
         }
-        let ledger = match &self.ledger {
-            Some(dir) => {
-                let args: Vec<String> = std::env::args().skip(1).collect();
-                let mut ledger = Ledger::create(dir, tool, env!("CARGO_PKG_VERSION"), args)?;
-                for name in WORKSPACE_CRATES {
-                    ledger.add_crate_version(name, env!("CARGO_PKG_VERSION"));
-                }
-                let sink: Arc<LedgerSink> = ledger.sink();
-                sinks.push(sink);
-                Some(ledger)
+        let ledger = if self.ledger.is_some() || self.store.is_some() {
+            let args: Vec<String> = std::env::args().skip(1).collect();
+            let mut ledger = match &self.ledger {
+                Some(dir) => Ledger::create(dir, tool, env!("CARGO_PKG_VERSION"), args)?,
+                None => Ledger::create_detached(tool, env!("CARGO_PKG_VERSION"), args),
+            };
+            if let Some(store) = &self.store {
+                ledger.set_store(store);
             }
-            None => None,
+            for name in WORKSPACE_CRATES {
+                ledger.add_crate_version(name, env!("CARGO_PKG_VERSION"));
+            }
+            let sink: Arc<LedgerSink> = ledger.sink();
+            sinks.push(sink);
+            Some(ledger)
+        } else {
+            None
         };
         match sinks.len() {
             0 => {}
@@ -139,13 +152,16 @@ mod tests {
     #[test]
     fn accept_consumes_only_shared_flags() {
         let mut obs = ObsArgs::default();
-        let mut pulls = vec!["metrics.jsonl".to_owned(), "ledger-dir".to_owned()];
+        let mut pulls =
+            vec!["metrics.jsonl".to_owned(), "ledger-dir".to_owned(), "store-dir".to_owned()];
         let mut value = move |_name: &str| Ok(pulls.remove(0));
         assert!(obs.accept("--metrics-out", &mut value).expect("metrics-out"));
         assert!(obs.accept("--ledger", &mut value).expect("ledger"));
+        assert!(obs.accept("--store", &mut value).expect("store"));
         assert!(!obs.accept("--jobs", &mut value).expect("other flag untouched"));
         assert_eq!(obs.metrics_out.as_deref(), Some(std::path::Path::new("metrics.jsonl")));
         assert_eq!(obs.ledger.as_deref(), Some(std::path::Path::new("ledger-dir")));
+        assert_eq!(obs.store.as_deref(), Some(std::path::Path::new("store-dir")));
     }
 
     #[test]

@@ -76,3 +76,57 @@ fn identical_seed_runs_have_identical_metrics() {
     assert!(!a.counters.is_empty(), "counters snapshotted");
     assert!(!a.spans.is_empty(), "span stream recorded");
 }
+
+#[test]
+fn store_flag_appends_runs_to_a_clean_scannable_store() {
+    let dir = workdir("ledger-store");
+    let trace = dir.join("trace");
+    let trace_s = trace.to_str().expect("utf-8 tmpdir");
+    let store = dir.join("store");
+    let store_s = store.to_str().expect("utf-8 tmpdir");
+
+    // Two tool runs appending to the same store: a gen run (store-only,
+    // no run directory at all) and a gen run with both sinks.
+    run_tool(
+        env!("CARGO_BIN_EXE_iotax-gen"),
+        &["--jobs", "50", "--seed", "7", "--out", trace_s, "--store", store_s],
+    );
+    let ledger = dir.join("run-dir");
+    let ledger_s = ledger.to_str().expect("utf-8 tmpdir");
+    let trace2 = dir.join("trace2");
+    run_tool(
+        env!("CARGO_BIN_EXE_iotax-gen"),
+        &[
+            "--jobs",
+            "50",
+            "--seed",
+            "8",
+            "--out",
+            trace2.to_str().expect("utf-8 tmpdir"),
+            "--store",
+            store_s,
+            "--ledger",
+            ledger_s,
+        ],
+    );
+
+    // The store holds both runs, CRC-clean, in append order.
+    let scan = iotax_obs::store::scan_store(&store).expect("scan store");
+    assert!(scan.is_clean(), "store damaged: {:?}", scan.damage);
+    assert_eq!(scan.records.len(), 2, "both runs appended");
+    let runs: Vec<iotax_obs::RunFile> = scan
+        .records
+        .iter()
+        .map(|r| {
+            let text = std::str::from_utf8(&r.payload).expect("utf-8 payload");
+            serde_json::from_str(text).expect("record decodes as a run")
+        })
+        .collect();
+    assert!(runs.iter().all(|r| r.manifest.tool == "iotax-gen"));
+    assert_eq!(runs[0].manifest.seeds, vec![("seed".to_owned(), 7)]);
+    assert_eq!(runs[1].manifest.seeds, vec![("seed".to_owned(), 8)]);
+
+    // Dual-sink run: the store record is byte-identical to run.json.
+    let dir_copy = std::fs::read(ledger.join("run.json")).expect("run.json");
+    assert_eq!(scan.records[1].payload, dir_copy, "store and directory copies must match");
+}

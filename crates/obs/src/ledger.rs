@@ -115,11 +115,38 @@ impl RunFile {
     }
 }
 
+/// Largest `run.json` [`load_run`] reads without an explicit override.
+/// Real ledgers are tens of KiB; the cap exists so a corrupt or hostile
+/// file cannot drive a multi-GiB allocation through the reader.
+// audit:allow(dead-public-api) -- documented half of the load_run allocation cap; exercised by the oversized-ledger regression test
+pub const MAX_RUN_FILE_BYTES: u64 = 64 << 20;
+
 /// Reads a run directory (or a direct path to a `run.json`) back into a
-/// [`RunFile`].
+/// [`RunFile`], refusing files above [`MAX_RUN_FILE_BYTES`].
 pub fn load_run(path: impl AsRef<Path>) -> Result<RunFile> {
+    load_run_with_limit(path, MAX_RUN_FILE_BYTES)
+}
+
+/// [`load_run`] with an explicit size cap. Oversized files are a *data*
+/// error (sysexits 65), not an I/O error: the file exists and is
+/// readable, its claimed contents are what we refuse to trust.
+// audit:allow(dead-public-api) -- cap-parameterized variant of load_run the regression tests drive (test refs are excluded by policy)
+pub fn load_run_with_limit(path: impl AsRef<Path>, max_bytes: u64) -> Result<RunFile> {
     let path = path.as_ref();
     let file = if path.is_dir() { path.join("run.json") } else { path.to_path_buf() };
+    let meta = std::fs::metadata(&file)
+        .map_err(|e| Error::io(format!("reading run ledger {}", file.display()), e))?;
+    if meta.len() > max_bytes {
+        return Err(Error::new(
+            crate::ErrorKind::Parse,
+            format!(
+                "run ledger {} is {} bytes, above the {} byte cap",
+                file.display(),
+                meta.len(),
+                max_bytes
+            ),
+        ));
+    }
     let text = std::fs::read_to_string(&file)
         .map_err(|e| Error::io(format!("reading run ledger {}", file.display()), e))?;
     serde_json::from_str(&text)
@@ -159,7 +186,8 @@ impl Sink for LedgerSink {
 ///
 /// [`TeeSink`]: crate::TeeSink
 pub struct Ledger {
-    dir: PathBuf,
+    dir: Option<PathBuf>,
+    store: Option<PathBuf>,
     sink: Arc<LedgerSink>,
     start: Instant,
     manifest: RunManifest,
@@ -178,6 +206,15 @@ impl Ledger {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)
             .map_err(|e| Error::io(format!("creating ledger dir {}", dir.display()), e))?;
+        let mut ledger = Self::create_detached(tool, tool_version, args);
+        ledger.dir = Some(dir);
+        Ok(ledger)
+    }
+
+    /// An empty ledger with no sink directory yet: pair with
+    /// [`set_store`](Ledger::set_store) (store-only runs have no run
+    /// directory to create up front).
+    pub fn create_detached(tool: &str, tool_version: &str, args: Vec<String>) -> Self {
         let started_unix_ms =
             SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_millis() as u64);
         let mut seed = format!("{tool}\u{1f}{started_unix_ms}\u{1f}{}", std::process::id());
@@ -186,8 +223,9 @@ impl Ledger {
             seed.push_str(a);
         }
         let run_id = format!("{tool}-{:016x}", fnv1a(seed.as_bytes()));
-        Ok(Self {
-            dir,
+        Self {
+            dir: None,
+            store: None,
             sink: Arc::new(LedgerSink::new()),
             start: Instant::now(),
             manifest: RunManifest {
@@ -204,7 +242,13 @@ impl Ledger {
                 crate_versions: Vec::new(),
             },
             sections: Vec::new(),
-        })
+        }
+    }
+
+    /// Additionally (or solely) appends the finished run to the durable
+    /// segment-log store at `dir` — the `--store` sink.
+    pub fn set_store(&mut self, dir: impl Into<PathBuf>) {
+        self.store = Some(dir.into());
     }
 
     /// The span-collecting sink to install for this run.
@@ -250,7 +294,12 @@ impl Ledger {
     }
 
     /// Stamps wall time and exit status, snapshots the metric registry,
-    /// and writes `run.json`. Returns the written path.
+    /// and persists the run: `run.json` in the run directory (written
+    /// crash-safely via tmp file + fsync + atomic rename + directory
+    /// fsync, so a crash mid-finish can never leave a half-written
+    /// manifest) and/or an appended record in the segment-log store.
+    /// Returns the primary written path (`run.json` in directory mode,
+    /// the store directory otherwise).
     pub fn finish(mut self, exit_status: i32) -> Result<PathBuf> {
         self.manifest.wall_us = self.start.elapsed().as_micros() as u64;
         self.manifest.exit_status = i64::from(exit_status);
@@ -261,14 +310,54 @@ impl Ledger {
             histograms: snapshot_histograms().iter().map(|s| s.summary()).collect(),
             sections: self.sections,
         };
-        let path = self.dir.join("run.json");
         let mut text = serde_json::to_string_pretty(&run)
             .map_err(|e| Error::parse("encoding run ledger", e))?;
         text.push('\n');
-        std::fs::write(&path, text)
-            .map_err(|e| Error::io(format!("writing run ledger {}", path.display()), e))?;
-        Ok(path)
+        let mut primary: Option<PathBuf> = None;
+        if let Some(dir) = &self.dir {
+            let path = dir.join("run.json");
+            write_atomic(dir, &path, text.as_bytes())?;
+            primary = Some(path);
+        }
+        if let Some(store_dir) = &self.store {
+            let mut store = crate::store::SegmentStore::open(store_dir)
+                .map_err(|e| e.wrap("opening ledger store"))?;
+            store.append(text.as_bytes()).map_err(|e| e.wrap("appending run to ledger store"))?;
+            primary.get_or_insert_with(|| store_dir.clone());
+        }
+        primary.ok_or_else(|| {
+            Error::new(
+                crate::ErrorKind::Internal,
+                "ledger has neither a run directory nor a store sink",
+            )
+        })
     }
+}
+
+/// Writes `bytes` to `path` durably and atomically: a unique tmp file in
+/// the same directory, fsynced, renamed over the target, then the parent
+/// directory fsynced so the rename itself survives a crash. Readers see
+/// either the complete old file or the complete new one, never a torn
+/// mix.
+fn write_atomic(dir: &Path, path: &Path, bytes: &[u8]) -> Result<()> {
+    use std::io::Write as _;
+    let tmp = dir.join(format!(".run.json.tmp.{}", std::process::id()));
+    let mut file = std::fs::File::create(&tmp)
+        .map_err(|e| Error::io(format!("creating tmp ledger {}", tmp.display()), e))?;
+    let result = file
+        .write_all(bytes)
+        .and_then(|()| file.sync_all())
+        .map_err(|e| Error::io(format!("writing tmp ledger {}", tmp.display()), e))
+        .and_then(|()| {
+            std::fs::rename(&tmp, path)
+                .map_err(|e| Error::io(format!("renaming ledger into {}", path.display()), e))
+        });
+    if result.is_err() {
+        // audit:allow(swallowed-result) -- best-effort cleanup of the tmp file; the write error is what matters
+        std::fs::remove_file(&tmp).ok();
+        return result;
+    }
+    crate::store::fsync_dir(dir)
 }
 
 #[cfg(test)]
@@ -280,6 +369,19 @@ mod tests {
         assert_eq!(digest_bytes(b"abc"), digest_bytes(b"abc"));
         assert_ne!(digest_bytes(b"abc"), digest_bytes(b"abd"));
         assert_eq!(digest_bytes(b""), "fnv1a:cbf29ce484222325");
+    }
+
+    #[test]
+    fn oversized_run_file_is_a_data_error_not_an_allocation() {
+        let dir = std::env::temp_dir().join(format!("iotax-ledger-cap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("run.json");
+        std::fs::write(&path, vec![b'{'; 4096]).expect("write");
+        let err = load_run_with_limit(&dir, 100).expect_err("must refuse oversized ledger");
+        assert_eq!(err.kind(), crate::ErrorKind::Parse);
+        assert_eq!(err.exit_code(), 65);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   near-zero overhead, benchmarked in `crates/bench`), [`MemorySink`]
 //!   (collects records for tests and embedding), [`JsonLinesSink`] (one
 //!   JSON object per line, the `--metrics-out` format).
+//! * **Durable store** ([`store`]) — an append-only, CRC-checked
+//!   segment log that [`Ledger::finish`] can append finished runs to
+//!   (`--store`), with torn-write recovery and quarantine reporting.
 //!
 //! ```
 //! use iotax_obs::{counter, span, MemorySink};
@@ -44,9 +47,13 @@ mod ledger;
 mod metrics;
 mod sink;
 mod span;
+pub mod store;
 
 pub use error::{Error, ErrorKind, Result};
-pub use ledger::{digest_bytes, load_run, InputDigest, Ledger, LedgerSink, RunFile, RunManifest};
+pub use ledger::{
+    digest_bytes, load_run, load_run_with_limit, InputDigest, Ledger, LedgerSink, RunFile,
+    RunManifest, MAX_RUN_FILE_BYTES,
+};
 pub use metrics::{
     register_counter, register_histogram, Counter, CounterSnapshot, Histogram, HistogramSnapshot,
     HistogramSummary,

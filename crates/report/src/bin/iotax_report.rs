@@ -6,20 +6,30 @@
 //! iotax-report export runs/analyze-1 --format chrome-trace --out trace.json
 //! iotax-report export runs/analyze-1 --format folded
 //! iotax-report gate runs/analyze-2 --baseline ci/perf-baseline --max-regress 300
+//! iotax-report scan runs-store
+//! iotax-report trajectory runs-store --metric core.ood --last 50
+//! iotax-report import runs/analyze-2 --store runs-store
+//! iotax-report crash-matrix --dir /tmp/crash --seed 20220914 --records 40
 //! ```
 //!
 //! A RUN argument is a directory written by `--ledger` (or a direct
-//! path to its `run.json`). Like `diff(1)`, `diff` exits 1 when the
+//! path to its `run.json`) — or a run inside a `--store` segment log:
+//! `STORE@last`, `STORE@<run-id-prefix>`, or a bare store directory
+//! (meaning its newest run). Like `diff(1)`, `diff` exits 1 when the
 //! runs' deterministic metrics differ (timing-only movement is not a
 //! difference); `gate` exits 1 when the run drifts or regresses past
-//! its budget; everything else exits 0 on success. Chrome traces open
-//! in `chrome://tracing` or <https://ui.perfetto.dev>; folded output
+//! its budget; `scan` exits 65 (EX_DATAERR) after quarantining when a
+//! store holds damaged or undecodable records; `crash-matrix` exits 1
+//! when any fault kind goes undetected or loses an acknowledged
+//! record; everything else exits 0 on success. Chrome traces open in
+//! `chrome://tracing` or <https://ui.perfetto.dev>; folded output
 //! feeds `flamegraph.pl` / inferno.
 
 use iotax_obs::{load_run, Error, RunFile};
 use iotax_report::{
-    diff_runs, evaluate_gate, render_diff, render_gate, render_show, to_chrome_trace, to_folded,
-    GateOutcome, RunDiff,
+    diff_runs, evaluate_gate, render_crash_matrix, render_diff, render_gate, render_scan,
+    render_show, render_trajectory, resolve_run, run_crash_matrix, scan_ledger_store, store_runs,
+    to_chrome_trace, to_folded, trajectory, GateOutcome, RunDiff,
 };
 use std::path::PathBuf;
 
@@ -27,7 +37,13 @@ const USAGE: &str = "usage: iotax-report <command>
   show RUN
   diff RUN_A RUN_B
   export RUN --format chrome-trace|folded [--out PATH]
-  gate RUN --baseline RUN [--max-regress PCT]";
+  gate RUN --baseline RUN [--max-regress PCT]
+  scan STORE
+  trajectory STORE --metric KEY [--last N]
+  import RUN --store STORE
+  crash-matrix --dir DIR [--seed N] [--records M]
+RUN may be a --ledger directory, a run.json path, STORE@last,
+STORE@<run-id-prefix>, or a bare store directory (newest run)";
 
 /// Pulls the next positional argument or fails with usage context.
 fn positional(it: &mut impl Iterator<Item = String>, what: &str) -> Result<String, Error> {
@@ -37,9 +53,10 @@ fn positional(it: &mut impl Iterator<Item = String>, what: &str) -> Result<Strin
     }
 }
 
-/// Loads a run directory, prefixing errors with which side failed.
+/// Loads a RUN argument: a run directory, a `run.json` path, or a
+/// store selector (`STORE@last`, `STORE@<prefix>`, bare store dir).
 fn load(path: &str) -> Result<RunFile, Error> {
-    load_run(PathBuf::from(path))
+    resolve_run(path)
 }
 
 fn run() -> Result<i32, Error> {
@@ -118,6 +135,106 @@ fn run() -> Result<i32, Error> {
             let outcome: GateOutcome = evaluate_gate(&run, &base, max_regress);
             print!("{}", render_gate(&outcome));
             Ok(if outcome.passed() { 0 } else { 1 })
+        }
+        "scan" => {
+            let dir = PathBuf::from(positional(&mut it, "a STORE directory")?);
+            let (report, raw) = scan_ledger_store(&dir)?;
+            print!("{}", render_scan(&report));
+            let sidecars = iotax_obs::store::write_quarantine(&dir, &raw)?;
+            for path in &sidecars {
+                eprintln!("quarantine report written to {}", path.display());
+            }
+            if report.is_clean() {
+                Ok(0)
+            } else {
+                // EX_DATAERR, same code strict ingestion uses for
+                // damaged telemetry: the store's *data* is hurt, the
+                // invocation and the I/O were fine.
+                Ok(65)
+            }
+        }
+        "trajectory" => {
+            let dir = PathBuf::from(positional(&mut it, "a STORE directory")?);
+            let mut metric = None;
+            let mut last = 50usize;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next().ok_or_else(|| Error::usage(format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--metric" => metric = Some(value("--metric")?),
+                    "--last" => {
+                        last = value("--last")?
+                            .parse()
+                            .map_err(|e| Error::usage(format!("--last: {e}")))?
+                    }
+                    other => return Err(Error::usage(format!("unknown flag {other}\n{USAGE}"))),
+                }
+            }
+            let metric =
+                metric.ok_or_else(|| Error::usage(format!("--metric is required\n{USAGE}")))?;
+            let runs = store_runs(&dir)?;
+            let t = trajectory(&runs, &metric, last);
+            print!("{}", render_trajectory(&t));
+            Ok(0)
+        }
+        "import" => {
+            let run_path = positional(&mut it, "a RUN directory")?;
+            let mut store = None;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next().ok_or_else(|| Error::usage(format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--store" => store = Some(PathBuf::from(value("--store")?)),
+                    other => return Err(Error::usage(format!("unknown flag {other}\n{USAGE}"))),
+                }
+            }
+            let store_dir =
+                store.ok_or_else(|| Error::usage(format!("--store is required\n{USAGE}")))?;
+            // Validate the run decodes, but append the original bytes so
+            // the stored record is byte-identical to the directory copy.
+            let path = PathBuf::from(&run_path);
+            let file = if path.is_dir() { path.join("run.json") } else { path };
+            let run = load_run(&file)?;
+            let text = std::fs::read_to_string(&file)
+                .map_err(|e| Error::io(format!("reading {}", file.display()), e))?;
+            let mut seg = iotax_obs::store::SegmentStore::open(&store_dir)?;
+            let offset = seg.append(text.as_bytes())?;
+            eprintln!(
+                "imported {} into {} at offset {offset}",
+                run.manifest.run_id,
+                store_dir.display()
+            );
+            Ok(0)
+        }
+        "crash-matrix" => {
+            let mut dir = None;
+            let mut seed = 20220914u64;
+            let mut records = 40usize;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next().ok_or_else(|| Error::usage(format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--dir" => dir = Some(PathBuf::from(value("--dir")?)),
+                    "--seed" => {
+                        seed = value("--seed")?
+                            .parse()
+                            .map_err(|e| Error::usage(format!("--seed: {e}")))?
+                    }
+                    "--records" => {
+                        records = value("--records")?
+                            .parse()
+                            .map_err(|e| Error::usage(format!("--records: {e}")))?
+                    }
+                    other => return Err(Error::usage(format!("unknown flag {other}\n{USAGE}"))),
+                }
+            }
+            let dir = dir.ok_or_else(|| Error::usage(format!("--dir is required\n{USAGE}")))?;
+            let matrix = run_crash_matrix(&dir, seed, records)?;
+            print!("{}", render_crash_matrix(&matrix));
+            Ok(i32::from(!matrix.passed()))
         }
         "--help" | "-h" => {
             println!("{USAGE}");

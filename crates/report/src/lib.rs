@@ -18,20 +18,42 @@
 //!   deterministic metric drifts or a span's wall time regresses past a
 //!   threshold.
 //!
+//! Plus the store-level views over the durable segment-log ledger store
+//! (`--store`, see [`iotax_obs::store`]):
+//!
+//! * [`scan`] — list a store's runs with per-record integrity status,
+//!   and write `.corrupt` quarantine sidecars for damaged segments.
+//! * [`trajectory`] — a metric's min/p50/p95/max over the last N runs.
+//! * [`crash`] — the seeded crash-injection matrix proving detection
+//!   and acked-record durability for every fault kind.
+//!
+//! Anywhere a RUN is accepted, `STORE@last` / `STORE@<run-id-prefix>`
+//! (or a bare store directory, meaning the newest run) works too — see
+//! [`resolve_run`].
+//!
 //! The crate deliberately depends only on `iotax-obs`: tool-specific
 //! payloads (taxonomy stages, audit counts) arrive as named ledger
 //! sections and are decoded into local mirror structs, so `iotax-core`
 //! never becomes a dependency of the reporting layer.
 
+pub mod crash;
 pub mod diff;
 pub mod export;
 pub mod gate;
+pub mod scan;
 pub mod show;
+pub mod trajectory;
 
+pub use crash::{render_crash_matrix, run_crash_matrix, CrashCase, CrashMatrix};
 pub use diff::{diff_runs, render_diff, MetricDelta, RunDiff, SpanDelta};
 pub use export::{to_chrome_trace, to_folded};
 pub use gate::{evaluate_gate, render_gate, GateCheck, GateOutcome};
+pub use scan::{
+    is_store_dir, render_scan, resolve_run, scan_ledger_store, store_runs, RecordStatus, RunEntry,
+    StoreReport,
+};
 pub use show::render_show;
+pub use trajectory::{render_trajectory, trajectory, Trajectory, TrajectoryPoint};
 
 use iotax_obs::RunFile;
 use serde::Deserialize;
