@@ -316,7 +316,7 @@ impl Ledger {
         let mut primary: Option<PathBuf> = None;
         if let Some(dir) = &self.dir {
             let path = dir.join("run.json");
-            write_atomic(dir, &path, text.as_bytes())?;
+            crate::store::write_atomic(dir, &path, text.as_bytes())?;
             primary = Some(path);
         }
         if let Some(store_dir) = &self.store {
@@ -332,32 +332,6 @@ impl Ledger {
             )
         })
     }
-}
-
-/// Writes `bytes` to `path` durably and atomically: a unique tmp file in
-/// the same directory, fsynced, renamed over the target, then the parent
-/// directory fsynced so the rename itself survives a crash. Readers see
-/// either the complete old file or the complete new one, never a torn
-/// mix.
-fn write_atomic(dir: &Path, path: &Path, bytes: &[u8]) -> Result<()> {
-    use std::io::Write as _;
-    let tmp = dir.join(format!(".run.json.tmp.{}", std::process::id()));
-    let mut file = std::fs::File::create(&tmp)
-        .map_err(|e| Error::io(format!("creating tmp ledger {}", tmp.display()), e))?;
-    let result = file
-        .write_all(bytes)
-        .and_then(|()| file.sync_all())
-        .map_err(|e| Error::io(format!("writing tmp ledger {}", tmp.display()), e))
-        .and_then(|()| {
-            std::fs::rename(&tmp, path)
-                .map_err(|e| Error::io(format!("renaming ledger into {}", path.display()), e))
-        });
-    if result.is_err() {
-        // audit:allow(swallowed-result) -- best-effort cleanup of the tmp file; the write error is what matters
-        std::fs::remove_file(&tmp).ok();
-        return result;
-    }
-    crate::store::fsync_dir(dir)
 }
 
 #[cfg(test)]

@@ -34,7 +34,17 @@
 //!   directory, so the directory entry itself is durable.
 //! * The writer never overwrites bytes: segments are append-only, and a
 //!   damaged tail segment is sealed (left for quarantine) rather than
-//!   truncated, with writes continuing in a fresh segment.
+//!   truncated, with writes continuing in a fresh segment. When the
+//!   damaged tail made no plausible offset claim (e.g. torn before its
+//!   first header finished), the fresh segment's base is bumped past the
+//!   sealed file's name so the two never collide on disk; the skipped
+//!   offsets were never acknowledged.
+//! * A store admits one writer at a time: opening takes an exclusive
+//!   advisory lock on `<dir>/.lock` (blocking until any other writer
+//!   releases it) and holds it until the [`SegmentStore`] drops, so two
+//!   tools pointed at the same `--store` serialize instead of
+//!   interleaving appends into duplicate logical offsets. The lock dies
+//!   with its process — a crashed writer never wedges the store.
 //!
 //! # Recovery rules
 //!
@@ -76,6 +86,10 @@ pub const SEGMENT_SUFFIX: &str = ".dlog";
 /// Suffix of a quarantine sidecar report (`<segment>.corrupt`).
 // audit:allow(dead-public-api) -- documented on-disk naming contract for store consumers
 pub const QUARANTINE_SUFFIX: &str = ".corrupt";
+
+/// File whose advisory lock serializes writers on one store.
+// audit:allow(dead-public-api) -- documented on-disk naming contract for store consumers
+pub const LOCK_FILE: &str = ".lock";
 
 /// A logical-offset jump larger than this is treated as header
 /// corruption, not as a real gap: quarantining the jumping record keeps
@@ -668,8 +682,7 @@ pub fn write_quarantine(dir: &Path, scan: &StoreScan) -> Result<Vec<PathBuf>> {
         let mut text = serde_json::to_string_pretty(&report)
             .map_err(|e| Error::parse("encoding quarantine report", e))?;
         text.push('\n');
-        std::fs::write(&sidecar, text)
-            .map_err(|e| Error::io(format!("writing sidecar {}", sidecar.display()), e))?;
+        write_atomic(dir, &sidecar, text.as_bytes())?;
         written.push(sidecar);
     }
     Ok(written)
@@ -703,6 +716,50 @@ pub(crate) fn fsync_dir(dir: &Path) -> Result<()> {
         .map_err(|e| Error::io(format!("fsyncing directory {}", dir.display()), e))
 }
 
+/// Writes `bytes` to `path` durably and atomically: a unique tmp file in
+/// the same directory, fsynced, renamed over the target, then the parent
+/// directory fsynced so the rename itself survives a crash. Readers see
+/// either the complete old file or the complete new one, never a torn
+/// mix. The dotted tmp name never collides with a segment name, so a
+/// crash mid-publish leaves nothing a scan would misread.
+pub(crate) fn write_atomic(dir: &Path, path: &Path, bytes: &[u8]) -> Result<()> {
+    let name = path
+        .file_name()
+        .map_or_else(|| "file".to_owned(), |n| n.to_string_lossy().into_owned());
+    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+    let mut file = File::create(&tmp)
+        .map_err(|e| Error::io(format!("creating tmp file {}", tmp.display()), e))?;
+    let result = file
+        .write_all(bytes)
+        .and_then(|()| file.sync_all())
+        .map_err(|e| Error::io(format!("writing tmp file {}", tmp.display()), e))
+        .and_then(|()| {
+            std::fs::rename(&tmp, path)
+                .map_err(|e| Error::io(format!("renaming into {}", path.display()), e))
+        });
+    if result.is_err() {
+        // audit:allow(swallowed-result) -- best-effort cleanup of the tmp file; the write error is what matters
+        std::fs::remove_file(&tmp).ok();
+        return result;
+    }
+    fsync_dir(dir)
+}
+
+/// Takes the store's exclusive writer lock: an advisory, blocking lock
+/// on `<dir>/.lock`, released when the returned handle drops (including
+/// on process death). Holding it for the [`SegmentStore`]'s lifetime
+/// makes the scan-then-append sequence atomic against other writers.
+fn lock_store(dir: &Path) -> Result<File> {
+    let path = dir.join(LOCK_FILE);
+    let file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .open(&path)
+        .map_err(|e| Error::io(format!("opening store lock {}", path.display()), e))?;
+    file.lock().map_err(|e| Error::io(format!("locking store {}", path.display()), e))?;
+    Ok(file)
+}
+
 /// An open, append-only segment-log store.
 pub struct SegmentStore {
     dir: PathBuf,
@@ -711,6 +768,9 @@ pub struct SegmentStore {
     file: File,
     seg_len: u64,
     next_offset: u64,
+    /// Holds the `<dir>/.lock` advisory lock for the store's lifetime;
+    /// dropping the store releases it.
+    _lock: File,
 }
 
 impl SegmentStore {
@@ -720,21 +780,32 @@ impl SegmentStore {
         Self::open_with(dir, StoreOptions::default())
     }
 
-    /// Opens (creating if needed) the store at `dir`.
+    /// Opens (creating if needed) the store at `dir`, blocking until the
+    /// store's exclusive writer lock is available — a store admits one
+    /// writer at a time, so concurrent tools serialize rather than
+    /// interleave appends.
     ///
     /// Reopening scans the tail segment: a clean tail is appended to; a
     /// damaged one (torn tail from a crash, bit rot) is *sealed* — left
     /// byte-for-byte intact for `scan`'s quarantine — and writing
     /// continues in a fresh segment whose base skips every offset the
-    /// damaged tail plausibly claimed.
+    /// damaged tail plausibly claimed. A tail torn before its first
+    /// record claimed anything scans to its own base offset; the fresh
+    /// segment then bumps past the sealed file's name (the skipped
+    /// offsets were never acknowledged), so reopening never collides.
     pub fn open_with(dir: impl Into<PathBuf>, opts: StoreOptions) -> Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)
             .map_err(|e| Error::io(format!("creating store directory {}", dir.display()), e))?;
+        let lock = lock_store(&dir)?;
         let names = list_segments(&dir)?;
         let scan_opts = ScanOptions { max_payload: opts.max_payload, ..ScanOptions::default() };
-        match names.last() {
-            None => Self::create_segment(dir, opts, 0),
+        let (seg_name, file, seg_len, next_offset) = match names.last() {
+            None => {
+                let seg_name = segment_name(0);
+                let file = Self::create_segment(&dir, &seg_name)?;
+                (seg_name, file, 0, 0)
+            }
             Some(tail) => {
                 let path = dir.join(tail);
                 let bytes = std::fs::read(&path)
@@ -746,27 +817,31 @@ impl SegmentStore {
                         .append(true)
                         .open(&path)
                         .map_err(|e| Error::io(format!("opening segment {}", path.display()), e))?;
-                    Ok(Self {
-                        dir,
-                        opts,
-                        seg_name: tail.clone(),
-                        file,
-                        seg_len: bytes.len() as u64,
-                        next_offset: scan.next_offset,
-                    })
+                    (tail.clone(), file, bytes.len() as u64, scan.next_offset)
                 } else {
-                    // Seal the damaged tail; never write after corruption.
-                    Self::create_segment(dir, opts, scan.next_offset)
+                    // Seal the damaged tail; never write after
+                    // corruption. The replacement's base may collide
+                    // with an existing (sealed) segment's name when the
+                    // scan surfaced no plausible offset claim — bump
+                    // past every taken name; those offsets were never
+                    // acknowledged.
+                    let mut first = scan.next_offset;
+                    while dir.join(segment_name(first)).exists() {
+                        first += 1;
+                    }
+                    let seg_name = segment_name(first);
+                    let file = Self::create_segment(&dir, &seg_name)?;
+                    (seg_name, file, 0, first)
                 }
             }
-        }
+        };
+        Ok(Self { dir, opts, seg_name, file, seg_len, next_offset, _lock: lock })
     }
 
-    /// Creates a fresh segment for `first_offset`, fsyncing the file and
-    /// the directory entry.
-    fn create_segment(dir: PathBuf, opts: StoreOptions, first_offset: u64) -> Result<Self> {
-        let seg_name = segment_name(first_offset);
-        let path = dir.join(&seg_name);
+    /// Creates a fresh, empty segment file, fsyncing the file and the
+    /// directory entry.
+    fn create_segment(dir: &Path, seg_name: &str) -> Result<File> {
+        let path = dir.join(seg_name);
         let file = OpenOptions::new()
             .create_new(true)
             .append(true)
@@ -774,8 +849,8 @@ impl SegmentStore {
             .map_err(|e| Error::io(format!("creating segment {}", path.display()), e))?;
         file.sync_all()
             .map_err(|e| Error::io(format!("fsyncing new segment {}", path.display()), e))?;
-        fsync_dir(&dir)?;
-        Ok(Self { dir, opts, seg_name, file, seg_len: 0, next_offset: first_offset })
+        fsync_dir(dir)?;
+        Ok(file)
     }
 
     /// The logical offset the next append will receive.
@@ -823,9 +898,9 @@ impl SegmentStore {
 
     /// Seals the current segment and starts the next one.
     fn rotate(&mut self) -> Result<()> {
-        let next = Self::create_segment(self.dir.clone(), self.opts, self.next_offset)?;
-        self.seg_name = next.seg_name;
-        self.file = next.file;
+        let seg_name = segment_name(self.next_offset);
+        self.file = Self::create_segment(&self.dir, &seg_name)?;
+        self.seg_name = seg_name;
         self.seg_len = 0;
         crate::counter!("obs.store.rotations").incr(1);
         Ok(())
@@ -1118,6 +1193,67 @@ mod tests {
         assert!(scan.damage.iter().any(|d| d.kind == DamageKind::TornTail), "{:?}", scan.damage);
         let offsets: Vec<u64> = scan.records.iter().map(|r| r.offset).collect();
         assert_eq!(offsets, vec![0, 1, 2, 3, 5]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_after_mid_header_tear_bumps_past_the_sealed_tail() {
+        let dir = tmp("midheader");
+        let seg_path;
+        {
+            let mut store = SegmentStore::open(&dir).expect("open");
+            store.append(b"only-record").expect("append");
+            seg_path = dir.join(store.segment().to_owned());
+        }
+        // Crash before the first record's 24-byte header finished: the
+        // tail claims no offset, so its scan ends at its own base.
+        let bytes = std::fs::read(&seg_path).expect("read segment");
+        std::fs::write(&seg_path, &bytes[..10]).expect("tear");
+        let mut store =
+            SegmentStore::open(&dir).expect("reopen must not collide with the sealed tail");
+        // The replacement bumps past the sealed file's name; offset 0
+        // was torn before acknowledgment, so skipping it loses nothing.
+        assert_eq!(store.next_offset(), 1);
+        store.append(b"after-crash").expect("append");
+        drop(store);
+        let scan = scan_store(&dir).expect("scan");
+        assert_eq!(scan.segments.len(), 2, "damaged tail must be sealed, not replaced");
+        assert!(scan.damage.iter().any(|d| d.kind == DamageKind::TornTail), "{:?}", scan.damage);
+        let offsets: Vec<u64> = scan.records.iter().map(|r| r.offset).collect();
+        assert_eq!(offsets, vec![1]);
+        // A second mid-header crash on the fresh tail bumps again.
+        let tail = dir.join(segment_name(1));
+        let bytes = std::fs::read(&tail).expect("read tail");
+        std::fs::write(&tail, &bytes[..HEADER_LEN - 1]).expect("tear tail");
+        let mut store = SegmentStore::open(&dir).expect("reopen after second tear");
+        assert_eq!(store.next_offset(), 2);
+        assert_eq!(store.append(b"after-second-crash").expect("append"), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_serialize_through_the_store_lock() {
+        let dir = tmp("writer-lock");
+        let writers = 4;
+        let per_writer = 8u64;
+        let handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let dir = dir.clone();
+                std::thread::spawn(move || {
+                    let mut store = SegmentStore::open(&dir).expect("open");
+                    for i in 0..per_writer {
+                        store.append(format!("w{w}-{i}").as_bytes()).expect("append");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+        let scan = scan_store(&dir).expect("scan");
+        assert!(scan.is_clean(), "interleaved writers corrupted the store: {:?}", scan.damage);
+        let offsets: Vec<u64> = scan.records.iter().map(|r| r.offset).collect();
+        assert_eq!(offsets, (0..writers as u64 * per_writer).collect::<Vec<_>>());
         std::fs::remove_dir_all(&dir).ok();
     }
 

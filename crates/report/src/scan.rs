@@ -57,10 +57,12 @@ impl StoreReport {
 
 /// Whether `path` looks like a segment-log store directory (holds at
 /// least one `seg-*.dlog`), as opposed to a `--ledger` run directory.
+/// Segments are decisive: a stray `run.json` inside a store directory
+/// does not silently flip resolution into directory mode (which would
+/// turn `STORE@last` into a confusing missing-file error).
 // audit:allow(dead-public-api) -- documented half of the STORE@ resolution API (test refs are excluded by policy)
 pub fn is_store_dir(path: &Path) -> bool {
     path.is_dir()
-        && !path.join("run.json").exists()
         && iotax_obs::store::list_segments(path).map(|s| !s.is_empty()).unwrap_or(false)
 }
 
@@ -235,6 +237,20 @@ mod tests {
         let text = render_scan(&report);
         assert!(text.contains("iotax-analyze-aaa"), "{text}");
         assert!(text.contains("UNDECODABLE"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stray_run_json_does_not_stop_a_store_resolving_as_a_store() {
+        let dir = tmp("stray");
+        let mut store = SegmentStore::open(&dir).expect("open");
+        store.append(run_json("iotax-analyze", "iotax-analyze-real", 5).as_bytes()).unwrap();
+        drop(store);
+        std::fs::write(dir.join("run.json"), b"{ not a ledger }").expect("plant stray run.json");
+        assert!(is_store_dir(&dir), "segments must be decisive over a stray run.json");
+        let spec = dir.display().to_string();
+        let last = resolve_run(&format!("{spec}@last")).expect("STORE@last must still resolve");
+        assert_eq!(last.manifest.run_id, "iotax-analyze-real");
         std::fs::remove_dir_all(&dir).ok();
     }
 
