@@ -20,8 +20,8 @@
 
 use iotax_audit::flow::FLOW_LINTS;
 use iotax_audit::{
-    audit_crate, audit_workspace, driver, render_text, write_jsonl, AuditConfig, AuditReport,
-    Baseline, LINTS,
+    audit_crate, audit_workspace, driver, explain, render_text, write_jsonl, AuditConfig,
+    AuditReport, Baseline, DATAFLOW_LINTS, LINTS,
 };
 use iotax_cli::{ObsArgs, ObsSession};
 use iotax_obs::{digest_bytes, Error, ErrorKind};
@@ -40,6 +40,7 @@ struct Args {
     obs: ObsArgs,
     include_tests: bool,
     list_lints: bool,
+    explain: Option<String>,
 }
 
 #[derive(PartialEq)]
@@ -59,7 +60,8 @@ struct AuditSection {
     suppressed: u64,
 }
 
-const USAGE: &str = "usage: iotax-audit (--workspace | --crate DIR | --list-lints) \
+const USAGE: &str = "usage: iotax-audit (--workspace | --crate DIR | --list-lints | \
+     --explain LINT) \
      [--root DIR] [--config PATH] [--baseline PATH] [--write-baseline PATH] \
      [--format text|jsonl|github] [--jsonl-out PATH] [--metrics-out PATH] [--ledger DIR] \
      [--store DIR] [--include-tests]";
@@ -77,6 +79,7 @@ fn parse_args() -> Result<Args, Error> {
         obs: ObsArgs::default(),
         include_tests: false,
         list_lints: false,
+        explain: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -106,6 +109,7 @@ fn parse_args() -> Result<Args, Error> {
             "--jsonl-out" => args.jsonl_out = Some(PathBuf::from(value("--jsonl-out")?)),
             "--include-tests" => args.include_tests = true,
             "--list-lints" => args.list_lints = true,
+            "--explain" => args.explain = Some(value("--explain")?),
             "--help" | "-h" => return Err(Error::usage(USAGE)),
             other => {
                 if !args.obs.accept(other, &mut value)? {
@@ -114,7 +118,7 @@ fn parse_args() -> Result<Args, Error> {
             }
         }
     }
-    if !args.list_lints && args.workspace == args.crate_dir.is_some() {
+    if !args.list_lints && args.explain.is_none() && args.workspace == args.crate_dir.is_some() {
         return Err(Error::usage(format!("pick exactly one target\n{USAGE}")));
     }
     Ok(args)
@@ -143,17 +147,27 @@ fn load_config(args: &Args) -> Result<(AuditConfig, Option<PathBuf>), Error> {
 
 fn run(args: &Args, session: &mut ObsSession) -> Result<i32, Error> {
     if args.list_lints {
-        for l in LINTS.iter().chain(FLOW_LINTS) {
-            println!("{:<22} {}", l.name, l.summary);
+        for l in LINTS.iter().chain(FLOW_LINTS).chain(DATAFLOW_LINTS) {
+            println!("{:<28} {}", l.name, l.summary);
         }
         println!(
-            "{:<22} {}",
+            "{:<28} {}",
             "bad-suppression", "suppression without reason or naming an unknown lint (always on)"
         );
         println!(
-            "{:<22} {}",
+            "{:<28} {}",
             "unused-suppression", "suppression that matched no finding (always on)"
         );
+        return Ok(0);
+    }
+    if let Some(name) = &args.explain {
+        let Some(text) = explain::render(name) else {
+            return Err(Error::usage(format!(
+                "unknown lint `{name}` (known: {})",
+                iotax_audit::known_lint_names().join(", ")
+            )));
+        };
+        print!("{text}");
         return Ok(0);
     }
 

@@ -122,6 +122,12 @@ pub struct CrateConfig {
     pub check_indexing: bool,
     /// `unspanned-stage`: functions that must open an obs span.
     pub stage_functions: Vec<String>,
+    /// Extra taint-source callables for the dataflow engine, on top of
+    /// the built-in wire readers (`taint-sources = ["wire_len"]`).
+    pub taint_sources: Vec<String>,
+    /// Extra sanitizer callables for the dataflow engine, on top of the
+    /// built-in caps (`taint-sanitizers = ["bounded"]`).
+    pub taint_sanitizers: Vec<String>,
 }
 
 impl CrateConfig {
@@ -248,6 +254,19 @@ impl AuditConfig {
             if !over.stage_functions.is_empty() {
                 eff.stage_functions = over.stage_functions.clone();
             }
+            // Taint vocabularies *extend* the defaults rather than
+            // replacing them: a crate adding its own wire reader still
+            // gets the built-ins.
+            for src in &over.taint_sources {
+                if !eff.taint_sources.contains(src) {
+                    eff.taint_sources.push(src.clone());
+                }
+            }
+            for san in &over.taint_sanitizers {
+                if !eff.taint_sanitizers.contains(san) {
+                    eff.taint_sanitizers.push(san.clone());
+                }
+            }
             eff.check_indexing = over.check_indexing;
         }
         eff
@@ -298,6 +317,8 @@ fn apply_crate_keys(
         match (k.as_str(), v) {
             ("check-indexing", TomlValue::Bool(b)) => cfg.check_indexing = *b,
             ("stage-functions", TomlValue::StrArray(a)) => cfg.stage_functions = a.clone(),
+            ("taint-sources", TomlValue::StrArray(a)) => cfg.taint_sources = a.clone(),
+            ("taint-sanitizers", TomlValue::StrArray(a)) => cfg.taint_sanitizers = a.clone(),
             (lint, TomlValue::Bool(b)) if known_lints.contains(&lint) => {
                 cfg.lints.insert(lint.to_owned(), *b);
             }

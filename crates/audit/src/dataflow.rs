@@ -1,0 +1,1201 @@
+//! Audit v3: the intra-procedural dataflow/taint engine and the three
+//! concurrency-safety lints built on it.
+//!
+//! Where [`crate::flow`] resolves *provenance* (does this seed trace to a
+//! parameter?), this module resolves *trust*: statement-level def-use
+//! chains over the token stream decide whether a value that sizes an
+//! allocation was derived from the wire, whether a float reduction's
+//! grouping depends on scheduler or hash order, and whether two locks are
+//! ever taken in opposite orders.
+//!
+//! | lint | hazard it guards |
+//! |------|------------------|
+//! | `untrusted-length-allocation` | a parse-derived integer reaches `with_capacity` / `vec![_; n]` / `reserve` / `take(n)` with no cap between source and sink |
+//! | `unordered-float-reduction`   | rayon `sum`/`fold`/`reduce` over floats, or hash-container iteration feeding a float accumulator — both break the `f64::to_bits`-exact equivalence contract |
+//! | `lock-order-cycle`            | the workspace lock-acquisition graph contains a cycle, the classic deadlock precondition |
+//!
+//! The taint lattice is deliberately two-point (`Tainted(source)` /
+//! `Clean`) with a *positive-evidence* rule: a value is tainted only when
+//! a chain of local defs links it to a declared source with no sanitizer
+//! or comparison guard on the way. Unresolvable names — fields, cross-file
+//! consts, free fns without a summary — are passes, matching the flow
+//! analyses' conservatism. Sources and sanitizers extend per crate via
+//! `taint-sources` / `taint-sanitizers` in `audit.toml`.
+
+use crate::config::AuditConfig;
+use crate::flow::{const_init_idents, first_arg_idents, raw, FlowFinding};
+use crate::lexer::TokKind;
+use crate::lints::LintSpec;
+use crate::symbols::{FileAnalysis, FileRole, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The dataflow lints, in reporting order (extends
+/// [`crate::lints::LINTS`] and [`crate::flow::FLOW_LINTS`] for config
+/// validation and `--list-lints`).
+pub const DATAFLOW_LINTS: &[LintSpec] = &[
+    LintSpec {
+        name: "untrusted-length-allocation",
+        summary: "wire-derived integer sizes an allocation or read with no intervening cap guard",
+    },
+    LintSpec {
+        name: "unordered-float-reduction",
+        summary: "parallel or hash-ordered float reduction breaks bit-identical metric replay",
+    },
+    LintSpec {
+        name: "lock-order-cycle",
+        summary: "locks acquired in conflicting orders across functions (deadlock precondition)",
+    },
+];
+
+/// Built-in taint sources: callables whose integer result is attacker- or
+/// file-controlled (the little-endian readers and varint decoders every
+/// parser in this workspace is built from). Extended per crate via
+/// `taint-sources` in `audit.toml`.
+const BUILTIN_SOURCES: &[&str] =
+    &["varint", "zigzag", "u16_le", "u32_le", "u64_le", "f64_le", "from_le_bytes", "from_be_bytes"];
+
+/// Built-in sanitizers: calls that bound a value regardless of its input
+/// (`n.min(CAP)`, `n.clamp(0, CAP)`, `r.remaining()` — the latter cannot
+/// exceed the bytes actually held). Extended per crate via
+/// `taint-sanitizers`.
+const BUILTIN_SANITIZERS: &[&str] = &["min", "clamp", "remaining", "saturating_sub"];
+
+/// How deep the def-use resolver follows bindings before giving up (an
+/// unresolved name is a pass, so the bound only limits work).
+const MAX_CHAIN_DEPTH: usize = 8;
+
+/// Run the three dataflow analyses over the workspace. Per-crate
+/// enablement comes from `cfg`, exactly like [`crate::flow::run_flow`].
+pub(crate) fn run_dataflow(ws: &Workspace<'_>, cfg: &AuditConfig) -> Vec<FlowFinding> {
+    let enabled: Vec<BTreeMap<&str, bool>> = ws
+        .files
+        .iter()
+        .map(|f| {
+            let cc = cfg.for_crate(&f.spec.krate);
+            DATAFLOW_LINTS.iter().map(|l| (l.name, cc.enabled(l.name))).collect()
+        })
+        .collect();
+    let on = |fi: usize, lint: &str| enabled[fi].get(lint).copied().unwrap_or(false);
+
+    // Per-crate source/sanitizer vocabularies: builtins + audit.toml.
+    let crates: BTreeSet<&str> = ws.files.iter().map(|f| f.spec.krate.as_str()).collect();
+    let mut vocab: BTreeMap<&str, (BTreeSet<String>, BTreeSet<String>)> = BTreeMap::new();
+    for krate in crates {
+        let cc = cfg.for_crate(krate);
+        let mut sources: BTreeSet<String> =
+            BUILTIN_SOURCES.iter().map(|s| (*s).to_owned()).collect();
+        sources.extend(cc.taint_sources.iter().cloned());
+        let mut sanitizers: BTreeSet<String> =
+            BUILTIN_SANITIZERS.iter().map(|s| (*s).to_owned()).collect();
+        sanitizers.extend(cc.taint_sanitizers.iter().cloned());
+        vocab.insert(krate, (sources, sanitizers));
+    }
+
+    let summaries = call_summaries(ws, &vocab);
+
+    let mut out = Vec::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        if f.spec.role == FileRole::Test {
+            continue; // per-site analyses skip test targets entirely
+        }
+        let (sources, sanitizers) = &vocab[f.spec.krate.as_str()];
+        if on(fi, "untrusted-length-allocation") {
+            out.extend(
+                untrusted_length_allocation(f, sources, sanitizers, &summaries)
+                    .into_iter()
+                    .map(|raw| FlowFinding { file: Some(fi), raw }),
+            );
+        }
+        if on(fi, "unordered-float-reduction") {
+            out.extend(
+                unordered_float_reduction(f)
+                    .into_iter()
+                    .map(|raw| FlowFinding { file: Some(fi), raw }),
+            );
+        }
+    }
+    out.extend(lock_order_cycle(ws, &|fi| on(fi, "lock-order-cycle")));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// def-use chains
+// ---------------------------------------------------------------------------
+
+/// The most recent definition of `name` before `site`: the RHS of the
+/// last `let [mut] name = …;` or bare reassignment `name = …;` between
+/// `lo` and `site` in token space.
+pub(crate) struct Def {
+    /// Identifiers appearing on the RHS (empty: a pure-literal binding).
+    pub idents: Vec<String>,
+    /// The RHS contained a float literal or an `f32`/`f64` mention.
+    pub has_float: bool,
+}
+
+/// Scan `[lo, site)` for the last definition of `name`. Handles both
+/// `let` bindings and bare reassignments, so `let mut n = src(); n =
+/// n.min(CAP);` resolves to the sanitized RHS, not the tainted one.
+pub(crate) fn last_def(f: &FileAnalysis<'_>, name: &str, lo: usize, site: usize) -> Option<Def> {
+    let cx = &f.cx;
+    let mut found: Option<Def> = None;
+    let mut j = lo;
+    while j + 2 < site {
+        let rhs_at = if cx.ident_at(j, "let") {
+            let name_at = if cx.ident_at(j + 1, "mut") { j + 2 } else { j + 1 };
+            if cx.ident_at(name_at, name)
+                && cx.punct_at(name_at + 1, "=")
+                && !cx.punct_at(name_at + 2, "=")
+            {
+                Some(name_at + 2)
+            } else {
+                None
+            }
+        } else if cx.ident_at(j, name)
+            && cx.punct_at(j + 1, "=")
+            && !cx.punct_at(j + 2, "=")
+            // `==`, `<=`, `>=`, `!=`, `+=`, … lex as two puncts; a bare
+            // `=` preceded by an operator half is not an assignment. A
+            // preceding `.` is a field store on some other place.
+            && !(j > 0
+                && (matches!(cx.text(j - 1), "=" | "<" | ">" | "!" | "." )
+                    || cx.ident_at(j - 1, "let")
+                    || cx.ident_at(j - 1, "mut")))
+        {
+            Some(j + 2)
+        } else {
+            None
+        };
+        if let Some(start) = rhs_at {
+            let mut idents = Vec::new();
+            let mut has_float = false;
+            let mut depth = 0i64;
+            let mut k = start;
+            while k < cx.code.len() {
+                match cx.text(k) {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth <= 0 => break,
+                    t => match cx.kind(k) {
+                        TokKind::Ident => {
+                            if t == "f64" || t == "f32" {
+                                has_float = true;
+                            }
+                            idents.push(t.to_owned());
+                        }
+                        TokKind::Float => has_float = true,
+                        _ => {}
+                    },
+                }
+                k += 1;
+            }
+            found = Some(Def { idents, has_float });
+        }
+        j += 1;
+    }
+    found
+}
+
+/// Is `name` compared against something between `lo` and `site`? A
+/// token-adjacent `<` or `>` (which also covers `<=`/`>=`, lexed as two
+/// puncts) is taken as a cap guard: `if n > MAX { return Err(…) }` and
+/// `while i < n` both count. Generic arguments never look like this —
+/// the guarded side is a lowercase local, not a type path.
+fn guarded(f: &FileAnalysis<'_>, name: &str, lo: usize, site: usize) -> bool {
+    let cx = &f.cx;
+    for j in lo..site {
+        if !cx.ident_at(j, name) {
+            continue;
+        }
+        if cx.punct_at(j + 1, "<") || cx.punct_at(j + 1, ">") {
+            return true;
+        }
+        if j > 0 && (cx.punct_at(j - 1, "<") || cx.punct_at(j - 1, ">")) {
+            return true;
+        }
+    }
+    false
+}
+
+/// One resolution step over an identifier list (a sink argument or a
+/// definition RHS): a sanitizer anywhere in the expression beats a
+/// source; a source with no sanitizer is positive evidence; anything
+/// else keeps following the chain.
+enum Step {
+    Clean,
+    Tainted(String),
+    Follow,
+}
+
+fn step(
+    idents: &[String],
+    sources: &BTreeSet<String>,
+    sanitizers: &BTreeSet<String>,
+    summaries: &BTreeSet<String>,
+) -> Step {
+    if idents.iter().any(|i| sanitizers.contains(i)) {
+        return Step::Clean;
+    }
+    if let Some(src) = idents.iter().find(|i| sources.contains(*i) || summaries.contains(*i)) {
+        return Step::Tainted(src.clone());
+    }
+    Step::Follow
+}
+
+/// Classify the expression whose identifiers are `idents`, used at token
+/// `site`: `Some(source)` when a def-use chain positively links it to a
+/// taint source with no sanitizer or comparison guard on the way.
+fn trace_taint(
+    f: &FileAnalysis<'_>,
+    site: usize,
+    idents: &[String],
+    sources: &BTreeSet<String>,
+    sanitizers: &BTreeSet<String>,
+    summaries: &BTreeSet<String>,
+) -> Option<String> {
+    match step(idents, sources, sanitizers, summaries) {
+        Step::Clean => return None,
+        Step::Tainted(src) => return Some(src),
+        Step::Follow => {}
+    }
+    let body_lo = f.items.enclosing_fn(site).and_then(|i| f.items.items[i].body).map_or(0, |b| b.0);
+    let mut visited: BTreeSet<String> = BTreeSet::new();
+    let mut queue: Vec<(String, usize)> = idents.iter().map(|s| (s.clone(), 0)).collect();
+    while let Some((name, depth)) = queue.pop() {
+        if !visited.insert(name.clone()) || depth >= MAX_CHAIN_DEPTH {
+            continue;
+        }
+        if guarded(f, &name, body_lo, site) {
+            continue; // a cap comparison dominates the sink
+        }
+        let rhs = match last_def(f, &name, body_lo, site) {
+            Some(def) => def.idents,
+            None => match const_init_idents(f, &name) {
+                Some(rhs) => rhs,
+                // Fields, params, cross-file consts: unresolvable → pass.
+                None => continue,
+            },
+        };
+        match step(&rhs, sources, sanitizers, summaries) {
+            Step::Clean => {}
+            Step::Tainted(src) => return Some(src),
+            Step::Follow => queue.extend(rhs.into_iter().map(|s| (s, depth + 1))),
+        }
+    }
+    None
+}
+
+/// One-level call summaries: names of fns whose body calls a taint source
+/// and that return a value (`->` in the signature). A call to such a fn
+/// propagates taint across the function boundary — one level deep, by
+/// name, which is as far as a token-level engine can honestly see.
+fn call_summaries(
+    ws: &Workspace<'_>,
+    vocab: &BTreeMap<&str, (BTreeSet<String>, BTreeSet<String>)>,
+) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for f in &ws.files {
+        if f.spec.role == FileRole::Test {
+            continue;
+        }
+        let (sources, _) = &vocab[f.spec.krate.as_str()];
+        let cx = &f.cx;
+        for item in &f.items.items {
+            if item.kind != crate::items::ItemKind::Fn || cx.is_test(item.tok) {
+                continue;
+            }
+            let Some((body_lo, body_hi)) = item.body else { continue };
+            let returns = (item.tok..body_lo).any(|j| cx.punct_at(j, "->"));
+            if !returns {
+                continue;
+            }
+            let calls_source = (body_lo..body_hi).any(|j| {
+                cx.kind(j) == TokKind::Ident
+                    && sources.contains(cx.text(j))
+                    && cx.punct_at(j + 1, "(")
+            });
+            if calls_source && !sources.contains(&item.name) {
+                out.insert(item.name.clone());
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// untrusted-length-allocation
+// ---------------------------------------------------------------------------
+
+/// Method sinks: `recv.take(n)`, `recv.reserve(n)`, `recv.reserve_exact(n)`.
+const METHOD_SINKS: &[&str] = &["take", "reserve", "reserve_exact"];
+
+fn untrusted_length_allocation(
+    f: &FileAnalysis<'_>,
+    sources: &BTreeSet<String>,
+    sanitizers: &BTreeSet<String>,
+    summaries: &BTreeSet<String>,
+) -> Vec<crate::lints::RawFinding> {
+    let cx = &f.cx;
+    let mut out = Vec::new();
+    let flag = |site: usize, sink: &str, src: &str, out: &mut Vec<_>| {
+        out.push(raw(
+            cx,
+            "untrusted-length-allocation",
+            site,
+            format!(
+                "`{sink}` is sized by a value derived from wire source `{src}` with no \
+                 intervening cap; bound it first (`.min(CAP)`, `.clamp(…)`, or an explicit \
+                 comparison guard) so a forged length cannot drive the allocation"
+            ),
+        ));
+    };
+    for i in 0..cx.code.len() {
+        if cx.is_test(i) || cx.kind(i) != TokKind::Ident {
+            continue;
+        }
+        let name = cx.text(i);
+        // `Type::with_capacity(n)` / free `with_capacity(n)`.
+        if name == "with_capacity" && cx.punct_at(i + 1, "(") {
+            let (idents, _) = first_arg_idents(f, i + 1);
+            if let Some(src) = trace_taint(f, i, &idents, sources, sanitizers, summaries) {
+                flag(i, "with_capacity(…)", &src, &mut out);
+            }
+            continue;
+        }
+        // `recv.take(n)` / `recv.reserve(n)` / `recv.reserve_exact(n)`.
+        if METHOD_SINKS.contains(&name)
+            && i > 0
+            && cx.punct_at(i - 1, ".")
+            && cx.punct_at(i + 1, "(")
+        {
+            let (idents, _) = first_arg_idents(f, i + 1);
+            if let Some(src) = trace_taint(f, i, &idents, sources, sanitizers, summaries) {
+                flag(i, &format!(".{name}(…)"), &src, &mut out);
+            }
+            continue;
+        }
+        // `vec![elem; n]` — the repeat count is the sink.
+        if name == "vec" && cx.punct_at(i + 1, "!") && cx.punct_at(i + 2, "[") {
+            let mut depth = 0i64;
+            let mut semi = None;
+            let mut close = None;
+            let mut j = i + 2;
+            while j < cx.code.len() {
+                match cx.text(j) {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = Some(j);
+                            break;
+                        }
+                    }
+                    ";" if depth == 1 => semi = semi.or(Some(j)),
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let (Some(semi), Some(close)) = (semi, close) {
+                let idents: Vec<String> = (semi + 1..close)
+                    .filter(|&k| cx.kind(k) == TokKind::Ident)
+                    .map(|k| cx.text(k).to_owned())
+                    .collect();
+                if let Some(src) = trace_taint(f, i, &idents, sources, sanitizers, summaries) {
+                    flag(i, "vec![…; n]", &src, &mut out);
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// unordered-float-reduction
+// ---------------------------------------------------------------------------
+
+/// Method names that enter a rayon parallel chain.
+const PAR_ENTRY: &[&str] =
+    &["par_iter", "into_par_iter", "par_iter_mut", "par_chunks", "par_windows", "par_bridge"];
+
+/// Reductions whose grouping is evaluation-order-dependent for floats.
+const REDUCERS: &[&str] = &["sum", "product", "fold", "reduce"];
+
+/// Hash-container iteration entry points whose order varies per process.
+const HASH_ITER: &[&str] = &["iter", "into_iter", "values", "into_values", "keys", "drain"];
+
+fn unordered_float_reduction(f: &FileAnalysis<'_>) -> Vec<crate::lints::RawFinding> {
+    let cx = &f.cx;
+    let hash_names = hash_bound_names(f);
+    let mut out = Vec::new();
+    for i in 0..cx.code.len() {
+        if cx.is_test(i) || cx.kind(i) != TokKind::Ident {
+            continue;
+        }
+        let name = cx.text(i);
+        // Arm 1: `xs.par_iter()…` with a chain-level float reduction.
+        // Reductions *inside* closure arguments sit one bracket deeper
+        // than the chain and are sequential per rayon item — the
+        // sanctioned `par_iter().map(|x| xs.iter().sum()).collect()`
+        // idiom stays silent by construction.
+        if PAR_ENTRY.contains(&name) && i > 0 && cx.punct_at(i - 1, ".") && cx.punct_at(i + 1, "(")
+        {
+            if let Some(red) = chain_float_reduction(f, i) {
+                out.push(raw(
+                    cx,
+                    "unordered-float-reduction",
+                    red,
+                    format!(
+                        "parallel `{name}()` chain reduces floats with `.{}(…)`, whose \
+                         grouping depends on rayon's work-splitting; collect per-item \
+                         results and reduce sequentially so metrics stay bit-identical \
+                         across thread counts",
+                        cx.text(red)
+                    ),
+                ));
+            }
+            continue;
+        }
+        // Arm 2a: `map.iter()…sum()` — hash order feeds the fold directly.
+        if hash_names.iter().any(|n| n == name)
+            && cx.punct_at(i + 1, ".")
+            && HASH_ITER.contains(&cx.text(i + 2))
+            && cx.punct_at(i + 3, "(")
+        {
+            if let Some(red) = chain_float_reduction(f, i + 2) {
+                out.push(raw(
+                    cx,
+                    "unordered-float-reduction",
+                    red,
+                    format!(
+                        "float reduction `.{}(…)` consumes hash container `{name}` in \
+                         iteration order, which differs every process; sort the entries \
+                         (or use a BTreeMap) before reducing",
+                        cx.text(red)
+                    ),
+                ));
+            }
+            continue;
+        }
+        // Arm 2b: `for … in &map { acc += v; }` with a float accumulator.
+        if name == "for" {
+            if let Some((hash, acc)) = for_loop_float_accumulation(f, i, &hash_names) {
+                out.push(raw(
+                    cx,
+                    "unordered-float-reduction",
+                    i,
+                    format!(
+                        "loop over hash container `{hash}` accumulates into float `{acc}` \
+                         in iteration order, which differs every process; sort the \
+                         entries (or use a BTreeMap) before accumulating"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Names bound to `HashMap`/`HashSet` in this file (let bindings and
+/// `name: HashMap<…>` parameter/field positions) — the same heuristic the
+/// token-level `unordered-iteration` lint uses.
+fn hash_bound_names(f: &FileAnalysis<'_>) -> Vec<String> {
+    let cx = &f.cx;
+    let mut names = Vec::new();
+    for i in 0..cx.code.len() {
+        if !(cx.ident_at(i, "HashMap") || cx.ident_at(i, "HashSet")) {
+            continue;
+        }
+        let lo = i.saturating_sub(16);
+        for j in (lo..i).rev() {
+            if matches!(cx.text(j), ";" | "{" | "}") {
+                break;
+            }
+            if cx.ident_at(j, "let") {
+                let name_at = if cx.ident_at(j + 1, "mut") { j + 2 } else { j + 1 };
+                if cx.kind(name_at) == TokKind::Ident {
+                    names.push(cx.text(name_at).to_owned());
+                }
+                break;
+            }
+        }
+        if cx.punct_at(i.saturating_sub(1), ":") && cx.kind(i.saturating_sub(2)) == TokKind::Ident {
+            names.push(cx.text(i - 2).to_owned());
+        } else if cx.punct_at(i.saturating_sub(1), "&") || cx.ident_at(i.saturating_sub(1), "mut") {
+            // `name: &'a mut HashMap<…>` — walk back over the reference.
+            let mut j = i.saturating_sub(1);
+            while j > 0
+                && (cx.punct_at(j, "&") || cx.ident_at(j, "mut") || cx.kind(j) == TokKind::Lifetime)
+            {
+                j -= 1;
+            }
+            if cx.punct_at(j, ":") && cx.kind(j.saturating_sub(1)) == TokKind::Ident {
+                names.push(cx.text(j - 1).to_owned());
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Starting at chain token `entry` (a `.par_iter` / `.iter` method name),
+/// scan forward to the statement end. Returns the token of the first
+/// `.sum`/`.product`/`.fold`/`.reduce` at the *chain's own* bracket depth
+/// — closure-nested reductions are skipped — provided float evidence
+/// (a float literal or an `f32`/`f64` mention) appears anywhere in the
+/// statement.
+fn chain_float_reduction(f: &FileAnalysis<'_>, entry: usize) -> Option<usize> {
+    let cx = &f.cx;
+    let mut depth = 0i64;
+    let mut candidate = None;
+    let mut has_float = false;
+    let mut j = entry + 1;
+    while j < cx.code.len() {
+        match cx.text(j) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    break; // chain ends inside an enclosing expression
+                }
+            }
+            ";" | "," if depth == 0 => break,
+            t => match cx.kind(j) {
+                TokKind::Float => has_float = true,
+                TokKind::Ident => {
+                    if t == "f64" || t == "f32" {
+                        has_float = true;
+                    }
+                    if depth == 0
+                        && candidate.is_none()
+                        && REDUCERS.contains(&t)
+                        && cx.punct_at(j - 1, ".")
+                    {
+                        candidate = Some(j);
+                    }
+                }
+                _ => {}
+            },
+        }
+        j += 1;
+    }
+    candidate.filter(|_| has_float)
+}
+
+/// `for … in … hash { … acc += … }` where `acc`'s last definition is a
+/// float (literal or `f32`/`f64`-typed RHS). Returns (hash name, acc).
+fn for_loop_float_accumulation(
+    f: &FileAnalysis<'_>,
+    for_tok: usize,
+    hash_names: &[String],
+) -> Option<(String, String)> {
+    let cx = &f.cx;
+    // Header: tokens between `for` and the loop `{`, which must mention
+    // `in` and a hash-bound name.
+    let mut open = None;
+    let mut hash = None;
+    let mut saw_in = false;
+    let mut j = for_tok + 1;
+    while j < cx.code.len() && j < for_tok + 24 {
+        if cx.punct_at(j, "{") {
+            open = Some(j);
+            break;
+        }
+        if cx.ident_at(j, "in") {
+            saw_in = true;
+        } else if saw_in && hash_names.iter().any(|n| cx.ident_at(j, n)) {
+            hash = Some(cx.text(j).to_owned());
+        }
+        j += 1;
+    }
+    let (open, hash) = (open?, hash?);
+    // Body: find `acc += …` (lexed `+` `=`) and check acc's definition.
+    let body_lo =
+        f.items.enclosing_fn(for_tok).and_then(|i| f.items.items[i].body).map_or(0, |b| b.0);
+    let mut depth = 0i64;
+    let mut k = open;
+    while k < cx.code.len() {
+        match cx.text(k) {
+            "{" | "(" | "[" => depth += 1,
+            "}" | ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "+" if cx.punct_at(k + 1, "=") && k > 0 && cx.kind(k - 1) == TokKind::Ident => {
+                let acc = cx.text(k - 1);
+                let is_float = last_def(f, acc, body_lo, for_tok).is_some_and(|d| d.has_float);
+                if is_float {
+                    return Some((hash, acc.to_owned()));
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// lock-order-cycle
+// ---------------------------------------------------------------------------
+
+/// Receivers never treated as locks even though `.lock()` parses: the
+/// std stream handles, whose guards are short-lived formatting locks.
+const STREAM_RECEIVERS: &[&str] = &["stdout", "stderr", "stdin"];
+
+/// A lock node: (crate, receiver name). Receiver names are file-local
+/// text, so same-named locks in *different* crates stay distinct; two
+/// same-named receivers in one crate merge — a documented imprecision
+/// that errs toward reporting.
+type LockNode = (String, String);
+
+fn lock_order_cycle(ws: &Workspace<'_>, on: &dyn Fn(usize) -> bool) -> Vec<FlowFinding> {
+    // Pass 1: per-crate lock vocabularies — names declared as (or
+    // returning) Mutex / RwLock. `.read()` / `.write()` acquisitions are
+    // only attributed against this set, so `io::Read::read` never counts.
+    let mut lock_names: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+    for f in &ws.files {
+        if f.spec.role == FileRole::Test {
+            continue;
+        }
+        lock_names.entry(f.spec.krate.as_str()).or_default().extend(declared_locks(f));
+    }
+
+    // Pass 2: acquisition sequences per fn body → ordered edges. The
+    // first edge site is chosen by (file path, token), not corpus index,
+    // so output is independent of corpus order.
+    let mut edges: BTreeMap<(LockNode, LockNode), (String, usize, usize)> = BTreeMap::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        if f.spec.role == FileRole::Test || !on(fi) {
+            continue;
+        }
+        let empty = BTreeSet::new();
+        let known = lock_names.get(f.spec.krate.as_str()).unwrap_or(&empty);
+        for item in &f.items.items {
+            if item.kind != crate::items::ItemKind::Fn || f.cx.is_test(item.tok) {
+                continue;
+            }
+            let Some((lo, hi)) = item.body else { continue };
+            let seq = acquisitions(f, lo, hi, known);
+            for (a, ai) in &seq {
+                for (b, bi) in &seq {
+                    if bi <= ai || a == b {
+                        continue;
+                    }
+                    let key =
+                        ((f.spec.krate.clone(), a.clone()), (f.spec.krate.clone(), b.clone()));
+                    let site = (f.spec.file.clone(), fi, *bi);
+                    let e = edges.entry(key).or_insert_with(|| site.clone());
+                    if (&site.0, site.2) < (&e.0, e.2) {
+                        *e = site;
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 3: cycle detection. The graphs here are tiny (a handful of
+    // lock names per crate), so a direct DFS per node finding a path
+    // back to itself is plenty — and trivially deterministic.
+    let adj: BTreeMap<&LockNode, Vec<&LockNode>> = {
+        let mut m: BTreeMap<&LockNode, Vec<&LockNode>> = BTreeMap::new();
+        for (a, b) in edges.keys() {
+            m.entry(a).or_default().push(b);
+        }
+        m
+    };
+    let mut out = Vec::new();
+    let mut reported: BTreeSet<BTreeSet<&LockNode>> = BTreeSet::new();
+    for start in adj.keys() {
+        if let Some(cycle) = find_cycle(&adj, start) {
+            let members: BTreeSet<&LockNode> = cycle.iter().copied().collect();
+            if !reported.insert(members.clone()) {
+                continue; // one finding per distinct cycle set
+            }
+            // Attach at the canonically-first edge site within the cycle.
+            let site = cycle
+                .iter()
+                .zip(cycle.iter().cycle().skip(1))
+                .filter_map(|(a, b)| edges.get(&((*a).clone(), (*b).clone())))
+                .min_by(|x, y| (&x.0, x.2).cmp(&(&y.0, y.2)));
+            let Some((_, fi, tok)) = site else { continue };
+            let path: Vec<String> = cycle.iter().map(|(k, n)| format!("{k}::{n}")).collect();
+            out.push(FlowFinding {
+                file: Some(*fi),
+                raw: raw(
+                    &ws.files[*fi].cx,
+                    "lock-order-cycle",
+                    *tok,
+                    format!(
+                        "lock acquisition order forms a cycle: {} → {}; impose one global \
+                         acquisition order (or merge the critical sections) so no pair of \
+                         threads can each hold one lock while waiting for the other",
+                        path.join(" → "),
+                        path[0]
+                    ),
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Lock names declared in one file: `name: [&'a] [Arc<] Mutex/RwLock`,
+/// `let name = [Arc::new(] Mutex::new(…)`, and fns whose return type
+/// mentions Mutex/RwLock (accessor fns like a global sink slot).
+fn declared_locks(f: &FileAnalysis<'_>) -> BTreeSet<String> {
+    let cx = &f.cx;
+    let mut out = BTreeSet::new();
+    for j in 0..cx.code.len() {
+        if !(cx.ident_at(j, "Mutex") || cx.ident_at(j, "RwLock")) {
+            continue;
+        }
+        // Walk back over type/ctor noise to the `:` or `=` introducer.
+        let mut k = j;
+        let mut steps = 0;
+        while k > 0 && steps < 8 {
+            k -= 1;
+            steps += 1;
+            let t = cx.text(k);
+            if matches!(t, "&" | "<" | "(" | "::" | "Arc" | "new" | "mut" | "dyn")
+                || cx.kind(k) == TokKind::Lifetime
+            {
+                continue;
+            }
+            if (t == ":" || t == "=") && k > 0 && cx.kind(k - 1) == TokKind::Ident {
+                out.insert(cx.text(k - 1).to_owned());
+            }
+            break;
+        }
+    }
+    for item in &f.items.items {
+        if item.kind != crate::items::ItemKind::Fn {
+            continue;
+        }
+        let Some((body_lo, _)) = item.body else { continue };
+        let returns_lock = (item.tok..body_lo).any(|j| {
+            cx.punct_at(j, "->")
+                && (j..body_lo).any(|k| cx.ident_at(k, "Mutex") || cx.ident_at(k, "RwLock"))
+        });
+        if returns_lock {
+            out.insert(item.name.clone());
+        }
+    }
+    out
+}
+
+/// Ordered lock acquisitions in one fn body, deduped by name: `.lock()` /
+/// `.try_lock()` on any receiver (covers `File::lock` advisory locks),
+/// `.read()` / `.write()` / `.try_read()` / `.try_write()` only on
+/// receivers in the crate's declared-lock vocabulary.
+fn acquisitions(
+    f: &FileAnalysis<'_>,
+    lo: usize,
+    hi: usize,
+    known: &BTreeSet<String>,
+) -> Vec<(String, usize)> {
+    let cx = &f.cx;
+    let mut seq: Vec<(String, usize)> = Vec::new();
+    for j in lo..hi {
+        if cx.kind(j) != TokKind::Ident || j == 0 || !cx.punct_at(j - 1, ".") {
+            continue;
+        }
+        let method = cx.text(j);
+        let broad = matches!(method, "lock" | "try_lock");
+        let narrow = matches!(method, "read" | "write" | "try_read" | "try_write");
+        if (!broad && !narrow) || !cx.punct_at(j + 1, "(") {
+            continue;
+        }
+        let Some(recv) = receiver_name(f, j - 1) else { continue };
+        if STREAM_RECEIVERS.contains(&recv.as_str()) {
+            continue;
+        }
+        if narrow && !known.contains(&recv) {
+            continue;
+        }
+        if !seq.iter().any(|(n, _)| *n == recv) {
+            seq.push((recv, j));
+        }
+    }
+    seq
+}
+
+/// The name of the receiver ending at the `.` token `dot`: the preceding
+/// ident (`slot.lock()` → `slot`, `self.spans.lock()` → `spans`), or for
+/// a call receiver (`sink_slot().read()`) the callee ident before the
+/// matched `(`.
+fn receiver_name(f: &FileAnalysis<'_>, dot: usize) -> Option<String> {
+    let cx = &f.cx;
+    if dot == 0 {
+        return None;
+    }
+    let prev = dot - 1;
+    if cx.kind(prev) == TokKind::Ident {
+        return Some(cx.text(prev).to_owned());
+    }
+    if cx.punct_at(prev, ")") {
+        let mut depth = 0i64;
+        let mut k = prev;
+        loop {
+            match cx.text(k) {
+                ")" => depth += 1,
+                "(" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if k == 0 {
+                return None;
+            }
+            k -= 1;
+        }
+        if k > 0 && cx.kind(k - 1) == TokKind::Ident {
+            return Some(cx.text(k - 1).to_owned());
+        }
+    }
+    None
+}
+
+/// DFS from `start` over the sorted adjacency map; returns the node
+/// sequence of a cycle passing through `start`, if any.
+fn find_cycle<'a>(
+    adj: &BTreeMap<&'a LockNode, Vec<&'a LockNode>>,
+    start: &'a LockNode,
+) -> Option<Vec<&'a LockNode>> {
+    fn dfs<'a>(
+        adj: &BTreeMap<&'a LockNode, Vec<&'a LockNode>>,
+        start: &'a LockNode,
+        here: &'a LockNode,
+        path: &mut Vec<&'a LockNode>,
+        seen: &mut BTreeSet<&'a LockNode>,
+    ) -> bool {
+        for next in adj.get(here).map_or(&[][..], |v| v.as_slice()) {
+            if *next == start {
+                return true;
+            }
+            if seen.insert(next) {
+                path.push(next);
+                if dfs(adj, start, next, path, seen) {
+                    return true;
+                }
+                path.pop();
+            }
+        }
+        false
+    }
+    let mut path = vec![start];
+    let mut seen = BTreeSet::from([start]);
+    if dfs(adj, start, start, &mut path, &mut seen) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// proptest seam
+// ---------------------------------------------------------------------------
+
+/// Run all three dataflow analyses over one in-memory source file with
+/// every dataflow lint enabled; returns the finding count. This is the
+/// seam the totality proptests drive: the engine must terminate without
+/// panicking on arbitrary byte soup.
+// audit:allow(dead-public-api) -- proptest seam the totality tests drive (test refs are excluded by policy)
+pub fn dataflow_findings(src: &str) -> usize {
+    use crate::symbols::{analyze_file, SourceSpec};
+    let spec = SourceSpec {
+        krate: "iotax-prop".to_owned(),
+        file: "crates/prop/src/lib.rs".to_owned(),
+        role: FileRole::Lib,
+        src: src.to_owned(),
+    };
+    let ws = Workspace::new(vec![analyze_file(&spec)]);
+    let toml = "[default]\nuntrusted-length-allocation = true\n\
+                unordered-float-reduction = true\nlock-order-cycle = true\n";
+    let cfg = AuditConfig::from_toml(toml, "dataflow-seam", &crate::lints::known_lint_names())
+        // audit:allow(panic-in-parser) -- the TOML here is a static literal naming known lints; it cannot fail
+        .expect("static lint config");
+    run_dataflow(&ws, &cfg).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{analyze_file, SourceSpec};
+
+    fn ws_of(specs: &[SourceSpec]) -> Workspace<'_> {
+        Workspace::new(specs.iter().map(analyze_file).collect())
+    }
+
+    fn spec(krate: &str, file: &str, src: &str) -> SourceSpec {
+        SourceSpec {
+            krate: krate.to_owned(),
+            file: file.to_owned(),
+            role: FileRole::from_rel(file),
+            src: src.to_owned(),
+        }
+    }
+
+    fn cfg_all() -> AuditConfig {
+        let toml = "[default]\nuntrusted-length-allocation = true\n\
+                    unordered-float-reduction = true\nlock-order-cycle = true\n";
+        AuditConfig::from_toml(toml, "test", &crate::lints::known_lint_names()).unwrap()
+    }
+
+    fn lints_of(found: &[FlowFinding]) -> Vec<&'static str> {
+        found.iter().map(|f| f.raw.lint).collect()
+    }
+
+    fn run_one(src: &str) -> Vec<FlowFinding> {
+        let specs = vec![spec("iotax-x", "crates/x/src/lib.rs", src)];
+        let ws = ws_of(&specs);
+        run_dataflow(&ws, &cfg_all())
+    }
+
+    #[test]
+    fn tainted_length_reaching_with_capacity_is_flagged() {
+        let found = run_one(
+            "pub fn parse(r: &mut Reader) -> Result<Vec<u8>> {\n\
+                 let n = r.varint()? as usize;\n\
+                 let out = Vec::with_capacity(n);\n\
+                 Ok(out)\n\
+             }",
+        );
+        assert_eq!(lints_of(&found), vec!["untrusted-length-allocation"], "{found:?}",);
+        assert!(found[0].raw.message.contains("`varint`"));
+    }
+
+    #[test]
+    fn min_cap_and_comparison_guard_sanitize() {
+        // `.min(CAP)` on the binding RHS.
+        let capped = run_one(
+            "pub fn parse(r: &mut Reader) -> Result<Vec<u8>> {\n\
+                 let n = (r.varint()? as usize).min(1 << 16);\n\
+                 Ok(Vec::with_capacity(n))\n\
+             }",
+        );
+        assert!(capped.is_empty(), "{capped:?}");
+
+        // Reassignment replaces the tainted def with a sanitized one.
+        let reassigned = run_one(
+            "pub fn parse(r: &mut Reader) -> Result<Vec<u8>> {\n\
+                 let mut n = r.varint()? as usize;\n\
+                 n = n.min(CAP);\n\
+                 Ok(Vec::with_capacity(n))\n\
+             }",
+        );
+        assert!(reassigned.is_empty(), "{reassigned:?}");
+
+        // An explicit comparison guard dominates the sink.
+        let guarded = run_one(
+            "pub fn parse(r: &mut Reader) -> Result<Vec<u8>> {\n\
+                 let n = r.varint()? as usize;\n\
+                 if n > MAX_LEN { return Err(too_big()); }\n\
+                 Ok(Vec::with_capacity(n))\n\
+             }",
+        );
+        assert!(guarded.is_empty(), "{guarded:?}");
+    }
+
+    #[test]
+    fn vec_macro_reserve_and_take_sinks_fire() {
+        let found = run_one(
+            "pub fn parse(r: &mut Reader) -> Result<()> {\n\
+                 let n = r.u32_le()? as usize;\n\
+                 let zeros = vec![0u8; n];\n\
+                 buf.reserve(n);\n\
+                 let body = r.take(n)?;\n\
+                 Ok(())\n\
+             }",
+        );
+        assert_eq!(
+            lints_of(&found),
+            vec![
+                "untrusted-length-allocation",
+                "untrusted-length-allocation",
+                "untrusted-length-allocation"
+            ],
+            "{found:?}",
+        );
+    }
+
+    #[test]
+    fn call_summary_propagates_taint_one_level() {
+        let found = run_one(
+            "fn frame_len(r: &mut Reader) -> usize { r.u64_le().unwrap_or(0) as usize }\n\
+             pub fn parse(r: &mut Reader) -> Vec<u8> {\n\
+                 let n = frame_len(r);\n\
+                 Vec::with_capacity(n)\n\
+             }",
+        );
+        assert_eq!(lints_of(&found), vec!["untrusted-length-allocation"], "{found:?}");
+        assert!(found[0].raw.message.contains("`frame_len`"));
+    }
+
+    #[test]
+    fn unresolvable_names_pass_conservatively() {
+        let found = run_one(
+            "pub fn build(cfg: &Config) -> Vec<u8> {\n\
+                 Vec::with_capacity(cfg.capacity)\n\
+             }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn config_extends_sources_and_sanitizers() {
+        let toml = "[default]\nuntrusted-length-allocation = true\n\
+                    [crate.iotax-x]\ntaint-sources = [\"wire_len\"]\n\
+                    taint-sanitizers = [\"bounded\"]\n";
+        let cfg = AuditConfig::from_toml(toml, "test", &crate::lints::known_lint_names()).unwrap();
+        let src = "pub fn parse(r: &mut Reader) -> Vec<u8> {\n\
+                       let n = wire_len(r);\n\
+                       Vec::with_capacity(n)\n\
+                   }";
+        let specs = vec![spec("iotax-x", "crates/x/src/lib.rs", src)];
+        let ws = ws_of(&specs);
+        assert_eq!(run_dataflow(&ws, &cfg).len(), 1, "custom source fires");
+
+        let src2 = "pub fn parse(r: &mut Reader) -> Vec<u8> {\n\
+                        let n = bounded(wire_len(r));\n\
+                        Vec::with_capacity(n)\n\
+                    }";
+        let specs2 = vec![spec("iotax-x", "crates/x/src/lib.rs", src2)];
+        let ws2 = ws_of(&specs2);
+        assert!(run_dataflow(&ws2, &cfg).is_empty(), "custom sanitizer wins");
+    }
+
+    #[test]
+    fn parallel_chain_reduction_fires_but_nested_sequential_sum_passes() {
+        let bad = run_one(
+            "pub fn total(xs: &[f64]) -> f64 {\n\
+                 xs.par_iter().map(|x| x * 2.0).sum::<f64>()\n\
+             }",
+        );
+        assert_eq!(lints_of(&bad), vec!["unordered-float-reduction"], "{bad:?}");
+
+        // The sanctioned idiom: the float sum is sequential *inside* the
+        // parallel map closure; the chain itself only collects.
+        let good = run_one(
+            "pub fn predict(rows: &[Row], trees: &[Tree]) -> Vec<f64> {\n\
+                 rows.par_iter()\n\
+                     .map(|r| trees.iter().map(|t| t.predict(r)).sum::<f64>())\n\
+                     .collect()\n\
+             }",
+        );
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn integer_parallel_reduction_passes() {
+        let found = run_one("pub fn total(xs: &[u64]) -> u64 { xs.par_iter().copied().sum() }");
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn hash_iteration_feeding_float_fold_is_flagged() {
+        let chain = run_one(
+            "pub fn mean(scores: &HashMap<String, f64>) -> f64 {\n\
+                 scores.values().sum::<f64>() / scores.len() as f64\n\
+             }",
+        );
+        assert_eq!(lints_of(&chain), vec!["unordered-float-reduction"], "{chain:?}");
+
+        let looped = run_one(
+            "pub fn mean(scores: &HashMap<String, f64>) -> f64 {\n\
+                 let mut total = 0.0;\n\
+                 for (_k, v) in &scores { total += v; }\n\
+                 total\n\
+             }",
+        );
+        assert_eq!(lints_of(&looped), vec!["unordered-float-reduction"], "{looped:?}");
+
+        // Integer counting over a hash map is exact in any order.
+        let ints = run_one(
+            "pub fn count(seen: &HashMap<String, u64>) -> u64 {\n\
+                 let mut total = 0;\n\
+                 for (_k, v) in &seen { total += v; }\n\
+                 total\n\
+             }",
+        );
+        assert!(ints.is_empty(), "{ints:?}");
+    }
+
+    #[test]
+    fn opposite_lock_orders_form_a_cycle() {
+        let src = "pub struct S { a: Mutex<u64>, b: Mutex<u64> }\n\
+                   impl S {\n\
+                       pub fn ab(&self) { let _x = self.a.lock(); let _y = self.b.lock(); }\n\
+                       pub fn ba(&self) { let _y = self.b.lock(); let _x = self.a.lock(); }\n\
+                   }";
+        let found = run_one(src);
+        assert_eq!(lints_of(&found), vec!["lock-order-cycle"], "{found:?}");
+        assert!(found[0].raw.message.contains("iotax-x::a"), "{}", found[0].raw.message);
+        assert!(found[0].raw.message.contains("iotax-x::b"), "{}", found[0].raw.message);
+    }
+
+    #[test]
+    fn consistent_lock_order_is_clean() {
+        let src = "pub struct S { a: Mutex<u64>, b: Mutex<u64> }\n\
+                   impl S {\n\
+                       pub fn ab(&self) { let _x = self.a.lock(); let _y = self.b.lock(); }\n\
+                       pub fn also_ab(&self) { let _x = self.a.lock(); let _y = self.b.lock(); }\n\
+                   }";
+        let found = run_one(src);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn rwlock_read_write_only_counts_declared_locks() {
+        // `file.read(&mut buf)` is io::Read, not a lock acquisition; only
+        // the declared RwLock's `.read()` enters the graph, and a single
+        // lock can never form a cycle.
+        let src = "pub struct S { slot: RwLock<u64> }\n\
+                   impl S {\n\
+                       pub fn go(&self, file: &mut File) {\n\
+                           let _g = self.slot.read();\n\
+                           file.read(&mut buf);\n\
+                       }\n\
+                   }";
+        let found = run_one(src);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn call_receiver_locks_resolve_to_the_callee() {
+        let src = "fn slot_a() -> &'static RwLock<u64> { &A }\n\
+                   fn slot_b() -> &'static RwLock<u64> { &B }\n\
+                   pub fn ab() { let _x = slot_a().write(); let _y = slot_b().write(); }\n\
+                   pub fn ba() { let _y = slot_b().write(); let _x = slot_a().write(); }";
+        let found = run_one(src);
+        assert_eq!(lints_of(&found), vec!["lock-order-cycle"], "{found:?}");
+        assert!(found[0].raw.message.contains("slot_a"), "{}", found[0].raw.message);
+    }
+
+    #[test]
+    fn tests_and_disabled_lints_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n\
+                       fn t(r: &mut Reader) { Vec::with_capacity(r.varint().unwrap() as usize); }\n\
+                   }";
+        assert!(run_one(src).is_empty());
+
+        let toml = "[default]\nuntrusted-length-allocation = false\n";
+        let cfg = AuditConfig::from_toml(toml, "test", &crate::lints::known_lint_names()).unwrap();
+        let hot = "pub fn f(r: &mut Reader) { let n = r.varint().unwrap() as usize; \
+                   Vec::with_capacity(n); }";
+        let specs = vec![spec("iotax-x", "crates/x/src/lib.rs", hot)];
+        let ws = ws_of(&specs);
+        assert!(run_dataflow(&ws, &cfg).is_empty(), "disabled lint stays quiet");
+    }
+
+    #[test]
+    fn seam_is_total_on_degenerate_inputs() {
+        for src in ["", "vec![", "let = = =", "{{{{", "fn f( { .lock(", "\u{0}\u{ff}"] {
+            let _ = dataflow_findings(src);
+        }
+    }
+}

@@ -202,9 +202,13 @@ pub fn audit_sources(specs: &[SourceSpec], cfg: &AuditConfig) -> AuditReport {
         let _span = iotax_obs::span!("audit.flow");
         flow::run_flow(&ws, cfg)
     };
+    let dataflow_found = {
+        let _span = iotax_obs::span!("audit.dataflow");
+        crate::dataflow::run_dataflow(&ws, cfg)
+    };
     let mut flow_by_file: Vec<Vec<RawFinding>> = ws.files.iter().map(|_| Vec::new()).collect();
     let mut config_raw: Vec<RawFinding> = Vec::new();
-    for ff in flow_found {
+    for ff in flow_found.into_iter().chain(dataflow_found) {
         match ff.file {
             Some(fi) => flow_by_file[fi].push(ff.raw),
             None => config_raw.push(ff.raw),

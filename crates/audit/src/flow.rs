@@ -47,6 +47,7 @@ pub const FLOW_LINTS: &[LintSpec] = &[
 
 /// One finding from a flow analysis, attributed to a corpus file (or to
 /// the audit configuration itself when `file` is `None`).
+#[derive(Debug)]
 pub(crate) struct FlowFinding {
     /// Index into [`Workspace::files`]; `None` for config-level findings
     /// (e.g. a `[schema.*]` section naming a struct that no longer
@@ -177,7 +178,8 @@ fn seed_provenance(f: &FileAnalysis<'_>) -> Vec<RawFinding> {
 
 /// Identifiers of the first call argument starting at the `(` token
 /// `open`, plus whether the argument contained any identifier at all.
-fn first_arg_idents(f: &FileAnalysis<'_>, open: usize) -> (Vec<String>, bool) {
+/// Shared with the dataflow engine in [`crate::dataflow`].
+pub(crate) fn first_arg_idents(f: &FileAnalysis<'_>, open: usize) -> (Vec<String>, bool) {
     let cx = &f.cx;
     let mut idents = Vec::new();
     let mut depth = 0i64;
@@ -304,7 +306,8 @@ fn last_let_binding(
 }
 
 /// Initializer identifiers of a same-file `const NAME` / `static NAME`.
-fn const_init_idents(f: &FileAnalysis<'_>, name: &str) -> Option<Vec<String>> {
+/// Shared with the dataflow engine in [`crate::dataflow`].
+pub(crate) fn const_init_idents(f: &FileAnalysis<'_>, name: &str) -> Option<Vec<String>> {
     let cx = &f.cx;
     for j in 0..cx.code.len() {
         if !(cx.ident_at(j, "const") || cx.ident_at(j, "static")) {
@@ -841,7 +844,7 @@ fn strip_str(text: &str) -> String {
     text.trim_matches('"').to_owned()
 }
 
-fn raw(
+pub(crate) fn raw(
     cx: &crate::context::FileCx<'_>,
     lint: &'static str,
     tok: usize,

@@ -41,8 +41,10 @@
 pub mod baseline;
 pub mod config;
 pub mod context;
+pub mod dataflow;
 pub mod diag;
 pub mod driver;
+pub mod explain;
 pub mod flow;
 pub mod items;
 pub mod lexer;
@@ -52,6 +54,7 @@ pub mod symbols;
 pub use baseline::Baseline;
 pub use config::{AuditConfig, CrateConfig};
 pub use context::FileCx;
+pub use dataflow::DATAFLOW_LINTS;
 pub use diag::{render_text, write_jsonl, Finding};
 pub use driver::{audit_crate, audit_source, audit_workspace, AuditReport, FileReport};
 pub use lints::{known_lint_names, LintSpec, LINTS};

@@ -96,6 +96,7 @@ pub fn known_lint_names() -> Vec<&'static str> {
     LINTS
         .iter()
         .chain(crate::flow::FLOW_LINTS)
+        .chain(crate::dataflow::DATAFLOW_LINTS)
         .map(|l| l.name)
         .chain(["bad-suppression", "unused-suppression"])
         .collect()

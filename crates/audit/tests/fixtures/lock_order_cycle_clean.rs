@@ -1,0 +1,21 @@
+//! Dataflow fixture: one global acquisition order — index before store
+//! on every path — keeps the lock graph acyclic.
+
+struct Registry {
+    index: Mutex<u64>,
+    store: Mutex<u64>,
+}
+
+impl Registry {
+    fn ingest(&self) -> u64 {
+        let _idx = self.index.lock();
+        let _st = self.store.lock();
+        0
+    }
+
+    fn compact(&self) -> u64 {
+        let _idx = self.index.lock();
+        let _st = self.store.lock();
+        0
+    }
+}

@@ -1,0 +1,21 @@
+//! Dataflow fixture: two paths take the same pair of locks in opposite
+//! orders — the classic deadlock precondition.
+
+struct Registry {
+    index: Mutex<u64>,
+    store: Mutex<u64>,
+}
+
+impl Registry {
+    fn ingest(&self) -> u64 {
+        let _idx = self.index.lock();
+        let _st = self.store.lock();
+        0
+    }
+
+    fn compact(&self) -> u64 {
+        let _st = self.store.lock();
+        let _idx = self.index.lock();
+        0
+    }
+}

@@ -1,0 +1,19 @@
+//! Dataflow fixture: every wire length is bounded before it sizes
+//! anything — a `.min(CAP)` on the binding, a comparison guard before
+//! the sink.
+
+fn parse_name(r: &mut Reader) -> String {
+    let name_len = (r.varint().unwrap_or(0) as usize).min(MAX_NAME);
+    let bytes = r.take(name_len);
+    text(bytes)
+}
+
+fn parse_body(r: &mut Reader) -> Vec<u8> {
+    let count = r.u32_le().unwrap_or(0) as usize;
+    if count > MAX_RECORDS {
+        return Vec::new();
+    }
+    let mut buf = Vec::with_capacity(count);
+    fill(&mut buf, r);
+    buf
+}

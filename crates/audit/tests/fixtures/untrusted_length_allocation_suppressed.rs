@@ -1,0 +1,17 @@
+//! Dataflow fixture: the same two uncapped lengths, each waived with a
+//! reason.
+
+fn parse_name(r: &mut Reader) -> String {
+    let name_len = r.varint().unwrap_or(0) as usize;
+    // audit:allow(untrusted-length-allocation) -- fixture: upstream framing caps name_len at 255
+    let bytes = r.take(name_len);
+    text(bytes)
+}
+
+fn parse_body(r: &mut Reader) -> Vec<u8> {
+    let count = r.u32_le().unwrap_or(0) as usize;
+    // audit:allow(untrusted-length-allocation) -- fixture: count validated against the section header one frame up
+    let mut buf = Vec::with_capacity(count);
+    fill(&mut buf, r);
+    buf
+}

@@ -1,0 +1,15 @@
+//! Dataflow fixture: wire-derived lengths size an allocation and a read
+//! with no intervening cap, so one forged record drives the allocation.
+
+fn parse_name(r: &mut Reader) -> String {
+    let name_len = r.varint().unwrap_or(0) as usize;
+    let bytes = r.take(name_len);
+    text(bytes)
+}
+
+fn parse_body(r: &mut Reader) -> Vec<u8> {
+    let count = r.u32_le().unwrap_or(0) as usize;
+    let mut buf = Vec::with_capacity(count);
+    fill(&mut buf, r);
+    buf
+}

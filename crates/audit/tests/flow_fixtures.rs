@@ -266,15 +266,146 @@ fn error_context_loss_wrapped_and_local_calls_pass() {
 }
 
 // ---------------------------------------------------------------------------
+// untrusted-length-allocation
+// ---------------------------------------------------------------------------
+
+const ULA_TOML: &str = "[default]\nuntrusted-length-allocation = true\n";
+
+fn ula_corpus(src: &str) -> Vec<SourceSpec> {
+    vec![spec("fixture-wire", "crates/fixture-wire/src/parse.rs", FileRole::Lib, src)]
+}
+
+#[test]
+fn untrusted_length_allocation_catches_uncapped_wire_lengths() {
+    let r = audit_sources(
+        &ula_corpus(include_str!("fixtures/untrusted_length_allocation_violating.rs")),
+        &cfg(ULA_TOML),
+    );
+    // One tainted `.take(n)`, one tainted `with_capacity(n)`: both caught,
+    // each naming the wire source it traced to.
+    assert!(r.findings.iter().all(|f| f.lint == "untrusted-length-allocation"), "{:?}", r.findings);
+    assert!(r.findings.iter().any(|f| f.message.contains("`varint`")), "{:?}", r.findings);
+    assert!(r.findings.iter().any(|f| f.message.contains("`u32_le`")), "{:?}", r.findings);
+    assert_eq!(r.findings.len(), 2, "{:?}", r.findings);
+}
+
+#[test]
+fn untrusted_length_allocation_suppressed_corpus_is_quiet_and_counted() {
+    let r = audit_sources(
+        &ula_corpus(include_str!("fixtures/untrusted_length_allocation_suppressed.rs")),
+        &cfg(ULA_TOML),
+    );
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressed, 2);
+}
+
+#[test]
+fn untrusted_length_allocation_capped_lengths_pass() {
+    let r = audit_sources(
+        &ula_corpus(include_str!("fixtures/untrusted_length_allocation_clean.rs")),
+        &cfg(ULA_TOML),
+    );
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressed, 0);
+}
+
+// ---------------------------------------------------------------------------
+// unordered-float-reduction
+// ---------------------------------------------------------------------------
+
+const UFR_TOML: &str = "[default]\nunordered-float-reduction = true\n";
+
+fn ufr_corpus(src: &str) -> Vec<SourceSpec> {
+    vec![spec("fixture-metrics", "crates/fixture-metrics/src/agg.rs", FileRole::Lib, src)]
+}
+
+#[test]
+fn unordered_float_reduction_catches_parallel_and_hash_ordered_sums() {
+    let r = audit_sources(
+        &ufr_corpus(include_str!("fixtures/unordered_float_reduction_violating.rs")),
+        &cfg(UFR_TOML),
+    );
+    assert!(r.findings.iter().all(|f| f.lint == "unordered-float-reduction"), "{:?}", r.findings);
+    assert!(r.findings.iter().any(|f| f.message.contains("rayon")), "{:?}", r.findings);
+    assert!(r.findings.iter().any(|f| f.message.contains("hash container")), "{:?}", r.findings);
+    assert_eq!(r.findings.len(), 2, "{:?}", r.findings);
+}
+
+#[test]
+fn unordered_float_reduction_suppressed_corpus_is_quiet_and_counted() {
+    let r = audit_sources(
+        &ufr_corpus(include_str!("fixtures/unordered_float_reduction_suppressed.rs")),
+        &cfg(UFR_TOML),
+    );
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressed, 2);
+}
+
+#[test]
+fn unordered_float_reduction_sequential_and_btreemap_reductions_pass() {
+    let r = audit_sources(
+        &ufr_corpus(include_str!("fixtures/unordered_float_reduction_clean.rs")),
+        &cfg(UFR_TOML),
+    );
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressed, 0);
+}
+
+// ---------------------------------------------------------------------------
+// lock-order-cycle
+// ---------------------------------------------------------------------------
+
+const LOC_TOML: &str = "[default]\nlock-order-cycle = true\n";
+
+fn loc_corpus(src: &str) -> Vec<SourceSpec> {
+    vec![spec("fixture-locks", "crates/fixture-locks/src/registry.rs", FileRole::Lib, src)]
+}
+
+#[test]
+fn lock_order_cycle_catches_opposite_acquisition_orders() {
+    let r = audit_sources(
+        &loc_corpus(include_str!("fixtures/lock_order_cycle_violating.rs")),
+        &cfg(LOC_TOML),
+    );
+    // One cycle set → exactly one finding, naming both locks.
+    assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+    assert_eq!(r.findings[0].lint, "lock-order-cycle");
+    assert!(r.findings[0].message.contains("fixture-locks::index"), "{:?}", r.findings);
+    assert!(r.findings[0].message.contains("fixture-locks::store"), "{:?}", r.findings);
+}
+
+#[test]
+fn lock_order_cycle_suppressed_corpus_is_quiet_and_counted() {
+    let r = audit_sources(
+        &loc_corpus(include_str!("fixtures/lock_order_cycle_suppressed.rs")),
+        &cfg(LOC_TOML),
+    );
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn lock_order_cycle_consistent_order_passes() {
+    let r = audit_sources(
+        &loc_corpus(include_str!("fixtures/lock_order_cycle_clean.rs")),
+        &cfg(LOC_TOML),
+    );
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressed, 0);
+}
+
+// ---------------------------------------------------------------------------
 // Ordering: one canonical diagnostic order, independent of input order
 // and parallel scheduling
 // ---------------------------------------------------------------------------
 
 const ALL_TOML: &str = "[default]\nseed-provenance = true\nschema-drift = \
                         true\ndead-public-api = true\nerror-context-loss = \
+                        true\nuntrusted-length-allocation = true\nunordered-float-reduction = \
+                        true\nlock-order-cycle = \
                         true\n\n[schema.span-rec]\nstruct = \"SpanRec\"\nreaders = [\"reader\"]\n";
 
-/// A corpus that makes every flow analysis fire at least once.
+/// A corpus that makes every flow and dataflow analysis fire at least once.
 fn mixed_corpus() -> Vec<SourceSpec> {
     vec![
         spec(
@@ -306,6 +437,24 @@ fn mixed_corpus() -> Vec<SourceSpec> {
             "crates/fixture-cli/src/ingest.rs",
             FileRole::Lib,
             include_str!("fixtures/error_context_loss_violating.rs"),
+        ),
+        spec(
+            "fixture-wire",
+            "crates/fixture-wire/src/parse.rs",
+            FileRole::Lib,
+            include_str!("fixtures/untrusted_length_allocation_violating.rs"),
+        ),
+        spec(
+            "fixture-metrics",
+            "crates/fixture-metrics/src/agg.rs",
+            FileRole::Lib,
+            include_str!("fixtures/unordered_float_reduction_violating.rs"),
+        ),
+        spec(
+            "fixture-locks",
+            "crates/fixture-locks/src/registry.rs",
+            FileRole::Lib,
+            include_str!("fixtures/lock_order_cycle_violating.rs"),
         ),
     ]
 }

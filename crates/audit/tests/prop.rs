@@ -140,4 +140,44 @@ proptest! {
         let f = analyze_file(&spec);
         prop_assert!(f.items.max_depth <= MAX_DEPTH);
     }
+
+    /// The dataflow/taint engine (def-use chains, guard scans, lock graph)
+    /// is total on arbitrary bytes: garbage in, a finding count out, never
+    /// a panic and never unbounded chain-following.
+    #[test]
+    fn dataflow_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = iotax_audit::dataflow::dataflow_findings(&src);
+    }
+
+    /// Byte soup behind a declaration opener lands the dataflow scans
+    /// inside half-built fn bodies, struct fields, and macro arms — the
+    /// states where def-use resolution meets truncated structure.
+    #[test]
+    fn dataflow_is_total_on_magic_prefixed_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        for prefix in MAGIC_PREFIXES {
+            let mut src = (*prefix).to_owned();
+            src.push_str(&String::from_utf8_lossy(&bytes));
+            let _ = iotax_audit::dataflow::dataflow_findings(&src);
+        }
+    }
+
+    /// Sink- and lock-shaped soup: force the taint tracer and acquisition
+    /// scanner through their hot paths with mangled surroundings.
+    #[test]
+    fn dataflow_survives_sink_shaped_soup(
+        soup in r#"[a-z_:;{}()<>"'/*!#&=.,|+\ -]{0,200}"#,
+        pick in 0usize..6,
+    ) {
+        let seeds = [
+            "fn f(r: &mut R) -> V { let n = r.varint(); Vec::with_capacity(",
+            "fn g() { let m = a.lock(); let n = b.lock(); ",
+            "fn h(m: &HashMap<u64, f64>) -> f64 { m.values().sum",
+            "fn i(xs: &[f64]) { xs.par_iter().map(|x| x).fold(",
+            "fn j(r: &mut R) { let n = r.u32_le(); vec![0u8; ",
+            "struct S { a: Mutex<u64>, b: RwLock<",
+        ];
+        let src = format!("{}{soup}", seeds[pick]);
+        let _ = iotax_audit::dataflow::dataflow_findings(&src);
+    }
 }

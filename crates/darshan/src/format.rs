@@ -324,6 +324,7 @@ fn parse_module(r: &mut Reader<'_>) -> Result<ModuleData, ParseError> {
         let file_hash = r.u64_le()?;
         let rank_count = r.varint_u32()?;
         let width = module.counter_count();
+        // audit:allow(untrusted-length-allocation) -- width is counter_count(), a fixed 48-entry table keyed by the already-validated ModuleId enum, not wire data
         let mut counters = Vec::with_capacity(width);
         for _ in 0..width {
             let v = r.f64_le()?;
@@ -358,6 +359,7 @@ pub fn parse_log(data: &[u8]) -> Result<JobLog, ParseError> {
     let start_time = r.zigzag()?;
     let end_time = r.zigzag()?;
     let exe_len = r.varint_len()?;
+    // audit:allow(untrusted-length-allocation) -- Reader::take rejects n > remaining() before slicing; a forged exe_len fails as Truncated and never allocates
     let exe = std::str::from_utf8(r.take(exe_len)?).map_err(|_| ParseError::BadString)?.to_owned();
     let module_count = r.varint()?;
     let mut posix: Option<ModuleData> = None;
@@ -458,6 +460,7 @@ pub fn layout(data: &[u8]) -> Result<LogLayout, ParseError> {
     r.zigzag()?; // start_time
     r.zigzag()?; // end_time
     let exe_len = r.varint_len()?;
+    // audit:allow(untrusted-length-allocation) -- Reader::take rejects n > remaining() before slicing; a forged exe_len fails as Truncated and never allocates
     r.take(exe_len)?;
     let module_count = r.varint()?;
     let header_end = r.pos;
@@ -473,6 +476,7 @@ pub fn layout(data: &[u8]) -> Result<LogLayout, ParseError> {
             let start = r.pos;
             r.take(8)?; // file_hash
             r.varint()?; // rank_count
+                         // audit:allow(untrusted-length-allocation) -- counter_count() is a fixed 48-entry table keyed by the validated ModuleId enum, and take() bounds-checks before slicing
             r.take(8 * module.counter_count())?;
             records.push(RecordSpan { module, index, start, end: r.pos });
         }
@@ -578,6 +582,26 @@ mod tests {
         bytes.push(0x01); // ...terminated
         assert!(matches!(parse_log(&bytes), Err(ParseError::Truncated { .. })));
         assert!(crate::salvage::parse_log_lenient(&bytes).is_err());
+    }
+
+    #[test]
+    fn layout_rejects_huge_length_varint_without_allocating() {
+        // layout() walks the same framing as parse_log; a forged exe-length
+        // or record-count varint must fail as Truncated, never size a buffer.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&[1, 2, 3, 4, 5]); // five 1-byte header varints
+        bytes.extend_from_slice(&[0xFF; 9]); // exe_len varint = u64::MAX...
+        bytes.push(0x01); // ...terminated
+        assert!(matches!(layout(&bytes), Err(ParseError::Truncated { .. })));
+
+        // Same attack via the record-count varint of a module section.
+        let mut bytes = write_log(&sample_log());
+        let header = layout(&bytes).expect("pristine log maps");
+        let (_, tag_offset, count_end) = header.modules[0];
+        bytes.splice(tag_offset + 1..count_end, [0xFF; 9].into_iter().chain([0x01]));
+        assert!(matches!(layout(&bytes), Err(ParseError::Truncated { .. })));
     }
 
     #[test]

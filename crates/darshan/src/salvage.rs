@@ -254,6 +254,7 @@ fn parse_module_lenient(r: &mut Reader<'_>, anomalies: &mut Vec<Anomaly>) -> Opt
             // Lenient path: an impossible rank count saturates rather
             // than discarding an otherwise readable record.
             let rank_count = u32::try_from(r.varint()?).unwrap_or(u32::MAX);
+            // audit:allow(untrusted-length-allocation) -- width is counter_count(), a fixed 48-entry table keyed by the already-validated ModuleId enum, not wire data
             let mut counters = Vec::with_capacity(width);
             for _ in 0..width {
                 counters.push(r.f64_le()?);
@@ -337,6 +338,7 @@ pub fn parse_log_lenient(data: &[u8]) -> Result<(SalvagedLog, Vec<Anomaly>), Par
     let end_time = r.zigzag()?;
     let exe_len = usize::try_from(r.varint()?).unwrap_or(usize::MAX);
     let exe_offset = r.pos;
+    // audit:allow(untrusted-length-allocation) -- Reader::take rejects n > remaining() before slicing; a forged exe_len fails as Truncated and never allocates
     let exe_bytes = r.take(exe_len)?;
     let exe = match std::str::from_utf8(exe_bytes) {
         Ok(s) => s.to_owned(),

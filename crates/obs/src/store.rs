@@ -723,9 +723,8 @@ pub(crate) fn fsync_dir(dir: &Path) -> Result<()> {
 /// mix. The dotted tmp name never collides with a segment name, so a
 /// crash mid-publish leaves nothing a scan would misread.
 pub(crate) fn write_atomic(dir: &Path, path: &Path, bytes: &[u8]) -> Result<()> {
-    let name = path
-        .file_name()
-        .map_or_else(|| "file".to_owned(), |n| n.to_string_lossy().into_owned());
+    let name =
+        path.file_name().map_or_else(|| "file".to_owned(), |n| n.to_string_lossy().into_owned());
     let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
     let mut file = File::create(&tmp)
         .map_err(|e| Error::io(format!("creating tmp file {}", tmp.display()), e))?;
@@ -753,6 +752,7 @@ fn lock_store(dir: &Path) -> Result<File> {
     let path = dir.join(LOCK_FILE);
     let file = OpenOptions::new()
         .create(true)
+        .truncate(false) // the lock file is an empty sentinel; never rewrite it
         .write(true)
         .open(&path)
         .map_err(|e| Error::io(format!("opening store lock {}", path.display()), e))?;

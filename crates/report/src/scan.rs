@@ -62,8 +62,7 @@ impl StoreReport {
 /// turn `STORE@last` into a confusing missing-file error).
 // audit:allow(dead-public-api) -- documented half of the STORE@ resolution API (test refs are excluded by policy)
 pub fn is_store_dir(path: &Path) -> bool {
-    path.is_dir()
-        && iotax_obs::store::list_segments(path).map(|s| !s.is_empty()).unwrap_or(false)
+    path.is_dir() && iotax_obs::store::list_segments(path).map(|s| !s.is_empty()).unwrap_or(false)
 }
 
 /// Scans the store at `dir` and decodes every recovered record as a run

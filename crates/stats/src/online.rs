@@ -47,7 +47,6 @@ impl Welford {
 
     /// Combine with another accumulator; result is as if all observations
     /// had been pushed into one.
-    // audit:allow(dead-public-api) -- exercised by the stats property-test suite (test refs are excluded by policy)
     pub fn merge(&self, other: &Self) -> Self {
         if self.n == 0 {
             return *other;
