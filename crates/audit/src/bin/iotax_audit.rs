@@ -6,6 +6,8 @@
 //! iotax-audit --crate crates/darshan --format jsonl
 //! iotax-audit --workspace --write-baseline audit-baseline.json
 //! iotax-audit --workspace --ledger runs/audit-1    # write a run ledger
+//! iotax-audit --workspace --cache .audit-cache     # incremental re-audit
+//! iotax-audit --workspace --changed-since origin/main
 //! iotax-audit --list-lints
 //! ```
 //!
@@ -20,13 +22,13 @@
 
 use iotax_audit::flow::FLOW_LINTS;
 use iotax_audit::{
-    audit_crate, audit_workspace, driver, explain, render_text, write_jsonl, AuditConfig,
-    AuditReport, Baseline, DATAFLOW_LINTS, LINTS,
+    audit_crate, audit_workspace_with, driver, explain, render_text, write_jsonl, AuditConfig,
+    AuditReport, Baseline, DriverOptions, DATAFLOW_LINTS, LINTS,
 };
 use iotax_cli::{ObsArgs, ObsSession};
 use iotax_obs::{digest_bytes, Error, ErrorKind};
 use serde::Serialize;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 struct Args {
     workspace: bool,
@@ -41,6 +43,8 @@ struct Args {
     include_tests: bool,
     list_lints: bool,
     explain: Option<String>,
+    cache: Option<PathBuf>,
+    changed_since: Option<String>,
 }
 
 #[derive(PartialEq)]
@@ -64,7 +68,7 @@ const USAGE: &str = "usage: iotax-audit (--workspace | --crate DIR | --list-lint
      --explain LINT) \
      [--root DIR] [--config PATH] [--baseline PATH] [--write-baseline PATH] \
      [--format text|jsonl|github] [--jsonl-out PATH] [--metrics-out PATH] [--ledger DIR] \
-     [--store DIR] [--include-tests]";
+     [--store DIR] [--include-tests] [--cache DIR] [--changed-since REF]";
 
 fn parse_args() -> Result<Args, Error> {
     let mut args = Args {
@@ -80,6 +84,8 @@ fn parse_args() -> Result<Args, Error> {
         include_tests: false,
         list_lints: false,
         explain: None,
+        cache: None,
+        changed_since: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -110,6 +116,8 @@ fn parse_args() -> Result<Args, Error> {
             "--include-tests" => args.include_tests = true,
             "--list-lints" => args.list_lints = true,
             "--explain" => args.explain = Some(value("--explain")?),
+            "--cache" => args.cache = Some(PathBuf::from(value("--cache")?)),
+            "--changed-since" => args.changed_since = Some(value("--changed-since")?),
             "--help" | "-h" => return Err(Error::usage(USAGE)),
             other => {
                 if !args.obs.accept(other, &mut value)? {
@@ -120,6 +128,9 @@ fn parse_args() -> Result<Args, Error> {
     }
     if !args.list_lints && args.explain.is_none() && args.workspace == args.crate_dir.is_some() {
         return Err(Error::usage(format!("pick exactly one target\n{USAGE}")));
+    }
+    if (args.cache.is_some() || args.changed_since.is_some()) && !args.workspace {
+        return Err(Error::usage("--cache and --changed-since require --workspace"));
     }
     Ok(args)
 }
@@ -178,10 +189,20 @@ fn run(args: &Args, session: &mut ObsSession) -> Result<i32, Error> {
             None => ledger.set_config_digest(digest_bytes(b"default")),
         }
     }
+    let mut cache_warning = None;
+    let mut scope = None;
     let report: AuditReport = {
         let _span = iotax_obs::span!("audit");
         if args.workspace {
-            audit_workspace(&args.root, &cfg)?
+            let changed = match &args.changed_since {
+                Some(rev) => Some(changed_files(&args.root, rev)?),
+                None => None,
+            };
+            let opts = DriverOptions { cache_dir: args.cache.clone(), changed };
+            let outcome: iotax_audit::AuditOutcome = audit_workspace_with(&args.root, &cfg, opts)?;
+            cache_warning = outcome.cache_warning;
+            scope = outcome.scope.map(|files| (files, outcome.files));
+            outcome.report
         } else {
             // parse_args guarantees crate_dir is set on this branch.
             let dir = args.crate_dir.clone().ok_or_else(|| Error::usage(USAGE))?;
@@ -189,6 +210,23 @@ fn run(args: &Args, session: &mut ObsSession) -> Result<i32, Error> {
             audit_crate(&args.root, &dir, &name, &cfg.for_crate(&name), &cfg)?
         }
     };
+    if let Some(w) = &cache_warning {
+        eprintln!("iotax-audit: {w}");
+    }
+    // No silent narrowing: a scoped run says exactly which files it
+    // covered, so a CI log reader can tell a clean subset from a clean
+    // tree.
+    if let Some((files, total)) = &scope {
+        eprintln!(
+            "iotax-audit: --changed-since {}: {} of {} file(s) in scope (changed + dependents)",
+            args.changed_since.as_deref().unwrap_or(""),
+            files.len(),
+            total
+        );
+        for f in files {
+            eprintln!("iotax-audit:   {f}");
+        }
+    }
 
     if let Some(path) = &args.write_baseline {
         Baseline::from_findings(&report.findings).save(path)?;
@@ -260,6 +298,40 @@ fn run(args: &Args, session: &mut ObsSession) -> Result<i32, Error> {
     }
 
     Ok(if fresh.is_empty() { 0 } else { 1 })
+}
+
+/// Resolve `--changed-since REF` to a workspace-relative `.rs` file set:
+/// everything `git diff` reports against the ref, plus untracked files
+/// (a brand-new module is "changed" in every sense that matters here).
+fn changed_files(root: &Path, since: &str) -> Result<Vec<String>, Error> {
+    let run = |argv: &[&str]| -> Result<String, Error> {
+        let out = std::process::Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(argv)
+            .output()
+            .map_err(|e| Error::new(ErrorKind::Io, format!("running git: {e}")))?;
+        if !out.status.success() {
+            return Err(Error::usage(format!(
+                "git {} failed: {}",
+                argv.join(" "),
+                String::from_utf8_lossy(&out.stderr).trim()
+            )));
+        }
+        Ok(String::from_utf8_lossy(&out.stdout).into_owned())
+    };
+    let diff = run(&["diff", "--name-only", since, "--"])?;
+    let untracked = run(&["ls-files", "--others", "--exclude-standard"])?;
+    let mut files: Vec<String> = diff
+        .lines()
+        .chain(untracked.lines())
+        .map(str::trim)
+        .filter(|f| f.ends_with(".rs"))
+        .map(|f| f.replace('\\', "/"))
+        .collect();
+    files.sort();
+    files.dedup();
+    Ok(files)
 }
 
 /// Escape a GitHub workflow-command *message* (the part after `::`).

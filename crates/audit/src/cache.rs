@@ -1,0 +1,356 @@
+//! The incremental-audit cache: per-file analysis artifacts persisted as
+//! CRC-checked segment logs via [`iotax_obs::store`].
+//!
+//! # Layout
+//!
+//! The cache directory holds two independent stores:
+//!
+//! * `report/` — whole-corpus report records, keyed by a digest over
+//!   every file's (path, crate, role, content hash) plus the config and
+//!   lint-registry digests. A hit here answers an unchanged-tree warm
+//!   run without touching the (much larger) per-file store at all.
+//! * `files/` — per-file records: extracted [`FileFacts`] and computed
+//!   per-file [`SiteFinding`] vectors, keyed by content hash + config
+//!   digest + registry digest (+ the cross-file taint-summary digest for
+//!   site records, which depend on the workspace's call summaries).
+//!
+//! # Invalidation
+//!
+//! There is none — keys are content-addressed, so a changed file, config
+//! edit, or engine bump simply misses and recomputes. Stale records are
+//! left behind (the log is append-only); a damaged or unreadable store
+//! is discarded wholesale and rewritten from the cold results on flush.
+//!
+//! # Failure policy
+//!
+//! The cache must never change audit output. Every failure mode — CRC
+//! damage, truncated segment, JSON that does not parse, I/O errors —
+//! degrades to a cold run with a warning on stderr; the report bytes are
+//! identical either way because cold and warm runs share one code path
+//! over the same facts.
+
+use crate::diag::Finding;
+use crate::facts::{FileFacts, SiteFinding};
+use iotax_obs::store::{scan_store, SegmentStore};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Bumped whenever lint logic changes in a way that alters findings for
+/// unchanged input — part of the registry digest, so old cache records
+/// miss instead of replaying stale analysis.
+pub(crate) const ENGINE_VERSION: u32 = 4;
+
+/// Digest over the engine version and the full lint registry. Any lint
+/// added, removed, or renamed invalidates every cached record.
+pub(crate) fn registry_digest() -> String {
+    let mut s = format!("engine-v{ENGINE_VERSION}");
+    for name in crate::lints::known_lint_names() {
+        s.push('\0');
+        s.push_str(name);
+    }
+    iotax_obs::digest_bytes(s.as_bytes())
+}
+
+/// One cache record. A tagged struct rather than an enum because the
+/// vendored serde derives only unit-variant enums; `kind` selects which
+/// payload fields are meaningful.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct CacheRec {
+    /// `"facts"`, `"sites"`, or `"report"`.
+    kind: String,
+    /// Full content-addressed key.
+    key: String,
+    /// Payload for `kind == "facts"`.
+    facts: Option<FileFacts>,
+    /// Payload for `kind == "sites"`.
+    sites: Vec<SiteFinding>,
+    /// Payload for `kind == "report"`.
+    findings: Vec<Finding>,
+    /// Payload for `kind == "report"`.
+    suppressed: u64,
+}
+
+/// One appended segment-log payload: a batch of records, so a whole
+/// audit run costs one `append` (one fsync) per store.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct CacheBatch {
+    recs: Vec<CacheRec>,
+}
+
+/// Handle on an open cache directory. All reads are lock-free segment
+/// scans; the writer lock is taken only inside [`AuditCache::flush`].
+pub(crate) struct AuditCache {
+    dir: PathBuf,
+    report: BTreeMap<String, CacheRec>,
+    /// Lazily scanned on first per-file lookup: a report-level hit never
+    /// pays for parsing the per-file store.
+    files: Option<BTreeMap<String, CacheRec>>,
+    warning: Option<String>,
+    /// Any store was damaged or unreadable: ignore all cached content
+    /// and rebuild the directory from this run's results on flush.
+    damaged: bool,
+    pending: Vec<CacheRec>,
+}
+
+impl AuditCache {
+    /// Open (or initialize) the cache at `dir`. Never fails: any problem
+    /// reading existing state marks the cache damaged, records a
+    /// warning, and behaves as empty.
+    pub(crate) fn open(dir: &Path) -> Self {
+        let mut me = AuditCache {
+            dir: dir.to_path_buf(),
+            report: BTreeMap::new(),
+            files: None,
+            warning: None,
+            damaged: false,
+            pending: Vec::new(),
+        };
+        me.report = me.scan_sub("report");
+        me
+    }
+
+    fn note(&mut self, w: String) {
+        // Keep the first warning; later ones are consequences of it.
+        if self.warning.is_none() {
+            self.warning = Some(w);
+        }
+    }
+
+    fn scan_sub(&mut self, sub: &str) -> BTreeMap<String, CacheRec> {
+        let d = self.dir.join(sub);
+        if !d.is_dir() {
+            return BTreeMap::new(); // fresh cache — not damage
+        }
+        let scan = match scan_store(&d) {
+            Ok(scan) => scan,
+            Err(e) => {
+                self.damaged = true;
+                self.note(format!(
+                    "audit cache {}: unreadable ({e}); falling back to cold analysis",
+                    d.display()
+                ));
+                return BTreeMap::new();
+            }
+        };
+        if !scan.is_clean() {
+            // CRC or framing damage. Individual prior records may be
+            // intact, but a torn cache is not worth trusting piecemeal:
+            // discard everything and rebuild from this run.
+            self.damaged = true;
+            self.note(format!(
+                "audit cache {}: {} damaged segment region(s) detected; falling back to \
+                 cold analysis and rewriting the cache",
+                d.display(),
+                scan.damage.len()
+            ));
+            return BTreeMap::new();
+        }
+        let mut map = BTreeMap::new();
+        for rec in scan.records {
+            let parsed = std::str::from_utf8(&rec.payload)
+                .ok()
+                .and_then(|s| serde_json::from_str::<CacheBatch>(s).ok());
+            let Some(batch) = parsed else {
+                self.damaged = true;
+                self.note(format!(
+                    "audit cache {}: record at offset {} is not a valid cache batch; \
+                     falling back to cold analysis and rewriting the cache",
+                    d.display(),
+                    rec.offset
+                ));
+                return BTreeMap::new();
+            };
+            for r in batch.recs {
+                map.insert(r.key.clone(), r); // later batches win
+            }
+        }
+        map
+    }
+
+    fn ensure_files(&mut self) -> &BTreeMap<String, CacheRec> {
+        if self.files.is_none() {
+            let m = self.scan_sub("files");
+            self.files = Some(if self.damaged { BTreeMap::new() } else { m });
+        }
+        // audit:allow(panic-in-parser) -- invariant: the branch above just filled the Option
+        self.files.as_ref().expect("just filled")
+    }
+
+    /// Whole-corpus report hit: findings plus suppressed count.
+    pub(crate) fn report_hit(&self, key: &str) -> Option<(Vec<Finding>, usize)> {
+        if self.damaged {
+            return None;
+        }
+        let rec = self.report.get(key)?;
+        if rec.kind != "report" {
+            return None;
+        }
+        Some((rec.findings.clone(), rec.suppressed as usize))
+    }
+
+    /// Cached per-file facts for `key`, if present.
+    pub(crate) fn facts(&mut self, key: &str) -> Option<FileFacts> {
+        let rec = self.ensure_files().get(key)?;
+        if rec.kind != "facts" {
+            return None;
+        }
+        rec.facts.clone()
+    }
+
+    /// Cached per-file site findings for `key`, if present.
+    pub(crate) fn sites(&mut self, key: &str) -> Option<Vec<SiteFinding>> {
+        let rec = self.ensure_files().get(key)?;
+        if rec.kind != "sites" {
+            return None;
+        }
+        Some(rec.sites.clone())
+    }
+
+    /// Queue freshly extracted facts for write-back.
+    pub(crate) fn put_facts(&mut self, key: String, facts: &FileFacts) {
+        self.pending.push(CacheRec {
+            kind: "facts".to_owned(),
+            key,
+            facts: Some(facts.clone()),
+            ..CacheRec::default()
+        });
+    }
+
+    /// Queue freshly computed per-file sites for write-back.
+    pub(crate) fn put_sites(&mut self, key: String, sites: &[SiteFinding]) {
+        self.pending.push(CacheRec {
+            kind: "sites".to_owned(),
+            key,
+            sites: sites.to_vec(),
+            ..CacheRec::default()
+        });
+    }
+
+    /// Queue the whole-corpus report for write-back.
+    pub(crate) fn put_report(&mut self, key: String, findings: &[Finding], suppressed: usize) {
+        self.pending.push(CacheRec {
+            kind: "report".to_owned(),
+            key,
+            findings: findings.to_vec(),
+            suppressed: suppressed as u64,
+            ..CacheRec::default()
+        });
+    }
+
+    /// Write every queued record back, one batched append per store.
+    /// Returns a warning on failure — a cache that cannot persist is an
+    /// inconvenience, never an audit failure.
+    pub(crate) fn flush(mut self) -> Option<String> {
+        if self.damaged {
+            // Rebuild from scratch: this run recomputed everything the
+            // damaged stores used to hold.
+            for sub in ["report", "files"] {
+                let d = self.dir.join(sub);
+                if d.is_dir() {
+                    // audit:allow(swallowed-result) -- best-effort removal of a damaged cache; a leftover directory only costs a rescan next run
+                    let _ = std::fs::remove_dir_all(&d);
+                }
+            }
+        }
+        if self.pending.is_empty() {
+            return self.warning;
+        }
+        let (reports, files): (Vec<CacheRec>, Vec<CacheRec>) =
+            std::mem::take(&mut self.pending).into_iter().partition(|r| r.kind == "report");
+        for (sub, recs) in [("report", reports), ("files", files)] {
+            if recs.is_empty() {
+                continue;
+            }
+            if let Err(e) = append_batch(&self.dir.join(sub), CacheBatch { recs }) {
+                self.note(format!("audit cache write-back failed: {e}"));
+                break;
+            }
+        }
+        self.warning
+    }
+}
+
+fn append_batch(dir: &Path, batch: CacheBatch) -> iotax_obs::Result<()> {
+    let payload = serde_json::to_string(&batch)
+        .map_err(|e| iotax_obs::Error::new(iotax_obs::ErrorKind::Io, e.to_string()))?;
+    let mut store = SegmentStore::open(dir)?;
+    store.append(payload.as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("iotax-audit-cache-{}-{name}", std::process::id()));
+        if d.exists() {
+            std::fs::remove_dir_all(&d).expect("clean slate");
+        }
+        d
+    }
+
+    #[test]
+    fn roundtrip_facts_and_report() {
+        let dir = tmp("roundtrip");
+        let mut c = AuditCache::open(&dir);
+        assert!(c.facts("k1").is_none());
+        let facts = FileFacts { mentions: vec!["a".into(), "b".into()], ..FileFacts::default() };
+        c.put_facts("k1".to_owned(), &facts);
+        c.put_report("r1".to_owned(), &[], 3);
+        assert!(c.flush().is_none());
+
+        let mut c2 = AuditCache::open(&dir);
+        assert_eq!(c2.facts("k1"), Some(facts));
+        assert_eq!(c2.report_hit("r1"), Some((Vec::new(), 3)));
+        assert!(c2.sites("k1").is_none(), "kind mismatch never aliases");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn later_records_win() {
+        let dir = tmp("later-wins");
+        let mut c = AuditCache::open(&dir);
+        c.put_sites("s".to_owned(), &[]);
+        c.flush();
+        let mut c = AuditCache::open(&dir);
+        let site = SiteFinding {
+            lint: "x".into(),
+            line: 1,
+            col: 2,
+            item: String::new(),
+            message: "m".into(),
+        };
+        c.put_sites("s".to_owned(), std::slice::from_ref(&site));
+        c.flush();
+        let mut c = AuditCache::open(&dir);
+        assert_eq!(c.sites("s"), Some(vec![site]));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn damaged_store_degrades_to_empty_with_warning() {
+        let dir = tmp("damaged");
+        let mut c = AuditCache::open(&dir);
+        c.put_report("r".to_owned(), &[], 0);
+        c.flush();
+        // Flip a payload byte in the report segment: CRC must catch it.
+        let seg = std::fs::read_dir(dir.join("report"))
+            .expect("segment dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "dlog"))
+            .expect("one segment");
+        let mut bytes = std::fs::read(&seg).expect("read segment");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&seg, &bytes).expect("poison segment");
+
+        let c = AuditCache::open(&dir);
+        assert!(c.warning.is_some(), "damage must warn");
+        assert!(c.report_hit("r").is_none(), "damaged cache never serves records");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

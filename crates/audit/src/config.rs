@@ -128,6 +128,13 @@ pub struct CrateConfig {
     /// Extra sanitizer callables for the dataflow engine, on top of the
     /// built-in caps (`taint-sanitizers = ["bounded"]`).
     pub taint_sanitizers: Vec<String>,
+    /// Extra corpus-cardinality taint sources for the capacity analysis:
+    /// accessors whose result size scales with job count
+    /// (`corpus-sources = ["jobs", "salvaged_records"]`).
+    pub corpus_sources: Vec<String>,
+    /// Extra corpus sanitizers: bounded adapters that cap cardinality
+    /// regardless of corpus size (`corpus-sanitizers = ["head"]`).
+    pub corpus_sanitizers: Vec<String>,
 }
 
 impl CrateConfig {
@@ -267,6 +274,16 @@ impl AuditConfig {
                     eff.taint_sanitizers.push(san.clone());
                 }
             }
+            for src in &over.corpus_sources {
+                if !eff.corpus_sources.contains(src) {
+                    eff.corpus_sources.push(src.clone());
+                }
+            }
+            for san in &over.corpus_sanitizers {
+                if !eff.corpus_sanitizers.contains(san) {
+                    eff.corpus_sanitizers.push(san.clone());
+                }
+            }
             eff.check_indexing = over.check_indexing;
         }
         eff
@@ -319,6 +336,8 @@ fn apply_crate_keys(
             ("stage-functions", TomlValue::StrArray(a)) => cfg.stage_functions = a.clone(),
             ("taint-sources", TomlValue::StrArray(a)) => cfg.taint_sources = a.clone(),
             ("taint-sanitizers", TomlValue::StrArray(a)) => cfg.taint_sanitizers = a.clone(),
+            ("corpus-sources", TomlValue::StrArray(a)) => cfg.corpus_sources = a.clone(),
+            ("corpus-sanitizers", TomlValue::StrArray(a)) => cfg.corpus_sanitizers = a.clone(),
             (lint, TomlValue::Bool(b)) if known_lints.contains(&lint) => {
                 cfg.lints.insert(lint.to_owned(), *b);
             }

@@ -1,33 +1,45 @@
-//! Audit v3: the intra-procedural dataflow/taint engine and the three
-//! concurrency-safety lints built on it.
+//! Audit v3/v4: the intra-procedural dataflow/taint engine and the six
+//! lints built on it — three concurrency-safety checks (v3) and three
+//! corpus-cardinality capacity checks (v4).
 //!
 //! Where [`crate::flow`] resolves *provenance* (does this seed trace to a
-//! parameter?), this module resolves *trust*: statement-level def-use
-//! chains over the token stream decide whether a value that sizes an
-//! allocation was derived from the wire, whether a float reduction's
-//! grouping depends on scheduler or hash order, and whether two locks are
-//! ever taken in opposite orders.
+//! parameter?), this module resolves *trust* and *scale*: statement-level
+//! def-use chains over the token stream decide whether a value that sizes
+//! an allocation was derived from the wire, whether a float reduction's
+//! grouping depends on scheduler or hash order, whether two locks are
+//! ever taken in opposite orders — and, with a second taint vocabulary,
+//! whether a value whose *cardinality* scales with the job corpus is ever
+//! materialized, queued, or joined without a bound.
 //!
 //! | lint | hazard it guards |
 //! |------|------------------|
 //! | `untrusted-length-allocation` | a parse-derived integer reaches `with_capacity` / `vec![_; n]` / `reserve` / `take(n)` with no cap between source and sink |
 //! | `unordered-float-reduction`   | rayon `sum`/`fold`/`reduce` over floats, or hash-container iteration feeding a float accumulator — both break the `f64::to_bits`-exact equivalence contract |
 //! | `lock-order-cycle`            | the workspace lock-acquisition graph contains a cycle, the classic deadlock precondition |
+//! | `unbounded-corpus-materialization` | a corpus-scale stream reaches `collect`/`to_vec`/`read_to_end`/`extend`, or a per-job loop pushes into a container that outlives it |
+//! | `unbounded-channel` | a channel created without capacity is fed from a per-job loop — the queue grows to O(corpus) under a slow consumer |
+//! | `quadratic-corpus-join` | nested loops whose heads are both corpus-tainted: O(n²) in the job count |
 //!
 //! The taint lattice is deliberately two-point (`Tainted(source)` /
 //! `Clean`) with a *positive-evidence* rule: a value is tainted only when
 //! a chain of local defs links it to a declared source with no sanitizer
 //! or comparison guard on the way. Unresolvable names — fields, cross-file
 //! consts, free fns without a summary — are passes, matching the flow
-//! analyses' conservatism. Sources and sanitizers extend per crate via
-//! `taint-sources` / `taint-sanitizers` in `audit.toml`.
+//! analyses' conservatism. The wire vocabulary extends per crate via
+//! `taint-sources` / `taint-sanitizers` in `audit.toml`; the corpus
+//! vocabulary via `corpus-sources` / `corpus-sanitizers`.
+//!
+//! This module owns only the *per-file* passes and the token-level
+//! extraction helpers; the workspace-global lock-order graph is rebuilt
+//! from per-file facts in [`crate::facts`], which is what lets the
+//! incremental engine cache everything file-by-file.
 
-use crate::config::AuditConfig;
-use crate::flow::{const_init_idents, first_arg_idents, raw, FlowFinding};
+use crate::config::CrateConfig;
+use crate::flow::{const_init_idents, first_arg_idents, raw};
 use crate::lexer::TokKind;
-use crate::lints::LintSpec;
-use crate::symbols::{FileAnalysis, FileRole, Workspace};
-use std::collections::{BTreeMap, BTreeSet};
+use crate::lints::{LintSpec, RawFinding};
+use crate::symbols::FileAnalysis;
+use std::collections::BTreeSet;
 
 /// The dataflow lints, in reporting order (extends
 /// [`crate::lints::LINTS`] and [`crate::flow::FLOW_LINTS`] for config
@@ -45,6 +57,18 @@ pub const DATAFLOW_LINTS: &[LintSpec] = &[
         name: "lock-order-cycle",
         summary: "locks acquired in conflicting orders across functions (deadlock precondition)",
     },
+    LintSpec {
+        name: "unbounded-corpus-materialization",
+        summary: "corpus-scale stream is materialized in memory with no cardinality bound",
+    },
+    LintSpec {
+        name: "unbounded-channel",
+        summary: "capacity-less channel fed from a per-job loop grows O(corpus) under backpressure",
+    },
+    LintSpec {
+        name: "quadratic-corpus-join",
+        summary: "nested loops over corpus-scale collections do O(n²) work in the job count",
+    },
 ];
 
 /// Built-in taint sources: callables whose integer result is attacker- or
@@ -60,62 +84,52 @@ const BUILTIN_SOURCES: &[&str] =
 /// `taint-sanitizers`.
 const BUILTIN_SANITIZERS: &[&str] = &["min", "clamp", "remaining", "saturating_sub"];
 
+/// Built-in corpus-cardinality sources: `jobs` is the canonical
+/// whole-corpus accessor throughout this workspace, and `read_dir` walks
+/// a directory whose entry count the code does not control. Extended per
+/// crate via `corpus-sources` (e.g. `Dataset` accessors, salvage
+/// streams).
+const BUILTIN_CORPUS_SOURCES: &[&str] = &["jobs", "read_dir"];
+
+/// Built-in corpus sanitizers: adapters that cap cardinality regardless
+/// of corpus size. Extended per crate via `corpus-sanitizers` (e.g. a
+/// fixed-size fold into an `iotax-stats` mergeable accumulator).
+const BUILTIN_CORPUS_SANITIZERS: &[&str] = &["take", "chunks", "min", "clamp"];
+
 /// How deep the def-use resolver follows bindings before giving up (an
 /// unresolved name is a pass, so the bound only limits work).
 const MAX_CHAIN_DEPTH: usize = 8;
 
-/// Run the three dataflow analyses over the workspace. Per-crate
-/// enablement comes from `cfg`, exactly like [`crate::flow::run_flow`].
-pub(crate) fn run_dataflow(ws: &Workspace<'_>, cfg: &AuditConfig) -> Vec<FlowFinding> {
-    let enabled: Vec<BTreeMap<&str, bool>> = ws
-        .files
-        .iter()
-        .map(|f| {
-            let cc = cfg.for_crate(&f.spec.krate);
-            DATAFLOW_LINTS.iter().map(|l| (l.name, cc.enabled(l.name))).collect()
-        })
-        .collect();
-    let on = |fi: usize, lint: &str| enabled[fi].get(lint).copied().unwrap_or(false);
+/// One taint vocabulary: source names and sanitizer names. The engine
+/// runs twice per file with different vocabularies — wire-length taint
+/// for `untrusted-length-allocation`, corpus-cardinality taint for the
+/// three capacity lints.
+pub(crate) struct TaintVocab {
+    pub sources: BTreeSet<String>,
+    pub sanitizers: BTreeSet<String>,
+}
 
-    // Per-crate source/sanitizer vocabularies: builtins + audit.toml.
-    let crates: BTreeSet<&str> = ws.files.iter().map(|f| f.spec.krate.as_str()).collect();
-    let mut vocab: BTreeMap<&str, (BTreeSet<String>, BTreeSet<String>)> = BTreeMap::new();
-    for krate in crates {
-        let cc = cfg.for_crate(krate);
-        let mut sources: BTreeSet<String> =
-            BUILTIN_SOURCES.iter().map(|s| (*s).to_owned()).collect();
-        sources.extend(cc.taint_sources.iter().cloned());
-        let mut sanitizers: BTreeSet<String> =
-            BUILTIN_SANITIZERS.iter().map(|s| (*s).to_owned()).collect();
-        sanitizers.extend(cc.taint_sanitizers.iter().cloned());
-        vocab.insert(krate, (sources, sanitizers));
-    }
+/// The wire-length vocabulary for one crate: builtins + `taint-sources` /
+/// `taint-sanitizers` from `audit.toml`.
+pub(crate) fn wire_vocab(cc: &CrateConfig) -> TaintVocab {
+    let mut sources: BTreeSet<String> = BUILTIN_SOURCES.iter().map(|s| (*s).to_owned()).collect();
+    sources.extend(cc.taint_sources.iter().cloned());
+    let mut sanitizers: BTreeSet<String> =
+        BUILTIN_SANITIZERS.iter().map(|s| (*s).to_owned()).collect();
+    sanitizers.extend(cc.taint_sanitizers.iter().cloned());
+    TaintVocab { sources, sanitizers }
+}
 
-    let summaries = call_summaries(ws, &vocab);
-
-    let mut out = Vec::new();
-    for (fi, f) in ws.files.iter().enumerate() {
-        if f.spec.role == FileRole::Test {
-            continue; // per-site analyses skip test targets entirely
-        }
-        let (sources, sanitizers) = &vocab[f.spec.krate.as_str()];
-        if on(fi, "untrusted-length-allocation") {
-            out.extend(
-                untrusted_length_allocation(f, sources, sanitizers, &summaries)
-                    .into_iter()
-                    .map(|raw| FlowFinding { file: Some(fi), raw }),
-            );
-        }
-        if on(fi, "unordered-float-reduction") {
-            out.extend(
-                unordered_float_reduction(f)
-                    .into_iter()
-                    .map(|raw| FlowFinding { file: Some(fi), raw }),
-            );
-        }
-    }
-    out.extend(lock_order_cycle(ws, &|fi| on(fi, "lock-order-cycle")));
-    out
+/// The corpus-cardinality vocabulary for one crate: builtins +
+/// `corpus-sources` / `corpus-sanitizers` from `audit.toml`.
+pub(crate) fn corpus_vocab(cc: &CrateConfig) -> TaintVocab {
+    let mut sources: BTreeSet<String> =
+        BUILTIN_CORPUS_SOURCES.iter().map(|s| (*s).to_owned()).collect();
+    sources.extend(cc.corpus_sources.iter().cloned());
+    let mut sanitizers: BTreeSet<String> =
+        BUILTIN_CORPUS_SANITIZERS.iter().map(|s| (*s).to_owned()).collect();
+    sanitizers.extend(cc.corpus_sanitizers.iter().cloned());
+    TaintVocab { sources, sanitizers }
 }
 
 // ---------------------------------------------------------------------------
@@ -284,38 +298,30 @@ fn trace_taint(
     None
 }
 
-/// One-level call summaries: names of fns whose body calls a taint source
-/// and that return a value (`->` in the signature). A call to such a fn
-/// propagates taint across the function boundary — one level deep, by
-/// name, which is as far as a token-level engine can honestly see.
-fn call_summaries(
-    ws: &Workspace<'_>,
-    vocab: &BTreeMap<&str, (BTreeSet<String>, BTreeSet<String>)>,
-) -> BTreeSet<String> {
-    let mut out = BTreeSet::new();
-    for f in &ws.files {
-        if f.spec.role == FileRole::Test {
+/// One-level call summaries, per file: names of fns in this file whose
+/// body calls a taint source and that return a value (`->` in the
+/// signature). A call to such a fn propagates taint across the function
+/// boundary — one level deep, by name, which is as far as a token-level
+/// engine can honestly see. The workspace-global summary set is the
+/// union of these over non-test files ([`crate::facts`] rebuilds it from
+/// cached per-file facts).
+pub(crate) fn summary_fns(f: &FileAnalysis<'_>, sources: &BTreeSet<String>) -> Vec<String> {
+    let cx = &f.cx;
+    let mut out = Vec::new();
+    for item in &f.items.items {
+        if item.kind != crate::items::ItemKind::Fn || cx.is_test(item.tok) {
             continue;
         }
-        let (sources, _) = &vocab[f.spec.krate.as_str()];
-        let cx = &f.cx;
-        for item in &f.items.items {
-            if item.kind != crate::items::ItemKind::Fn || cx.is_test(item.tok) {
-                continue;
-            }
-            let Some((body_lo, body_hi)) = item.body else { continue };
-            let returns = (item.tok..body_lo).any(|j| cx.punct_at(j, "->"));
-            if !returns {
-                continue;
-            }
-            let calls_source = (body_lo..body_hi).any(|j| {
-                cx.kind(j) == TokKind::Ident
-                    && sources.contains(cx.text(j))
-                    && cx.punct_at(j + 1, "(")
-            });
-            if calls_source && !sources.contains(&item.name) {
-                out.insert(item.name.clone());
-            }
+        let Some((body_lo, body_hi)) = item.body else { continue };
+        let returns = (item.tok..body_lo).any(|j| cx.punct_at(j, "->"));
+        if !returns {
+            continue;
+        }
+        let calls_source = (body_lo..body_hi).any(|j| {
+            cx.kind(j) == TokKind::Ident && sources.contains(cx.text(j)) && cx.punct_at(j + 1, "(")
+        });
+        if calls_source && !sources.contains(&item.name) && !out.contains(&item.name) {
+            out.push(item.name.clone());
         }
     }
     out
@@ -328,12 +334,12 @@ fn call_summaries(
 /// Method sinks: `recv.take(n)`, `recv.reserve(n)`, `recv.reserve_exact(n)`.
 const METHOD_SINKS: &[&str] = &["take", "reserve", "reserve_exact"];
 
-fn untrusted_length_allocation(
+pub(crate) fn untrusted_length_allocation(
     f: &FileAnalysis<'_>,
-    sources: &BTreeSet<String>,
-    sanitizers: &BTreeSet<String>,
+    vocab: &TaintVocab,
     summaries: &BTreeSet<String>,
-) -> Vec<crate::lints::RawFinding> {
+) -> Vec<RawFinding> {
+    let (sources, sanitizers) = (&vocab.sources, &vocab.sanitizers);
     let cx = &f.cx;
     let mut out = Vec::new();
     let flag = |site: usize, sink: &str, src: &str, out: &mut Vec<_>| {
@@ -409,6 +415,318 @@ fn untrusted_length_allocation(
 }
 
 // ---------------------------------------------------------------------------
+// the capacity lints (corpus-cardinality taint)
+// ---------------------------------------------------------------------------
+
+/// Materializing chain sinks: `stream.collect()` / `::<…>(…)`,
+/// `slice.to_vec()`, `reader.read_to_end(&mut buf)`.
+const MATERIALIZE_SINKS: &[&str] = &["collect", "to_vec", "read_to_end"];
+
+/// Channel constructors that take no capacity argument. `sync_channel`,
+/// `bounded` and friends take a capacity and never match the `()` form.
+const CHANNEL_CTORS: &[&str] = &["channel", "unbounded", "unbounded_channel"];
+
+/// Which of the three capacity lints to run for one file (in
+/// [`DATAFLOW_LINTS`] order: materialization, channel, join).
+pub(crate) struct CapacityOn {
+    pub materialize: bool,
+    pub channel: bool,
+    pub join: bool,
+}
+
+/// The three capacity lints in a single token scan over one file. All
+/// share the corpus-cardinality vocabulary: a loop header or method
+/// chain is *per-job* when [`trace_taint`] links it to a corpus source.
+pub(crate) fn capacity_findings(
+    f: &FileAnalysis<'_>,
+    on: &CapacityOn,
+    vocab: &TaintVocab,
+    summaries: &BTreeSet<String>,
+) -> Vec<RawFinding> {
+    let (sources, sanitizers) = (&vocab.sources, &vocab.sanitizers);
+    let cx = &f.cx;
+    let mut out = Vec::new();
+    // Per-token dedup: an `extend` can match both the chain-sink arm and
+    // the loop-body arm; a doubly-nested loop can be the inner loop of
+    // two enclosing corpus loops. One finding per site.
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+    // Corpus-tainted loops discovered during the scan, for the channel
+    // pass: (open, close, source).
+    let mut corpus_loops: Vec<(usize, usize, String)> = Vec::new();
+    // Capacity-less channel constructions: (ctor token, tx name).
+    let mut channels: Vec<(usize, String)> = Vec::new();
+
+    for i in 0..cx.code.len() {
+        if cx.is_test(i) || cx.kind(i) != TokKind::Ident {
+            continue;
+        }
+        let name = cx.text(i);
+        // Arm 1: a materializing method at the end of a corpus-tainted
+        // chain. The receiver is every ident in the chain back to the
+        // statement start; a bounded adapter anywhere in the chain is a
+        // sanitizer and wins.
+        if on.materialize
+            && MATERIALIZE_SINKS.contains(&name)
+            && i > 0
+            && cx.punct_at(i - 1, ".")
+            && (cx.punct_at(i + 1, "(") || cx.punct_at(i + 1, "::"))
+        {
+            let idents = receiver_chain_idents(f, i - 1);
+            if let Some(src) = trace_taint(f, i, &idents, sources, sanitizers, summaries) {
+                if flagged.insert(i) {
+                    out.push(raw(
+                        cx,
+                        "unbounded-corpus-materialization",
+                        i,
+                        format!(
+                            "`.{name}(…)` materializes a corpus-scale stream derived from \
+                             `{src}` in memory at once; bound it (`.take(k)`, `.chunks(n)`) \
+                             or fold it into a fixed-size mergeable accumulator so peak \
+                             memory stays O(1) in the job count"
+                        ),
+                    ));
+                }
+            }
+            continue;
+        }
+        // Arm 2: `sink.extend(corpus_stream)` — the argument carries the
+        // cardinality.
+        if on.materialize
+            && name == "extend"
+            && i > 0
+            && cx.punct_at(i - 1, ".")
+            && cx.punct_at(i + 1, "(")
+        {
+            let (idents, _) = first_arg_idents(f, i + 1);
+            if let Some(src) = trace_taint(f, i, &idents, sources, sanitizers, summaries) {
+                if flagged.insert(i) {
+                    out.push(raw(
+                        cx,
+                        "unbounded-corpus-materialization",
+                        i,
+                        format!(
+                            "`.extend(…)` appends a corpus-scale stream derived from `{src}` \
+                             in one shot; bound it (`.take(k)`, `.chunks(n)`) or fold it into \
+                             a fixed-size mergeable accumulator so peak memory stays O(1) in \
+                             the job count"
+                        ),
+                    ));
+                }
+            }
+            continue;
+        }
+        // Arm 3: `let (tx, rx) = channel();` — remember the sender; the
+        // post-pass checks whether a corpus loop feeds it.
+        if on.channel
+            && CHANNEL_CTORS.contains(&name)
+            && cx.punct_at(i + 1, "(")
+            && cx.punct_at(i + 2, ")")
+        {
+            if let Some(tx) = channel_tx(f, i) {
+                channels.push((i, tx));
+            }
+            continue;
+        }
+        // Per-job loops: `for job in <corpus-tainted> { … }`.
+        if name == "for" {
+            let Some((open, header_idents)) = for_header(f, i) else { continue };
+            let Some(src) = trace_taint(f, i, &header_idents, sources, sanitizers, summaries)
+            else {
+                continue;
+            };
+            let close = match_brace(f, open);
+            if on.channel {
+                corpus_loops.push((open, close, src.clone()));
+            }
+            let body_lo =
+                f.items.enclosing_fn(i).and_then(|x| f.items.items[x].body).map_or(0, |b| b.0);
+            for j in open..close {
+                // Arm 4: `outlived.push(…)` / `.extend(…)` inside the
+                // per-job loop, where the receiver is a local defined
+                // *before* the loop — it accumulates one entry per job.
+                if on.materialize
+                    && (cx.ident_at(j, "push") || cx.ident_at(j, "extend"))
+                    && j > 0
+                    && cx.punct_at(j - 1, ".")
+                    && cx.punct_at(j + 1, "(")
+                {
+                    let Some(recv) = receiver_name(f, j - 1) else { continue };
+                    if last_def(f, &recv, body_lo, i).is_some() && flagged.insert(j) {
+                        out.push(raw(
+                            cx,
+                            "unbounded-corpus-materialization",
+                            j,
+                            format!(
+                                "container `{recv}` gains one entry per job of corpus \
+                                 source `{src}` and outlives the loop; bound the loop \
+                                 (`.take(k)`) or fold into a fixed-size mergeable \
+                                 accumulator so peak memory stays O(1) in the job count"
+                            ),
+                        ));
+                    }
+                }
+                // Arm 5: a nested loop whose head is *also* corpus-tainted
+                // — the O(n²) duplicate-pair idiom.
+                if on.join && cx.ident_at(j, "for") && !flagged.contains(&j) {
+                    let Some((_, inner_idents)) = for_header(f, j) else { continue };
+                    if let Some(inner_src) =
+                        trace_taint(f, j, &inner_idents, sources, sanitizers, summaries)
+                    {
+                        flagged.insert(j);
+                        out.push(raw(
+                            cx,
+                            "quadratic-corpus-join",
+                            j,
+                            format!(
+                                "nested per-job loops over corpus sources `{src}` and \
+                                 `{inner_src}` do O(n²) work in the job count; index one \
+                                 side by key (a map) or sort-merge instead — a quadratic \
+                                 join cannot survive a million-job corpus"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Channel post-pass: a capacity-less channel whose sender is used
+    // inside any corpus-tainted loop body.
+    for (ctor, tx) in &channels {
+        let fed = corpus_loops.iter().find(|(open, close, _)| {
+            (*open..*close).any(|j| {
+                cx.ident_at(j, tx)
+                    && cx.punct_at(j + 1, ".")
+                    && (cx.ident_at(j + 2, "send") || cx.ident_at(j + 2, "try_send"))
+                    && cx.punct_at(j + 3, "(")
+            })
+        });
+        if let Some((_, _, src)) = fed {
+            out.push(raw(
+                cx,
+                "unbounded-channel",
+                *ctor,
+                format!(
+                    "channel created without capacity is fed from a per-job loop over corpus \
+                     source `{src}`; a slow consumer lets the queue grow to O(corpus) — use a \
+                     bounded channel (`sync_channel(k)`) so backpressure caps memory"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Identifiers of the method chain ending at the `.` token `dot`, walked
+/// backward to the statement start (an unmatched opening bracket, or a
+/// `;` / `,` / `=` / `{` at chain depth). Bounded, so degenerate token
+/// soup cannot make the walk quadratic.
+fn receiver_chain_idents(f: &FileAnalysis<'_>, dot: usize) -> Vec<String> {
+    let cx = &f.cx;
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut j = dot;
+    let mut steps = 0;
+    while j > 0 && steps < 96 {
+        j -= 1;
+        steps += 1;
+        match cx.text(j) {
+            ")" | "]" | "}" => depth += 1,
+            "(" | "[" | "{" => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            ";" | "," | "=" if depth == 0 => break,
+            t => {
+                if cx.kind(j) == TokKind::Ident {
+                    out.push(t.to_owned());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parse a `for … in … {` header starting at the `for` token: the loop
+/// `{` and every identifier after `in` (the iterated expression). `None`
+/// when no `{` appears within a sane header length.
+fn for_header(f: &FileAnalysis<'_>, for_tok: usize) -> Option<(usize, Vec<String>)> {
+    let cx = &f.cx;
+    let mut idents = Vec::new();
+    let mut saw_in = false;
+    let mut j = for_tok + 1;
+    while j < cx.code.len() && j < for_tok + 32 {
+        if cx.punct_at(j, "{") {
+            return Some((j, idents));
+        }
+        if !saw_in && cx.ident_at(j, "in") {
+            saw_in = true;
+        } else if saw_in && cx.kind(j) == TokKind::Ident {
+            idents.push(cx.text(j).to_owned());
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Token index of the `}` matching the `{` at `open` (or the end of the
+/// token stream for unbalanced input — the caller's range scan simply
+/// ends there).
+fn match_brace(f: &FileAnalysis<'_>, open: usize) -> usize {
+    let cx = &f.cx;
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < cx.code.len() {
+        match cx.text(j) {
+            "{" | "(" | "[" => depth += 1,
+            "}" | ")" | "]" => {
+                depth -= 1;
+                if depth <= 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    cx.code.len()
+}
+
+/// The sender name of a `let (tx, rx) = [path::]channel();` binding whose
+/// constructor is at `ctor`. Anything that does not match the two-name
+/// tuple pattern is `None` — and the channel is then conservatively
+/// passed, because the feeding site cannot be identified by name.
+fn channel_tx(f: &FileAnalysis<'_>, ctor: usize) -> Option<String> {
+    let cx = &f.cx;
+    let mut k = ctor;
+    let mut steps = 0;
+    while k > 0 && steps < 12 {
+        k -= 1;
+        steps += 1;
+        if cx.punct_at(k, "=") {
+            if k >= 6
+                && cx.punct_at(k - 1, ")")
+                && cx.kind(k - 2) == TokKind::Ident
+                && cx.punct_at(k - 3, ",")
+                && cx.kind(k - 4) == TokKind::Ident
+                && cx.punct_at(k - 5, "(")
+                && cx.ident_at(k - 6, "let")
+            {
+                return Some(cx.text(k - 4).to_owned());
+            }
+            return None;
+        }
+        // Only path noise may sit between the `=` and the constructor.
+        if cx.kind(k) != TokKind::Ident && !cx.punct_at(k, "::") {
+            return None;
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
 // unordered-float-reduction
 // ---------------------------------------------------------------------------
 
@@ -422,7 +740,7 @@ const REDUCERS: &[&str] = &["sum", "product", "fold", "reduce"];
 /// Hash-container iteration entry points whose order varies per process.
 const HASH_ITER: &[&str] = &["iter", "into_iter", "values", "into_values", "keys", "drain"];
 
-fn unordered_float_reduction(f: &FileAnalysis<'_>) -> Vec<crate::lints::RawFinding> {
+pub(crate) fn unordered_float_reduction(f: &FileAnalysis<'_>) -> Vec<RawFinding> {
     let cx = &f.cx;
     let hash_names = hash_bound_names(f);
     let mut out = Vec::new();
@@ -637,114 +955,17 @@ fn for_loop_float_accumulation(
 }
 
 // ---------------------------------------------------------------------------
-// lock-order-cycle
+// lock-order extraction (the cycle graph itself lives in `facts`)
 // ---------------------------------------------------------------------------
 
 /// Receivers never treated as locks even though `.lock()` parses: the
 /// std stream handles, whose guards are short-lived formatting locks.
 const STREAM_RECEIVERS: &[&str] = &["stdout", "stderr", "stdin"];
 
-/// A lock node: (crate, receiver name). Receiver names are file-local
-/// text, so same-named locks in *different* crates stay distinct; two
-/// same-named receivers in one crate merge — a documented imprecision
-/// that errs toward reporting.
-type LockNode = (String, String);
-
-fn lock_order_cycle(ws: &Workspace<'_>, on: &dyn Fn(usize) -> bool) -> Vec<FlowFinding> {
-    // Pass 1: per-crate lock vocabularies — names declared as (or
-    // returning) Mutex / RwLock. `.read()` / `.write()` acquisitions are
-    // only attributed against this set, so `io::Read::read` never counts.
-    let mut lock_names: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
-    for f in &ws.files {
-        if f.spec.role == FileRole::Test {
-            continue;
-        }
-        lock_names.entry(f.spec.krate.as_str()).or_default().extend(declared_locks(f));
-    }
-
-    // Pass 2: acquisition sequences per fn body → ordered edges. The
-    // first edge site is chosen by (file path, token), not corpus index,
-    // so output is independent of corpus order.
-    let mut edges: BTreeMap<(LockNode, LockNode), (String, usize, usize)> = BTreeMap::new();
-    for (fi, f) in ws.files.iter().enumerate() {
-        if f.spec.role == FileRole::Test || !on(fi) {
-            continue;
-        }
-        let empty = BTreeSet::new();
-        let known = lock_names.get(f.spec.krate.as_str()).unwrap_or(&empty);
-        for item in &f.items.items {
-            if item.kind != crate::items::ItemKind::Fn || f.cx.is_test(item.tok) {
-                continue;
-            }
-            let Some((lo, hi)) = item.body else { continue };
-            let seq = acquisitions(f, lo, hi, known);
-            for (a, ai) in &seq {
-                for (b, bi) in &seq {
-                    if bi <= ai || a == b {
-                        continue;
-                    }
-                    let key =
-                        ((f.spec.krate.clone(), a.clone()), (f.spec.krate.clone(), b.clone()));
-                    let site = (f.spec.file.clone(), fi, *bi);
-                    let e = edges.entry(key).or_insert_with(|| site.clone());
-                    if (&site.0, site.2) < (&e.0, e.2) {
-                        *e = site;
-                    }
-                }
-            }
-        }
-    }
-
-    // Pass 3: cycle detection. The graphs here are tiny (a handful of
-    // lock names per crate), so a direct DFS per node finding a path
-    // back to itself is plenty — and trivially deterministic.
-    let adj: BTreeMap<&LockNode, Vec<&LockNode>> = {
-        let mut m: BTreeMap<&LockNode, Vec<&LockNode>> = BTreeMap::new();
-        for (a, b) in edges.keys() {
-            m.entry(a).or_default().push(b);
-        }
-        m
-    };
-    let mut out = Vec::new();
-    let mut reported: BTreeSet<BTreeSet<&LockNode>> = BTreeSet::new();
-    for start in adj.keys() {
-        if let Some(cycle) = find_cycle(&adj, start) {
-            let members: BTreeSet<&LockNode> = cycle.iter().copied().collect();
-            if !reported.insert(members.clone()) {
-                continue; // one finding per distinct cycle set
-            }
-            // Attach at the canonically-first edge site within the cycle.
-            let site = cycle
-                .iter()
-                .zip(cycle.iter().cycle().skip(1))
-                .filter_map(|(a, b)| edges.get(&((*a).clone(), (*b).clone())))
-                .min_by(|x, y| (&x.0, x.2).cmp(&(&y.0, y.2)));
-            let Some((_, fi, tok)) = site else { continue };
-            let path: Vec<String> = cycle.iter().map(|(k, n)| format!("{k}::{n}")).collect();
-            out.push(FlowFinding {
-                file: Some(*fi),
-                raw: raw(
-                    &ws.files[*fi].cx,
-                    "lock-order-cycle",
-                    *tok,
-                    format!(
-                        "lock acquisition order forms a cycle: {} → {}; impose one global \
-                         acquisition order (or merge the critical sections) so no pair of \
-                         threads can each hold one lock while waiting for the other",
-                        path.join(" → "),
-                        path[0]
-                    ),
-                ),
-            });
-        }
-    }
-    out
-}
-
 /// Lock names declared in one file: `name: [&'a] [Arc<] Mutex/RwLock`,
 /// `let name = [Arc::new(] Mutex::new(…)`, and fns whose return type
 /// mentions Mutex/RwLock (accessor fns like a global sink slot).
-fn declared_locks(f: &FileAnalysis<'_>) -> BTreeSet<String> {
+pub(crate) fn declared_locks(f: &FileAnalysis<'_>) -> BTreeSet<String> {
     let cx = &f.cx;
     let mut out = BTreeSet::new();
     for j in 0..cx.code.len() {
@@ -785,40 +1006,52 @@ fn declared_locks(f: &FileAnalysis<'_>) -> BTreeSet<String> {
     out
 }
 
-/// Ordered lock acquisitions in one fn body, deduped by name: `.lock()` /
-/// `.try_lock()` on any receiver (covers `File::lock` advisory locks),
-/// `.read()` / `.write()` / `.try_read()` / `.try_write()` only on
-/// receivers in the crate's declared-lock vocabulary.
-fn acquisitions(
-    f: &FileAnalysis<'_>,
-    lo: usize,
-    hi: usize,
-    known: &BTreeSet<String>,
-) -> Vec<(String, usize)> {
+/// One candidate lock acquisition inside a fn body: `.lock()` /
+/// `.try_lock()` on any receiver (`broad`), or `.read()` / `.write()` /
+/// `.try_read()` / `.try_write()` (`!broad`) — the latter only count
+/// against the crate's declared-lock vocabulary, which is applied when
+/// the workspace graph is rebuilt from facts, not here, because another
+/// file of the crate may declare the lock.
+pub(crate) struct LockCand {
+    pub recv: String,
+    pub broad: bool,
+    pub tok: usize,
+}
+
+/// Candidate acquisition sequences, one per non-test fn body, in token
+/// order and *undeduped* — the graph rebuild replays each sequence,
+/// drops narrow candidates outside the declared-lock set, and dedups by
+/// name exactly as the old single-pass analysis did.
+pub(crate) fn fn_lock_candidates(f: &FileAnalysis<'_>) -> Vec<Vec<LockCand>> {
     let cx = &f.cx;
-    let mut seq: Vec<(String, usize)> = Vec::new();
-    for j in lo..hi {
-        if cx.kind(j) != TokKind::Ident || j == 0 || !cx.punct_at(j - 1, ".") {
+    let mut out = Vec::new();
+    for item in &f.items.items {
+        if item.kind != crate::items::ItemKind::Fn || cx.is_test(item.tok) {
             continue;
         }
-        let method = cx.text(j);
-        let broad = matches!(method, "lock" | "try_lock");
-        let narrow = matches!(method, "read" | "write" | "try_read" | "try_write");
-        if (!broad && !narrow) || !cx.punct_at(j + 1, "(") {
-            continue;
+        let Some((lo, hi)) = item.body else { continue };
+        let mut seq = Vec::new();
+        for j in lo..hi {
+            if cx.kind(j) != TokKind::Ident || j == 0 || !cx.punct_at(j - 1, ".") {
+                continue;
+            }
+            let method = cx.text(j);
+            let broad = matches!(method, "lock" | "try_lock");
+            let narrow = matches!(method, "read" | "write" | "try_read" | "try_write");
+            if (!broad && !narrow) || !cx.punct_at(j + 1, "(") {
+                continue;
+            }
+            let Some(recv) = receiver_name(f, j - 1) else { continue };
+            if STREAM_RECEIVERS.contains(&recv.as_str()) {
+                continue;
+            }
+            seq.push(LockCand { recv, broad, tok: j });
         }
-        let Some(recv) = receiver_name(f, j - 1) else { continue };
-        if STREAM_RECEIVERS.contains(&recv.as_str()) {
-            continue;
-        }
-        if narrow && !known.contains(&recv) {
-            continue;
-        }
-        if !seq.iter().any(|(n, _)| *n == recv) {
-            seq.push((recv, j));
+        if !seq.is_empty() {
+            out.push(seq);
         }
     }
-    seq
+    out
 }
 
 /// The name of the receiver ending at the `.` token `dot`: the preceding
@@ -860,76 +1093,44 @@ fn receiver_name(f: &FileAnalysis<'_>, dot: usize) -> Option<String> {
     None
 }
 
-/// DFS from `start` over the sorted adjacency map; returns the node
-/// sequence of a cycle passing through `start`, if any.
-fn find_cycle<'a>(
-    adj: &BTreeMap<&'a LockNode, Vec<&'a LockNode>>,
-    start: &'a LockNode,
-) -> Option<Vec<&'a LockNode>> {
-    fn dfs<'a>(
-        adj: &BTreeMap<&'a LockNode, Vec<&'a LockNode>>,
-        start: &'a LockNode,
-        here: &'a LockNode,
-        path: &mut Vec<&'a LockNode>,
-        seen: &mut BTreeSet<&'a LockNode>,
-    ) -> bool {
-        for next in adj.get(here).map_or(&[][..], |v| v.as_slice()) {
-            if *next == start {
-                return true;
-            }
-            if seen.insert(next) {
-                path.push(next);
-                if dfs(adj, start, next, path, seen) {
-                    return true;
-                }
-                path.pop();
-            }
-        }
-        false
-    }
-    let mut path = vec![start];
-    let mut seen = BTreeSet::from([start]);
-    if dfs(adj, start, start, &mut path, &mut seen) {
-        Some(path)
-    } else {
-        None
-    }
-}
-
 // ---------------------------------------------------------------------------
 // proptest seam
 // ---------------------------------------------------------------------------
 
-/// Run all three dataflow analyses over one in-memory source file with
-/// every dataflow lint enabled; returns the finding count. This is the
-/// seam the totality proptests drive: the engine must terminate without
-/// panicking on arbitrary byte soup.
+/// Run the full audit pipeline over one in-memory source file with every
+/// dataflow lint (wire, concurrency, and capacity) enabled; returns the
+/// finding count. This is the seam the totality proptests drive: the
+/// engine — including facts extraction and the global graph rebuild —
+/// must terminate without panicking on arbitrary byte soup.
 // audit:allow(dead-public-api) -- proptest seam the totality tests drive (test refs are excluded by policy)
 pub fn dataflow_findings(src: &str) -> usize {
-    use crate::symbols::{analyze_file, SourceSpec};
+    use crate::symbols::{FileRole, SourceSpec};
     let spec = SourceSpec {
         krate: "iotax-prop".to_owned(),
         file: "crates/prop/src/lib.rs".to_owned(),
         role: FileRole::Lib,
         src: src.to_owned(),
     };
-    let ws = Workspace::new(vec![analyze_file(&spec)]);
     let toml = "[default]\nuntrusted-length-allocation = true\n\
-                unordered-float-reduction = true\nlock-order-cycle = true\n";
-    let cfg = AuditConfig::from_toml(toml, "dataflow-seam", &crate::lints::known_lint_names())
-        // audit:allow(panic-in-parser) -- the TOML here is a static literal naming known lints; it cannot fail
-        .expect("static lint config");
-    run_dataflow(&ws, &cfg).len()
+                unordered-float-reduction = true\nlock-order-cycle = true\n\
+                unbounded-corpus-materialization = true\nunbounded-channel = true\n\
+                quadratic-corpus-join = true\n";
+    let cfg = crate::config::AuditConfig::from_toml(
+        toml,
+        "dataflow-seam",
+        &crate::lints::known_lint_names(),
+    )
+    // audit:allow(panic-in-parser) -- the TOML here is a static literal naming known lints; it cannot fail
+    .expect("static lint config");
+    crate::driver::audit_sources(vec![spec], &cfg).findings.len()
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::symbols::{analyze_file, SourceSpec};
-
-    fn ws_of(specs: &[SourceSpec]) -> Workspace<'_> {
-        Workspace::new(specs.iter().map(analyze_file).collect())
-    }
+    use crate::config::AuditConfig;
+    use crate::diag::Finding;
+    use crate::driver::audit_sources;
+    use crate::symbols::{FileRole, SourceSpec};
 
     fn spec(krate: &str, file: &str, src: &str) -> SourceSpec {
         SourceSpec {
@@ -942,18 +1143,19 @@ mod tests {
 
     fn cfg_all() -> AuditConfig {
         let toml = "[default]\nuntrusted-length-allocation = true\n\
-                    unordered-float-reduction = true\nlock-order-cycle = true\n";
+                    unordered-float-reduction = true\nlock-order-cycle = true\n\
+                    unbounded-corpus-materialization = true\nunbounded-channel = true\n\
+                    quadratic-corpus-join = true\n";
         AuditConfig::from_toml(toml, "test", &crate::lints::known_lint_names()).unwrap()
     }
 
-    fn lints_of(found: &[FlowFinding]) -> Vec<&'static str> {
-        found.iter().map(|f| f.raw.lint).collect()
+    fn lints_of(found: &[Finding]) -> Vec<&str> {
+        found.iter().map(|f| f.lint.as_str()).collect()
     }
 
-    fn run_one(src: &str) -> Vec<FlowFinding> {
+    fn run_one(src: &str) -> Vec<Finding> {
         let specs = vec![spec("iotax-x", "crates/x/src/lib.rs", src)];
-        let ws = ws_of(&specs);
-        run_dataflow(&ws, &cfg_all())
+        audit_sources(specs, &cfg_all()).findings
     }
 
     #[test]
@@ -966,7 +1168,7 @@ mod tests {
              }",
         );
         assert_eq!(lints_of(&found), vec!["untrusted-length-allocation"], "{found:?}",);
-        assert!(found[0].raw.message.contains("`varint`"));
+        assert!(found[0].message.contains("`varint`"));
     }
 
     #[test]
@@ -1033,7 +1235,7 @@ mod tests {
              }",
         );
         assert_eq!(lints_of(&found), vec!["untrusted-length-allocation"], "{found:?}");
-        assert!(found[0].raw.message.contains("`frame_len`"));
+        assert!(found[0].message.contains("`frame_len`"));
     }
 
     #[test]
@@ -1057,16 +1259,14 @@ mod tests {
                        Vec::with_capacity(n)\n\
                    }";
         let specs = vec![spec("iotax-x", "crates/x/src/lib.rs", src)];
-        let ws = ws_of(&specs);
-        assert_eq!(run_dataflow(&ws, &cfg).len(), 1, "custom source fires");
+        assert_eq!(audit_sources(specs, &cfg).findings.len(), 1, "custom source fires");
 
         let src2 = "pub fn parse(r: &mut Reader) -> Vec<u8> {\n\
                         let n = bounded(wire_len(r));\n\
                         Vec::with_capacity(n)\n\
                     }";
         let specs2 = vec![spec("iotax-x", "crates/x/src/lib.rs", src2)];
-        let ws2 = ws_of(&specs2);
-        assert!(run_dataflow(&ws2, &cfg).is_empty(), "custom sanitizer wins");
+        assert!(audit_sources(specs2, &cfg).findings.is_empty(), "custom sanitizer wins");
     }
 
     #[test]
@@ -1134,8 +1334,8 @@ mod tests {
                    }";
         let found = run_one(src);
         assert_eq!(lints_of(&found), vec!["lock-order-cycle"], "{found:?}");
-        assert!(found[0].raw.message.contains("iotax-x::a"), "{}", found[0].raw.message);
-        assert!(found[0].raw.message.contains("iotax-x::b"), "{}", found[0].raw.message);
+        assert!(found[0].message.contains("iotax-x::a"), "{}", found[0].message);
+        assert!(found[0].message.contains("iotax-x::b"), "{}", found[0].message);
     }
 
     #[test]
@@ -1173,7 +1373,128 @@ mod tests {
                    pub fn ba() { let _y = slot_b().write(); let _x = slot_a().write(); }";
         let found = run_one(src);
         assert_eq!(lints_of(&found), vec!["lock-order-cycle"], "{found:?}");
-        assert!(found[0].raw.message.contains("slot_a"), "{}", found[0].raw.message);
+        assert!(found[0].message.contains("slot_a"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn corpus_collect_is_flagged_and_take_sanitizes() {
+        let bad = run_one(
+            "pub fn all(ds: &SimDataset) -> Vec<Row> {\n\
+                 ds.jobs.iter().map(row_of).collect()\n\
+             }",
+        );
+        assert_eq!(lints_of(&bad), vec!["unbounded-corpus-materialization"], "{bad:?}");
+        assert!(bad[0].message.contains("`jobs`"), "{}", bad[0].message);
+
+        let bounded = run_one(
+            "pub fn head(ds: &SimDataset) -> Vec<Row> {\n\
+                 ds.jobs.iter().take(100).map(row_of).collect()\n\
+             }",
+        );
+        assert!(bounded.is_empty(), "{bounded:?}");
+    }
+
+    #[test]
+    fn per_job_push_into_outliving_container_is_flagged() {
+        let bad = run_one(
+            "pub fn ids(ds: &SimDataset) -> Vec<u64> {\n\
+                 let mut out = Vec::new();\n\
+                 for j in ds.jobs.iter() { out.push(j.id); }\n\
+                 out\n\
+             }",
+        );
+        assert_eq!(lints_of(&bad), vec!["unbounded-corpus-materialization"], "{bad:?}");
+        assert!(bad[0].message.contains("`out`"), "{}", bad[0].message);
+
+        // A fixed-size accumulator (no push/extend) stays silent.
+        let fold = run_one(
+            "pub fn total(ds: &SimDataset) -> u64 {\n\
+                 let mut sum = 0u64;\n\
+                 for j in ds.jobs.iter() { sum += j.bytes; }\n\
+                 sum\n\
+             }",
+        );
+        assert!(fold.is_empty(), "{fold:?}");
+    }
+
+    #[test]
+    fn unresolvable_push_receiver_passes() {
+        // `self.notes.push(…)` — the receiver is a field, not a local
+        // defined before the loop; conservative pass.
+        let found = run_one(
+            "impl R { pub fn note_all(&mut self, ds: &SimDataset) {\n\
+                 for j in ds.jobs.iter() { self.notes.push(j.id); }\n\
+             } }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn capacityless_channel_fed_from_corpus_loop_is_flagged() {
+        let bad = run_one(
+            "pub fn feed(ds: &SimDataset) {\n\
+                 let (tx, rx) = channel();\n\
+                 for j in ds.jobs.iter() { tx.send(j.clone()).unwrap(); }\n\
+             }",
+        );
+        assert_eq!(lints_of(&bad), vec!["unbounded-channel"], "{bad:?}");
+
+        // `sync_channel(k)` has a capacity argument and never matches.
+        let bounded = run_one(
+            "pub fn feed(ds: &SimDataset) {\n\
+                 let (tx, rx) = sync_channel(64);\n\
+                 for j in ds.jobs.iter() { tx.send(j.clone()).unwrap(); }\n\
+             }",
+        );
+        assert!(bounded.is_empty(), "{bounded:?}");
+
+        // A capacity-less channel fed from a bounded loop passes.
+        let idle = run_one(
+            "pub fn feed(ds: &SimDataset) {\n\
+                 let (tx, rx) = channel();\n\
+                 for j in ds.jobs.iter().take(10) { tx.send(j.clone()).unwrap(); }\n\
+             }",
+        );
+        assert!(idle.is_empty(), "{idle:?}");
+    }
+
+    #[test]
+    fn nested_corpus_loops_are_a_quadratic_join() {
+        let bad = run_one(
+            "pub fn pairs(ds: &SimDataset) -> u64 {\n\
+                 let mut n = 0u64;\n\
+                 for a in ds.jobs.iter() {\n\
+                     for b in ds.jobs.iter() { if a.sig == b.sig { n += 1; } }\n\
+                 }\n\
+                 n\n\
+             }",
+        );
+        assert_eq!(lints_of(&bad), vec!["quadratic-corpus-join"], "{bad:?}");
+
+        // Corpus loop around a small inner loop (per-job features) passes.
+        let linear = run_one(
+            "pub fn sum_features(ds: &SimDataset, names: &[String]) -> u64 {\n\
+                 let mut n = 0u64;\n\
+                 for a in ds.jobs.iter() {\n\
+                     for f in names.iter() { n += a.get(f); }\n\
+                 }\n\
+                 n\n\
+             }",
+        );
+        assert!(linear.is_empty(), "{linear:?}");
+    }
+
+    #[test]
+    fn corpus_summary_fn_propagates_cardinality() {
+        let found = run_one(
+            "fn load_all(dir: &Path) -> Vec<Entry> { read_dir(dir).unwrap() }\n\
+             pub fn scan(dir: &Path) -> Vec<Entry> {\n\
+                 let xs = load_all(dir);\n\
+                 xs.iter().cloned().collect()\n\
+             }",
+        );
+        assert_eq!(lints_of(&found), vec!["unbounded-corpus-materialization"], "{found:?}");
+        assert!(found[0].message.contains("`load_all`"), "{}", found[0].message);
     }
 
     #[test]
@@ -1188,14 +1509,13 @@ mod tests {
         let hot = "pub fn f(r: &mut Reader) { let n = r.varint().unwrap() as usize; \
                    Vec::with_capacity(n); }";
         let specs = vec![spec("iotax-x", "crates/x/src/lib.rs", hot)];
-        let ws = ws_of(&specs);
-        assert!(run_dataflow(&ws, &cfg).is_empty(), "disabled lint stays quiet");
+        assert!(audit_sources(specs, &cfg).findings.is_empty(), "disabled lint stays quiet");
     }
 
     #[test]
     fn seam_is_total_on_degenerate_inputs() {
         for src in ["", "vec![", "let = = =", "{{{{", "fn f( { .lock(", "\u{0}\u{ff}"] {
-            let _ = dataflow_findings(src);
+            let _ = super::dataflow_findings(src);
         }
     }
 }

@@ -2,6 +2,29 @@
 //! every source file, applies suppressions, and emits [`Finding`]s with
 //! stable fingerprints.
 //!
+//! # Pipeline
+//!
+//! Since the incremental engine landed, the corpus pipeline is organized
+//! around per-file **facts** ([`crate::facts`]) instead of live token
+//! streams:
+//!
+//! 1. **wave 1 — facts**: every file is either looked up in the cache
+//!    (key: content hash + config digest + registry digest) or parsed
+//!    and summarized into a serializable [`FileFacts`];
+//! 2. **global rebuild**: the cross-file passes (dead-public-api,
+//!    schema-drift, lock-order-cycle) run over facts only;
+//! 3. **wave 2 — sites**: per-file lint findings are looked up (key
+//!    additionally covers the workspace taint-summary digest, which the
+//!    def-use passes consume) or computed from a live analysis;
+//! 4. **finalize**: per-file sites merge with the global findings, pass
+//!    through suppressions and meta-lints, and become fingerprinted
+//!    [`Finding`]s.
+//!
+//! A cold run and a warm run execute the *same* steps 2 and 4 over the
+//! same facts — caching swaps where steps 1 and 3 get their data, never
+//! what the report is computed from, which is why warm output is
+//! byte-identical by construction.
+//!
 //! Two meta-lints are always on and cannot be disabled:
 //!
 //! * `bad-suppression` — an `audit:allow` comment with no `-- reason`, or
@@ -11,10 +34,12 @@
 
 use crate::config::{AuditConfig, CrateConfig};
 use crate::context::FileCx;
+use crate::dataflow;
 use crate::diag::{fingerprint, Finding};
+use crate::facts::{self, FileFacts, FileMeta, SiteFinding, SuppressionFacts};
 use crate::flow;
 use crate::lints::{self, LintOptions, RawFinding, LINTS};
-use crate::symbols::{analyze_file, FileRole, SourceSpec, Workspace};
+use crate::symbols::{analyze_file, FileAnalysis, FileRole, SourceSpec};
 use iotax_obs::{Error, ErrorKind, Result};
 use rayon::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
@@ -40,6 +65,34 @@ pub struct AuditReport {
     pub suppressed: usize,
 }
 
+/// Knobs for the corpus pipeline beyond the lint config itself.
+#[derive(Default)]
+pub struct DriverOptions {
+    /// Persist and reuse per-file analysis artifacts under this
+    /// directory (`--cache DIR`).
+    pub cache_dir: Option<PathBuf>,
+    /// Restrict site analysis and findings to these files plus their
+    /// symbol-graph dependents (`--changed-since REF`). Paths are
+    /// workspace-relative with forward slashes.
+    pub changed: Option<Vec<String>>,
+}
+
+/// What a corpus run produced, beyond the report itself.
+pub struct AuditOutcome {
+    /// The findings.
+    pub report: AuditReport,
+    /// Corpus size.
+    pub files: usize,
+    /// How many files were actually lexed+parsed (vs served from cache).
+    pub parsed: usize,
+    /// A cache problem worth surfacing on stderr (the run itself fell
+    /// back to cold analysis and is unaffected).
+    pub cache_warning: Option<String>,
+    /// When scoped by [`DriverOptions::changed`]: the files actually
+    /// covered (changed set plus dependents), for honest CI logs.
+    pub scope: Option<Vec<String>>,
+}
+
 /// Audit one in-memory source file. This is the seam the fixture tests
 /// drive: no filesystem involved.
 // audit:allow(dead-public-api) -- single-file entry point the lint fixture tests drive (test refs are excluded by policy)
@@ -59,7 +112,7 @@ pub fn audit_source(
     FileReport { findings, suppressed, stage_fns_defined }
 }
 
-fn lint_options(cfg: &CrateConfig, include_tests: bool) -> LintOptions {
+pub(crate) fn lint_options(cfg: &CrateConfig, include_tests: bool) -> LintOptions {
     LintOptions {
         include_tests,
         check_indexing: cfg.check_indexing,
@@ -80,27 +133,49 @@ fn token_lints(cx: &FileCx<'_>, cfg: &CrateConfig, opts: &LintOptions) -> Vec<Ra
 
 /// Apply suppressions and meta-lints to a file's raw findings, then
 /// assemble [`Finding`]s with occurrence-indexed fingerprints. Shared by
-/// the per-file seam ([`audit_source`]) and the workspace corpus pipeline
-/// ([`audit_sources`]).
+/// the per-file seam ([`audit_source`]) and [`audit_crate`].
 fn finalize_file(
     krate: &str,
     file: &str,
     cx: &FileCx<'_>,
     raw: &[RawFinding],
 ) -> (Vec<Finding>, usize) {
+    let sites: Vec<SiteFinding> = raw.iter().map(|r| SiteFinding::from_raw(cx, r)).collect();
+    let supp: Vec<SuppressionFacts> = cx
+        .suppressions
+        .iter()
+        .map(|s| SuppressionFacts {
+            lints: s.lints.clone(),
+            reason: s.reason.clone(),
+            comment_line: s.comment_line,
+            target_line: s.target_line,
+        })
+        .collect();
+    finalize_sites(krate, file, &supp, &sites)
+}
+
+/// The one finalization path: apply suppressions, run the suppression
+/// meta-lints, assemble fingerprinted findings. Operates on serializable
+/// facts only, so cached and freshly computed sites take the same route.
+fn finalize_sites(
+    krate: &str,
+    file: &str,
+    suppressions: &[SuppressionFacts],
+    sites: &[SiteFinding],
+) -> (Vec<Finding>, usize) {
     // Apply suppressions. Index i tracks how many findings each used.
     let known: Vec<&str> = lints::known_lint_names();
-    let mut used = vec![0usize; cx.suppressions.len()];
-    let mut survivors: Vec<&RawFinding> = Vec::new();
+    let mut used = vec![0usize; suppressions.len()];
+    let mut survivors: Vec<&SiteFinding> = Vec::new();
     let mut suppressed = 0usize;
-    for f in raw {
+    for f in sites {
         let mut hit = false;
-        for (si, s) in cx.suppressions.iter().enumerate() {
+        for (si, s) in suppressions.iter().enumerate() {
             let line_match = match s.target_line {
                 None => true, // file-level
                 Some(line) => line == f.line,
             };
-            if line_match && s.lints.iter().any(|l| l == f.lint) {
+            if line_match && s.lints.iter().any(|l| *l == f.lint) {
                 used[si] += 1;
                 hit = true;
             }
@@ -113,42 +188,40 @@ fn finalize_file(
     }
 
     // Meta-lints over the suppressions themselves.
-    let mut meta: Vec<RawFinding> = Vec::new();
-    for (si, s) in cx.suppressions.iter().enumerate() {
+    let mut meta: Vec<SiteFinding> = Vec::new();
+    let meta_site = |line: u32, lint: &str, message: String| SiteFinding {
+        lint: lint.to_owned(),
+        line,
+        col: 1,
+        item: String::new(),
+        message,
+    };
+    for (si, s) in suppressions.iter().enumerate() {
         for l in &s.lints {
             if !known.contains(&l.as_str()) {
-                meta.push(RawFinding {
-                    lint: "bad-suppression",
-                    line: s.comment_line,
-                    col: 1,
-                    tok: usize::MAX,
-                    message: format!("suppression names unknown lint `{l}`"),
-                });
+                meta.push(meta_site(
+                    s.comment_line,
+                    "bad-suppression",
+                    format!("suppression names unknown lint `{l}`"),
+                ));
             }
         }
         if s.reason.is_none() {
-            meta.push(RawFinding {
-                lint: "bad-suppression",
-                line: s.comment_line,
-                col: 1,
-                tok: usize::MAX,
-                message: format!(
+            meta.push(meta_site(
+                s.comment_line,
+                "bad-suppression",
+                format!(
                     "suppression of `{}` has no `-- reason`; every waiver must say why",
                     s.lints.join(", ")
                 ),
-            });
+            ));
         }
         if used[si] == 0 && s.lints.iter().all(|l| known.contains(&l.as_str())) {
-            meta.push(RawFinding {
-                lint: "unused-suppression",
-                line: s.comment_line,
-                col: 1,
-                tok: usize::MAX,
-                message: format!(
-                    "suppression of `{}` matched no finding; remove it",
-                    s.lints.join(", ")
-                ),
-            });
+            meta.push(meta_site(
+                s.comment_line,
+                "unused-suppression",
+                format!("suppression of `{}` matched no finding; remove it", s.lints.join(", ")),
+            ));
         }
     }
 
@@ -158,18 +231,17 @@ fn finalize_file(
     let mut occurrence: BTreeMap<(String, String, String), usize> = BTreeMap::new();
     let mut findings: Vec<Finding> = Vec::new();
     for f in survivors.iter().copied().chain(meta.iter()) {
-        let item = if f.tok == usize::MAX { String::new() } else { cx.item(f.tok).to_owned() };
-        let key = (f.lint.to_owned(), item.clone(), f.message.clone());
+        let key = (f.lint.clone(), f.item.clone(), f.message.clone());
         let k = occurrence.entry(key).or_insert(0);
-        let fp = fingerprint(krate, file, f.lint, &item, &f.message, *k);
+        let fp = fingerprint(krate, file, &f.lint, &f.item, &f.message, *k);
         *k += 1;
         findings.push(Finding {
-            lint: f.lint.to_owned(),
+            lint: f.lint.clone(),
             krate: krate.to_owned(),
             file: file.to_owned(),
             line: f.line,
             col: f.col,
-            item,
+            item: f.item.clone(),
             message: f.message.clone(),
             fingerprint: fp,
         });
@@ -178,77 +250,287 @@ fn finalize_file(
     (findings, suppressed)
 }
 
+/// Every per-file lint pass over one live analysis, in canonical order:
+/// token lints, then the flow passes, then the dataflow/taint passes.
+/// Returns position-sorted, fully rendered sites — exactly what the
+/// cache stores, so cold and warm runs merge identical vectors.
+fn file_sites(
+    f: &FileAnalysis<'_>,
+    cfg: &AuditConfig,
+    wire_sum: &BTreeSet<String>,
+    corpus_sum: &BTreeSet<String>,
+) -> Vec<SiteFinding> {
+    let cc = cfg.for_crate(&f.spec.krate);
+    let opts = lint_options(&cc, cfg.include_tests);
+    let mut raw = if f.spec.role == FileRole::Test && !cfg.include_tests {
+        Vec::new()
+    } else {
+        token_lints(&f.cx, &cc, &opts)
+    };
+    if f.spec.role != FileRole::Test {
+        // Per-site flow + dataflow analyses skip test targets entirely.
+        if cc.enabled("seed-provenance") {
+            raw.extend(flow::seed_provenance(f));
+        }
+        if cc.enabled("error-context-loss") {
+            raw.extend(flow::error_context_loss(f));
+        }
+        if cc.enabled("untrusted-length-allocation") {
+            raw.extend(dataflow::untrusted_length_allocation(
+                f,
+                &dataflow::wire_vocab(&cc),
+                wire_sum,
+            ));
+        }
+        if cc.enabled("unordered-float-reduction") {
+            raw.extend(dataflow::unordered_float_reduction(f));
+        }
+        let on = dataflow::CapacityOn {
+            materialize: cc.enabled("unbounded-corpus-materialization"),
+            channel: cc.enabled("unbounded-channel"),
+            join: cc.enabled("quadratic-corpus-join"),
+        };
+        if on.materialize || on.channel || on.join {
+            raw.extend(dataflow::capacity_findings(
+                f,
+                &on,
+                &dataflow::corpus_vocab(&cc),
+                corpus_sum,
+            ));
+        }
+    }
+    raw.sort_by_key(|r| (r.line, r.col));
+    raw.iter().map(|r| SiteFinding::from_raw(&f.cx, r)).collect()
+}
+
 /// Audit an in-memory corpus: token lints per file plus the cross-file
-/// flow analyses over the whole [`Workspace`]. This is the engine behind
+/// analyses rebuilt from per-file facts. This is the engine behind
 /// [`audit_workspace`] and the seam the flow fixture tests drive.
 ///
 /// Test-target files (`tests/…`) always join the corpus — schema-drift
 /// reader probes live there — but token lints skip them unless
 /// `cfg.include_tests` is set, matching the old walk's semantics.
 // audit:allow(dead-public-api) -- corpus entry point the flow fixture tests drive (test refs are excluded by policy)
-pub fn audit_sources(specs: &[SourceSpec], cfg: &AuditConfig) -> AuditReport {
-    // Per-file lex + item parse fan out over the corpus; everything after
-    // this point consumes the analyses read-only, and the final sort makes
-    // output independent of completion order.
-    let files = {
-        let _span = iotax_obs::span!("audit.parse");
-        iotax_obs::counter!("audit.files").incr(specs.len() as u64);
-        let files: Vec<_> = specs.par_iter().map(analyze_file).collect();
-        files
-    };
-    let ws = Workspace::new(files);
+pub fn audit_sources(specs: Vec<SourceSpec>, cfg: &AuditConfig) -> AuditReport {
+    audit_sources_with(specs, cfg, DriverOptions::default()).report
+}
 
-    let flow_found = {
-        let _span = iotax_obs::span!("audit.flow");
-        flow::run_flow(&ws, cfg)
+/// [`audit_sources`] with caching and scoping. See the module docs for
+/// the wave structure.
+// audit:allow(dead-public-api) -- cache/scope entry point the incremental-engine tests drive (test refs are excluded by policy)
+pub fn audit_sources_with(
+    specs: Vec<SourceSpec>,
+    cfg: &AuditConfig,
+    opts: DriverOptions,
+) -> AuditOutcome {
+    let cfg_digest = iotax_obs::digest_bytes(format!("{cfg:?}").as_bytes());
+    let reg_digest = crate::cache::registry_digest();
+    let contents: Vec<String> =
+        specs.iter().map(|s| iotax_obs::digest_bytes(s.src.as_bytes())).collect();
+    let scoped = opts.changed.is_some();
+    let mut cache = opts.cache_dir.as_deref().map(crate::cache::AuditCache::open);
+
+    // Whole-corpus report key: any file added, removed, renamed, edited,
+    // re-rolled, or reconfigured changes it.
+    let report_key = {
+        let mut s = format!("report\0{reg_digest}\0{cfg_digest}\0");
+        for (spec, digest) in specs.iter().zip(&contents) {
+            s.push_str(&format!("{}\0{}\0{:?}\0{digest}\0", spec.file, spec.krate, spec.role));
+        }
+        iotax_obs::digest_bytes(s.as_bytes())
     };
-    let dataflow_found = {
-        let _span = iotax_obs::span!("audit.dataflow");
-        crate::dataflow::run_dataflow(&ws, cfg)
-    };
-    let mut flow_by_file: Vec<Vec<RawFinding>> = ws.files.iter().map(|_| Vec::new()).collect();
-    let mut config_raw: Vec<RawFinding> = Vec::new();
-    for ff in flow_found.into_iter().chain(dataflow_found) {
-        match ff.file {
-            Some(fi) => flow_by_file[fi].push(ff.raw),
-            None => config_raw.push(ff.raw),
+    if !scoped {
+        let hit = cache.as_ref().and_then(|c| c.report_hit(&report_key));
+        if let Some((findings, suppressed)) = hit {
+            // Emit the phase spans even though every phase is a no-op:
+            // dashboards and CI assertions key on their presence.
+            {
+                let _span = iotax_obs::span!("audit.parse");
+                iotax_obs::counter!("audit.files").incr(specs.len() as u64);
+            }
+            {
+                let _span = iotax_obs::span!("audit.flow");
+            }
+            {
+                let _span = iotax_obs::span!("audit.dataflow");
+            }
+            {
+                let _span = iotax_obs::span!("audit.lint");
+            }
+            let cache_warning = cache.and_then(crate::cache::AuditCache::flush);
+            return AuditOutcome {
+                report: AuditReport { findings, suppressed },
+                files: specs.len(),
+                parsed: 0,
+                cache_warning,
+                scope: None,
+            };
         }
     }
 
-    let _span = iotax_obs::span!("audit.lint");
-    let mut report = AuditReport::default();
-    let mut stage_fns_seen: BTreeMap<String, Vec<String>> = BTreeMap::new();
-    for (fi, f) in ws.files.iter().enumerate() {
-        let cc = cfg.for_crate(&f.spec.krate);
-        let opts = lint_options(&cc, cfg.include_tests);
-        let mut raw = if f.spec.role == FileRole::Test && !cfg.include_tests {
-            Vec::new()
-        } else {
-            token_lints(&f.cx, &cc, &opts)
+    let metas: Vec<FileMeta> = specs
+        .iter()
+        .map(|s| FileMeta { krate: s.krate.clone(), file: s.file.clone(), role: s.role })
+        .collect();
+    let facts_key =
+        |i: usize| format!("facts\0{}\0{}\0{cfg_digest}\0{reg_digest}", specs[i].file, contents[i]);
+    let mut parsed = 0usize;
+    let mut analyses: Vec<Option<FileAnalysis<'_>>> = specs.iter().map(|_| None).collect();
+
+    // ---- wave 1: per-file facts, from cache or a fresh parse. ---------
+    let mut file_facts: Vec<Option<FileFacts>> = Vec::with_capacity(specs.len());
+    {
+        let _span = iotax_obs::span!("audit.parse");
+        iotax_obs::counter!("audit.files").incr(specs.len() as u64);
+        for i in 0..specs.len() {
+            file_facts.push(cache.as_mut().and_then(|c| c.facts(&facts_key(i))));
+        }
+        let need: Vec<usize> = (0..specs.len()).filter(|&i| file_facts[i].is_none()).collect();
+        let fresh: Vec<(usize, FileAnalysis<'_>)> =
+            need.par_iter().map(|&i| (i, analyze_file(&specs[i]))).collect();
+        parsed += fresh.len();
+        for (i, fa) in fresh {
+            let fx = facts::extract_facts(&fa, cfg);
+            if let Some(c) = cache.as_mut() {
+                c.put_facts(facts_key(i), &fx);
+            }
+            file_facts[i] = Some(fx);
+            analyses[i] = Some(fa);
+        }
+    }
+    let file_facts: Vec<FileFacts> = file_facts
+        .into_iter()
+        // audit:allow(panic-in-parser) -- invariant: the wave-1 loop above fills every miss slot; a None is a driver bug, not input-shaped
+        .map(|f| f.expect("wave 1 fills every slot"))
+        .collect();
+
+    // Cross-file taint call summaries: the union every def-use pass
+    // consumes. Their digest joins the wave-2 key because a summary
+    // change can alter findings in files that did not themselves change.
+    let mut wire_sum: BTreeSet<String> = BTreeSet::new();
+    let mut corpus_sum: BTreeSet<String> = BTreeSet::new();
+    for fx in &file_facts {
+        wire_sum.extend(fx.wire_summary_fns.iter().cloned());
+        corpus_sum.extend(fx.corpus_summary_fns.iter().cloned());
+    }
+    let ctx_digest = iotax_obs::digest_bytes(format!("{wire_sum:?}|{corpus_sum:?}").as_bytes());
+
+    // Scope resolution: the changed files plus every file whose mention
+    // set intersects a name the changed files define.
+    let scope_idx: Option<BTreeSet<usize>> = opts.changed.as_ref().map(|changed| {
+        let changed_files: BTreeSet<&str> = changed.iter().map(String::as_str).collect();
+        let mut names: BTreeSet<&str> = BTreeSet::new();
+        let mut idx: BTreeSet<usize> = BTreeSet::new();
+        for (i, m) in metas.iter().enumerate() {
+            if changed_files.contains(m.file.as_str()) {
+                idx.insert(i);
+                names.extend(file_facts[i].defined_names.iter().map(String::as_str));
+            }
+        }
+        let mentions_any = |sorted: &[String]| {
+            names.iter().any(|n| sorted.binary_search_by(|p| p.as_str().cmp(n)).is_ok())
         };
-        raw.append(&mut flow_by_file[fi]);
-        raw.sort_by_key(|r| (r.line, r.col));
-        let (findings, suppressed) = finalize_file(&f.spec.krate, &f.spec.file, &f.cx, &raw);
+        for (i, fx) in file_facts.iter().enumerate() {
+            if !idx.contains(&i) && (mentions_any(&fx.mentions) || mentions_any(&fx.macro_mentions))
+            {
+                idx.insert(i);
+            }
+        }
+        idx
+    });
+    let in_scope = |i: usize| scope_idx.as_ref().is_none_or(|s| s.contains(&i));
+
+    // ---- global rebuild: cross-file passes over facts only. -----------
+    let (global_sites, config_sites) = {
+        let _span = iotax_obs::span!("audit.flow");
+        facts::global_findings(&metas, &file_facts, cfg)
+    };
+    let lock_sites = {
+        let _span = iotax_obs::span!("audit.dataflow");
+        facts::lock_findings(&metas, &file_facts, cfg)
+    };
+    let mut global_by_file: Vec<Vec<SiteFinding>> = metas.iter().map(|_| Vec::new()).collect();
+    for (fi, s) in global_sites.into_iter().chain(lock_sites) {
+        global_by_file[fi].push(s);
+    }
+
+    // ---- wave 2: per-file sites, from cache or a live analysis. -------
+    let _span = iotax_obs::span!("audit.lint");
+    let site_key = |i: usize| {
+        format!(
+            "sites\0{}\0{}\0{cfg_digest}\0{reg_digest}\0{ctx_digest}",
+            specs[i].file, contents[i]
+        )
+    };
+    let mut sites: Vec<Option<Vec<SiteFinding>>> = (0..specs.len())
+        .map(|i| {
+            if !in_scope(i) {
+                return Some(Vec::new()); // out of scope: no per-file work
+            }
+            cache.as_mut().and_then(|c| c.sites(&site_key(i)))
+        })
+        .collect();
+    let need_parse: Vec<usize> =
+        (0..specs.len()).filter(|&i| sites[i].is_none() && analyses[i].is_none()).collect();
+    let fresh: Vec<(usize, FileAnalysis<'_>)> =
+        need_parse.par_iter().map(|&i| (i, analyze_file(&specs[i]))).collect();
+    parsed += fresh.len();
+    for (i, fa) in fresh {
+        analyses[i] = Some(fa);
+    }
+    let miss: Vec<usize> = (0..specs.len()).filter(|&i| sites[i].is_none()).collect();
+    let computed: Vec<(usize, Vec<SiteFinding>)> = miss
+        .par_iter()
+        .map(|&i| {
+            // audit:allow(panic-in-parser) -- invariant: every site miss was parsed in wave 1 or the loop above
+            let fa = analyses[i].as_ref().expect("parsed above");
+            (i, file_sites(fa, cfg, &wire_sum, &corpus_sum))
+        })
+        .collect();
+    for (i, s) in computed {
+        if let Some(c) = cache.as_mut() {
+            c.put_sites(site_key(i), &s);
+        }
+        sites[i] = Some(s);
+    }
+    iotax_obs::counter!("audit.parsed").incr(parsed as u64);
+
+    // ---- finalize: merge, suppress, fingerprint. ----------------------
+    let mut report = AuditReport::default();
+    for i in 0..specs.len() {
+        if !in_scope(i) {
+            continue;
+        }
+        // audit:allow(panic-in-parser) -- invariant: wave 2 fills every in-scope slot; a None is a driver bug, not input-shaped
+        let mut merged = sites[i].take().expect("wave 2 fills every slot");
+        merged.append(&mut global_by_file[i]);
+        merged.sort_by(|a, b| (a.line, a.col).cmp(&(b.line, b.col))); // stable
+        let (findings, suppressed) =
+            finalize_sites(&metas[i].krate, &metas[i].file, &file_facts[i].suppressions, &merged);
         report.findings.extend(findings);
         report.suppressed += suppressed;
-        stage_fns_seen
-            .entry(f.spec.krate.clone())
-            .or_default()
-            .extend(lints::stage_functions_defined(&f.cx, &opts));
     }
 
     // Crate-level check: a configured stage function defined in no file of
     // its crate is a config bug. Attributed to the crate manifest.
-    let crates: BTreeSet<&str> = ws.files.iter().map(|f| f.spec.krate.as_str()).collect();
+    let mut stage_fns_seen: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (m, fx) in metas.iter().zip(&file_facts) {
+        stage_fns_seen
+            .entry(m.krate.as_str())
+            .or_default()
+            .extend(fx.stage_fns_defined.iter().map(String::as_str));
+    }
+    let crates: BTreeSet<&str> = metas.iter().map(|m| m.krate.as_str()).collect();
     for krate in crates {
         let cc = cfg.for_crate(krate);
         if !cc.enabled("unspanned-stage") {
             continue;
         }
-        let seen = stage_fns_seen.get(krate).map_or(&[][..], |v| v.as_slice());
+        let empty = BTreeSet::new();
+        let seen = stage_fns_seen.get(krate).unwrap_or(&empty);
         for wanted in &cc.stage_functions {
-            if !seen.iter().any(|s| s == wanted) {
-                let file = manifest_path(&ws, krate);
+            if !seen.contains(wanted.as_str()) {
+                let file = manifest_path(&metas, krate);
                 let message = format!(
                     "configured stage function `{wanted}` is not defined anywhere in \
                      crate `{krate}`; fix audit.toml or restore the function"
@@ -268,38 +550,46 @@ pub fn audit_sources(specs: &[SourceSpec], cfg: &AuditConfig) -> AuditReport {
         }
     }
 
-    // Config-level flow findings (e.g. a [schema.*] section naming a
-    // struct that no longer exists) have no source file to suppress in;
-    // they are attributed to audit.toml and always surface.
-    for r in config_raw {
-        let fp = fingerprint("workspace", "audit.toml", r.lint, "", &r.message, 0);
+    // Config-level findings (e.g. a [schema.*] section naming a struct
+    // that no longer exists) have no source file to suppress in; they
+    // are attributed to audit.toml and always surface.
+    for s in config_sites {
+        let fp = fingerprint("workspace", "audit.toml", &s.lint, "", &s.message, 0);
         report.findings.push(Finding {
-            lint: r.lint.to_owned(),
+            lint: s.lint,
             krate: "workspace".to_owned(),
             file: "audit.toml".to_owned(),
             line: 1,
             col: 1,
             item: String::new(),
-            message: r.message,
+            message: s.message,
             fingerprint: fp,
         });
     }
 
     sort_report(&mut report.findings);
-    report
+    if !scoped {
+        if let Some(c) = cache.as_mut() {
+            c.put_report(report_key, &report.findings, report.suppressed);
+        }
+    }
+    let cache_warning = cache.and_then(crate::cache::AuditCache::flush);
+    let scope =
+        scope_idx.map(|s| s.iter().map(|&i| metas[i].file.clone()).collect::<Vec<String>>());
+    AuditOutcome { report, files: specs.len(), parsed, cache_warning, scope }
 }
 
 /// The manifest path a crate-level finding attaches to, derived from the
 /// crate's file paths (`crates/sim/src/…` → `crates/sim/Cargo.toml`; the
 /// root package's `src/…` → `Cargo.toml`).
-fn manifest_path(ws: &Workspace<'_>, krate: &str) -> String {
-    for f in &ws.files {
-        if f.spec.krate != krate {
+fn manifest_path(metas: &[FileMeta], krate: &str) -> String {
+    for m in metas {
+        if m.krate != krate {
             continue;
         }
         for marker in ["src/", "tests/", "benches/", "examples/"] {
-            if let Some(pos) = f.spec.file.find(marker) {
-                return format!("{}Cargo.toml", &f.spec.file[..pos]);
+            if let Some(pos) = m.file.find(marker) {
+                return format!("{}Cargo.toml", &m.file[..pos]);
             }
         }
     }
@@ -412,7 +702,17 @@ fn collect_package_specs(
 /// Audit the whole workspace: every crate under `<root>/crates/` plus the
 /// root facade package. Vendored crates are outside the audit's
 /// jurisdiction by construction.
+// audit:allow(dead-public-api) -- convenience entry point the self-audit test drives (test refs are excluded by policy)
 pub fn audit_workspace(root: &Path, cfg: &AuditConfig) -> Result<AuditReport> {
+    Ok(audit_workspace_with(root, cfg, DriverOptions::default())?.report)
+}
+
+/// [`audit_workspace`] with caching and scoping ([`DriverOptions`]).
+pub fn audit_workspace_with(
+    root: &Path,
+    cfg: &AuditConfig,
+    opts: DriverOptions,
+) -> Result<AuditOutcome> {
     let crates_dir = root.join("crates");
     let entries = std::fs::read_dir(&crates_dir)
         .map_err(|e| Error::new(ErrorKind::Io, format!("reading {}: {e}", crates_dir.display())))?;
@@ -439,7 +739,7 @@ pub fn audit_workspace(root: &Path, cfg: &AuditConfig) -> Result<AuditReport> {
         collect_package_specs(root, root, &name, cfg, &mut specs)?;
     }
     specs.sort_by(|a, b| a.file.cmp(&b.file));
-    Ok(audit_sources(&specs, cfg))
+    Ok(audit_sources_with(specs, cfg, opts))
 }
 
 /// Read the `name = "…"` from a crate's `[package]` section. Full TOML is

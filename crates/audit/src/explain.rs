@@ -178,6 +178,38 @@ pub(crate) const EXPLAINS: &[LintExplain] = &[
                // same order everywhere: index before store",
     },
     LintExplain {
+        name: "unbounded-corpus-materialization",
+        rationale: "The paper's Cori corpus is ~1.1M jobs. A collect/to_vec/read_to_end — or a \
+                    push-per-job into a container that outlives the loop — over a corpus-scale \
+                    stream holds the whole corpus in memory at once, which the planned \
+                    out-of-core pipeline cannot afford. Every site flagged here is an entry on \
+                    the streaming-refactor work-list; suppressions must carry an `out-of-core:` \
+                    plan.",
+        bad: "let rows: Vec<Row> = ds.jobs().map(featurize).collect();",
+        good: "let mut acc = StreamingMoments::default();\n\
+               for job in ds.jobs().take(budget) { acc.push(featurize(job)); }",
+    },
+    LintExplain {
+        name: "unbounded-channel",
+        rationale: "A capacity-less channel fed from a per-job loop buffers O(corpus) messages \
+                    whenever the consumer falls behind — backpressure is the only thing that \
+                    keeps a 1M-job replay inside RAM. Bounded channels make the producer wait \
+                    instead of the allocator.",
+        bad: "let (tx, rx) = channel();\nfor job in ds.jobs() { tx.send(featurize(job)); }",
+        good: "let (tx, rx) = sync_channel(1024); // producer blocks when the consumer lags",
+    },
+    LintExplain {
+        name: "quadratic-corpus-join",
+        rationale: "Nested loops whose heads both scale with job count do O(n²) work — the \
+                    all-pairs duplicate-scan idiom that finishes on a 10k-job sample and never \
+                    finishes on the 1.1M-job corpus. Join through a keyed index (sort or hash \
+                    on the join key) instead.",
+        bad:
+            "for a in ds.jobs() {\n    for b in ds.jobs() { if a.hash == b.hash { dups += 1; } }\n}",
+        good: "let mut by_hash: BTreeMap<u64, u32> = BTreeMap::new();\n\
+               for job in ds.jobs() { *by_hash.entry(job.hash).or_default() += 1; }",
+    },
+    LintExplain {
         name: "bad-suppression",
         rationale: "An audit:allow with no `-- reason`, or naming a lint that does not exist, \
                     is an unreviewable waiver: nobody can judge later whether it still applies.",

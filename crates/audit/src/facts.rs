@@ -1,0 +1,857 @@
+//! Per-file facts: the serializable summaries the incremental engine
+//! caches, and the workspace-global analyses rebuilt from them.
+//!
+//! The contract that makes `--cache` sound is a strict split of every
+//! analysis into two halves:
+//!
+//! * an **extraction** half that reads one file and nothing else —
+//!   candidate `pub` items, identifier mentions, struct wire fields,
+//!   writer-fn key mining, reader probes, lock acquisition sequences,
+//!   taint call summaries, suppressions. [`extract_facts`] computes all
+//!   of it from one [`FileAnalysis`], so a cached [`FileFacts`] keyed by
+//!   the file's content hash (plus config and engine digests) replaces
+//!   re-lexing and re-parsing the file entirely;
+//! * a **rebuild** half ([`global_findings`]) that consumes only
+//!   `&[FileFacts]` plus file identities — never token streams — to run
+//!   the workspace-global passes: dead-API reference checking, schema
+//!   resolution and probe matching, duplicate-struct comparison, and the
+//!   lock-order cycle graph.
+//!
+//! Because the rebuild half is a pure function of the facts, a warm run
+//! that loads every `FileFacts` from cache produces byte-identical output
+//! to a cold run that extracted them fresh — there is one code path, not
+//! a fast path and a slow path that must be kept in agreement.
+
+use crate::config::AuditConfig;
+use crate::dataflow;
+use crate::flow;
+use crate::lints::RawFinding;
+use crate::symbols::{FileAnalysis, FileRole};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One finding site, file-position addressed and fully rendered: what the
+/// per-file passes cache and the global rebuild emits. Unlike
+/// [`RawFinding`] it carries the item path (resolved at extraction, when
+/// the token stream was live) instead of a token index, so no re-parse is
+/// needed to finalize it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct SiteFinding {
+    /// Lint name.
+    pub lint: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Innermost item path at the site (possibly empty).
+    pub item: String,
+    /// Rendered message.
+    pub message: String,
+}
+
+impl SiteFinding {
+    /// Convert a token-addressed [`RawFinding`] using the live file
+    /// context (the only place a token index is still meaningful).
+    pub(crate) fn from_raw(cx: &crate::context::FileCx<'_>, r: &RawFinding) -> Self {
+        let item = if r.tok == usize::MAX { String::new() } else { cx.item(r.tok).to_owned() };
+        SiteFinding {
+            lint: r.lint.to_owned(),
+            line: r.line,
+            col: r.col,
+            item,
+            message: r.message.clone(),
+        }
+    }
+}
+
+/// A keyed site: a schema key observed at a position (writer filter or
+/// reader probe).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct KeySite {
+    /// The field key the site names.
+    pub key: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Innermost item path at the site.
+    pub item: String,
+}
+
+/// A dead-API candidate: a flaggable `pub` item of a library file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct PubItemFacts {
+    /// Item name.
+    pub name: String,
+    /// Kind noun for the message (`fn`, `struct`, …).
+    pub kind: String,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// 1-based column of the name token.
+    pub col: u32,
+    /// Innermost item path.
+    pub item: String,
+}
+
+/// A struct definition's wire surface, for schema resolution and
+/// duplicate-struct comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct StructFacts {
+    /// Struct name.
+    pub name: String,
+    /// Sorted serialized field names (skip-marked fields excluded).
+    pub wire_fields: Vec<String>,
+    /// Derives `Serialize` or `Deserialize`.
+    pub serde_derive: bool,
+    /// Defined inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// 1-based column of the name token.
+    pub col: u32,
+    /// Innermost item path.
+    pub item: String,
+}
+
+/// Mining result for one configured writer fn defined in this file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct WriterMine {
+    /// Writer fn name (matches a `[schema.*]` `writer-fn`).
+    pub func: String,
+    /// Literal keys the writer adds to the record.
+    pub added: Vec<String>,
+    /// `!= "key"` filter sites, in token order.
+    pub removed: Vec<KeySite>,
+}
+
+/// One candidate lock acquisition inside a fn body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct LockAcq {
+    /// Receiver name (`slot.lock()` → `slot`).
+    pub recv: String,
+    /// `.lock()`/`.try_lock()` (any receiver) vs `.read()`/`.write()`
+    /// (counted only against declared locks, at rebuild time).
+    pub broad: bool,
+    /// Code-token index, for deterministic edge-site selection.
+    pub tok: u64,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Innermost item path.
+    pub item: String,
+}
+
+/// Acquisition sequence of one non-test fn body, in token order,
+/// undeduped and unfiltered — the rebuild applies the declared-lock
+/// filter (which needs crate-wide knowledge) and dedups by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct FnLocks {
+    /// The sequence.
+    pub acqs: Vec<LockAcq>,
+}
+
+/// One `audit:allow` suppression, positionally resolved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct SuppressionFacts {
+    /// Lint names listed in the comment.
+    pub lints: Vec<String>,
+    /// The justification after `--`, if any.
+    pub reason: Option<String>,
+    /// Line the comment sits on.
+    pub comment_line: u32,
+    /// Line whose findings it suppresses; `None` covers the whole file.
+    pub target_line: Option<u32>,
+}
+
+/// Everything the workspace-global passes need to know about one file,
+/// serializable and keyed by (content, config, engine) digests in the
+/// cache. File identity (crate, path, role) lives outside — it is part of
+/// the corpus, not the content.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub(crate) struct FileFacts {
+    /// Identifiers mentioned in non-test code plus doc-comment words.
+    pub mentions: Vec<String>,
+    /// Identifiers mentioned inside `macro_rules!` bodies.
+    pub macro_mentions: Vec<String>,
+    /// Names of items defined in this file (for `--changed-since`
+    /// dependent resolution).
+    pub defined_names: Vec<String>,
+    /// Dead-API candidates (pre-filtered).
+    pub pub_items: Vec<PubItemFacts>,
+    /// Struct wire surfaces, in item order.
+    pub structs: Vec<StructFacts>,
+    /// Writer-fn mining results for configured writer fns defined here.
+    pub writer_mines: Vec<WriterMine>,
+    /// Reader probes, in token order.
+    pub reader_probes: Vec<KeySite>,
+    /// Lock names declared in this file.
+    pub declared_locks: Vec<String>,
+    /// Per-fn lock acquisition sequences.
+    pub fn_locks: Vec<FnLocks>,
+    /// Fns propagating wire taint (this crate's vocabulary).
+    pub wire_summary_fns: Vec<String>,
+    /// Fns propagating corpus-cardinality taint.
+    pub corpus_summary_fns: Vec<String>,
+    /// Configured stage functions defined in this file.
+    pub stage_fns_defined: Vec<String>,
+    /// Suppressions, for finalization without the token stream.
+    pub suppressions: Vec<SuppressionFacts>,
+}
+
+/// File identity, split from [`FileFacts`] so facts stay content-pure.
+#[derive(Debug, Clone)]
+pub(crate) struct FileMeta {
+    /// Package name (`iotax-sim`).
+    pub krate: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// Target classification.
+    pub role: FileRole,
+}
+
+/// Extract every per-file fact from a live analysis. Config-dependent
+/// pieces (writer fns, stage fns, taint vocabularies) are resolved here,
+/// which is why the cache key includes the config digest.
+pub(crate) fn extract_facts(f: &FileAnalysis<'_>, cfg: &AuditConfig) -> FileFacts {
+    let cx = &f.cx;
+    let cc = cfg.for_crate(&f.spec.krate);
+
+    let mut pub_items = Vec::new();
+    let mut structs = Vec::new();
+    let mut defined: BTreeSet<String> = BTreeSet::new();
+    for it in &f.items.items {
+        if !it.name.is_empty() {
+            defined.insert(it.name.clone());
+        }
+        if flow::flaggable_pub_item(f, it) {
+            pub_items.push(PubItemFacts {
+                name: it.name.clone(),
+                kind: flow::kind_noun(it.kind).to_owned(),
+                line: it.line,
+                col: it.col,
+                item: cx.item(it.tok).to_owned(),
+            });
+        }
+        if it.kind == crate::items::ItemKind::Struct {
+            let mut wire: Vec<String> =
+                it.fields.iter().filter(|fl| !fl.skipped).map(|fl| fl.wire_name.clone()).collect();
+            wire.sort();
+            wire.dedup();
+            structs.push(StructFacts {
+                name: it.name.clone(),
+                wire_fields: wire,
+                serde_derive: it.derives.iter().any(|d| d == "Serialize" || d == "Deserialize"),
+                in_test: cx.is_test(it.tok),
+                line: it.line,
+                col: it.col,
+                item: cx.item(it.tok).to_owned(),
+            });
+        }
+    }
+
+    let writer_fns: BTreeSet<&str> =
+        cfg.schemas.iter().filter_map(|p| p.writer_fn.as_deref()).collect();
+    let mut writer_mines = Vec::new();
+    for func in writer_fns {
+        if let Some((added, removed)) = flow::mine_writer_fn(f, func) {
+            writer_mines.push(WriterMine {
+                func: func.to_owned(),
+                added: added.into_iter().collect(),
+                removed: removed
+                    .into_iter()
+                    .map(|(tok, key)| KeySite {
+                        key,
+                        line: cx.code.get(tok).map_or(0, |t| t.line),
+                        col: cx.code.get(tok).map_or(0, |t| t.col),
+                        item: cx.item(tok).to_owned(),
+                    })
+                    .collect(),
+            });
+        }
+    }
+
+    let reader_probes = flow::reader_probes(f)
+        .into_iter()
+        .map(|(tok, key)| KeySite {
+            key,
+            line: cx.code.get(tok).map_or(0, |t| t.line),
+            col: cx.code.get(tok).map_or(0, |t| t.col),
+            item: cx.item(tok).to_owned(),
+        })
+        .collect();
+
+    let fn_locks = dataflow::fn_lock_candidates(f)
+        .into_iter()
+        .map(|seq| FnLocks {
+            acqs: seq
+                .into_iter()
+                .map(|c| LockAcq {
+                    recv: c.recv,
+                    broad: c.broad,
+                    tok: c.tok as u64,
+                    line: cx.code.get(c.tok).map_or(0, |t| t.line),
+                    col: cx.code.get(c.tok).map_or(0, |t| t.col),
+                    item: cx.item(c.tok).to_owned(),
+                })
+                .collect(),
+        })
+        .collect();
+
+    // Taint summaries only ever join the workspace union from non-test
+    // targets, so skip the scan for test files entirely.
+    let (wire_summary_fns, corpus_summary_fns) = if f.spec.role == FileRole::Test {
+        (Vec::new(), Vec::new())
+    } else {
+        (
+            dataflow::summary_fns(f, &dataflow::wire_vocab(&cc).sources),
+            dataflow::summary_fns(f, &dataflow::corpus_vocab(&cc).sources),
+        )
+    };
+
+    let opts = crate::driver::lint_options(&cc, cfg.include_tests);
+    let stage_fns_defined = crate::lints::stage_functions_defined(cx, &opts);
+
+    let suppressions = cx
+        .suppressions
+        .iter()
+        .map(|s| SuppressionFacts {
+            lints: s.lints.clone(),
+            reason: s.reason.clone(),
+            comment_line: s.comment_line,
+            target_line: s.target_line,
+        })
+        .collect();
+
+    FileFacts {
+        mentions: f.mentions.iter().cloned().collect(),
+        macro_mentions: f.macro_mentions.iter().cloned().collect(),
+        defined_names: defined.into_iter().collect(),
+        pub_items,
+        structs,
+        writer_mines,
+        reader_probes,
+        declared_locks: dataflow::declared_locks(f).into_iter().collect(),
+        fn_locks,
+        wire_summary_fns,
+        corpus_summary_fns,
+        stage_fns_defined,
+        suppressions,
+    }
+}
+
+/// Run every workspace-global pass over the facts. Returns per-file
+/// findings (index into `metas`) and config-level findings (attributed to
+/// `audit.toml` by the driver, bypassing per-file suppressions).
+pub(crate) fn global_findings(
+    metas: &[FileMeta],
+    facts: &[FileFacts],
+    cfg: &AuditConfig,
+) -> (Vec<(usize, SiteFinding)>, Vec<SiteFinding>) {
+    let enabled: Vec<BTreeMap<&str, bool>> = metas
+        .iter()
+        .map(|m| {
+            let cc = cfg.for_crate(&m.krate);
+            ["dead-public-api", "schema-drift", "lock-order-cycle"]
+                .into_iter()
+                .map(|l| (l, cc.enabled(l)))
+                .collect()
+        })
+        .collect();
+    let on = |fi: usize, lint: &str| enabled[fi].get(lint).copied().unwrap_or(false);
+
+    let mut out: Vec<(usize, SiteFinding)> = Vec::new();
+    let mut config_out: Vec<SiteFinding> = Vec::new();
+
+    // --- dead-public-api: reference check over the mention sets. -------
+    for (fi, m) in metas.iter().enumerate() {
+        if m.role != FileRole::Lib || !on(fi, "dead-public-api") {
+            continue;
+        }
+        for pi in &facts[fi].pub_items {
+            if referenced_outside(metas, facts, &m.krate, &pi.name) {
+                continue;
+            }
+            out.push((
+                fi,
+                SiteFinding {
+                    lint: "dead-public-api".to_owned(),
+                    line: pi.line,
+                    col: pi.col,
+                    item: pi.item.clone(),
+                    message: format!(
+                        "pub {} `{}` has no references outside crate `{}` (tests excluded); \
+                         demote it to pub(crate), remove it, or waive it with a reason if it is \
+                         deliberate API surface",
+                        pi.kind, pi.name, m.krate
+                    ),
+                },
+            ));
+        }
+    }
+
+    // --- schema-drift: resolve pairs, then match reader probes. --------
+    let mut resolved: Vec<ResolvedSchema> = Vec::new();
+    for pair in &cfg.schemas {
+        match resolve_schema(metas, facts, pair, &mut out, &mut config_out) {
+            Some(r) => resolved.push(r),
+            None => config_out.push(SiteFinding {
+                lint: "schema-drift".to_owned(),
+                line: 1,
+                col: 1,
+                item: String::new(),
+                message: format!(
+                    "[schema.{}] names struct `{}`, which is not defined in any library \
+                     crate; fix audit.toml or restore the struct",
+                    pair.name, pair.strukt
+                ),
+            }),
+        }
+    }
+    // Reader probes: per file, a probe must match the union of every
+    // schema that lists the file — readers often multiplex record kinds
+    // (e.g. spans and counters in one JSONL stream).
+    for (fi, m) in metas.iter().enumerate() {
+        let mine: Vec<&ResolvedSchema> =
+            resolved.iter().filter(|r| r.readers.iter().any(|p| m.file.contains(p))).collect();
+        if mine.is_empty() || !on(fi, "schema-drift") {
+            continue;
+        }
+        let union: BTreeSet<&str> =
+            mine.iter().flat_map(|r| r.keys.iter().map(String::as_str)).collect();
+        for probe in &facts[fi].reader_probes {
+            if union.contains(probe.key.as_str()) {
+                continue;
+            }
+            let sources: Vec<String> =
+                mine.iter().map(|r| format!("{} ({})", r.strukt, r.pair_name)).collect();
+            out.push((
+                fi,
+                SiteFinding {
+                    lint: "schema-drift".to_owned(),
+                    line: probe.line,
+                    col: probe.col,
+                    item: probe.item.clone(),
+                    message: format!(
+                        "reader probes field `{}`, which no paired writer serializes \
+                         ({}); the writer and reader have drifted apart",
+                        probe.key,
+                        sources.join(", ")
+                    ),
+                },
+            ));
+        }
+    }
+    duplicate_struct_drift(metas, facts, &on, &mut out);
+
+    (out, config_out)
+}
+
+/// Rebuild the workspace lock-acquisition graph from facts and report
+/// order cycles. Separate from [`global_findings`] so the driver can
+/// time it under its own `audit.dataflow` span.
+pub(crate) fn lock_findings(
+    metas: &[FileMeta],
+    facts: &[FileFacts],
+    cfg: &AuditConfig,
+) -> Vec<(usize, SiteFinding)> {
+    let enabled: Vec<bool> =
+        metas.iter().map(|m| cfg.for_crate(&m.krate).enabled("lock-order-cycle")).collect();
+    let on = |fi: usize, _lint: &str| enabled[fi];
+    let mut out = Vec::new();
+    lock_order_cycle(metas, facts, &on, &mut out);
+    out
+}
+
+/// Is `name` mentioned by any file that keeps crate `krate`'s public API
+/// alive — another crate, or this crate's own bin/example/bench targets?
+/// Test files never count. (The facts-side mirror of the old
+/// `Workspace::referenced_outside`.)
+fn referenced_outside(metas: &[FileMeta], facts: &[FileFacts], krate: &str, name: &str) -> bool {
+    metas.iter().zip(facts).any(|(m, fx)| {
+        let consumer = m.role.counts_as_consumer();
+        let external = consumer
+            && (m.krate != krate || m.role != FileRole::Lib)
+            && fx.mentions.binary_search_by(|p| p.as_str().cmp(name)).is_ok();
+        // A macro body expands wherever the macro is invoked, so a
+        // `$crate::name` reference inside one is an external use of
+        // `name` even when the macro is defined in `name`'s own crate.
+        let via_macro =
+            consumer && fx.macro_mentions.binary_search_by(|p| p.as_str().cmp(name)).is_ok();
+        external || via_macro
+    })
+}
+
+struct ResolvedSchema {
+    pair_name: String,
+    strukt: String,
+    /// Effective wire keys: struct fields − writer filters + writer tags.
+    keys: BTreeSet<String>,
+    readers: Vec<String>,
+}
+
+/// Resolve one `[schema.*]` pair: find the struct, apply the writer-fn
+/// mining. Emits writer-side findings (stale filters) into `out` and
+/// config errors into `config_out` directly.
+fn resolve_schema(
+    metas: &[FileMeta],
+    facts: &[FileFacts],
+    pair: &crate::config::SchemaPair,
+    out: &mut Vec<(usize, SiteFinding)>,
+    config_out: &mut Vec<SiteFinding>,
+) -> Option<ResolvedSchema> {
+    // Locate the struct in a library file (first definition in corpus
+    // order, matching the old workspace scan).
+    let (_sfi, strukt) = metas.iter().enumerate().find_map(|(fi, m)| {
+        if m.role != FileRole::Lib {
+            return None;
+        }
+        facts[fi].structs.iter().find(|s| s.name == pair.strukt).map(|s| (fi, s))
+    })?;
+    let mut keys: BTreeSet<String> = strukt.wire_fields.iter().cloned().collect();
+
+    if let Some(writer_fn) = &pair.writer_fn {
+        let wfi = match &pair.writer_file {
+            Some(pat) => metas.iter().position(|m| m.file.contains(pat)),
+            None => Some(_sfi),
+        };
+        let Some(wfi) = wfi else {
+            config_out.push(SiteFinding {
+                lint: "schema-drift".to_owned(),
+                line: 1,
+                col: 1,
+                item: String::new(),
+                message: format!(
+                    "[schema.{}] writer-file `{}` matches no workspace file",
+                    pair.name,
+                    pair.writer_file.as_deref().unwrap_or("")
+                ),
+            });
+            return None;
+        };
+        if let Some(mine) = facts[wfi].writer_mines.iter().find(|w| &w.func == writer_fn) {
+            for site in &mine.removed {
+                if keys.remove(&site.key) {
+                    continue;
+                }
+                out.push((
+                    wfi,
+                    SiteFinding {
+                        lint: "schema-drift".to_owned(),
+                        line: site.line,
+                        col: site.col,
+                        item: site.item.clone(),
+                        message: format!(
+                            "writer `{writer_fn}` filters field `{}`, which `{}` does \
+                             not serialize; the filter is stale",
+                            site.key, pair.strukt
+                        ),
+                    },
+                ));
+            }
+            keys.extend(mine.added.iter().cloned());
+        } else {
+            config_out.push(SiteFinding {
+                lint: "schema-drift".to_owned(),
+                line: 1,
+                col: 1,
+                item: String::new(),
+                message: format!(
+                    "[schema.{}] writer-fn `{writer_fn}` is not defined in `{}`",
+                    pair.name, metas[wfi].file
+                ),
+            });
+        }
+    }
+
+    Some(ResolvedSchema {
+        pair_name: pair.name.clone(),
+        strukt: pair.strukt.clone(),
+        keys,
+        readers: pair.readers.clone(),
+    })
+}
+
+/// Same-named `#[derive(Serialize/Deserialize)]` structs defined in two
+/// different crates must agree on wire fields — they are two halves of
+/// one format.
+fn duplicate_struct_drift(
+    metas: &[FileMeta],
+    facts: &[FileFacts],
+    on: &dyn Fn(usize, &str) -> bool,
+    out: &mut Vec<(usize, SiteFinding)>,
+) {
+    let mut by_name: BTreeMap<&str, Vec<(usize, &StructFacts)>> = BTreeMap::new();
+    for (fi, m) in metas.iter().enumerate() {
+        if m.role != FileRole::Lib {
+            continue;
+        }
+        for s in &facts[fi].structs {
+            if s.serde_derive && !s.in_test {
+                by_name.entry(s.name.as_str()).or_default().push((fi, s));
+            }
+        }
+    }
+    for (name, defs) in by_name {
+        if defs.len() < 2 {
+            continue;
+        }
+        let crates: BTreeSet<&str> = defs.iter().map(|(fi, _)| metas[*fi].krate.as_str()).collect();
+        if crates.len() < 2 {
+            continue; // cfg-gated duplicates within one crate are fine
+        }
+        let first: BTreeSet<&str> = defs[0].1.wire_fields.iter().map(String::as_str).collect();
+        for (fi, s) in &defs[1..] {
+            let theirs: BTreeSet<&str> = s.wire_fields.iter().map(String::as_str).collect();
+            if theirs == first || !on(*fi, "schema-drift") {
+                continue;
+            }
+            let diff: Vec<String> =
+                first.symmetric_difference(&theirs).map(|s| format!("`{s}`")).collect();
+            out.push((
+                *fi,
+                SiteFinding {
+                    lint: "schema-drift".to_owned(),
+                    line: s.line,
+                    col: s.col,
+                    item: s.item.clone(),
+                    message: format!(
+                        "struct `{name}` is defined in {} crates with different wire \
+                         fields ({} disagree: {}); the copies have drifted apart",
+                        crates.len(),
+                        diff.len(),
+                        diff.join(", ")
+                    ),
+                },
+            ));
+        }
+    }
+}
+
+/// A lock node: (crate, receiver name). Receiver names are file-local
+/// text, so same-named locks in *different* crates stay distinct; two
+/// same-named receivers in one crate merge — a documented imprecision
+/// that errs toward reporting.
+type LockNode = (String, String);
+
+fn lock_order_cycle(
+    metas: &[FileMeta],
+    facts: &[FileFacts],
+    on: &dyn Fn(usize, &str) -> bool,
+    out: &mut Vec<(usize, SiteFinding)>,
+) {
+    // Pass 1: per-crate lock vocabularies — names declared as (or
+    // returning) Mutex / RwLock. `.read()` / `.write()` acquisitions are
+    // only attributed against this set, so `io::Read::read` never counts.
+    let mut lock_names: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (fi, m) in metas.iter().enumerate() {
+        if m.role == FileRole::Test {
+            continue;
+        }
+        lock_names
+            .entry(m.krate.as_str())
+            .or_default()
+            .extend(facts[fi].declared_locks.iter().map(String::as_str));
+    }
+
+    // Pass 2: acquisition sequences per fn body → ordered edges. The
+    // first edge site is chosen by (file path, token), not corpus index,
+    // so output is independent of corpus order.
+    #[allow(clippy::type_complexity)]
+    let mut edges: BTreeMap<(LockNode, LockNode), (String, usize, u64, &LockAcq)> = BTreeMap::new();
+    for (fi, m) in metas.iter().enumerate() {
+        if m.role == FileRole::Test || !on(fi, "lock-order-cycle") {
+            continue;
+        }
+        let empty = BTreeSet::new();
+        let known = lock_names.get(m.krate.as_str()).unwrap_or(&empty);
+        for body in &facts[fi].fn_locks {
+            // Replay the candidate sequence: drop narrow acquisitions on
+            // undeclared receivers, then dedup by name, exactly as the
+            // old single-pass analysis did.
+            let mut seq: Vec<&LockAcq> = Vec::new();
+            for cand in &body.acqs {
+                if !cand.broad && !known.contains(cand.recv.as_str()) {
+                    continue;
+                }
+                if !seq.iter().any(|c| c.recv == cand.recv) {
+                    seq.push(cand);
+                }
+            }
+            for (i, a) in seq.iter().enumerate() {
+                for b in &seq[i + 1..] {
+                    if a.recv == b.recv {
+                        continue;
+                    }
+                    let key =
+                        ((m.krate.clone(), a.recv.clone()), (m.krate.clone(), b.recv.clone()));
+                    let site = (m.file.clone(), fi, b.tok, *b);
+                    let e = edges.entry(key).or_insert_with(|| site.clone());
+                    if (&site.0, site.2) < (&e.0, e.2) {
+                        *e = site;
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 3: cycle detection. The graphs here are tiny (a handful of
+    // lock names per crate), so a direct DFS per node finding a path
+    // back to itself is plenty — and trivially deterministic.
+    let adj: BTreeMap<&LockNode, Vec<&LockNode>> = {
+        let mut m: BTreeMap<&LockNode, Vec<&LockNode>> = BTreeMap::new();
+        for (a, b) in edges.keys() {
+            m.entry(a).or_default().push(b);
+        }
+        m
+    };
+    let mut reported: BTreeSet<BTreeSet<&LockNode>> = BTreeSet::new();
+    for start in adj.keys() {
+        if let Some(cycle) = find_cycle(&adj, start) {
+            let members: BTreeSet<&LockNode> = cycle.iter().copied().collect();
+            if !reported.insert(members.clone()) {
+                continue; // one finding per distinct cycle set
+            }
+            // Attach at the canonically-first edge site within the cycle.
+            let site = cycle
+                .iter()
+                .zip(cycle.iter().cycle().skip(1))
+                .filter_map(|(a, b)| edges.get(&((*a).clone(), (*b).clone())))
+                .min_by(|x, y| (&x.0, x.2).cmp(&(&y.0, y.2)));
+            let Some((_, fi, _, acq)) = site else { continue };
+            let path: Vec<String> = cycle.iter().map(|(k, n)| format!("{k}::{n}")).collect();
+            out.push((
+                *fi,
+                SiteFinding {
+                    lint: "lock-order-cycle".to_owned(),
+                    line: acq.line,
+                    col: acq.col,
+                    item: acq.item.clone(),
+                    message: format!(
+                        "lock acquisition order forms a cycle: {} → {}; impose one global \
+                         acquisition order (or merge the critical sections) so no pair of \
+                         threads can each hold one lock while waiting for the other",
+                        path.join(" → "),
+                        path[0]
+                    ),
+                },
+            ));
+        }
+    }
+}
+
+/// DFS from `start` over the sorted adjacency map; returns the node
+/// sequence of a cycle passing through `start`, if any.
+fn find_cycle<'a>(
+    adj: &BTreeMap<&'a LockNode, Vec<&'a LockNode>>,
+    start: &'a LockNode,
+) -> Option<Vec<&'a LockNode>> {
+    fn dfs<'a>(
+        adj: &BTreeMap<&'a LockNode, Vec<&'a LockNode>>,
+        start: &'a LockNode,
+        here: &'a LockNode,
+        path: &mut Vec<&'a LockNode>,
+        seen: &mut BTreeSet<&'a LockNode>,
+    ) -> bool {
+        for next in adj.get(here).map_or(&[][..], |v| v.as_slice()) {
+            if *next == start {
+                return true;
+            }
+            if seen.insert(next) {
+                path.push(next);
+                if dfs(adj, start, next, path, seen) {
+                    return true;
+                }
+                path.pop();
+            }
+        }
+        false
+    }
+    let mut path = vec![start];
+    let mut seen = BTreeSet::from([start]);
+    if dfs(adj, start, start, &mut path, &mut seen) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{analyze_file, SourceSpec};
+
+    fn spec(krate: &str, file: &str, src: &str) -> SourceSpec {
+        SourceSpec {
+            krate: krate.to_owned(),
+            file: file.to_owned(),
+            role: FileRole::from_rel(file),
+            src: src.to_owned(),
+        }
+    }
+
+    fn corpus(specs: &[SourceSpec]) -> (Vec<FileMeta>, Vec<FileFacts>) {
+        let cfg = AuditConfig::default();
+        let metas = specs
+            .iter()
+            .map(|s| FileMeta { krate: s.krate.clone(), file: s.file.clone(), role: s.role })
+            .collect();
+        let facts = specs.iter().map(|s| extract_facts(&analyze_file(s), &cfg)).collect();
+        (metas, facts)
+    }
+
+    #[test]
+    fn reference_scope_excludes_own_lib_and_tests() {
+        let specs = [
+            spec(
+                "iotax-x",
+                "crates/x/src/lib.rs",
+                "pub fn used_by_bin() {}\nfn own() { used_by_bin(); }",
+            ),
+            spec("iotax-x", "crates/x/src/bin/tool.rs", "fn main() { used_by_bin(); }"),
+            spec("iotax-x", "crates/x/tests/t.rs", "fn t() { test_user(); }"),
+            spec("iotax-y", "crates/y/src/lib.rs", "fn f() { cross_user(); }"),
+        ];
+        let (metas, facts) = corpus(&specs);
+        let refd = |name| referenced_outside(&metas, &facts, "iotax-x", name);
+        assert!(refd("used_by_bin"), "own bin counts");
+        assert!(!refd("test_user"), "tests never count");
+        assert!(refd("cross_user"), "other crate counts");
+        assert!(!refd("own"), "own lib does not count");
+    }
+
+    #[test]
+    fn macro_bodies_count_as_external_references() {
+        // `span!` expands `$crate::Guard::enter_under` at downstream call
+        // sites, so the macro body keeps `enter_under` alive even though
+        // no other file spells the name out.
+        let specs = [spec(
+            "iotax-x",
+            "crates/x/src/lib.rs",
+            "pub struct Guard;\nimpl Guard { pub fn enter_under() -> Guard { Guard } }\n\
+             #[macro_export]\nmacro_rules! open {\n    () => { $crate::Guard::enter_under() };\n}",
+        )];
+        let (metas, facts) = corpus(&specs);
+        assert!(referenced_outside(&metas, &facts, "iotax-x", "enter_under"), "macro body counts");
+    }
+
+    #[test]
+    fn facts_roundtrip_through_json() {
+        let s = spec(
+            "iotax-x",
+            "crates/x/src/lib.rs",
+            "pub fn helper(n: u64) -> u64 { n }\n\
+             static SLOT: Mutex<u64> = Mutex::new(0);\n\
+             fn work() { let _g = SLOT.lock(); }\n\
+             // audit:allow(dead-public-api) -- exercised via fixture\n\
+             pub fn waived() {}\n",
+        );
+        let cfg = AuditConfig::default();
+        let fx = extract_facts(&analyze_file(&s), &cfg);
+        let json = serde_json::to_string(&fx).expect("facts serialize");
+        let back: FileFacts = serde_json::from_str(&json).expect("facts deserialize");
+        assert_eq!(fx, back, "facts must survive the cache serialization exactly");
+        assert!(!fx.declared_locks.is_empty(), "SLOT is a declared lock");
+        assert_eq!(fx.suppressions.len(), 1);
+    }
+}

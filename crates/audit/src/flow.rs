@@ -1,9 +1,8 @@
-//! The four cross-file flow analyses.
+//! The four cross-file flow analyses — per-file halves.
 //!
 //! Where the token lints in [`crate::lints`] check one token window in
-//! one file, these passes consume the whole [`Workspace`] — item trees,
-//! import edges, and cross-crate identifier usage — to catch the bugs
-//! that live at the *seams* between crates:
+//! one file, these passes reason about the bugs that live at the *seams*
+//! between crates:
 //!
 //! | lint | seam it guards |
 //! |------|----------------|
@@ -16,12 +15,21 @@
 //! ambiguous names, and unknown call targets are passes, not findings.
 //! The suppression machinery (`// audit:allow(lint) -- reason`) applies
 //! to these findings exactly as it does to token lints.
+//!
+//! Since the incremental engine landed, this module owns only what can be
+//! computed from *one file*: the `seed-provenance` and
+//! `error-context-loss` passes (both purely local — the import map a `?`
+//! check needs comes from the file's own `use` edges) and the token-level
+//! extraction helpers (`pub` item candidates, writer-fn mining, reader
+//! probes) that [`crate::facts`] serializes per file. The workspace-global
+//! halves — dead-API reference checking, schema resolution, duplicate
+//! struct comparison — are rebuilt from those cached facts in
+//! [`crate::facts::global_findings`].
 
-use crate::config::{AuditConfig, SchemaPair};
 use crate::items::{Item, ItemKind, Vis};
 use crate::lexer::TokKind;
 use crate::lints::{LintSpec, RawFinding};
-use crate::symbols::{FileAnalysis, FileRole, Workspace};
+use crate::symbols::FileAnalysis;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The flow analyses, in reporting order (extends [`crate::lints::LINTS`]
@@ -44,60 +52,6 @@ pub const FLOW_LINTS: &[LintSpec] = &[
         summary: "`?` propagates an error across a crate boundary without attaching context",
     },
 ];
-
-/// One finding from a flow analysis, attributed to a corpus file (or to
-/// the audit configuration itself when `file` is `None`).
-#[derive(Debug)]
-pub(crate) struct FlowFinding {
-    /// Index into [`Workspace::files`]; `None` for config-level findings
-    /// (e.g. a `[schema.*]` section naming a struct that no longer
-    /// exists), which bypass per-file suppressions like the driver's
-    /// crate-level checks do.
-    pub file: Option<usize>,
-    /// The raw finding (line/col meaningful only when `file` is set).
-    pub raw: RawFinding,
-}
-
-/// Run all four analyses over the workspace. Per-crate enablement comes
-/// from `cfg`; a finding is emitted only when its lint is enabled for the
-/// crate owning the file it attaches to.
-pub(crate) fn run_flow(ws: &Workspace<'_>, cfg: &AuditConfig) -> Vec<FlowFinding> {
-    let enabled: Vec<BTreeMap<&str, bool>> = ws
-        .files
-        .iter()
-        .map(|f| {
-            let cc = cfg.for_crate(&f.spec.krate);
-            FLOW_LINTS.iter().map(|l| (l.name, cc.enabled(l.name))).collect()
-        })
-        .collect();
-    let on = |fi: usize, lint: &str| enabled[fi].get(lint).copied().unwrap_or(false);
-
-    let mut out = Vec::new();
-    for (fi, f) in ws.files.iter().enumerate() {
-        if f.spec.role == FileRole::Test {
-            continue; // per-site analyses skip test targets entirely
-        }
-        if on(fi, "seed-provenance") {
-            out.extend(
-                seed_provenance(f).into_iter().map(|raw| FlowFinding { file: Some(fi), raw }),
-            );
-        }
-        if on(fi, "error-context-loss") {
-            out.extend(
-                error_context_loss(ws, fi)
-                    .into_iter()
-                    .map(|raw| FlowFinding { file: Some(fi), raw }),
-            );
-        }
-        if f.spec.role == FileRole::Lib && on(fi, "dead-public-api") {
-            out.extend(
-                dead_public_api(ws, fi).into_iter().map(|raw| FlowFinding { file: Some(fi), raw }),
-            );
-        }
-    }
-    out.extend(schema_drift(ws, cfg, &|fi| on(fi, "schema-drift")));
-    out
-}
 
 // ---------------------------------------------------------------------------
 // seed-provenance
@@ -135,7 +89,7 @@ enum SeedVerdict {
     LiteralOnly,
 }
 
-fn seed_provenance(f: &FileAnalysis<'_>) -> Vec<RawFinding> {
+pub(crate) fn seed_provenance(f: &FileAnalysis<'_>) -> Vec<RawFinding> {
     let cx = &f.cx;
     let mut out = Vec::new();
     for i in 0..cx.code.len() {
@@ -337,10 +291,25 @@ pub(crate) fn const_init_idents(f: &FileAnalysis<'_>, name: &str) -> Option<Vec<
 // error-context-loss
 // ---------------------------------------------------------------------------
 
-fn error_context_loss(ws: &Workspace<'_>, fi: usize) -> Vec<RawFinding> {
-    let f = &ws.files[fi];
+/// The file-local import map: local name → source crate identifier, for
+/// names imported from workspace (`iotax_*`) crates. `use
+/// iotax_sim::fault::FaultPlan` maps `FaultPlan` → `iotax_sim`; `use
+/// iotax_darshan::parse_log as pl` maps `pl` → `iotax_darshan`. Purely
+/// per-file, which is what lets `error-context-loss` findings be cached
+/// per file by the incremental engine.
+fn import_map(f: &FileAnalysis<'_>) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    for edge in &f.items.uses {
+        if edge.root.starts_with("iotax_") && edge.leaf != "*" {
+            map.insert(edge.local_name().to_owned(), edge.root.clone());
+        }
+    }
+    map
+}
+
+pub(crate) fn error_context_loss(f: &FileAnalysis<'_>) -> Vec<RawFinding> {
     let cx = &f.cx;
-    let imports = ws.import_map(fi);
+    let imports = import_map(f);
     let mut out = Vec::new();
     for i in 1..cx.code.len() {
         if cx.is_test(i) || !cx.punct_at(i, "?") || !cx.punct_at(i - 1, ")") {
@@ -409,7 +378,7 @@ fn error_context_loss(ws: &Workspace<'_>, fi: usize) -> Vec<RawFinding> {
 }
 
 // ---------------------------------------------------------------------------
-// dead-public-api
+// dead-public-api (extraction half; reference checking lives in `facts`)
 // ---------------------------------------------------------------------------
 
 /// Names that are conventionally referenced implicitly (trait machinery,
@@ -418,34 +387,10 @@ const IMPLICIT_NAMES: &[&str] = &[
     "new", "default", "main", "fmt", "from", "into", "clone", "eq", "hash", "next", "drop", "deref",
 ];
 
-fn dead_public_api(ws: &Workspace<'_>, fi: usize) -> Vec<RawFinding> {
-    let f = &ws.files[fi];
-    let mut out = Vec::new();
-    for item in &f.items.items {
-        if !flaggable_pub_item(f, item) {
-            continue;
-        }
-        if ws.referenced_outside(&f.spec.krate, &item.name) {
-            continue;
-        }
-        let kind = kind_noun(item.kind);
-        out.push(RawFinding {
-            lint: "dead-public-api",
-            line: item.line,
-            col: item.col,
-            tok: item.tok,
-            message: format!(
-                "pub {kind} `{}` has no references outside crate `{}` (tests excluded); \
-                 demote it to pub(crate), remove it, or waive it with a reason if it is \
-                 deliberate API surface",
-                item.name, f.spec.krate
-            ),
-        });
-    }
-    out
-}
-
-fn flaggable_pub_item(f: &FileAnalysis<'_>, item: &Item) -> bool {
+/// Is `item` a dead-API *candidate*: a flaggable `pub` item whose name,
+/// if referenced nowhere outside its crate, is a finding? The reference
+/// check itself is workspace-global and runs in [`crate::facts`].
+pub(crate) fn flaggable_pub_item(f: &FileAnalysis<'_>, item: &Item) -> bool {
     if item.vis != Vis::Pub || item.name.is_empty() || f.cx.is_test(item.tok) {
         return false;
     }
@@ -486,7 +431,7 @@ fn flaggable_pub_item(f: &FileAnalysis<'_>, item: &Item) -> bool {
     true
 }
 
-fn kind_noun(kind: ItemKind) -> &'static str {
+pub(crate) fn kind_noun(kind: ItemKind) -> &'static str {
     match kind {
         ItemKind::Fn => "fn",
         ItemKind::Struct => "struct",
@@ -502,176 +447,14 @@ fn kind_noun(kind: ItemKind) -> &'static str {
 }
 
 // ---------------------------------------------------------------------------
-// schema-drift
+// schema-drift (extraction halves; resolution lives in `facts`)
 // ---------------------------------------------------------------------------
-
-struct ResolvedSchema {
-    pair_name: String,
-    strukt: String,
-    /// Effective wire keys: struct fields − writer filters + writer tags.
-    keys: BTreeSet<String>,
-    readers: Vec<String>,
-}
-
-fn schema_drift(
-    ws: &Workspace<'_>,
-    cfg: &AuditConfig,
-    on: &dyn Fn(usize) -> bool,
-) -> Vec<FlowFinding> {
-    let mut out = Vec::new();
-    let mut resolved: Vec<ResolvedSchema> = Vec::new();
-
-    for pair in &cfg.schemas {
-        match resolve_schema(ws, pair, &mut out) {
-            Some(r) => resolved.push(r),
-            None => out.push(FlowFinding {
-                file: None,
-                raw: RawFinding {
-                    lint: "schema-drift",
-                    line: 1,
-                    col: 1,
-                    tok: usize::MAX,
-                    message: format!(
-                        "[schema.{}] names struct `{}`, which is not defined in any library \
-                         crate; fix audit.toml or restore the struct",
-                        pair.name, pair.strukt
-                    ),
-                },
-            }),
-        }
-    }
-
-    // Reader probes: per file, a probe must match the union of every
-    // schema that lists the file — readers often multiplex record kinds
-    // (e.g. spans and counters in one JSONL stream).
-    for (fi, f) in ws.files.iter().enumerate() {
-        let mine: Vec<&ResolvedSchema> =
-            resolved.iter().filter(|r| r.readers.iter().any(|p| f.spec.file.contains(p))).collect();
-        if mine.is_empty() || !on(fi) {
-            continue;
-        }
-        let union: BTreeSet<&str> =
-            mine.iter().flat_map(|r| r.keys.iter().map(String::as_str)).collect();
-        for (tok, key) in reader_probes(f) {
-            if union.contains(key.as_str()) {
-                continue;
-            }
-            let sources: Vec<String> =
-                mine.iter().map(|r| format!("{} ({})", r.strukt, r.pair_name)).collect();
-            out.push(FlowFinding {
-                file: Some(fi),
-                raw: raw(
-                    &f.cx,
-                    "schema-drift",
-                    tok,
-                    format!(
-                        "reader probes field `{key}`, which no paired writer serializes \
-                         ({}); the writer and reader have drifted apart",
-                        sources.join(", ")
-                    ),
-                ),
-            });
-        }
-    }
-
-    out.extend(duplicate_struct_drift(ws, on));
-    out
-}
-
-/// Resolve one `[schema.*]` pair: find the struct, mine the writer fn.
-/// Emits writer-side findings (stale filters) into `out` directly.
-fn resolve_schema(
-    ws: &Workspace<'_>,
-    pair: &SchemaPair,
-    out: &mut Vec<FlowFinding>,
-) -> Option<ResolvedSchema> {
-    // Locate the struct in a library file.
-    let (sfi, sitem) = ws.files.iter().enumerate().find_map(|(fi, f)| {
-        if f.spec.role != FileRole::Lib {
-            return None;
-        }
-        f.items
-            .items
-            .iter()
-            .find(|it| it.kind == ItemKind::Struct && it.name == pair.strukt)
-            .map(|it| (fi, it))
-    })?;
-    let mut keys: BTreeSet<String> =
-        sitem.fields.iter().filter(|fl| !fl.skipped).map(|fl| fl.wire_name.clone()).collect();
-
-    if let Some(writer_fn) = &pair.writer_fn {
-        let wfi = match &pair.writer_file {
-            Some(pat) => ws.files.iter().position(|f| f.spec.file.contains(pat)),
-            None => Some(sfi),
-        };
-        let Some(wfi) = wfi else {
-            out.push(FlowFinding {
-                file: None,
-                raw: RawFinding {
-                    lint: "schema-drift",
-                    line: 1,
-                    col: 1,
-                    tok: usize::MAX,
-                    message: format!(
-                        "[schema.{}] writer-file `{}` matches no workspace file",
-                        pair.name,
-                        pair.writer_file.as_deref().unwrap_or("")
-                    ),
-                },
-            });
-            return None;
-        };
-        let wf = &ws.files[wfi];
-        if let Some((added, removed)) = mine_writer_fn(wf, writer_fn) {
-            for (tok, key) in removed {
-                if keys.remove(&key) {
-                    continue;
-                }
-                out.push(FlowFinding {
-                    file: Some(wfi),
-                    raw: raw(
-                        &wf.cx,
-                        "schema-drift",
-                        tok,
-                        format!(
-                            "writer `{writer_fn}` filters field `{key}`, which `{}` does \
-                             not serialize; the filter is stale",
-                            pair.strukt
-                        ),
-                    ),
-                });
-            }
-            keys.extend(added);
-        } else {
-            out.push(FlowFinding {
-                file: None,
-                raw: RawFinding {
-                    lint: "schema-drift",
-                    line: 1,
-                    col: 1,
-                    tok: usize::MAX,
-                    message: format!(
-                        "[schema.{}] writer-fn `{writer_fn}` is not defined in `{}`",
-                        pair.name, ws.files[wfi].spec.file
-                    ),
-                },
-            });
-        }
-    }
-
-    Some(ResolvedSchema {
-        pair_name: pair.name.clone(),
-        strukt: pair.strukt.clone(),
-        keys,
-        readers: pair.readers.clone(),
-    })
-}
 
 /// Mine a hand-rolled writer fn body: `("key".to_owned(), …)` tuple keys
 /// it *adds*, and `!= "key"` comparisons that *filter* struct fields.
 /// Returns `None` when the fn is not defined in the file.
 #[allow(clippy::type_complexity)]
-fn mine_writer_fn(
+pub(crate) fn mine_writer_fn(
     f: &FileAnalysis<'_>,
     name: &str,
 ) -> Option<(BTreeSet<String>, Vec<(usize, String)>)> {
@@ -708,7 +491,7 @@ fn mine_writer_fn(
 
 /// Field probes in a reader file: `.get("key")` calls and `"key":`
 /// patterns inside string literals (JSON prefixes asserted by tests).
-fn reader_probes(f: &FileAnalysis<'_>) -> Vec<(usize, String)> {
+pub(crate) fn reader_probes(f: &FileAnalysis<'_>) -> Vec<(usize, String)> {
     let cx = &f.cx;
     let mut out = Vec::new();
     for j in 0..cx.code.len() {
@@ -731,7 +514,7 @@ fn reader_probes(f: &FileAnalysis<'_>) -> Vec<(usize, String)> {
 
 /// Extract `"key":` patterns from the *source text* of a string literal
 /// (quotes may be escaped: `"{\"record\": …"` probes `record`).
-fn json_keys_in_literal(text: &str) -> Vec<String> {
+pub(crate) fn json_keys_in_literal(text: &str) -> Vec<String> {
     let bytes = text.as_bytes();
     let mut out = Vec::new();
     let mut p = 0usize;
@@ -780,67 +563,7 @@ fn json_keys_in_literal(text: &str) -> Vec<String> {
     out
 }
 
-/// Same-named `#[derive(Serialize/Deserialize)]` structs defined in two
-/// different crates must agree on wire fields — they are two halves of
-/// one format.
-fn duplicate_struct_drift(ws: &Workspace<'_>, on: &dyn Fn(usize) -> bool) -> Vec<FlowFinding> {
-    let mut by_name: BTreeMap<&str, Vec<(usize, &Item)>> = BTreeMap::new();
-    for (fi, f) in ws.files.iter().enumerate() {
-        if f.spec.role != FileRole::Lib {
-            continue;
-        }
-        for it in &f.items.items {
-            if it.kind == ItemKind::Struct
-                && it.derives.iter().any(|d| d == "Serialize" || d == "Deserialize")
-                && !f.cx.is_test(it.tok)
-            {
-                by_name.entry(it.name.as_str()).or_default().push((fi, it));
-            }
-        }
-    }
-    let mut out = Vec::new();
-    for (name, defs) in by_name {
-        if defs.len() < 2 {
-            continue;
-        }
-        let crates: BTreeSet<&str> =
-            defs.iter().map(|(fi, _)| ws.files[*fi].spec.krate.as_str()).collect();
-        if crates.len() < 2 {
-            continue; // cfg-gated duplicates within one crate are fine
-        }
-        let wire = |it: &Item| -> BTreeSet<String> {
-            it.fields.iter().filter(|fl| !fl.skipped).map(|fl| fl.wire_name.clone()).collect()
-        };
-        let first = wire(defs[0].1);
-        for (fi, it) in &defs[1..] {
-            let theirs = wire(it);
-            if theirs == first || !on(*fi) {
-                continue;
-            }
-            let diff: Vec<String> =
-                first.symmetric_difference(&theirs).map(|s| format!("`{s}`")).collect();
-            out.push(FlowFinding {
-                file: Some(*fi),
-                raw: RawFinding {
-                    lint: "schema-drift",
-                    line: it.line,
-                    col: it.col,
-                    tok: it.tok,
-                    message: format!(
-                        "struct `{name}` is defined in {} crates with different wire \
-                         fields ({} disagree: {}); the copies have drifted apart",
-                        crates.len(),
-                        diff.len(),
-                        diff.join(", ")
-                    ),
-                },
-            });
-        }
-    }
-    out
-}
-
-fn strip_str(text: &str) -> String {
+pub(crate) fn strip_str(text: &str) -> String {
     text.trim_matches('"').to_owned()
 }
 
@@ -856,12 +579,11 @@ pub(crate) fn raw(
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::symbols::{analyze_file, SourceSpec};
-
-    fn ws_of(specs: &[SourceSpec]) -> Workspace<'_> {
-        Workspace::new(specs.iter().map(analyze_file).collect())
-    }
+    use super::json_keys_in_literal;
+    use crate::config::{AuditConfig, SchemaPair};
+    use crate::diag::Finding;
+    use crate::driver::audit_sources;
+    use crate::symbols::{FileRole, SourceSpec};
 
     fn spec(krate: &str, file: &str, src: &str) -> SourceSpec {
         SourceSpec {
@@ -878,8 +600,8 @@ mod tests {
         AuditConfig::from_toml(toml, "test", &crate::lints::known_lint_names()).unwrap()
     }
 
-    fn lints_of(found: &[FlowFinding]) -> Vec<&'static str> {
-        found.iter().map(|f| f.raw.lint).collect()
+    fn run(specs: Vec<SourceSpec>, cfg: &AuditConfig) -> Vec<Finding> {
+        audit_sources(specs, cfg).findings
     }
 
     #[test]
@@ -889,9 +611,8 @@ mod tests {
             "crates/x/src/lib.rs",
             "pub fn run(seed: u64) { let rng = substream(seed ^ 0xFA, 7); }",
         );
-        let specs = vec![clean];
-        let ws = ws_of(&specs);
-        assert!(run_flow(&ws, &cfg_all()).iter().all(|f| f.raw.lint != "seed-provenance"));
+        let found = run(vec![clean], &cfg_all());
+        assert!(found.iter().all(|f| f.lint != "seed-provenance"), "{found:?}");
 
         let dirty = spec(
             "iotax-x",
@@ -899,14 +620,13 @@ mod tests {
             "pub fn run() { let t = SystemTime::now(); let s = hashof(t); \
              let rng = substream(s, 7); }",
         );
-        let specs = vec![dirty];
-        let ws = ws_of(&specs);
-        let found = run_flow(&ws, &cfg_all());
+        let found = run(vec![dirty], &cfg_all());
         assert!(
-            found.iter().any(|f| f.raw.lint == "seed-provenance"
-                && f.raw.message.contains("ambient source `now`")),
+            found
+                .iter()
+                .any(|f| f.lint == "seed-provenance" && f.message.contains("ambient source `now`")),
             "{:?}",
-            found.iter().map(|f| &f.raw.message).collect::<Vec<_>>()
+            found.iter().map(|f| &f.message).collect::<Vec<_>>()
         );
     }
 
@@ -914,11 +634,10 @@ mod tests {
     fn literal_seed_is_flagged_unresolved_is_not() {
         let lit =
             spec("iotax-x", "crates/x/src/lib.rs", "pub fn run() { let r = substream(42, 1); }");
-        let specs = vec![lit];
-        let ws = ws_of(&specs);
-        let seeds: Vec<&'static str> = lints_of(&run_flow(&ws, &cfg_all()))
+        let seeds: Vec<String> = run(vec![lit], &cfg_all())
             .into_iter()
-            .filter(|l| *l == "seed-provenance")
+            .filter(|f| f.lint == "seed-provenance")
+            .map(|f| f.lint)
             .collect();
         assert_eq!(seeds, vec!["seed-provenance"]);
 
@@ -928,9 +647,7 @@ mod tests {
             "crates/x/src/lib.rs",
             "pub fn run(cfg: &Config) { let r = substream(cfg.seed, 1); }",
         );
-        let specs = vec![field];
-        let ws = ws_of(&specs);
-        assert!(run_flow(&ws, &cfg_all()).iter().all(|f| f.raw.lint != "seed-provenance"));
+        assert!(run(vec![field], &cfg_all()).iter().all(|f| f.lint != "seed-provenance"));
 
         // A free fn result is unresolvable → conservative pass.
         let unknown = spec(
@@ -938,9 +655,7 @@ mod tests {
             "crates/x/src/lib.rs",
             "pub fn run() { let r = substream(derive_seed(), 1); }",
         );
-        let specs = vec![unknown];
-        let ws = ws_of(&specs);
-        assert!(run_flow(&ws, &cfg_all()).iter().all(|f| f.raw.lint != "seed-provenance"));
+        assert!(run(vec![unknown], &cfg_all()).iter().all(|f| f.lint != "seed-provenance"));
     }
 
     #[test]
@@ -948,13 +663,11 @@ mod tests {
         let src = "use iotax_darshan::parse_log;\n\
                    pub fn ingest(b: &[u8]) -> iotax_obs::Result<Log> { let l = parse_log(b)?; Ok(l) }";
         let bare = spec("iotax-cli", "crates/cli/src/lib.rs", src);
-        let specs = vec![bare];
-        let ws = ws_of(&specs);
-        let found = run_flow(&ws, &cfg_all());
+        let found = run(vec![bare], &cfg_all());
         assert!(
-            found.iter().any(|f| f.raw.lint == "error-context-loss"),
+            found.iter().any(|f| f.lint == "error-context-loss"),
             "{:?}",
-            found.iter().map(|f| &f.raw.message).collect::<Vec<_>>()
+            found.iter().map(|f| &f.message).collect::<Vec<_>>()
         );
 
         // Context attached via .map_err → the `?` follows a method call.
@@ -965,9 +678,7 @@ mod tests {
              pub fn ingest(b: &[u8]) -> iotax_obs::Result<Log> {\n\
                  let l = parse_log(b).map_err(|e| e.wrap(\"x\"))?; Ok(l) }",
         );
-        let specs = vec![wrapped];
-        let ws = ws_of(&specs);
-        assert!(run_flow(&ws, &cfg_all()).iter().all(|f| f.raw.lint != "error-context-loss"));
+        assert!(run(vec![wrapped], &cfg_all()).iter().all(|f| f.lint != "error-context-loss"));
 
         // Same-crate call → no boundary crossed.
         let own = spec(
@@ -976,9 +687,7 @@ mod tests {
             "use iotax_darshan::parse_log;\n\
              pub fn f(b: &[u8]) -> iotax_obs::Result<Log> { Ok(parse_log(b)?) }",
         );
-        let specs = vec![own];
-        let ws = ws_of(&specs);
-        assert!(run_flow(&ws, &cfg_all()).iter().all(|f| f.raw.lint != "error-context-loss"));
+        assert!(run(vec![own], &cfg_all()).iter().all(|f| f.lint != "error-context-loss"));
     }
 
     #[test]
@@ -989,13 +698,11 @@ mod tests {
             "pub fn used() {}\npub fn unused_helper() {}\npub(crate) fn internal() {}",
         );
         let user = spec("iotax-y", "crates/y/src/lib.rs", "fn f() { used(); }");
-        let specs = vec![lib, user];
-        let ws = ws_of(&specs);
-        let found = run_flow(&ws, &cfg_all());
+        let found = run(vec![lib, user], &cfg_all());
         let dead: Vec<&str> = found
             .iter()
-            .filter(|f| f.raw.lint == "dead-public-api")
-            .map(|f| f.raw.message.as_str())
+            .filter(|f| f.lint == "dead-public-api")
+            .map(|f| f.message.as_str())
             .collect();
         assert_eq!(dead.len(), 1, "{dead:?}");
         assert!(dead[0].contains("unused_helper"));
@@ -1016,8 +723,6 @@ mod tests {
             "crates/x/tests/probe.rs",
             r#"fn t(v: &Value) { v.get("total"); v.get("old_name"); }"#,
         );
-        let specs = vec![writer, reader];
-        let ws = ws_of(&specs);
         let mut cfg = cfg_all();
         cfg.schemas.push(SchemaPair {
             name: "report".into(),
@@ -1026,35 +731,30 @@ mod tests {
             writer_file: None,
             readers: vec!["tests/probe.rs".into()],
         });
-        let found = run_flow(&ws, &cfg);
+        let found = run(vec![writer, reader], &cfg);
         let drift: Vec<&String> =
-            found.iter().filter(|f| f.raw.lint == "schema-drift").map(|f| &f.raw.message).collect();
+            found.iter().filter(|f| f.lint == "schema-drift").map(|f| &f.message).collect();
         assert_eq!(drift.len(), 1, "{drift:?}");
         assert!(drift[0].contains("`old_name`"));
     }
 
     #[test]
     fn writer_fn_tags_and_filters_are_honored() {
-        let writer = spec(
-            "iotax-x",
-            "crates/x/src/report.rs",
-            r#"
-                #[derive(Serialize)]
-                pub struct Report { pub total: u64, pub bulky: Vec<u8> }
-                fn tagged(r: &Report) -> String {
-                    let mut fields = vec![("record".to_owned(), tag())];
-                    fields.extend(rest.into_iter().filter(|(k, _)| k != "bulky"));
-                    ser(fields)
-                }
-            "#,
-        );
+        let writer_src = r#"
+            #[derive(Serialize)]
+            pub struct Report { pub total: u64, pub bulky: Vec<u8> }
+            fn tagged(r: &Report) -> String {
+                let mut fields = vec![("record".to_owned(), tag())];
+                fields.extend(rest.into_iter().filter(|(k, _)| k != "bulky"));
+                ser(fields)
+            }
+        "#;
+        let writer = spec("iotax-x", "crates/x/src/report.rs", writer_src);
         let reader = spec(
             "iotax-x",
             "crates/x/tests/probe.rs",
             r#"fn t(s: &str) { assert!(s.starts_with("{\"record\": \"summary\"")); }"#,
         );
-        let specs = vec![writer, reader];
-        let ws = ws_of(&specs);
         let mut cfg = cfg_all();
         cfg.schemas.push(SchemaPair {
             name: "report".into(),
@@ -1063,23 +763,19 @@ mod tests {
             writer_file: Some("crates/x/src/report.rs".into()),
             readers: vec!["tests/probe.rs".into()],
         });
-        let found = run_flow(&ws, &cfg);
+        let found = run(vec![writer, reader], &cfg);
         assert!(
-            found.iter().all(|f| f.raw.lint != "schema-drift"),
+            found.iter().all(|f| f.lint != "schema-drift"),
             "{:?}",
-            found.iter().map(|f| &f.raw.message).collect::<Vec<_>>()
+            found.iter().map(|f| &f.message).collect::<Vec<_>>()
         );
 
         // A probe for the *filtered* field must flag: it never hits the wire.
+        let writer2 = spec("iotax-x", "crates/x/src/report.rs", writer_src);
         let reader2 =
             spec("iotax-x", "crates/x/tests/probe.rs", r#"fn t(v: &Value) { v.get("bulky"); }"#);
-        let writer2 = specs[0].clone();
-        let specs2 = vec![writer2, reader2];
-        let ws2 = ws_of(&specs2);
-        let found2 = run_flow(&ws2, &cfg);
-        assert!(found2
-            .iter()
-            .any(|f| f.raw.lint == "schema-drift" && f.raw.message.contains("`bulky`")));
+        let found2 = run(vec![writer2, reader2], &cfg);
+        assert!(found2.iter().any(|f| f.lint == "schema-drift" && f.message.contains("`bulky`")));
     }
 
     #[test]
@@ -1094,12 +790,10 @@ mod tests {
             "crates/b/src/lib.rs",
             "#[derive(Deserialize)]\npub struct Shared { pub x: u64, pub z: u64 }",
         );
-        let specs = vec![a, b];
-        let ws = ws_of(&specs);
-        let found = run_flow(&ws, &cfg_all());
+        let found = run(vec![a, b], &cfg_all());
         assert!(found
             .iter()
-            .any(|f| f.raw.lint == "schema-drift" && f.raw.message.contains("drifted apart")));
+            .any(|f| f.lint == "schema-drift" && f.message.contains("drifted apart")));
     }
 
     #[test]
@@ -1115,8 +809,6 @@ mod tests {
     #[test]
     fn missing_struct_is_a_config_finding() {
         let lib = spec("iotax-x", "crates/x/src/lib.rs", "pub fn used() {}");
-        let specs = vec![lib];
-        let ws = ws_of(&specs);
         let mut cfg = cfg_all();
         cfg.schemas.push(SchemaPair {
             name: "ghost".into(),
@@ -1125,7 +817,10 @@ mod tests {
             writer_file: None,
             readers: vec![],
         });
-        let found = run_flow(&ws, &cfg);
-        assert!(found.iter().any(|f| f.file.is_none() && f.raw.message.contains("NoSuchStruct")));
+        let found = run(vec![lib], &cfg);
+        assert!(
+            found.iter().any(|f| f.file == "audit.toml" && f.message.contains("NoSuchStruct")),
+            "{found:?}"
+        );
     }
 }

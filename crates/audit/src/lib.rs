@@ -10,7 +10,15 @@
 //! item parser, a workspace symbol table, and four cross-file flow
 //! analyses ([`flow`]) that check the properties that live at crate
 //! seams: seed provenance, writer/reader schema agreement, dead public
-//! API, and error-context loss across crate boundaries.
+//! API, and error-context loss across crate boundaries. A statement-level
+//! def-use engine ([`dataflow`]) runs the same taint machinery under two
+//! vocabularies — wire-derived lengths and corpus-scale cardinality —
+//! for the allocation, float-ordering, lock-order, and capacity lints.
+//! The whole pipeline is incremental: per-file analysis artifacts
+//! ([`facts`]) persist in a CRC-checked segment-log cache ([`cache`]),
+//! and a warm run is byte-identical to a cold one by construction,
+//! because the workspace-global passes rebuild from the same facts
+//! either way (see DESIGN.md "Audit v4").
 //!
 //! Design constraints, in order:
 //!
@@ -39,12 +47,14 @@
 //! | 74 | I/O error |
 
 pub mod baseline;
+pub mod cache;
 pub mod config;
 pub mod context;
 pub mod dataflow;
 pub mod diag;
 pub mod driver;
 pub mod explain;
+pub mod facts;
 pub mod flow;
 pub mod items;
 pub mod lexer;
@@ -56,5 +66,8 @@ pub use config::{AuditConfig, CrateConfig};
 pub use context::FileCx;
 pub use dataflow::DATAFLOW_LINTS;
 pub use diag::{render_text, write_jsonl, Finding};
-pub use driver::{audit_crate, audit_source, audit_workspace, AuditReport, FileReport};
+pub use driver::{
+    audit_crate, audit_source, audit_workspace, audit_workspace_with, AuditOutcome, AuditReport,
+    DriverOptions, FileReport,
+};
 pub use lints::{known_lint_names, LintSpec, LINTS};

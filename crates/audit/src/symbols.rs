@@ -13,7 +13,7 @@
 use crate::context::FileCx;
 use crate::items::{parse_items, FileItems};
 use crate::lexer::{lex, TokKind};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// What kind of target a source file belongs to. Determines whether its
 /// identifier mentions keep a public API alive and whether per-site
@@ -80,7 +80,7 @@ pub struct SourceSpec {
 
 /// Per-file analysis: token context, item tree, and the identifier sets
 /// the cross-file passes consume.
-// audit:allow(dead-public-api) -- element type of Workspace's public `files` field
+// audit:allow(dead-public-api) -- per-file analysis bundle the fixture tests drive (test refs are excluded by policy)
 pub struct FileAnalysis<'a> {
     /// The file's identity and source.
     pub spec: &'a SourceSpec,
@@ -158,50 +158,6 @@ pub(crate) fn crate_ident(krate: &str) -> String {
     krate.replace('-', "_")
 }
 
-/// The analyzed workspace: every file plus cross-file indexes.
-pub struct Workspace<'a> {
-    /// All analyzed files, in input order.
-    pub files: Vec<FileAnalysis<'a>>,
-}
-
-impl<'a> Workspace<'a> {
-    /// Build the workspace from per-file analyses.
-    pub fn new(files: Vec<FileAnalysis<'a>>) -> Self {
-        Self { files }
-    }
-
-    /// The local import map for file `fi`: local name → source crate
-    /// identifier, for names imported from workspace (`iotax_*`) crates.
-    /// `use iotax_sim::fault::FaultPlan` maps `FaultPlan` → `iotax_sim`;
-    /// `use iotax_darshan::parse_log as pl` maps `pl` → `iotax_darshan`.
-    pub(crate) fn import_map(&self, fi: usize) -> BTreeMap<String, String> {
-        let mut map = BTreeMap::new();
-        let Some(f) = self.files.get(fi) else { return map };
-        for edge in &f.items.uses {
-            if edge.root.starts_with("iotax_") && edge.leaf != "*" {
-                map.insert(edge.local_name().to_owned(), edge.root.clone());
-            }
-        }
-        map
-    }
-
-    /// Is `name` mentioned by any file that keeps crate `krate`'s public
-    /// API alive — another crate, or this crate's own bin/example/bench
-    /// targets? Test files never count.
-    pub(crate) fn referenced_outside(&self, krate: &str, name: &str) -> bool {
-        self.files.iter().any(|f| {
-            let external = f.spec.role.counts_as_consumer()
-                && (f.spec.krate != krate || f.spec.role != FileRole::Lib)
-                && f.mentions.contains(name);
-            // A macro body expands wherever the macro is invoked, so a
-            // `$crate::name` reference inside one is an external use of
-            // `name` even when the macro is defined in `name`'s own crate.
-            let via_macro = f.spec.role.counts_as_consumer() && f.macro_mentions.contains(name);
-            external || via_macro
-        })
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,54 +201,5 @@ mod tests {
         assert!(f.mentions.contains("frobnicate"), "doc-comment word");
         assert!(f.mentions.contains("helper"), "code ident");
         assert!(!f.mentions.contains("test_only"), "test region excluded");
-    }
-
-    #[test]
-    fn import_map_covers_workspace_roots_only() {
-        let s = spec(
-            "iotax-cli",
-            "crates/cli/src/lib.rs",
-            "use iotax_sim::fault::FaultPlan;\nuse iotax_darshan::parse_log as pl;\nuse std::io;\n",
-        );
-        let specs = vec![s];
-        let ws = Workspace::new(specs.iter().map(analyze_file).collect());
-        let map = ws.import_map(0);
-        assert_eq!(map.get("FaultPlan").map(String::as_str), Some("iotax_sim"));
-        assert_eq!(map.get("pl").map(String::as_str), Some("iotax_darshan"));
-        assert!(!map.contains_key("io"), "std imports are not workspace edges");
-    }
-
-    #[test]
-    fn reference_scope_excludes_own_lib_and_tests() {
-        let lib = spec(
-            "iotax-x",
-            "crates/x/src/lib.rs",
-            "pub fn used_by_bin() {}\nfn own() { used_by_bin(); }",
-        );
-        let bin = spec("iotax-x", "crates/x/src/bin/tool.rs", "fn main() { used_by_bin(); }");
-        let test = spec("iotax-x", "crates/x/tests/t.rs", "fn t() { test_user(); }");
-        let other = spec("iotax-y", "crates/y/src/lib.rs", "fn f() { cross_user(); }");
-        let specs = vec![lib, bin, test, other];
-        let ws = Workspace::new(specs.iter().map(analyze_file).collect());
-        assert!(ws.referenced_outside("iotax-x", "used_by_bin"), "own bin counts");
-        assert!(!ws.referenced_outside("iotax-x", "test_user"), "tests never count");
-        assert!(ws.referenced_outside("iotax-x", "cross_user"), "other crate counts");
-        assert!(!ws.referenced_outside("iotax-x", "own"), "own lib does not count");
-    }
-
-    #[test]
-    fn macro_bodies_count_as_external_references() {
-        // `span!` expands `$crate::Guard::enter_under` at downstream call
-        // sites, so the macro body keeps `enter_under` alive even though
-        // no other file spells the name out.
-        let lib = spec(
-            "iotax-x",
-            "crates/x/src/lib.rs",
-            "pub struct Guard;\nimpl Guard { pub fn enter_under() -> Guard { Guard } }\n\
-             #[macro_export]\nmacro_rules! open {\n    () => { $crate::Guard::enter_under() };\n}",
-        );
-        let specs = vec![lib];
-        let ws = Workspace::new(specs.iter().map(analyze_file).collect());
-        assert!(ws.referenced_outside("iotax-x", "enter_under"), "macro body counts");
     }
 }

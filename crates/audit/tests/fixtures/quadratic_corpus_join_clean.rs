@@ -1,0 +1,12 @@
+//! Capacity fixture: the join is keyed — one corpus pass builds nothing
+//! quadratic, the inner loop runs over a per-job feature list.
+
+fn count_pairs(ds: &SimDataset, names: &[String]) -> u64 {
+    let mut n = 0u64;
+    for a in ds.jobs.iter() {
+        for f in names.iter() {
+            n += a.get(f);
+        }
+    }
+    n
+}

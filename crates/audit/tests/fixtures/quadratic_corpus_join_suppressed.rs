@@ -1,0 +1,14 @@
+//! Capacity fixture: the same all-pairs scan, waived with a reason.
+
+fn count_pairs(ds: &SimDataset) -> u64 {
+    let mut n = 0u64;
+    for a in ds.jobs.iter() {
+        // audit:allow(quadratic-corpus-join) -- fixture: validation-only path, capped to 1k jobs by the caller
+        for b in ds.jobs.iter() {
+            if a.sig == b.sig {
+                n += 1;
+            }
+        }
+    }
+    n
+}

@@ -1,0 +1,14 @@
+//! Capacity fixture: nested loops over the same corpus — O(n²) in the
+//! job count, the all-pairs duplicate scan that melts on a real trace.
+
+fn count_pairs(ds: &SimDataset) -> u64 {
+    let mut n = 0u64;
+    for a in ds.jobs.iter() {
+        for b in ds.jobs.iter() {
+            if a.sig == b.sig {
+                n += 1;
+            }
+        }
+    }
+    n
+}

@@ -1,0 +1,16 @@
+//! Capacity fixture: a bounded channel provides backpressure, and a
+//! capacity-less channel fed from a bounded loop can only hold k items.
+
+fn feed_bounded(ds: &SimDataset) {
+    let (bounded_tx, bounded_rx) = sync_channel(64);
+    for j in ds.jobs.iter() {
+        bounded_tx.send(j.id).unwrap();
+    }
+}
+
+fn feed_sample(ds: &SimDataset) {
+    let (sample_tx, sample_rx) = channel();
+    for j in ds.jobs.iter().take(16) {
+        sample_tx.send(j.id).unwrap();
+    }
+}

@@ -1,0 +1,18 @@
+//! Capacity fixture: the same two capacity-less channels, each waived
+//! with a reason.
+
+fn feed_std(ds: &SimDataset) {
+    // audit:allow(unbounded-channel) -- fixture: consumer drains synchronously on the same thread
+    let (tx, rx) = channel();
+    for j in ds.jobs.iter() {
+        tx.send(j.id).unwrap();
+    }
+}
+
+fn feed_async(ds: &SimDataset) {
+    // audit:allow(unbounded-channel) -- fixture: producer is rate-limited upstream by the scheduler
+    let (tx, rx) = unbounded_channel();
+    for j in ds.jobs.iter() {
+        tx.send(j.id).unwrap();
+    }
+}

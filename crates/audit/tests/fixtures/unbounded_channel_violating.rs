@@ -1,0 +1,16 @@
+//! Capacity fixture: capacity-less channels fed from per-job loops —
+//! the queue grows to O(corpus) the moment the consumer stalls.
+
+fn feed_std(ds: &SimDataset) {
+    let (tx, rx) = channel();
+    for j in ds.jobs.iter() {
+        tx.send(j.id).unwrap();
+    }
+}
+
+fn feed_async(ds: &SimDataset) {
+    let (tx, rx) = unbounded_channel();
+    for j in ds.jobs.iter() {
+        tx.send(j.id).unwrap();
+    }
+}

@@ -1,0 +1,15 @@
+//! Capacity fixture: every corpus-scale stream is bounded before it is
+//! materialized — a `.take(k)` cap, and a fixed-size accumulator
+//! instead of a growing container.
+
+fn head_rows(ds: &SimDataset) -> Vec<Row> {
+    ds.jobs.iter().take(100).map(row_of).collect()
+}
+
+fn total_bytes(ds: &SimDataset) -> u64 {
+    let mut total = 0u64;
+    for j in ds.jobs.iter() {
+        total += j.bytes_moved;
+    }
+    total
+}

@@ -1,0 +1,16 @@
+//! Capacity fixture: the same two materialization sites, each waived
+//! with an out-of-core plan.
+
+fn all_rows(ds: &SimDataset) -> Vec<Row> {
+    // audit:allow(unbounded-corpus-materialization) -- out-of-core: fixture consumer needs the dense matrix; chunked training is the plan
+    ds.jobs.iter().map(row_of).collect()
+}
+
+fn all_ids(ds: &SimDataset) -> Vec<u64> {
+    let mut out = Vec::new();
+    for j in ds.jobs.iter() {
+        // audit:allow(unbounded-corpus-materialization) -- out-of-core: fixture id list feeds a sort; external merge is the plan
+        out.push(j.id);
+    }
+    out
+}

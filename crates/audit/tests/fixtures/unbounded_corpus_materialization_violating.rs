@@ -1,0 +1,15 @@
+//! Capacity fixture: corpus-scale streams are materialized whole — a
+//! `.collect()` straight off the job list, and a per-job loop pushing
+//! into a container that outlives it.
+
+fn all_rows(ds: &SimDataset) -> Vec<Row> {
+    ds.jobs.iter().map(row_of).collect()
+}
+
+fn all_ids(ds: &SimDataset) -> Vec<u64> {
+    let mut out = Vec::new();
+    for j in ds.jobs.iter() {
+        out.push(j.id);
+    }
+    out
+}

@@ -34,7 +34,7 @@ fn seed_corpus(src: &str) -> Vec<SourceSpec> {
 #[test]
 fn seed_provenance_catches_literal_and_ambient_seeds() {
     let r = audit_sources(
-        &seed_corpus(include_str!("fixtures/seed_provenance_violating.rs")),
+        seed_corpus(include_str!("fixtures/seed_provenance_violating.rs")),
         &cfg(SEED_TOML),
     );
     assert!(
@@ -59,7 +59,7 @@ fn seed_provenance_catches_literal_and_ambient_seeds() {
 #[test]
 fn seed_provenance_suppressed_corpus_is_quiet_and_counted() {
     let r = audit_sources(
-        &seed_corpus(include_str!("fixtures/seed_provenance_suppressed.rs")),
+        seed_corpus(include_str!("fixtures/seed_provenance_suppressed.rs")),
         &cfg(SEED_TOML),
     );
     assert!(r.findings.is_empty(), "{:?}", r.findings);
@@ -69,7 +69,7 @@ fn seed_provenance_suppressed_corpus_is_quiet_and_counted() {
 #[test]
 fn seed_provenance_parameter_seeded_rngs_pass() {
     let r = audit_sources(
-        &seed_corpus(include_str!("fixtures/seed_provenance_clean.rs")),
+        seed_corpus(include_str!("fixtures/seed_provenance_clean.rs")),
         &cfg(SEED_TOML),
     );
     assert!(r.findings.is_empty(), "{:?}", r.findings);
@@ -98,7 +98,7 @@ fn schema_corpus(reader_src: &str) -> Vec<SourceSpec> {
 #[test]
 fn schema_drift_catches_renamed_writer_field_with_stale_reader() {
     let r = audit_sources(
-        &schema_corpus(include_str!("fixtures/schema_drift_reader_violating.rs")),
+        schema_corpus(include_str!("fixtures/schema_drift_reader_violating.rs")),
         &cfg(SCHEMA_TOML),
     );
     // The writer renamed `start_us` to `t_start_us`; the unchanged reader
@@ -113,7 +113,7 @@ fn schema_drift_catches_renamed_writer_field_with_stale_reader() {
 #[test]
 fn schema_drift_suppressed_corpus_is_quiet_and_counted() {
     let r = audit_sources(
-        &schema_corpus(include_str!("fixtures/schema_drift_reader_suppressed.rs")),
+        schema_corpus(include_str!("fixtures/schema_drift_reader_suppressed.rs")),
         &cfg(SCHEMA_TOML),
     );
     assert!(r.findings.is_empty(), "{:?}", r.findings);
@@ -123,7 +123,7 @@ fn schema_drift_suppressed_corpus_is_quiet_and_counted() {
 #[test]
 fn schema_drift_matching_reader_passes() {
     let r = audit_sources(
-        &schema_corpus(include_str!("fixtures/schema_drift_reader_clean.rs")),
+        schema_corpus(include_str!("fixtures/schema_drift_reader_clean.rs")),
         &cfg(SCHEMA_TOML),
     );
     assert!(r.findings.is_empty(), "{:?}", r.findings);
@@ -135,7 +135,7 @@ fn schema_drift_flags_config_naming_a_missing_struct() {
     let toml = "[default]\nschema-drift = true\n\n[schema.gone]\nstruct = \
                 \"NoSuchStruct\"\nreaders = [\"reader\"]\n";
     let r = audit_sources(
-        &schema_corpus(include_str!("fixtures/schema_drift_reader_clean.rs")),
+        schema_corpus(include_str!("fixtures/schema_drift_reader_clean.rs")),
         &cfg(toml),
     );
     assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
@@ -159,7 +159,7 @@ fn dead_corpus(lib_src: &str, consumer_src: &str) -> Vec<SourceSpec> {
 #[test]
 fn dead_public_api_catches_unreferenced_pub_item() {
     let r = audit_sources(
-        &dead_corpus(
+        dead_corpus(
             include_str!("fixtures/dead_public_api_violating.rs"),
             include_str!("fixtures/dead_public_api_consumer_quiet.rs"),
         ),
@@ -173,7 +173,7 @@ fn dead_public_api_catches_unreferenced_pub_item() {
 #[test]
 fn dead_public_api_suppressed_corpus_is_quiet_and_counted() {
     let r = audit_sources(
-        &dead_corpus(
+        dead_corpus(
             include_str!("fixtures/dead_public_api_suppressed.rs"),
             include_str!("fixtures/dead_public_api_consumer_quiet.rs"),
         ),
@@ -186,7 +186,7 @@ fn dead_public_api_suppressed_corpus_is_quiet_and_counted() {
 #[test]
 fn dead_public_api_cross_crate_consumer_keeps_item_alive() {
     let r = audit_sources(
-        &dead_corpus(
+        dead_corpus(
             include_str!("fixtures/dead_public_api_violating.rs"),
             include_str!("fixtures/dead_public_api_consumer_using.rs"),
         ),
@@ -214,7 +214,7 @@ fn dead_public_api_test_references_do_not_keep_items_alive() {
             include_str!("fixtures/dead_public_api_consumer_using.rs"),
         ),
     ];
-    let r = audit_sources(&specs, &cfg(DEAD_TOML));
+    let r = audit_sources(specs.clone(), &cfg(DEAD_TOML));
     assert_eq!(r.findings.len(), 1, "test-only consumers must not count: {:?}", r.findings);
 }
 
@@ -231,7 +231,7 @@ fn ecl_corpus(src: &str) -> Vec<SourceSpec> {
 #[test]
 fn error_context_loss_catches_bare_cross_crate_question_marks() {
     let r = audit_sources(
-        &ecl_corpus(include_str!("fixtures/error_context_loss_violating.rs")),
+        ecl_corpus(include_str!("fixtures/error_context_loss_violating.rs")),
         &cfg(ECL_TOML),
     );
     // One `?` through an imported name, one through a qualified path.
@@ -248,7 +248,7 @@ fn error_context_loss_catches_bare_cross_crate_question_marks() {
 #[test]
 fn error_context_loss_suppressed_corpus_is_quiet_and_counted() {
     let r = audit_sources(
-        &ecl_corpus(include_str!("fixtures/error_context_loss_suppressed.rs")),
+        ecl_corpus(include_str!("fixtures/error_context_loss_suppressed.rs")),
         &cfg(ECL_TOML),
     );
     assert!(r.findings.is_empty(), "{:?}", r.findings);
@@ -258,7 +258,7 @@ fn error_context_loss_suppressed_corpus_is_quiet_and_counted() {
 #[test]
 fn error_context_loss_wrapped_and_local_calls_pass() {
     let r = audit_sources(
-        &ecl_corpus(include_str!("fixtures/error_context_loss_clean.rs")),
+        ecl_corpus(include_str!("fixtures/error_context_loss_clean.rs")),
         &cfg(ECL_TOML),
     );
     assert!(r.findings.is_empty(), "{:?}", r.findings);
@@ -278,7 +278,7 @@ fn ula_corpus(src: &str) -> Vec<SourceSpec> {
 #[test]
 fn untrusted_length_allocation_catches_uncapped_wire_lengths() {
     let r = audit_sources(
-        &ula_corpus(include_str!("fixtures/untrusted_length_allocation_violating.rs")),
+        ula_corpus(include_str!("fixtures/untrusted_length_allocation_violating.rs")),
         &cfg(ULA_TOML),
     );
     // One tainted `.take(n)`, one tainted `with_capacity(n)`: both caught,
@@ -292,7 +292,7 @@ fn untrusted_length_allocation_catches_uncapped_wire_lengths() {
 #[test]
 fn untrusted_length_allocation_suppressed_corpus_is_quiet_and_counted() {
     let r = audit_sources(
-        &ula_corpus(include_str!("fixtures/untrusted_length_allocation_suppressed.rs")),
+        ula_corpus(include_str!("fixtures/untrusted_length_allocation_suppressed.rs")),
         &cfg(ULA_TOML),
     );
     assert!(r.findings.is_empty(), "{:?}", r.findings);
@@ -302,7 +302,7 @@ fn untrusted_length_allocation_suppressed_corpus_is_quiet_and_counted() {
 #[test]
 fn untrusted_length_allocation_capped_lengths_pass() {
     let r = audit_sources(
-        &ula_corpus(include_str!("fixtures/untrusted_length_allocation_clean.rs")),
+        ula_corpus(include_str!("fixtures/untrusted_length_allocation_clean.rs")),
         &cfg(ULA_TOML),
     );
     assert!(r.findings.is_empty(), "{:?}", r.findings);
@@ -322,7 +322,7 @@ fn ufr_corpus(src: &str) -> Vec<SourceSpec> {
 #[test]
 fn unordered_float_reduction_catches_parallel_and_hash_ordered_sums() {
     let r = audit_sources(
-        &ufr_corpus(include_str!("fixtures/unordered_float_reduction_violating.rs")),
+        ufr_corpus(include_str!("fixtures/unordered_float_reduction_violating.rs")),
         &cfg(UFR_TOML),
     );
     assert!(r.findings.iter().all(|f| f.lint == "unordered-float-reduction"), "{:?}", r.findings);
@@ -334,7 +334,7 @@ fn unordered_float_reduction_catches_parallel_and_hash_ordered_sums() {
 #[test]
 fn unordered_float_reduction_suppressed_corpus_is_quiet_and_counted() {
     let r = audit_sources(
-        &ufr_corpus(include_str!("fixtures/unordered_float_reduction_suppressed.rs")),
+        ufr_corpus(include_str!("fixtures/unordered_float_reduction_suppressed.rs")),
         &cfg(UFR_TOML),
     );
     assert!(r.findings.is_empty(), "{:?}", r.findings);
@@ -344,7 +344,7 @@ fn unordered_float_reduction_suppressed_corpus_is_quiet_and_counted() {
 #[test]
 fn unordered_float_reduction_sequential_and_btreemap_reductions_pass() {
     let r = audit_sources(
-        &ufr_corpus(include_str!("fixtures/unordered_float_reduction_clean.rs")),
+        ufr_corpus(include_str!("fixtures/unordered_float_reduction_clean.rs")),
         &cfg(UFR_TOML),
     );
     assert!(r.findings.is_empty(), "{:?}", r.findings);
@@ -364,7 +364,7 @@ fn loc_corpus(src: &str) -> Vec<SourceSpec> {
 #[test]
 fn lock_order_cycle_catches_opposite_acquisition_orders() {
     let r = audit_sources(
-        &loc_corpus(include_str!("fixtures/lock_order_cycle_violating.rs")),
+        loc_corpus(include_str!("fixtures/lock_order_cycle_violating.rs")),
         &cfg(LOC_TOML),
     );
     // One cycle set → exactly one finding, naming both locks.
@@ -377,7 +377,7 @@ fn lock_order_cycle_catches_opposite_acquisition_orders() {
 #[test]
 fn lock_order_cycle_suppressed_corpus_is_quiet_and_counted() {
     let r = audit_sources(
-        &loc_corpus(include_str!("fixtures/lock_order_cycle_suppressed.rs")),
+        loc_corpus(include_str!("fixtures/lock_order_cycle_suppressed.rs")),
         &cfg(LOC_TOML),
     );
     assert!(r.findings.is_empty(), "{:?}", r.findings);
@@ -387,7 +387,7 @@ fn lock_order_cycle_suppressed_corpus_is_quiet_and_counted() {
 #[test]
 fn lock_order_cycle_consistent_order_passes() {
     let r = audit_sources(
-        &loc_corpus(include_str!("fixtures/lock_order_cycle_clean.rs")),
+        loc_corpus(include_str!("fixtures/lock_order_cycle_clean.rs")),
         &cfg(LOC_TOML),
     );
     assert!(r.findings.is_empty(), "{:?}", r.findings);
@@ -399,10 +399,122 @@ fn lock_order_cycle_consistent_order_passes() {
 // and parallel scheduling
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// the capacity lints (corpus-cardinality taint)
+// ---------------------------------------------------------------------------
+
+const UCM_TOML: &str = "[default]\nunbounded-corpus-materialization = true\n";
+const UCH_TOML: &str = "[default]\nunbounded-channel = true\n";
+const QCJ_TOML: &str = "[default]\nquadratic-corpus-join = true\n";
+
+fn capacity_corpus(src: &str) -> Vec<SourceSpec> {
+    vec![spec("fixture-ml", "crates/fixture-ml/src/data.rs", FileRole::Lib, src)]
+}
+
+#[test]
+fn unbounded_corpus_materialization_catches_collect_and_growing_container() {
+    let r = audit_sources(
+        capacity_corpus(include_str!("fixtures/unbounded_corpus_materialization_violating.rs")),
+        &cfg(UCM_TOML),
+    );
+    assert!(
+        r.findings.iter().all(|f| f.lint == "unbounded-corpus-materialization"),
+        "{:?}",
+        r.findings
+    );
+    // One whole-corpus `.collect()`, one per-job push into an outliving
+    // container: both caught, each naming the corpus source.
+    assert!(r.findings.iter().any(|f| f.message.contains("`.collect(")), "{:?}", r.findings);
+    assert!(r.findings.iter().any(|f| f.message.contains("container `out`")), "{:?}", r.findings);
+    assert!(r.findings.iter().all(|f| f.message.contains("`jobs`")), "{:?}", r.findings);
+    assert_eq!(r.findings.len(), 2, "{:?}", r.findings);
+}
+
+#[test]
+fn unbounded_corpus_materialization_suppressed_corpus_is_quiet_and_counted() {
+    let r = audit_sources(
+        capacity_corpus(include_str!("fixtures/unbounded_corpus_materialization_suppressed.rs")),
+        &cfg(UCM_TOML),
+    );
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressed, 2);
+}
+
+#[test]
+fn unbounded_corpus_materialization_bounded_streams_pass() {
+    let r = audit_sources(
+        capacity_corpus(include_str!("fixtures/unbounded_corpus_materialization_clean.rs")),
+        &cfg(UCM_TOML),
+    );
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressed, 0);
+}
+
+#[test]
+fn unbounded_channel_catches_capacityless_channels_fed_per_job() {
+    let r = audit_sources(
+        capacity_corpus(include_str!("fixtures/unbounded_channel_violating.rs")),
+        &cfg(UCH_TOML),
+    );
+    assert!(r.findings.iter().all(|f| f.lint == "unbounded-channel"), "{:?}", r.findings);
+    assert_eq!(r.findings.len(), 2, "{:?}", r.findings);
+}
+
+#[test]
+fn unbounded_channel_suppressed_corpus_is_quiet_and_counted() {
+    let r = audit_sources(
+        capacity_corpus(include_str!("fixtures/unbounded_channel_suppressed.rs")),
+        &cfg(UCH_TOML),
+    );
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressed, 2);
+}
+
+#[test]
+fn unbounded_channel_bounded_or_sampled_feeds_pass() {
+    let r = audit_sources(
+        capacity_corpus(include_str!("fixtures/unbounded_channel_clean.rs")),
+        &cfg(UCH_TOML),
+    );
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressed, 0);
+}
+
+#[test]
+fn quadratic_corpus_join_catches_nested_corpus_loops() {
+    let r = audit_sources(
+        capacity_corpus(include_str!("fixtures/quadratic_corpus_join_violating.rs")),
+        &cfg(QCJ_TOML),
+    );
+    assert!(r.findings.iter().all(|f| f.lint == "quadratic-corpus-join"), "{:?}", r.findings);
+    assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+}
+
+#[test]
+fn quadratic_corpus_join_suppressed_corpus_is_quiet_and_counted() {
+    let r = audit_sources(
+        capacity_corpus(include_str!("fixtures/quadratic_corpus_join_suppressed.rs")),
+        &cfg(QCJ_TOML),
+    );
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn quadratic_corpus_join_keyed_inner_loop_passes() {
+    let r = audit_sources(
+        capacity_corpus(include_str!("fixtures/quadratic_corpus_join_clean.rs")),
+        &cfg(QCJ_TOML),
+    );
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressed, 0);
+}
+
 const ALL_TOML: &str = "[default]\nseed-provenance = true\nschema-drift = \
                         true\ndead-public-api = true\nerror-context-loss = \
                         true\nuntrusted-length-allocation = true\nunordered-float-reduction = \
-                        true\nlock-order-cycle = \
+                        true\nlock-order-cycle = true\nunbounded-corpus-materialization = \
+                        true\nunbounded-channel = true\nquadratic-corpus-join = \
                         true\n\n[schema.span-rec]\nstruct = \"SpanRec\"\nreaders = [\"reader\"]\n";
 
 /// A corpus that makes every flow and dataflow analysis fire at least once.
@@ -456,6 +568,18 @@ fn mixed_corpus() -> Vec<SourceSpec> {
             FileRole::Lib,
             include_str!("fixtures/lock_order_cycle_violating.rs"),
         ),
+        spec(
+            "fixture-ml",
+            "crates/fixture-ml/src/data.rs",
+            FileRole::Lib,
+            include_str!("fixtures/unbounded_corpus_materialization_violating.rs"),
+        ),
+        spec(
+            "fixture-ml",
+            "crates/fixture-ml/src/join.rs",
+            FileRole::Lib,
+            include_str!("fixtures/quadratic_corpus_join_violating.rs"),
+        ),
     ]
 }
 
@@ -468,21 +592,21 @@ fn render(r: &AuditReport) -> String {
 #[test]
 fn report_is_byte_identical_regardless_of_corpus_order() {
     let mut specs = mixed_corpus();
-    let forward = render(&audit_sources(&specs, &cfg(ALL_TOML)));
+    let forward = render(&audit_sources(specs.clone(), &cfg(ALL_TOML)));
     specs.reverse();
-    let backward = render(&audit_sources(&specs, &cfg(ALL_TOML)));
+    let backward = render(&audit_sources(specs.clone(), &cfg(ALL_TOML)));
     assert_eq!(forward, backward, "diagnostic order must not depend on input order");
     // And across repeated runs: the parallel fan-out must never leak
     // scheduling order into the report.
     specs.reverse();
     for _ in 0..3 {
-        assert_eq!(forward, render(&audit_sources(&specs, &cfg(ALL_TOML))));
+        assert_eq!(forward, render(&audit_sources(specs.clone(), &cfg(ALL_TOML))));
     }
 }
 
 #[test]
 fn mixed_corpus_jsonl_matches_golden() {
-    let got = render(&audit_sources(&mixed_corpus(), &cfg(ALL_TOML)));
+    let got = render(&audit_sources(mixed_corpus(), &cfg(ALL_TOML)));
     let want = include_str!("golden/flow_overview.jsonl");
     if got != want {
         // Drop the new output next to the golden so an intentional format

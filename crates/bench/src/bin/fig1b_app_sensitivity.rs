@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 fn main() -> iotax_obs::Result<()> {
     let sim = theta_dataset(20_000);
     let dup = find_duplicate_sets(&sim.jobs);
+    // audit:allow(unbounded-corpus-materialization) -- out-of-core: whole-trace column for quantile/bound math; stream via a mergeable quantile sketch when traces outgrow memory
     let y: Vec<f64> = sim.jobs.iter().map(|j| j.log10_throughput()).collect();
 
     let mut by_class: BTreeMap<&str, Vec<f64>> = BTreeMap::new();

@@ -13,7 +13,9 @@ use iotax_stats::describe::Summary;
 fn main() -> iotax_obs::Result<()> {
     let sim = cori_dataset(20_000);
     let dup = find_duplicate_sets(&sim.jobs);
+    // audit:allow(unbounded-corpus-materialization) -- out-of-core: whole-trace column for quantile/bound math; stream via a mergeable quantile sketch when traces outgrow memory
     let y: Vec<f64> = sim.jobs.iter().map(|j| j.log10_throughput()).collect();
+    // audit:allow(unbounded-corpus-materialization) -- out-of-core: whole-trace column for quantile/bound math; stream via a mergeable quantile sketch when traces outgrow memory
     let t: Vec<i64> = sim.jobs.iter().map(|j| j.start_time).collect();
 
     // Sample pairs (capped per set so huge benchmark sets don't dominate —
@@ -31,10 +33,13 @@ fn main() -> iotax_obs::Result<()> {
                 pairs += 1;
                 let dt = (t[a] - t[b]).unsigned_abs();
                 let dphi = (y[a] - y[b]).abs();
+                // audit:allow(unbounded-corpus-materialization) -- out-of-core: figure points are summarized and written in one pass at the end; stream to the CSV writer when real traces land
                 rows.push(format!("{dt},{dphi:.6}"));
                 if dt == 0 {
+                    // audit:allow(unbounded-corpus-materialization) -- out-of-core: figure points are summarized and written in one pass at the end; stream to the CSV writer when real traces land
                     zeros.push(dphi);
                 } else {
+                    // audit:allow(unbounded-corpus-materialization) -- out-of-core: figure points are summarized and written in one pass at the end; stream to the CSV writer when real traces land
                     nonzeros.push(dphi);
                 }
             }

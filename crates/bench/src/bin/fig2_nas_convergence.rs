@@ -20,6 +20,7 @@ fn main() -> iotax_obs::Result<()> {
     let (train, val, _test) = data.split_random(0.70, 0.15, 0xF162);
 
     let dup = find_duplicate_sets(&sim.jobs);
+    // audit:allow(unbounded-corpus-materialization) -- out-of-core: whole-trace column for quantile/bound math; stream via a mergeable quantile sketch when traces outgrow memory
     let y: Vec<f64> = sim.jobs.iter().map(|j| j.log10_throughput()).collect();
     let bound = app_modeling_bound(&y, &dup);
 

@@ -15,7 +15,9 @@ use iotax_obs::{Error, ErrorKind};
 fn main() -> iotax_obs::Result<()> {
     let sim = theta_dataset(20_000);
     let dup = find_duplicate_sets(&sim.jobs);
+    // audit:allow(unbounded-corpus-materialization) -- out-of-core: whole-trace column for quantile/bound math; stream via a mergeable quantile sketch when traces outgrow memory
     let y: Vec<f64> = sim.jobs.iter().map(|j| j.log10_throughput()).collect();
+    // audit:allow(unbounded-corpus-materialization) -- out-of-core: whole-trace column for quantile/bound math; stream via a mergeable quantile sketch when traces outgrow memory
     let t: Vec<i64> = sim.jobs.iter().map(|j| j.start_time).collect();
 
     // Decade buckets: [0,1), [1,10), ... up to 10^7 seconds (~4 months).
@@ -44,6 +46,7 @@ fn main() -> iotax_obs::Result<()> {
             b.spread.p75,
             b.spread.p95
         );
+        // audit:allow(unbounded-corpus-materialization) -- out-of-core: figure points are summarized and written in one pass at the end; stream to the CSV writer when real traces land
         rows.push(format!(
             "{},{},{},{:.5},{:.5},{:.5},{:.5}",
             b.dt_lo, b.dt_hi, b.n_pairs, b.spread.p25, b.spread.median, b.spread.p75, b.spread.p95

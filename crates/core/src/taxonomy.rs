@@ -388,6 +388,7 @@ impl<'a> BaselineStage<'a> {
 
         // Step 2.1: duplicate litmus (whole trace, like the paper).
         let dup = find_duplicate_sets(&core.sim.jobs);
+        // audit:allow(unbounded-corpus-materialization) -- out-of-core: whole-trace column for quantile/bound math; stream via a mergeable quantile sketch when traces outgrow memory
         let y_all: Vec<f64> = core.sim.jobs.iter().map(|j| j.log10_throughput()).collect();
         let app_bound = app_modeling_bound(&y_all, &dup);
         let mut reasons = Vec::new();
@@ -516,6 +517,7 @@ impl<'a> OodStage<'a> {
         let _span = span!("core.noise_floor");
         let app = &self.prev.prev;
         let core = &app.core;
+        // audit:allow(unbounded-corpus-materialization) -- out-of-core: whole-trace column for quantile/bound math; stream via a mergeable quantile sketch when traces outgrow memory
         let starts: Vec<i64> = core.sim.jobs.iter().map(|j| j.start_time).collect();
         let noise = concurrent_noise_floor(
             &app.y_all,
