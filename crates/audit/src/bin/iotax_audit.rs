@@ -363,15 +363,10 @@ fn main() {
     // Wall time and per-phase spans reach the sinks only on the explicit
     // flush inside `finish`; `process::exit` skips Drop.
     match run(&args, &mut session) {
-        Ok(code) => {
-            session.finish(code);
-            std::process::exit(code);
-        }
+        Ok(code) => std::process::exit(session.finish(code)),
         Err(e) => {
             eprintln!("iotax-audit: {e}");
-            let code = i32::from(e.exit_code());
-            session.finish(code);
-            std::process::exit(code);
+            std::process::exit(session.finish(i32::from(e.exit_code())));
         }
     }
 }

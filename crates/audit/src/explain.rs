@@ -114,6 +114,17 @@ pub(crate) const EXPLAINS: &[LintExplain] = &[
         good: "std::fs::rename(&tmp, &path)?;\nfsync_dir(path.parent().unwrap())?;",
     },
     LintExplain {
+        name: "event-outside-span",
+        rationale: "A flight-recorder breadcrumb fired before any span opens in its function \
+                    floats unattributed in the black box: after a crash, `iotax-report blackbox` \
+                    cannot tie it to a stage. Breadcrumbs must fire under a span (or carry a \
+                    reasoned waiver naming the caller's span as the context).",
+        bad:
+            "fn ingest(dir: &Path) {\n    iotax_obs::event!(\"analyze.stage\", \"ingest\");\n    …",
+        good: "fn ingest(dir: &Path) {\n    let _span = iotax_obs::span!(\"cli.ingest\");\n\
+               iotax_obs::event!(\"analyze.stage\", \"ingest\");",
+    },
+    LintExplain {
         name: "seed-provenance",
         rationale: "An RNG seeded from the wall clock or a buried literal cannot be replayed or \
                     varied from the command line. Every seed must trace (through let-chains) to \

@@ -1,4 +1,4 @@
-//! The nine domain lints.
+//! The ten domain lints.
 //!
 //! Each lint turns one of the taxonomy pipeline's *dynamic* guarantees
 //! (proptests, the pinned-seed chaos gate) into a *static* check that
@@ -15,6 +15,7 @@
 //! | `unspanned-stage`        | observability: taxonomy stages are traceable |
 //! | `unbound-span`           | observability: span guards live for the region they time |
 //! | `unsynced-durable-write` | crash durability: written bytes are fsynced before the publishing rename |
+//! | `event-outside-span`     | observability: flight-recorder breadcrumbs carry a span context |
 //!
 //! Lints are token-sequence matchers over [`FileCx`] — deliberately
 //! simple and predictable. Where a pattern is provably safe (a masked
@@ -88,6 +89,10 @@ pub const LINTS: &[LintSpec] = &[
         name: "unsynced-durable-write",
         summary: "file written then renamed into place with no fsync between; a crash can publish a torn file",
     },
+    LintSpec {
+        name: "event-outside-span",
+        summary: "`event!` breadcrumb in a function that opens no span attributes to nothing in the black box",
+    },
 ];
 
 /// Names of all lints, for config validation (includes the meta-lints so
@@ -125,6 +130,7 @@ pub(crate) fn run_lint(name: &str, cx: &FileCx<'_>, opts: &LintOptions) -> Vec<R
         "unspanned-stage" => unspanned_stage(cx, opts),
         "unbound-span" => unbound_span(cx, opts),
         "unsynced-durable-write" => unsynced_durable_write(cx, opts),
+        "event-outside-span" => event_outside_span(cx, opts),
         _ => Vec::new(),
     }
 }
@@ -718,6 +724,68 @@ fn unsynced_durable_write(cx: &FileCx<'_>, opts: &LintOptions) -> Vec<RawFinding
     out
 }
 
+// ---------------------------------------------------------------------------
+// event-outside-span
+// ---------------------------------------------------------------------------
+
+/// A flight-recorder breadcrumb (`event!`) fired in a function that has
+/// opened no span by that point attributes to nothing: in the black box
+/// it floats between span opens, and `iotax-report blackbox` cannot tie
+/// it to a stage. Within one function body, flag any `event!(…)` with no
+/// `span!(…)` earlier in the same body. A breadcrumb that genuinely
+/// belongs to the caller's span (helpers invoked under an enclosing
+/// guard) carries a reasoned `audit:allow(event-outside-span)`.
+fn event_outside_span(cx: &FileCx<'_>, opts: &LintOptions) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for i in 0..cx.code.len() {
+        if !cx.ident_at(i, "fn") || skip(cx, i, opts) {
+            continue;
+        }
+        // Find the body `{ … }`; a `;` first means a bodyless trait fn.
+        let mut j = i + 2;
+        while j < cx.code.len() && !cx.punct_at(j, "{") {
+            if cx.punct_at(j, ";") {
+                break;
+            }
+            j += 1;
+        }
+        if !cx.punct_at(j, "{") {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut has_span = false;
+        while j < cx.code.len() {
+            if cx.punct_at(j, "{") {
+                depth += 1;
+            } else if cx.punct_at(j, "}") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if cx.ident_at(j, "span") && cx.punct_at(j + 1, "!") && cx.punct_at(j + 2, "(") {
+                has_span = true;
+            } else if !has_span
+                && cx.ident_at(j, "event")
+                && cx.punct_at(j + 1, "!")
+                && cx.punct_at(j + 2, "(")
+            {
+                out.push(finding(
+                    cx,
+                    "event-outside-span",
+                    j,
+                    "this `event!` breadcrumb fires before any span opens in this \
+                     function, so the black box cannot attribute it to a stage; open a \
+                     span first (`let _span = iotax_obs::span!(\"…\");`) or waive it if \
+                     the caller's span is the intended context"
+                        .to_owned(),
+                ));
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -839,6 +907,23 @@ mod tests {
         // Pure moves (no write in the function) are not publishes.
         let mv = "fn quarantine(a: &Path, b: &Path) { let _r = fs::rename(a, b); }";
         assert!(run("unsynced-durable-write", mv).is_empty());
+    }
+
+    #[test]
+    fn event_outside_span_requires_a_preceding_span() {
+        let bare = "fn f() { iotax_obs::event!(\"stage\", \"msg\"); work(); }";
+        assert_eq!(run("event-outside-span", bare).len(), 1);
+        let spanned = "fn f() { let _s = span!(\"f\"); iotax_obs::event!(\"stage\", \"msg\"); }";
+        assert!(run("event-outside-span", spanned).is_empty());
+        // Order matters: a span opened AFTER the breadcrumb is too late.
+        let late = "fn f() { event!(\"stage\", \"msg\"); let _s = span!(\"f\"); }";
+        assert_eq!(run("event-outside-span", late).len(), 1);
+        // Nested block spans still count — same function body.
+        let nested = "fn f() { { let _s = span!(\"f\"); } event!(\"stage\", \"msg\"); }";
+        assert!(run("event-outside-span", nested).is_empty());
+        // `event` as a plain identifier is not the macro.
+        let ident = "fn f(event: u32) { let x = event + 1; }";
+        assert!(run("event-outside-span", ident).is_empty());
     }
 
     #[test]

@@ -1,0 +1,9 @@
+//! Fixture: breadcrumbs fired under an open span.
+
+pub fn ingest(files: &[&str]) {
+    let _span = iotax_obs::span!("cli.ingest");
+    iotax_obs::event!("analyze.stage", "ingest: {} files", files.len());
+    for f in files {
+        parse(f);
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: a helper whose breadcrumb belongs to the caller's span,
+//! waived with the reason.
+
+pub fn crash_hook(stage: &str) {
+    // audit:allow(event-outside-span) -- fixture: helper always invoked under the caller's pipeline span
+    iotax_obs::event!("analyze.stage", "entering {stage}");
+}

@@ -1,0 +1,14 @@
+//! Fixture: breadcrumbs fired with no span open to attribute them.
+
+pub fn ingest(files: &[&str]) {
+    iotax_obs::event!("analyze.stage", "ingest: {} files", files.len());
+    for f in files {
+        parse(f);
+    }
+}
+
+pub fn fit() {
+    iotax_obs::event!("analyze.stage", "fit");
+    let _span = iotax_obs::span!("fit");
+    train();
+}

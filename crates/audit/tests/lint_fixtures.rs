@@ -76,6 +76,12 @@ const CASES: &[(&str, &str, &str, &str)] = &[
         include_str!("fixtures/unsynced_durable_write_suppressed.rs"),
         include_str!("fixtures/unsynced_durable_write_clean.rs"),
     ),
+    (
+        "event-outside-span",
+        include_str!("fixtures/event_outside_span_violating.rs"),
+        include_str!("fixtures/event_outside_span_suppressed.rs"),
+        include_str!("fixtures/event_outside_span_clean.rs"),
+    ),
 ];
 
 #[test]

@@ -41,8 +41,19 @@ use iotax_obs::{digest_bytes, Error};
 use std::path::PathBuf;
 
 const USAGE: &str = "usage: iotax-analyze TRACE_DIR [--metrics-out PATH] [--ledger DIR] \
-                     [--store DIR] [--stats-only] [--strict] [--retries N] \
+                     [--store DIR] [--profile-hz N] [--stats-only] [--strict] [--retries N] \
                      [--quarantine DIR] [--ingest-report PATH]";
+
+/// Deliberate crash injection for the flight-recorder path: panics when
+/// the `IOTAX_PANIC_AT_STAGE` environment variable names `stage`. The
+/// blackbox e2e test and the CI blackbox job use it to kill a ledger run
+/// mid-stage and then assert the black box survived.
+fn crash_hook(stage: &str) {
+    if std::env::var("IOTAX_PANIC_AT_STAGE").is_ok_and(|v| v == stage) {
+        // audit:allow(panic-in-parser) -- test-only crash injection, reachable solely via the env var
+        panic!("injected crash at stage {stage}");
+    }
+}
 
 struct Args {
     dir: PathBuf,
@@ -109,7 +120,10 @@ fn run(args: &Args, session: &mut ObsSession) -> Result<(), Error> {
         quarantine_dir: args.quarantine.clone(),
         ..Default::default()
     };
+    iotax_obs::event!("analyze.stage", "ingest: {}", args.dir.display());
+    crash_hook("ingest");
     let (jobs, report) = ingest_trace(&args.dir, &opts)?;
+    iotax_obs::gauge!("analyze.trace_jobs").set(jobs.len() as u64);
     println!("trace: {} jobs from {}", jobs.len(), args.dir.display());
     println!("ingest: {}", report.summary());
     for q in &report.quarantined {
@@ -129,12 +143,16 @@ fn run(args: &Args, session: &mut ObsSession) -> Result<(), Error> {
         )));
     }
 
+    iotax_obs::event!("analyze.stage", "duplicates: {} jobs", jobs.len());
+    crash_hook("duplicates");
     let dup = {
         let _span = iotax_obs::span!("analyze.duplicates");
         trace_duplicate_sets(&jobs)
     };
     // audit:allow(unbounded-corpus-materialization) -- out-of-core: whole-trace column for quantile/bound math; stream via a mergeable quantile sketch when traces outgrow memory
     let y: Vec<f64> = jobs.iter().map(|j| j.log10_throughput()).collect();
+    iotax_obs::event!("analyze.stage", "app_bound: {} duplicate sets", dup.sets.len());
+    crash_hook("app_bound");
     let bound = {
         let _span = iotax_obs::span!("analyze.app_bound");
         app_modeling_bound(&y, &dup)
@@ -152,6 +170,8 @@ fn run(args: &Args, session: &mut ObsSession) -> Result<(), Error> {
 
     // audit:allow(unbounded-corpus-materialization) -- out-of-core: whole-trace column for quantile/bound math; stream via a mergeable quantile sketch when traces outgrow memory
     let starts: Vec<i64> = jobs.iter().map(|j| j.start_time).collect();
+    iotax_obs::event!("analyze.stage", "noise_floor");
+    crash_hook("noise_floor");
     let floor = {
         let _span = iotax_obs::span!("analyze.noise_floor");
         concurrent_noise_floor(&y, &starts, &dup, &[], 1, 30)
@@ -214,6 +234,8 @@ fn run(args: &Args, session: &mut ObsSession) -> Result<(), Error> {
             "\nrunning the five-stage taxonomy (baseline GBM, grid search, golden model, \
                    ensemble UQ, noise floor)..."
         );
+        iotax_obs::event!("analyze.stage", "taxonomy: {} jobs", jobs.len());
+        crash_hook("taxonomy");
         let ds = trace_to_dataset(&jobs);
         let mut report = TaxonomyRun::new(&ds)
             .baseline()?
@@ -258,12 +280,10 @@ fn main() {
         }
     };
     match run(&args, &mut session) {
-        Ok(()) => session.finish(0),
+        Ok(()) => std::process::exit(session.finish(0)),
         Err(e) => {
             eprintln!("iotax-analyze: {e}");
-            let code = i32::from(e.exit_code());
-            session.finish(code);
-            std::process::exit(code);
+            std::process::exit(session.finish(i32::from(e.exit_code())));
         }
     }
 }

@@ -156,12 +156,10 @@ fn main() {
         }
     };
     match run(&args, &mut session) {
-        Ok(()) => session.finish(0),
+        Ok(()) => std::process::exit(session.finish(0)),
         Err(e) => {
             eprintln!("iotax-gen: {e}");
-            let code = i32::from(e.exit_code());
-            session.finish(code);
-            std::process::exit(code);
+            std::process::exit(session.finish(i32::from(e.exit_code())));
         }
     }
 }

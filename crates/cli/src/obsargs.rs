@@ -10,12 +10,19 @@
 //! sinks once and [`ObsSession::finish`]es on every exit path so
 //! `run.json` carries the real exit status.
 
-use iotax_obs::{Error, JsonLinesSink, Ledger, LedgerSink, Result, Sink, TeeSink};
+use iotax_obs::{
+    Error, Heartbeat, JsonLinesSink, Ledger, LedgerSink, Profiler, Result, Sink, TeeSink,
+    BLACKBOX_DIR, HEARTBEAT_FILE,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Usage-string fragment for the shared flags.
-pub const OBS_USAGE: &str = "[--metrics-out PATH] [--ledger DIR] [--store DIR]";
+pub const OBS_USAGE: &str = "[--metrics-out PATH] [--ledger DIR] [--store DIR] [--profile-hz N]";
+
+/// Heartbeat period for `--ledger` runs; coarse liveness, not profiling,
+/// so one line a second is plenty for `iotax-report watch`.
+const HEARTBEAT_PERIOD_MS: u64 = 1000;
 
 /// The iotax workspace crates linked into every binary; recorded in run
 /// manifests. All workspace crates share one version.
@@ -41,6 +48,9 @@ pub struct ObsArgs {
     pub ledger: Option<PathBuf>,
     /// `--store DIR`: durable segment-log store to append the run to.
     pub store: Option<PathBuf>,
+    /// `--profile-hz N`: sample live span stacks N times a second and
+    /// attach the folded profile to the run ledger.
+    pub profile_hz: Option<u64>,
 }
 
 impl ObsArgs {
@@ -63,6 +73,16 @@ impl ObsArgs {
             }
             "--store" => {
                 self.store = Some(PathBuf::from(value("--store")?));
+                Ok(true)
+            }
+            "--profile-hz" => {
+                let hz: u64 = value("--profile-hz")?
+                    .parse()
+                    .map_err(|e| Error::usage(format!("--profile-hz: {e}")))?;
+                if hz == 0 {
+                    return Err(Error::usage("--profile-hz must be at least 1"));
+                }
+                self.profile_hz = Some(hz);
                 Ok(true)
             }
             _ => Ok(false),
@@ -107,15 +127,31 @@ impl ObsArgs {
                 let _ = iotax_obs::set_sink(Arc::new(TeeSink::new(sinks)));
             }
         }
-        Ok(ObsSession { ledger })
+        // Ledger-directory runs are the long ones worth a black box:
+        // arm the flight recorder (flushed into `<ledger>/blackbox/` on
+        // panic or fatal exit), the heartbeat stream `iotax-report watch`
+        // tails, and heap accounting so per-stage peak-heap gauges land
+        // in the run ledger.
+        let heartbeat = match (&self.ledger, &ledger) {
+            (Some(dir), Some(ledger)) => {
+                iotax_obs::install_heap_accounting();
+                iotax_obs::install_recorder(dir.join(BLACKBOX_DIR), ledger.run_id(), None);
+                Some(iotax_obs::start_heartbeat(dir.join(HEARTBEAT_FILE), HEARTBEAT_PERIOD_MS))
+            }
+            _ => None,
+        };
+        let profiler = self.profile_hz.map(iotax_obs::start_profiler);
+        Ok(ObsSession { ledger, heartbeat, profiler })
     }
 }
 
 /// The installed observability state of one invocation. Obtain with
 /// [`ObsArgs::install`]; call [`finish`](ObsSession::finish) on every
-/// exit path.
+/// exit path and exit with the code it hands back.
 pub struct ObsSession {
     ledger: Option<Ledger>,
+    heartbeat: Option<Heartbeat>,
+    profiler: Option<Profiler>,
 }
 
 impl ObsSession {
@@ -130,11 +166,33 @@ impl ObsSession {
         self.ledger.as_mut()
     }
 
-    /// Flushes metrics to the installed sink and, when a ledger is
-    /// active, stamps `exit_status` and writes `run.json`. Ledger write
-    /// failures are reported to stderr, not propagated: the run itself
-    /// already succeeded or failed on its own terms.
-    pub fn finish(self, exit_status: i32) {
+    /// Tears down the session: stops the heartbeat and profiler (the
+    /// folded profile becomes the ledger's `"profile"` section), flushes
+    /// metrics to the installed sink and, when a ledger is active, stamps
+    /// `exit_status` and writes `run.json`. On a fatal exit the flight
+    /// recorder's ring is flushed as a black box first, while the evidence
+    /// is still warm.
+    ///
+    /// Returns `exit_status` unchanged — observability teardown failures
+    /// are reported to stderr but can never mask the run's own outcome,
+    /// and the type signature makes the non-masking contract structural:
+    /// callers exit with whatever comes back.
+    #[must_use = "exit with the returned status so teardown can never mask the run's outcome"]
+    pub fn finish(mut self, exit_status: i32) -> i32 {
+        if let Some(heartbeat) = self.heartbeat.take() {
+            heartbeat.stop();
+        }
+        if let Some(profiler) = self.profiler.take() {
+            let section = profiler.stop();
+            if let Some(ledger) = self.ledger.as_mut() {
+                ledger.add_section("profile", &section);
+            }
+        }
+        if exit_status != 0 {
+            if let Some(path) = iotax_obs::flush_blackbox(&format!("fatal exit {exit_status}")) {
+                eprintln!("flight recorder: black box written to {}", path.display());
+            }
+        }
         iotax_obs::flush_metrics();
         if let Some(ledger) = self.ledger {
             match ledger.finish(exit_status) {
@@ -142,6 +200,7 @@ impl ObsSession {
                 Err(e) => eprintln!("run ledger write failed: {e}"),
             }
         }
+        exit_status
     }
 }
 
@@ -152,16 +211,31 @@ mod tests {
     #[test]
     fn accept_consumes_only_shared_flags() {
         let mut obs = ObsArgs::default();
-        let mut pulls =
-            vec!["metrics.jsonl".to_owned(), "ledger-dir".to_owned(), "store-dir".to_owned()];
+        let mut pulls = vec![
+            "metrics.jsonl".to_owned(),
+            "ledger-dir".to_owned(),
+            "store-dir".to_owned(),
+            "97".to_owned(),
+        ];
         let mut value = move |_name: &str| Ok(pulls.remove(0));
         assert!(obs.accept("--metrics-out", &mut value).expect("metrics-out"));
         assert!(obs.accept("--ledger", &mut value).expect("ledger"));
         assert!(obs.accept("--store", &mut value).expect("store"));
+        assert!(obs.accept("--profile-hz", &mut value).expect("profile-hz"));
         assert!(!obs.accept("--jobs", &mut value).expect("other flag untouched"));
         assert_eq!(obs.metrics_out.as_deref(), Some(std::path::Path::new("metrics.jsonl")));
         assert_eq!(obs.ledger.as_deref(), Some(std::path::Path::new("ledger-dir")));
         assert_eq!(obs.store.as_deref(), Some(std::path::Path::new("store-dir")));
+        assert_eq!(obs.profile_hz, Some(97));
+    }
+
+    #[test]
+    fn profile_hz_rejects_zero_and_garbage() {
+        let mut obs = ObsArgs::default();
+        let mut zero = |_name: &str| Ok("0".to_owned());
+        assert!(obs.accept("--profile-hz", &mut zero).is_err());
+        let mut garbage = |_name: &str| Ok("fast".to_owned());
+        assert!(obs.accept("--profile-hz", &mut garbage).is_err());
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! End-to-end flight-recorder coverage: a crash-injected `iotax-analyze`
+//! run (via the test-only `IOTAX_PANIC_AT_STAGE` hook) must die nonzero
+//! *and* leave a readable black box behind — a CRC-clean segment store
+//! under `<ledger>/blackbox/` whose every record decodes as a
+//! [`iotax_obs::FlightEvent`]. A healthy `--ledger --profile-hz` run is
+//! exercised too: its ledger must carry the profiler section and the
+//! heap-accounting gauges without perturbing the deterministic metrics.
+
+use iotax_obs::FlightEvent;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clearing stale workdir");
+    }
+    std::fs::create_dir_all(&dir).expect("creating workdir");
+    dir
+}
+
+fn gen_trace(dir: &Path) -> PathBuf {
+    let trace = dir.join("trace");
+    let out = Command::new(env!("CARGO_BIN_EXE_iotax-gen"))
+        .args(["--jobs", "300", "--seed", "7", "--out", trace.to_str().expect("utf-8 tmpdir")])
+        .output()
+        .expect("spawning iotax-gen");
+    assert!(out.status.success(), "gen failed:\n{}", String::from_utf8_lossy(&out.stderr));
+    trace
+}
+
+/// Scans the black box and decodes every record, panicking on damage or
+/// undecodable payloads. Returns the decoded events in store order.
+fn read_blackbox(dir: &Path) -> Vec<FlightEvent> {
+    let scan = iotax_obs::store::scan_store(dir).expect("scan blackbox store");
+    assert!(scan.is_clean(), "black box damaged: {:?}", scan.damage);
+    assert!(!scan.records.is_empty(), "black box empty");
+    scan.records
+        .iter()
+        .map(|r| {
+            FlightEvent::decode(&r.payload)
+                .unwrap_or_else(|| panic!("undecodable record at offset {}", r.offset))
+        })
+        .collect()
+}
+
+#[test]
+fn injected_panic_leaves_a_clean_replayable_black_box() {
+    let dir = workdir("blackbox-crash");
+    let trace = gen_trace(&dir);
+    let ledger = dir.join("run");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_iotax-analyze"))
+        .args([
+            trace.to_str().expect("utf-8 tmpdir"),
+            "--ledger",
+            ledger.to_str().expect("utf-8 tmpdir"),
+        ])
+        .env("IOTAX_PANIC_AT_STAGE", "app_bound")
+        .output()
+        .expect("spawning iotax-analyze");
+    assert!(!out.status.success(), "crash-injected run must not exit 0");
+
+    // The panic hook flushed the ring before the process died.
+    let blackbox = ledger.join(iotax_obs::BLACKBOX_DIR);
+    assert!(blackbox.is_dir(), "no blackbox directory at {}", blackbox.display());
+    let events = read_blackbox(&blackbox);
+
+    // The flush header records the panic as its reason, and the ring
+    // captured the breadcrumbs up to (and including) the fatal stage.
+    let header = &events[0];
+    assert_eq!(header.kind, "blackbox", "first record is the flush header: {header:?}");
+    assert!(header.detail.contains("panic"), "flush reason records the panic: {header:?}");
+    let crumbs: Vec<&str> = events
+        .iter()
+        .filter(|e| e.kind == "event" && e.name == "analyze.stage")
+        .map(|e| e.detail.as_str())
+        .collect();
+    assert!(
+        crumbs.iter().any(|d| d.starts_with("app_bound")),
+        "breadcrumb for the crashed stage present: {crumbs:?}"
+    );
+    assert!(
+        events.iter().any(|e| e.kind == "span_close" && e.name == "analyze.duplicates"),
+        "completed pipeline spans reached the ring"
+    );
+    // The root span was open when the process died: the black box shows
+    // its open but — unlike a clean run — never a close.
+    assert!(events.iter().any(|e| e.kind == "span_open" && e.name == "analyze"));
+    assert!(!events.iter().any(|e| e.kind == "span_close" && e.name == "analyze"));
+
+    // A crash-injected second run *appends* to the same black box; both
+    // flushes stay readable (reopen path).
+    let out2 = Command::new(env!("CARGO_BIN_EXE_iotax-analyze"))
+        .args([
+            trace.to_str().expect("utf-8 tmpdir"),
+            "--ledger",
+            dir.join("run2").to_str().expect("utf-8 tmpdir"),
+        ])
+        .env("IOTAX_PANIC_AT_STAGE", "ingest")
+        .output()
+        .expect("spawning iotax-analyze");
+    assert!(!out2.status.success());
+    let events2 = read_blackbox(&dir.join("run2").join(iotax_obs::BLACKBOX_DIR));
+    assert_eq!(events2[0].kind, "blackbox");
+}
+
+#[test]
+fn healthy_profiled_run_carries_profile_section_and_heap_gauges() {
+    let dir = workdir("blackbox-healthy");
+    let trace = gen_trace(&dir);
+    let ledger = dir.join("run");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_iotax-analyze"))
+        .args([
+            trace.to_str().expect("utf-8 tmpdir"),
+            "--ledger",
+            ledger.to_str().expect("utf-8 tmpdir"),
+            "--profile-hz",
+            "997",
+        ])
+        .output()
+        .expect("spawning iotax-analyze");
+    assert!(out.status.success(), "run failed:\n{}", String::from_utf8_lossy(&out.stderr));
+
+    let run = iotax_obs::load_run(&ledger).expect("run ledger");
+    assert_eq!(run.manifest.exit_status, 0);
+
+    // The profiler section is attached with the configured rate; sampled
+    // paths (if the run was long enough to catch any) are span paths.
+    let profile: iotax_obs::ProfileSection =
+        run.section("profile").expect("profile section present");
+    assert_eq!(profile.hz, 997);
+    assert_eq!(profile.period_us, 1_000_000 / 997);
+    for (path, samples) in &profile.samples {
+        assert!(*samples > 0, "zero-sample path {path}");
+        assert!(!path.is_empty());
+    }
+
+    // Heap accounting was latched on by the ledger run: the per-stage
+    // peak gauges are in the ledger, and a heartbeat stream was written.
+    let gauges = run.gauges.as_deref().expect("gauges snapshotted");
+    assert!(
+        gauges.iter().any(|g| g.name == "heap.peak_bytes.core.baseline" && g.value > 0),
+        "per-stage peak-heap gauge missing: {gauges:?}"
+    );
+    assert!(
+        gauges.iter().any(|g| g.name == "analyze.trace_jobs" && g.value == 300),
+        "tool gauge missing: {gauges:?}"
+    );
+    assert!(ledger.join(iotax_obs::HEARTBEAT_FILE).exists(), "heartbeat stream written");
+
+    // No black box: the run succeeded, so nothing flushed.
+    assert!(!ledger.join(iotax_obs::BLACKBOX_DIR).exists(), "no blackbox on a clean run");
+}

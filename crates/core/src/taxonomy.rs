@@ -142,6 +142,11 @@ pub struct TaxonomyReport {
     /// Per-stage span trees captured while the pipeline ran (the
     /// `core.*` stages, with any nested `ml.*`/`uq.*` spans inside).
     pub timings: Vec<SpanNode>,
+    /// Peak heap bytes per `core.*` stage span, largest first, from the
+    /// heap-accounting allocator. Informational: populated only when
+    /// heap tracking is on (`--ledger` runs turn it on), scheduling-
+    /// dependent, and never compared by `iotax-report diff`/`gate`.
+    pub stage_peak_heap: Vec<(String, u64)>,
 }
 
 impl TaxonomyReport {
@@ -619,6 +624,10 @@ impl NoiseFloorStage<'_> {
             stages: core.health,
             stage_metrics,
             timings: core.capture.finish(),
+            stage_peak_heap: iotax_obs::heap_slot_peaks()
+                .into_iter()
+                .filter(|(name, _)| name.starts_with("core."))
+                .collect(),
         }
     }
 }
@@ -702,6 +711,12 @@ impl TaxonomyReport {
             writeln!(s, "── degraded stages ────────────────────────────────")?;
             for st in degraded {
                 writeln!(s, "{}: {}", st.stage, st.reason.as_deref().unwrap_or("(no reason)"))?;
+            }
+        }
+        if !self.stage_peak_heap.is_empty() {
+            writeln!(s, "── peak heap per stage (informational) ────────────")?;
+            for (stage, bytes) in &self.stage_peak_heap {
+                writeln!(s, "{stage:<24} {:>8.1} MiB", *bytes as f64 / (1024.0 * 1024.0))?;
             }
         }
         Ok(())
@@ -876,6 +891,24 @@ mod tests {
         assert!(json.contains("\"stages\""));
         assert!(json.contains("core.noise_floor"));
         assert!(json.contains("\"degraded\""));
+    }
+
+    #[test]
+    fn stage_peak_heap_populates_under_heap_accounting() {
+        iotax_obs::install_heap_accounting();
+        let sim = Platform::new(SimConfig::theta().with_jobs(1_000).with_seed(50)).generate();
+        let report = Taxonomy::quick().run(&sim);
+        assert!(
+            report.stage_peak_heap.iter().any(|(stage, _)| stage == "core.baseline"),
+            "baseline stage must own heap: {:?}",
+            report.stage_peak_heap
+        );
+        assert!(report.stage_peak_heap.iter().all(|(s, b)| s.starts_with("core.") && *b > 0));
+        assert!(
+            report.stage_peak_heap.windows(2).all(|w| w[0].1 >= w[1].1),
+            "largest first: {:?}",
+            report.stage_peak_heap
+        );
     }
 
     #[test]

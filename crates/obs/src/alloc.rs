@@ -1,0 +1,323 @@
+//! Heap accounting: a counting [`GlobalAlloc`] wrapper around the system
+//! allocator, attributed to the active span.
+//!
+//! The wrapper is installed as the workspace's `#[global_allocator]`
+//! (declared at the bottom of this file — `iotax-obs` sits below every
+//! other crate, so every binary gets it), but it is **off by default**:
+//! until [`install_heap_accounting`] flips the tracking flag, each
+//! allocation pays exactly one relaxed atomic load and a predictable
+//! branch. `ObsSession` enables tracking for ledger runs.
+//!
+//! While on, the allocator maintains process totals (current bytes, peak
+//! bytes, allocation/deallocation counts) and per-span-name slot peaks.
+//! Attribution works through a plain thread-local `Cell<usize>` holding
+//! the active slot index, set and restored by the span layer on
+//! open/close. The allocator itself reads only that cell and fixed
+//! atomics — **never** the span stack's `RefCell` (which may be borrowed
+//! while a `Vec` push inside it allocates), never a lock, and never
+//! allocates, so it is re-entrancy- and TLS-teardown-safe by
+//! construction.
+//!
+//! All heap numbers surface as [`Gauge`](crate::Gauge) snapshots
+//! (`heap.current_bytes`, `heap.peak_bytes`, `heap.allocations`,
+//! `heap.deallocations`, `heap.peak_bytes.<span>`): informational,
+//! scheduling-dependent, and therefore excluded from `metrics_identical`
+//! drift by the gauge contract.
+
+use crate::metrics::GaugeSnapshot;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Attribution slots: one per distinct span *name* (not path), first
+/// come first served. 64 covers every span name in the workspace today;
+/// overflow spans simply go unattributed (totals still count them).
+const SLOT_LIMIT: usize = 64;
+
+static HEAP_ON: AtomicBool = AtomicBool::new(false);
+
+static CURRENT_BYTES: AtomicI64 = AtomicI64::new(0);
+static PEAK_BYTES: AtomicI64 = AtomicI64::new(0);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+static SLOT_BYTES: [AtomicI64; SLOT_LIMIT] = [const { AtomicI64::new(0) }; SLOT_LIMIT];
+static SLOT_PEAK: [AtomicI64; SLOT_LIMIT] = [const { AtomicI64::new(0) }; SLOT_LIMIT];
+static SLOT_NAMES: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// Index of the slot owning this thread's allocations (`usize::MAX`
+    /// = unattributed). A bare `Cell`, not part of the span stack's
+    /// `RefCell`, so the allocator can read it mid-push.
+    static ACTIVE_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Turns heap tracking on (idempotent). Called by `ObsSession` when a
+/// run wants heap gauges; never turned back off outside tests, so the
+/// flag is a latch, not a toggle.
+pub fn install_heap_accounting() {
+    HEAP_ON.store(true, Ordering::Release);
+}
+
+#[cfg(test)]
+fn uninstall_heap_accounting() {
+    HEAP_ON.store(false, Ordering::Release);
+}
+
+fn on_alloc(size: usize) {
+    if !HEAP_ON.load(Ordering::Relaxed) {
+        return;
+    }
+    let delta = size as i64;
+    let current = CURRENT_BYTES.fetch_add(delta, Ordering::Relaxed) + delta;
+    PEAK_BYTES.fetch_max(current, Ordering::Relaxed);
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    // `try_with`, not `with`: allocations can happen during TLS teardown
+    // when the cell is already destroyed; those go unattributed.
+    let slot = ACTIVE_SLOT.try_with(Cell::get).unwrap_or(usize::MAX);
+    if slot < SLOT_LIMIT {
+        let owned = SLOT_BYTES[slot].fetch_add(delta, Ordering::Relaxed) + delta;
+        SLOT_PEAK[slot].fetch_max(owned, Ordering::Relaxed);
+    }
+}
+
+fn on_dealloc(size: usize) {
+    if !HEAP_ON.load(Ordering::Relaxed) {
+        return;
+    }
+    let delta = size as i64;
+    CURRENT_BYTES.fetch_sub(delta, Ordering::Relaxed);
+    DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    let slot = ACTIVE_SLOT.try_with(Cell::get).unwrap_or(usize::MAX);
+    if slot < SLOT_LIMIT {
+        // Frees of memory allocated under another span drive this slot
+        // negative; that is fine — peaks, the number we report, only
+        // ever ratchet up from genuinely owned highs.
+        SLOT_BYTES[slot].fetch_sub(delta, Ordering::Relaxed);
+    }
+}
+
+/// Maps a span name to its attribution slot, allocating one on first
+/// sight. Returns `usize::MAX` when the table is full. Takes the name
+/// table lock — called from span open (not from the allocator).
+fn slot_for(name: &str) -> usize {
+    let mut names = SLOT_NAMES.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(i) = names.iter().position(|n| n == name) {
+        return i;
+    }
+    if names.len() < SLOT_LIMIT {
+        names.push(name.to_owned());
+        return names.len() - 1;
+    }
+    usize::MAX
+}
+
+/// Span open: point this thread's allocations at `name`'s slot.
+/// Returns the previous slot for the matching [`exit_scope`], or `None`
+/// when tracking is off (open must then skip the exit restore too).
+pub(crate) fn enter_scope(name: &str) -> Option<usize> {
+    if !HEAP_ON.load(Ordering::Relaxed) {
+        return None;
+    }
+    let slot = slot_for(name);
+    Some(ACTIVE_SLOT.with(|cell| {
+        let previous = cell.get();
+        cell.set(slot);
+        previous
+    }))
+}
+
+/// Span close: restore the slot saved by [`enter_scope`].
+pub(crate) fn exit_scope(previous: Option<usize>) {
+    if let Some(previous) = previous {
+        ACTIVE_SLOT.with(|cell| cell.set(previous));
+    }
+}
+
+/// Peak heap bytes per span name, largest first — the per-stage numbers
+/// `ObsSession` republishes and `TaxonomyReport` embeds. Empty while
+/// tracking is off.
+pub fn heap_slot_peaks() -> Vec<(String, u64)> {
+    if !HEAP_ON.load(Ordering::Relaxed) {
+        return Vec::new();
+    }
+    let names = SLOT_NAMES.lock().unwrap_or_else(|p| p.into_inner());
+    let mut peaks: Vec<(String, u64)> = names
+        .iter()
+        .enumerate()
+        .filter_map(|(i, name)| {
+            let peak = SLOT_PEAK[i].load(Ordering::Relaxed);
+            (peak > 0).then(|| (name.clone(), peak as u64))
+        })
+        .collect();
+    drop(names);
+    peaks.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    peaks
+}
+
+/// Heap gauges for [`crate::metrics`]'s snapshot: process totals plus
+/// one `heap.peak_bytes.<span>` per attributed slot. Empty while
+/// tracking is off, so runs that never opted in stay byte-stable.
+pub(crate) fn gauge_snapshots() -> Vec<GaugeSnapshot> {
+    if !HEAP_ON.load(Ordering::Relaxed) {
+        return Vec::new();
+    }
+    let mut snaps = vec![
+        GaugeSnapshot {
+            name: "heap.current_bytes".to_owned(),
+            value: CURRENT_BYTES.load(Ordering::Relaxed).max(0) as u64,
+        },
+        GaugeSnapshot {
+            name: "heap.peak_bytes".to_owned(),
+            value: PEAK_BYTES.load(Ordering::Relaxed).max(0) as u64,
+        },
+        GaugeSnapshot {
+            name: "heap.allocations".to_owned(),
+            value: ALLOCATIONS.load(Ordering::Relaxed),
+        },
+        GaugeSnapshot {
+            name: "heap.deallocations".to_owned(),
+            value: DEALLOCATIONS.load(Ordering::Relaxed),
+        },
+    ];
+    for (name, peak) in heap_slot_peaks() {
+        snaps.push(GaugeSnapshot { name: format!("heap.peak_bytes.{name}"), value: peak });
+    }
+    snaps
+}
+
+/// The counting allocator. Delegates every operation to [`System`] and,
+/// when tracking is on, maintains the totals and slot attribution above.
+/// Crate-private: linking `iotax-obs` installs it process-wide below —
+/// no caller ever names the type.
+pub(crate) struct CountingAlloc;
+
+// SAFETY: every allocation contract is delegated verbatim to `System`;
+// the accounting side effects touch only atomics and a thread-local
+// `Cell`, never allocate, and never unwind.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        new_ptr
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drops every slot allocated after `len`, so a test that fills the
+    /// table cannot starve its siblings.
+    fn reset_slots_beyond(len: usize) {
+        let mut names = SLOT_NAMES.lock().unwrap_or_else(|p| p.into_inner());
+        while names.len() > len {
+            let i = names.len() - 1;
+            SLOT_BYTES[i].store(0, Ordering::Relaxed);
+            SLOT_PEAK[i].store(0, Ordering::Relaxed);
+            names.pop();
+        }
+    }
+
+    /// Heap tracking is process-global state; these tests serialize on
+    /// the sink test lock like every other global-touching obs test.
+    /// Assertions compare before/after deltas with generous margins
+    /// because sibling tests' threads allocate concurrently.
+    #[test]
+    fn totals_and_peak_track_alloc_dealloc() {
+        let _guard = crate::sink::test_sink_lock();
+        install_heap_accounting();
+        let before_current = CURRENT_BYTES.load(Ordering::Relaxed);
+        let before_allocs = ALLOCATIONS.load(Ordering::Relaxed);
+        let before_frees = DEALLOCATIONS.load(Ordering::Relaxed);
+        let block = vec![0u8; 8 << 20];
+        assert!(
+            CURRENT_BYTES.load(Ordering::Relaxed) >= before_current + (4 << 20),
+            "an 8 MiB allocation must raise current bytes well past 4 MiB"
+        );
+        assert!(PEAK_BYTES.load(Ordering::Relaxed) >= before_current + (4 << 20));
+        assert!(ALLOCATIONS.load(Ordering::Relaxed) > before_allocs);
+        drop(block);
+        assert!(
+            DEALLOCATIONS.load(Ordering::Relaxed) > before_frees,
+            "dropping the block must count as a deallocation"
+        );
+        uninstall_heap_accounting();
+    }
+
+    #[test]
+    fn spans_attribute_their_allocations() {
+        let _guard = crate::sink::test_sink_lock();
+        install_heap_accounting();
+        let block;
+        {
+            let _span = crate::span!("alloc.test_stage");
+            block = vec![0u8; 512 * 1024];
+        }
+        let peaks = heap_slot_peaks();
+        let mine = peaks.iter().find(|(name, _)| name == "alloc.test_stage");
+        let (_, peak) = mine.expect("span-attributed slot present");
+        assert!(*peak >= 512 * 1024, "slot peak {peak} below the span's own allocation");
+        drop(block);
+        uninstall_heap_accounting();
+    }
+
+    #[test]
+    fn gauges_appear_only_while_tracking() {
+        let _guard = crate::sink::test_sink_lock();
+        uninstall_heap_accounting();
+        assert!(gauge_snapshots().is_empty(), "no heap gauges while off");
+        install_heap_accounting();
+        let _touch = vec![0u8; 4096];
+        let snaps = gauge_snapshots();
+        for required in ["heap.current_bytes", "heap.peak_bytes", "heap.allocations"] {
+            assert!(snaps.iter().any(|s| s.name == required), "{required} missing");
+        }
+        uninstall_heap_accounting();
+    }
+
+    #[test]
+    fn slot_table_overflow_degrades_to_unattributed() {
+        let _guard = crate::sink::test_sink_lock();
+        let base = SLOT_NAMES.lock().unwrap_or_else(|p| p.into_inner()).len();
+        let first = slot_for("alloc.overflow.0");
+        for i in 1..SLOT_LIMIT + 8 {
+            let _ = slot_for(&format!("alloc.overflow.{i}"));
+        }
+        assert_ne!(first, usize::MAX, "early names get slots");
+        assert_eq!(
+            slot_for("alloc.overflow.never_seen_before"),
+            usize::MAX,
+            "a full table attributes nothing new"
+        );
+        reset_slots_beyond(base);
+    }
+}

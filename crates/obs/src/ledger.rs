@@ -16,7 +16,10 @@
 //!
 //! [`assemble_span_tree`]: crate::assemble_span_tree
 
-use crate::metrics::{snapshot_counters, snapshot_histograms, CounterSnapshot, HistogramSummary};
+use crate::metrics::{
+    snapshot_counters, snapshot_gauges, snapshot_histograms, CounterSnapshot, GaugeSnapshot,
+    HistogramSummary,
+};
 use crate::sink::Sink;
 use crate::span::SpanRecord;
 use crate::{Error, Result};
@@ -106,6 +109,11 @@ pub struct RunFile {
     pub histograms: Vec<HistogramSummary>,
     /// Tool-specific payloads, e.g. `("stages", …)` from iotax-analyze.
     pub sections: Vec<(String, Value)>,
+    /// Final gauge values, sorted by name. Informational only: gauges
+    /// (heap peaks, environment-dependent readings) are excluded from
+    /// `metrics_identical` drift by contract. `None` when the ledger was
+    /// written by a pre-gauge build, so old baselines keep decoding.
+    pub gauges: Option<Vec<GaugeSnapshot>>,
 }
 
 impl RunFile {
@@ -309,6 +317,7 @@ impl Ledger {
             counters: snapshot_counters(),
             histograms: snapshot_histograms().iter().map(|s| s.summary()).collect(),
             sections: self.sections,
+            gauges: Some(snapshot_gauges()),
         };
         let mut text = serde_json::to_string_pretty(&run)
             .map_err(|e| Error::parse("encoding run ledger", e))?;
@@ -372,6 +381,7 @@ mod tests {
         {
             let _root = crate::span!("ledger.root");
             let _inner = crate::span!("ledger.inner");
+            crate::gauge!("ledger.test_gauge").set(11);
         }
         crate::restore_sink(previous);
         let path = ledger.finish(0).expect("finish");
@@ -389,6 +399,11 @@ mod tests {
         let notes: Vec<(String, f64)> = run.section("notes").expect("section decodes");
         assert_eq!(notes, vec![("k".to_owned(), 1.5)]);
         assert!(run.section::<Vec<(String, f64)>>("absent").is_none());
+        let gauges = run.gauges.as_deref().expect("gauges snapshotted");
+        assert!(
+            gauges.iter().any(|g| g.name == "ledger.test_gauge" && g.value == 11),
+            "gauge snapshot missing: {gauges:?}"
+        );
         std::fs::remove_file(path).ok();
         std::fs::remove_dir(&dir).ok();
     }

@@ -42,21 +42,30 @@
 //! every other workspace crate, so both the CLI layer and the substrates
 //! can speak it without dependency cycles.
 
+pub mod alloc;
 mod error;
 mod ledger;
 mod metrics;
+mod profiler;
+mod recorder;
 mod sink;
 mod span;
 pub mod store;
 
+pub use alloc::{heap_slot_peaks, install_heap_accounting};
 pub use error::{Error, ErrorKind, Result};
 pub use ledger::{
     digest_bytes, load_run, load_run_with_limit, InputDigest, Ledger, LedgerSink, RunFile,
     RunManifest, MAX_RUN_FILE_BYTES,
 };
 pub use metrics::{
-    register_counter, register_histogram, Counter, CounterSnapshot, Histogram, HistogramSnapshot,
-    HistogramSummary,
+    register_counter, register_gauge, register_histogram, set_dynamic_gauge, Counter,
+    CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, HistogramSummary,
+};
+pub use profiler::{start_profiler, ProfileSection, Profiler};
+pub use recorder::{
+    flush_blackbox, install_recorder, record_event, start_heartbeat, uptime_us, FlightEvent,
+    Heartbeat, HeartbeatLine, BLACKBOX_DIR, HEARTBEAT_FILE,
 };
 pub use sink::{
     flush_metrics, restore_sink, set_sink, JsonLinesSink, MemorySink, NoopSink, Sink, TeeSink,
@@ -103,4 +112,33 @@ macro_rules! histogram {
         $crate::register_histogram(&__OBS_HISTOGRAM);
         &__OBS_HISTOGRAM
     }};
+}
+
+/// Returns a `&'static` [`Gauge`] for the given name, registering it on
+/// first use. Updates are lock-free. Gauges are informational: excluded
+/// from `metrics_identical` drift checks by design.
+#[macro_export]
+macro_rules! gauge {
+    ($name:literal) => {{
+        static __OBS_GAUGE: $crate::Gauge = $crate::Gauge::new($name);
+        $crate::register_gauge(&__OBS_GAUGE);
+        &__OBS_GAUGE
+    }};
+}
+
+/// Drops a breadcrumb into the flight recorder ring: a named event with a
+/// formatted detail string, timestamped against the process span clock.
+/// Near-free when no recorder is installed (one relaxed atomic load).
+///
+/// Call sites should sit inside an open span so the black box can place
+/// the breadcrumb in the span timeline — the `event-outside-span` audit
+/// lint enforces this.
+#[macro_export]
+macro_rules! event {
+    ($name:literal) => {
+        $crate::record_event($name, String::new())
+    };
+    ($name:literal, $($detail:tt)+) => {
+        $crate::record_event($name, format!($($detail)+))
+    };
 }

@@ -14,12 +14,21 @@ use std::sync::Mutex;
 /// is `i`, i.e. `[2^(i-1), 2^i)`, with bucket 0 holding zero.
 pub(crate) const HISTOGRAM_BUCKETS: usize = 65;
 
-static REGISTRY: Mutex<Registry> =
-    Mutex::new(Registry { counters: Vec::new(), histograms: Vec::new() });
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+    counters: Vec::new(),
+    histograms: Vec::new(),
+    gauges: Vec::new(),
+    dynamic_gauges: Vec::new(),
+});
 
 struct Registry {
     counters: Vec<&'static Counter>,
     histograms: Vec<&'static Histogram>,
+    gauges: Vec<&'static Gauge>,
+    /// Owned-name gauges published at runtime (e.g. per-stage heap peaks
+    /// whose names are not known at compile time). `(name, value)`; a
+    /// republish overwrites the previous value.
+    dynamic_gauges: Vec<(String, u64)>,
 }
 
 /// A named monotonic counter. Construct through the [`counter!`] macro,
@@ -83,6 +92,109 @@ pub(crate) fn snapshot_counters() -> Vec<CounterSnapshot> {
         .iter()
         .map(|c| CounterSnapshot { name: c.name.to_owned(), value: c.get() })
         .collect();
+    snaps.sort_by(|a, b| a.name.cmp(&b.name));
+    snaps
+}
+
+/// A named last-value gauge. Unlike a [`Counter`], a gauge can move both
+/// ways (current heap bytes, live queue depth) or track a running maximum
+/// (peak heap bytes). Construct through the [`gauge!`] macro, which gives
+/// each call site a `&'static` instance.
+///
+/// Gauges are **informational**: they are snapshotted into ledgers and
+/// sinks but deliberately excluded from `iotax-report`'s
+/// `metrics_identical` drift contract, so allocator or environment noise
+/// can never fail a determinism gate.
+///
+/// [`gauge!`]: crate::gauge
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// Const-constructs an unregistered gauge (used by `gauge!`).
+    pub const fn new(name: &'static str) -> Self {
+        Self { name, value: AtomicU64::new(0), registered: AtomicBool::new(false) }
+    }
+
+    /// Sets the gauge to an absolute value; lock-free.
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds a signed delta (two's-complement wrapping) and returns the
+    /// new value; lock-free. Safe to call from allocator context: it
+    /// never locks or allocates.
+    pub fn add(&self, delta: i64) -> u64 {
+        self.value.fetch_add(delta as u64, Ordering::Relaxed).wrapping_add(delta as u64)
+    }
+
+    /// Raises the gauge to `value` if it is larger; lock-free.
+    pub fn max(&self, value: u64) {
+        self.value.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The gauge's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Adds a gauge to the global registry once; subsequent calls are a
+/// single relaxed load.
+pub fn register_gauge(gauge: &'static Gauge) {
+    if !gauge.registered.load(Ordering::Relaxed) && !gauge.registered.swap(true, Ordering::AcqRel) {
+        REGISTRY.lock().expect("obs registry poisoned").gauges.push(gauge);
+    }
+}
+
+/// Publishes (or overwrites) a gauge whose name is only known at runtime,
+/// e.g. `heap.peak_bytes.core.baseline`. Dynamic gauges appear in
+/// snapshots alongside static ones.
+// audit:allow(dead-public-api) -- the runtime-named counterpart of the gauge! macro: deliberate API surface for tools whose gauge names derive from data (per-stage, per-file), mirroring the alloc layer's internal peak-slot publication
+pub fn set_dynamic_gauge(name: String, value: u64) {
+    let mut registry = REGISTRY.lock().expect("obs registry poisoned");
+    if let Some(slot) = registry.dynamic_gauges.iter_mut().find(|(n, _)| *n == name) {
+        slot.1 = value;
+    } else {
+        registry.dynamic_gauges.push((name, value));
+    }
+}
+
+/// Point-in-time value of one gauge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// audit:allow(dead-public-api) -- appears in Sink::gauge_flush's public signature
+pub struct GaugeSnapshot {
+    /// Gauge name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// Snapshots every registered and dynamic gauge, plus the allocator's
+/// heap gauges when heap tracking is on, sorted by name.
+pub(crate) fn snapshot_gauges() -> Vec<GaugeSnapshot> {
+    let registry = REGISTRY.lock().expect("obs registry poisoned");
+    let mut snaps: Vec<GaugeSnapshot> = registry
+        .gauges
+        .iter()
+        .map(|g| GaugeSnapshot { name: g.name.to_owned(), value: g.get() })
+        .chain(
+            registry
+                .dynamic_gauges
+                .iter()
+                .map(|(name, value)| GaugeSnapshot { name: name.clone(), value: *value }),
+        )
+        .collect();
+    drop(registry);
+    snaps.extend(crate::alloc::gauge_snapshots());
     snaps.sort_by(|a, b| a.name.cmp(&b.name));
     snaps
 }
@@ -332,6 +444,41 @@ mod tests {
         assert_eq!(s.p50, 511);
         assert_eq!(s.p95, 1023);
         assert_eq!(s.p99, 1023);
+    }
+
+    #[test]
+    fn gauge_set_add_max_semantics() {
+        let g = crate::gauge!("test.metrics.gauge_semantics");
+        g.set(100);
+        assert_eq!(g.get(), 100);
+        assert_eq!(g.add(-40), 60);
+        assert_eq!(g.add(15), 75);
+        g.max(50);
+        assert_eq!(g.get(), 75, "max never lowers the value");
+        g.max(200);
+        assert_eq!(g.get(), 200);
+        let snaps = snapshot_gauges();
+        let mine: Vec<_> =
+            snaps.iter().filter(|s| s.name == "test.metrics.gauge_semantics").collect();
+        assert_eq!(mine.len(), 1, "registered exactly once");
+        assert_eq!(mine[0].value, 200);
+    }
+
+    #[test]
+    fn dynamic_gauges_overwrite_and_sort_with_static_ones() {
+        crate::gauge!("test.metrics.dynamic.static_peer").set(1);
+        set_dynamic_gauge("test.metrics.dynamic.runtime".to_owned(), 7);
+        set_dynamic_gauge("test.metrics.dynamic.runtime".to_owned(), 9);
+        let snaps = snapshot_gauges();
+        let names: Vec<&str> = snaps
+            .iter()
+            .filter(|s| s.name.starts_with("test.metrics.dynamic."))
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(names, ["test.metrics.dynamic.runtime", "test.metrics.dynamic.static_peer"]);
+        let runtime =
+            snaps.iter().find(|s| s.name == "test.metrics.dynamic.runtime").expect("published");
+        assert_eq!(runtime.value, 9, "republish overwrites");
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Sampling self-profiler and the live-stack table behind it.
+//!
+//! The span layer publishes each thread's current open-span path into a
+//! small global table whenever a recorder or profiler is active (one
+//! mutexed map update per span open/close — spans here bound stages and
+//! hot loops, not individual iterations, so this is off the per-item hot
+//! path). The profiler is a background thread that samples that table at
+//! a fixed rate (`--profile-hz N`) and folds the observed paths into
+//! `path -> sample count`, which [`crate::Ledger`] persists as the
+//! `"profile"` section and `iotax-report export` merges into folded
+//! flamegraph output: each sample contributes one sampling period of
+//! estimated wall time.
+//!
+//! Sampling the *span* stack instead of the native call stack keeps the
+//! profiler entirely safe code, deterministic to decode, and aligned
+//! with the names every other obs surface uses.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+static PROFILER_ON: AtomicBool = AtomicBool::new(false);
+
+fn live_table() -> &'static Mutex<BTreeMap<u64, String>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<u64, String>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Whether span open/close should publish live stacks (recorder runs
+/// want them for heartbeats, profilers for sampling).
+pub(crate) fn publishing_enabled() -> bool {
+    PROFILER_ON.load(Ordering::Relaxed) || crate::recorder::recorder_enabled()
+}
+
+/// Publishes `thread`'s current open-span path (empty = idle); called by
+/// the span layer on every open/close while publishing is enabled.
+pub(crate) fn publish_stack(thread: u64, path: String) {
+    let mut table = live_table().lock().unwrap_or_else(|p| p.into_inner());
+    if path.is_empty() {
+        table.remove(&thread);
+    } else {
+        table.insert(thread, path);
+    }
+}
+
+/// Snapshot of every thread's live span path, for heartbeats.
+pub(crate) fn live_stacks() -> Vec<(u64, String)> {
+    let table = live_table().lock().unwrap_or_else(|p| p.into_inner());
+    table.iter().map(|(t, p)| (*t, p.clone())).collect()
+}
+
+/// The profiler's result, persisted as the run ledger's `"profile"`
+/// section. `samples` maps each observed span path to how many sampling
+/// ticks saw it; one tick ≈ `period_us` of wall time on that path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileSection {
+    /// Sampling rate the run was profiled at.
+    pub hz: u64,
+    /// Microseconds per sample (`1_000_000 / hz`).
+    pub period_us: u64,
+    /// `(span path, samples)` sorted by path.
+    pub samples: Vec<(String, u64)>,
+}
+
+/// Handle to the background sampler; [`Profiler::stop`] joins the thread
+/// and returns the folded samples.
+pub struct Profiler {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<BTreeMap<String, u64>>>,
+    hz: u64,
+}
+
+impl Profiler {
+    /// Stops sampling and returns the folded profile.
+    pub fn stop(mut self) -> ProfileSection {
+        self.stop.store(true, Ordering::Release);
+        let counts = match self.handle.take() {
+            Some(handle) => handle.join().unwrap_or_default(),
+            None => BTreeMap::new(),
+        };
+        PROFILER_ON.store(false, Ordering::Release);
+        ProfileSection {
+            hz: self.hz,
+            period_us: 1_000_000 / self.hz.max(1),
+            samples: counts.into_iter().collect(),
+        }
+    }
+}
+
+/// Starts sampling every live span stack at `hz` (clamped to 1..=1000).
+/// The sampler holds the live-stack lock only long enough to copy the
+/// current paths, so contention with span open/close stays bounded by
+/// the table size (= thread count).
+pub fn start_profiler(hz: u64) -> Profiler {
+    let hz = hz.clamp(1, 1000);
+    PROFILER_ON.store(true, Ordering::Release);
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("obs-profiler".to_owned())
+        .spawn(move || sample_loop(hz, &stop_flag))
+        .ok();
+    Profiler { stop, handle, hz }
+}
+
+fn sample_loop(hz: u64, stop: &AtomicBool) -> BTreeMap<String, u64> {
+    let period = Duration::from_micros(1_000_000 / hz);
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(period);
+        let live: Vec<String> = {
+            let table = live_table().lock().unwrap_or_else(|p| p.into_inner());
+            table.values().cloned().collect()
+        };
+        for path in live {
+            *counts.entry(path).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiler_samples_a_held_span() {
+        let _guard = crate::sink::test_sink_lock();
+        let profiler = start_profiler(200);
+        {
+            let _span = crate::span!("prof.held");
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let section = profiler.stop();
+        assert_eq!(section.hz, 200);
+        assert_eq!(section.period_us, 5_000);
+        let held: u64 = section
+            .samples
+            .iter()
+            .filter(|(path, _)| path.ends_with("prof.held"))
+            .map(|(_, n)| *n)
+            .sum();
+        assert!(held >= 2, "100ms at 200Hz must land several samples, got {held}");
+    }
+
+    #[test]
+    fn stacks_clear_when_spans_close() {
+        let _guard = crate::sink::test_sink_lock();
+        let profiler = start_profiler(500);
+        {
+            let _span = crate::span!("prof.transient");
+        }
+        let thread = crate::span::thread_ordinal();
+        assert!(
+            !live_stacks().iter().any(|(t, _)| *t == thread),
+            "closing the last span must clear this thread's live stack"
+        );
+        let _ = profiler.stop();
+    }
+
+    #[test]
+    fn sample_counts_fold_by_path() {
+        let mut counts = BTreeMap::new();
+        for path in ["a/b", "a/b", "a"] {
+            *counts.entry(path.to_owned()).or_insert(0u64) += 1;
+        }
+        let section =
+            ProfileSection { hz: 97, period_us: 10_309, samples: counts.into_iter().collect() };
+        assert_eq!(section.samples, vec![("a".to_owned(), 1), ("a/b".to_owned(), 2)]);
+    }
+}

@@ -5,7 +5,10 @@
 //! pushed only by [`flush_metrics`], so the instrument fast paths never
 //! see the sink at all.
 
-use crate::metrics::{snapshot_counters, snapshot_histograms, CounterSnapshot, HistogramSnapshot};
+use crate::metrics::{
+    snapshot_counters, snapshot_gauges, snapshot_histograms, CounterSnapshot, GaugeSnapshot,
+    HistogramSnapshot,
+};
 use crate::span::SpanRecord;
 use serde::Serialize;
 use std::fs::File;
@@ -25,6 +28,9 @@ pub trait Sink: Send + Sync {
 
     /// A histogram state at flush time.
     fn histogram_flush(&self, _snapshot: &HistogramSnapshot) {}
+
+    /// A gauge value at flush time (informational; gate-exempt).
+    fn gauge_flush(&self, _snapshot: &GaugeSnapshot) {}
 
     /// Flush buffered output (called at the end of [`flush_metrics`]).
     fn flush(&self) {}
@@ -54,8 +60,8 @@ pub(crate) fn with_sink(f: impl FnOnce(&dyn Sink)) {
     f(guard.as_ref());
 }
 
-/// Pushes a snapshot of every registered counter and histogram to the
-/// installed sink, then flushes it.
+/// Pushes a snapshot of every registered counter, histogram, and gauge
+/// to the installed sink, then flushes it.
 pub fn flush_metrics() {
     with_sink(|sink| {
         for snap in snapshot_counters() {
@@ -63,6 +69,9 @@ pub fn flush_metrics() {
         }
         for snap in snapshot_histograms() {
             sink.histogram_flush(&snap);
+        }
+        for snap in snapshot_gauges() {
+            sink.gauge_flush(&snap);
         }
         sink.flush();
     });
@@ -79,6 +88,7 @@ pub struct MemorySink {
     spans: Mutex<Vec<SpanRecord>>,
     counters: Mutex<Vec<CounterSnapshot>>,
     histograms: Mutex<Vec<HistogramSnapshot>>,
+    gauges: Mutex<Vec<GaugeSnapshot>>,
 }
 
 impl MemorySink {
@@ -104,6 +114,12 @@ impl MemorySink {
     pub fn histogram_snapshots(&self) -> Vec<HistogramSnapshot> {
         self.histograms.lock().expect("memory sink poisoned").clone()
     }
+
+    /// Gauge snapshots from the most recent flush.
+    // audit:allow(dead-public-api) -- read side of the MemorySink collector
+    pub fn gauge_snapshots(&self) -> Vec<GaugeSnapshot> {
+        self.gauges.lock().expect("memory sink poisoned").clone()
+    }
 }
 
 impl Sink for MemorySink {
@@ -117,6 +133,10 @@ impl Sink for MemorySink {
 
     fn histogram_flush(&self, snapshot: &HistogramSnapshot) {
         self.histograms.lock().expect("memory sink poisoned").push(snapshot.clone());
+    }
+
+    fn gauge_flush(&self, snapshot: &GaugeSnapshot) {
+        self.gauges.lock().expect("memory sink poisoned").push(snapshot.clone());
     }
 }
 
@@ -164,6 +184,10 @@ impl Sink for JsonLinesSink {
         self.write_tagged("histogram", snapshot);
     }
 
+    fn gauge_flush(&self, snapshot: &GaugeSnapshot) {
+        self.write_tagged("gauge", snapshot);
+    }
+
     fn flush(&self) {
         // audit:allow(swallowed-result) -- flush on a best-effort sink; errors surface on the next write
         let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
@@ -205,6 +229,12 @@ impl Sink for TeeSink {
     fn histogram_flush(&self, snapshot: &HistogramSnapshot) {
         for sink in &self.sinks {
             sink.histogram_flush(snapshot);
+        }
+    }
+
+    fn gauge_flush(&self, snapshot: &GaugeSnapshot) {
+        for sink in &self.sinks {
+            sink.gauge_flush(snapshot);
         }
     }
 
@@ -272,6 +302,7 @@ mod tests {
         {
             let _span = crate::span!("jsonl.root");
             crate::histogram!("test.sink.jsonl_bytes").record(4096);
+            crate::gauge!("test.sink.jsonl_gauge").set(42);
         }
         flush_metrics();
         restore_sink(previous);
@@ -279,6 +310,7 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read back");
         let mut saw_span = false;
         let mut saw_histogram = false;
+        let mut saw_gauge = false;
         for line in text.lines() {
             let value: serde::Value = serde_json::from_str(line).expect("parseable line");
             match value.get("type").and_then(|t| t.as_str()) {
@@ -291,10 +323,14 @@ mod tests {
                         serde_json::from_str(line).expect("histogram record");
                     saw_histogram |= snap.name == "test.sink.jsonl_bytes";
                 }
+                Some("gauge") => {
+                    let snap: GaugeSnapshot = serde_json::from_str(line).expect("gauge record");
+                    saw_gauge |= snap.name == "test.sink.jsonl_gauge" && snap.value == 42;
+                }
                 Some("counter") => {}
                 other => panic!("unexpected line type {other:?}"),
             }
         }
-        assert!(saw_span && saw_histogram);
+        assert!(saw_span && saw_histogram && saw_gauge);
     }
 }

@@ -28,7 +28,7 @@ static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 /// Small dense per-thread ordinals (main thread observes spans first in
 /// every binary here, so it is ordinal 1). Stable for the lifetime of
 /// the thread; never reused within a process.
-fn thread_ordinal() -> u64 {
+pub(crate) fn thread_ordinal() -> u64 {
     static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
     thread_local! {
         static ORDINAL: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
@@ -107,6 +107,9 @@ struct Frame {
     /// this frame has no enclosing frame on its own thread.
     explicit_parent: u64,
     children: Vec<SpanNode>,
+    /// Heap-attribution slot to restore on close (`None` = heap
+    /// accounting was off at open; skip the restore).
+    heap_prev: Option<usize>,
 }
 
 struct CaptureSlot {
@@ -153,14 +156,28 @@ impl SpanGuard {
         let name = name.into();
         let start_us = now_us();
         let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let heap_prev = crate::alloc::enter_scope(&name);
         STACK.with(|stack| {
-            stack.borrow_mut().frames.push(Frame {
+            let mut stack = stack.borrow_mut();
+            if crate::profiler::publishing_enabled() {
+                let path = stack
+                    .frames
+                    .iter()
+                    .map(|f| f.name.as_str())
+                    .chain(std::iter::once(name.as_str()))
+                    .collect::<Vec<_>>()
+                    .join("/");
+                crate::recorder::record_span("span_open", &name, &path, 0);
+                crate::profiler::publish_stack(thread_ordinal(), path);
+            }
+            stack.frames.push(Frame {
                 name,
                 start: Instant::now(),
                 start_us,
                 id,
                 explicit_parent: parent.map_or(0, |h| h.id),
                 children: Vec::new(),
+                heap_prev,
             });
         });
         Self { _not_send: std::marker::PhantomData }
@@ -175,6 +192,7 @@ impl Drop for SpanGuard {
             let duration_us = frame.start.elapsed().as_micros() as u64;
             let depth = stack.frames.len() as u32;
             let parent = stack.frames.last().map_or(frame.explicit_parent, |f| f.id);
+            let heap_prev = frame.heap_prev;
             let node = SpanNode {
                 name: frame.name,
                 start_us: frame.start_us,
@@ -188,6 +206,13 @@ impl Drop for SpanGuard {
                 .chain(std::iter::once(node.name.as_str()))
                 .collect::<Vec<_>>()
                 .join("/");
+            crate::alloc::exit_scope(heap_prev);
+            if crate::profiler::publishing_enabled() {
+                crate::recorder::record_span("span_close", &node.name, &path, duration_us);
+                let parent_path =
+                    stack.frames.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join("/");
+                crate::profiler::publish_stack(thread_ordinal(), parent_path);
+            }
             with_sink(|sink| {
                 sink.span_close(&SpanRecord {
                     name: node.name.clone(),

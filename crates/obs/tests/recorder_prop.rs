@@ -1,0 +1,58 @@
+//! Property tests for the flight-recorder wire format: the black box is
+//! read *after* a crash, so [`FlightEvent::decode`] must be total on
+//! arbitrary bytes, and every event the recorder can emit must survive
+//! the encode → decode round trip bit-identical.
+
+use iotax_obs::FlightEvent;
+use proptest::prelude::*;
+
+/// Strategy for the text fields of a [`FlightEvent`]: anything a span
+/// path, counter name, or breadcrumb could plausibly carry, including
+/// non-ASCII and embedded quotes/backslashes that stress JSON escaping.
+fn text() -> impl Strategy<Value = String> {
+    "[a-z0-9\"\\/µ½ .-]{0,24}"
+}
+
+fn flight_event() -> impl Strategy<Value = FlightEvent> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), text(), text(), text(), any::<u64>()).prop_map(
+        |(seq, at_us, thread, kind, name, detail, value)| FlightEvent {
+            seq,
+            at_us,
+            thread,
+            kind,
+            name,
+            detail,
+            value,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Totality: arbitrary byte soup never panics the decoder; it either
+    /// yields an event or `None`, nothing else.
+    #[test]
+    fn decode_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = FlightEvent::decode(&bytes);
+    }
+
+    /// Adversarial totality: a JSON-shaped prefix commits the decoder to
+    /// parsing attacker-controlled field soup.
+    #[test]
+    fn decode_is_total_on_json_prefixed_bytes(tail in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let mut bytes = br#"{"seq":1,"at_us":2,"#.to_vec();
+        bytes.extend_from_slice(&tail);
+        let _ = FlightEvent::decode(&bytes);
+    }
+
+    /// Round trip: every representable event decodes back bit-identical
+    /// from its own encoding, for any field contents.
+    #[test]
+    fn encode_decode_round_trips(event in flight_event()) {
+        let bytes = event.encode();
+        prop_assert!(!bytes.is_empty(), "encode produced no bytes");
+        let back = FlightEvent::decode(&bytes);
+        prop_assert_eq!(back, Some(event));
+    }
+}

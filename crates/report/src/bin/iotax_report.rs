@@ -10,6 +10,8 @@
 //! iotax-report trajectory runs-store --metric core.ood --last 50
 //! iotax-report import runs/analyze-2 --store runs-store
 //! iotax-report crash-matrix --dir /tmp/crash --seed 20220914 --records 40
+//! iotax-report blackbox runs/analyze-1 --last 50
+//! iotax-report watch runs/analyze-1
 //! ```
 //!
 //! A RUN argument is a directory written by `--ledger` (or a direct
@@ -25,7 +27,7 @@
 //! `chrome://tracing` or <https://ui.perfetto.dev>; folded output
 //! feeds `flamegraph.pl` / inferno.
 
-use iotax_obs::{load_run, Error, RunFile};
+use iotax_obs::{load_run, Error, FlightEvent, HeartbeatLine, RunFile};
 use iotax_report::{
     diff_runs, evaluate_gate, render_crash_matrix, render_diff, render_gate, render_scan,
     render_show, render_trajectory, resolve_run, run_crash_matrix, scan_ledger_store, store_runs,
@@ -42,8 +44,11 @@ const USAGE: &str = "usage: iotax-report <command>
   trajectory STORE --metric KEY [--last N]
   import RUN --store STORE
   crash-matrix --dir DIR [--seed N] [--records M]
+  blackbox RUN [--last N]
+  watch RUN [--once]
 RUN may be a --ledger directory, a run.json path, STORE@last,
-STORE@<run-id-prefix>, or a bare store directory (newest run)";
+STORE@<run-id-prefix>, or a bare store directory (newest run);
+blackbox and watch take the --ledger directory itself";
 
 /// Pulls the next positional argument or fails with usage context.
 fn positional(it: &mut impl Iterator<Item = String>, what: &str) -> Result<String, Error> {
@@ -236,11 +241,145 @@ fn run() -> Result<i32, Error> {
             print!("{}", render_crash_matrix(&matrix));
             Ok(i32::from(!matrix.passed()))
         }
+        "blackbox" => {
+            let run_dir = PathBuf::from(positional(&mut it, "a --ledger RUN directory")?);
+            let mut last = None;
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next().ok_or_else(|| Error::usage(format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--last" => {
+                        last = Some(
+                            value("--last")?
+                                .parse::<usize>()
+                                .map_err(|e| Error::usage(format!("--last: {e}")))?,
+                        )
+                    }
+                    other => return Err(Error::usage(format!("unknown flag {other}\n{USAGE}"))),
+                }
+            }
+            // Accept the ledger directory (conventional) or the blackbox
+            // directory itself.
+            let bb = run_dir.join(iotax_obs::BLACKBOX_DIR);
+            let dir = if bb.is_dir() { bb } else { run_dir };
+            let scan = iotax_obs::store::scan_store(&dir)?;
+            if scan.records.is_empty() && scan.damage.is_empty() {
+                println!("black box: empty ({})", dir.display());
+                return Ok(0);
+            }
+            let mut undecodable = 0usize;
+            let mut events: Vec<FlightEvent> = Vec::new();
+            for record in &scan.records {
+                match FlightEvent::decode(&record.payload) {
+                    Some(event) => events.push(event),
+                    None => undecodable += 1,
+                }
+            }
+            let total = events.len();
+            let skip = last.map_or(0, |n| total.saturating_sub(n));
+            for event in &events[skip..] {
+                println!("{}", render_flight_event(event));
+            }
+            println!(
+                "black box: {} event(s), {} undecodable, {} damaged record(s)",
+                total,
+                undecodable,
+                scan.damage.len()
+            );
+            if scan.damage.is_empty() && undecodable == 0 {
+                Ok(0)
+            } else {
+                // EX_DATAERR, like `scan`: the recorder's data is hurt.
+                Ok(65)
+            }
+        }
+        "watch" => {
+            let run_dir = PathBuf::from(positional(&mut it, "a --ledger RUN directory")?);
+            let mut once = false;
+            for flag in it.by_ref() {
+                match flag.as_str() {
+                    "--once" => once = true,
+                    other => return Err(Error::usage(format!("unknown flag {other}\n{USAGE}"))),
+                }
+            }
+            watch_heartbeat(&run_dir, once)
+        }
         "--help" | "-h" => {
             println!("{USAGE}");
             Ok(0)
         }
         other => Err(Error::usage(format!("unknown command {other}\n{USAGE}"))),
+    }
+}
+
+/// One human-readable line per flight-recorder event.
+fn render_flight_event(e: &FlightEvent) -> String {
+    let t = e.at_us as f64 / 1_000_000.0;
+    match e.kind.as_str() {
+        "blackbox" => {
+            format!(
+                "[{t:>10.6}] ─── black box: run {} ({}; {} dropped) ───",
+                e.name, e.detail, e.value
+            )
+        }
+        "span_open" => format!("[{t:>10.6}] t{} open  {}", e.thread, e.detail),
+        "span_close" => {
+            format!("[{t:>10.6}] t{} close {} ({} µs)", e.thread, e.detail, e.value)
+        }
+        "counter" => format!("[{t:>10.6}] counter {} +{}", e.name, e.value),
+        "event" if e.detail.is_empty() => format!("[{t:>10.6}] t{} event {}", e.thread, e.name),
+        "event" => format!("[{t:>10.6}] t{} event {}: {}", e.thread, e.name, e.detail),
+        other => format!("[{t:>10.6}] {other} {} {} {}", e.name, e.detail, e.value),
+    }
+}
+
+/// One line per heartbeat tick: uptime, live span stacks, headline heap.
+fn render_heartbeat(line: &HeartbeatLine) -> String {
+    let stacks = if line.stacks.is_empty() {
+        "idle".to_owned()
+    } else {
+        line.stacks.iter().map(|(t, p)| format!("t{t}:{p}")).collect::<Vec<_>>().join("  ")
+    };
+    let heap = line
+        .gauges
+        .iter()
+        .find(|g| g.name == "heap.current_bytes")
+        .map(|g| format!("  heap {:.1} MiB", g.value as f64 / (1024.0 * 1024.0)))
+        .unwrap_or_default();
+    format!(
+        "tick {:<5} up {:>9.3} s  {} counter(s){heap}  {stacks}",
+        line.seq,
+        line.uptime_us as f64 / 1_000_000.0,
+        line.counters.len()
+    )
+}
+
+/// Tails `<run>/heartbeat.jsonl`, printing each new tick. With `once`,
+/// prints what is there and returns. Otherwise polls until the run's
+/// `run.json` lands (the run finished) and drains any final lines.
+fn watch_heartbeat(run_dir: &std::path::Path, once: bool) -> Result<i32, Error> {
+    let path = run_dir.join(iotax_obs::HEARTBEAT_FILE);
+    let mut printed = 0usize;
+    loop {
+        let finished = run_dir.join("run.json").exists();
+        let text = std::fs::read_to_string(&path).unwrap_or_default();
+        for line in text.lines().skip(printed) {
+            printed += 1;
+            match serde_json::from_str::<HeartbeatLine>(line) {
+                Ok(beat) => println!("{}", render_heartbeat(&beat)),
+                Err(_) => println!("(torn heartbeat line skipped)"),
+            }
+        }
+        if once || finished {
+            if finished {
+                eprintln!("run finished (run.json present); watch done");
+            } else if printed == 0 {
+                eprintln!("no heartbeat yet at {}", path.display());
+            }
+            return Ok(0);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(250));
     }
 }
 

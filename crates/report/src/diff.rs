@@ -56,6 +56,20 @@ pub struct MetricDelta {
     pub b: Option<f64>,
 }
 
+/// One gauge whose value differs between the runs. Gauges are
+/// informational (heap peaks, trace sizes): scheduling-dependent by
+/// nature, so their movement is reported but never counts as drift.
+#[derive(Debug, Clone, PartialEq)]
+// audit:allow(dead-public-api) -- element type of RunDiff's public `gauge_deltas` field
+pub struct GaugeDelta {
+    /// Gauge name.
+    pub name: String,
+    /// Value in run A (`None` when only run B has it).
+    pub a: Option<u64>,
+    /// Value in run B (`None` when only run A has it).
+    pub b: Option<u64>,
+}
+
 /// Everything [`diff_runs`] found.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunDiff {
@@ -75,13 +89,17 @@ pub struct RunDiff {
     pub metric_deltas: Vec<MetricDelta>,
     /// Stage-health transitions, rendered (`core.ood: ok → DEGRADED (…)`).
     pub stage_changes: Vec<String>,
+    /// Gauges whose values differ — informational only, never drift.
+    pub gauge_deltas: Vec<GaugeDelta>,
 }
 
 impl RunDiff {
     /// Whether every deterministic quantity matched: no counter,
     /// histogram, stage-metric, or stage-health difference, and no span
     /// appeared or vanished. Timing deltas are ignored — two healthy
-    /// identical-seed runs satisfy this.
+    /// identical-seed runs satisfy this. Gauge deltas are ignored too,
+    /// by contract: gauges carry scheduling-dependent numbers (heap
+    /// peaks), so comparing them would fail every honest gate.
     pub fn metrics_identical(&self) -> bool {
         self.counter_deltas.is_empty()
             && self.histogram_drift.is_empty()
@@ -200,6 +218,29 @@ pub fn diff_runs(a: &RunFile, b: &RunFile) -> RunDiff {
         }
     }
 
+    let ga: BTreeMap<&str, u64> = a
+        .gauges
+        .as_deref()
+        .unwrap_or_default()
+        .iter()
+        .map(|g| (g.name.as_str(), g.value))
+        .collect();
+    let gb: BTreeMap<&str, u64> = b
+        .gauges
+        .as_deref()
+        .unwrap_or_default()
+        .iter()
+        .map(|g| (g.name.as_str(), g.value))
+        .collect();
+    let gnames: std::collections::BTreeSet<&str> = ga.keys().chain(gb.keys()).copied().collect();
+    let mut gauge_deltas = Vec::new();
+    for name in gnames {
+        let (va, vb) = (ga.get(name).copied(), gb.get(name).copied());
+        if va != vb {
+            gauge_deltas.push(GaugeDelta { name: name.to_owned(), a: va, b: vb });
+        }
+    }
+
     RunDiff {
         wall: (a.manifest.wall_us, b.manifest.wall_us),
         span_deltas,
@@ -209,6 +250,7 @@ pub fn diff_runs(a: &RunFile, b: &RunFile) -> RunDiff {
         histogram_drift,
         metric_deltas,
         stage_changes,
+        gauge_deltas,
     }
 }
 
@@ -245,6 +287,14 @@ fn render_diff_into(out: &mut String, d: &RunDiff) -> std::fmt::Result {
         }
         for p in &d.vanished_spans {
             writeln!(out, "span     {p}: vanished in B")?;
+        }
+    }
+
+    if !d.gauge_deltas.is_empty() {
+        writeln!(out, "\ngauges (informational, not drift):")?;
+        for g in &d.gauge_deltas {
+            let fmt = |v: Option<u64>| v.map_or("absent".to_owned(), |x| x.to_string());
+            writeln!(out, "  {:<40} {} → {}", g.name, fmt(g.a), fmt(g.b))?;
         }
     }
 
@@ -304,6 +354,31 @@ mod tests {
         assert_eq!(d.histogram_drift, vec!["bytes".to_owned()]);
         let text = render_diff(&d);
         assert!(text.contains("counter  jobs: 100 → 99"), "{text}");
+    }
+
+    #[test]
+    fn gauge_movement_is_reported_but_never_drift() {
+        let mut a = synthetic_run("tool", 1_000);
+        let mut b = synthetic_run("tool", 1_000);
+        a.gauges =
+            Some(vec![iotax_obs::GaugeSnapshot { name: "heap.peak_bytes".into(), value: 1024 }]);
+        b.gauges =
+            Some(vec![iotax_obs::GaugeSnapshot { name: "heap.peak_bytes".into(), value: 4096 }]);
+        let d = diff_runs(&a, &b);
+        assert_eq!(
+            d.gauge_deltas,
+            vec![GaugeDelta { name: "heap.peak_bytes".into(), a: Some(1024), b: Some(4096) }]
+        );
+        assert!(d.metrics_identical(), "gauges are informational, not drift");
+        let text = render_diff(&d);
+        assert!(text.contains("gauges (informational, not drift)"), "{text}");
+        assert!(text.contains("heap.peak_bytes"), "{text}");
+        // An old-format run (gauges: None) against a gauge-carrying run
+        // reports the gauges as one-sided, still without drift.
+        a.gauges = None;
+        let d = diff_runs(&a, &b);
+        assert_eq!(d.gauge_deltas[0].a, None);
+        assert!(d.metrics_identical());
     }
 
     #[test]

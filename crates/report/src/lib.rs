@@ -45,7 +45,7 @@ pub mod show;
 pub mod trajectory;
 
 pub use crash::{render_crash_matrix, run_crash_matrix, CrashCase, CrashMatrix};
-pub use diff::{diff_runs, render_diff, MetricDelta, RunDiff, SpanDelta};
+pub use diff::{diff_runs, render_diff, GaugeDelta, MetricDelta, RunDiff, SpanDelta};
 pub use export::{to_chrome_trace, to_folded};
 pub use gate::{evaluate_gate, render_gate, GateCheck, GateOutcome};
 pub use scan::{
@@ -164,6 +164,7 @@ pub(crate) mod testutil {
             counters: Vec::new(),
             histograms: Vec::new(),
             sections: Vec::new(),
+            gauges: None,
         }
     }
 

@@ -52,6 +52,15 @@ fn render_show_into(out: &mut String, run: &RunFile) -> std::fmt::Result {
         }
     }
 
+    if let Some(gauges) = run.gauges.as_deref() {
+        if !gauges.is_empty() {
+            writeln!(out, "\ngauges (informational):")?;
+            for g in gauges {
+                writeln!(out, "  {:<40} {}", g.name, g.value)?;
+            }
+        }
+    }
+
     let stages = crate::stage_health(run);
     if !stages.is_empty() {
         writeln!(out, "\nstages:")?;
@@ -137,6 +146,20 @@ mod tests {
         assert!(text.contains("10.0 ms"), "{text}");
         assert!(text.contains("1.0 ms"), "{text}");
         assert!(text.contains("critical path: tool → fit"), "{text}");
+    }
+
+    #[test]
+    fn show_renders_gauges_when_present() {
+        let mut run = synthetic_run("tool", 1_000);
+        assert!(!render_show(&run).contains("gauges"), "no section without gauges");
+        run.gauges = Some(vec![iotax_obs::GaugeSnapshot {
+            name: "heap.peak_bytes.core.baseline".into(),
+            value: 123_456,
+        }]);
+        let text = render_show(&run);
+        assert!(text.contains("gauges (informational):"), "{text}");
+        assert!(text.contains("heap.peak_bytes.core.baseline"), "{text}");
+        assert!(text.contains("123456"), "{text}");
     }
 
     #[test]

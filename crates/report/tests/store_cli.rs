@@ -42,6 +42,7 @@ fn synthetic_run(run_id: &str, scale_us: u64, jobs: u64) -> RunFile {
         counters: vec![CounterSnapshot { name: "cli.ingest.files".to_owned(), value: jobs }],
         histograms: Vec::new(),
         sections: Vec::new(),
+        gauges: None,
     }
 }
 

@@ -38,6 +38,7 @@ fn taxonomy_span_tree_round_trips_through_jsonl() {
                 }
             }
             Some("histogram") => {}
+            Some("gauge") => {}
             other => panic!("unexpected line type {other:?}"),
         }
     }
